@@ -1,0 +1,25 @@
+//! Coherence-engine throughput: a small synthetic workload over the
+//! point-to-point network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use macrochip::experiment::{run_coherent, WorkloadSpec};
+use netcore::{MacrochipConfig, NetworkKind};
+use workloads::{Pattern, SharingMix};
+
+fn bench_engine(c: &mut Criterion) {
+    let config = MacrochipConfig::scaled();
+    let spec = WorkloadSpec::Synthetic {
+        pattern: Pattern::Uniform,
+        mix: SharingMix::LessSharing,
+        ops_per_core: 5,
+    };
+    let mut group = c.benchmark_group("coherent_run");
+    group.sample_size(10);
+    group.bench_function("p2p_uniform_ls_5ops", |b| {
+        b.iter(|| run_coherent(NetworkKind::PointToPoint, &spec, &config, 3).ops_completed)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Micro-benchmarks of the discrete-event simulation kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use desim::stats::LatencyHistogram;
+use desim::{EventQueue, SimRng, Span, Time};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = SimRng::new(1);
+            for i in 0..10_000u64 {
+                q.push(Time::from_ps(rng.next_u64() % 1_000_000), i);
+            }
+            let mut last = Time::ZERO;
+            while let Some((t, _)) = q.pop() {
+                assert!(t >= last);
+                last = t;
+            }
+        })
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    c.bench_function("latency_histogram_record_10k", |b| {
+        let mut rng = SimRng::new(2);
+        b.iter(|| {
+            let mut h = LatencyHistogram::new();
+            for _ in 0..10_000 {
+                h.record(Span::from_ps(rng.next_u64() % 1_000_000));
+            }
+            h.percentile(0.99)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("exp_span_10k", |b| {
+        let mut rng = SimRng::new(3);
+        b.iter(|| {
+            let mut acc = Span::ZERO;
+            for _ in 0..10_000 {
+                acc += rng.exp_span(Span::from_ns(5));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_histogram, bench_rng);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Simulation-throughput benchmarks: wall-clock cost of pushing a fixed
+//! uniform-random workload through each network architecture.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use desim::Time;
+use macrochip::runner::{drive, DriveLimits};
+use netcore::{MacrochipConfig, NetworkKind};
+use workloads::{OpenLoopTraffic, Pattern};
+
+fn bench_networks(c: &mut Criterion) {
+    let config = MacrochipConfig::scaled();
+    let mut group = c.benchmark_group("uniform_5pct_500ns");
+    group.sample_size(10);
+    for kind in NetworkKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut net = networks::build(kind, config);
+                    let mut traffic =
+                        OpenLoopTraffic::new(&config.grid, Pattern::Uniform, 0.05, 320.0, 64, 7);
+                    traffic.set_horizon(Time::from_ns(500));
+                    drive(net.as_mut(), &mut traffic, DriveLimits::default());
+                    net.stats().delivered_packets()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_networks);
+criterion_main!(benches);

@@ -1,0 +1,306 @@
+//! Ablation studies of the design choices DESIGN.md §6 calls out —
+//! beyond the paper's own evaluation.
+//!
+//! 1. Two-phase switch-tree count (the ALT fix, generalized).
+//! 2. Token-ring burst limit (packets per token grab).
+//! 3. Circuit-switched gateway concurrency.
+//! 4. Memory latency (the paper's named future work).
+//! 5. Blocking vs. trace-rate cores.
+//! 6. Circuit batching (packets per circuit).
+//! 7. Limited point-to-point forwarding policy (incl. adaptive).
+//! 8. Token-ring WDM factor (why Corona's 64-way WDM cannot scale).
+//! 9. Grid-size scaling of the analytic power/complexity models.
+
+use coherence::EngineConfig;
+use desim::Span;
+use macrochip::experiment::run_coherent_with;
+use macrochip::prelude::*;
+use macrochip::report::{fmt, Table};
+use macrochip::sweep::sustained_bandwidth_on;
+use networks::{
+    CircuitSwitchedNetwork, LimitedP2pNetwork, RoutingPolicy, TokenRingNetwork, TwoPhaseNetwork,
+};
+
+fn sweep_options() -> SweepOptions {
+    SweepOptions {
+        sim: Span::from_us(2),
+        drain: Span::from_us(10),
+        max_stalled: 4_000,
+        seed: 5,
+    }
+}
+
+fn two_phase_trees(config: &MacrochipConfig) -> Table {
+    let mut t = Table::new(&["Switch trees per column", "Uniform sustained (% of peak)"]);
+    for trees in 1..=4usize {
+        let f = sustained_bandwidth_on(
+            || {
+                Box::new(TwoPhaseNetwork::with_trees(
+                    MacrochipConfig::scaled(),
+                    trees,
+                ))
+            },
+            Pattern::Uniform,
+            config,
+            sweep_options(),
+            0.01,
+        );
+        t.row_owned(vec![trees.to_string(), fmt(f * 100.0, 1)]);
+    }
+    t
+}
+
+fn token_burst(config: &MacrochipConfig) -> Table {
+    let mut t = Table::new(&["Token burst limit", "Uniform sustained (% of peak)"]);
+    for burst in [1usize, 2, 4, 8, 16] {
+        let f = sustained_bandwidth_on(
+            || {
+                Box::new(TokenRingNetwork::with_burst(
+                    MacrochipConfig::scaled(),
+                    burst,
+                ))
+            },
+            Pattern::Uniform,
+            config,
+            sweep_options(),
+            0.01,
+        );
+        t.row_owned(vec![burst.to_string(), fmt(f * 100.0, 1)]);
+    }
+    t
+}
+
+fn circuit_gateways(config: &MacrochipConfig) -> Table {
+    let mut t = Table::new(&["Gateway circuits", "Uniform sustained (% of peak)"]);
+    for limit in [4usize, 8, 16, 32] {
+        let f = sustained_bandwidth_on(
+            || {
+                Box::new(CircuitSwitchedNetwork::with_gateway_limit(
+                    MacrochipConfig::scaled(),
+                    limit,
+                ))
+            },
+            Pattern::Uniform,
+            config,
+            sweep_options(),
+            0.005,
+        );
+        t.row_owned(vec![limit.to_string(), fmt(f * 100.0, 2)]);
+    }
+    t
+}
+
+fn memory_latency(config: &MacrochipConfig) -> Table {
+    // The paper's future work: "the performance impacts of different
+    // memory technologies". Slower memory hides network differences.
+    let spec = WorkloadSpec::Synthetic {
+        pattern: Pattern::Uniform,
+        mix: SharingMix::LessSharing,
+        ops_per_core: 25,
+    };
+    let mut t = Table::new(&[
+        "Memory latency (ns)",
+        "P2P op latency (ns)",
+        "Circuit op latency (ns)",
+        "P2P advantage",
+    ]);
+    for mem_ns in [15u64, 30, 60, 120] {
+        let eng = EngineConfig {
+            mem_latency: Span::from_ns(mem_ns),
+            ..EngineConfig::default()
+        };
+        let p2p = run_coherent_with(NetworkKind::PointToPoint, &spec, config, eng, 3);
+        let circ = run_coherent_with(NetworkKind::CircuitSwitched, &spec, config, eng, 3);
+        t.row_owned(vec![
+            mem_ns.to_string(),
+            fmt(p2p.mean_op_latency.as_ns_f64(), 1),
+            fmt(circ.mean_op_latency.as_ns_f64(), 1),
+            format!(
+                "{}x",
+                fmt(circ.makespan.as_ns_f64() / p2p.makespan.as_ns_f64(), 2)
+            ),
+        ]);
+    }
+    t
+}
+
+fn core_model(config: &MacrochipConfig) -> Table {
+    let spec = WorkloadSpec::Synthetic {
+        pattern: Pattern::Uniform,
+        mix: SharingMix::LessSharing,
+        ops_per_core: 25,
+    };
+    let mut t = Table::new(&["Core model", "Network", "Makespan (us)", "Op latency (ns)"]);
+    for (label, blocking) in [("blocking (paper)", true), ("trace-rate + MSHRs", false)] {
+        for kind in [NetworkKind::PointToPoint, NetworkKind::CircuitSwitched] {
+            let eng = EngineConfig {
+                blocking_cores: blocking,
+                ..EngineConfig::default()
+            };
+            let run = run_coherent_with(kind, &spec, config, eng, 3);
+            t.row_owned(vec![
+                label.to_string(),
+                kind.name().to_string(),
+                fmt(run.makespan.as_ns_f64() / 1e3, 2),
+                fmt(run.mean_op_latency.as_ns_f64(), 1),
+            ]);
+        }
+    }
+    t
+}
+
+fn circuit_batching(config: &MacrochipConfig) -> Table {
+    // DESIGN.md §6: batching several cache lines per circuit amortizes
+    // the setup round trip — the fix the paper's §4.5 design lacks.
+    let mut t = Table::new(&["Packets per circuit", "Uniform sustained (% of peak)"]);
+    for batch in [1usize, 2, 4, 8] {
+        let f = sustained_bandwidth_on(
+            || {
+                Box::new(CircuitSwitchedNetwork::with_batching(
+                    MacrochipConfig::scaled(),
+                    16,
+                    batch,
+                ))
+            },
+            Pattern::Uniform,
+            config,
+            sweep_options(),
+            0.005,
+        );
+        t.row_owned(vec![batch.to_string(), fmt(f * 100.0, 2)]);
+    }
+    t
+}
+
+fn routing_policy(config: &MacrochipConfig) -> Table {
+    let mut t = Table::new(&["Forwarding policy", "Uniform sustained (% of peak)"]);
+    for (name, policy) in [
+        ("row-first (paper)", RoutingPolicy::RowFirst),
+        ("column-first", RoutingPolicy::ColumnFirst),
+        ("adaptive", RoutingPolicy::Adaptive),
+    ] {
+        let f = sustained_bandwidth_on(
+            || {
+                Box::new(LimitedP2pNetwork::with_policy(
+                    MacrochipConfig::scaled(),
+                    policy,
+                ))
+            },
+            Pattern::Uniform,
+            config,
+            sweep_options(),
+            0.01,
+        );
+        t.row_owned(vec![name.to_string(), fmt(f * 100.0, 1)]);
+    }
+    t
+}
+
+fn token_wdm() -> Table {
+    // §4.4: the Corona adaptation reduced the WDM factor from 64 to 2 to
+    // bound off-resonance modulator loss. Sweep the factor analytically.
+    use photonics::units::Db;
+    let mut t = Table::new(&[
+        "WDM factor",
+        "Ring pass-bys per wavelength",
+        "Extra loss (dB)",
+        "Laser power factor",
+        "Laser power (W)",
+    ]);
+    for wdm in [2u64, 4, 8, 16, 64] {
+        // A wavelength passes every site's modulator bank for its bundle:
+        // 64 sites x wdm rings per waveguide.
+        let passes = 64 * wdm;
+        let loss = Db::new(0.1) * passes as f64;
+        let factor = loss.linear_factor();
+        let watts = 8_192.0 * factor / 1000.0;
+        let show = |v: f64, digits: usize| {
+            if v > 1e4 {
+                format!("{v:.2e}")
+            } else {
+                fmt(v, digits)
+            }
+        };
+        t.row_owned(vec![
+            wdm.to_string(),
+            passes.to_string(),
+            fmt(loss.value(), 1),
+            format!("{}x", show(factor, 1)),
+            show(watts, 1),
+        ]);
+    }
+    t
+}
+
+fn grid_scaling() -> Table {
+    // Analytic Tables 5/6 scaling with macrochip size.
+    use photonics::geometry::Layout;
+    use photonics::inventory::{ComponentCounts, NetworkId};
+    use photonics::power::NetworkPower;
+    let mut t = Table::new(&[
+        "Grid",
+        "P2P Tx",
+        "P2P Wgs",
+        "P2P laser (W)",
+        "Token laser (W)",
+    ]);
+    for side in [4usize, 8, 16] {
+        let layout = Layout::new(side, 2.5, 0.1);
+        let p2p = ComponentCounts::for_network(NetworkId::PointToPoint, &layout);
+        let p2p_w = NetworkPower::for_network(NetworkId::PointToPoint, &layout);
+        let tok_w = NetworkPower::for_network(NetworkId::TokenRing, &layout);
+        t.row_owned(vec![
+            format!("{side}x{side}"),
+            p2p.transmitters.to_string(),
+            p2p.waveguides.to_string(),
+            fmt(p2p_w.laser.watts(), 1),
+            fmt(tok_w.laser.watts(), 1),
+        ]);
+    }
+    t
+}
+
+fn main() {
+    let config = MacrochipConfig::scaled();
+    let dir = macrochip_bench::results_dir();
+
+    let sections: Vec<(&str, Table)> = vec![
+        (
+            "Ablation 1: two-phase switch trees per column",
+            two_phase_trees(&config),
+        ),
+        ("Ablation 2: token-ring burst limit", token_burst(&config)),
+        (
+            "Ablation 3: circuit-switched gateway concurrency",
+            circuit_gateways(&config),
+        ),
+        (
+            "Ablation 4: memory latency (paper future work)",
+            memory_latency(&config),
+        ),
+        (
+            "Ablation 5: blocking vs trace-rate cores",
+            core_model(&config),
+        ),
+        (
+            "Ablation 6: circuit batching (packets per circuit)",
+            circuit_batching(&config),
+        ),
+        (
+            "Ablation 7: limited p2p forwarding policy",
+            routing_policy(&config),
+        ),
+        (
+            "Ablation 8: token-ring WDM factor (analytic, paper's 64 -> 2 reduction)",
+            token_wdm(),
+        ),
+        ("Ablation 9: grid scaling (analytic)", grid_scaling()),
+    ];
+    let mut all_csv = String::new();
+    for (title, table) in &sections {
+        println!("{title}\n\n{}", table.to_text());
+        all_csv.push_str(&format!("# {title}\n{}\n", table.to_csv()));
+    }
+    std::fs::write(dir.join("ablations.csv"), all_csv).expect("write ablations.csv");
+    println!("wrote {}", dir.join("ablations.csv").display());
+}

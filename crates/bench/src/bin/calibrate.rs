@@ -1,0 +1,27 @@
+//! Quick calibration: sustained uniform bandwidth per network vs. the
+//! paper's Figure 6 observations (p2p ~95%, limited ~47%, token ~40%,
+//! two-phase ~7.5%, circuit ~2.5%).
+
+use desim::Span;
+use macrochip::prelude::*;
+
+fn main() {
+    let config = MacrochipConfig::scaled();
+    let options = SweepOptions {
+        sim: Span::from_us(2),
+        drain: Span::from_us(10),
+        max_stalled: 4_000,
+        seed: 1,
+    };
+    for kind in NetworkKind::FIGURE6 {
+        let start = std::time::Instant::now();
+        let f =
+            macrochip::sweep::sustained_bandwidth(kind, Pattern::Uniform, &config, options, 0.02);
+        println!(
+            "{:<25} uniform sustained: {:>5.1}%   ({:.1}s)",
+            kind.name(),
+            f * 100.0,
+            start.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Secondary calibration: ALT vs base two-phase; nearest-neighbor and
+//! transpose saturation points.
+
+use desim::Span;
+use macrochip::prelude::*;
+
+fn main() {
+    let config = MacrochipConfig::scaled();
+    let options = SweepOptions {
+        sim: Span::from_us(2),
+        drain: Span::from_us(10),
+        max_stalled: 4_000,
+        seed: 1,
+    };
+    let f = |kind, pattern| {
+        macrochip::sweep::sustained_bandwidth(kind, pattern, &config, options, 0.01)
+    };
+    println!(
+        "2-Phase ALT uniform:   {:>5.1}% (base was ~9%)",
+        f(NetworkKind::TwoPhaseAlt, Pattern::Uniform) * 100.0
+    );
+    println!(
+        "Limited neighbor:      {:>5.1}% (paper ~25%)",
+        f(NetworkKind::LimitedPointToPoint, Pattern::Neighbor) * 100.0
+    );
+    println!(
+        "P2P transpose:         {:>5.1}% (paper ~1.6% = 5 GB/s)",
+        f(NetworkKind::PointToPoint, Pattern::Transpose) * 100.0
+    );
+    println!(
+        "Token transpose:       {:>5.1}% (paper <1%)",
+        f(NetworkKind::TokenRing, Pattern::Transpose) * 100.0
+    );
+}

@@ -1,0 +1,56 @@
+//! Regenerates **Figure 8: Latency per Coherence Operation** (paper §6.2),
+//! in nanoseconds, per workload and network.
+
+use macrochip::prelude::*;
+use macrochip::report::{fmt, Table};
+use macrochip_bench::{coherent_grid, find_run, workload_order};
+
+fn main() {
+    let runs = coherent_grid();
+    let workloads = workload_order(&runs);
+
+    let mut header = vec!["Workload".to_string()];
+    header.extend(NetworkKind::ALL.iter().map(|k| k.name().to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    for w in &workloads {
+        let mut row = vec![w.clone()];
+        for kind in NetworkKind::ALL {
+            let run = find_run(&runs, w, kind).expect("grid is complete");
+            row.push(fmt(run.mean_op_latency.as_ns_f64(), 1));
+        }
+        table.row_owned(row);
+    }
+
+    println!("Figure 8: Latency per Coherence Operation (ns)\n");
+    println!("{}", table.to_text());
+
+    // Paper: the p2p network stays below ~54 ns on applications and
+    // ~100 ns on synthetics.
+    let apps = [
+        "Radix",
+        "Barnes",
+        "Blackscholes",
+        "Densities",
+        "Forces",
+        "Swaptions",
+    ];
+    let mut p2p_app_max: f64 = 0.0;
+    let mut p2p_synth_max: f64 = 0.0;
+    for w in &workloads {
+        let run = find_run(&runs, w, NetworkKind::PointToPoint).expect("run");
+        let lat = run.mean_op_latency.as_ns_f64();
+        if apps.contains(&w.as_str()) {
+            p2p_app_max = p2p_app_max.max(lat);
+        } else {
+            p2p_synth_max = p2p_synth_max.max(lat);
+        }
+    }
+    println!("P2P max latency on applications: {p2p_app_max:.1} ns (paper: 54 ns)");
+    println!("P2P max latency on synthetics:   {p2p_synth_max:.1} ns (paper: 100 ns)");
+
+    let path = macrochip_bench::results_dir().join("fig8_latency.csv");
+    std::fs::write(&path, table.to_csv()).expect("write fig8 csv");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,50 @@
+//! Regenerates **Figure 9: Energy Used by Routers in the Limited
+//! Point-to-Point Network as a Percentage of Total** (paper §6.3).
+
+use macrochip::prelude::*;
+use macrochip::report::{fmt, Table};
+use macrochip_bench::{coherent_grid, find_run, workload_order};
+
+fn main() {
+    let runs = coherent_grid();
+    let workloads = workload_order(&runs);
+    let model = NetworkEnergyModel::default();
+
+    let mut table = Table::new(&["Workload", "Router energy (%)", "Router J", "Total J"]);
+    let mut app_max: f64 = 0.0;
+    let mut synth_max: f64 = 0.0;
+    let apps = [
+        "Radix",
+        "Barnes",
+        "Blackscholes",
+        "Densities",
+        "Forces",
+        "Swaptions",
+    ];
+
+    for w in &workloads {
+        let run = find_run(&runs, w, NetworkKind::LimitedPointToPoint).expect("grid complete");
+        let e = model.energy(run);
+        let pct = e.router_fraction() * 100.0;
+        if apps.contains(&w.as_str()) {
+            app_max = app_max.max(pct);
+        } else {
+            synth_max = synth_max.max(pct);
+        }
+        table.row_owned(vec![
+            w.clone(),
+            fmt(pct, 1),
+            format!("{:.3e}", e.router_j),
+            format!("{:.3e}", e.total_j()),
+        ]);
+    }
+
+    println!("Figure 9: Router Energy Share in the Limited Point-to-Point Network\n");
+    println!("{}", table.to_text());
+    println!("max on applications: {app_max:.1}% (paper: 10.4%)");
+    println!("max on synthetics:   {synth_max:.1}% (paper: 17%)");
+
+    let path = macrochip_bench::results_dir().join("fig9_router_energy.csv");
+    std::fs::write(&path, table.to_csv()).expect("write fig9 csv");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,66 @@
+//! The paper's §8 future work, realized: message-passing collectives over
+//! all six network architectures.
+//!
+//! Bulk-synchronous collectives chain dependent communication steps, so
+//! per-message overheads (token reacquisition, circuit setup, arbitration
+//! pipelines) compound at every barrier — a different stress than the
+//! cache-coherence traffic of the paper's own evaluation.
+
+use desim::Time;
+use macrochip::prelude::*;
+use macrochip::report::{fmt, Table};
+use macrochip::runner::{drive, DriveLimits};
+use workloads::{Collective, MessagePassingWorkload};
+
+fn main() {
+    let config = MacrochipConfig::scaled();
+    let message_bytes = 1024; // 1 KB per transfer, 16 cache-line packets
+    let rounds = 2;
+
+    let mut header = vec!["Collective".to_string()];
+    header.extend(NetworkKind::ALL.iter().map(|k| k.name().to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    for collective in Collective::ALL {
+        let mut row = vec![collective.name().to_string()];
+        for kind in NetworkKind::ALL {
+            let mut net = networks::build(kind, config);
+            let mut workload =
+                MessagePassingWorkload::new(&config.grid, collective, message_bytes, rounds);
+            let outcome = drive(
+                net.as_mut(),
+                &mut workload,
+                DriveLimits {
+                    deadline: Time::from_us(100_000),
+                    max_stalled: usize::MAX,
+                },
+            );
+            assert!(
+                !outcome.timed_out,
+                "{kind} timed out on {}",
+                collective.name()
+            );
+            let us = workload
+                .finished_at()
+                .expect("collective completes")
+                .as_us_f64();
+            row.push(format!("{} us", fmt(us, 2)));
+        }
+        table.row_owned(row);
+    }
+
+    println!(
+        "Future work (paper §8): message-passing collectives, {message_bytes} B per \
+         transfer, {rounds} rounds\n"
+    );
+    println!("{}", table.to_text());
+    println!(
+        "Dependent steps compound per-message overheads: the circuit-switched torus \
+         pays its setup round trip at every step, the token ring a reacquisition lap."
+    );
+
+    let path = macrochip_bench::results_dir().join("future_message_passing.csv");
+    std::fs::write(&path, table.to_csv()).expect("write message passing csv");
+    println!("\nwrote {}", path.display());
+}

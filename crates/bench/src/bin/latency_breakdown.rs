@@ -1,0 +1,81 @@
+//! Where does the latency go? Splits each network's mean packet latency
+//! into *wait* (queueing, arbitration, token wait, path setup — set by
+//! the network when the final transmission begins) and *wire*
+//! (serialization + time of flight).
+//!
+//! This makes the paper's §6.1 argument quantitative: the five networks
+//! have similar wire times, and the entire difference is overhead before
+//! the first bit moves.
+
+use desim::Time;
+use macrochip::prelude::*;
+use macrochip::report::{fmt, Table};
+use macrochip::runner::{drive, DriveLimits};
+use netcore::{Packet, PacketSource};
+use workloads::OpenLoopTraffic;
+
+/// Wraps the open-loop source, accumulating wait/wire statistics from the
+/// delivered packets.
+struct Breakdown<S> {
+    inner: S,
+    wait: desim::stats::Mean,
+    wire: desim::stats::Mean,
+}
+
+impl<S: PacketSource> PacketSource for Breakdown<S> {
+    fn next_emission(&self) -> Option<Time> {
+        self.inner.next_emission()
+    }
+    fn emit_due(&mut self, now: Time, out: &mut Vec<Packet>) {
+        self.inner.emit_due(now, out)
+    }
+    fn on_delivered(&mut self, packet: &Packet, now: Time) {
+        if packet.src != packet.dst {
+            if let (Some(w), Some(x)) = (packet.wait_time(), packet.wire_time()) {
+                self.wait.record(w.as_ns_f64());
+                self.wire.record(x.as_ns_f64());
+            }
+        }
+        self.inner.on_delivered(packet, now)
+    }
+    fn is_exhausted(&self) -> bool {
+        self.inner.is_exhausted()
+    }
+}
+
+fn main() {
+    let config = MacrochipConfig::scaled();
+    let load = 0.05; // a light uniform load: overheads, not congestion
+    let mut table = Table::new(&["Network", "Mean wait (ns)", "Mean wire (ns)", "Wait share"]);
+
+    for kind in NetworkKind::ALL {
+        let mut net = networks::build(kind, config);
+        let inner = OpenLoopTraffic::new(&config.grid, Pattern::Uniform, load, 320.0, 64, 99);
+        let mut src = Breakdown {
+            inner,
+            wait: desim::stats::Mean::new(),
+            wire: desim::stats::Mean::new(),
+        };
+        src.inner.set_horizon(Time::from_us(2));
+        drive(net.as_mut(), &mut src, DriveLimits::default());
+        let wait = src.wait.mean();
+        let wire = src.wire.mean();
+        table.row_owned(vec![
+            kind.name().to_string(),
+            fmt(wait, 1),
+            fmt(wire, 1),
+            format!("{}%", fmt(100.0 * wait / (wait + wire), 0)),
+        ]);
+    }
+
+    println!("Latency breakdown at 5% uniform load (wait = arbitration/setup/queueing)\n");
+    println!("{}", table.to_text());
+    println!(
+        "Wire times differ only by channel width; the architectures are separated \
+         almost entirely by what happens before the first bit moves (§6.1)."
+    );
+
+    let path = macrochip_bench::results_dir().join("latency_breakdown.csv");
+    std::fs::write(&path, table.to_csv()).expect("write breakdown csv");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,88 @@
+//! The full 2015-target macrochip of §3, through the analytic models:
+//! bandwidth provisioning, component counts, laser budget, and the fiber
+//! feed — the numbers the paper quotes in prose.
+
+use macrochip::report::{fmt, Table};
+use netcore::MacrochipConfig;
+use photonics::geometry::Layout;
+use photonics::inventory::{ComponentCounts, NetworkId};
+use photonics::power::{NetworkPower, BASE_LASER_MW};
+
+fn main() {
+    let full = MacrochipConfig::full_2015();
+    let layout = Layout::macrochip();
+
+    println!("The full 2015 macrochip (paper §3)\n");
+    let mut t = Table::new(&["Quantity", "Ours", "Paper §3"]);
+    t.row_owned(vec![
+        "Bandwidth into/out of a site".into(),
+        format!(
+            "{} TB/s",
+            fmt(full.site_bandwidth_bytes_per_ns() / 1000.0, 2)
+        ),
+        "2.56 TB/s".into(),
+    ]);
+    t.row_owned(vec![
+        "Total peak aggregate bandwidth".into(),
+        format!("{} TB/s", fmt(full.total_peak_bytes_per_ns() / 1000.0, 1)),
+        "160 TB/s (rounded)".into(),
+    ]);
+    t.row_owned(vec![
+        "Transmitters (receivers) per site".into(),
+        full.tx_per_site.to_string(),
+        "1024".into(),
+    ]);
+    t.row_owned(vec![
+        "Wavelengths per waveguide".into(),
+        full.wavelengths_per_waveguide.to_string(),
+        "16".into(),
+    ]);
+    t.row_owned(vec![
+        "Cores per site (5 GHz, 1 W each)".into(),
+        full.cores_per_site.to_string(),
+        "64".into(),
+    ]);
+    t.row_owned(vec![
+        "Site power".into(),
+        format!("{} W", full.cores_per_site),
+        "64 W".into(),
+    ]);
+    t.row_owned(vec![
+        "Macrochip power".into(),
+        format!("{} kW", fmt(full.cores_per_site as f64 * 64.0 / 1000.0, 1)),
+        "~4 kW".into(),
+    ]);
+
+    // Lasers: each laser sources 8 wavelengths, each split 8 ways (§3),
+    // so one laser drives 64 wavelength channels.
+    let p2p_full = ComponentCounts::for_network_in(NetworkId::PointToPoint, &layout, 16, 16);
+    let lasers = p2p_full.transmitters / 64;
+    t.row_owned(vec![
+        "Lasers (8 wavelengths x 8-way power sharing)".into(),
+        lasers.to_string(),
+        "1024".into(),
+    ]);
+    println!("{}", t.to_text());
+
+    println!("Point-to-point network at full scale (analytic):");
+    let scaled = ComponentCounts::for_network(NetworkId::PointToPoint, &layout);
+    println!(
+        "  transmitters {} -> {} (8x the simulated system)",
+        scaled.transmitters, p2p_full.transmitters
+    );
+    println!(
+        "  waveguides   {} -> {}",
+        scaled.waveguides, p2p_full.waveguides
+    );
+    let power = NetworkPower::for_network(NetworkId::PointToPoint, &layout);
+    let full_laser_w = p2p_full.transmitters as f64 * BASE_LASER_MW * power.loss_factor / 1000.0;
+    println!(
+        "  laser power  {} W -> {} W",
+        fmt(power.laser.watts(), 1),
+        fmt(full_laser_w, 1)
+    );
+
+    let path = macrochip_bench::results_dir().join("macrochip_2015.csv");
+    std::fs::write(&path, t.to_csv()).expect("write macrochip_2015.csv");
+    println!("\nwrote {}", path.display());
+}

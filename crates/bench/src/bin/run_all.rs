@@ -1,0 +1,54 @@
+//! Regenerates every table and figure in sequence and writes a summary
+//! to `results/`. See DESIGN.md §5 for the experiment index.
+//!
+//! This is a convenience wrapper: each artifact also has its own binary
+//! (`table1`, `table4`, `table5_power`, `table6_counts`,
+//! `fig6_latency_load`, `fig7_speedup`, `fig8_latency`,
+//! `fig9_router_energy`, `fig10_edp`).
+
+use std::process::Command;
+
+fn run(bin: &str) {
+    println!("\n=== {bin} ===\n");
+    let status = Command::new(
+        std::env::current_exe()
+            .expect("self path")
+            .parent()
+            .expect("bin dir")
+            .join(bin),
+    )
+    .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => eprintln!("{bin} exited with {s}"),
+        Err(e) => eprintln!(
+            "could not run {bin}: {e} (try `cargo build --release -p macrochip-bench` first)"
+        ),
+    }
+}
+
+fn main() {
+    for bin in [
+        "table1",
+        "table4",
+        "table5_power",
+        "table6_counts",
+        "fig6_latency_load",
+        "fig7_speedup",
+        "fig8_latency",
+        "fig9_router_energy",
+        "fig10_edp",
+        "macrochip_2015",
+        "ablations",
+        "sensitivity",
+        "future_message_passing",
+        "latency_breakdown",
+        "fairness",
+    ] {
+        run(bin);
+    }
+    println!(
+        "\nAll artifacts regenerated under {}",
+        macrochip_bench::results_dir().display()
+    );
+}

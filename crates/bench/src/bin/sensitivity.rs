@@ -1,0 +1,112 @@
+//! Sensitivity studies on the paper's photonic assumptions:
+//!
+//! 1. **Ring tuning vs. thermal spread** — the paper budgets 0.1 mW per
+//!    ring (§2), which holds a ring against ~1 K. What happens at 2–10 K?
+//! 2. **Waveguide-crossing crosstalk** — the paper assumes crossings are
+//!    free on the circuit-switched torus (§4.5). What do the measured
+//!    figures from its own reference \[7\] imply?
+
+use macrochip::report::{fmt, Table};
+use photonics::crosstalk::{torus_worst_case_crossings, CrossingModel};
+use photonics::geometry::Layout;
+use photonics::inventory::NetworkId;
+use photonics::power::NetworkPower;
+use photonics::tuning::TuningModel;
+
+fn tuning_table() -> Table {
+    let layout = Layout::macrochip();
+    let model = TuningModel::silicon();
+    let mut t = Table::new(&[
+        "Avg thermal offset (K)",
+        "P2P tuning (W)",
+        "Token-Ring tuning (W)",
+        "P2P laser (W)",
+        "Token laser (W)",
+    ]);
+    for dk in [0.5, 1.0, 2.0, 5.0, 10.0] {
+        t.row_owned(vec![
+            fmt(dk, 1),
+            fmt(
+                model
+                    .network_tuning(NetworkId::PointToPoint, &layout, dk)
+                    .watts(),
+                2,
+            ),
+            fmt(
+                model
+                    .network_tuning(NetworkId::TokenRing, &layout, dk)
+                    .watts(),
+                1,
+            ),
+            fmt(
+                NetworkPower::for_network(NetworkId::PointToPoint, &layout)
+                    .laser
+                    .watts(),
+                1,
+            ),
+            fmt(
+                NetworkPower::for_network(NetworkId::TokenRing, &layout)
+                    .laser
+                    .watts(),
+                1,
+            ),
+        ]);
+    }
+    t
+}
+
+fn crosstalk_table() -> Table {
+    let mut t = Table::new(&[
+        "Crossings",
+        "Insertion loss (optimized)",
+        "Crosstalk penalty",
+        "Total penalty",
+    ]);
+    let m = CrossingModel::bogaerts_optimized();
+    for crossings in [1u32, 4, 8, 16, 32, 64] {
+        let loss = m.path_loss(crossings);
+        let (xt, total) = match (m.power_penalty(crossings), m.total_penalty(crossings)) {
+            (Some(p), Some(tp)) => (p.to_string(), tp.to_string()),
+            _ => ("eye closed".to_string(), "eye closed".to_string()),
+        };
+        t.row_owned(vec![crossings.to_string(), loss.to_string(), xt, total]);
+    }
+    t
+}
+
+fn main() {
+    let layout = Layout::macrochip();
+    let model = TuningModel::silicon();
+
+    println!(
+        "Sensitivity 1: ring tuning power vs. thermal spread (paper budgets 0.1 mW/ring = 1 K)\n"
+    );
+    println!("{}", tuning_table().to_text());
+    for id in [NetworkId::PointToPoint, NetworkId::TokenRing] {
+        println!(
+            "  {}: tuning power equals laser power at a {:.1} K average offset",
+            id.name(),
+            model.break_even_kelvin(id, &layout)
+        );
+    }
+
+    println!("\nSensitivity 2: waveguide-crossing penalties (the paper's §4.5 'negligible' assumption)\n");
+    println!("{}", crosstalk_table().to_text());
+    let worst = torus_worst_case_crossings(8, 64);
+    println!(
+        "  a worst-case adapted-torus path crossing every waveguide bundle would see \
+         {worst} crossings ({} of loss) — the two-layer substrate exists precisely \
+         to avoid this.",
+        CrossingModel::bogaerts_optimized().path_loss(worst)
+    );
+
+    let dir = macrochip_bench::results_dir();
+    std::fs::write(dir.join("sensitivity_tuning.csv"), tuning_table().to_csv())
+        .expect("write tuning csv");
+    std::fs::write(
+        dir.join("sensitivity_crosstalk.csv"),
+        crosstalk_table().to_csv(),
+    )
+    .expect("write crosstalk csv");
+    println!("\nwrote {}/sensitivity_*.csv", dir.display());
+}

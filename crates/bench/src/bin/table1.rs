@@ -1,0 +1,23 @@
+//! Regenerates **Table 1: Optical Component Properties** (paper §2).
+
+use macrochip::report::Table;
+use photonics::components::{Component, EnergyCost};
+
+fn main() {
+    let mut table = Table::new(&["Component", "Energy", "Signal Loss"]);
+    for c in Component::ALL {
+        let p = c.props();
+        let energy = match p.energy {
+            EnergyCost::Dynamic(e) => format!("{e} (dynamic)"),
+            EnergyCost::Static(e) => format!("{e} (static)"),
+            EnergyCost::Standing(p) => format!("{p} (standing)"),
+            EnergyCost::Negligible => "negligible".to_string(),
+        };
+        table.row(&[c.name(), &energy, &p.insertion_loss.to_string()]);
+    }
+    println!("Table 1: Optical Component Properties\n");
+    println!("{}", table.to_text());
+    let path = macrochip_bench::results_dir().join("table1.csv");
+    std::fs::write(&path, table.to_csv()).expect("write table1.csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,28 @@
+//! Regenerates **Table 4: Simulated Macrochip Configuration** (paper §5).
+
+use macrochip::prelude::*;
+use macrochip::report::Table;
+
+fn main() {
+    let c = MacrochipConfig::scaled();
+    let mut table = Table::new(&["Parameter", "Value"]);
+    table
+        .row(&["Number of sites", &c.grid.sites().to_string()])
+        .row(&["Shared L2 Cache per site", &format!("{} KB", c.l2_kb)])
+        .row(&[
+            "Bandwidth per site",
+            &format!("{} GB/sec", c.site_bandwidth_bytes_per_ns()),
+        ])
+        .row(&[
+            "Total peak bandwidth",
+            &format!("{} TB/sec", c.total_peak_bytes_per_ns() / 1024.0),
+        ])
+        .row(&["Cores per site", &c.cores_per_site.to_string()])
+        .row(&["Threads per core", &c.threads_per_core.to_string()])
+        .row(&["FPU per core", "1"]);
+    println!("Table 4: Simulated Macrochip Configuration\n");
+    println!("{}", table.to_text());
+    let path = macrochip_bench::results_dir().join("table4.csv");
+    std::fs::write(&path, table.to_csv()).expect("write table4.csv");
+    println!("wrote {}", path.display());
+}

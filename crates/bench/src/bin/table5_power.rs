@@ -1,0 +1,44 @@
+//! Regenerates **Table 5: Network Optical Power** (paper §6.3), with the
+//! paper's published values alongside for comparison.
+
+use macrochip::report::{fmt, Table};
+use photonics::geometry::Layout;
+use photonics::inventory::NetworkId;
+use photonics::power::NetworkPower;
+
+/// The paper's Table 5 rows: (network, loss factor, laser watts).
+const PAPER: [(NetworkId, f64, f64); 7] = [
+    (NetworkId::TokenRing, 19.0, 155.0),
+    (NetworkId::PointToPoint, 1.0, 8.0),
+    (NetworkId::CircuitSwitched, 30.0, 245.0),
+    (NetworkId::LimitedPointToPoint, 1.0, 8.0),
+    (NetworkId::TwoPhaseData, 5.0, 41.0),
+    (NetworkId::TwoPhaseDataAlt, 4.0, 65.5),
+    (NetworkId::TwoPhaseArbitration, 8.0, 1.0),
+];
+
+fn main() {
+    let layout = Layout::macrochip();
+    let mut table = Table::new(&[
+        "Network Type",
+        "Loss Factor",
+        "Laser Power (W)",
+        "Paper Factor",
+        "Paper Power (W)",
+    ]);
+    for (id, paper_factor, paper_watts) in PAPER {
+        let row = NetworkPower::for_network(id, &layout);
+        table.row_owned(vec![
+            id.name().to_string(),
+            format!("{}x", fmt(row.loss_factor, 0)),
+            fmt(row.laser.watts(), 1),
+            format!("{}x", fmt(paper_factor, 0)),
+            fmt(paper_watts, 1),
+        ]);
+    }
+    println!("Table 5: Network Optical Power (reproduced vs. paper)\n");
+    println!("{}", table.to_text());
+    let path = macrochip_bench::results_dir().join("table5_power.csv");
+    std::fs::write(&path, table.to_csv()).expect("write table5_power.csv");
+    println!("wrote {}", path.display());
+}

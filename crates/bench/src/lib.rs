@@ -1,0 +1,186 @@
+//! Shared support for the table/figure regeneration binaries.
+//!
+//! Every binary under `src/bin/` regenerates one artifact of the paper's
+//! evaluation (see DESIGN.md §5). The coherent-run grid behind Figures 7,
+//! 8, 9 and 10 is expensive, so it is computed once and cached as CSV in
+//! the results directory; the figure binaries share it.
+
+use macrochip::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+
+/// Where regenerated tables and CSV series are written. Override with
+/// `MACROCHIP_RESULTS`.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("MACROCHIP_RESULTS").unwrap_or_else(|_| "results".to_string());
+    let path = PathBuf::from(dir);
+    fs::create_dir_all(&path).expect("cannot create results directory");
+    path
+}
+
+/// Misses per core for the synthetic coherent workloads. Override with
+/// `MACROCHIP_OPS` to trade fidelity for speed.
+pub fn ops_per_core() -> u32 {
+    std::env::var("MACROCHIP_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150)
+}
+
+/// `MACROCHIP_FAST=1` shrinks the Figure 6 sweep windows for smoke runs.
+pub fn fast_mode() -> bool {
+    std::env::var("MACROCHIP_FAST").is_ok_and(|v| v == "1")
+}
+
+/// The six simulated architectures, figure order.
+pub fn all_networks() -> [NetworkKind; 6] {
+    NetworkKind::ALL
+}
+
+/// Parses a network display name back into its kind.
+pub fn network_from_name(name: &str) -> Option<NetworkKind> {
+    NetworkKind::ALL.into_iter().find(|k| k.name() == name)
+}
+
+/// Serializes coherent runs to CSV (for caching and plotting).
+pub fn runs_to_csv(runs: &[CoherentRun]) -> String {
+    let mut out = String::from(
+        "network,workload,makespan_ps,mean_op_latency_ps,ops,delivered_bytes,routed_bytes,packets\n",
+    );
+    for r in runs {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            r.network.name(),
+            r.workload,
+            r.makespan.as_ps(),
+            r.mean_op_latency.as_ps(),
+            r.ops_completed,
+            r.delivered_bytes,
+            r.routed_bytes,
+            r.packets,
+        ));
+    }
+    out
+}
+
+/// Parses the CSV produced by [`runs_to_csv`].
+pub fn runs_from_csv(csv: &str) -> Option<Vec<CoherentRun>> {
+    let mut runs = Vec::new();
+    for line in csv.lines().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 8 {
+            return None;
+        }
+        runs.push(CoherentRun {
+            network: network_from_name(f[0])?,
+            workload: f[1].to_string(),
+            makespan: desim::Span::from_ps(f[2].parse().ok()?),
+            mean_op_latency: desim::Span::from_ps(f[3].parse().ok()?),
+            ops_completed: f[4].parse().ok()?,
+            delivered_bytes: f[5].parse().ok()?,
+            routed_bytes: f[6].parse().ok()?,
+            packets: f[7].parse().ok()?,
+        });
+    }
+    Some(runs)
+}
+
+/// Runs (or loads from cache) the full coherent grid behind Figures 7, 8,
+/// 9 and 10: every workload of the Figure 7 suite on every network.
+pub fn coherent_grid() -> Vec<CoherentRun> {
+    let ops = ops_per_core();
+    let cache = results_dir().join(format!("coherent_runs_ops{ops}.csv"));
+    if let Ok(csv) = fs::read_to_string(&cache) {
+        if let Some(runs) = runs_from_csv(&csv) {
+            if !runs.is_empty() {
+                eprintln!(
+                    "[coherent grid] loaded {} cached runs from {}",
+                    runs.len(),
+                    cache.display()
+                );
+                return runs;
+            }
+        }
+    }
+    let config = MacrochipConfig::scaled();
+    let suite = WorkloadSpec::figure7_suite(ops);
+    let mut runs = Vec::new();
+    for spec in &suite {
+        for kind in all_networks() {
+            eprintln!("[coherent grid] {} on {} ...", spec.name(), kind.name());
+            let start = std::time::Instant::now();
+            let run = run_coherent(kind, spec, &config, 0xFEED);
+            eprintln!(
+                "[coherent grid]   makespan {:.2} us, {} ops, {:.1}s wall",
+                run.makespan.as_ns_f64() / 1e3,
+                run.ops_completed,
+                start.elapsed().as_secs_f64()
+            );
+            runs.push(run);
+        }
+    }
+    fs::write(&cache, runs_to_csv(&runs)).expect("cannot write results cache");
+    runs
+}
+
+/// Workload column order of Figures 7/8/10.
+pub fn workload_order(runs: &[CoherentRun]) -> Vec<String> {
+    let mut names = Vec::new();
+    for r in runs {
+        if !names.contains(&r.workload) {
+            names.push(r.workload.clone());
+        }
+    }
+    names
+}
+
+/// Finds the run of (workload, network) in the grid.
+pub fn find_run<'a>(
+    runs: &'a [CoherentRun],
+    workload: &str,
+    kind: NetworkKind,
+) -> Option<&'a CoherentRun> {
+    runs.iter()
+        .find(|r| r.workload == workload && r.network == kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::Span;
+
+    #[test]
+    fn csv_round_trips() {
+        let runs = vec![CoherentRun {
+            network: NetworkKind::TokenRing,
+            workload: "Radix".to_string(),
+            makespan: Span::from_ns(1234),
+            mean_op_latency: Span::from_ns(56),
+            ops_completed: 99,
+            delivered_bytes: 1_000,
+            routed_bytes: 0,
+            packets: 42,
+        }];
+        let back = runs_from_csv(&runs_to_csv(&runs)).expect("parse");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].workload, "Radix");
+        assert_eq!(back[0].network, NetworkKind::TokenRing);
+        assert_eq!(back[0].makespan, Span::from_ns(1234));
+    }
+
+    #[test]
+    fn network_names_round_trip() {
+        for k in NetworkKind::ALL {
+            assert_eq!(network_from_name(k.name()), Some(k));
+        }
+        assert_eq!(network_from_name("bogus"), None);
+    }
+
+    #[test]
+    fn malformed_csv_rejected() {
+        assert!(runs_from_csv("header\nnot,enough,fields").is_none());
+    }
+}

@@ -1,0 +1,212 @@
+//! The per-site shared L2 cache: set-associative, LRU (paper Table 4:
+//! 256 KB shared by the site's 8 cores).
+
+use crate::protocol::MoesiState;
+
+/// Cache line size in bytes (one 64-byte network data packet).
+pub const LINE_BYTES: u64 = 64;
+
+/// A set-associative, LRU, MOESI-state-tracking cache.
+///
+/// Addresses are byte addresses; the cache indexes by line.
+///
+/// # Example
+///
+/// ```
+/// use coherence::cache::SetAssocCache;
+/// use coherence::protocol::MoesiState;
+///
+/// let mut l2 = SetAssocCache::new(256 * 1024, 16);
+/// assert_eq!(l2.probe(0x1000), None);
+/// l2.insert(0x1000, MoesiState::Exclusive);
+/// assert_eq!(l2.probe(0x1000), Some(MoesiState::Exclusive));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: Vec<Vec<Line>>, // per set, MRU-first order
+    ways: usize,
+    set_mask: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64, // full line address (addr >> 6)
+    state: MoesiState,
+}
+
+impl SetAssocCache {
+    /// Creates a cache of `capacity_bytes` with `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the resulting set count is a nonzero power of two.
+    pub fn new(capacity_bytes: u64, ways: usize) -> SetAssocCache {
+        assert!(ways > 0, "associativity must be positive");
+        let lines = capacity_bytes / LINE_BYTES;
+        let num_sets = (lines / ways as u64) as usize;
+        assert!(
+            num_sets > 0 && num_sets.is_power_of_two(),
+            "set count must be a nonzero power of two (got {num_sets})"
+        );
+        SetAssocCache {
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+            set_mask: num_sets as u64 - 1,
+        }
+    }
+
+    fn line_addr(addr: u64) -> u64 {
+        addr / LINE_BYTES
+    }
+
+    fn set_index(&self, line: u64) -> usize {
+        (line & self.set_mask) as usize
+    }
+
+    /// Looks up `addr`, promoting the line to MRU on a hit.
+    pub fn probe(&mut self, addr: u64) -> Option<MoesiState> {
+        let line = Self::line_addr(addr);
+        let set = self.set_index(line);
+        let pos = self.sets[set].iter().position(|l| l.tag == line)?;
+        let entry = self.sets[set].remove(pos);
+        self.sets[set].insert(0, entry);
+        Some(entry.state)
+    }
+
+    /// Looks up `addr` without disturbing LRU order.
+    pub fn peek(&self, addr: u64) -> Option<MoesiState> {
+        let line = Self::line_addr(addr);
+        let set = self.set_index(line);
+        self.sets[set]
+            .iter()
+            .find(|l| l.tag == line)
+            .map(|l| l.state)
+    }
+
+    /// Inserts (or overwrites) `addr` in `state`; returns the evicted
+    /// victim's `(line_address_in_bytes, state)` if the set was full.
+    pub fn insert(&mut self, addr: u64, state: MoesiState) -> Option<(u64, MoesiState)> {
+        let line = Self::line_addr(addr);
+        let set = self.set_index(line);
+        if let Some(pos) = self.sets[set].iter().position(|l| l.tag == line) {
+            self.sets[set].remove(pos);
+        }
+        self.sets[set].insert(0, Line { tag: line, state });
+        if self.sets[set].len() > self.ways {
+            let victim = self.sets[set].pop().expect("set was over-full");
+            Some((victim.tag * LINE_BYTES, victim.state))
+        } else {
+            None
+        }
+    }
+
+    /// Changes the state of a resident line; no-op if absent.
+    pub fn set_state(&mut self, addr: u64, state: MoesiState) {
+        let line = Self::line_addr(addr);
+        let set = self.set_index(line);
+        if let Some(l) = self.sets[set].iter_mut().find(|l| l.tag == line) {
+            if state == MoesiState::Invalid {
+                let pos = self.sets[set]
+                    .iter()
+                    .position(|l| l.tag == line)
+                    .expect("line just found");
+                self.sets[set].remove(pos);
+            } else {
+                l.state = state;
+            }
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use MoesiState::*;
+
+    #[test]
+    fn geometry_of_the_papers_l2() {
+        let l2 = SetAssocCache::new(256 * 1024, 16);
+        // 256 KB / 64 B = 4096 lines; 16 ways -> 256 sets.
+        assert_eq!(l2.capacity_lines(), 4096);
+        assert_eq!(l2.sets.len(), 256);
+    }
+
+    #[test]
+    fn probe_miss_then_hit() {
+        let mut c = SetAssocCache::new(4096, 2);
+        assert_eq!(c.probe(0x40), None);
+        c.insert(0x40, Shared);
+        assert_eq!(c.probe(0x40), Some(Shared));
+        // Same line, different byte offset.
+        assert_eq!(c.probe(0x7F), Some(Shared));
+        // Different line.
+        assert_eq!(c.probe(0x80), None);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_way() {
+        let mut c = SetAssocCache::new(4096, 2); // 32 sets
+        let set_stride = 32 * LINE_BYTES;
+        let (a, b, d) = (0, set_stride, 2 * set_stride); // same set
+        c.insert(a, Exclusive);
+        c.insert(b, Exclusive);
+        c.probe(a); // a becomes MRU; b is LRU
+        let evicted = c.insert(d, Exclusive).expect("set overflows");
+        assert_eq!(evicted.0, b);
+        assert_eq!(c.peek(a), Some(Exclusive));
+        assert_eq!(c.peek(b), None);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place_without_eviction() {
+        let mut c = SetAssocCache::new(4096, 2);
+        c.insert(0, Shared);
+        assert!(c.insert(0, Modified).is_none());
+        assert_eq!(c.peek(0), Some(Modified));
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn set_state_to_invalid_removes_the_line() {
+        let mut c = SetAssocCache::new(4096, 2);
+        c.insert(0, Shared);
+        c.set_state(0, Invalid);
+        assert_eq!(c.peek(0), None);
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn set_state_on_absent_line_is_a_no_op() {
+        let mut c = SetAssocCache::new(4096, 2);
+        c.set_state(0x1234, Owned);
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut c = SetAssocCache::new(4096, 2); // 32 sets
+        for i in 0..32u64 {
+            c.insert(i * LINE_BYTES, Exclusive);
+        }
+        assert_eq!(c.resident_lines(), 32);
+        for i in 0..32u64 {
+            assert_eq!(c.peek(i * LINE_BYTES), Some(Exclusive), "set {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        let _ = SetAssocCache::new(3 * 64, 1);
+    }
+}

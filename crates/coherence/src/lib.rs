@@ -1,0 +1,40 @@
+//! MOESI cache coherence for the macrochip (paper §5).
+//!
+//! The paper drives its network simulator with L2-miss coherence traffic
+//! from a MOESI multiprocessor cache model. This crate rebuilds that
+//! machinery:
+//!
+//! * [`protocol`] — the MOESI state machine as a pure transition table;
+//! * [`cache`] — the per-site shared L2 (256 KB, 16-way, LRU);
+//! * [`directory`] — full-map directories, address-interleaved across
+//!   home sites;
+//! * [`mshr`] — finite miss-status holding registers (the paper models
+//!   finite MSHRs, §5);
+//! * [`ops`] — coherence operations and the message sequences that
+//!   satisfy them (request → home; forwards, invalidations, data, acks);
+//! * [`engine`] — the closed-loop [`netcore::PacketSource`] that issues
+//!   operations from per-core workloads, expands them into packets, and
+//!   tracks completion latency per coherence operation (Figure 8's
+//!   metric).
+//!
+//! # Example
+//!
+//! ```
+//! use coherence::protocol::{MoesiState, local_write};
+//!
+//! // Writing a Shared line requires invalidations and yields Modified.
+//! let t = local_write(MoesiState::Shared);
+//! assert!(t.needs_invalidations);
+//! assert_eq!(t.next, MoesiState::Modified);
+//! ```
+
+pub mod cache;
+pub mod directory;
+pub mod engine;
+pub mod mshr;
+pub mod ops;
+pub mod protocol;
+
+pub use engine::{CoherenceEngine, EngineConfig, OpStats};
+pub use ops::{OpKind, OpSpec};
+pub use protocol::MoesiState;

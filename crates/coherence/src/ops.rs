@@ -1,0 +1,223 @@
+//! Coherence operations: what an L2 miss asks the network to do.
+//!
+//! The CPU side of the paper's simulator produces L2 misses annotated with
+//! coherence information (who owns the line, who shares it); the network
+//! simulator expands each into the message sequence the MOESI protocol
+//! needs (§5). [`OpSpec`] is that annotated miss; the
+//! [`engine`](crate::engine) turns it into packets.
+
+use desim::Span;
+use netcore::SiteId;
+use std::collections::VecDeque;
+
+/// What kind of permission an L2 miss requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Read miss: fetch a readable copy.
+    Read,
+    /// Write miss: fetch an exclusive copy, invalidating sharers.
+    Write,
+    /// Upgrade: the requester holds a shared copy and only needs
+    /// permission (invalidations, no data).
+    Upgrade,
+}
+
+/// One coherence operation: an L2 miss with its directory context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpSpec {
+    /// The site whose L2 missed.
+    pub requester: SiteId,
+    /// The line's directory home (address-interleaved).
+    pub home: SiteId,
+    /// Requested permission.
+    pub kind: OpKind,
+    /// The site holding the line dirty (M/O), if any.
+    pub owner: Option<SiteId>,
+    /// Sites whose copies must be invalidated (writes/upgrades only),
+    /// excluding the requester.
+    pub sharers: Vec<SiteId>,
+    /// The missing line's address (used for MSHR allocation/merging).
+    pub line: u64,
+}
+
+impl OpSpec {
+    /// Number of acknowledgment messages the requester must collect.
+    pub fn acks_needed(&self) -> usize {
+        match self.kind {
+            OpKind::Read => 0,
+            OpKind::Write | OpKind::Upgrade => self.sharers.len(),
+        }
+    }
+
+    /// Whether the operation completes with a data message.
+    pub fn needs_data(&self) -> bool {
+        !matches!(self.kind, OpKind::Upgrade)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is self-contradictory (requester listed as its
+    /// own sharer or owner, or a read carrying sharers to invalidate).
+    pub fn validate(&self) {
+        assert_ne!(self.owner, Some(self.requester), "requester owns the line");
+        assert!(
+            !self.sharers.contains(&self.requester),
+            "requester listed among sharers to invalidate"
+        );
+        if self.kind == OpKind::Read {
+            assert!(
+                self.sharers.is_empty(),
+                "read misses never invalidate sharers"
+            );
+        }
+    }
+}
+
+/// The next miss a core will take: its compute gap (time spent on
+/// instructions and L2 hits since the previous miss completed) followed by
+/// the coherence operation itself.
+#[derive(Debug, Clone)]
+pub struct NextMiss {
+    /// Compute time before the miss issues.
+    pub gap: Span,
+    /// The miss.
+    pub op: OpSpec,
+}
+
+/// A per-core producer of L2 misses. Implemented by the synthetic and
+/// application workload models.
+pub trait OpSource {
+    /// The next miss for `core` of `site`, or `None` when that core has
+    /// finished its share of the work.
+    fn next_miss(&mut self, site: SiteId, core: usize) -> Option<NextMiss>;
+}
+
+/// A canned miss script, mainly for tests: each core pops from its own
+/// queue.
+#[derive(Debug, Default)]
+pub struct ScriptedSource {
+    per_core: std::collections::HashMap<(SiteId, usize), VecDeque<NextMiss>>,
+}
+
+impl ScriptedSource {
+    /// Creates an empty script.
+    pub fn new() -> ScriptedSource {
+        ScriptedSource::default()
+    }
+
+    /// Appends a miss to a core's script.
+    pub fn push(&mut self, site: SiteId, core: usize, miss: NextMiss) {
+        self.per_core
+            .entry((site, core))
+            .or_default()
+            .push_back(miss);
+    }
+}
+
+impl OpSource for ScriptedSource {
+    fn next_miss(&mut self, site: SiteId, core: usize) -> Option<NextMiss> {
+        self.per_core.get_mut(&(site, core))?.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: usize) -> SiteId {
+        SiteId::from_index(i)
+    }
+
+    fn read(req: usize, home: usize) -> OpSpec {
+        OpSpec {
+            requester: s(req),
+            home: s(home),
+            kind: OpKind::Read,
+            owner: None,
+            sharers: vec![],
+            line: 0,
+        }
+    }
+
+    #[test]
+    fn reads_need_data_and_no_acks() {
+        let op = read(0, 1);
+        op.validate();
+        assert_eq!(op.acks_needed(), 0);
+        assert!(op.needs_data());
+    }
+
+    #[test]
+    fn writes_count_acks_per_sharer() {
+        let op = OpSpec {
+            requester: s(0),
+            home: s(1),
+            kind: OpKind::Write,
+            owner: None,
+            sharers: vec![s(2), s(3), s(4)],
+            line: 0,
+        };
+        op.validate();
+        assert_eq!(op.acks_needed(), 3);
+        assert!(op.needs_data());
+    }
+
+    #[test]
+    fn upgrades_need_no_data() {
+        let op = OpSpec {
+            requester: s(0),
+            home: s(1),
+            kind: OpKind::Upgrade,
+            owner: None,
+            sharers: vec![s(2)],
+            line: 0,
+        };
+        op.validate();
+        assert!(!op.needs_data());
+        assert_eq!(op.acks_needed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "requester listed among sharers")]
+    fn self_sharer_rejected() {
+        let op = OpSpec {
+            requester: s(0),
+            home: s(1),
+            kind: OpKind::Write,
+            owner: None,
+            sharers: vec![s(0)],
+            line: 0,
+        };
+        op.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "read misses never invalidate")]
+    fn read_with_sharers_rejected() {
+        let mut op = read(0, 1);
+        op.sharers = vec![s(2)];
+        op.validate();
+    }
+
+    #[test]
+    fn scripted_source_pops_in_order() {
+        let mut src = ScriptedSource::new();
+        for i in 0..3 {
+            src.push(
+                s(0),
+                0,
+                NextMiss {
+                    gap: Span::from_ns(i),
+                    op: read(0, 1),
+                },
+            );
+        }
+        assert_eq!(src.next_miss(s(0), 0).unwrap().gap, Span::from_ns(0));
+        assert_eq!(src.next_miss(s(0), 0).unwrap().gap, Span::from_ns(1));
+        assert_eq!(src.next_miss(s(0), 0).unwrap().gap, Span::from_ns(2));
+        assert!(src.next_miss(s(0), 0).is_none());
+        assert!(src.next_miss(s(1), 0).is_none());
+    }
+}

@@ -1,0 +1,221 @@
+//! The MOESI protocol as a pure transition table.
+//!
+//! The simulator's caches and directories consult these functions; keeping
+//! them pure makes the protocol's invariants easy to test exhaustively
+//! (all five states × all events fit in a page).
+
+use std::fmt;
+
+/// MOESI stable states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MoesiState {
+    /// Modified: dirty, exclusive.
+    Modified,
+    /// Owned: dirty, shared; this cache services requests.
+    Owned,
+    /// Exclusive: clean, exclusive.
+    Exclusive,
+    /// Shared: clean (or peer-owned), read-only.
+    Shared,
+    /// Invalid: not present.
+    Invalid,
+}
+
+impl MoesiState {
+    /// All five states.
+    pub const ALL: [MoesiState; 5] = [
+        MoesiState::Modified,
+        MoesiState::Owned,
+        MoesiState::Exclusive,
+        MoesiState::Shared,
+        MoesiState::Invalid,
+    ];
+
+    /// True when the local copy may be read without any network traffic.
+    pub fn is_readable(self) -> bool {
+        !matches!(self, MoesiState::Invalid)
+    }
+
+    /// True when the local copy may be written without any network traffic.
+    pub fn is_writable(self) -> bool {
+        matches!(self, MoesiState::Modified | MoesiState::Exclusive)
+    }
+
+    /// True when this cache must supply data to remote requesters.
+    pub fn supplies_data(self) -> bool {
+        matches!(
+            self,
+            MoesiState::Modified | MoesiState::Owned | MoesiState::Exclusive
+        )
+    }
+
+    /// True when the copy differs from memory.
+    pub fn is_dirty(self) -> bool {
+        matches!(self, MoesiState::Modified | MoesiState::Owned)
+    }
+}
+
+impl fmt::Display for MoesiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            MoesiState::Modified => 'M',
+            MoesiState::Owned => 'O',
+            MoesiState::Exclusive => 'E',
+            MoesiState::Shared => 'S',
+            MoesiState::Invalid => 'I',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// Outcome of applying a processor-side event to a line's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// The line's state after the event completes.
+    pub next: MoesiState,
+    /// The event misses: data (or permission) must be fetched.
+    pub is_miss: bool,
+    /// Other caches' copies must be invalidated first.
+    pub needs_invalidations: bool,
+}
+
+/// Processor read against the local state.
+pub fn local_read(state: MoesiState) -> Transition {
+    match state {
+        MoesiState::Invalid => Transition {
+            // Final state (S or E) depends on whether other sharers exist;
+            // the directory decides. S is the conservative landing state;
+            // the engine upgrades to E on an unshared response.
+            next: MoesiState::Shared,
+            is_miss: true,
+            needs_invalidations: false,
+        },
+        s => Transition {
+            next: s,
+            is_miss: false,
+            needs_invalidations: false,
+        },
+    }
+}
+
+/// Processor write against the local state.
+pub fn local_write(state: MoesiState) -> Transition {
+    match state {
+        MoesiState::Modified => Transition {
+            next: MoesiState::Modified,
+            is_miss: false,
+            needs_invalidations: false,
+        },
+        MoesiState::Exclusive => Transition {
+            // Silent E -> M upgrade.
+            next: MoesiState::Modified,
+            is_miss: false,
+            needs_invalidations: false,
+        },
+        MoesiState::Owned | MoesiState::Shared => Transition {
+            // Upgrade miss: permission only, but sharers must be killed.
+            next: MoesiState::Modified,
+            is_miss: true,
+            needs_invalidations: true,
+        },
+        MoesiState::Invalid => Transition {
+            next: MoesiState::Modified,
+            is_miss: true,
+            needs_invalidations: true,
+        },
+    }
+}
+
+/// A remote processor reads a line this cache holds.
+pub fn remote_read(state: MoesiState) -> MoesiState {
+    match state {
+        // Dirty suppliers retain ownership in MOESI (no writeback).
+        MoesiState::Modified | MoesiState::Owned => MoesiState::Owned,
+        MoesiState::Exclusive | MoesiState::Shared => MoesiState::Shared,
+        MoesiState::Invalid => MoesiState::Invalid,
+    }
+}
+
+/// A remote processor writes a line this cache holds.
+pub fn remote_write(_state: MoesiState) -> MoesiState {
+    MoesiState::Invalid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use MoesiState::*;
+
+    #[test]
+    fn read_hits_do_not_change_state() {
+        for s in [Modified, Owned, Exclusive, Shared] {
+            let t = local_read(s);
+            assert_eq!(t.next, s);
+            assert!(!t.is_miss);
+        }
+    }
+
+    #[test]
+    fn read_miss_from_invalid() {
+        let t = local_read(Invalid);
+        assert!(t.is_miss);
+        assert!(!t.needs_invalidations);
+        assert!(t.next.is_readable());
+    }
+
+    #[test]
+    fn write_hits_only_in_m_and_e() {
+        for s in MoesiState::ALL {
+            let t = local_write(s);
+            assert_eq!(!t.is_miss, matches!(s, Modified | Exclusive), "{s}");
+            assert_eq!(t.next, Modified);
+        }
+    }
+
+    #[test]
+    fn shared_and_owned_writes_need_invalidations() {
+        assert!(local_write(Shared).needs_invalidations);
+        assert!(local_write(Owned).needs_invalidations);
+        assert!(local_write(Invalid).needs_invalidations);
+        assert!(!local_write(Exclusive).needs_invalidations);
+    }
+
+    #[test]
+    fn remote_read_preserves_dirty_ownership() {
+        assert_eq!(remote_read(Modified), Owned);
+        assert_eq!(remote_read(Owned), Owned);
+        assert_eq!(remote_read(Exclusive), Shared);
+        assert_eq!(remote_read(Shared), Shared);
+    }
+
+    #[test]
+    fn remote_write_always_invalidates() {
+        for s in MoesiState::ALL {
+            assert_eq!(remote_write(s), Invalid);
+        }
+    }
+
+    #[test]
+    fn dirty_states_supply_data() {
+        assert!(Modified.supplies_data());
+        assert!(Owned.supplies_data());
+        assert!(Exclusive.supplies_data());
+        assert!(!Shared.supplies_data());
+        assert!(!Invalid.supplies_data());
+    }
+
+    #[test]
+    fn exactly_m_and_o_are_dirty() {
+        let dirty: Vec<_> = MoesiState::ALL.iter().filter(|s| s.is_dirty()).collect();
+        assert_eq!(dirty, vec![&Modified, &Owned]);
+    }
+
+    #[test]
+    fn writability_implies_readability() {
+        for s in MoesiState::ALL {
+            if s.is_writable() {
+                assert!(s.is_readable());
+            }
+        }
+    }
+}

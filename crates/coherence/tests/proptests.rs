@@ -1,0 +1,167 @@
+//! Property-based tests of the coherence substrate's invariants.
+
+use coherence::cache::{SetAssocCache, LINE_BYTES};
+use coherence::directory::{home_site, Directory};
+use coherence::protocol::{local_read, local_write, remote_read, remote_write, MoesiState};
+use netcore::SiteId;
+use proptest::prelude::*;
+
+/// A reference system: N caches (as state maps) plus a directory, driven
+/// by random reads/writes through the pure protocol functions.
+#[derive(Debug, Clone, Copy)]
+enum Access {
+    Read { site: usize, line: u64 },
+    Write { site: usize, line: u64 },
+}
+
+fn access_strategy(sites: usize, lines: u64) -> impl Strategy<Value = Access> {
+    (0..sites, 0..lines, proptest::bool::ANY).prop_map(|(site, line, w)| {
+        if w {
+            Access::Write { site, line }
+        } else {
+            Access::Read { site, line }
+        }
+    })
+}
+
+proptest! {
+    /// The single-writer invariant: after any access sequence, a line
+    /// writable in one cache is resident nowhere else, and at most one
+    /// cache holds it dirty.
+    #[test]
+    fn moesi_single_writer_invariant(
+        accesses in proptest::collection::vec(access_strategy(6, 8), 1..300)
+    ) {
+        let sites = 6;
+        let mut states = vec![std::collections::HashMap::<u64, MoesiState>::new(); sites];
+
+        for &a in &accesses {
+            match a {
+                Access::Read { site, line } => {
+                    let mine = states[site].get(&line).copied().unwrap_or(MoesiState::Invalid);
+                    let t = local_read(mine);
+                    if t.is_miss {
+                        // Everyone holding the line reacts to a remote read.
+                        let mut someone_supplies = false;
+                        for (i, s) in states.iter_mut().enumerate() {
+                            if i == site { continue; }
+                            if let Some(st) = s.get(&line).copied() {
+                                if st.supplies_data() { someone_supplies = true; }
+                                s.insert(line, remote_read(st));
+                            }
+                        }
+                        // The reader lands in S if shared, E if alone.
+                        let landing = if someone_supplies || states.iter().enumerate().any(|(i, s)| i != site && s.contains_key(&line)) {
+                            MoesiState::Shared
+                        } else {
+                            MoesiState::Exclusive
+                        };
+                        states[site].insert(line, landing);
+                    }
+                }
+                Access::Write { site, line } => {
+                    let mine = states[site].get(&line).copied().unwrap_or(MoesiState::Invalid);
+                    let t = local_write(mine);
+                    if t.needs_invalidations || t.is_miss {
+                        for (i, s) in states.iter_mut().enumerate() {
+                            if i == site { continue; }
+                            if s.contains_key(&line) {
+                                let st = s[&line];
+                                let next = remote_write(st);
+                                prop_assert_eq!(next, MoesiState::Invalid);
+                                s.remove(&line);
+                            }
+                        }
+                    }
+                    states[site].insert(line, MoesiState::Modified);
+                }
+            }
+
+            // Invariants after every step.
+            for line in 0..8u64 {
+                let holders: Vec<MoesiState> = states
+                    .iter()
+                    .filter_map(|s| s.get(&line).copied())
+                    .collect();
+                let writable = holders.iter().filter(|s| s.is_writable()).count();
+                let dirty = holders.iter().filter(|s| s.is_dirty()).count();
+                prop_assert!(writable <= 1, "line {line}: {writable} writable copies");
+                if writable == 1 {
+                    prop_assert_eq!(holders.len(), 1, "writable line {} also shared", line);
+                }
+                prop_assert!(dirty <= 1, "line {line}: {dirty} dirty copies");
+            }
+        }
+    }
+
+    /// The cache never exceeds its capacity, and a probe immediately after
+    /// an insert always hits with the inserted state.
+    #[test]
+    fn cache_capacity_and_probe_after_insert(
+        addrs in proptest::collection::vec(0u64..100_000, 1..500)
+    ) {
+        let mut c = SetAssocCache::new(4096, 4); // 64 lines
+        for &a in &addrs {
+            c.insert(a, MoesiState::Exclusive);
+            prop_assert_eq!(c.probe(a), Some(MoesiState::Exclusive));
+            prop_assert!(c.resident_lines() <= c.capacity_lines());
+        }
+    }
+
+    /// LRU never evicts the line that was just touched.
+    #[test]
+    fn lru_never_evicts_the_most_recent(
+        addrs in proptest::collection::vec(0u64..10_000, 2..300)
+    ) {
+        let mut c = SetAssocCache::new(2048, 2);
+        for &a in &addrs {
+            if let Some((victim, _)) = c.insert(a, MoesiState::Shared) {
+                prop_assert_ne!(victim / LINE_BYTES, a / LINE_BYTES);
+            }
+        }
+    }
+
+    /// Directory sharer bookkeeping: after random reads/writes/evictions,
+    /// the sharer count equals the distinct readers since the last write,
+    /// and `sharers_except` never contains its argument.
+    #[test]
+    fn directory_bookkeeping(ops in proptest::collection::vec((0usize..3, 0usize..8), 1..200)) {
+        let mut dir = Directory::new();
+        let mut reference: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        let line = 7u64;
+        for &(kind, site) in &ops {
+            let s = SiteId::from_index(site);
+            match kind {
+                0 => {
+                    dir.record_read(line, s);
+                    reference.insert(site);
+                }
+                1 => {
+                    dir.record_write(line, s);
+                    reference.clear();
+                    reference.insert(site);
+                }
+                _ => {
+                    dir.record_evict(line, s);
+                    reference.remove(&site);
+                }
+            }
+            let e = dir.entry(line);
+            prop_assert_eq!(e.sharer_count() as usize, reference.len());
+            for probe in 0..8 {
+                let p = SiteId::from_index(probe);
+                prop_assert!(!e.sharers_except(p).contains(&p));
+            }
+        }
+    }
+
+    /// Home assignment is stable and uniformly covers all sites.
+    #[test]
+    fn home_site_is_total_and_stable(line in 0u64..1u64 << 48) {
+        let h1 = home_site(line, 64);
+        let h2 = home_site(line, 64);
+        prop_assert_eq!(h1, h2);
+        prop_assert!(h1.index() < 64);
+        prop_assert_eq!(h1.index() as u64, line % 64);
+    }
+}

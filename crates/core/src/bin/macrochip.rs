@@ -1,0 +1,241 @@
+//! `macrochip` — command-line front end to the simulator.
+//!
+//! ```text
+//! macrochip tables
+//! macrochip sweep     --network p2p --pattern uniform --loads 0.1,0.3,0.6
+//! macrochip sustained --network all --pattern uniform
+//! macrochip coherent  --workload Swaptions --network all [--ops 40]
+//! macrochip mp        --collective butterfly [--bytes 1024] [--rounds 2]
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free.
+
+use desim::Time;
+use macrochip::prelude::*;
+use macrochip::report::{fmt, Table};
+use macrochip::runner::{drive, DriveLimits};
+use macrochip::sweep::{latency_vs_load, sustained_bandwidth};
+use std::process::ExitCode;
+use workloads::{Collective, MessagePassingWorkload};
+
+const USAGE: &str = "\
+macrochip — silicon-photonic multi-chip network simulator (ISCA 2010 reproduction)
+
+USAGE:
+    macrochip tables
+    macrochip sweep     --network <NET> --pattern <PAT> [--loads 0.1,0.3,...]
+    macrochip sustained --network <NET|all> --pattern <PAT>
+    macrochip coherent  --workload <NAME> --network <NET|all> [--ops <N>]
+    macrochip mp        --collective <COLL> [--bytes <B>] [--rounds <R>]
+
+NETWORKS:   p2p, limited, token, circuit, two-phase, two-phase-alt, all
+PATTERNS:   uniform, transpose, butterfly, neighbor, all-to-all, hotspot
+WORKLOADS:  Radix, Barnes, Blackscholes, Densities, Forces, Swaptions,
+            or a pattern name (synthetic, LS mix)
+COLLECTIVES: ring, butterfly, halo, all-to-all
+";
+
+fn parse_network(name: &str) -> Option<Vec<NetworkKind>> {
+    Some(match name {
+        "p2p" => vec![NetworkKind::PointToPoint],
+        "limited" => vec![NetworkKind::LimitedPointToPoint],
+        "token" => vec![NetworkKind::TokenRing],
+        "circuit" => vec![NetworkKind::CircuitSwitched],
+        "two-phase" => vec![NetworkKind::TwoPhase],
+        "two-phase-alt" => vec![NetworkKind::TwoPhaseAlt],
+        "all" => NetworkKind::ALL.to_vec(),
+        _ => return None,
+    })
+}
+
+fn parse_pattern(name: &str) -> Option<Pattern> {
+    Some(match name {
+        "uniform" => Pattern::Uniform,
+        "transpose" => Pattern::Transpose,
+        "butterfly" => Pattern::Butterfly,
+        "neighbor" => Pattern::Neighbor,
+        "all-to-all" => Pattern::AllToAll,
+        "hotspot" => Pattern::HotSpot,
+        _ => return None,
+    })
+}
+
+fn parse_collective(name: &str) -> Option<Collective> {
+    Some(match name {
+        "ring" => Collective::RingAllReduce,
+        "butterfly" => Collective::ButterflyExchange,
+        "halo" => Collective::HaloExchange,
+        "all-to-all" => Collective::AllToAllPersonalized,
+        _ => return None,
+    })
+}
+
+fn parse_workload(name: &str, ops: u32) -> Option<WorkloadSpec> {
+    if let Some(profile) = AppProfile::suite().into_iter().find(|p| p.name == name) {
+        return Some(WorkloadSpec::App(profile.with_ops_per_core(ops)));
+    }
+    parse_pattern(&name.to_lowercase()).map(|pattern| WorkloadSpec::Synthetic {
+        pattern,
+        mix: SharingMix::LessSharing,
+        ops_per_core: ops,
+    })
+}
+
+/// Pulls `--flag value` out of the argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn cmd_tables() -> Result<(), String> {
+    use photonics::geometry::Layout;
+    use photonics::inventory::ComponentCounts;
+    use photonics::power::NetworkPower;
+    let layout = Layout::macrochip();
+    let mut power = Table::new(&["Network", "Loss factor", "Laser (W)"]);
+    for row in NetworkPower::table5(&layout) {
+        power.row_owned(vec![
+            row.network.name().to_string(),
+            format!("{}x", fmt(row.loss_factor, 0)),
+            fmt(row.laser.watts(), 1),
+        ]);
+    }
+    println!("Table 5: network optical power\n\n{}", power.to_text());
+    let mut counts = Table::new(&["Network", "Tx", "Rx", "Wgs", "Switches"]);
+    for c in ComponentCounts::table6(&layout) {
+        counts.row_owned(vec![
+            c.network.name().to_string(),
+            c.transmitters.to_string(),
+            c.receivers.to_string(),
+            c.waveguides.to_string(),
+            c.switches.to_string(),
+        ]);
+    }
+    println!("Table 6: component counts\n\n{}", counts.to_text());
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let config = MacrochipConfig::scaled();
+    let kinds = parse_network(&flag(args, "--network").ok_or("missing --network")?)
+        .ok_or("unknown network")?;
+    let pattern = parse_pattern(&flag(args, "--pattern").ok_or("missing --pattern")?)
+        .ok_or("unknown pattern")?;
+    let loads: Vec<f64> = match flag(args, "--loads") {
+        Some(s) => s
+            .split(',')
+            .map(|x| x.parse().map_err(|_| format!("bad load {x}")))
+            .collect::<Result<_, _>>()?,
+        None => macrochip::sweep::figure6_loads(pattern),
+    };
+    let mut table = Table::new(&["Network", "Load (%)", "Mean latency (ns)", "Saturated"]);
+    for kind in kinds {
+        for p in latency_vs_load(kind, pattern, &loads, &config, SweepOptions::default()) {
+            table.row_owned(vec![
+                kind.name().to_string(),
+                fmt(p.offered * 100.0, 1),
+                fmt(p.mean_latency_ns, 2),
+                p.saturated.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.to_text());
+    Ok(())
+}
+
+fn cmd_sustained(args: &[String]) -> Result<(), String> {
+    let config = MacrochipConfig::scaled();
+    let kinds = parse_network(&flag(args, "--network").ok_or("missing --network")?)
+        .ok_or("unknown network")?;
+    let pattern = parse_pattern(&flag(args, "--pattern").ok_or("missing --pattern")?)
+        .ok_or("unknown pattern")?;
+    for kind in kinds {
+        let f = sustained_bandwidth(kind, pattern, &config, SweepOptions::default(), 0.01);
+        println!("{:<24} {:>5.1}% of peak", kind.name(), f * 100.0);
+    }
+    Ok(())
+}
+
+fn cmd_coherent(args: &[String]) -> Result<(), String> {
+    let config = MacrochipConfig::scaled();
+    let ops: u32 = flag(args, "--ops")
+        .map(|s| s.parse().map_err(|_| "bad --ops"))
+        .transpose()?
+        .unwrap_or(40);
+    let spec = parse_workload(&flag(args, "--workload").ok_or("missing --workload")?, ops)
+        .ok_or("unknown workload")?;
+    let kinds = parse_network(&flag(args, "--network").ok_or("missing --network")?)
+        .ok_or("unknown network")?;
+    let model = NetworkEnergyModel::default();
+    let mut table = Table::new(&["Network", "Makespan (us)", "Op latency (ns)", "EDP (nJ.s)"]);
+    for kind in kinds {
+        let run = run_coherent(kind, &spec, &config, 0xCAFE);
+        table.row_owned(vec![
+            kind.name().to_string(),
+            fmt(run.makespan.as_ns_f64() / 1e3, 2),
+            fmt(run.mean_op_latency.as_ns_f64(), 1),
+            format!("{:.3e}", model.edp(&run) * 1e9),
+        ]);
+    }
+    println!("Workload: {}\n\n{}", spec.name(), table.to_text());
+    Ok(())
+}
+
+fn cmd_mp(args: &[String]) -> Result<(), String> {
+    let config = MacrochipConfig::scaled();
+    let collective = parse_collective(&flag(args, "--collective").ok_or("missing --collective")?)
+        .ok_or("unknown collective")?;
+    let bytes: u32 = flag(args, "--bytes")
+        .map(|s| s.parse().map_err(|_| "bad --bytes"))
+        .transpose()?
+        .unwrap_or(1024);
+    let rounds: usize = flag(args, "--rounds")
+        .map(|s| s.parse().map_err(|_| "bad --rounds"))
+        .transpose()?
+        .unwrap_or(1);
+    for kind in NetworkKind::ALL {
+        let mut net = networks::build(kind, config);
+        let mut w = MessagePassingWorkload::new(&config.grid, collective, bytes, rounds);
+        let outcome = drive(
+            net.as_mut(),
+            &mut w,
+            DriveLimits {
+                deadline: Time::from_us(1_000_000),
+                max_stalled: usize::MAX,
+            },
+        );
+        if outcome.timed_out {
+            return Err(format!("{} timed out", kind.name()));
+        }
+        println!(
+            "{:<24} {:>9.2} us",
+            kind.name(),
+            w.finished_at().expect("completed").as_us_f64()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("tables") => cmd_tables(),
+        Some("sweep") => cmd_sweep(&args),
+        Some("sustained") => cmd_sustained(&args),
+        Some("coherent") => cmd_coherent(&args),
+        Some("mp") => cmd_mp(&args),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Energy accounting and energy-delay products (§6.3, Figures 9 and 10).
+//!
+//! Total energy of a run is:
+//!
+//! * **static optical power** — lasers (Table 5) plus ring-tuning heaters,
+//!   burned for the whole makespan; the two-phase configurations also pay
+//!   for their arbitration network;
+//! * **dynamic transceiver energy** — modulator + receiver, 100 fJ/bit on
+//!   every byte the network delivered;
+//! * **electronic router energy** — 60 pJ/byte on every byte the limited
+//!   point-to-point network forwarded (Figure 9's numerator).
+//!
+//! The energy-delay product (Figure 10) multiplies total energy by the
+//! run's makespan and is reported normalized to the point-to-point
+//! network.
+
+use crate::experiment::CoherentRun;
+use netcore::NetworkKind;
+use photonics::geometry::Layout;
+use photonics::inventory::NetworkId;
+use photonics::power::{dynamic_joules_per_byte, router_joules_per_byte, NetworkPower};
+
+/// Energy totals of one coherent run, in joules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Laser + tuning energy over the makespan.
+    pub static_j: f64,
+    /// Modulator + receiver energy on delivered bytes.
+    pub dynamic_j: f64,
+    /// Electronic router energy on forwarded bytes.
+    pub router_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total_j(&self) -> f64 {
+        self.static_j + self.dynamic_j + self.router_j
+    }
+
+    /// Router energy as a fraction of the total (Figure 9's metric).
+    pub fn router_fraction(&self) -> f64 {
+        if self.total_j() == 0.0 {
+            0.0
+        } else {
+            self.router_j / self.total_j()
+        }
+    }
+}
+
+/// The per-network energy model.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkEnergyModel {
+    layout: Layout,
+}
+
+impl NetworkEnergyModel {
+    /// Builds the model for a layout (Table 5 powers are layout-derived).
+    pub fn new(layout: Layout) -> NetworkEnergyModel {
+        NetworkEnergyModel { layout }
+    }
+
+    /// Static power of `kind` in watts: laser + tuning, plus the
+    /// arbitration network for the two-phase configurations.
+    pub fn static_watts(&self, kind: NetworkKind) -> f64 {
+        let data = NetworkPower::for_network(kind.power_id(), &self.layout);
+        let mut w = data.static_total(&self.layout).watts();
+        if matches!(kind, NetworkKind::TwoPhase | NetworkKind::TwoPhaseAlt) {
+            let arb = NetworkPower::for_network(NetworkId::TwoPhaseArbitration, &self.layout);
+            w += arb.static_total(&self.layout).watts();
+        }
+        w
+    }
+
+    /// Full energy breakdown of a coherent run.
+    pub fn energy(&self, run: &CoherentRun) -> EnergyBreakdown {
+        let seconds = run.makespan.as_secs_f64();
+        EnergyBreakdown {
+            static_j: self.static_watts(run.network) * seconds,
+            dynamic_j: dynamic_joules_per_byte() * run.delivered_bytes as f64,
+            router_j: router_joules_per_byte() * run.routed_bytes as f64,
+        }
+    }
+
+    /// Energy-delay product of a run, in joule-seconds.
+    pub fn edp(&self, run: &CoherentRun) -> f64 {
+        self.energy(run).total_j() * run.makespan.as_secs_f64()
+    }
+}
+
+impl Default for NetworkEnergyModel {
+    fn default() -> Self {
+        NetworkEnergyModel::new(Layout::macrochip())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::Span;
+
+    fn run_with(network: NetworkKind, makespan_us: u64, bytes: u64, routed: u64) -> CoherentRun {
+        CoherentRun {
+            network,
+            workload: "test".to_string(),
+            makespan: Span::from_us(makespan_us),
+            mean_op_latency: Span::from_ns(100),
+            ops_completed: 1,
+            delivered_bytes: bytes,
+            routed_bytes: routed,
+            packets: 1,
+        }
+    }
+
+    #[test]
+    fn static_power_orders_like_table5() {
+        let m = NetworkEnergyModel::default();
+        let p2p = m.static_watts(NetworkKind::PointToPoint);
+        assert!((p2p - 9.0112).abs() < 0.1, "p2p static {p2p}"); // 8.2 laser + 0.8 tuning
+        assert!(m.static_watts(NetworkKind::TokenRing) > 10.0 * p2p);
+        assert!(m.static_watts(NetworkKind::CircuitSwitched) > 20.0 * p2p);
+        assert!(m.static_watts(NetworkKind::TwoPhase) > 4.0 * p2p);
+    }
+
+    #[test]
+    fn two_phase_includes_arbitration_network() {
+        let m = NetworkEnergyModel::default();
+        let data_only = NetworkPower::for_network(NetworkId::TwoPhaseData, &Layout::macrochip())
+            .static_total(&Layout::macrochip())
+            .watts();
+        assert!(m.static_watts(NetworkKind::TwoPhase) > data_only + 0.9);
+    }
+
+    #[test]
+    fn dynamic_energy_scales_with_bytes() {
+        let m = NetworkEnergyModel::default();
+        let a = m.energy(&run_with(NetworkKind::PointToPoint, 1, 1_000_000, 0));
+        let b = m.energy(&run_with(NetworkKind::PointToPoint, 1, 2_000_000, 0));
+        assert!((b.dynamic_j / a.dynamic_j - 2.0).abs() < 1e-9);
+        // 1 MB at 800 fJ/B = 0.8 uJ.
+        assert!((a.dynamic_j - 0.8e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn router_energy_only_when_routed() {
+        let m = NetworkEnergyModel::default();
+        let none = m.energy(&run_with(NetworkKind::LimitedPointToPoint, 1, 1_000, 0));
+        assert_eq!(none.router_j, 0.0);
+        let routed = m.energy(&run_with(NetworkKind::LimitedPointToPoint, 1, 1_000, 1_000));
+        // 1000 B at 60 pJ/B = 60 nJ.
+        assert!((routed.router_j - 60e-9).abs() < 1e-15);
+        assert!(routed.router_fraction() > 0.0);
+    }
+
+    #[test]
+    fn edp_penalizes_slow_and_hungry_networks() {
+        let m = NetworkEnergyModel::default();
+        // Same work: the token ring takes 3x longer at ~18x the static
+        // power; its EDP must be far worse than p2p's.
+        let p2p = run_with(NetworkKind::PointToPoint, 10, 1_000_000, 0);
+        let ring = run_with(NetworkKind::TokenRing, 30, 1_000_000, 0);
+        let ratio = m.edp(&ring) / m.edp(&p2p);
+        assert!(ratio > 100.0, "EDP ratio {ratio}");
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let m = NetworkEnergyModel::default();
+        let e = m.energy(&run_with(
+            NetworkKind::LimitedPointToPoint,
+            5,
+            500_000,
+            100_000,
+        ));
+        assert!((e.total_j() - (e.static_j + e.dynamic_j + e.router_j)).abs() < 1e-18);
+    }
+}

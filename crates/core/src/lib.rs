@@ -1,0 +1,55 @@
+//! # macrochip — a silicon-photonic multi-chip network simulator
+//!
+//! A full reproduction of *"Silicon-Photonic Network Architectures for
+//! Scalable, Power-Efficient Multi-Chip Systems"* (Koka et al., ISCA
+//! 2010): the macrochip platform, its five inter-site photonic network
+//! architectures, the MOESI coherence traffic that drives them, and the
+//! power/complexity models behind the paper's tables.
+//!
+//! This crate is the facade. It ties the substrates together:
+//!
+//! * [`runner`] — the event loop driving any [`netcore::Network`] from
+//!   any [`netcore::PacketSource`], with injection backpressure;
+//! * [`sweep`] — open-loop latency-vs-offered-load sweeps (Figure 6) and
+//!   saturation detection;
+//! * [`experiment`] — closed-loop coherent runs over application and
+//!   synthetic workloads (Figures 7 and 8);
+//! * [`energy`] — laser/tuning/transceiver/router energy accounting and
+//!   energy-delay products (Table 5, Figures 9 and 10);
+//! * [`report`] — plain-text/markdown/CSV table rendering for the
+//!   regeneration binaries.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use macrochip::prelude::*;
+//!
+//! // Run a small uniform-random load point on the point-to-point network.
+//! let config = MacrochipConfig::scaled();
+//! let point = macrochip::sweep::run_load_point(
+//!     NetworkKind::PointToPoint,
+//!     Pattern::Uniform,
+//!     0.10,               // 10% of the 320 B/ns per-site peak
+//!     &config,
+//!     SweepOptions { sim: desim::Span::from_us(2), ..SweepOptions::default() },
+//! );
+//! assert!(!point.saturated);
+//! assert!(point.mean_latency_ns < 30.0);
+//! ```
+
+pub mod energy;
+pub mod experiment;
+pub mod report;
+pub mod runner;
+pub mod sweep;
+
+/// One-stop imports for examples and binaries.
+pub mod prelude {
+    pub use crate::energy::{EnergyBreakdown, NetworkEnergyModel};
+    pub use crate::experiment::{run_coherent, CoherentRun, WorkloadSpec};
+    pub use crate::report::Table;
+    pub use crate::runner::{drive, DriveLimits, RunOutcome};
+    pub use crate::sweep::{run_load_point, sustained_bandwidth, LoadPoint, SweepOptions};
+    pub use netcore::{MacrochipConfig, Network, NetworkKind};
+    pub use workloads::{AppProfile, Pattern, SharingMix};
+}

@@ -1,0 +1,35 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! This crate is the substrate underneath the macrochip network simulator.
+//! It provides:
+//!
+//! * [`Time`] / [`Span`] — picosecond-resolution simulation instants and
+//!   durations with checked, unit-safe arithmetic;
+//! * [`EventQueue`] — a monotonic priority queue with FIFO tie-breaking, so
+//!   same-timestamp events pop in insertion order and simulations are fully
+//!   deterministic;
+//! * [`SimRng`] — a seeded random-number wrapper so every run is
+//!   reproducible;
+//! * [`stats`] — counters, running means, log-scale latency histograms and
+//!   time-weighted averages used by every higher-level crate.
+//!
+//! # Example
+//!
+//! ```
+//! use desim::{EventQueue, Span, Time};
+//!
+//! let mut q = EventQueue::new();
+//! q.push(Time::ZERO + Span::from_ns(5), "second");
+//! q.push(Time::ZERO + Span::from_ns(1), "first");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t, ev), (Time::from_ns(1), "first"));
+//! ```
+
+mod queue;
+mod rng;
+pub mod stats;
+mod time;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::{Span, Time};

@@ -1,0 +1,183 @@
+//! A deterministic event queue.
+
+use crate::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A future event: timestamp, insertion sequence number, payload.
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    event: E,
+}
+
+// `BinaryHeap` is a max-heap; reverse the ordering so the earliest (and,
+// among equals, the first-inserted) entry is popped first.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+/// A time-ordered priority queue of simulation events.
+///
+/// Events with equal timestamps pop in insertion (FIFO) order, which makes
+/// every simulation built on this queue deterministic for a given seed.
+///
+/// # Example
+///
+/// ```
+/// use desim::{EventQueue, Time};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Time::from_ns(2), 'b');
+/// q.push(Time::from_ns(1), 'a');
+/// q.push(Time::from_ns(2), 'c');
+/// assert_eq!(q.pop(), Some((Time::from_ns(1), 'a')));
+/// assert_eq!(q.pop(), Some((Time::from_ns(2), 'b')));
+/// assert_eq!(q.pop(), Some((Time::from_ns(2), 'c')));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: Time, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Removes and returns the earliest event only if it is due at or
+    /// before `now`.
+    pub fn pop_due(&mut self, now: Time) -> Option<(Time, E)> {
+        if self.peek_time()? <= now {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discards all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("next_time", &self.peek_time())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &t in &[5u64, 1, 9, 3] {
+            q.push(Time::from_ns(t), t);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn equal_timestamps_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Time::from_ns(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(10), "later");
+        q.push(Time::from_ns(2), "soon");
+        assert_eq!(
+            q.pop_due(Time::from_ns(5)),
+            Some((Time::from_ns(2), "soon"))
+        );
+        assert_eq!(q.pop_due(Time::from_ns(5)), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_time_sees_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(Time::from_ns(4), ());
+        q.push(Time::from_ns(2), ());
+        assert_eq!(q.peek_time(), Some(Time::from_ns(2)));
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.push(Time::ZERO, ());
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Deterministic random-number generation for simulations.
+
+use crate::Span;
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded random-number generator for reproducible simulations.
+///
+/// Every stochastic choice in the simulator (packet inter-arrival times,
+/// destination selection, sharer sampling) flows through a `SimRng`, so a
+/// run is fully determined by its seed.
+///
+/// # Example
+///
+/// ```
+/// use desim::SimRng;
+/// let mut a = SimRng::new(42);
+/// let mut b = SimRng::new(42);
+/// assert_eq!(a.range(0..100), b.range(0..100));
+/// ```
+pub struct SimRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> SimRng {
+        SimRng {
+            inner: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; used to give each traffic
+    /// source its own stream without correlation.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        SimRng::new(self.inner.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Uniform sample from `range`.
+    pub fn range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial: true with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Exponentially distributed duration with the given mean; used for
+    /// Poisson packet arrivals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mean is zero.
+    pub fn exp_span(&mut self, mean: Span) -> Span {
+        assert!(!mean.is_zero(), "exponential mean must be positive");
+        // Inverse-CDF sampling; clamp u away from 0 to avoid ln(0).
+        let u = self.inner.gen::<f64>().max(1e-12);
+        Span::from_ns_f64(-mean.as_ns_f64() * u.ln())
+    }
+
+    /// Uniformly chosen element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose() on empty slice");
+        &items[self.inner.gen_range(0..items.len())]
+    }
+
+    /// Samples `k` distinct indices from `0..n` (k ≤ n), in random order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} from {n}");
+        // Partial Fisher–Yates over a scratch vector.
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = self.inner.gen_range(i..n);
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+
+    /// Raw 64-bit sample; exposed for hashing-style uses.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+impl std::fmt::Debug for SimRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimRng").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forked_streams_differ() {
+        let mut root = SimRng::new(7);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(1);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn exp_span_has_roughly_correct_mean() {
+        let mut rng = SimRng::new(3);
+        let mean = Span::from_ns(10);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| rng.exp_span(mean).as_ns_f64()).sum();
+        let avg = total / n as f64;
+        assert!((avg - 10.0).abs() < 0.5, "mean was {avg}");
+    }
+
+    #[test]
+    fn sample_indices_are_distinct_and_in_range() {
+        let mut rng = SimRng::new(9);
+        let sample = rng.sample_indices(10, 4);
+        assert_eq!(sample.len(), 4);
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+        assert!(sample.iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    fn range_is_within_bounds() {
+        let mut rng = SimRng::new(11);
+        for _ in 0..100 {
+            let v = rng.range(5..10);
+            assert!((5..10).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! Statistics collectors used across the simulator.
+//!
+//! All collectors are plain accumulators: cheap to update on the hot path,
+//! with summary queries at the end of a run.
+
+use crate::{Span, Time};
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use desim::stats::Counter;
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.value(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Counter {
+        Counter(0)
+    }
+
+    /// Adds `n` to the count.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one to the count.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current count.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+/// Running mean / min / max / variance over `f64` samples (Welford).
+///
+/// # Example
+///
+/// ```
+/// use desim::stats::Mean;
+/// let mut m = Mean::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     m.record(x);
+/// }
+/// assert_eq!(m.mean(), 2.0);
+/// assert_eq!(m.count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mean {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Mean {
+    /// Creates an empty accumulator.
+    pub fn new() -> Mean {
+        Mean {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Population variance, or 0 with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Mean) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Latency histogram with logarithmic nanosecond buckets.
+///
+/// Buckets are powers of two of nanoseconds: `[0,1), [1,2), [2,4), … ns`,
+/// which keeps percentile queries cheap without bounding latencies ahead
+/// of time.
+///
+/// # Example
+///
+/// ```
+/// use desim::stats::LatencyHistogram;
+/// use desim::Span;
+/// let mut h = LatencyHistogram::new();
+/// for ns in [1u64, 2, 3, 100] {
+///     h.record(Span::from_ns(ns));
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.percentile(0.5).as_ns_f64() <= 8.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// bucket[i] counts samples with ns in [2^(i-1), 2^i), bucket[0] is [0,1).
+    buckets: Vec<u64>,
+    mean: Mean,
+}
+
+const HISTOGRAM_BUCKETS: usize = 48;
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            mean: Mean::new(),
+        }
+    }
+
+    fn bucket_for(span: Span) -> usize {
+        let ns = span.as_ps() / 1_000;
+        if ns == 0 {
+            0
+        } else {
+            ((64 - ns.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Span) {
+        self.buckets[Self::bucket_for(latency)] += 1;
+        self.mean.record(latency.as_ns_f64());
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.mean.count()
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> Span {
+        Span::from_ns_f64(self.mean.mean())
+    }
+
+    /// Largest recorded latency.
+    pub fn max(&self) -> Span {
+        Span::from_ns_f64(self.mean.max())
+    }
+
+    /// Approximate percentile (`q` in `[0, 1]`), as the upper bound of the
+    /// bucket containing that quantile. Returns zero for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Span {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        let total = self.count();
+        if total == 0 {
+            return Span::ZERO;
+        }
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                let upper_ns = if i == 0 { 1 } else { 1u64 << i };
+                return Span::from_ns(upper_ns);
+            }
+        }
+        self.max()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.mean.merge(&other.mean);
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+/// Time-weighted average of a piecewise-constant value (e.g. queue depth).
+///
+/// # Example
+///
+/// ```
+/// use desim::stats::TimeWeighted;
+/// use desim::Time;
+/// let mut tw = TimeWeighted::new(Time::ZERO, 0.0);
+/// tw.set(Time::from_ns(10), 4.0); // value was 0 for 10 ns
+/// tw.set(Time::from_ns(20), 0.0); // value was 4 for 10 ns
+/// assert_eq!(tw.average(Time::from_ns(20)), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TimeWeighted {
+    last_time: Time,
+    value: f64,
+    integral: f64,
+    start: Time,
+}
+
+impl TimeWeighted {
+    /// Creates a tracker whose value is `initial` at `start`.
+    pub fn new(start: Time, initial: f64) -> TimeWeighted {
+        TimeWeighted {
+            last_time: start,
+            value: initial,
+            integral: 0.0,
+            start,
+        }
+    }
+
+    /// Updates the tracked value at time `now`.
+    pub fn set(&mut self, now: Time, value: f64) {
+        let dt = now.saturating_since(self.last_time).as_ns_f64();
+        self.integral += self.value * dt;
+        self.last_time = now.max(self.last_time);
+        self.value = value;
+    }
+
+    /// Adjusts the tracked value by `delta` at time `now`.
+    pub fn add(&mut self, now: Time, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// Time-weighted average over `[start, now]`.
+    pub fn average(&self, now: Time) -> f64 {
+        let pending = self.value * now.saturating_since(self.last_time).as_ns_f64();
+        let elapsed = now.saturating_since(self.start).as_ns_f64();
+        if elapsed == 0.0 {
+            self.value
+        } else {
+            (self.integral + pending) / elapsed
+        }
+    }
+
+    /// Current instantaneous value.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.value(), 10);
+    }
+
+    #[test]
+    fn mean_of_known_samples() {
+        let mut m = Mean::new();
+        for x in [2.0, 4.0, 6.0, 8.0] {
+            m.record(x);
+        }
+        assert_eq!(m.mean(), 5.0);
+        assert_eq!(m.min(), 2.0);
+        assert_eq!(m.max(), 8.0);
+        assert!((m.variance() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_merge_matches_single_stream() {
+        let samples: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Mean::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        let mut left = Mean::new();
+        let mut right = Mean::new();
+        for &s in &samples[..37] {
+            left.record(s);
+        }
+        for &s in &samples[37..] {
+            right.record(s);
+        }
+        left.merge(&right);
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(left.count(), whole.count());
+    }
+
+    #[test]
+    fn empty_mean_is_zeroed() {
+        let m = Mean::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.min(), 0.0);
+        assert_eq!(m.max(), 0.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_bracket_samples() {
+        let mut h = LatencyHistogram::new();
+        for ns in 1..=1000u64 {
+            h.record(Span::from_ns(ns));
+        }
+        let p50 = h.percentile(0.5).as_ns_f64();
+        // Median of 1..=1000 is ~500; bucket upper bound must be >= median
+        // and within one power of two.
+        assert!((500.0..=1024.0).contains(&p50), "p50 bucket {p50}");
+        assert!(h.percentile(1.0).as_ns_f64() >= 1000.0);
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn histogram_mean_is_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(Span::from_ns(10));
+        h.record(Span::from_ns(30));
+        assert_eq!(h.mean(), Span::from_ns(20));
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Span::from_ns(5));
+        b.record(Span::from_ns(500));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.max() >= Span::from_ns(500));
+    }
+
+    #[test]
+    fn time_weighted_average_piecewise() {
+        let mut tw = TimeWeighted::new(Time::ZERO, 1.0);
+        tw.set(Time::from_ns(4), 3.0);
+        // 1.0 for 4 ns, then 3.0 for 4 ns => avg 2.0 at t=8.
+        assert!((tw.average(Time::from_ns(8)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_add_tracks_queue_depth() {
+        let mut tw = TimeWeighted::new(Time::ZERO, 0.0);
+        tw.add(Time::from_ns(2), 1.0);
+        tw.add(Time::from_ns(4), 1.0);
+        tw.add(Time::from_ns(6), -2.0);
+        assert_eq!(tw.current(), 0.0);
+        // depth: 0 for 2ns, 1 for 2ns, 2 for 2ns, 0 for 2ns = avg 0.75 at 8ns
+        assert!((tw.average(Time::from_ns(8)) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_percentile_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(0.9), Span::ZERO);
+    }
+}

@@ -1,0 +1,333 @@
+//! Picosecond-resolution simulation time.
+//!
+//! Two newtypes keep instants and durations from being confused
+//! (C-NEWTYPE): [`Time`] is an absolute simulation instant, [`Span`] is a
+//! duration. `Time + Span = Time`, `Time - Time = Span`, and `Span`
+//! supports scaling. Both wrap a `u64` count of picoseconds, which covers
+//! simulations of up to ~213 days — far beyond any macrochip run.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Picoseconds in one nanosecond.
+const PS_PER_NS: u64 = 1_000;
+/// Picoseconds in one microsecond.
+const PS_PER_US: u64 = 1_000_000;
+
+/// An absolute simulation instant, in picoseconds since simulation start.
+///
+/// # Example
+///
+/// ```
+/// use desim::{Span, Time};
+/// let t = Time::from_ns(3) + Span::from_ps(500);
+/// assert_eq!(t.as_ps(), 3_500);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A duration between two [`Time`] instants, in picoseconds.
+///
+/// # Example
+///
+/// ```
+/// use desim::Span;
+/// let s = Span::from_ns(2) * 3;
+/// assert_eq!(s.as_ns_f64(), 6.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span(u64);
+
+impl Time {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: Time = Time(0);
+    /// The farthest representable instant; used as an "infinite" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates an instant from raw picoseconds.
+    pub const fn from_ps(ps: u64) -> Time {
+        Time(ps)
+    }
+
+    /// Creates an instant from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Time {
+        Time(ns * PS_PER_NS)
+    }
+
+    /// Creates an instant from microseconds.
+    pub const fn from_us(us: u64) -> Time {
+        Time(us * PS_PER_US)
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in (possibly fractional) nanoseconds.
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_NS as f64
+    }
+
+    /// This instant expressed in (possibly fractional) microseconds.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// Duration since an earlier instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is after `self`.
+    pub fn since(self, earlier: Time) -> Span {
+        debug_assert!(earlier.0 <= self.0, "since() given a later instant");
+        Span(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating duration since `earlier`; zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: Time) -> Span {
+        Span(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+}
+
+impl Span {
+    /// The zero-length duration.
+    pub const ZERO: Span = Span(0);
+
+    /// Creates a duration from raw picoseconds.
+    pub const fn from_ps(ps: u64) -> Span {
+        Span(ps)
+    }
+
+    /// Creates a duration from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Span {
+        Span(ns * PS_PER_NS)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_us(us: u64) -> Span {
+        Span(us * PS_PER_US)
+    }
+
+    /// Creates a duration from fractional nanoseconds, rounding to the
+    /// nearest picosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative or not finite.
+    pub fn from_ns_f64(ns: f64) -> Span {
+        assert!(ns.is_finite() && ns >= 0.0, "invalid duration: {ns} ns");
+        Span((ns * PS_PER_NS as f64).round() as u64)
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// This duration expressed in (possibly fractional) nanoseconds.
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_NS as f64
+    }
+
+    /// This duration expressed in seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-12
+    }
+
+    /// True if the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The longer of two durations.
+    pub fn max(self, other: Span) -> Span {
+        Span(self.0.max(other.0))
+    }
+}
+
+impl Add<Span> for Time {
+    type Output = Time;
+    fn add(self, rhs: Span) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Span> for Time {
+    fn add_assign(&mut self, rhs: Span) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Span> for Time {
+    type Output = Time;
+    fn sub(self, rhs: Span) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Span;
+    fn sub(self, rhs: Time) -> Span {
+        self.since(rhs)
+    }
+}
+
+impl Add for Span {
+    type Output = Span;
+    fn add(self, rhs: Span) -> Span {
+        Span(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Span {
+    fn add_assign(&mut self, rhs: Span) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Span {
+    type Output = Span;
+    fn sub(self, rhs: Span) -> Span {
+        Span(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Span {
+    fn sub_assign(&mut self, rhs: Span) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Span {
+    type Output = Span;
+    fn mul(self, rhs: u64) -> Span {
+        Span(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for Span {
+    type Output = Span;
+    fn div(self, rhs: u64) -> Span {
+        Span(self.0 / rhs)
+    }
+}
+
+impl Sum for Span {
+    fn sum<I: Iterator<Item = Span>>(iter: I) -> Span {
+        iter.fold(Span::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Time({:.3} ns)", self.as_ns_f64())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ns", self.as_ns_f64())
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Span({:.3} ns)", self.as_ns_f64())
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ns", self.as_ns_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(Time::from_ns(7).as_ps(), 7_000);
+        assert_eq!(Time::from_us(2).as_ps(), 2_000_000);
+        assert_eq!(Span::from_ns(3).as_ps(), 3_000);
+        assert_eq!(Span::from_us(1).as_ps(), 1_000_000);
+    }
+
+    #[test]
+    fn instant_plus_duration() {
+        let t = Time::from_ns(10) + Span::from_ns(5);
+        assert_eq!(t, Time::from_ns(15));
+    }
+
+    #[test]
+    fn instant_difference_is_span() {
+        let a = Time::from_ns(10);
+        let b = Time::from_ns(4);
+        assert_eq!(a - b, Span::from_ns(6));
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let a = Time::from_ns(4);
+        let b = Time::from_ns(10);
+        assert_eq!(a.saturating_since(b), Span::ZERO);
+    }
+
+    #[test]
+    fn span_scaling_and_division() {
+        let s = Span::from_ns(3) * 4;
+        assert_eq!(s, Span::from_ns(12));
+        assert_eq!(s / 6, Span::from_ns(2));
+    }
+
+    #[test]
+    fn fractional_ns_rounds_to_ps() {
+        assert_eq!(Span::from_ns_f64(0.2).as_ps(), 200);
+        assert_eq!(Span::from_ns_f64(1.6).as_ps(), 1_600);
+        assert_eq!(Span::from_ns_f64(0.0001).as_ps(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_fractional_ns_panics() {
+        let _ = Span::from_ns_f64(-1.0);
+    }
+
+    #[test]
+    fn span_sum() {
+        let total: Span = (1..=4).map(Span::from_ns).sum();
+        assert_eq!(total, Span::from_ns(10));
+    }
+
+    #[test]
+    fn display_formats_in_ns() {
+        assert_eq!(Time::from_ps(1_500).to_string(), "1.500 ns");
+        assert_eq!(Span::from_ps(250).to_string(), "0.250 ns");
+    }
+
+    #[test]
+    fn min_max_select_correct_instants() {
+        let a = Time::from_ns(1);
+        let b = Time::from_ns(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        assert!((Span::from_us(1).as_secs_f64() - 1e-6).abs() < 1e-18);
+    }
+}

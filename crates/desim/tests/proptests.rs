@@ -1,0 +1,108 @@
+//! Property-based tests of the simulation kernel's invariants.
+
+use desim::stats::{LatencyHistogram, Mean};
+use desim::{EventQueue, Span, Time};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping an event queue always yields a non-decreasing time
+    /// sequence, whatever the insertion order.
+    #[test]
+    fn event_queue_pops_in_time_order(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Time::from_ps(t), i);
+        }
+        let mut last = Time::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Same-timestamp events pop in insertion (FIFO) order.
+    #[test]
+    fn event_queue_is_fifo_within_a_timestamp(
+        groups in proptest::collection::vec((0u64..100, 1usize..10), 1..20)
+    ) {
+        let mut q = EventQueue::new();
+        let mut seq = 0u64;
+        for &(t, n) in &groups {
+            for _ in 0..n {
+                q.push(Time::from_ps(t), seq);
+                seq += 1;
+            }
+        }
+        let mut per_time: std::collections::HashMap<Time, u64> = std::collections::HashMap::new();
+        while let Some((t, s)) = q.pop() {
+            if let Some(&prev) = per_time.get(&t) {
+                prop_assert!(s > prev, "not FIFO at {t}: {s} after {prev}");
+            }
+            per_time.insert(t, s);
+        }
+    }
+
+    /// Time/Span arithmetic is consistent: (t + a) + b == (t + b) + a and
+    /// subtraction inverts addition.
+    #[test]
+    fn time_span_arithmetic(t in 0u64..1u64 << 40, a in 0u64..1u64 << 30, b in 0u64..1u64 << 30) {
+        let t = Time::from_ps(t);
+        let (a, b) = (Span::from_ps(a), Span::from_ps(b));
+        prop_assert_eq!((t + a) + b, (t + b) + a);
+        prop_assert_eq!((t + a) - a, t);
+        prop_assert_eq!((t + a) - t, a);
+    }
+
+    /// Span scaling distributes over addition.
+    #[test]
+    fn span_scaling_distributes(a in 0u64..1u64 << 30, b in 0u64..1u64 << 30, k in 0u64..1000) {
+        let (a, b) = (Span::from_ps(a), Span::from_ps(b));
+        prop_assert_eq!((a + b) * k, a * k + b * k);
+    }
+
+    /// A histogram's percentile is monotone in the quantile and brackets
+    /// its samples.
+    #[test]
+    fn histogram_percentiles_are_monotone(
+        samples in proptest::collection::vec(1u64..1_000_000, 1..300)
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(Span::from_ns(s));
+        }
+        let p50 = h.percentile(0.5);
+        let p90 = h.percentile(0.9);
+        let p100 = h.percentile(1.0);
+        prop_assert!(p50 <= p90);
+        prop_assert!(p90 <= p100);
+        let max = *samples.iter().max().expect("non-empty");
+        prop_assert!(p100 >= Span::from_ns(max) || p100.as_ns_f64() >= max as f64);
+    }
+
+    /// The running mean matches a direct computation and merging two
+    /// halves matches the whole.
+    #[test]
+    fn mean_matches_reference(samples in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut m = Mean::new();
+        for &s in &samples {
+            m.record(s);
+        }
+        let reference = samples.iter().sum::<f64>() / samples.len() as f64;
+        prop_assert!((m.mean() - reference).abs() < 1e-6 * (1.0 + reference.abs()));
+
+        let cut = samples.len() / 2;
+        let (mut l, mut r) = (Mean::new(), Mean::new());
+        for &s in &samples[..cut] {
+            l.record(s);
+        }
+        for &s in &samples[cut..] {
+            r.record(s);
+        }
+        l.merge(&r);
+        prop_assert!((l.mean() - m.mean()).abs() < 1e-9 * (1.0 + m.mean().abs()));
+        prop_assert!((l.variance() - m.variance()).abs() < 1e-6 * (1.0 + m.variance()));
+    }
+}

@@ -1,0 +1,193 @@
+//! A serializing optical transmit channel with a bounded queue.
+
+use crate::Packet;
+use desim::{Span, Time};
+use std::collections::VecDeque;
+
+/// A transmit channel: a fixed-bandwidth serializer fed by a bounded FIFO.
+///
+/// A channel transmits one packet at a time; serialization takes
+/// `bytes / bandwidth`. Networks call [`try_enqueue`](Self::try_enqueue)
+/// at injection and [`begin_if_ready`](Self::begin_if_ready) whenever the
+/// channel might be able to start its next packet (on injection and when a
+/// previous transmission finishes).
+///
+/// # Example
+///
+/// ```
+/// use desim::Time;
+/// use netcore::{MessageKind, Packet, PacketId, SiteId, TxChannel};
+///
+/// let mut ch = TxChannel::new(2.5, 4); // one wavelength, queue of 4
+/// let p = Packet::new(PacketId(0), SiteId::from_index(0), SiteId::from_index(1),
+///                     64, MessageKind::Data, Time::ZERO);
+/// ch.try_enqueue(p).unwrap();
+/// let (sent, finish) = ch.begin_if_ready(Time::ZERO).unwrap();
+/// assert_eq!(sent.id, PacketId(0));
+/// assert_eq!(finish, Time::from_ps(25_600)); // 64 B at 2.5 B/ns
+/// ```
+#[derive(Debug, Clone)]
+pub struct TxChannel {
+    bytes_per_ns: f64,
+    queue: VecDeque<Packet>,
+    capacity: usize,
+    busy_until: Time,
+}
+
+impl TxChannel {
+    /// Creates a channel with `bytes_per_ns` bandwidth and a FIFO holding
+    /// at most `capacity` packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not strictly positive or the capacity is
+    /// zero.
+    pub fn new(bytes_per_ns: f64, capacity: usize) -> TxChannel {
+        assert!(
+            bytes_per_ns > 0.0 && bytes_per_ns.is_finite(),
+            "invalid channel bandwidth"
+        );
+        assert!(capacity > 0, "channel capacity must be positive");
+        TxChannel {
+            bytes_per_ns,
+            queue: VecDeque::new(),
+            capacity,
+            busy_until: Time::ZERO,
+        }
+    }
+
+    /// Queues a packet for transmission.
+    ///
+    /// # Errors
+    ///
+    /// Returns the packet back when the FIFO is full (injection
+    /// backpressure).
+    pub fn try_enqueue(&mut self, packet: Packet) -> Result<(), Packet> {
+        if self.queue.len() >= self.capacity {
+            Err(packet)
+        } else {
+            self.queue.push_back(packet);
+            Ok(())
+        }
+    }
+
+    /// If the channel is idle at `now` and has queued work, dequeues the
+    /// head packet, marks the channel busy for its serialization time, and
+    /// returns the packet together with the time its last bit leaves the
+    /// transmitter.
+    pub fn begin_if_ready(&mut self, now: Time) -> Option<(Packet, Time)> {
+        if self.busy_until > now {
+            return None;
+        }
+        let packet = self.queue.pop_front()?;
+        let finish = now + self.serialization(packet.bytes);
+        self.busy_until = finish;
+        Some((packet, finish))
+    }
+
+    /// Serialization delay for `bytes` at this channel's bandwidth.
+    pub fn serialization(&self, bytes: u32) -> Span {
+        Span::from_ns_f64(bytes as f64 / self.bytes_per_ns)
+    }
+
+    /// The instant the in-flight transmission (if any) completes.
+    pub fn busy_until(&self) -> Time {
+        self.busy_until
+    }
+
+    /// Number of packets waiting (not counting one in flight).
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// True when the FIFO cannot accept another packet.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.capacity
+    }
+
+    /// Channel bandwidth in bytes per nanosecond.
+    pub fn bytes_per_ns(&self) -> f64 {
+        self.bytes_per_ns
+    }
+
+    /// Peek at the head packet without dequeuing it.
+    pub fn peek(&self) -> Option<&Packet> {
+        self.queue.front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MessageKind, PacketId, SiteId};
+
+    fn packet(id: u64, bytes: u32) -> Packet {
+        Packet::new(
+            PacketId(id),
+            SiteId::from_index(0),
+            SiteId::from_index(1),
+            bytes,
+            MessageKind::Data,
+            Time::ZERO,
+        )
+    }
+
+    #[test]
+    fn serializes_at_configured_bandwidth() {
+        let mut ch = TxChannel::new(5.0, 4); // p2p channel: 5 B/ns
+        ch.try_enqueue(packet(0, 64)).unwrap();
+        let (_, finish) = ch.begin_if_ready(Time::ZERO).unwrap();
+        // 64 B / 5 B/ns = 12.8 ns.
+        assert_eq!(finish, Time::from_ps(12_800));
+    }
+
+    #[test]
+    fn one_packet_at_a_time() {
+        let mut ch = TxChannel::new(5.0, 4);
+        ch.try_enqueue(packet(0, 64)).unwrap();
+        ch.try_enqueue(packet(1, 64)).unwrap();
+        let (first, f1) = ch.begin_if_ready(Time::ZERO).unwrap();
+        assert_eq!(first.id, PacketId(0));
+        // Channel is busy; the second cannot start early.
+        assert!(ch.begin_if_ready(Time::ZERO).is_none());
+        assert!(ch.begin_if_ready(f1 - Span::from_ps(1)).is_none());
+        let (second, f2) = ch.begin_if_ready(f1).unwrap();
+        assert_eq!(second.id, PacketId(1));
+        assert_eq!(f2, f1 + Span::from_ps(12_800));
+    }
+
+    #[test]
+    fn backpressure_when_full() {
+        let mut ch = TxChannel::new(5.0, 2);
+        ch.try_enqueue(packet(0, 64)).unwrap();
+        ch.try_enqueue(packet(1, 64)).unwrap();
+        assert!(ch.is_full());
+        let rejected = ch.try_enqueue(packet(2, 64)).unwrap_err();
+        assert_eq!(rejected.id, PacketId(2));
+    }
+
+    #[test]
+    fn idle_channel_with_empty_queue_does_nothing() {
+        let mut ch = TxChannel::new(5.0, 2);
+        assert!(ch.begin_if_ready(Time::from_ns(10)).is_none());
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn control_packets_are_fast() {
+        let ch = TxChannel::new(40.0, 2); // two-phase channel
+        assert_eq!(ch.serialization(8), Span::from_ps(200));
+        assert_eq!(ch.serialization(64), Span::from_ps(1_600));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid channel bandwidth")]
+    fn zero_bandwidth_rejected() {
+        let _ = TxChannel::new(0.0, 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! The simulated macrochip configuration (paper Table 4 and §4).
+
+use crate::Grid;
+use photonics::geometry::Layout;
+
+/// Configuration of the simulated macrochip (paper Table 4), plus the
+/// simulator's packet-size and queueing knobs.
+///
+/// The paper's simulated system is the 2015 target scaled down 8×: 64
+/// sites, 8 cores per site, 128 transmitters/receivers per site, 8
+/// wavelengths per waveguide, 320 GB/s per site and 20 TB/s peak.
+///
+/// # Example
+///
+/// ```
+/// use netcore::MacrochipConfig;
+///
+/// let c = MacrochipConfig::scaled();
+/// assert_eq!(c.total_peak_bytes_per_ns(), 20_480.0); // 20 TB/s
+/// assert_eq!(c.tx_per_site, 128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacrochipConfig {
+    /// The site grid (8×8).
+    pub grid: Grid,
+    /// The physical layout used for propagation delays.
+    pub layout: Layout,
+    /// Cores per site (Table 4: 8).
+    pub cores_per_site: usize,
+    /// Shared L2 per site in kilobytes (Table 4: 256).
+    pub l2_kb: usize,
+    /// Hardware threads per core (Table 4: 1).
+    pub threads_per_core: usize,
+    /// Transmitters (and receivers) per site (§4: 128).
+    pub tx_per_site: usize,
+    /// Wavelengths multiplexed per waveguide (§4: 8).
+    pub wavelengths_per_waveguide: usize,
+    /// One wavelength channel's bandwidth in bytes/ns (20 Gb/s = 2.5).
+    pub lambda_bytes_per_ns: f64,
+    /// Core clock in GHz (§3: 5 GHz).
+    pub core_clock_ghz: f64,
+    /// Cache-line data packet size on the wire, in bytes.
+    pub data_bytes: u32,
+    /// Small protocol message size on the wire, in bytes.
+    pub control_bytes: u32,
+    /// Per-channel injection queue capacity, in packets.
+    pub queue_capacity: usize,
+}
+
+impl MacrochipConfig {
+    /// The full 2015-target configuration of §3: 64 cores per site, 1024
+    /// transmitters/receivers per site at 20 Gb/s (2.56 TB/s per site,
+    /// 160 TB/s aggregate), 16 wavelengths per waveguide. The paper
+    /// simulates the 8×-scaled-down system ([`scaled`](Self::scaled));
+    /// this configuration feeds the analytic power/complexity models and
+    /// scaling studies.
+    pub fn full_2015() -> MacrochipConfig {
+        MacrochipConfig {
+            cores_per_site: 64,
+            tx_per_site: 1024,
+            wavelengths_per_waveguide: 16,
+            ..MacrochipConfig::scaled()
+        }
+    }
+
+    /// The paper's simulated configuration (Table 4).
+    pub fn scaled() -> MacrochipConfig {
+        MacrochipConfig {
+            grid: Grid::new(8),
+            layout: Layout::macrochip(),
+            cores_per_site: 8,
+            l2_kb: 256,
+            threads_per_core: 1,
+            tx_per_site: 128,
+            wavelengths_per_waveguide: 8,
+            lambda_bytes_per_ns: 2.5,
+            core_clock_ghz: 5.0,
+            data_bytes: 64,
+            control_bytes: 8,
+            queue_capacity: 16,
+        }
+    }
+
+    /// Duration of one core clock cycle.
+    pub fn cycle(&self) -> desim::Span {
+        desim::Span::from_ns_f64(1.0 / self.core_clock_ghz)
+    }
+
+    /// Peak injection bandwidth of one site in bytes/ns (Table 4:
+    /// 320 GB/s).
+    pub fn site_bandwidth_bytes_per_ns(&self) -> f64 {
+        self.tx_per_site as f64 * self.lambda_bytes_per_ns
+    }
+
+    /// Total peak network bandwidth in bytes/ns (Table 4: 20 TB/s).
+    pub fn total_peak_bytes_per_ns(&self) -> f64 {
+        self.site_bandwidth_bytes_per_ns() * self.grid.sites() as f64
+    }
+
+    /// Bandwidth of a channel built from `lambdas` wavelengths.
+    pub fn channel_bytes_per_ns(&self, lambdas: usize) -> f64 {
+        self.lambda_bytes_per_ns * lambdas as f64
+    }
+
+    /// Wire size of a message of `kind`.
+    pub fn message_bytes(&self, kind: crate::MessageKind) -> u32 {
+        if kind.is_control_sized() {
+            self.control_bytes
+        } else {
+            self.data_bytes
+        }
+    }
+
+    /// Validates internal consistency; called by network constructors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bandwidth or sizing fields are non-positive.
+    pub fn validate(&self) {
+        assert!(self.cores_per_site > 0, "cores_per_site must be positive");
+        assert!(self.tx_per_site > 0, "tx_per_site must be positive");
+        assert!(
+            self.lambda_bytes_per_ns > 0.0,
+            "lambda bandwidth must be positive"
+        );
+        assert!(self.data_bytes > 0, "data packets must be non-empty");
+        assert!(self.queue_capacity > 0, "queues must hold packets");
+        assert_eq!(
+            self.grid.side(),
+            self.layout.side(),
+            "grid and layout disagree on side length"
+        );
+    }
+}
+
+impl Default for MacrochipConfig {
+    fn default() -> Self {
+        MacrochipConfig::scaled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MessageKind;
+
+    #[test]
+    fn table4_values() {
+        let c = MacrochipConfig::scaled();
+        assert_eq!(c.grid.sites(), 64);
+        assert_eq!(c.l2_kb, 256);
+        assert_eq!(c.cores_per_site, 8);
+        assert_eq!(c.threads_per_core, 1);
+        // 320 GB/s per site, 20 TB/s total.
+        assert!((c.site_bandwidth_bytes_per_ns() - 320.0).abs() < 1e-9);
+        assert!((c.total_peak_bytes_per_ns() - 20_480.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycle_is_200ps_at_5ghz() {
+        assert_eq!(MacrochipConfig::scaled().cycle(), desim::Span::from_ps(200));
+    }
+
+    #[test]
+    fn channel_bandwidths_per_architecture() {
+        let c = MacrochipConfig::scaled();
+        assert_eq!(c.channel_bytes_per_ns(2), 5.0); // point-to-point
+        assert_eq!(c.channel_bytes_per_ns(8), 20.0); // limited p2p
+        assert_eq!(c.channel_bytes_per_ns(16), 40.0); // two-phase
+        assert_eq!(c.channel_bytes_per_ns(128), 320.0); // token ring bundle
+    }
+
+    #[test]
+    fn message_sizes() {
+        let c = MacrochipConfig::scaled();
+        assert_eq!(c.message_bytes(MessageKind::Data), 64);
+        assert_eq!(c.message_bytes(MessageKind::Ack), 8);
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        MacrochipConfig::scaled().validate();
+    }
+
+    #[test]
+    fn full_2015_matches_section3() {
+        let c = MacrochipConfig::full_2015();
+        c.validate();
+        // §3: 2.56 TB/s into and out of each site; 160 TB/s aggregate.
+        assert!((c.site_bandwidth_bytes_per_ns() - 2_560.0).abs() < 1e-9);
+        assert!((c.total_peak_bytes_per_ns() / 1024.0 - 160.0).abs() < 1e-9);
+        assert_eq!(c.cores_per_site, 64);
+        // The simulated system is this scaled down by 8x in both compute
+        // and bandwidth (§4).
+        let s = MacrochipConfig::scaled();
+        assert_eq!(c.tx_per_site, 8 * s.tx_per_site);
+        assert_eq!(c.cores_per_site, 8 * s.cores_per_site);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree")]
+    fn mismatched_grid_and_layout_rejected() {
+        let mut c = MacrochipConfig::scaled();
+        c.grid = Grid::new(4);
+        c.validate();
+    }
+}

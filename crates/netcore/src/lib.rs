@@ -1,0 +1,38 @@
+//! Shared abstractions for the macrochip's inter-site networks.
+//!
+//! Everything the five network architectures have in common lives here:
+//!
+//! * [`SiteId`] and [`Grid`] — the 8×8 site address space (§3);
+//! * [`Packet`] and [`MessageKind`] — what moves through a network;
+//! * [`MacrochipConfig`] — the simulated configuration (paper Table 4);
+//! * [`TxChannel`] — a serializing optical channel with a bounded queue;
+//! * [`Network`] — the trait every architecture implements, so the
+//!   experiment harness can drive them interchangeably;
+//! * [`NetStats`] — injection/delivery/latency accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use netcore::{Grid, MacrochipConfig};
+//!
+//! let config = MacrochipConfig::scaled();          // paper Table 4
+//! assert_eq!(config.grid.sites(), 64);
+//! assert_eq!(config.cores_per_site, 8);
+//! assert!((config.site_bandwidth_bytes_per_ns() - 320.0).abs() < 1e-9);
+//! ```
+
+mod channel;
+mod config;
+mod network;
+mod packet;
+mod site;
+mod stats;
+mod traffic;
+
+pub use channel::TxChannel;
+pub use config::MacrochipConfig;
+pub use network::{Network, NetworkKind};
+pub use packet::{MessageKind, Packet, PacketId};
+pub use site::{Grid, SiteId};
+pub use stats::NetStats;
+pub use traffic::PacketSource;

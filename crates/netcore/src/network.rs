@@ -1,0 +1,140 @@
+//! The `Network` trait implemented by all five architectures.
+
+use crate::{MacrochipConfig, NetStats, Packet};
+use desim::Time;
+use photonics::inventory::NetworkId;
+use std::fmt;
+
+/// The network architectures evaluated in the paper (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetworkKind {
+    /// Statically WDM-routed point-to-point (§4.2).
+    PointToPoint,
+    /// Two-phase arbitration-based switched network (§4.3).
+    TwoPhase,
+    /// Two-phase ALT configuration: doubled transmitters/switch trees.
+    TwoPhaseAlt,
+    /// Token-ring-arbitrated optical crossbar, Corona adapted (§4.4).
+    TokenRing,
+    /// Circuit-switched torus (§4.5).
+    CircuitSwitched,
+    /// Limited point-to-point with electronic routing (§4.6).
+    LimitedPointToPoint,
+}
+
+impl NetworkKind {
+    /// All simulated architectures, in the paper's figure order.
+    pub const ALL: [NetworkKind; 6] = [
+        NetworkKind::TokenRing,
+        NetworkKind::CircuitSwitched,
+        NetworkKind::PointToPoint,
+        NetworkKind::LimitedPointToPoint,
+        NetworkKind::TwoPhase,
+        NetworkKind::TwoPhaseAlt,
+    ];
+
+    /// The five base networks of Figure 6 (ALT excluded).
+    pub const FIGURE6: [NetworkKind; 5] = [
+        NetworkKind::TokenRing,
+        NetworkKind::CircuitSwitched,
+        NetworkKind::PointToPoint,
+        NetworkKind::LimitedPointToPoint,
+        NetworkKind::TwoPhase,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetworkKind::PointToPoint => "Point-to-Point",
+            NetworkKind::TwoPhase => "2-Phase Arb.",
+            NetworkKind::TwoPhaseAlt => "2-Phase Arb. ALT",
+            NetworkKind::TokenRing => "Token Ring",
+            NetworkKind::CircuitSwitched => "Circuit-Switched",
+            NetworkKind::LimitedPointToPoint => "Limited Point-to-Point",
+        }
+    }
+
+    /// The corresponding power/complexity table row for the data network.
+    pub fn power_id(self) -> NetworkId {
+        match self {
+            NetworkKind::PointToPoint => NetworkId::PointToPoint,
+            NetworkKind::TwoPhase => NetworkId::TwoPhaseData,
+            NetworkKind::TwoPhaseAlt => NetworkId::TwoPhaseDataAlt,
+            NetworkKind::TokenRing => NetworkId::TokenRing,
+            NetworkKind::CircuitSwitched => NetworkId::CircuitSwitched,
+            NetworkKind::LimitedPointToPoint => NetworkId::LimitedPointToPoint,
+        }
+    }
+}
+
+impl fmt::Display for NetworkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An inter-site interconnection network under event-driven simulation.
+///
+/// The experiment harness drives every architecture through this
+/// interface:
+///
+/// 1. [`inject`](Network::inject) a packet at the current time (may refuse
+///    under backpressure — the caller retries after the next event);
+/// 2. query [`next_event`](Network::next_event) for the earliest pending
+///    internal event;
+/// 3. [`advance`](Network::advance) simulation up to a chosen instant;
+/// 4. [`drain_delivered`](Network::drain_delivered) packets whose delivery
+///    completed, with their `delivered` timestamps filled in.
+pub trait Network {
+    /// Which architecture this is.
+    fn kind(&self) -> NetworkKind;
+
+    /// The configuration the network was built with.
+    fn config(&self) -> &MacrochipConfig;
+
+    /// Offers a packet for injection at `now` (the packet's source site
+    /// must match `packet.src`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the packet back if the source's injection queue is full;
+    /// the caller should retry after the next network event.
+    fn inject(&mut self, packet: Packet, now: Time) -> Result<(), Packet>;
+
+    /// The earliest pending internal event, if any.
+    fn next_event(&self) -> Option<Time>;
+
+    /// Processes all internal events up to and including `now`.
+    fn advance(&mut self, now: Time);
+
+    /// Removes and returns packets delivered since the last call.
+    fn drain_delivered(&mut self) -> Vec<Packet>;
+
+    /// Aggregate statistics collected so far.
+    fn stats(&self) -> &NetStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = NetworkKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NetworkKind::ALL.len());
+    }
+
+    #[test]
+    fn figure6_excludes_alt() {
+        assert!(!NetworkKind::FIGURE6.contains(&NetworkKind::TwoPhaseAlt));
+        assert_eq!(NetworkKind::FIGURE6.len(), 5);
+    }
+
+    #[test]
+    fn power_ids_map_to_data_rows() {
+        assert_eq!(NetworkKind::TwoPhase.power_id(), NetworkId::TwoPhaseData);
+        assert_eq!(NetworkKind::TokenRing.power_id(), NetworkId::TokenRing);
+    }
+}

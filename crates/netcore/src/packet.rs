@@ -1,0 +1,196 @@
+//! Packets: the unit of transfer on every macrochip network.
+
+use crate::SiteId;
+use desim::{Span, Time};
+use std::fmt;
+
+/// Unique, monotonically assigned packet identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PacketId(pub u64);
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt{}", self.0)
+    }
+}
+
+/// What a packet carries, mirroring the coherence protocol's needs (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    /// A cache-line-sized data transfer (64 bytes).
+    Data,
+    /// A coherence request travelling to a directory home.
+    Request,
+    /// A directory-to-owner forward.
+    Forward,
+    /// An invalidation sent to a sharer.
+    Invalidate,
+    /// An acknowledgment (invalidation ack, write ack).
+    Ack,
+    /// Network-internal control traffic.
+    Control,
+}
+
+impl MessageKind {
+    /// All kinds, for per-kind accounting.
+    pub const ALL: [MessageKind; 6] = [
+        MessageKind::Data,
+        MessageKind::Request,
+        MessageKind::Forward,
+        MessageKind::Invalidate,
+        MessageKind::Ack,
+        MessageKind::Control,
+    ];
+
+    /// True for small (non-data) protocol messages.
+    pub fn is_control_sized(self) -> bool {
+        !matches!(self, MessageKind::Data)
+    }
+}
+
+/// One packet moving through an inter-site network.
+///
+/// A packet records its life-cycle timestamps so latency statistics can be
+/// derived after delivery: `created` when the workload produced it,
+/// `delivered` when the destination received its last bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Packet {
+    /// Unique id.
+    pub id: PacketId,
+    /// Source site.
+    pub src: SiteId,
+    /// Destination site.
+    pub dst: SiteId,
+    /// Total size on the wire, including header, in bytes.
+    pub bytes: u32,
+    /// Payload classification.
+    pub kind: MessageKind,
+    /// When the workload generated the packet.
+    pub created: Time,
+    /// When the destination finished receiving it (set by the network).
+    pub delivered: Option<Time>,
+    /// When its final transmission toward the destination began (set by
+    /// the network): everything before this is queueing/arbitration/setup
+    /// wait, everything after is wire time.
+    pub tx_start: Option<Time>,
+    /// Bytes that crossed an electronic router on the way (limited
+    /// point-to-point forwarding); drives router energy accounting.
+    pub routed_bytes: u32,
+    /// Coherence-operation id this packet belongs to, if any.
+    pub op: Option<u64>,
+}
+
+impl Packet {
+    /// Creates a packet awaiting injection.
+    pub fn new(
+        id: PacketId,
+        src: SiteId,
+        dst: SiteId,
+        bytes: u32,
+        kind: MessageKind,
+        created: Time,
+    ) -> Packet {
+        Packet {
+            id,
+            src,
+            dst,
+            bytes,
+            kind,
+            created,
+            delivered: None,
+            tx_start: None,
+            routed_bytes: 0,
+            op: None,
+        }
+    }
+
+    /// Attaches a coherence-operation id.
+    pub fn with_op(mut self, op: u64) -> Packet {
+        self.op = Some(op);
+        self
+    }
+
+    /// End-to-end latency, if the packet has been delivered.
+    pub fn latency(&self) -> Option<Span> {
+        self.delivered.map(|d| d.saturating_since(self.created))
+    }
+
+    /// Time spent waiting before the final transmission began (queueing,
+    /// arbitration, token wait, path setup), if instrumented.
+    pub fn wait_time(&self) -> Option<Span> {
+        self.tx_start.map(|t| t.saturating_since(self.created))
+    }
+
+    /// Time on the wire: final serialization plus flight, if delivered
+    /// and instrumented.
+    pub fn wire_time(&self) -> Option<Span> {
+        match (self.tx_start, self.delivered) {
+            (Some(t), Some(d)) => Some(d.saturating_since(t)),
+            _ => None,
+        }
+    }
+
+    /// True once the network has handed the packet to its destination.
+    pub fn is_delivered(&self) -> bool {
+        self.delivered.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet() -> Packet {
+        Packet::new(
+            PacketId(1),
+            SiteId::from_index(0),
+            SiteId::from_index(9),
+            64,
+            MessageKind::Data,
+            Time::from_ns(100),
+        )
+    }
+
+    #[test]
+    fn latency_requires_delivery() {
+        let mut p = packet();
+        assert_eq!(p.latency(), None);
+        assert!(!p.is_delivered());
+        p.delivered = Some(Time::from_ns(130));
+        assert_eq!(p.latency(), Some(Span::from_ns(30)));
+        assert!(p.is_delivered());
+    }
+
+    #[test]
+    fn control_sized_classification() {
+        assert!(!MessageKind::Data.is_control_sized());
+        for k in [
+            MessageKind::Request,
+            MessageKind::Forward,
+            MessageKind::Invalidate,
+            MessageKind::Ack,
+            MessageKind::Control,
+        ] {
+            assert!(k.is_control_sized());
+        }
+    }
+
+    #[test]
+    fn wait_and_wire_split_the_latency() {
+        let mut p = packet();
+        assert_eq!(p.wait_time(), None);
+        assert_eq!(p.wire_time(), None);
+        p.tx_start = Some(Time::from_ns(112));
+        p.delivered = Some(Time::from_ns(130));
+        assert_eq!(p.wait_time(), Some(Span::from_ns(12)));
+        assert_eq!(p.wire_time(), Some(Span::from_ns(18)));
+        let total = p.wait_time().unwrap() + p.wire_time().unwrap();
+        assert_eq!(Some(total), p.latency());
+    }
+
+    #[test]
+    fn op_attachment() {
+        let p = packet().with_op(42);
+        assert_eq!(p.op, Some(42));
+    }
+}

@@ -1,0 +1,200 @@
+//! Site addressing on the macrochip grid.
+
+use std::fmt;
+
+/// Identifies one site (processor + memory die pair) on the macrochip.
+///
+/// A `SiteId` is an index into row-major grid order; its `(x, y)`
+/// coordinates come from the [`Grid`] it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(u16);
+
+impl SiteId {
+    /// Creates a site id from a raw index.
+    pub const fn from_index(index: usize) -> SiteId {
+        SiteId(index as u16)
+    }
+
+    /// The raw row-major index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// The macrochip's n×n arrangement of sites (§3: 8×8).
+///
+/// # Example
+///
+/// ```
+/// use netcore::Grid;
+///
+/// let grid = Grid::new(8);
+/// let s = grid.site(3, 5);
+/// assert_eq!(grid.x(s), 3);
+/// assert_eq!(grid.y(s), 5);
+/// assert_eq!(grid.row_peers(s).count(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid {
+    side: usize,
+}
+
+impl Grid {
+    /// Creates an n×n grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` is zero or the grid would exceed `u16` indices.
+    pub fn new(side: usize) -> Grid {
+        assert!(side > 0, "grid side must be positive");
+        assert!(side * side <= u16::MAX as usize, "grid too large");
+        Grid { side }
+    }
+
+    /// Sites per side.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Total number of sites.
+    pub fn sites(&self) -> usize {
+        self.side * self.side
+    }
+
+    /// The site at column `x`, row `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the grid.
+    pub fn site(&self, x: usize, y: usize) -> SiteId {
+        assert!(x < self.side && y < self.side, "({x},{y}) outside grid");
+        SiteId::from_index(y * self.side + x)
+    }
+
+    /// Column of `s`.
+    pub fn x(&self, s: SiteId) -> usize {
+        s.index() % self.side
+    }
+
+    /// Row of `s`.
+    pub fn y(&self, s: SiteId) -> usize {
+        s.index() / self.side
+    }
+
+    /// `(x, y)` coordinates of `s`, for the photonic layout model.
+    pub fn coord(&self, s: SiteId) -> (usize, usize) {
+        (self.x(s), self.y(s))
+    }
+
+    /// True if the id addresses a site of this grid.
+    pub fn contains(&self, s: SiteId) -> bool {
+        s.index() < self.sites()
+    }
+
+    /// All sites in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = SiteId> {
+        (0..self.sites()).map(SiteId::from_index)
+    }
+
+    /// The other sites in `s`'s row (its *row peers*, §4.6).
+    pub fn row_peers(&self, s: SiteId) -> impl Iterator<Item = SiteId> + '_ {
+        let y = self.y(s);
+        let x = self.x(s);
+        (0..self.side)
+            .filter(move |&c| c != x)
+            .map(move |c| self.site(c, y))
+    }
+
+    /// The other sites in `s`'s column (its *column peers*, §4.6).
+    pub fn col_peers(&self, s: SiteId) -> impl Iterator<Item = SiteId> + '_ {
+        let y = self.y(s);
+        let x = self.x(s);
+        (0..self.side)
+            .filter(move |&r| r != y)
+            .map(move |r| self.site(x, r))
+    }
+
+    /// True when `a` and `b` share a row or a column (direct optical
+    /// connectivity in the limited point-to-point network).
+    pub fn are_peers(&self, a: SiteId, b: SiteId) -> bool {
+        a != b && (self.x(a) == self.x(b) || self.y(a) == self.y(b))
+    }
+}
+
+impl Default for Grid {
+    /// The paper's 8×8 macrochip.
+    fn default() -> Grid {
+        Grid::new(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinates_round_trip() {
+        let g = Grid::new(8);
+        for y in 0..8 {
+            for x in 0..8 {
+                let s = g.site(x, y);
+                assert_eq!(g.coord(s), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn row_and_col_peers_exclude_self() {
+        let g = Grid::new(8);
+        let s = g.site(2, 6);
+        let rows: Vec<_> = g.row_peers(s).collect();
+        assert_eq!(rows.len(), 7);
+        assert!(rows.iter().all(|&p| g.y(p) == 6 && p != s));
+        let cols: Vec<_> = g.col_peers(s).collect();
+        assert_eq!(cols.len(), 7);
+        assert!(cols.iter().all(|&p| g.x(p) == 2 && p != s));
+    }
+
+    #[test]
+    fn peer_relation_matches_row_or_column() {
+        let g = Grid::new(4);
+        let a = g.site(1, 1);
+        assert!(g.are_peers(a, g.site(3, 1)));
+        assert!(g.are_peers(a, g.site(1, 0)));
+        assert!(!g.are_peers(a, g.site(2, 2)));
+        assert!(!g.are_peers(a, a));
+    }
+
+    #[test]
+    fn iter_visits_every_site_once() {
+        let g = Grid::new(8);
+        let all: Vec<_> = g.iter().collect();
+        assert_eq!(all.len(), 64);
+        assert_eq!(all[0].index(), 0);
+        assert_eq!(all[63].index(), 63);
+    }
+
+    #[test]
+    fn contains_rejects_out_of_range() {
+        let g = Grid::new(4);
+        assert!(g.contains(SiteId::from_index(15)));
+        assert!(!g.contains(SiteId::from_index(16)));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(SiteId::from_index(12).to_string(), "S12");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn site_out_of_range_panics() {
+        let _ = Grid::new(4).site(4, 0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Network-level statistics collection.
+
+use crate::{MessageKind, Packet};
+use desim::stats::{Counter, LatencyHistogram, Mean};
+use desim::{Span, Time};
+
+/// Aggregate statistics of one network simulation.
+///
+/// Every architecture records the same measures so experiments can compare
+/// them directly: accepted/delivered packet and byte counts, end-to-end
+/// latency, electronic-router traffic (limited point-to-point) and wasted
+/// arbitration slots (two-phase).
+///
+/// # Example
+///
+/// ```
+/// use netcore::NetStats;
+/// let s = NetStats::new();
+/// assert_eq!(s.delivered_packets(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetStats {
+    injected: Counter,
+    rejected: Counter,
+    delivered: Counter,
+    delivered_bytes: Counter,
+    routed_bytes: Counter,
+    wasted_slots: Counter,
+    latency: LatencyHistogram,
+    data_latency: LatencyHistogram,
+    control_latency: LatencyHistogram,
+    per_source: Vec<Mean>,
+    first_delivery: Option<Time>,
+    last_delivery: Option<Time>,
+}
+
+impl NetStats {
+    /// Creates an empty collector.
+    pub fn new() -> NetStats {
+        NetStats {
+            injected: Counter::new(),
+            rejected: Counter::new(),
+            delivered: Counter::new(),
+            delivered_bytes: Counter::new(),
+            routed_bytes: Counter::new(),
+            wasted_slots: Counter::new(),
+            latency: LatencyHistogram::new(),
+            data_latency: LatencyHistogram::new(),
+            control_latency: LatencyHistogram::new(),
+            per_source: Vec::new(),
+            first_delivery: None,
+            last_delivery: None,
+        }
+    }
+
+    /// Records a successful injection.
+    pub fn on_inject(&mut self) {
+        self.injected.incr();
+    }
+
+    /// Records a refused injection (backpressure).
+    pub fn on_reject(&mut self) {
+        self.rejected.incr();
+    }
+
+    /// Records a delivery; the packet must carry its `delivered` stamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the packet has no delivery timestamp.
+    pub fn on_deliver(&mut self, packet: &Packet) {
+        debug_assert!(packet.is_delivered(), "recording undelivered packet");
+        let at = packet.delivered.unwrap_or(packet.created);
+        let lat = at.saturating_since(packet.created);
+        self.delivered.incr();
+        self.delivered_bytes.add(packet.bytes as u64);
+        self.routed_bytes.add(packet.routed_bytes as u64);
+        self.latency.record(lat);
+        if packet.kind == MessageKind::Data {
+            self.data_latency.record(lat);
+        } else {
+            self.control_latency.record(lat);
+        }
+        let src = packet.src.index();
+        if self.per_source.len() <= src {
+            self.per_source.resize_with(src + 1, Mean::new);
+        }
+        self.per_source[src].record(lat.as_ns_f64());
+        if self.first_delivery.is_none() {
+            self.first_delivery = Some(at);
+        }
+        self.last_delivery = Some(self.last_delivery.map_or(at, |t| t.max(at)));
+    }
+
+    /// Records one wasted arbitration data slot (two-phase network).
+    pub fn on_wasted_slot(&mut self) {
+        self.wasted_slots.incr();
+    }
+
+    /// Packets accepted for injection.
+    pub fn injected_packets(&self) -> u64 {
+        self.injected.value()
+    }
+
+    /// Injection attempts refused by backpressure.
+    pub fn rejected_packets(&self) -> u64 {
+        self.rejected.value()
+    }
+
+    /// Packets delivered end to end.
+    pub fn delivered_packets(&self) -> u64 {
+        self.delivered.value()
+    }
+
+    /// Total bytes delivered.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes.value()
+    }
+
+    /// Bytes that crossed an electronic router.
+    pub fn routed_bytes(&self) -> u64 {
+        self.routed_bytes.value()
+    }
+
+    /// Wasted arbitration slots (two-phase only; zero elsewhere).
+    pub fn wasted_slots(&self) -> u64 {
+        self.wasted_slots.value()
+    }
+
+    /// Mean end-to-end packet latency.
+    pub fn mean_latency(&self) -> Span {
+        self.latency.mean()
+    }
+
+    /// End-to-end latency histogram over all packets.
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// Latency histogram over data packets only.
+    pub fn data_latency(&self) -> &LatencyHistogram {
+        &self.data_latency
+    }
+
+    /// Latency histogram over control-sized packets only.
+    pub fn control_latency(&self) -> &LatencyHistogram {
+        &self.control_latency
+    }
+
+    /// Mean latency observed by each source site (index = site index).
+    /// Sites that delivered nothing report zero.
+    pub fn per_source_mean_latency_ns(&self) -> Vec<f64> {
+        self.per_source.iter().map(Mean::mean).collect()
+    }
+
+    /// Jain's fairness index over the per-source mean latencies:
+    /// `(Σx)² / (n·Σx²)`, 1.0 = perfectly fair, 1/n = maximally unfair.
+    /// Sources with no deliveries are excluded; returns 1.0 with fewer
+    /// than two participating sources.
+    pub fn jain_fairness(&self) -> f64 {
+        let xs: Vec<f64> = self
+            .per_source
+            .iter()
+            .filter(|m| m.count() > 0)
+            .map(Mean::mean)
+            .collect();
+        if xs.len() < 2 {
+            return 1.0;
+        }
+        let sum: f64 = xs.iter().sum();
+        let sq: f64 = xs.iter().map(|x| x * x).sum();
+        sum * sum / (xs.len() as f64 * sq)
+    }
+
+    /// Delivered throughput in bytes/ns over the delivery window, or zero
+    /// before two deliveries have happened.
+    pub fn delivered_bytes_per_ns(&self) -> f64 {
+        match (self.first_delivery, self.last_delivery) {
+            (Some(a), Some(b)) if b > a => {
+                self.delivered_bytes.value() as f64 / b.saturating_since(a).as_ns_f64()
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+impl Default for NetStats {
+    fn default() -> Self {
+        NetStats::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PacketId, SiteId};
+
+    fn delivered_packet(created_ns: u64, delivered_ns: u64, kind: MessageKind) -> Packet {
+        let mut p = Packet::new(
+            PacketId(created_ns),
+            SiteId::from_index(0),
+            SiteId::from_index(1),
+            64,
+            kind,
+            Time::from_ns(created_ns),
+        );
+        p.delivered = Some(Time::from_ns(delivered_ns));
+        p
+    }
+
+    #[test]
+    fn records_latency_by_kind() {
+        let mut s = NetStats::new();
+        s.on_deliver(&delivered_packet(0, 10, MessageKind::Data));
+        s.on_deliver(&delivered_packet(0, 30, MessageKind::Ack));
+        assert_eq!(s.delivered_packets(), 2);
+        assert_eq!(s.mean_latency(), Span::from_ns(20));
+        assert_eq!(s.data_latency().count(), 1);
+        assert_eq!(s.control_latency().count(), 1);
+    }
+
+    #[test]
+    fn throughput_over_delivery_window() {
+        let mut s = NetStats::new();
+        s.on_deliver(&delivered_packet(0, 0, MessageKind::Data));
+        s.on_deliver(&delivered_packet(0, 64, MessageKind::Data));
+        // 128 bytes over 64 ns.
+        assert!((s.delivered_bytes_per_ns() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_throughput_with_one_delivery() {
+        let mut s = NetStats::new();
+        s.on_deliver(&delivered_packet(0, 5, MessageKind::Data));
+        assert_eq!(s.delivered_bytes_per_ns(), 0.0);
+    }
+
+    #[test]
+    fn counts_rejections_and_waste() {
+        let mut s = NetStats::new();
+        s.on_inject();
+        s.on_reject();
+        s.on_wasted_slot();
+        assert_eq!(s.injected_packets(), 1);
+        assert_eq!(s.rejected_packets(), 1);
+        assert_eq!(s.wasted_slots(), 1);
+    }
+
+    #[test]
+    fn fairness_index_detects_skew() {
+        let mut fair = NetStats::new();
+        let mut unfair = NetStats::new();
+        for site in 0..4u64 {
+            let mut p = Packet::new(
+                PacketId(site),
+                SiteId::from_index(site as usize),
+                SiteId::from_index(5),
+                64,
+                MessageKind::Data,
+                Time::ZERO,
+            );
+            p.delivered = Some(Time::from_ns(10));
+            fair.on_deliver(&p);
+            // Skewed: site i waits 10 * 4^i ns.
+            p.delivered = Some(Time::from_ns(10 * 4u64.pow(site as u32)));
+            unfair.on_deliver(&p);
+        }
+        assert!((fair.jain_fairness() - 1.0).abs() < 1e-12);
+        assert!(unfair.jain_fairness() < 0.5, "{}", unfair.jain_fairness());
+    }
+
+    #[test]
+    fn per_source_latencies_are_indexed_by_site() {
+        let mut s = NetStats::new();
+        let mut p = Packet::new(
+            PacketId(0),
+            SiteId::from_index(3),
+            SiteId::from_index(5),
+            64,
+            MessageKind::Data,
+            Time::ZERO,
+        );
+        p.delivered = Some(Time::from_ns(20));
+        s.on_deliver(&p);
+        let per = s.per_source_mean_latency_ns();
+        assert_eq!(per.len(), 4);
+        assert_eq!(per[3], 20.0);
+        assert_eq!(per[0], 0.0);
+    }
+
+    #[test]
+    fn empty_stats_are_perfectly_fair() {
+        assert_eq!(NetStats::new().jain_fairness(), 1.0);
+    }
+
+    #[test]
+    fn router_bytes_accumulate() {
+        let mut s = NetStats::new();
+        let mut p = delivered_packet(0, 9, MessageKind::Data);
+        p.routed_bytes = 64;
+        s.on_deliver(&p);
+        assert_eq!(s.routed_bytes(), 64);
+    }
+}

@@ -1,0 +1,84 @@
+//! The interface between traffic generators and the simulation driver.
+
+use crate::Packet;
+use desim::Time;
+
+/// A producer of network packets, open- or closed-loop.
+///
+/// The experiment driver alternates between advancing the network and
+/// pumping its `PacketSource`:
+///
+/// * [`next_emission`](Self::next_emission) tells the driver when the
+///   source next wants to inject;
+/// * [`emit_due`](Self::emit_due) collects every packet due by `now`;
+/// * [`on_delivered`](Self::on_delivered) lets closed-loop sources (the
+///   coherence engine) react to deliveries by emitting follow-on messages
+///   or issuing new operations;
+/// * [`is_exhausted`](Self::is_exhausted) ends finite runs.
+pub trait PacketSource {
+    /// The earliest instant the source wants to emit a packet, if any.
+    fn next_emission(&self) -> Option<Time>;
+
+    /// Appends all packets due at or before `now` to `out`.
+    fn emit_due(&mut self, now: Time, out: &mut Vec<Packet>);
+
+    /// Notifies the source that `packet` was delivered at `now`.
+    fn on_delivered(&mut self, packet: &Packet, now: Time);
+
+    /// True when the source will never emit again.
+    fn is_exhausted(&self) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MessageKind, PacketId, SiteId};
+
+    /// A minimal one-shot source used to pin down trait semantics.
+    struct OneShot {
+        packet: Option<Packet>,
+        delivered: usize,
+    }
+
+    impl PacketSource for OneShot {
+        fn next_emission(&self) -> Option<Time> {
+            self.packet.as_ref().map(|p| p.created)
+        }
+        fn emit_due(&mut self, now: Time, out: &mut Vec<Packet>) {
+            if self.packet.is_some_and(|p| p.created <= now) {
+                out.extend(self.packet.take());
+            }
+        }
+        fn on_delivered(&mut self, _packet: &Packet, _now: Time) {
+            self.delivered += 1;
+        }
+        fn is_exhausted(&self) -> bool {
+            self.packet.is_none()
+        }
+    }
+
+    #[test]
+    fn one_shot_source_contract() {
+        let p = Packet::new(
+            PacketId(0),
+            SiteId::from_index(0),
+            SiteId::from_index(1),
+            64,
+            MessageKind::Data,
+            Time::from_ns(5),
+        );
+        let mut s = OneShot {
+            packet: Some(p),
+            delivered: 0,
+        };
+        assert_eq!(s.next_emission(), Some(Time::from_ns(5)));
+        let mut out = Vec::new();
+        s.emit_due(Time::from_ns(4), &mut out);
+        assert!(out.is_empty());
+        s.emit_due(Time::from_ns(5), &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(s.is_exhausted());
+        s.on_delivered(&out[0], Time::from_ns(9));
+        assert_eq!(s.delivered, 1);
+    }
+}

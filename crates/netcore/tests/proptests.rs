@@ -1,0 +1,87 @@
+//! Property-based tests of the shared network abstractions.
+
+use desim::{Span, Time};
+use netcore::{Grid, MessageKind, Packet, PacketId, SiteId, TxChannel};
+use proptest::prelude::*;
+
+fn packet(id: u64, bytes: u32) -> Packet {
+    Packet::new(
+        PacketId(id),
+        SiteId::from_index(0),
+        SiteId::from_index(1),
+        bytes,
+        MessageKind::Data,
+        Time::ZERO,
+    )
+}
+
+proptest! {
+    /// A channel transmits packets in FIFO order with non-overlapping
+    /// serialization windows whose lengths match bytes/bandwidth.
+    #[test]
+    fn channel_serializes_fifo_without_overlap(
+        sizes in proptest::collection::vec(1u32..512, 1..16),
+        bw in 1u32..64,
+    ) {
+        let bw = bw as f64;
+        let mut ch = TxChannel::new(bw, 64);
+        for (i, &s) in sizes.iter().enumerate() {
+            ch.try_enqueue(packet(i as u64, s)).expect("capacity 64");
+        }
+        let mut now = Time::ZERO;
+        let mut order = 0u64;
+        while let Some((p, finish)) = ch.begin_if_ready(now) {
+            prop_assert_eq!(p.id, PacketId(order));
+            let expect = Span::from_ns_f64(p.bytes as f64 / bw);
+            prop_assert_eq!(finish - now, expect);
+            // Starting again before `finish` must fail.
+            if finish > now + Span::from_ps(1) {
+                let mid = now + Span::from_ps(1);
+                prop_assert!(ch.begin_if_ready(mid).is_none());
+            }
+            now = finish;
+            order += 1;
+        }
+        prop_assert_eq!(order as usize, sizes.len());
+    }
+
+    /// Capacity is enforced exactly: `cap` packets fit, the next bounces.
+    #[test]
+    fn channel_capacity_exact(cap in 1usize..32) {
+        let mut ch = TxChannel::new(1.0, cap);
+        for i in 0..cap {
+            prop_assert!(ch.try_enqueue(packet(i as u64, 8)).is_ok());
+        }
+        prop_assert!(ch.is_full());
+        prop_assert!(ch.try_enqueue(packet(99, 8)).is_err());
+    }
+
+    /// Grid coordinates round-trip and peers are symmetric.
+    #[test]
+    fn grid_coords_round_trip(side in 2usize..16, a in 0usize..255, b in 0usize..255) {
+        let g = Grid::new(side);
+        let a = SiteId::from_index(a % g.sites());
+        let b = SiteId::from_index(b % g.sites());
+        let (x, y) = g.coord(a);
+        prop_assert_eq!(g.site(x, y), a);
+        prop_assert_eq!(g.are_peers(a, b), g.are_peers(b, a));
+        if a != b {
+            let same_row_or_col = g.x(a) == g.x(b) || g.y(a) == g.y(b);
+            prop_assert_eq!(g.are_peers(a, b), same_row_or_col);
+        }
+    }
+
+    /// Every site has exactly side-1 row peers and side-1 column peers,
+    /// all distinct from itself.
+    #[test]
+    fn peer_counts(side in 2usize..12, idx in 0usize..143) {
+        let g = Grid::new(side);
+        let s = SiteId::from_index(idx % g.sites());
+        let rows: Vec<_> = g.row_peers(s).collect();
+        let cols: Vec<_> = g.col_peers(s).collect();
+        prop_assert_eq!(rows.len(), side - 1);
+        prop_assert_eq!(cols.len(), side - 1);
+        prop_assert!(!rows.contains(&s));
+        prop_assert!(!cols.contains(&s));
+    }
+}

@@ -1,0 +1,606 @@
+//! The circuit-switched optical torus (paper §4.5).
+//!
+//! An 8×8 torus of 4×4 optical switches carries wide (320 GB/s) optical
+//! circuits. Before any data moves, a path-setup message travels hop by
+//! hop from the source to the destination over a *low-bandwidth optical
+//! control network* (the macrochip adaptation replaces the original
+//! electronic setup network, which would have required an active
+//! substrate). Each control hop serializes the setup packet at one
+//! wavelength (2.5 GB/s), crosses one site pitch of waveguide, and spends
+//! a router cycle setting the local 4×4 switch. The destination
+//! acknowledges, data flashes across the established circuit, and the
+//! circuit is torn down.
+//!
+//! For cache-line-sized transfers the setup round trip dominates utterly —
+//! the behaviour behind the paper's 2.5%-of-peak sustained bandwidth
+//! (§6.1). Gateways sustain a small number of concurrent circuits
+//! ([`MAX_CIRCUITS_PER_GATEWAY`]).
+
+use desim::{EventQueue, Span, Time};
+use netcore::{
+    MacrochipConfig, MessageKind, NetStats, Network, NetworkKind, Packet, PacketId, SiteId,
+    TxChannel,
+};
+use std::collections::{HashMap, VecDeque};
+
+/// Wavelengths per data circuit (128 × 2.5 GB/s = 320 GB/s).
+pub const LAMBDAS_PER_CIRCUIT: usize = 128;
+
+/// Default concurrent circuits a site's gateway can source (and sink):
+/// one per sourced waveguide (§4.5: each site sources 16 waveguides).
+pub const MAX_CIRCUITS_PER_GATEWAY: usize = 16;
+
+/// Size of a path-setup control message: routing, wavelength-assignment
+/// and virtual-channel state for the whole path, in bytes.
+pub const SETUP_BYTES: u32 = 32;
+
+/// Per-hop processing of a setup message at a switch point: O-E
+/// conversion, route computation, driving the 4x4 switch, and E-O
+/// remodulation onto the next control segment.
+pub const HOP_PROCESSING: desim::Span = desim::Span::from_ps(2_000);
+
+/// Default packets carried per circuit: the paper sets up and tears down
+/// a circuit per transfer, which is exactly why small messages fare so
+/// badly (§6.1). The batching ablation raises this.
+pub const DEFAULT_BATCH: usize = 1;
+
+#[derive(Debug, Clone)]
+struct Circuit {
+    src: SiteId,
+    dst: SiteId,
+    packets: Vec<Packet>,
+    hops: usize,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// A control link finished serializing; start its next setup message.
+    CtrlTxDone { link: usize },
+    /// A setup message reached (and was routed by) site `at`.
+    SetupArrive { circuit: u64, at: SiteId },
+    /// The acknowledgment reached the source; data transmission starts.
+    AckArrive { circuit: u64 },
+    /// The last data bit reached the destination.
+    DataDone { circuit: u64 },
+    /// Intra-site loop-back delivery.
+    Deliver { packet: Packet },
+}
+
+/// The circuit-switched torus network.
+///
+/// # Example
+///
+/// ```
+/// use desim::Time;
+/// use netcore::{MacrochipConfig, MessageKind, Network, Packet, PacketId};
+/// use networks::CircuitSwitchedNetwork;
+///
+/// let config = MacrochipConfig::scaled();
+/// let mut net = CircuitSwitchedNetwork::new(config);
+/// let p = Packet::new(PacketId(0), config.grid.site(0, 0), config.grid.site(2, 2),
+///                     64, MessageKind::Data, Time::ZERO);
+/// net.inject(p, Time::ZERO).unwrap();
+/// while let Some(t) = net.next_event() { net.advance(t); }
+/// let done = net.drain_delivered();
+/// // Path setup dominates: tens of ns for a 0.2 ns data flash.
+/// assert!(done[0].latency().unwrap().as_ns_f64() > 10.0);
+/// ```
+pub struct CircuitSwitchedNetwork {
+    config: MacrochipConfig,
+    /// Directed control links: 4 per site (+x, −x, +y, −y).
+    ctrl_links: Vec<TxChannel>,
+    out_active: Vec<usize>,
+    in_active: Vec<usize>,
+    src_wait: Vec<VecDeque<Packet>>,
+    dst_wait: Vec<VecDeque<u64>>,
+    circuits: HashMap<u64, Circuit>,
+    gateway_limit: usize,
+    batch_limit: usize,
+    next_circuit: u64,
+    events: EventQueue<Ev>,
+    delivered: Vec<Packet>,
+    stats: NetStats,
+}
+
+const DIR_XP: usize = 0;
+const DIR_XN: usize = 1;
+const DIR_YP: usize = 2;
+const DIR_YN: usize = 3;
+
+impl CircuitSwitchedNetwork {
+    /// Builds the network for `config` with the default gateway limit.
+    pub fn new(config: MacrochipConfig) -> CircuitSwitchedNetwork {
+        CircuitSwitchedNetwork::with_gateway_limit(config, MAX_CIRCUITS_PER_GATEWAY)
+    }
+
+    /// Builds the network with a custom per-gateway concurrent-circuit
+    /// limit (used by the gateway-concurrency ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gateway_limit` is zero.
+    pub fn with_gateway_limit(
+        config: MacrochipConfig,
+        gateway_limit: usize,
+    ) -> CircuitSwitchedNetwork {
+        CircuitSwitchedNetwork::with_batching(config, gateway_limit, DEFAULT_BATCH)
+    }
+
+    /// Builds the network carrying up to `batch_limit` queued same-destination
+    /// packets per circuit (the batching ablation; the paper's design is 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gateway_limit` or `batch_limit` is zero.
+    pub fn with_batching(
+        config: MacrochipConfig,
+        gateway_limit: usize,
+        batch_limit: usize,
+    ) -> CircuitSwitchedNetwork {
+        config.validate();
+        assert!(gateway_limit > 0, "need at least one circuit per gateway");
+        assert!(batch_limit > 0, "need at least one packet per circuit");
+        let sites = config.grid.sites();
+        let ctrl_bw = config.lambda_bytes_per_ns; // one wavelength
+        CircuitSwitchedNetwork {
+            config,
+            // Deep control queues: contention appears as queueing delay.
+            ctrl_links: (0..sites * 4)
+                .map(|_| TxChannel::new(ctrl_bw, 1024))
+                .collect(),
+            out_active: vec![0; sites],
+            in_active: vec![0; sites],
+            src_wait: (0..sites).map(|_| VecDeque::new()).collect(),
+            dst_wait: (0..sites).map(|_| VecDeque::new()).collect(),
+            circuits: HashMap::new(),
+            gateway_limit,
+            batch_limit,
+            next_circuit: 0,
+            events: EventQueue::new(),
+            delivered: Vec::new(),
+            stats: NetStats::new(),
+        }
+    }
+
+    /// XY wrap-around routing: the next hop direction from `cur` toward
+    /// `dst`, x first.
+    fn next_dir(&self, cur: SiteId, dst: SiteId) -> usize {
+        let g = self.config.grid;
+        let n = g.side();
+        let (cx, cy) = g.coord(cur);
+        let (dx, dy) = g.coord(dst);
+        if cx != dx {
+            let fwd = (dx + n - cx) % n; // hops going +x
+            if fwd <= n - fwd {
+                DIR_XP
+            } else {
+                DIR_XN
+            }
+        } else {
+            let fwd = (dy + n - cy) % n;
+            if fwd <= n - fwd {
+                DIR_YP
+            } else {
+                DIR_YN
+            }
+        }
+    }
+
+    fn neighbor(&self, cur: SiteId, dir: usize) -> SiteId {
+        let g = self.config.grid;
+        let n = g.side();
+        let (x, y) = g.coord(cur);
+        let (nx, ny) = match dir {
+            DIR_XP => ((x + 1) % n, y),
+            DIR_XN => ((x + n - 1) % n, y),
+            DIR_YP => (x, (y + 1) % n),
+            DIR_YN => (x, (y + n - 1) % n),
+            _ => unreachable!("invalid direction"),
+        };
+        g.site(nx, ny)
+    }
+
+    /// Per-hop control cost excluding serialization: waveguide flight plus
+    /// the switch point's processing.
+    fn hop_overhead(&self) -> Span {
+        self.config.layout.hop_delay() + HOP_PROCESSING
+    }
+
+    /// The acknowledgment's return traversal: the circuit's switches are
+    /// already set, so the ack is serialized once and flies the reverse
+    /// path without per-hop routing.
+    fn ack_traverse(&self, hops: usize) -> Span {
+        let ser = Span::from_ns_f64(SETUP_BYTES as f64 / self.config.lambda_bytes_per_ns);
+        ser + self.config.layout.hop_delay() * hops as u64
+    }
+
+    fn link_index(&self, site: SiteId, dir: usize) -> usize {
+        site.index() * 4 + dir
+    }
+
+    /// Sends the circuit's setup message one hop onward from `from`.
+    fn forward_setup(&mut self, circuit: u64, from: SiteId, now: Time) {
+        let dst = self.circuits[&circuit].dst;
+        let dir = self.next_dir(from, dst);
+        let link = self.link_index(from, dir);
+        let marker = Packet::new(
+            PacketId(circuit),
+            from,
+            dst,
+            SETUP_BYTES,
+            MessageKind::Control,
+            now,
+        )
+        .with_op(circuit);
+        self.ctrl_links[link]
+            .try_enqueue(marker)
+            .expect("control queues are effectively unbounded");
+        self.pump_ctrl(link, now);
+    }
+
+    fn pump_ctrl(&mut self, link: usize, now: Time) {
+        let site = SiteId::from_index(link / 4);
+        let dir = link % 4;
+        if let Some((marker, finish)) = self.ctrl_links[link].begin_if_ready(now) {
+            let next = self.neighbor(site, dir);
+            self.events.push(finish, Ev::CtrlTxDone { link });
+            self.events.push(
+                finish + self.hop_overhead(),
+                Ev::SetupArrive {
+                    circuit: marker.op.expect("setup markers carry circuit ids"),
+                    at: next,
+                },
+            );
+        }
+    }
+
+    /// Starts new circuits from `src` while the gateway has capacity.
+    fn try_start(&mut self, src: SiteId, now: Time) {
+        while self.out_active[src.index()] < self.gateway_limit {
+            let Some(packet) = self.src_wait[src.index()].pop_front() else {
+                return;
+            };
+            let dst = packet.dst;
+            let mut packets = vec![packet];
+            // Batch further queued packets for the same destination onto
+            // this circuit (no effect at the paper's batch limit of 1).
+            if self.batch_limit > 1 {
+                let queue = &mut self.src_wait[src.index()];
+                let mut i = 0;
+                while i < queue.len() && packets.len() < self.batch_limit {
+                    if queue[i].dst == dst {
+                        packets.push(queue.remove(i).expect("index checked"));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            let id = self.next_circuit;
+            self.next_circuit += 1;
+            let hops = self
+                .config
+                .layout
+                .torus_hops(self.config.grid.coord(src), self.config.grid.coord(dst));
+            self.circuits.insert(
+                id,
+                Circuit {
+                    src,
+                    dst,
+                    packets,
+                    hops,
+                },
+            );
+            self.out_active[src.index()] += 1;
+            self.forward_setup(id, src, now);
+        }
+    }
+
+    fn on_setup_arrive(&mut self, circuit: u64, at: SiteId, now: Time) {
+        let dst = self.circuits[&circuit].dst;
+        if at == dst {
+            if self.in_active[dst.index()] < self.gateway_limit {
+                self.grant(circuit, now);
+            } else {
+                self.dst_wait[dst.index()].push_back(circuit);
+            }
+        } else {
+            self.forward_setup(circuit, at, now);
+        }
+    }
+
+    /// Destination accepts the circuit; the ack flies back to the source.
+    fn grant(&mut self, circuit: u64, now: Time) {
+        let c = &self.circuits[&circuit];
+        self.in_active[c.dst.index()] += 1;
+        let ack = self.ack_traverse(c.hops);
+        self.events.push(now + ack, Ev::AckArrive { circuit });
+    }
+
+    fn on_ack(&mut self, circuit: u64, now: Time) {
+        let c = self.circuits.get_mut(&circuit).expect("live circuit");
+        for p in &mut c.packets {
+            p.tx_start = Some(now);
+        }
+        let c = &self.circuits[&circuit];
+        let bytes: u32 = c.packets.iter().map(|p| p.bytes).sum();
+        let bw = self.config.channel_bytes_per_ns(LAMBDAS_PER_CIRCUIT);
+        let ser = Span::from_ns_f64(bytes as f64 / bw);
+        let flight = self.config.layout.hop_delay() * c.hops as u64;
+        self.events
+            .push(now + ser + flight, Ev::DataDone { circuit });
+    }
+
+    fn on_data_done(&mut self, circuit: u64, now: Time) {
+        let c = self
+            .circuits
+            .remove(&circuit)
+            .expect("circuit completes exactly once");
+        for mut p in c.packets {
+            p.delivered = Some(now);
+            self.stats.on_deliver(&p);
+            self.delivered.push(p);
+        }
+        // Gateways free immediately; switch teardown proceeds off the
+        // critical path (the teardown message follows the same control
+        // path but holds no gateway resources).
+        self.out_active[c.src.index()] -= 1;
+        self.in_active[c.dst.index()] -= 1;
+        self.try_start(c.src, now);
+        if let Some(waiting) = self.dst_wait[c.dst.index()].pop_front() {
+            self.grant(waiting, now);
+        }
+    }
+}
+
+impl Network for CircuitSwitchedNetwork {
+    fn kind(&self) -> NetworkKind {
+        NetworkKind::CircuitSwitched
+    }
+
+    fn config(&self) -> &MacrochipConfig {
+        &self.config
+    }
+
+    fn inject(&mut self, packet: Packet, now: Time) -> Result<(), Packet> {
+        if packet.src == packet.dst {
+            let mut packet = packet;
+            packet.tx_start = Some(now);
+            self.events
+                .push(now + self.config.cycle(), Ev::Deliver { packet });
+            self.stats.on_inject();
+            return Ok(());
+        }
+        if self.src_wait[packet.src.index()].len() >= self.config.queue_capacity * 4 {
+            self.stats.on_reject();
+            return Err(packet);
+        }
+        let src = packet.src;
+        self.src_wait[src.index()].push_back(packet);
+        self.stats.on_inject();
+        self.try_start(src, now);
+        Ok(())
+    }
+
+    fn next_event(&self) -> Option<Time> {
+        self.events.peek_time()
+    }
+
+    fn advance(&mut self, now: Time) {
+        while let Some((t, ev)) = self.events.pop_due(now) {
+            match ev {
+                Ev::CtrlTxDone { link } => self.pump_ctrl(link, t),
+                Ev::SetupArrive { circuit, at } => self.on_setup_arrive(circuit, at, t),
+                Ev::AckArrive { circuit } => self.on_ack(circuit, t),
+                Ev::DataDone { circuit } => self.on_data_done(circuit, t),
+                Ev::Deliver { mut packet } => {
+                    packet.delivered = Some(t);
+                    self.stats.on_deliver(&packet);
+                    self.delivered.push(packet);
+                }
+            }
+        }
+    }
+
+    fn drain_delivered(&mut self) -> Vec<Packet> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> CircuitSwitchedNetwork {
+        CircuitSwitchedNetwork::new(MacrochipConfig::scaled())
+    }
+
+    fn data(id: u64, src: SiteId, dst: SiteId, at: Time) -> Packet {
+        Packet::new(PacketId(id), src, dst, 64, MessageKind::Data, at)
+    }
+
+    fn run_until_idle(net: &mut CircuitSwitchedNetwork) {
+        while let Some(t) = net.next_event() {
+            net.advance(t);
+        }
+    }
+
+    #[test]
+    fn setup_round_trip_dominates_small_transfers() {
+        let mut n = net();
+        let g = n.config.grid;
+        n.inject(data(0, g.site(0, 0), g.site(4, 4), Time::ZERO), Time::ZERO)
+            .unwrap();
+        run_until_idle(&mut n);
+        let done = n.drain_delivered();
+        let lat = done[0].latency().unwrap().as_ns_f64();
+        // 8 setup hops at ~15 ns/hop, an express ack, and 0.2 ns of data:
+        // the control round trip is ~600x the data time.
+        assert!(lat > 120.0 && lat < 160.0, "latency {lat}");
+    }
+
+    #[test]
+    fn adjacent_sites_set_up_faster() {
+        let mut n = net();
+        let g = n.config.grid;
+        n.inject(data(0, g.site(0, 0), g.site(1, 0), Time::ZERO), Time::ZERO)
+            .unwrap();
+        run_until_idle(&mut n);
+        let lat = n.drain_delivered()[0].latency().unwrap().as_ns_f64();
+        // One setup hop + express ack: a fraction of the cross-chip cost.
+        assert!(lat < 35.0, "latency {lat}");
+    }
+
+    #[test]
+    fn torus_wraps_for_setup_routing() {
+        let n = net();
+        let g = n.config.grid;
+        // (0,0) -> (7,0): one hop in -x with wrap, not seven in +x.
+        assert_eq!(n.next_dir(g.site(0, 0), g.site(7, 0)), DIR_XN);
+        assert_eq!(n.neighbor(g.site(0, 0), DIR_XN), g.site(7, 0));
+    }
+
+    #[test]
+    fn gateway_limits_concurrent_circuits() {
+        let mut n = net();
+        let g = n.config.grid;
+        let src = g.site(0, 0);
+        // More packets than the gateway's 16 sourced waveguides.
+        for i in 0..24u64 {
+            n.inject(
+                data(
+                    i,
+                    src,
+                    g.site((i % 6 + 1) as usize, (i / 6 + 1) as usize),
+                    Time::ZERO,
+                ),
+                Time::ZERO,
+            )
+            .unwrap();
+        }
+        assert_eq!(n.out_active[src.index()], MAX_CIRCUITS_PER_GATEWAY);
+        run_until_idle(&mut n);
+        assert_eq!(n.drain_delivered().len(), 24);
+        assert_eq!(n.out_active[src.index()], 0);
+    }
+
+    #[test]
+    fn destination_admission_queues_excess_setups() {
+        let mut n = net();
+        let g = n.config.grid;
+        let dst = g.site(4, 4);
+        // More sources than the destination gateway accepts at once.
+        for i in 0..8u64 {
+            n.inject(
+                data(i, g.site(i as usize % 8, 0), dst, Time::ZERO),
+                Time::ZERO,
+            )
+            .unwrap();
+        }
+        run_until_idle(&mut n);
+        assert_eq!(n.drain_delivered().len(), 8);
+        assert_eq!(n.in_active[dst.index()], 0);
+        assert!(n.dst_wait[dst.index()].is_empty());
+    }
+
+    #[test]
+    fn control_link_contention_slows_setup() {
+        let mut n = net();
+        let g = n.config.grid;
+        // Many circuits from one source share its +x control link.
+        for i in 0..4u64 {
+            n.inject(
+                data(i, g.site(0, 0), g.site(3, i as usize), Time::ZERO),
+                Time::ZERO,
+            )
+            .unwrap();
+        }
+        run_until_idle(&mut n);
+        let done = n.drain_delivered();
+        let mut latencies: Vec<f64> = done
+            .iter()
+            .map(|p| p.latency().unwrap().as_ns_f64())
+            .collect();
+        latencies.sort_by(f64::total_cmp);
+        // Later setups queued behind earlier serializations.
+        assert!(latencies[3] > latencies[0] + 3.0);
+    }
+
+    #[test]
+    fn batching_carries_multiple_packets_per_circuit() {
+        let mut n = CircuitSwitchedNetwork::with_batching(MacrochipConfig::scaled(), 1, 4);
+        let g = n.config.grid;
+        let (a, b) = (g.site(0, 0), g.site(3, 3));
+        // Five same-destination packets, one gateway slot: the first
+        // circuit takes the head packet; the next takes a batch of four.
+        for i in 0..5u64 {
+            n.inject(data(i, a, b, Time::ZERO), Time::ZERO).unwrap();
+        }
+        run_until_idle(&mut n);
+        let done = n.drain_delivered();
+        assert_eq!(done.len(), 5);
+        // Batched packets share a delivery instant.
+        let mut times: Vec<Time> = done.iter().map(|p| p.delivered.unwrap()).collect();
+        times.sort_unstable();
+        times.dedup();
+        assert_eq!(times.len(), 2, "expected exactly two circuits");
+    }
+
+    #[test]
+    fn batching_skips_other_destinations() {
+        let mut n = CircuitSwitchedNetwork::with_batching(MacrochipConfig::scaled(), 1, 8);
+        let g = n.config.grid;
+        let a = g.site(0, 0);
+        // Packet 9 occupies the single gateway slot first, so the rest
+        // queue up and batching can see them together.
+        n.inject(data(9, a, g.site(5, 5), Time::ZERO), Time::ZERO)
+            .unwrap();
+        n.inject(data(0, a, g.site(3, 3), Time::ZERO), Time::ZERO)
+            .unwrap();
+        n.inject(data(1, a, g.site(4, 4), Time::ZERO), Time::ZERO)
+            .unwrap();
+        n.inject(data(2, a, g.site(3, 3), Time::ZERO), Time::ZERO)
+            .unwrap();
+        run_until_idle(&mut n);
+        let done = n.drain_delivered();
+        assert_eq!(done.len(), 4);
+        // Packets 0 and 2 ride one circuit; packet 1 gets its own.
+        let t0 = done.iter().find(|p| p.id == PacketId(0)).unwrap().delivered;
+        let t1 = done.iter().find(|p| p.id == PacketId(1)).unwrap().delivered;
+        let t2 = done.iter().find(|p| p.id == PacketId(2)).unwrap().delivered;
+        assert_eq!(t0, t2);
+        assert_ne!(t0, t1);
+    }
+
+    #[test]
+    fn loopback_takes_one_cycle() {
+        let mut n = net();
+        let s = n.config.grid.site(5, 5);
+        n.inject(data(0, s, s, Time::ZERO), Time::ZERO).unwrap();
+        run_until_idle(&mut n);
+        assert_eq!(
+            n.drain_delivered()[0].latency().unwrap(),
+            Span::from_ps(200)
+        );
+    }
+
+    #[test]
+    fn deep_injection_queue_eventually_backpressures() {
+        let mut n = net();
+        let g = n.config.grid;
+        let (a, b) = (g.site(0, 0), g.site(1, 1));
+        let cap = n.config.queue_capacity * 4;
+        let mut accepted = 0;
+        for i in 0..(cap as u64 + MAX_CIRCUITS_PER_GATEWAY as u64 + 4) {
+            if n.inject(data(i, a, b, Time::ZERO), Time::ZERO).is_ok() {
+                accepted += 1;
+            }
+        }
+        assert!(n.stats().rejected_packets() > 0);
+        run_until_idle(&mut n);
+        assert_eq!(n.drain_delivered().len(), accepted);
+    }
+}

@@ -1,0 +1,471 @@
+//! The limited point-to-point network with electronic routing (paper §4.6).
+//!
+//! Each site has a dedicated 20 GB/s (8-wavelength) optical channel to
+//! every *row peer* and *column peer* — the 14 sites sharing its row or
+//! column. Packets for any other site are forwarded through the one site
+//! that is a row peer of the source and a column peer of the destination:
+//! there the packet is converted to the electronic domain, crosses a 7×7
+//! router (one cycle), and is re-sent optically. Every transmission thus
+//! needs at most one intermediate O-E/E-O conversion.
+//!
+//! Forwarded bytes are tagged on the packet (`routed_bytes`) so the energy
+//! model can charge the paper's conservative 60 pJ/byte router energy
+//! (§6.3, Figure 9).
+
+use desim::{EventQueue, Time};
+use netcore::{MacrochipConfig, NetStats, Network, NetworkKind, Packet, SiteId, TxChannel};
+
+/// Wavelengths per peer channel (8 × 2.5 GB/s = 20 GB/s).
+pub const LAMBDAS_PER_CHANNEL: usize = 8;
+
+/// Cost of the intermediate electronic hop: O-E conversion and clock
+/// recovery on 8 parallel wavelength lanes, elastic-buffer
+/// resynchronization into the router's domain, the router cycle itself,
+/// and E-O remodulation. The router crossing proper is one cycle (§4.6);
+/// the conversions around it dominate. This is what keeps the limited
+/// point-to-point network behind the pure point-to-point design on
+/// forwarded traffic despite its 4x wider channels (paper §6.2).
+pub const FORWARD_CONVERSION: desim::Span = desim::Span::from_ps(10_000);
+
+/// Which intermediate site forwards non-peer traffic. The paper's design
+/// has one router per direction pair at each site; the forwarder for
+/// (src, dst) can be the source's row peer in the destination's column
+/// (row-first), the source's column peer in the destination's row
+/// (column-first), or whichever of the two currently has the shorter
+/// first-hop queue (adaptive — an extension beyond the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Row link first, then the forwarder's column link (paper default).
+    #[default]
+    RowFirst,
+    /// Column link first, then the forwarder's row link.
+    ColumnFirst,
+    /// Pick the first hop with the shorter queue; ties go row-first.
+    Adaptive,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// A channel finished serializing; start its next packet.
+    TxDone { channel: usize },
+    /// A packet arrived at a site: the final destination or the forwarder.
+    Arrive { packet: Packet, at_site: SiteId },
+    /// The router at `at` processed the packet; enqueue the second hop.
+    Forward { packet: Packet, at: SiteId },
+}
+
+/// The limited point-to-point network.
+///
+/// # Example
+///
+/// ```
+/// use desim::Time;
+/// use netcore::{MacrochipConfig, MessageKind, Network, Packet, PacketId};
+/// use networks::LimitedP2pNetwork;
+///
+/// let config = MacrochipConfig::scaled();
+/// let mut net = LimitedP2pNetwork::new(config);
+/// // Non-peer sites: (0,0) -> (3,5) forwards through (3,0).
+/// let p = Packet::new(PacketId(0), config.grid.site(0, 0), config.grid.site(3, 5),
+///                     64, MessageKind::Data, Time::ZERO);
+/// net.inject(p, Time::ZERO).unwrap();
+/// while let Some(t) = net.next_event() { net.advance(t); }
+/// let done = net.drain_delivered();
+/// assert_eq!(done[0].routed_bytes, 64); // crossed one electronic router
+/// ```
+pub struct LimitedP2pNetwork {
+    config: MacrochipConfig,
+    policy: RoutingPolicy,
+    /// Dense S×S map; `None` where no direct channel exists.
+    channels: Vec<Option<TxChannel>>,
+    events: EventQueue<Ev>,
+    delivered: Vec<Packet>,
+    stats: NetStats,
+}
+
+impl LimitedP2pNetwork {
+    /// Builds the network with the paper's row-first routing.
+    pub fn new(config: MacrochipConfig) -> LimitedP2pNetwork {
+        LimitedP2pNetwork::with_policy(config, RoutingPolicy::RowFirst)
+    }
+
+    /// Builds the network with a custom forwarding policy (used by the
+    /// routing-policy ablation).
+    pub fn with_policy(config: MacrochipConfig, policy: RoutingPolicy) -> LimitedP2pNetwork {
+        config.validate();
+        let sites = config.grid.sites();
+        let bw = config.channel_bytes_per_ns(LAMBDAS_PER_CHANNEL);
+        let mut channels = Vec::with_capacity(sites * sites);
+        for s in 0..sites {
+            for d in 0..sites {
+                let (s, d) = (SiteId::from_index(s), SiteId::from_index(d));
+                channels.push(if config.grid.are_peers(s, d) {
+                    Some(TxChannel::new(bw, config.queue_capacity))
+                } else {
+                    None
+                });
+            }
+        }
+        LimitedP2pNetwork {
+            config,
+            policy,
+            channels,
+            events: EventQueue::new(),
+            delivered: Vec::new(),
+            stats: NetStats::new(),
+        }
+    }
+
+    /// The forwarding site for a non-peer pair under the current policy.
+    pub fn forwarder(&self, src: SiteId, dst: SiteId) -> SiteId {
+        let g = self.config.grid;
+        let row_first = g.site(g.x(dst), g.y(src));
+        let col_first = g.site(g.x(src), g.y(dst));
+        match self.policy {
+            RoutingPolicy::RowFirst => row_first,
+            RoutingPolicy::ColumnFirst => col_first,
+            RoutingPolicy::Adaptive => {
+                let q = |hop: SiteId| {
+                    self.channels[self.channel_index(src, hop)]
+                        .as_ref()
+                        .expect("first hops are peers")
+                        .queued()
+                };
+                if q(col_first) < q(row_first) {
+                    col_first
+                } else {
+                    row_first
+                }
+            }
+        }
+    }
+
+    fn channel_index(&self, src: SiteId, dst: SiteId) -> usize {
+        src.index() * self.config.grid.sites() + dst.index()
+    }
+
+    fn pump(&mut self, channel: usize, now: Time) {
+        let sites = self.config.grid.sites();
+        let src = SiteId::from_index(channel / sites);
+        let hop_dst = SiteId::from_index(channel % sites);
+        let Some(ch) = self.channels[channel].as_mut() else {
+            return;
+        };
+        if let Some((mut packet, finish)) = ch.begin_if_ready(now) {
+            if hop_dst == packet.dst {
+                // Final optical hop: the wire portion of the trip starts.
+                packet.tx_start = Some(now);
+            }
+            let prop = self
+                .config
+                .layout
+                .prop_delay(self.config.grid.coord(src), self.config.grid.coord(hop_dst));
+            self.events.push(finish, Ev::TxDone { channel });
+            self.events.push(
+                finish + prop,
+                Ev::Arrive {
+                    packet,
+                    at_site: hop_dst,
+                },
+            );
+        }
+    }
+
+    fn on_arrive(&mut self, packet: Packet, at_site: SiteId, t: Time) {
+        if at_site == packet.dst {
+            self.deliver(packet, t);
+        } else {
+            // Intermediate hop: O-E/E-O conversion plus the one-cycle
+            // electronic router (§4.6).
+            self.events.push(
+                t + FORWARD_CONVERSION,
+                Ev::Forward {
+                    packet,
+                    at: at_site,
+                },
+            );
+        }
+    }
+
+    fn on_forward(&mut self, mut packet: Packet, at: SiteId, t: Time) {
+        debug_assert!(
+            self.config.grid.are_peers(at, packet.dst),
+            "forwarder must be a peer of the destination"
+        );
+        if packet.routed_bytes == 0 {
+            packet.routed_bytes = packet.bytes;
+        }
+        let idx = self.channel_index(at, packet.dst);
+        let retry_at = {
+            let ch = self.channels[idx]
+                .as_mut()
+                .expect("forwarder is a column peer of dst");
+            match ch.try_enqueue(packet) {
+                Ok(()) => None,
+                // Output buffer full: the router holds the packet and
+                // retries when the channel frees a slot.
+                Err(p) => Some((ch.busy_until().max(t + self.config.cycle()), p)),
+            }
+        };
+        match retry_at {
+            None => self.pump(idx, t),
+            Some((when, p)) => self.events.push(when, Ev::Forward { packet: p, at }),
+        }
+    }
+
+    fn deliver(&mut self, mut packet: Packet, at: Time) {
+        packet.delivered = Some(at);
+        self.stats.on_deliver(&packet);
+        self.delivered.push(packet);
+    }
+}
+
+impl Network for LimitedP2pNetwork {
+    fn kind(&self) -> NetworkKind {
+        NetworkKind::LimitedPointToPoint
+    }
+
+    fn config(&self) -> &MacrochipConfig {
+        &self.config
+    }
+
+    fn inject(&mut self, packet: Packet, now: Time) -> Result<(), Packet> {
+        if packet.src == packet.dst {
+            let mut packet = packet;
+            packet.tx_start = Some(now);
+            self.events.push(
+                now + self.config.cycle(),
+                Ev::Arrive {
+                    at_site: packet.dst,
+                    packet,
+                },
+            );
+            self.stats.on_inject();
+            return Ok(());
+        }
+        let first_hop = if self.config.grid.are_peers(packet.src, packet.dst) {
+            packet.dst
+        } else {
+            self.forwarder(packet.src, packet.dst)
+        };
+        let idx = self.channel_index(packet.src, first_hop);
+        let result = self.channels[idx]
+            .as_mut()
+            .expect("first hop is always a peer of the source")
+            .try_enqueue(packet);
+        match result {
+            Ok(()) => {
+                self.stats.on_inject();
+                self.pump(idx, now);
+                Ok(())
+            }
+            Err(p) => {
+                self.stats.on_reject();
+                Err(p)
+            }
+        }
+    }
+
+    fn next_event(&self) -> Option<Time> {
+        self.events.peek_time()
+    }
+
+    fn advance(&mut self, now: Time) {
+        while let Some((t, ev)) = self.events.pop_due(now) {
+            match ev {
+                Ev::TxDone { channel } => self.pump(channel, t),
+                Ev::Arrive { packet, at_site } => self.on_arrive(packet, at_site, t),
+                Ev::Forward { packet, at } => self.on_forward(packet, at, t),
+            }
+        }
+    }
+
+    fn drain_delivered(&mut self) -> Vec<Packet> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::Span;
+    use netcore::{MessageKind, PacketId};
+
+    fn net() -> LimitedP2pNetwork {
+        LimitedP2pNetwork::new(MacrochipConfig::scaled())
+    }
+
+    fn data(id: u64, src: SiteId, dst: SiteId, at: Time) -> Packet {
+        Packet::new(PacketId(id), src, dst, 64, MessageKind::Data, at)
+    }
+
+    fn run_until_idle(net: &mut LimitedP2pNetwork) {
+        while let Some(t) = net.next_event() {
+            net.advance(t);
+        }
+    }
+
+    #[test]
+    fn peer_transfer_is_direct_and_fast() {
+        let mut n = net();
+        let g = n.config.grid;
+        n.inject(data(0, g.site(0, 0), g.site(5, 0), Time::ZERO), Time::ZERO)
+            .unwrap();
+        run_until_idle(&mut n);
+        let done = n.drain_delivered();
+        // 64 B at 20 B/ns = 3.2 ns + 5 hops * 0.25 ns flight.
+        assert_eq!(done[0].latency().unwrap(), Span::from_ns_f64(4.45));
+        assert_eq!(done[0].routed_bytes, 0);
+    }
+
+    #[test]
+    fn non_peer_transfer_uses_one_router_hop() {
+        let mut n = net();
+        let g = n.config.grid;
+        let (src, dst) = (g.site(0, 0), g.site(3, 5));
+        assert!(!g.are_peers(src, dst));
+        n.inject(data(0, src, dst, Time::ZERO), Time::ZERO).unwrap();
+        run_until_idle(&mut n);
+        let done = n.drain_delivered();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].routed_bytes, 64);
+        // hop1: 3.2 + 0.75; conversions + router 10; hop2: 3.2 + 1.25.
+        assert_eq!(done[0].latency().unwrap(), Span::from_ns_f64(18.4));
+    }
+
+    #[test]
+    fn forwarder_is_row_peer_of_src_and_col_peer_of_dst() {
+        let n = net();
+        let g = n.config.grid;
+        let f = n.forwarder(g.site(1, 2), g.site(6, 7));
+        assert_eq!(g.coord(f), (6, 2));
+    }
+
+    #[test]
+    fn forwarded_traffic_contends_with_native_traffic() {
+        let mut n = net();
+        let g = n.config.grid;
+        // Forwarder for (0,0)->(1,1) is (1,0). Saturate channel (1,0)->(1,1)
+        // with the forwarder's own traffic, then forward through it.
+        let fwd = g.site(1, 0);
+        let dst = g.site(1, 1);
+        for i in 0..4u64 {
+            n.inject(data(i, fwd, dst, Time::ZERO), Time::ZERO).unwrap();
+        }
+        n.inject(data(99, g.site(0, 0), dst, Time::ZERO), Time::ZERO)
+            .unwrap();
+        run_until_idle(&mut n);
+        let done = n.drain_delivered();
+        assert_eq!(done.len(), 5);
+        let routed = done.iter().find(|p| p.id == PacketId(99)).unwrap();
+        // It queued behind four native 3.2 ns transmissions.
+        assert!(
+            routed.latency().unwrap() > Span::from_ns_f64(16.0),
+            "latency {}",
+            routed.latency().unwrap()
+        );
+    }
+
+    #[test]
+    fn nearest_neighbor_traffic_never_routes() {
+        let mut n = net();
+        let g = n.config.grid;
+        // All four neighbors of (3,3) are peers.
+        let c = g.site(3, 3);
+        for (i, d) in [(2usize, 3usize), (4, 3), (3, 2), (3, 4)]
+            .iter()
+            .enumerate()
+        {
+            n.inject(data(i as u64, c, g.site(d.0, d.1), Time::ZERO), Time::ZERO)
+                .unwrap();
+        }
+        run_until_idle(&mut n);
+        let done = n.drain_delivered();
+        assert_eq!(done.len(), 4);
+        assert!(done.iter().all(|p| p.routed_bytes == 0));
+        assert_eq!(n.stats().routed_bytes(), 0);
+    }
+
+    #[test]
+    fn loopback_takes_one_cycle() {
+        let mut n = net();
+        let s = n.config.grid.site(4, 4);
+        n.inject(data(0, s, s, Time::ZERO), Time::ZERO).unwrap();
+        run_until_idle(&mut n);
+        assert_eq!(
+            n.drain_delivered()[0].latency().unwrap(),
+            Span::from_ps(200)
+        );
+    }
+
+    #[test]
+    fn router_bytes_feed_stats() {
+        let mut n = net();
+        let g = n.config.grid;
+        n.inject(data(0, g.site(0, 0), g.site(7, 7), Time::ZERO), Time::ZERO)
+            .unwrap();
+        run_until_idle(&mut n);
+        n.drain_delivered();
+        assert_eq!(n.stats().routed_bytes(), 64);
+    }
+
+    #[test]
+    fn column_first_policy_routes_through_the_other_corner() {
+        let n =
+            LimitedP2pNetwork::with_policy(MacrochipConfig::scaled(), RoutingPolicy::ColumnFirst);
+        let g = n.config.grid;
+        let f = n.forwarder(g.site(1, 2), g.site(6, 7));
+        assert_eq!(g.coord(f), (1, 7));
+    }
+
+    #[test]
+    fn adaptive_policy_avoids_the_congested_first_hop() {
+        let mut n =
+            LimitedP2pNetwork::with_policy(MacrochipConfig::scaled(), RoutingPolicy::Adaptive);
+        let g = n.config.grid;
+        let (src, dst) = (g.site(0, 0), g.site(3, 5));
+        // Congest the row-first hop (0,0) -> (3,0) with direct traffic.
+        for i in 0..6u64 {
+            n.inject(data(100 + i, src, g.site(3, 0), Time::ZERO), Time::ZERO)
+                .unwrap();
+        }
+        // The adaptive forwarder now prefers the column-first corner.
+        assert_eq!(g.coord(n.forwarder(src, dst)), (0, 5));
+        run_until_idle(&mut n);
+        assert_eq!(n.drain_delivered().len(), 6);
+    }
+
+    #[test]
+    fn all_policies_deliver_non_peer_traffic() {
+        for policy in [
+            RoutingPolicy::RowFirst,
+            RoutingPolicy::ColumnFirst,
+            RoutingPolicy::Adaptive,
+        ] {
+            let mut n = LimitedP2pNetwork::with_policy(MacrochipConfig::scaled(), policy);
+            let g = n.config.grid;
+            n.inject(data(0, g.site(0, 0), g.site(7, 7), Time::ZERO), Time::ZERO)
+                .unwrap();
+            run_until_idle(&mut n);
+            let done = n.drain_delivered();
+            assert_eq!(done.len(), 1, "{policy:?}");
+            assert_eq!(done[0].routed_bytes, 64, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn full_first_hop_queue_backpressures() {
+        let mut n = net();
+        let g = n.config.grid;
+        let (a, b) = (g.site(0, 0), g.site(1, 0));
+        let cap = n.config.queue_capacity;
+        for i in 0..=cap as u64 {
+            n.inject(data(i, a, b, Time::ZERO), Time::ZERO).unwrap();
+        }
+        assert!(n.inject(data(99, a, b, Time::ZERO), Time::ZERO).is_err());
+    }
+}

@@ -1,0 +1,281 @@
+//! The statically WDM-routed point-to-point network (paper §4.2).
+//!
+//! Every site has a dedicated optical data path to every other site: two
+//! wavelengths (5 GB/s) chosen by static WDM routing — the transmitter
+//! picks the waveguide leading to the destination's column and the
+//! wavelength dropped at the destination's row. There is no arbitration,
+//! switching, or path setup of any kind; a packet's latency is queueing at
+//! its dedicated channel, serialization at 5 GB/s, and time of flight.
+//!
+//! Intra-site transfers use a single-cycle loop-back, as in the paper's
+//! evaluation (§6.2).
+
+use desim::{EventQueue, Time};
+use netcore::{MacrochipConfig, NetStats, Network, NetworkKind, Packet, TxChannel};
+
+/// Wavelengths per point-to-point channel (2 × 2.5 GB/s = 5 GB/s).
+pub const LAMBDAS_PER_CHANNEL: usize = 2;
+
+#[derive(Debug)]
+enum Ev {
+    /// A channel finished serializing; try to start its next packet.
+    TxDone { channel: usize },
+    /// A packet's last bit reached the destination.
+    Deliver { packet: Packet },
+}
+
+/// The point-to-point network: S×(S−1) dedicated serializing channels.
+///
+/// # Example
+///
+/// ```
+/// use desim::Time;
+/// use netcore::{MacrochipConfig, MessageKind, Network, Packet, PacketId};
+/// use networks::P2pNetwork;
+///
+/// let config = MacrochipConfig::scaled();
+/// let mut net = P2pNetwork::new(config);
+/// let (a, b) = (config.grid.site(0, 0), config.grid.site(1, 0));
+/// net.inject(Packet::new(PacketId(0), a, b, 64, MessageKind::Data, Time::ZERO),
+///            Time::ZERO).unwrap();
+/// net.advance(Time::from_ns(20));
+/// assert_eq!(net.drain_delivered().len(), 1);
+/// ```
+pub struct P2pNetwork {
+    config: MacrochipConfig,
+    channels: Vec<TxChannel>,
+    events: EventQueue<Ev>,
+    delivered: Vec<Packet>,
+    stats: NetStats,
+}
+
+impl P2pNetwork {
+    /// Builds the network for `config`.
+    pub fn new(config: MacrochipConfig) -> P2pNetwork {
+        config.validate();
+        let sites = config.grid.sites();
+        let bw = config.channel_bytes_per_ns(LAMBDAS_PER_CHANNEL);
+        let channels = (0..sites * sites)
+            .map(|_| TxChannel::new(bw, config.queue_capacity))
+            .collect();
+        P2pNetwork {
+            config,
+            channels,
+            events: EventQueue::new(),
+            delivered: Vec::new(),
+            stats: NetStats::new(),
+        }
+    }
+
+    fn channel_index(&self, p: &Packet) -> usize {
+        p.src.index() * self.config.grid.sites() + p.dst.index()
+    }
+
+    /// Starts the channel's next transmission if it is idle.
+    fn pump(&mut self, channel: usize, now: Time) {
+        if let Some((mut packet, finish)) = self.channels[channel].begin_if_ready(now) {
+            packet.tx_start = Some(now);
+            let prop = self.config.layout.prop_delay(
+                self.config.grid.coord(packet.src),
+                self.config.grid.coord(packet.dst),
+            );
+            self.events.push(finish, Ev::TxDone { channel });
+            self.events.push(finish + prop, Ev::Deliver { packet });
+        }
+    }
+
+    fn deliver(&mut self, mut packet: Packet, at: Time) {
+        packet.delivered = Some(at);
+        self.stats.on_deliver(&packet);
+        self.delivered.push(packet);
+    }
+}
+
+impl Network for P2pNetwork {
+    fn kind(&self) -> NetworkKind {
+        NetworkKind::PointToPoint
+    }
+
+    fn config(&self) -> &MacrochipConfig {
+        &self.config
+    }
+
+    fn inject(&mut self, packet: Packet, now: Time) -> Result<(), Packet> {
+        if packet.src == packet.dst {
+            // Single-cycle intra-site loop-back.
+            let mut packet = packet;
+            packet.tx_start = Some(now);
+            self.events
+                .push(now + self.config.cycle(), Ev::Deliver { packet });
+            self.stats.on_inject();
+            return Ok(());
+        }
+        let channel = self.channel_index(&packet);
+        match self.channels[channel].try_enqueue(packet) {
+            Ok(()) => {
+                self.stats.on_inject();
+                self.pump(channel, now);
+                Ok(())
+            }
+            Err(p) => {
+                self.stats.on_reject();
+                Err(p)
+            }
+        }
+    }
+
+    fn next_event(&self) -> Option<Time> {
+        self.events.peek_time()
+    }
+
+    fn advance(&mut self, now: Time) {
+        while let Some((t, ev)) = self.events.pop_due(now) {
+            match ev {
+                Ev::TxDone { channel } => self.pump(channel, t),
+                Ev::Deliver { packet } => self.deliver(packet, t),
+            }
+        }
+    }
+
+    fn drain_delivered(&mut self) -> Vec<Packet> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::Span;
+    use netcore::{MessageKind, PacketId, SiteId};
+
+    fn net() -> P2pNetwork {
+        P2pNetwork::new(MacrochipConfig::scaled())
+    }
+
+    fn data(id: u64, src: SiteId, dst: SiteId, at: Time) -> Packet {
+        Packet::new(PacketId(id), src, dst, 64, MessageKind::Data, at)
+    }
+
+    fn run_until_idle(net: &mut P2pNetwork) {
+        while let Some(t) = net.next_event() {
+            net.advance(t);
+        }
+    }
+
+    #[test]
+    fn single_packet_latency_is_serialization_plus_flight() {
+        let mut n = net();
+        let g = n.config.grid;
+        n.inject(data(0, g.site(0, 0), g.site(7, 7), Time::ZERO), Time::ZERO)
+            .unwrap();
+        run_until_idle(&mut n);
+        let done = n.drain_delivered();
+        assert_eq!(done.len(), 1);
+        // 64 B at 5 B/ns = 12.8 ns; 14 hops at 0.25 ns = 3.5 ns.
+        assert_eq!(done[0].latency().unwrap(), Span::from_ns_f64(16.3));
+    }
+
+    #[test]
+    fn loopback_takes_one_cycle() {
+        let mut n = net();
+        let s = n.config.grid.site(2, 2);
+        n.inject(data(0, s, s, Time::ZERO), Time::ZERO).unwrap();
+        run_until_idle(&mut n);
+        let done = n.drain_delivered();
+        assert_eq!(done[0].latency().unwrap(), Span::from_ps(200));
+    }
+
+    #[test]
+    fn back_to_back_packets_serialize() {
+        let mut n = net();
+        let g = n.config.grid;
+        let (a, b) = (g.site(0, 0), g.site(1, 0));
+        n.inject(data(0, a, b, Time::ZERO), Time::ZERO).unwrap();
+        n.inject(data(1, a, b, Time::ZERO), Time::ZERO).unwrap();
+        run_until_idle(&mut n);
+        let done = n.drain_delivered();
+        assert_eq!(done.len(), 2);
+        let l0 = done[0].latency().unwrap();
+        let l1 = done[1].latency().unwrap();
+        // The second waits a full serialization time behind the first.
+        assert_eq!(l1 - l0, Span::from_ns_f64(12.8));
+    }
+
+    #[test]
+    fn distinct_destinations_do_not_interfere() {
+        let mut n = net();
+        let g = n.config.grid;
+        let a = g.site(0, 0);
+        n.inject(data(0, a, g.site(1, 0), Time::ZERO), Time::ZERO)
+            .unwrap();
+        n.inject(data(1, a, g.site(2, 0), Time::ZERO), Time::ZERO)
+            .unwrap();
+        run_until_idle(&mut n);
+        let done = n.drain_delivered();
+        // Both serialize in parallel on their dedicated channels.
+        let l0 = done[0].latency().unwrap().as_ns_f64();
+        let l1 = done[1].latency().unwrap().as_ns_f64();
+        assert!((l0 - 13.05).abs() < 0.01, "l0 = {l0}");
+        assert!((l1 - 13.3).abs() < 0.01, "l1 = {l1}");
+    }
+
+    #[test]
+    fn backpressure_after_queue_fills() {
+        let mut n = net();
+        let g = n.config.grid;
+        let (a, b) = (g.site(0, 0), g.site(1, 0));
+        let cap = n.config.queue_capacity;
+        // One packet enters service immediately; `cap` more fill the queue.
+        for i in 0..=cap as u64 {
+            n.inject(data(i, a, b, Time::ZERO), Time::ZERO).unwrap();
+        }
+        let err = n.inject(data(99, a, b, Time::ZERO), Time::ZERO);
+        assert!(err.is_err());
+        assert_eq!(n.stats().rejected_packets(), 1);
+    }
+
+    #[test]
+    fn stats_count_deliveries() {
+        let mut n = net();
+        let g = n.config.grid;
+        for i in 0..4u64 {
+            n.inject(
+                data(i, g.site(0, 0), g.site(i as usize + 1, 0), Time::ZERO),
+                Time::ZERO,
+            )
+            .unwrap();
+        }
+        run_until_idle(&mut n);
+        assert_eq!(n.stats().delivered_packets(), 4);
+        assert_eq!(n.stats().delivered_bytes(), 256);
+        assert_eq!(n.drain_delivered().len(), 4);
+    }
+
+    #[test]
+    fn channel_sustains_full_rate() {
+        // Saturate one channel and check near-100% utilization: the p2p
+        // network has no overheads (§6.1).
+        let mut n = net();
+        let g = n.config.grid;
+        let (a, b) = (g.site(0, 0), g.site(7, 0));
+        let mut t = Time::ZERO;
+        let mut sent = 0u64;
+        while t < Time::from_us(2) {
+            if n.inject(data(sent, a, b, t), t).is_ok() {
+                sent += 1;
+            }
+            n.advance(t);
+            t += Span::from_ns_f64(12.8); // one serialization time
+        }
+        run_until_idle(&mut n);
+        let delivered = n.stats().delivered_packets();
+        // 2 us / 12.8 ns per packet ≈ 156 packets.
+        assert!(delivered >= 150, "delivered {delivered}");
+        let rate = n.stats().delivered_bytes_per_ns();
+        assert!(rate > 4.9, "sustained {rate} B/ns of 5");
+    }
+}

@@ -1,0 +1,403 @@
+//! The token-ring-arbitrated optical crossbar — Corona adapted to the
+//! macrochip (paper §4.4).
+//!
+//! Every destination site owns a wide (128-wavelength, 320 GB/s) data
+//! bundle shared by all senders, plus a token that circulates a serpentine
+//! ring visiting all 64 sites. A sender diverts the token when it passes,
+//! transmits, and re-injects the token. Because the macrochip's dimensions
+//! are 10× Corona's single die, the token round trip is 80 core cycles
+//! (16 ns) — the latency that dominates this architecture's behaviour at
+//! macrochip scale (§6.1).
+//!
+//! The token is simulated lazily: when nobody wants it, only its (position,
+//! time) reference point is kept; event cost is proportional to traffic,
+//! not to token spins.
+
+use desim::{EventQueue, Span, Time};
+use netcore::{MacrochipConfig, NetStats, Network, NetworkKind, Packet, TxChannel};
+
+/// Wavelengths per destination bundle (128 × 2.5 GB/s = 320 GB/s).
+pub const LAMBDAS_PER_BUNDLE: usize = 128;
+
+/// Cost of releasing the token after a transmission: the holder re-injects
+/// a light pulse into the token bus (§4.4), modeled as half a core cycle.
+pub const TOKEN_RELEASE: desim::Span = desim::Span::from_ps(100);
+
+#[derive(Debug)]
+enum Ev {
+    /// The token for destination `dst` arrives at ring position `pos`.
+    TokenArrive { dst: usize, pos: usize },
+    /// A packet's last bit reached the destination.
+    Deliver { packet: Packet },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Token {
+    /// Unclaimed: it departed ring position `pos` at time `at` and keeps
+    /// circulating.
+    Free { pos: usize, at: Time },
+    /// A `TokenArrive` event is in flight to a requester.
+    Claimed,
+}
+
+/// The Corona-style token-ring crossbar on the macrochip.
+///
+/// # Example
+///
+/// ```
+/// use desim::Time;
+/// use netcore::{MacrochipConfig, MessageKind, Network, Packet, PacketId};
+/// use networks::TokenRingNetwork;
+///
+/// let config = MacrochipConfig::scaled();
+/// let mut net = TokenRingNetwork::new(config);
+/// let p = Packet::new(PacketId(0), config.grid.site(0, 0), config.grid.site(4, 4),
+///                     64, MessageKind::Data, Time::ZERO);
+/// net.inject(p, Time::ZERO).unwrap();
+/// while let Some(t) = net.next_event() { net.advance(t); }
+/// assert_eq!(net.drain_delivered().len(), 1);
+/// ```
+pub struct TokenRingNetwork {
+    config: MacrochipConfig,
+    /// Per-destination shared bundle; serialization only — queueing is in
+    /// `queues`, token arbitration decides who transmits.
+    bundles: Vec<TxChannel>,
+    /// Per (source, destination) sender queue, S×S dense.
+    queues: Vec<std::collections::VecDeque<Packet>>,
+    /// Token state per destination.
+    tokens: Vec<Token>,
+    /// Packets a site may transmit per token grab; the paper's evaluation
+    /// behaves like one cache line per grab ("one cycle to transmit ... 80
+    /// cycles to reacquire").
+    max_burst: usize,
+    events: EventQueue<Ev>,
+    delivered: Vec<Packet>,
+    stats: NetStats,
+}
+
+impl TokenRingNetwork {
+    /// Builds the network with the paper's one-packet-per-grab policy.
+    pub fn new(config: MacrochipConfig) -> TokenRingNetwork {
+        TokenRingNetwork::with_burst(config, 1)
+    }
+
+    /// Builds the network with a custom token-hold burst limit (used by
+    /// the burst-limit ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_burst` is zero.
+    pub fn with_burst(config: MacrochipConfig, max_burst: usize) -> TokenRingNetwork {
+        config.validate();
+        assert!(max_burst > 0, "burst limit must be positive");
+        let sites = config.grid.sites();
+        let bw = config.channel_bytes_per_ns(LAMBDAS_PER_BUNDLE);
+        TokenRingNetwork {
+            config,
+            bundles: (0..sites)
+                .map(|_| TxChannel::new(bw, 1)) // queue unused; kept for serialization math
+                .collect(),
+            queues: (0..sites * sites)
+                .map(|_| std::collections::VecDeque::new())
+                .collect(),
+            tokens: (0..sites)
+                .map(|d| Token::Free {
+                    pos: d % sites,
+                    at: Time::ZERO,
+                })
+                .collect(),
+            max_burst,
+            events: EventQueue::new(),
+            delivered: Vec::new(),
+            stats: NetStats::new(),
+        }
+    }
+
+    fn queue_index(&self, src: usize, dst: usize) -> usize {
+        src * self.config.grid.sites() + dst
+    }
+
+    /// First instant at or after `now` when the free token for `dst`
+    /// reaches ring position `target`.
+    fn token_arrival(&self, dst: usize, target: usize, now: Time) -> Time {
+        let layout = &self.config.layout;
+        let Token::Free { pos, at } = self.tokens[dst] else {
+            unreachable!("token_arrival requires a free token");
+        };
+        let hop = layout.ring_hop();
+        let first = at + hop * layout.ring_distance(pos, target) as u64;
+        if first >= now {
+            return first;
+        }
+        // The token kept circulating; advance whole laps until it next
+        // passes the target.
+        let rt = layout.ring_round_trip();
+        let behind = now.saturating_since(first).as_ps();
+        let laps = behind.div_ceil(rt.as_ps().max(1));
+        first + Span::from_ps(rt.as_ps() * laps)
+    }
+
+    /// Claims the free token for `dst` on behalf of the site at ring
+    /// position `pos` (no-op if already claimed).
+    fn claim_token(&mut self, dst: usize, pos: usize, now: Time) {
+        if matches!(self.tokens[dst], Token::Free { .. }) {
+            let at = self.token_arrival(dst, pos, now);
+            self.tokens[dst] = Token::Claimed;
+            self.events.push(at, Ev::TokenArrive { dst, pos });
+        }
+    }
+
+    /// Ring position of a site id.
+    fn ring_pos(&self, site: netcore::SiteId) -> usize {
+        self.config.layout.ring_index(self.config.grid.coord(site))
+    }
+
+    fn on_token_arrive(&mut self, dst: usize, pos: usize, t: Time) {
+        let layout = self.config.layout;
+        let grid = self.config.grid;
+        let holder = layout.ring_coord(pos);
+        let holder_site = grid.site(holder.0, holder.1);
+        let q_idx = self.queue_index(holder_site.index(), dst);
+
+        // Transmit up to max_burst queued packets back to back on the
+        // destination's bundle.
+        let mut finish = t;
+        let mut sent = 0;
+        while sent < self.max_burst {
+            let Some(mut packet) = self.queues[q_idx].pop_front() else {
+                break;
+            };
+            packet.tx_start = Some(finish);
+            let ser = self.bundles[dst].serialization(packet.bytes);
+            finish += ser;
+            let dst_coord = grid.coord(netcore::SiteId::from_index(dst));
+            let prop = layout.ring_prop_delay(holder, dst_coord);
+            self.events.push(finish + prop, Ev::Deliver { packet });
+            sent += 1;
+        }
+
+        if sent > 0 {
+            // Re-injecting the token costs the holder a beat.
+            finish += TOKEN_RELEASE;
+        }
+
+        // Release the token and route it to the next requester (at least
+        // one hop away: a site cannot re-grab without the token passing
+        // through the ring again).
+        let sites = grid.sites();
+        let next = (1..=sites).find(|&k| {
+            let p = (pos + k) % sites;
+            let c = layout.ring_coord(p);
+            let s = grid.site(c.0, c.1);
+            !self.queues[self.queue_index(s.index(), dst)].is_empty()
+        });
+        match next {
+            Some(k) => {
+                let p = (pos + k) % sites;
+                self.events.push(
+                    finish + layout.ring_hop() * k as u64,
+                    Ev::TokenArrive { dst, pos: p },
+                );
+                // token stays Claimed
+            }
+            None => {
+                self.tokens[dst] = Token::Free { pos, at: finish };
+            }
+        }
+    }
+
+    fn deliver(&mut self, mut packet: Packet, at: Time) {
+        packet.delivered = Some(at);
+        self.stats.on_deliver(&packet);
+        self.delivered.push(packet);
+    }
+}
+
+impl Network for TokenRingNetwork {
+    fn kind(&self) -> NetworkKind {
+        NetworkKind::TokenRing
+    }
+
+    fn config(&self) -> &MacrochipConfig {
+        &self.config
+    }
+
+    fn inject(&mut self, packet: Packet, now: Time) -> Result<(), Packet> {
+        if packet.src == packet.dst {
+            let mut packet = packet;
+            packet.tx_start = Some(now);
+            self.events
+                .push(now + self.config.cycle(), Ev::Deliver { packet });
+            self.stats.on_inject();
+            return Ok(());
+        }
+        let dst = packet.dst.index();
+        let q = self.queue_index(packet.src.index(), dst);
+        if self.queues[q].len() >= self.config.queue_capacity {
+            self.stats.on_reject();
+            return Err(packet);
+        }
+        let pos = self.ring_pos(packet.src);
+        self.queues[q].push_back(packet);
+        self.stats.on_inject();
+        self.claim_token(dst, pos, now);
+        Ok(())
+    }
+
+    fn next_event(&self) -> Option<Time> {
+        self.events.peek_time()
+    }
+
+    fn advance(&mut self, now: Time) {
+        while let Some((t, ev)) = self.events.pop_due(now) {
+            match ev {
+                Ev::TokenArrive { dst, pos } => self.on_token_arrive(dst, pos, t),
+                Ev::Deliver { packet } => self.deliver(packet, t),
+            }
+        }
+    }
+
+    fn drain_delivered(&mut self) -> Vec<Packet> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcore::{MessageKind, PacketId, SiteId};
+
+    fn net() -> TokenRingNetwork {
+        TokenRingNetwork::new(MacrochipConfig::scaled())
+    }
+
+    fn data(id: u64, src: SiteId, dst: SiteId, at: Time) -> Packet {
+        Packet::new(PacketId(id), src, dst, 64, MessageKind::Data, at)
+    }
+
+    fn run_until_idle(net: &mut TokenRingNetwork) {
+        while let Some(t) = net.next_event() {
+            net.advance(t);
+        }
+    }
+
+    #[test]
+    fn single_transfer_completes() {
+        let mut n = net();
+        let g = n.config.grid;
+        n.inject(data(0, g.site(1, 0), g.site(5, 3), Time::ZERO), Time::ZERO)
+            .unwrap();
+        run_until_idle(&mut n);
+        let done = n.drain_delivered();
+        assert_eq!(done.len(), 1);
+        // Token wait (< one round trip) + 0.2 ns serialization + flight.
+        let lat = done[0].latency().unwrap().as_ns_f64();
+        assert!(lat < 16.0 + 0.2 + 16.0, "latency {lat}");
+    }
+
+    #[test]
+    fn reacquiring_the_token_costs_a_round_trip() {
+        // The paper's key §6.1 observation: one-to-one patterns transmit a
+        // packet in one cycle but wait 80 cycles (16 ns) for the token.
+        let mut n = net();
+        let g = n.config.grid;
+        let (src, dst) = (g.site(0, 0), g.site(1, 0));
+        n.inject(data(0, src, dst, Time::ZERO), Time::ZERO).unwrap();
+        run_until_idle(&mut n);
+        let t1 = n.drain_delivered()[0].delivered.unwrap();
+        // Inject a second packet right after the first finished: the token
+        // has been released and must circulate back.
+        n.inject(data(1, src, dst, t1), t1).unwrap();
+        run_until_idle(&mut n);
+        let t2 = n.drain_delivered()[0].delivered.unwrap();
+        let gap = t2.saturating_since(t1).as_ns_f64();
+        assert!(gap >= 15.9, "token reacquisition took only {gap} ns");
+    }
+
+    #[test]
+    fn token_moves_to_next_requester_without_full_lap() {
+        let mut n = net();
+        let g = n.config.grid;
+        let dst = g.site(7, 7);
+        // Two requesters adjacent on the ring: (0,0) is ring pos 0, (1,0)
+        // is ring pos 1.
+        n.inject(data(0, g.site(0, 0), dst, Time::ZERO), Time::ZERO)
+            .unwrap();
+        n.inject(data(1, g.site(1, 0), dst, Time::ZERO), Time::ZERO)
+            .unwrap();
+        run_until_idle(&mut n);
+        let done = n.drain_delivered();
+        assert_eq!(done.len(), 2);
+        let a = done[0].delivered.unwrap();
+        let b = done[1].delivered.unwrap();
+        // The second grab is one hop + one serialization after the first,
+        // not a full 16 ns lap.
+        let gap = b.saturating_since(a).as_ns_f64().abs();
+        assert!(gap < 2.0, "gap {gap}");
+    }
+
+    #[test]
+    fn wide_bundle_serializes_fast() {
+        let n = net();
+        // 64 B at 320 B/ns = 0.2 ns = one core cycle, as the paper says.
+        assert_eq!(n.bundles[0].serialization(64), Span::from_ps(200));
+    }
+
+    #[test]
+    fn distinct_destinations_have_independent_tokens() {
+        let mut n = net();
+        let g = n.config.grid;
+        let src = g.site(0, 0);
+        n.inject(data(0, src, g.site(3, 3), Time::ZERO), Time::ZERO)
+            .unwrap();
+        n.inject(data(1, src, g.site(4, 4), Time::ZERO), Time::ZERO)
+            .unwrap();
+        run_until_idle(&mut n);
+        assert_eq!(n.drain_delivered().len(), 2);
+    }
+
+    #[test]
+    fn queue_capacity_backpressures() {
+        let mut n = net();
+        let g = n.config.grid;
+        let (a, b) = (g.site(0, 0), g.site(1, 1));
+        let cap = n.config.queue_capacity;
+        for i in 0..cap as u64 {
+            n.inject(data(i, a, b, Time::ZERO), Time::ZERO).unwrap();
+        }
+        assert!(n.inject(data(99, a, b, Time::ZERO), Time::ZERO).is_err());
+    }
+
+    #[test]
+    fn burst_limit_bounds_hold_time() {
+        let mut n = TokenRingNetwork::with_burst(MacrochipConfig::scaled(), 4);
+        let g = n.config.grid;
+        let (a, b) = (g.site(0, 0), g.site(1, 1));
+        for i in 0..8u64 {
+            n.inject(data(i, a, b, Time::ZERO), Time::ZERO).unwrap();
+        }
+        run_until_idle(&mut n);
+        let done = n.drain_delivered();
+        assert_eq!(done.len(), 8);
+        // Packets 0-3 go in the first grab; 4-7 wait a full lap.
+        let t3 = done[3].delivered.unwrap();
+        let t4 = done[4].delivered.unwrap();
+        assert!(t4.saturating_since(t3).as_ns_f64() > 10.0);
+    }
+
+    #[test]
+    fn loopback_takes_one_cycle() {
+        let mut n = net();
+        let s = n.config.grid.site(6, 1);
+        n.inject(data(0, s, s, Time::ZERO), Time::ZERO).unwrap();
+        run_until_idle(&mut n);
+        assert_eq!(
+            n.drain_delivered()[0].latency().unwrap(),
+            Span::from_ps(200)
+        );
+    }
+}

@@ -1,0 +1,548 @@
+//! The two-phase arbitration-based switched optical network (paper §4.3).
+//!
+//! All sites in a row share a 40 GB/s (16-wavelength) optical data channel
+//! to each destination site: 512 shared channels on the 8×8 macrochip.
+//! Access is arbitrated in two phases, fully distributed:
+//!
+//! 1. a request is posted on the row's arbitration waveguide; every site
+//!    in the arbitration domain sees it and assigns the same data slot to
+//!    the requester with a per-destination round-robin counter;
+//! 2. the destination's column manager notifies the column, the feed
+//!    switches and the destination's input switch are set ahead of the
+//!    slot, and the source transmits.
+//!
+//! Data channels are time-slotted in multiples of the 0.4 ns arbitration
+//! slot. Because each site owns a single 1×8 switch tree per *column*
+//! (two in the ALT configuration), a site can feed at most one (ALT: two)
+//! transmissions per column at a time. Slot assignment is oblivious to
+//! tree state — each channel's arbiter runs independently — so a granted
+//! slot whose source tree is busy is **wasted**: the reservation burns on
+//! the channel and the packet must re-arbitrate after a full pipeline
+//! delay. This is exactly the switch-tree contention the paper blames for
+//! the base design's low sustained bandwidth, and why the ALT variant
+//! (double trees, double transmitters) recovers a factor ~1.4 (§6.1).
+
+use desim::{EventQueue, Span, Time};
+use netcore::{MacrochipConfig, NetStats, Network, NetworkKind, Packet, SiteId};
+use std::collections::VecDeque;
+
+/// Wavelengths per shared data channel (16 × 2.5 GB/s = 40 GB/s).
+pub const LAMBDAS_PER_CHANNEL: usize = 16;
+
+/// The basic arbitration slot: 0.4 ns (§4.3).
+pub const BASIC_SLOT: Span = Span::from_ps(400);
+
+/// Basic slots per assigned data slot: one 64-byte cache line at 40 GB/s.
+pub const DATA_SLOT_BASICS: u64 = 4;
+
+/// Fixed arbitration pipeline: request propagation along the row
+/// (~1.75 ns worst case), slot assignment, column notification (~1.75 ns)
+/// and — dominating the budget — settling of the broadband ring-resonator
+/// feed switches, which the paper's protocol explicitly times the switch
+/// notification around ("timed to accommodate the switch delay", §4.3).
+/// A packet cannot use a slot earlier than its injection plus this delay,
+/// and a wasted grant pays it again. This per-message overhead is why the
+/// paper finds the point-to-point network at least 4.5x faster on
+/// invalidation-heavy (MS) traffic (§6.2).
+pub const ARB_PIPELINE: Span = Span::from_ps(20_000);
+
+/// WDM factor of the column notification waveguides (§4.3: arbitration
+/// wavelengths are assigned cyclically to enable WDM on the single
+/// notification waveguide per column).
+pub const NOTIFY_WDM: u64 = 2;
+
+/// Minimum spacing between switch-request notifications on one column's
+/// notification waveguide: one 0.4 ns arbitration slot shared by
+/// [`NOTIFY_WDM`] wavelengths. Every data transmission needs one
+/// notification to set the column's switches, so this waveguide is the
+/// architecture's structural bottleneck — the reason the paper's base
+/// design sustains only ~7.5% of peak on uniform traffic (§6.1).
+pub const NOTIFY_INTERVAL: Span = Span::from_ps(400 / NOTIFY_WDM);
+
+/// A packet waiting on a shared channel, with its earliest usable slot.
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    packet: Packet,
+    eligible_at: Time,
+}
+
+/// One shared (row → destination) channel's arbitration state.
+#[derive(Debug)]
+struct Channel {
+    /// Per-source FIFO (index = column of the source within its row).
+    queues: Vec<VecDeque<Queued>>,
+    /// Round-robin pointer over sources.
+    rr: usize,
+    /// The channel is reserved up to this instant.
+    free_at: Time,
+    /// Whether a `Slot` event is outstanding.
+    scheduled: bool,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// The channel's next arbitration decision point.
+    Slot { channel: usize },
+    /// A packet's last bit reached the destination.
+    Deliver { packet: Packet },
+}
+
+/// The two-phase arbitrated network (base or ALT configuration).
+///
+/// # Example
+///
+/// ```
+/// use desim::Time;
+/// use netcore::{MacrochipConfig, MessageKind, Network, Packet, PacketId};
+/// use networks::TwoPhaseNetwork;
+///
+/// let config = MacrochipConfig::scaled();
+/// let mut net = TwoPhaseNetwork::new(config);
+/// let p = Packet::new(PacketId(0), config.grid.site(0, 0), config.grid.site(5, 5),
+///                     64, MessageKind::Data, Time::ZERO);
+/// net.inject(p, Time::ZERO).unwrap();
+/// while let Some(t) = net.next_event() { net.advance(t); }
+/// let done = net.drain_delivered();
+/// // Arbitration pipeline (20 ns) + slotting + serialization + flight.
+/// assert!(done[0].latency().unwrap().as_ns_f64() >= 20.0);
+/// ```
+pub struct TwoPhaseNetwork {
+    config: MacrochipConfig,
+    alt: bool,
+    /// Channels indexed `row * sites + dst`.
+    channels: Vec<Channel>,
+    /// Switch-tree busy times, indexed `site * side + column`; one entry
+    /// per tree (two in ALT).
+    trees: Vec<Vec<Time>>,
+    /// Next instant each column's notification waveguide can carry another
+    /// switch request.
+    notify_free: Vec<Time>,
+    events: EventQueue<Ev>,
+    delivered: Vec<Packet>,
+    stats: NetStats,
+}
+
+impl TwoPhaseNetwork {
+    /// Builds the base configuration (one switch tree per column).
+    pub fn new(config: MacrochipConfig) -> TwoPhaseNetwork {
+        TwoPhaseNetwork::with_trees(config, 1)
+    }
+
+    /// Builds the ALT configuration: doubled transmitters and switch trees.
+    pub fn new_alt(config: MacrochipConfig) -> TwoPhaseNetwork {
+        TwoPhaseNetwork::with_trees(config, 2)
+    }
+
+    /// Builds with an explicit number of switch trees per (site, column);
+    /// used by the tree-count ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trees_per_column` is zero.
+    pub fn with_trees(config: MacrochipConfig, trees_per_column: usize) -> TwoPhaseNetwork {
+        config.validate();
+        assert!(trees_per_column > 0, "need at least one switch tree");
+        let side = config.grid.side();
+        let sites = config.grid.sites();
+        let channels = (0..side * sites)
+            .map(|_| Channel {
+                queues: (0..side).map(|_| VecDeque::new()).collect(),
+                rr: 0,
+                free_at: Time::ZERO,
+                scheduled: false,
+            })
+            .collect();
+        TwoPhaseNetwork {
+            config,
+            alt: trees_per_column > 1,
+            channels,
+            trees: vec![vec![Time::ZERO; trees_per_column]; sites * side],
+            notify_free: vec![Time::ZERO; side],
+            events: EventQueue::new(),
+            delivered: Vec::new(),
+            stats: NetStats::new(),
+        }
+    }
+
+    /// True if this is the ALT configuration.
+    pub fn is_alt(&self) -> bool {
+        self.alt
+    }
+
+    fn channel_index(&self, src: SiteId, dst: SiteId) -> usize {
+        self.config.grid.y(src) * self.config.grid.sites() + dst.index()
+    }
+
+    fn tree_index(&self, site: SiteId, dst: SiteId) -> usize {
+        site.index() * self.config.grid.side() + self.config.grid.x(dst)
+    }
+
+    /// Rounds `t` up to the global 0.4 ns slot grid.
+    fn align_slot(t: Time) -> Time {
+        let slot = BASIC_SLOT.as_ps();
+        Time::from_ps(t.as_ps().div_ceil(slot) * slot)
+    }
+
+    /// Transmission duration quantized to whole data slots. The
+    /// distributed round-robin counters assign one cache-line-sized slot
+    /// (four basic slots, 1.6 ns) per grant: every site in the domain
+    /// must agree on slot boundaries without seeing message sizes, so an
+    /// 8-byte acknowledgment burns a whole data slot — the arbitration
+    /// overhead that dominates the MS sharing mix in the paper (§6.2).
+    fn slotted_duration(&self, bytes: u32) -> Span {
+        let bw = self.config.channel_bytes_per_ns(LAMBDAS_PER_CHANNEL);
+        let raw = Span::from_ns_f64(bytes as f64 / bw);
+        let slots = raw
+            .as_ps()
+            .div_ceil(BASIC_SLOT.as_ps())
+            .max(DATA_SLOT_BASICS);
+        Span::from_ps(slots * BASIC_SLOT.as_ps())
+    }
+
+    /// Ensures a `Slot` event is pending for `channel` no earlier than the
+    /// channel's reservation horizon and `at`.
+    fn schedule_slot(&mut self, channel: usize, at: Time) {
+        let ch = &mut self.channels[channel];
+        if ch.scheduled {
+            return;
+        }
+        ch.scheduled = true;
+        let t = Self::align_slot(at.max(ch.free_at));
+        self.events.push(t, Ev::Slot { channel });
+    }
+
+    fn on_slot(&mut self, channel: usize, t: Time) {
+        self.channels[channel].scheduled = false;
+        let side = self.config.grid.side();
+        let row = channel / self.config.grid.sites();
+        let dst = SiteId::from_index(channel % self.config.grid.sites());
+
+        // Phase 2 precondition: every transmission needs a switch-request
+        // slot on the destination column's notification waveguide. If it
+        // is occupied, the arbiter defers the channel (no waste, but the
+        // column's aggregate rate is capped by notifications).
+        let col = self.config.grid.x(dst);
+        if self.notify_free[col] > t {
+            let at = self.notify_free[col];
+            self.schedule_slot(channel, at);
+            return;
+        }
+
+        // Round-robin among sources whose head packet is eligible.
+        let (selected, earliest_wait) = {
+            let ch = &self.channels[channel];
+            let mut selected = None;
+            let mut earliest_wait: Option<Time> = None;
+            for k in 0..side {
+                let s = (ch.rr + k) % side;
+                if let Some(q) = ch.queues[s].front() {
+                    if q.eligible_at <= t {
+                        selected = Some(s);
+                        break;
+                    }
+                    earliest_wait = Some(match earliest_wait {
+                        Some(e) => e.min(q.eligible_at),
+                        None => q.eligible_at,
+                    });
+                }
+            }
+            (selected, earliest_wait)
+        };
+
+        let Some(src_col) = selected else {
+            // Nothing eligible yet; revisit when the earliest becomes so.
+            if let Some(at) = earliest_wait {
+                self.schedule_slot(channel, at);
+            }
+            return;
+        };
+
+        let src = self.config.grid.site(src_col, row);
+        let head = *self.channels[channel].queues[src_col]
+            .front()
+            .expect("selected source has a head packet");
+        let dur = self.slotted_duration(head.packet.bytes);
+
+        // Phase 2: the switch tree for the destination's column must be
+        // free for the whole reserved duration.
+        let tree_idx = self.tree_index(src, dst);
+        let free_tree = self.trees[tree_idx].iter().position(|&b| b <= t);
+
+        // The arbiter granted this slot range either way: the channel is
+        // reserved for `dur` from `t`.
+        {
+            let ch = &mut self.channels[channel];
+            ch.rr = (src_col + 1) % side;
+            ch.free_at = t + dur;
+        }
+        // The grant consumed its notification slot whether or not the
+        // transmission goes through.
+        self.notify_free[col] = t + NOTIFY_INTERVAL;
+
+        match free_tree {
+            Some(tree) => {
+                let mut packet = self.channels[channel].queues[src_col]
+                    .pop_front()
+                    .expect("head packet present")
+                    .packet;
+                packet.tx_start = Some(t);
+                self.trees[tree_idx][tree] = t + dur;
+                let bw = self.config.channel_bytes_per_ns(LAMBDAS_PER_CHANNEL);
+                let ser = Span::from_ns_f64(packet.bytes as f64 / bw);
+                let prop = self
+                    .config
+                    .layout
+                    .prop_delay(self.config.grid.coord(src), self.config.grid.coord(dst));
+                packet.routed_bytes = 0;
+                self.events.push(t + ser + prop, Ev::Deliver { packet });
+            }
+            None => {
+                // Tree conflict: reservation burns, packet re-arbitrates.
+                self.stats.on_wasted_slot();
+                let q = self.channels[channel].queues[src_col]
+                    .front_mut()
+                    .expect("head packet present");
+                q.eligible_at = t + ARB_PIPELINE;
+            }
+        }
+
+        // Keep arbitrating while any packet is pending.
+        if self.channels[channel].queues.iter().any(|q| !q.is_empty()) {
+            let at = self.channels[channel].free_at;
+            self.schedule_slot(channel, at);
+        }
+    }
+
+    fn deliver(&mut self, mut packet: Packet, at: Time) {
+        packet.delivered = Some(at);
+        self.stats.on_deliver(&packet);
+        self.delivered.push(packet);
+    }
+}
+
+impl Network for TwoPhaseNetwork {
+    fn kind(&self) -> NetworkKind {
+        if self.alt {
+            NetworkKind::TwoPhaseAlt
+        } else {
+            NetworkKind::TwoPhase
+        }
+    }
+
+    fn config(&self) -> &MacrochipConfig {
+        &self.config
+    }
+
+    fn inject(&mut self, packet: Packet, now: Time) -> Result<(), Packet> {
+        if packet.src == packet.dst {
+            let mut packet = packet;
+            packet.tx_start = Some(now);
+            self.events
+                .push(now + self.config.cycle(), Ev::Deliver { packet });
+            self.stats.on_inject();
+            return Ok(());
+        }
+        let channel = self.channel_index(packet.src, packet.dst);
+        let src_col = self.config.grid.x(packet.src);
+        if self.channels[channel].queues[src_col].len() >= self.config.queue_capacity {
+            self.stats.on_reject();
+            return Err(packet);
+        }
+        let eligible_at = now + ARB_PIPELINE;
+        self.channels[channel].queues[src_col].push_back(Queued {
+            packet,
+            eligible_at,
+        });
+        self.stats.on_inject();
+        self.schedule_slot(channel, eligible_at);
+        Ok(())
+    }
+
+    fn next_event(&self) -> Option<Time> {
+        self.events.peek_time()
+    }
+
+    fn advance(&mut self, now: Time) {
+        while let Some((t, ev)) = self.events.pop_due(now) {
+            match ev {
+                Ev::Slot { channel } => self.on_slot(channel, t),
+                Ev::Deliver { packet } => self.deliver(packet, t),
+            }
+        }
+    }
+
+    fn drain_delivered(&mut self) -> Vec<Packet> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcore::{MessageKind, PacketId};
+
+    fn net() -> TwoPhaseNetwork {
+        TwoPhaseNetwork::new(MacrochipConfig::scaled())
+    }
+
+    fn data(id: u64, src: SiteId, dst: SiteId, at: Time) -> Packet {
+        Packet::new(PacketId(id), src, dst, 64, MessageKind::Data, at)
+    }
+
+    fn run_until_idle(net: &mut TwoPhaseNetwork) {
+        while let Some(t) = net.next_event() {
+            net.advance(t);
+        }
+    }
+
+    #[test]
+    fn single_packet_pays_the_arbitration_pipeline() {
+        let mut n = net();
+        let g = n.config.grid;
+        n.inject(data(0, g.site(0, 0), g.site(3, 3), Time::ZERO), Time::ZERO)
+            .unwrap();
+        run_until_idle(&mut n);
+        let lat = n.drain_delivered()[0].latency().unwrap().as_ns_f64();
+        // 20 ns pipeline + 1.6 ns serialization + 1.5 ns flight.
+        assert!((lat - 23.1).abs() < 0.5, "latency {lat}");
+    }
+
+    #[test]
+    fn row_mates_share_the_channel() {
+        let mut n = net();
+        let g = n.config.grid;
+        let dst = g.site(5, 5);
+        // Two sites in row 0 send to the same destination: transmissions
+        // serialize on the shared 40 GB/s channel.
+        n.inject(data(0, g.site(0, 0), dst, Time::ZERO), Time::ZERO)
+            .unwrap();
+        n.inject(data(1, g.site(1, 0), dst, Time::ZERO), Time::ZERO)
+            .unwrap();
+        run_until_idle(&mut n);
+        let done = n.drain_delivered();
+        assert_eq!(done.len(), 2);
+        let mut finishes: Vec<Time> = done.iter().map(|p| p.delivered.unwrap()).collect();
+        finishes.sort_unstable();
+        // Second transmission starts one slotted duration (1.6 ns) after
+        // the first; its flight is 0.25 ns shorter from the nearer source.
+        let gap = finishes[1].saturating_since(finishes[0]).as_ns_f64();
+        assert!((gap - 1.35).abs() < 0.01, "gap {gap}");
+    }
+
+    #[test]
+    fn different_rows_do_not_share_channels() {
+        let mut n = net();
+        let g = n.config.grid;
+        let dst = g.site(5, 5);
+        n.inject(data(0, g.site(0, 0), dst, Time::ZERO), Time::ZERO)
+            .unwrap();
+        n.inject(data(1, g.site(0, 1), dst, Time::ZERO), Time::ZERO)
+            .unwrap();
+        run_until_idle(&mut n);
+        let done = n.drain_delivered();
+        let l0 = done[0].latency().unwrap().as_ns_f64();
+        let l1 = done[1].latency().unwrap().as_ns_f64();
+        // Both transmit concurrently on their own row channels.
+        assert!((l0 - l1).abs() < 1.5, "l0={l0} l1={l1}");
+    }
+
+    #[test]
+    fn tree_conflict_wastes_the_slot() {
+        let mut n = net();
+        let g = n.config.grid;
+        let src = g.site(0, 0);
+        // Two destinations in the same column: the single switch tree can
+        // feed only one at a time; the oblivious arbiters collide.
+        n.inject(data(0, src, g.site(5, 2), Time::ZERO), Time::ZERO)
+            .unwrap();
+        n.inject(data(1, src, g.site(5, 3), Time::ZERO), Time::ZERO)
+            .unwrap();
+        run_until_idle(&mut n);
+        let done = n.drain_delivered();
+        assert_eq!(done.len(), 2);
+        assert!(
+            n.stats().wasted_slots() >= 1,
+            "expected a wasted slot, got {}",
+            n.stats().wasted_slots()
+        );
+        // The loser re-arbitrated: a full extra pipeline delay.
+        let mut lats: Vec<f64> = done
+            .iter()
+            .map(|p| p.latency().unwrap().as_ns_f64())
+            .collect();
+        lats.sort_by(f64::total_cmp);
+        assert!(lats[1] - lats[0] >= 4.0, "lats {lats:?}");
+    }
+
+    #[test]
+    fn alt_trees_absorb_the_conflict() {
+        let mut n = TwoPhaseNetwork::new_alt(MacrochipConfig::scaled());
+        let g = n.config.grid;
+        let src = g.site(0, 0);
+        n.inject(data(0, src, g.site(5, 2), Time::ZERO), Time::ZERO)
+            .unwrap();
+        n.inject(data(1, src, g.site(5, 3), Time::ZERO), Time::ZERO)
+            .unwrap();
+        run_until_idle(&mut n);
+        assert_eq!(n.drain_delivered().len(), 2);
+        assert_eq!(n.stats().wasted_slots(), 0);
+        assert_eq!(n.kind(), NetworkKind::TwoPhaseAlt);
+    }
+
+    #[test]
+    fn every_grant_burns_a_whole_data_slot() {
+        let n = net();
+        // Even an 8 B ack occupies one full cache-line slot (1.6 ns).
+        assert_eq!(n.slotted_duration(8), Span::from_ps(1_600));
+        // 64 B = 1.6 ns = 4 basic slots exactly.
+        assert_eq!(n.slotted_duration(64), Span::from_ps(1_600));
+        // Oversized transfers extend by whole basic slots.
+        assert_eq!(n.slotted_duration(72), Span::from_ps(2_000));
+    }
+
+    #[test]
+    fn slot_alignment_rounds_up() {
+        assert_eq!(
+            TwoPhaseNetwork::align_slot(Time::from_ps(401)),
+            Time::from_ps(800)
+        );
+        assert_eq!(
+            TwoPhaseNetwork::align_slot(Time::from_ps(800)),
+            Time::from_ps(800)
+        );
+    }
+
+    #[test]
+    fn queue_capacity_backpressures() {
+        let mut n = net();
+        let g = n.config.grid;
+        let (a, b) = (g.site(0, 0), g.site(1, 1));
+        let cap = n.config.queue_capacity;
+        for i in 0..cap as u64 {
+            n.inject(data(i, a, b, Time::ZERO), Time::ZERO).unwrap();
+        }
+        assert!(n.inject(data(99, a, b, Time::ZERO), Time::ZERO).is_err());
+    }
+
+    #[test]
+    fn loopback_takes_one_cycle() {
+        let mut n = net();
+        let s = n.config.grid.site(3, 6);
+        n.inject(data(0, s, s, Time::ZERO), Time::ZERO).unwrap();
+        run_until_idle(&mut n);
+        assert_eq!(
+            n.drain_delivered()[0].latency().unwrap(),
+            Span::from_ps(200)
+        );
+    }
+
+    #[test]
+    fn base_kind_is_two_phase() {
+        assert_eq!(net().kind(), NetworkKind::TwoPhase);
+        assert!(!net().is_alt());
+    }
+}

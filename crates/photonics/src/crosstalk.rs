@@ -1,0 +1,170 @@
+//! Waveguide-crossing loss and crosstalk (§4.5).
+//!
+//! The circuit-switched torus needs many waveguide crossings, and the
+//! paper *assumes the crosstalk is negligible* because the original
+//! design's assumptions were unknown ("we assume negligible crosstalk at
+//! waveguide crossings for the macrochip adaptation of this network").
+//! This module removes the assumption: with the measured
+//! silicon-on-insulator crossing figures from the paper's own reference
+//! (Bogaerts et al., Opt. Lett. 32(19), 2007 — ~0.16 dB insertion loss
+//! and ~−40 dB crosstalk per crossing for the optimized design), it
+//! computes the extra loss and the coherent-crosstalk power penalty of a
+//! path with `k` crossings, and what that does to the torus's laser
+//! budget.
+
+use crate::units::Db;
+
+/// Optical properties of one waveguide crossing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossingModel {
+    /// Insertion loss per crossing.
+    pub loss_per_crossing: Db,
+    /// Power coupled into the crossing waveguide (negative dB).
+    pub crosstalk_per_crossing: Db,
+}
+
+impl CrossingModel {
+    /// The optimized double-etched crossing of Bogaerts et al. (the
+    /// paper's reference \[7\]).
+    pub fn bogaerts_optimized() -> CrossingModel {
+        CrossingModel {
+            loss_per_crossing: Db::new(0.16),
+            crosstalk_per_crossing: Db::new(-40.0),
+        }
+    }
+
+    /// A plain unoptimized crossing from the same reference: much worse.
+    pub fn bogaerts_plain() -> CrossingModel {
+        CrossingModel {
+            loss_per_crossing: Db::new(1.4),
+            crosstalk_per_crossing: Db::new(-9.0),
+        }
+    }
+
+    /// Creates a custom model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the loss is negative or the crosstalk is not below 0 dB.
+    pub fn new(loss_per_crossing: Db, crosstalk_per_crossing: Db) -> CrossingModel {
+        assert!(
+            loss_per_crossing.value() >= 0.0,
+            "crossing loss cannot be negative"
+        );
+        assert!(
+            crosstalk_per_crossing.value() < 0.0,
+            "crosstalk must be below 0 dB"
+        );
+        CrossingModel {
+            loss_per_crossing,
+            crosstalk_per_crossing,
+        }
+    }
+
+    /// Total insertion loss of `crossings` crossings.
+    pub fn path_loss(&self, crossings: u32) -> Db {
+        self.loss_per_crossing * crossings as f64
+    }
+
+    /// Aggregate interferer power relative to the signal after
+    /// `crossings` crossings, assuming incoherent accumulation (each
+    /// crossing contributes an independent interferer).
+    pub fn aggregate_crosstalk(&self, crossings: u32) -> Db {
+        if crossings == 0 {
+            return Db::new(-300.0); // effectively no interferer
+        }
+        let single = self.crosstalk_per_crossing.linear_factor();
+        Db::from_linear_factor(single * crossings as f64)
+    }
+
+    /// The power penalty needed to keep the eye open against the
+    /// aggregate crosstalk: `-10·log10(1 − 2·sqrt(x))` for coherent
+    /// worst-case beating of an interferer at relative power `x`
+    /// (standard optical-crosstalk penalty form).
+    ///
+    /// Returns `None` when the crosstalk is so strong the eye closes
+    /// completely (penalty unbounded).
+    pub fn power_penalty(&self, crossings: u32) -> Option<Db> {
+        let x = self.aggregate_crosstalk(crossings).linear_factor();
+        let arg = 1.0 - 2.0 * x.sqrt();
+        if arg <= 0.0 {
+            None
+        } else {
+            Some(Db::new(-10.0 * arg.log10()))
+        }
+    }
+
+    /// Full path penalty: insertion loss plus crosstalk power penalty.
+    pub fn total_penalty(&self, crossings: u32) -> Option<Db> {
+        Some(self.path_loss(crossings) + self.power_penalty(crossings)?)
+    }
+}
+
+/// Worst-case crossings a circuit endures on the adapted torus: each of
+/// the `hops` traversed rows/columns crosses the orthogonal plane's
+/// waveguide bundles — `waveguides_per_gap` parallel waveguides between
+/// each row (§4.5: 64 loops per row gap at the scaled configuration).
+pub fn torus_worst_case_crossings(hops: u32, waveguides_per_gap: u32) -> u32 {
+    hops * waveguides_per_gap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn losses_accumulate_linearly() {
+        let m = CrossingModel::bogaerts_optimized();
+        assert!((m.path_loss(10).value() - 1.6).abs() < 1e-12);
+        assert_eq!(m.path_loss(0).value(), 0.0);
+    }
+
+    #[test]
+    fn crosstalk_accumulates_incoherently() {
+        let m = CrossingModel::bogaerts_optimized();
+        // 10 crossings at -40 dB each => -30 dB aggregate.
+        assert!((m.aggregate_crosstalk(10).value() + 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimized_crossings_cost_little_at_small_counts() {
+        let m = CrossingModel::bogaerts_optimized();
+        let p = m.power_penalty(8).expect("eye open");
+        assert!(p.value() < 0.6, "penalty {p}");
+    }
+
+    #[test]
+    fn plain_crossings_close_the_eye_quickly() {
+        // The unoptimized crossing (-9 dB crosstalk) cannot survive even
+        // a handful of crossings — why the paper's reference [7] matters.
+        let m = CrossingModel::bogaerts_plain();
+        assert!(m.power_penalty(2).is_none());
+    }
+
+    #[test]
+    fn torus_paths_accumulate_hundreds_of_crossings() {
+        // 8 hops through gaps holding 64 waveguides each.
+        let crossings = torus_worst_case_crossings(8, 64);
+        assert_eq!(crossings, 512);
+        let m = CrossingModel::bogaerts_optimized();
+        // 512 optimized crossings: 82 dB of loss — the paper's
+        // "negligible crosstalk" assumption is doing heavy lifting; a
+        // practical layout must avoid most crossings with the two-layer
+        // substrate.
+        assert!(m.path_loss(crossings).value() > 80.0);
+    }
+
+    #[test]
+    fn few_crossings_total_penalty_is_finite_and_ordered() {
+        let m = CrossingModel::bogaerts_optimized();
+        let p4 = m.total_penalty(4).expect("open");
+        let p16 = m.total_penalty(16).expect("open");
+        assert!(p4.value() < p16.value());
+    }
+
+    #[test]
+    #[should_panic(expected = "below 0 dB")]
+    fn positive_crosstalk_rejected() {
+        let _ = CrossingModel::new(Db::new(0.1), Db::new(1.0));
+    }
+}

@@ -1,0 +1,279 @@
+//! Physical layout of the macrochip and optical time-of-flight (§3).
+//!
+//! The macrochip is an n×n array of sites on an SOI routing substrate.
+//! Light propagates in silicon waveguides at about 0.3c — the paper's
+//! 0.1 ns/cm figure. Site pitch is chosen so that the adapted Corona token
+//! ring's round trip is 80 core cycles (16 ns at 5 GHz), as in §4.4.
+
+use desim::Span;
+
+/// Grid coordinates of a site: `x` is the column, `y` is the row.
+pub type Coord = (usize, usize);
+
+/// Physical geometry of the macrochip's routing substrate.
+///
+/// # Example
+///
+/// ```
+/// use photonics::geometry::Layout;
+///
+/// let layout = Layout::macrochip();
+/// // Corona adaptation: a full token round trip takes 16 ns (80 cycles).
+/// assert_eq!(layout.ring_round_trip().as_ns_f64(), 16.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Layout {
+    side: usize,
+    site_pitch_cm: f64,
+    prop_ns_per_cm: f64,
+}
+
+impl Layout {
+    /// The paper's 8×8 macrochip: 2.5 cm site pitch, 0.1 ns/cm global
+    /// waveguides.
+    pub fn macrochip() -> Layout {
+        Layout::new(8, 2.5, 0.1)
+    }
+
+    /// Creates a custom layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` is zero or the physical parameters are not
+    /// strictly positive and finite.
+    pub fn new(side: usize, site_pitch_cm: f64, prop_ns_per_cm: f64) -> Layout {
+        assert!(side > 0, "grid side must be positive");
+        assert!(
+            site_pitch_cm > 0.0 && site_pitch_cm.is_finite(),
+            "invalid site pitch"
+        );
+        assert!(
+            prop_ns_per_cm > 0.0 && prop_ns_per_cm.is_finite(),
+            "invalid propagation speed"
+        );
+        Layout {
+            side,
+            site_pitch_cm,
+            prop_ns_per_cm,
+        }
+    }
+
+    /// Sites per grid side.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Total number of sites.
+    pub fn sites(&self) -> usize {
+        self.side * self.side
+    }
+
+    /// Center-to-center spacing of adjacent sites, in centimeters.
+    pub fn site_pitch_cm(&self) -> f64 {
+        self.site_pitch_cm
+    }
+
+    /// Waveguide length of the row-then-column path between two sites, in
+    /// centimeters. This is the route the point-to-point and two-phase
+    /// networks use: along the source row to the destination column, then
+    /// down the column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is outside the grid.
+    pub fn manhattan_cm(&self, src: Coord, dst: Coord) -> f64 {
+        self.check(src);
+        self.check(dst);
+        let dx = src.0.abs_diff(dst.0) as f64;
+        let dy = src.1.abs_diff(dst.1) as f64;
+        (dx + dy) * self.site_pitch_cm
+    }
+
+    /// Time of flight along the row-then-column waveguide path.
+    pub fn prop_delay(&self, src: Coord, dst: Coord) -> Span {
+        Span::from_ns_f64(self.manhattan_cm(src, dst) * self.prop_ns_per_cm)
+    }
+
+    /// Worst-case time of flight between any two sites.
+    pub fn worst_prop_delay(&self) -> Span {
+        self.prop_delay((0, 0), (self.side - 1, self.side - 1))
+    }
+
+    /// Number of torus hops between two sites under wrap-around XY routing.
+    pub fn torus_hops(&self, src: Coord, dst: Coord) -> usize {
+        self.check(src);
+        self.check(dst);
+        let wrap = |a: usize, b: usize| {
+            let d = a.abs_diff(b);
+            d.min(self.side - d)
+        };
+        wrap(src.0, dst.0) + wrap(src.1, dst.1)
+    }
+
+    /// Time of flight of a single torus hop (one site pitch).
+    pub fn hop_delay(&self) -> Span {
+        Span::from_ns_f64(self.site_pitch_cm * self.prop_ns_per_cm)
+    }
+
+    /// Position of site `i` in the serpentine (boustrophedon) ring that the
+    /// token-ring network's waveguides follow: row 0 left-to-right, row 1
+    /// right-to-left, and so on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a valid ring index.
+    pub fn ring_coord(&self, i: usize) -> Coord {
+        assert!(i < self.sites(), "ring index {i} out of range");
+        let y = i / self.side;
+        let x_in_row = i % self.side;
+        let x = if y.is_multiple_of(2) {
+            x_in_row
+        } else {
+            self.side - 1 - x_in_row
+        };
+        (x, y)
+    }
+
+    /// Inverse of [`ring_coord`](Self::ring_coord).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the grid.
+    pub fn ring_index(&self, c: Coord) -> usize {
+        self.check(c);
+        let x_in_row = if c.1.is_multiple_of(2) {
+            c.0
+        } else {
+            self.side - 1 - c.0
+        };
+        c.1 * self.side + x_in_row
+    }
+
+    /// Token travel time from one ring position to the next.
+    pub fn ring_hop(&self) -> Span {
+        self.hop_delay()
+    }
+
+    /// Token round-trip time around all sites (80 cycles / 16 ns for the
+    /// paper's 8×8 macrochip).
+    pub fn ring_round_trip(&self) -> Span {
+        self.ring_hop() * self.sites() as u64
+    }
+
+    /// Ring hops from position `from` to position `to`, moving forward.
+    /// A zero-hop request means "it is already here".
+    pub fn ring_distance(&self, from: usize, to: usize) -> usize {
+        let n = self.sites();
+        assert!(from < n && to < n, "ring position out of range");
+        (to + n - from) % n
+    }
+
+    /// Propagation delay along the serpentine ring between two sites
+    /// (data launched at `src` travels forward around the ring to `dst`).
+    pub fn ring_prop_delay(&self, src: Coord, dst: Coord) -> Span {
+        let hops = self.ring_distance(self.ring_index(src), self.ring_index(dst));
+        self.ring_hop() * hops as u64
+    }
+
+    fn check(&self, c: Coord) {
+        assert!(
+            c.0 < self.side && c.1 < self.side,
+            "coordinate {c:?} outside {0}x{0} grid",
+            self.side
+        );
+    }
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Layout::macrochip()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macrochip_dimensions() {
+        let l = Layout::macrochip();
+        assert_eq!(l.side(), 8);
+        assert_eq!(l.sites(), 64);
+    }
+
+    #[test]
+    fn corner_to_corner_propagation() {
+        let l = Layout::macrochip();
+        // 7 + 7 hops of 2.5 cm at 0.1 ns/cm = 3.5 ns.
+        assert_eq!(l.worst_prop_delay(), Span::from_ns_f64(3.5));
+    }
+
+    #[test]
+    fn zero_distance_zero_delay() {
+        let l = Layout::macrochip();
+        assert_eq!(l.prop_delay((3, 3), (3, 3)), Span::ZERO);
+    }
+
+    #[test]
+    fn token_round_trip_is_80_cycles() {
+        let l = Layout::macrochip();
+        // 80 cycles at 5 GHz = 16 ns (paper §4.4).
+        assert_eq!(l.ring_round_trip(), Span::from_ns(16));
+        assert_eq!(l.ring_hop(), Span::from_ps(250));
+    }
+
+    #[test]
+    fn ring_order_is_serpentine() {
+        let l = Layout::macrochip();
+        assert_eq!(l.ring_coord(0), (0, 0));
+        assert_eq!(l.ring_coord(7), (7, 0));
+        assert_eq!(l.ring_coord(8), (7, 1)); // second row reverses
+        assert_eq!(l.ring_coord(15), (0, 1));
+        assert_eq!(l.ring_coord(16), (0, 2));
+    }
+
+    #[test]
+    fn ring_index_inverts_ring_coord() {
+        let l = Layout::macrochip();
+        for i in 0..l.sites() {
+            assert_eq!(l.ring_index(l.ring_coord(i)), i);
+        }
+    }
+
+    #[test]
+    fn ring_distance_wraps() {
+        let l = Layout::macrochip();
+        assert_eq!(l.ring_distance(0, 1), 1);
+        assert_eq!(l.ring_distance(63, 0), 1);
+        assert_eq!(l.ring_distance(5, 5), 0);
+    }
+
+    #[test]
+    fn torus_hops_wrap_around() {
+        let l = Layout::macrochip();
+        assert_eq!(l.torus_hops((0, 0), (7, 0)), 1); // wraps, not 7
+        assert_eq!(l.torus_hops((0, 0), (4, 4)), 8);
+        assert_eq!(l.torus_hops((2, 2), (2, 2)), 0);
+    }
+
+    #[test]
+    fn adjacent_sites_one_pitch_apart() {
+        let l = Layout::macrochip();
+        assert_eq!(l.manhattan_cm((0, 0), (1, 0)), 2.5);
+        assert_eq!(l.prop_delay((0, 0), (0, 1)), Span::from_ps(250));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_grid_coordinates_panic() {
+        let l = Layout::macrochip();
+        let _ = l.prop_delay((0, 0), (8, 0));
+    }
+
+    #[test]
+    fn custom_layout_scales() {
+        let l = Layout::new(4, 5.0, 0.1);
+        assert_eq!(l.sites(), 16);
+        assert_eq!(l.worst_prop_delay(), Span::from_ns(3));
+    }
+}

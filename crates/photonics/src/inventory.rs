@@ -1,0 +1,376 @@
+//! Per-network optical component counts — the paper's complexity analysis
+//! (Table 6, §6.4).
+//!
+//! Counts are derived from closed-form formulas in the grid side `n`
+//! (S = n² sites) and the WDM factor, and reproduce the paper's Table 6
+//! exactly for the 8×8 scaled macrochip.
+
+use crate::geometry::Layout;
+use std::fmt;
+
+/// The network architecture rows of Tables 5 and 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetworkId {
+    /// Corona-style token-ring optical crossbar (§4.4).
+    TokenRing,
+    /// Static WDM-routed point-to-point network (§4.2).
+    PointToPoint,
+    /// Circuit-switched torus (§4.5).
+    CircuitSwitched,
+    /// Limited point-to-point with electronic routing (§4.6).
+    LimitedPointToPoint,
+    /// Two-phase arbitrated network, data portion (§4.3).
+    TwoPhaseData,
+    /// Two-phase ALT configuration (doubled switch trees), data portion.
+    TwoPhaseDataAlt,
+    /// Two-phase arbitration (control) network.
+    TwoPhaseArbitration,
+}
+
+impl NetworkId {
+    /// All rows in Table 5/6 order.
+    pub const ALL: [NetworkId; 7] = [
+        NetworkId::TokenRing,
+        NetworkId::PointToPoint,
+        NetworkId::CircuitSwitched,
+        NetworkId::LimitedPointToPoint,
+        NetworkId::TwoPhaseData,
+        NetworkId::TwoPhaseDataAlt,
+        NetworkId::TwoPhaseArbitration,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetworkId::TokenRing => "Token-Ring",
+            NetworkId::PointToPoint => "Point-to-Point",
+            NetworkId::CircuitSwitched => "Circuit-Switched",
+            NetworkId::LimitedPointToPoint => "Limited Point-to-Point",
+            NetworkId::TwoPhaseData => "Two-Phase: Data",
+            NetworkId::TwoPhaseDataAlt => "Two-Phase: Data (ALT)",
+            NetworkId::TwoPhaseArbitration => "Two-Phase: Arbitration",
+        }
+    }
+}
+
+impl fmt::Display for NetworkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What kind of switching element a network uses (Table 6 footnotes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchKind {
+    /// No switching elements at all.
+    None,
+    /// Broadband 1×2 optical switches (two-phase switch trees and feeds).
+    Broadband1x2,
+    /// 4×4 optical switches (circuit-switched torus).
+    Optical4x4,
+    /// 7×7 electronic routers (limited point-to-point).
+    Electronic7x7,
+}
+
+/// Optical component totals for one network (one Table 6 row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComponentCounts {
+    /// Which network these counts describe.
+    pub network: NetworkId,
+    /// Total transmitters (modulators driven by distinct sources).
+    pub transmitters: u64,
+    /// Total receivers.
+    pub receivers: u64,
+    /// Physical waveguides.
+    pub waveguides: u64,
+    /// Area-equivalent waveguide count: physical waveguides scaled by how
+    /// many rows each one crosses, relative to a normal row-local
+    /// waveguide. Differs from `waveguides` only for the token ring, whose
+    /// serpentine bundles traverse every row (the paper's "32 K" note).
+    pub waveguide_area_equivalent: u64,
+    /// Switching elements of kind `switch_kind`.
+    pub switches: u64,
+    /// What the `switches` column counts.
+    pub switch_kind: SwitchKind,
+}
+
+impl ComponentCounts {
+    /// Computes the Table 6 row for `network` on a given layout with the
+    /// scaled macrochip's WDM factor of 8 wavelengths per waveguide.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use photonics::geometry::Layout;
+    /// use photonics::inventory::{ComponentCounts, NetworkId};
+    ///
+    /// let c = ComponentCounts::for_network(NetworkId::PointToPoint, &Layout::macrochip());
+    /// assert_eq!(c.transmitters, 8_192);
+    /// assert_eq!(c.waveguides, 3_072);
+    /// ```
+    pub fn for_network(network: NetworkId, layout: &Layout) -> ComponentCounts {
+        // Scaled configuration: 2 wavelengths per destination, 8 per
+        // waveguide (128 Tx/site at 8x8).
+        ComponentCounts::for_network_in(network, layout, 2, 8)
+    }
+
+    /// Computes a Table 6 row for an arbitrary provisioning: `lambdas_per
+    /// destination` point-to-point wavelengths and `wdm` wavelengths per
+    /// waveguide. The paper's full 2015 system (§3) is `(16, 16)`; the
+    /// simulated scaled system is `(2, 8)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero or `wdm` does not divide the
+    /// per-site transmitter count.
+    pub fn for_network_in(
+        network: NetworkId,
+        layout: &Layout,
+        lambdas_per_dest: u64,
+        wdm: u64,
+    ) -> ComponentCounts {
+        assert!(
+            lambdas_per_dest > 0 && wdm > 0,
+            "provisioning must be positive"
+        );
+        let n = layout.side() as u64;
+        let s = layout.sites() as u64; // S = n^2
+        let tx_per_site = lambdas_per_dest * s;
+        assert!(
+            tx_per_site.is_multiple_of(wdm),
+            "WDM factor must divide the per-site transmitter count"
+        );
+        let wgs_sourced = tx_per_site / wdm; // waveguides sourced per site
+
+        match network {
+            // Corona adaptation (§4.4): every site has modulators on every
+            // destination's full 128-wavelength bundle; the WDM factor is
+            // reduced to 2, quadrupling waveguides; bundles are serpentine
+            // loops, so each occupies out + return tracks (x2 physical) and
+            // crosses all n rows (x n/2 in area vs. a 2-row loop).
+            NetworkId::TokenRing => {
+                let wdm_ring = 2;
+                let physical = 2 * s * tx_per_site / wdm_ring;
+                ComponentCounts {
+                    network,
+                    transmitters: s * s * tx_per_site,
+                    receivers: s * tx_per_site,
+                    waveguides: physical,
+                    waveguide_area_equivalent: physical * n / 2,
+                    switches: 0,
+                    switch_kind: SwitchKind::None,
+                }
+            }
+            // §4.2: each site sources 16 horizontal waveguides; each
+            // vertical channel needs an up and a down waveguide.
+            NetworkId::PointToPoint => ComponentCounts {
+                network,
+                transmitters: s * tx_per_site,
+                receivers: s * tx_per_site,
+                waveguides: 3 * s * wgs_sourced,
+                waveguide_area_equivalent: 3 * s * wgs_sourced,
+                switches: 0,
+                switch_kind: SwitchKind::None,
+            },
+            // §4.5: 16 waveguides sourced per site, routed as loops between
+            // rows (x2), with one 4x4 switch per sourced waveguide per site.
+            NetworkId::CircuitSwitched => ComponentCounts {
+                network,
+                transmitters: s * tx_per_site,
+                receivers: s * tx_per_site,
+                waveguides: 2 * s * wgs_sourced,
+                waveguide_area_equivalent: 2 * s * wgs_sourced,
+                switches: s * wgs_sourced,
+                switch_kind: SwitchKind::Optical4x4,
+            },
+            // §4.6: same waveguide plan as point-to-point, plus two 7x7
+            // electronic routers per site.
+            NetworkId::LimitedPointToPoint => ComponentCounts {
+                network,
+                transmitters: s * tx_per_site,
+                receivers: s * tx_per_site,
+                waveguides: 3 * s * wgs_sourced,
+                waveguide_area_equivalent: 3 * s * wgs_sourced,
+                switches: 2 * s,
+                switch_kind: SwitchKind::Electronic7x7,
+            },
+            // §4.3: n*S shared channels; each is two waveguides, each split
+            // into two low-loss segments, horizontal + vertical; every
+            // channel passes n feed switches on each of its 4 segments.
+            NetworkId::TwoPhaseData => {
+                let channels = n * s;
+                ComponentCounts {
+                    network,
+                    transmitters: s * tx_per_site,
+                    receivers: s * tx_per_site,
+                    waveguides: channels * 8,
+                    waveguide_area_equivalent: channels * 8,
+                    switches: channels * n * 4,
+                    switch_kind: SwitchKind::Broadband1x2,
+                }
+            }
+            // ALT doubles the transmitters; the restructured (doubled)
+            // switch trees need one fewer 1x2 stage per sourced waveguide,
+            // matching the paper's 15 K total.
+            NetworkId::TwoPhaseDataAlt => {
+                let channels = n * s;
+                ComponentCounts {
+                    network,
+                    transmitters: 2 * s * tx_per_site,
+                    receivers: s * tx_per_site,
+                    waveguides: channels * 8,
+                    waveguide_area_equivalent: channels * 8,
+                    switches: channels * n * 4 - s * wgs_sourced,
+                    switch_kind: SwitchKind::Broadband1x2,
+                }
+            }
+            // §4.3 arbitration: one request wavelength and one notification
+            // wavelength per site; every site snoops its row's and its
+            // column's arbitration waveguides (2n receivers per site);
+            // 2n horizontal request + n vertical notification waveguides.
+            NetworkId::TwoPhaseArbitration => ComponentCounts {
+                network,
+                transmitters: 2 * s,
+                receivers: 2 * n * s,
+                waveguides: 2 * n + n,
+                waveguide_area_equivalent: 2 * n + n,
+                switches: 0,
+                switch_kind: SwitchKind::None,
+            },
+        }
+    }
+
+    /// All Table 6 rows for a layout.
+    pub fn table6(layout: &Layout) -> Vec<ComponentCounts> {
+        NetworkId::ALL
+            .iter()
+            .map(|&n| ComponentCounts::for_network(n, layout))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(n: NetworkId) -> ComponentCounts {
+        ComponentCounts::for_network(n, &Layout::macrochip())
+    }
+
+    #[test]
+    fn table6_token_ring() {
+        let c = counts(NetworkId::TokenRing);
+        assert_eq!(c.transmitters, 524_288); // 512 K
+        assert_eq!(c.receivers, 8_192);
+        assert_eq!(c.waveguides, 8_192); // paper: "physical ... only 8192"
+        assert_eq!(c.waveguide_area_equivalent, 32_768); // paper: "32 K"
+        assert_eq!(c.switches, 0);
+    }
+
+    #[test]
+    fn table6_point_to_point() {
+        let c = counts(NetworkId::PointToPoint);
+        assert_eq!(
+            (c.transmitters, c.receivers, c.waveguides, c.switches),
+            (8_192, 8_192, 3_072, 0)
+        );
+    }
+
+    #[test]
+    fn table6_circuit_switched() {
+        let c = counts(NetworkId::CircuitSwitched);
+        assert_eq!(
+            (c.transmitters, c.receivers, c.waveguides, c.switches),
+            (8_192, 8_192, 2_048, 1_024)
+        );
+        assert_eq!(c.switch_kind, SwitchKind::Optical4x4);
+    }
+
+    #[test]
+    fn table6_limited_point_to_point() {
+        let c = counts(NetworkId::LimitedPointToPoint);
+        assert_eq!(
+            (c.transmitters, c.receivers, c.waveguides, c.switches),
+            (8_192, 8_192, 3_072, 128)
+        );
+        assert_eq!(c.switch_kind, SwitchKind::Electronic7x7);
+    }
+
+    #[test]
+    fn table6_two_phase_data() {
+        let c = counts(NetworkId::TwoPhaseData);
+        assert_eq!(
+            (c.transmitters, c.receivers, c.waveguides, c.switches),
+            (8_192, 8_192, 4_096, 16_384)
+        );
+    }
+
+    #[test]
+    fn table6_two_phase_alt() {
+        let c = counts(NetworkId::TwoPhaseDataAlt);
+        assert_eq!(
+            (c.transmitters, c.receivers, c.waveguides, c.switches),
+            (16_384, 8_192, 4_096, 15_360)
+        );
+    }
+
+    #[test]
+    fn table6_two_phase_arbitration() {
+        let c = counts(NetworkId::TwoPhaseArbitration);
+        assert_eq!(
+            (c.transmitters, c.receivers, c.waveguides, c.switches),
+            (128, 1_024, 24, 0)
+        );
+    }
+
+    #[test]
+    fn p2p_has_lowest_complexity_of_switched_networks() {
+        // The paper's §6.4 claim: the point-to-point network needs no
+        // switches and no more transmitters/receivers than any other
+        // full-bandwidth network.
+        let p2p = counts(NetworkId::PointToPoint);
+        for id in [
+            NetworkId::TokenRing,
+            NetworkId::CircuitSwitched,
+            NetworkId::TwoPhaseData,
+        ] {
+            let other = counts(id);
+            assert!(p2p.transmitters <= other.transmitters);
+            assert!(p2p.switches <= other.switches);
+        }
+    }
+
+    #[test]
+    fn table6_covers_all_networks() {
+        let rows = ComponentCounts::table6(&Layout::macrochip());
+        assert_eq!(rows.len(), 7);
+    }
+
+    #[test]
+    fn counts_scale_with_grid() {
+        let small =
+            ComponentCounts::for_network(NetworkId::PointToPoint, &Layout::new(4, 2.5, 0.1));
+        // 16 sites, 32 tx/site.
+        assert_eq!(small.transmitters, 512);
+    }
+
+    #[test]
+    fn full_2015_provisioning_matches_section3() {
+        // §3: 1024 transmitters and 1024 receivers per site, waveguides
+        // carrying 16 wavelengths.
+        let c =
+            ComponentCounts::for_network_in(NetworkId::PointToPoint, &Layout::macrochip(), 16, 16);
+        assert_eq!(c.transmitters, 64 * 1024);
+        assert_eq!(c.receivers, 64 * 1024);
+        // 64 waveguides sourced per site, tripled for vertical up/down.
+        assert_eq!(c.waveguides, 3 * 64 * 64);
+        assert_eq!(c.switches, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn indivisible_wdm_rejected() {
+        let _ =
+            ComponentCounts::for_network_in(NetworkId::PointToPoint, &Layout::macrochip(), 2, 7);
+    }
+}

@@ -1,0 +1,44 @@
+//! Silicon-photonic device, loss, power and complexity models for the
+//! macrochip (ISCA 2010, §2, §3, §6.3, §6.4).
+//!
+//! This crate encodes the paper's technology projection:
+//!
+//! * [`components`] — the optical component property table (paper Table 1):
+//!   energies and insertion losses for modulators, couplers, waveguides,
+//!   drop filters, receivers, switches, and lasers;
+//! * [`units`] — decibel / optical-power / energy newtypes with checked
+//!   conversions;
+//! * [`link`] — end-to-end link-loss budgets and margin checks (the paper's
+//!   17 dB un-switched link with 4 dB margin);
+//! * [`geometry`] — the physical 8×8 site layout, waveguide path lengths
+//!   and time-of-flight (0.1 ns/cm);
+//! * [`power`] — per-network laser/tuning/dynamic power (paper Table 5);
+//! * [`inventory`] — per-network component counts (paper Table 6).
+//!
+//! # Example
+//!
+//! ```
+//! use photonics::link::LinkBudget;
+//! use photonics::units::Dbm;
+//!
+//! let link = LinkBudget::unswitched_site_to_site();
+//! let margin = link.margin(Dbm::new(0.0));
+//! assert!(margin.value() >= 3.9, "paper projects a 4 dB margin");
+//! ```
+
+pub mod components;
+pub mod crosstalk;
+pub mod geometry;
+pub mod inventory;
+pub mod link;
+pub mod power;
+pub mod tuning;
+pub mod units;
+pub mod wdm;
+
+pub use components::{Component, ComponentProps};
+pub use geometry::Layout;
+pub use inventory::{ComponentCounts, NetworkId};
+pub use link::LinkBudget;
+pub use power::NetworkPower;
+pub use units::{Db, Dbm, FemtojoulesPerBit, Milliwatts};

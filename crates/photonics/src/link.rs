@@ -1,0 +1,243 @@
+//! End-to-end optical link-loss budgets (paper §2).
+//!
+//! A link budget is an ordered chain of components between the laser and
+//! the receiver. The paper's canonical un-switched site-to-site link loses
+//! 17 dB, leaving a 4 dB margin over the −21 dBm receiver sensitivity when
+//! the laser launches 0 dBm at the modulator.
+
+use crate::components::{Component, RECEIVER_SENSITIVITY_DBM};
+use crate::units::{Db, Dbm};
+use std::fmt;
+
+/// One entry of a link budget: a component class and how many of them the
+/// signal traverses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetEntry {
+    /// The traversed component class.
+    pub component: Component,
+    /// How many instances the optical signal passes through.
+    pub count: u32,
+    /// Loss override (e.g. worst-case end-to-end waveguide loss instead of
+    /// a per-cm figure). `None` uses the component's Table 1 loss.
+    pub loss_override: Option<Db>,
+}
+
+impl BudgetEntry {
+    fn loss(&self) -> Db {
+        let unit = self
+            .loss_override
+            .unwrap_or(self.component.props().insertion_loss);
+        unit * self.count as f64
+    }
+}
+
+/// An end-to-end optical path loss budget.
+///
+/// # Example
+///
+/// ```
+/// use photonics::link::LinkBudget;
+/// use photonics::units::Dbm;
+///
+/// let link = LinkBudget::unswitched_site_to_site();
+/// assert!((link.total_loss().value() - 17.0).abs() < 0.2);
+/// assert!(link.closes(Dbm::new(0.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkBudget {
+    name: &'static str,
+    entries: Vec<BudgetEntry>,
+}
+
+impl LinkBudget {
+    /// Creates an empty budget with a report name.
+    pub fn new(name: &'static str) -> LinkBudget {
+        LinkBudget {
+            name,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds `count` traversals of `component` using its Table 1 loss.
+    pub fn with(mut self, component: Component, count: u32) -> LinkBudget {
+        self.entries.push(BudgetEntry {
+            component,
+            count,
+            loss_override: None,
+        });
+        self
+    }
+
+    /// Adds a traversal with an explicit per-instance loss.
+    pub fn with_loss(mut self, component: Component, count: u32, loss: Db) -> LinkBudget {
+        self.entries.push(BudgetEntry {
+            component,
+            count,
+            loss_override: Some(loss),
+        });
+        self
+    }
+
+    /// Name used in reports.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The budget's entries, in traversal order.
+    pub fn entries(&self) -> &[BudgetEntry] {
+        &self.entries
+    }
+
+    /// Sum of all insertion losses along the path.
+    pub fn total_loss(&self) -> Db {
+        self.entries.iter().map(BudgetEntry::loss).sum()
+    }
+
+    /// Power margin over the receiver sensitivity when launching at
+    /// `launch` dBm.
+    pub fn margin(&self, launch: Dbm) -> Db {
+        (launch - self.total_loss()) - Dbm::new(RECEIVER_SENSITIVITY_DBM)
+    }
+
+    /// True when the received power meets the receiver sensitivity.
+    pub fn closes(&self, launch: Dbm) -> bool {
+        self.margin(launch).value() >= 0.0
+    }
+
+    /// Extra laser power factor this link needs relative to a link that
+    /// exactly fits the baseline budget (the paper's "power loss factor",
+    /// Table 5): `10^(excess_dB / 10)`, floored at 1×.
+    pub fn power_factor_over(&self, baseline: &LinkBudget) -> f64 {
+        let excess = self.total_loss() - baseline.total_loss();
+        excess.linear_factor().max(1.0)
+    }
+
+    /// The paper's canonical un-switched site-to-site link (§2): modulator,
+    /// WDM mux, OPxC down to the routing substrate, worst-case global
+    /// waveguide traversal (6 dB, including the inter-layer coupler),
+    /// OPxC back up, six pass-by drop filters in the destination column,
+    /// and the final drop. Totals 17 dB as in the paper.
+    pub fn unswitched_site_to_site() -> LinkBudget {
+        LinkBudget::new("un-switched site-to-site")
+            .with(Component::Modulator, 1)
+            .with(Component::Multiplexer, 1)
+            .with(Component::Opxc, 2)
+            .with_loss(Component::WaveguidePerCm, 1, Db::new(6.0))
+            .with(Component::DropFilterPass, 6)
+            .with(Component::DropFilterDrop, 1)
+    }
+
+    /// The two-phase network's worst data path: the un-switched link plus
+    /// seven broadband switch hops (§4.3).
+    pub fn two_phase_worst() -> LinkBudget {
+        Self::unswitched_site_to_site()
+            .with(Component::Switch, 7)
+            .rename("two-phase worst path")
+    }
+
+    /// The circuit-switched torus's worst path: un-switched link plus 31
+    /// optical switch hops at the adapted 0.5 dB per 4×4 switch (§4.5).
+    pub fn circuit_switched_worst() -> LinkBudget {
+        Self::unswitched_site_to_site()
+            .with_loss(Component::Switch, 31, Db::new(0.5))
+            .rename("circuit-switched worst path")
+    }
+
+    /// The token-ring crossbar's path at the adapted WDM factor of 2: the
+    /// un-switched link plus 128 off-resonance modulator ring pass-bys
+    /// (12.8 dB, §4.4).
+    pub fn token_ring_path() -> LinkBudget {
+        Self::unswitched_site_to_site()
+            .with(Component::ModulatorOffResonance, 128)
+            .rename("token-ring data path")
+    }
+
+    fn rename(mut self, name: &'static str) -> LinkBudget {
+        self.name = name;
+        self
+    }
+}
+
+impl fmt::Display for LinkBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", self.name)?;
+        for e in &self.entries {
+            writeln!(
+                f,
+                "  {:>3} x {:<28} {}",
+                e.count,
+                e.component.name(),
+                e.loss()
+            )?;
+        }
+        write!(f, "  total: {}", self.total_loss())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unswitched_link_is_17db() {
+        let link = LinkBudget::unswitched_site_to_site();
+        assert!(
+            (link.total_loss().value() - 17.0).abs() < 0.2,
+            "got {}",
+            link.total_loss()
+        );
+    }
+
+    #[test]
+    fn unswitched_link_has_4db_margin() {
+        let link = LinkBudget::unswitched_site_to_site();
+        let margin = link.margin(Dbm::new(0.0));
+        assert!((margin.value() - 4.0).abs() < 0.2, "margin {margin}");
+        assert!(link.closes(Dbm::new(0.0)));
+    }
+
+    #[test]
+    fn token_ring_adds_12_8_db() {
+        let base = LinkBudget::unswitched_site_to_site();
+        let ring = LinkBudget::token_ring_path();
+        let extra = ring.total_loss() - base.total_loss();
+        assert!((extra.value() - 12.8).abs() < 1e-9);
+        // 12.8 dB => ~19x laser power, the paper's Table 5 factor.
+        assert!((ring.power_factor_over(&base) - 19.05).abs() < 0.05);
+    }
+
+    #[test]
+    fn token_ring_path_does_not_close_at_base_power() {
+        // This is exactly why the token ring needs 19x laser power.
+        assert!(!LinkBudget::token_ring_path().closes(Dbm::new(0.0)));
+    }
+
+    #[test]
+    fn two_phase_worst_factor_is_about_5x() {
+        let base = LinkBudget::unswitched_site_to_site();
+        let f = LinkBudget::two_phase_worst().power_factor_over(&base);
+        assert!((f - 5.01).abs() < 0.05, "factor {f}");
+    }
+
+    #[test]
+    fn circuit_switched_factor_is_about_30x() {
+        let base = LinkBudget::unswitched_site_to_site();
+        let f = LinkBudget::circuit_switched_worst().power_factor_over(&base);
+        assert!((15.5 - Db::from_linear_factor(f).value()).abs() < 1e-9 || f > 28.0);
+        assert!(f > 28.0 && f < 36.0, "factor {f}");
+    }
+
+    #[test]
+    fn power_factor_is_floored_at_one() {
+        let base = LinkBudget::two_phase_worst();
+        let smaller = LinkBudget::unswitched_site_to_site();
+        assert_eq!(smaller.power_factor_over(&base), 1.0);
+    }
+
+    #[test]
+    fn display_lists_every_entry() {
+        let s = LinkBudget::unswitched_site_to_site().to_string();
+        assert!(s.contains("Modulator"));
+        assert!(s.contains("total"));
+    }
+}

@@ -1,0 +1,227 @@
+//! Per-network optical power models — the paper's Table 5 (§6.3).
+//!
+//! Static optical power is the laser power needed to overcome each
+//! network's worst-case loss: `lasers × 1 mW × loss factor`. Loss factors
+//! come from the extra dB each architecture adds over the canonical
+//! un-switched link (off-resonance ring pass-bys, switch hops, splitters,
+//! snooping fan-out). Dynamic power is the modulator + receiver energy per
+//! bit actually moved, plus (for the limited point-to-point network)
+//! electronic router energy.
+
+use crate::components::transceiver_dynamic_energy;
+use crate::geometry::Layout;
+use crate::inventory::{ComponentCounts, NetworkId};
+use crate::link::LinkBudget;
+use crate::units::{Db, FemtojoulesPerBit, Milliwatts};
+
+/// Base laser power per wavelength assumed by the paper: 1 mW.
+pub const BASE_LASER_MW: f64 = 1.0;
+
+/// Conservative electronic router switching energy (paper §6.3, from the
+/// Firefly analysis): 60 pJ per byte routed.
+pub const ROUTER_PJ_PER_BYTE: f64 = 60.0;
+
+/// Ring-resonator tuning power per wavelength filter: 0.1 mW (§2).
+pub const TUNING_MW_PER_RING: f64 = 0.1;
+
+/// One row of the paper's Table 5: the optical power of a network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkPower {
+    /// Which network this row describes.
+    pub network: NetworkId,
+    /// The paper's "power loss factor" — extra laser power multiplier.
+    pub loss_factor: f64,
+    /// Number of laser wavelength sources feeding the network.
+    pub laser_sources: u64,
+    /// Total laser (static optical) power.
+    pub laser: Milliwatts,
+}
+
+impl NetworkPower {
+    /// Computes the Table 5 row for `network` on `layout`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use photonics::geometry::Layout;
+    /// use photonics::inventory::NetworkId;
+    /// use photonics::power::NetworkPower;
+    ///
+    /// let p2p = NetworkPower::for_network(NetworkId::PointToPoint, &Layout::macrochip());
+    /// assert!((p2p.laser.watts() - 8.192).abs() < 1e-9);
+    /// ```
+    pub fn for_network(network: NetworkId, layout: &Layout) -> NetworkPower {
+        let counts = ComponentCounts::for_network(network, layout);
+        let loss_factor = Self::loss_factor(network);
+        // Each sourced wavelength needs one 1 mW laser feed. The token
+        // ring's 512 K modulators share the 8192 lit wavelengths of the
+        // destination bundles, so lasers track receivers there; everywhere
+        // else one transmitter is one lit wavelength (ALT doubles them).
+        let laser_sources = match network {
+            NetworkId::TokenRing => counts.receivers,
+            _ => counts.transmitters,
+        };
+        let laser = Milliwatts::new(laser_sources as f64 * BASE_LASER_MW * loss_factor);
+        NetworkPower {
+            network,
+            loss_factor,
+            laser_sources,
+            laser,
+        }
+    }
+
+    /// The paper's Table 5 power-loss factor for each network, derived
+    /// from the extra decibels its worst path adds over the un-switched
+    /// link (see [`LinkBudget`]).
+    pub fn loss_factor(network: NetworkId) -> f64 {
+        match network {
+            // 128 off-resonance ring pass-bys at 0.1 dB = 12.8 dB ≈ 19x.
+            NetworkId::TokenRing => 19.0,
+            NetworkId::PointToPoint => 1.0,
+            // ~15 dB of 4x4 switch hops; the paper rounds to 30x.
+            NetworkId::CircuitSwitched => 30.0,
+            NetworkId::LimitedPointToPoint => 1.0,
+            // 7 broadband switch hops at 1 dB ≈ 5x.
+            NetworkId::TwoPhaseData => 5.0,
+            // ALT halves the switch chain (6 dB ≈ 4x) but doubles sources.
+            NetworkId::TwoPhaseDataAlt => 4.0,
+            // Snooped by the 7 other sites of the domain: 7-8x input power.
+            NetworkId::TwoPhaseArbitration => 8.0,
+        }
+    }
+
+    /// Checks a stated loss factor against the dB-derived value from the
+    /// link budgets, returning the relative error. Only the architectures
+    /// with a link-budget model are checked; others return zero.
+    pub fn loss_factor_error(network: NetworkId) -> f64 {
+        let base = LinkBudget::unswitched_site_to_site();
+        let derived = match network {
+            NetworkId::TokenRing => LinkBudget::token_ring_path().power_factor_over(&base),
+            NetworkId::TwoPhaseData => LinkBudget::two_phase_worst().power_factor_over(&base),
+            NetworkId::CircuitSwitched => {
+                LinkBudget::circuit_switched_worst().power_factor_over(&base)
+            }
+            NetworkId::TwoPhaseDataAlt => Db::new(6.0).linear_factor(),
+            _ => return 0.0,
+        };
+        (Self::loss_factor(network) - derived).abs() / derived
+    }
+
+    /// All Table 5 rows.
+    pub fn table5(layout: &Layout) -> Vec<NetworkPower> {
+        NetworkId::ALL
+            .iter()
+            .map(|&n| NetworkPower::for_network(n, layout))
+            .collect()
+    }
+
+    /// Standing ring-tuning power: 0.1 mW per receiver-side filter ring.
+    pub fn tuning(&self, layout: &Layout) -> Milliwatts {
+        let counts = ComponentCounts::for_network(self.network, layout);
+        Milliwatts::new(counts.receivers as f64 * TUNING_MW_PER_RING)
+    }
+
+    /// Total static power (laser + tuning).
+    pub fn static_total(&self, layout: &Layout) -> Milliwatts {
+        self.laser + self.tuning(layout)
+    }
+}
+
+/// Dynamic transceiver energy per byte moved optically (modulator +
+/// receiver; 100 fJ/bit = 800 fJ/byte).
+pub fn dynamic_joules_per_byte() -> f64 {
+    transceiver_dynamic_energy().energy_for_bytes(1)
+}
+
+/// Electronic router energy per byte for the limited point-to-point
+/// network, in joules.
+pub fn router_joules_per_byte() -> f64 {
+    ROUTER_PJ_PER_BYTE * 1e-12
+}
+
+/// Dynamic transceiver energy as a typed quantity.
+pub fn dynamic_energy_per_bit() -> FemtojoulesPerBit {
+    transceiver_dynamic_energy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(n: NetworkId) -> NetworkPower {
+        NetworkPower::for_network(n, &Layout::macrochip())
+    }
+
+    #[test]
+    fn table5_laser_powers_match_paper() {
+        // Paper Table 5: Token-Ring 155 W, P2P 8 W, Circuit 245 W,
+        // Limited 8 W, Two-Phase data 41 W, ALT 65.5 W, Arb 1 W.
+        assert!((row(NetworkId::TokenRing).laser.watts() - 155.0).abs() < 1.0);
+        assert!((row(NetworkId::PointToPoint).laser.watts() - 8.0).abs() < 0.5);
+        assert!((row(NetworkId::CircuitSwitched).laser.watts() - 245.0).abs() < 1.0);
+        assert!((row(NetworkId::LimitedPointToPoint).laser.watts() - 8.0).abs() < 0.5);
+        assert!((row(NetworkId::TwoPhaseData).laser.watts() - 41.0).abs() < 0.5);
+        assert!((row(NetworkId::TwoPhaseDataAlt).laser.watts() - 65.5).abs() < 0.5);
+        assert!((row(NetworkId::TwoPhaseArbitration).laser.watts() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn table5_loss_factors_match_paper() {
+        assert_eq!(row(NetworkId::TokenRing).loss_factor, 19.0);
+        assert_eq!(row(NetworkId::PointToPoint).loss_factor, 1.0);
+        assert_eq!(row(NetworkId::CircuitSwitched).loss_factor, 30.0);
+        assert_eq!(row(NetworkId::TwoPhaseData).loss_factor, 5.0);
+        assert_eq!(row(NetworkId::TwoPhaseDataAlt).loss_factor, 4.0);
+        assert_eq!(row(NetworkId::TwoPhaseArbitration).loss_factor, 8.0);
+    }
+
+    #[test]
+    fn stated_factors_agree_with_link_budgets() {
+        // Stated integer factors should be within 10% of the dB-derived
+        // values (the paper itself rounds: 19.05 -> 19, 5.01 -> 5, ...).
+        for n in [
+            NetworkId::TokenRing,
+            NetworkId::TwoPhaseData,
+            NetworkId::TwoPhaseDataAlt,
+        ] {
+            let err = NetworkPower::loss_factor_error(n);
+            assert!(err < 0.1, "{n}: relative error {err}");
+        }
+        // Circuit-switched: the paper's own rounding is loosest here — 31
+        // switch hops at 0.5 dB is 15.5 dB (35.5x) which it calls
+        // "approximate 30x increase in the laser power".
+        assert!(NetworkPower::loss_factor_error(NetworkId::CircuitSwitched) < 0.2);
+    }
+
+    #[test]
+    fn p2p_is_over_10x_more_power_efficient() {
+        // Abstract claim: point-to-point is over 10x more power-efficient.
+        let p2p = row(NetworkId::PointToPoint).laser.watts();
+        assert!(row(NetworkId::TokenRing).laser.watts() / p2p > 10.0);
+        assert!(row(NetworkId::CircuitSwitched).laser.watts() / p2p > 10.0);
+    }
+
+    #[test]
+    fn tuning_power_scales_with_receivers() {
+        let p2p = row(NetworkId::PointToPoint);
+        let layout = Layout::macrochip();
+        // 8192 receiver rings at 0.1 mW.
+        assert!((p2p.tuning(&layout).watts() - 0.8192).abs() < 1e-9);
+        assert!(p2p.static_total(&layout).value() > p2p.laser.value());
+    }
+
+    #[test]
+    fn dynamic_energy_is_800_fj_per_byte() {
+        assert!((dynamic_joules_per_byte() - 800e-15).abs() < 1e-20);
+    }
+
+    #[test]
+    fn router_energy_is_60_pj_per_byte() {
+        assert!((router_joules_per_byte() - 60e-12).abs() < 1e-20);
+    }
+
+    #[test]
+    fn table5_has_all_rows() {
+        assert_eq!(NetworkPower::table5(&Layout::macrochip()).len(), 7);
+    }
+}

@@ -1,0 +1,155 @@
+//! Ring-resonator thermal tuning (§2).
+//!
+//! Every ring (modulators, multiplexers, drop filters) must be held on
+//! its wavelength against fabrication tolerances and ambient temperature
+//! variation; the paper targets 0.1 mW of tuning power per wavelength.
+//! This model makes the target's sensitivity explicit: silicon ring
+//! resonances shift ~10 GHz/K, heaters retune ~100 GHz/mW, so the
+//! paper's 0.1 mW/ring corresponds to holding a ring against ~1 K of
+//! average thermal offset. Across a 20 cm macrochip with kilowatts of
+//! compute, that is an aggressive assumption — this module quantifies
+//! what happens when it slips.
+
+use crate::geometry::Layout;
+use crate::inventory::{ComponentCounts, NetworkId};
+use crate::units::Milliwatts;
+
+/// Thermo-optic tuning characteristics of a silicon ring resonator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuningModel {
+    /// Resonance drift per kelvin of local temperature offset.
+    pub ghz_per_kelvin: f64,
+    /// Heater efficiency: resonance shift per milliwatt of heater power.
+    pub ghz_per_mw: f64,
+}
+
+impl TuningModel {
+    /// Representative 2015-era silicon ring values; calibrated so the
+    /// paper's 0.1 mW/ring target corresponds to a 1 K average offset.
+    pub fn silicon() -> TuningModel {
+        TuningModel {
+            ghz_per_kelvin: 10.0,
+            ghz_per_mw: 100.0,
+        }
+    }
+
+    /// Creates a custom model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are strictly positive.
+    pub fn new(ghz_per_kelvin: f64, ghz_per_mw: f64) -> TuningModel {
+        assert!(
+            ghz_per_kelvin > 0.0 && ghz_per_mw > 0.0,
+            "tuning parameters must be positive"
+        );
+        TuningModel {
+            ghz_per_kelvin,
+            ghz_per_mw,
+        }
+    }
+
+    /// Heater power to hold one ring against a `delta_kelvin` offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset is negative or not finite.
+    pub fn per_ring(&self, delta_kelvin: f64) -> Milliwatts {
+        assert!(
+            delta_kelvin.is_finite() && delta_kelvin >= 0.0,
+            "temperature offset must be non-negative"
+        );
+        Milliwatts::new(delta_kelvin * self.ghz_per_kelvin / self.ghz_per_mw)
+    }
+
+    /// Rings a network must hold on-wavelength: every receiver-side drop
+    /// filter plus every modulator ring.
+    pub fn rings(network: NetworkId, layout: &Layout) -> u64 {
+        let c = ComponentCounts::for_network(network, layout);
+        c.receivers + c.transmitters
+    }
+
+    /// Total tuning power of `network` when its rings sit, on average,
+    /// `avg_delta_kelvin` from their resonance temperature.
+    pub fn network_tuning(
+        &self,
+        network: NetworkId,
+        layout: &Layout,
+        avg_delta_kelvin: f64,
+    ) -> Milliwatts {
+        self.per_ring(avg_delta_kelvin) * Self::rings(network, layout) as f64
+    }
+
+    /// The thermal offset at which a network's tuning power equals its
+    /// laser power — the point where the paper's "negligible tuning"
+    /// assumption inverts.
+    pub fn break_even_kelvin(&self, network: NetworkId, layout: &Layout) -> f64 {
+        let laser = crate::power::NetworkPower::for_network(network, layout)
+            .laser
+            .value();
+        let per_kelvin = self.per_ring(1.0).value() * Self::rings(network, layout) as f64;
+        laser / per_kelvin
+    }
+}
+
+impl Default for TuningModel {
+    fn default() -> Self {
+        TuningModel::silicon()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_kelvin_matches_the_papers_target() {
+        // §2: 0.1 mW per wavelength tuning power.
+        let m = TuningModel::silicon();
+        assert!((m.per_ring(1.0).value() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tuning_scales_linearly_with_offset() {
+        let m = TuningModel::silicon();
+        assert!((m.per_ring(5.0).value() - 0.5).abs() < 1e-12);
+        assert_eq!(m.per_ring(0.0).value(), 0.0);
+    }
+
+    #[test]
+    fn p2p_network_tuning_at_one_kelvin() {
+        // 8192 Rx + 8192 Tx rings at 0.1 mW = 1.64 W.
+        let m = TuningModel::silicon();
+        let w = m.network_tuning(NetworkId::PointToPoint, &Layout::macrochip(), 1.0);
+        assert!((w.watts() - 1.6384).abs() < 1e-6);
+    }
+
+    #[test]
+    fn token_ring_pays_for_its_half_million_modulators() {
+        let layout = Layout::macrochip();
+        let m = TuningModel::silicon();
+        let token = m.network_tuning(NetworkId::TokenRing, &layout, 1.0);
+        let p2p = m.network_tuning(NetworkId::PointToPoint, &layout, 1.0);
+        // 532 480 rings vs 16 384: the crossbar's hidden thermal cost.
+        assert!(token.value() / p2p.value() > 30.0);
+    }
+
+    #[test]
+    fn break_even_offsets() {
+        let layout = Layout::macrochip();
+        let m = TuningModel::silicon();
+        // P2P: 8.2 W laser vs 1.64 W/K of tuning -> ~5 K.
+        let p2p = m.break_even_kelvin(NetworkId::PointToPoint, &layout);
+        assert!((p2p - 5.0).abs() < 0.1, "p2p break-even {p2p}");
+        // The token ring's laser is huge but its ring count is huger:
+        // tuning overtakes the laser below 3 K.
+        let token = m.break_even_kelvin(NetworkId::TokenRing, &layout);
+        assert!(token < 3.0, "token break-even {token}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_offset_rejected() {
+        TuningModel::silicon().per_ring(-1.0);
+    }
+}

@@ -1,0 +1,376 @@
+//! Optical power and energy units.
+//!
+//! Newtypes keep logarithmic (dB/dBm) and linear (mW) quantities from
+//! being mixed accidentally: losses ([`Db`]) subtract from levels
+//! ([`Dbm`]), and levels convert to linear power ([`Milliwatts`]) only
+//! through explicit conversions.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A relative optical power ratio in decibels; used for insertion loss and
+/// link margins.
+///
+/// # Example
+///
+/// ```
+/// use photonics::units::Db;
+/// let total = Db::new(4.0) + Db::new(2.5);
+/// assert_eq!(total.value(), 6.5);
+/// assert!((Db::new(10.0).linear_factor() - 10.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Db(f64);
+
+/// An absolute optical power level in dB-milliwatts.
+///
+/// # Example
+///
+/// ```
+/// use photonics::units::{Db, Dbm, Milliwatts};
+/// let launched = Dbm::new(0.0);             // 1 mW
+/// let received = launched - Db::new(17.0);  // paper's un-switched link
+/// assert!(received.value() > Dbm::new(-21.0).value()); // above sensitivity
+/// assert!((Dbm::new(10.0).to_milliwatts().value() - 10.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Dbm(f64);
+
+/// Linear optical or electrical power in milliwatts.
+///
+/// # Example
+///
+/// ```
+/// use photonics::units::Milliwatts;
+/// let p = Milliwatts::new(500.0) + Milliwatts::new(500.0);
+/// assert_eq!(p.watts(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Milliwatts(f64);
+
+/// Energy cost per transmitted bit, in femtojoules.
+///
+/// # Example
+///
+/// ```
+/// use photonics::units::FemtojoulesPerBit;
+/// let e = FemtojoulesPerBit::new(100.0);
+/// // 100 fJ/bit at 20 Gb/s is 2 mW of dynamic power.
+/// assert!((e.power_at_gbps(20.0).value() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct FemtojoulesPerBit(f64);
+
+impl Db {
+    /// Creates a loss/gain value in decibels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn new(value: f64) -> Db {
+        assert!(value.is_finite(), "dB value must be finite");
+        Db(value)
+    }
+
+    /// The zero loss.
+    pub const ZERO: Db = Db(0.0);
+
+    /// The raw decibel value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The equivalent linear power ratio `10^(dB/10)`.
+    pub fn linear_factor(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Builds a decibel value from a linear power ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not strictly positive.
+    pub fn from_linear_factor(ratio: f64) -> Db {
+        assert!(ratio > 0.0, "power ratio must be positive");
+        Db(10.0 * ratio.log10())
+    }
+}
+
+impl Add for Db {
+    type Output = Db;
+    fn add(self, rhs: Db) -> Db {
+        Db(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Db {
+    fn add_assign(&mut self, rhs: Db) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Db {
+    type Output = Db;
+    fn sub(self, rhs: Db) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Db {
+    type Output = Db;
+    fn mul(self, rhs: f64) -> Db {
+        Db(self.0 * rhs)
+    }
+}
+
+impl Sum for Db {
+    fn sum<I: Iterator<Item = Db>>(iter: I) -> Db {
+        iter.fold(Db::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Db {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} dB", self.0)
+    }
+}
+
+impl Dbm {
+    /// Creates an absolute power level in dBm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn new(value: f64) -> Dbm {
+        assert!(value.is_finite(), "dBm value must be finite");
+        Dbm(value)
+    }
+
+    /// The raw dBm value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to linear milliwatts.
+    pub fn to_milliwatts(self) -> Milliwatts {
+        Milliwatts(10f64.powf(self.0 / 10.0))
+    }
+
+    /// Builds a dBm level from linear milliwatts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mw` is not strictly positive.
+    pub fn from_milliwatts(mw: Milliwatts) -> Dbm {
+        assert!(mw.0 > 0.0, "power must be positive to express in dBm");
+        Dbm(10.0 * mw.0.log10())
+    }
+}
+
+impl Sub<Db> for Dbm {
+    type Output = Dbm;
+    fn sub(self, rhs: Db) -> Dbm {
+        Dbm(self.0 - rhs.0)
+    }
+}
+
+impl Add<Db> for Dbm {
+    type Output = Dbm;
+    fn add(self, rhs: Db) -> Dbm {
+        Dbm(self.0 + rhs.0)
+    }
+}
+
+impl Sub<Dbm> for Dbm {
+    type Output = Db;
+    fn sub(self, rhs: Dbm) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} dBm", self.0)
+    }
+}
+
+impl Milliwatts {
+    /// Creates a power value in milliwatts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or not finite.
+    pub fn new(value: f64) -> Milliwatts {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "power must be finite and non-negative"
+        );
+        Milliwatts(value)
+    }
+
+    /// The zero power.
+    pub const ZERO: Milliwatts = Milliwatts(0.0);
+
+    /// The raw milliwatt value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// This power expressed in watts.
+    pub fn watts(self) -> f64 {
+        self.0 / 1_000.0
+    }
+}
+
+impl Add for Milliwatts {
+    type Output = Milliwatts;
+    fn add(self, rhs: Milliwatts) -> Milliwatts {
+        Milliwatts(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Milliwatts {
+    fn add_assign(&mut self, rhs: Milliwatts) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<f64> for Milliwatts {
+    type Output = Milliwatts;
+    fn mul(self, rhs: f64) -> Milliwatts {
+        Milliwatts(self.0 * rhs)
+    }
+}
+
+impl Sum for Milliwatts {
+    fn sum<I: Iterator<Item = Milliwatts>>(iter: I) -> Milliwatts {
+        iter.fold(Milliwatts::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Milliwatts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} mW", self.0)
+    }
+}
+
+impl FemtojoulesPerBit {
+    /// Creates an energy-per-bit value in femtojoules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or not finite.
+    pub fn new(value: f64) -> FemtojoulesPerBit {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "energy must be finite and non-negative"
+        );
+        FemtojoulesPerBit(value)
+    }
+
+    /// The zero energy.
+    pub const ZERO: FemtojoulesPerBit = FemtojoulesPerBit(0.0);
+
+    /// The raw fJ/bit value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Sustained power when toggling every bit at `gbps` gigabits/second.
+    pub fn power_at_gbps(self, gbps: f64) -> Milliwatts {
+        // fJ/bit * Gb/s = microwatts; divide by 1000 for milliwatts.
+        Milliwatts::new(self.0 * gbps / 1_000.0)
+    }
+
+    /// Energy in joules to move `bytes` bytes.
+    pub fn energy_for_bytes(self, bytes: u64) -> f64 {
+        self.0 * 1e-15 * bytes as f64 * 8.0
+    }
+}
+
+impl Add for FemtojoulesPerBit {
+    type Output = FemtojoulesPerBit;
+    fn add(self, rhs: FemtojoulesPerBit) -> FemtojoulesPerBit {
+        FemtojoulesPerBit(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for FemtojoulesPerBit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} fJ/bit", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_round_trips_linear_factor() {
+        for db in [0.0, 3.0, 10.0, 12.8, 17.0] {
+            let back = Db::from_linear_factor(Db::new(db).linear_factor());
+            assert!((back.value() - db).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dbm_zero_is_one_milliwatt() {
+        assert!((Dbm::new(0.0).to_milliwatts().value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dbm_minus_db_is_attenuation() {
+        let out = Dbm::new(0.0) - Db::new(3.0103);
+        assert!((out.to_milliwatts().value() - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn dbm_difference_is_db() {
+        let margin = Dbm::new(-17.0) - Dbm::new(-21.0);
+        assert!((margin.value() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_loss_factors_match_table5() {
+        // Token ring: 12.8 dB of off-resonance ring loss => ~19x laser power.
+        assert!((Db::new(12.8).linear_factor() - 19.05).abs() < 0.01);
+        // Two-phase: 7 switch hops at 1 dB => ~5x.
+        assert!((Db::new(7.0).linear_factor() - 5.01).abs() < 0.01);
+        // Circuit-switched: ~15 dB of switch loss => ~30x.
+        assert!((Db::new(15.0).linear_factor() - 31.6).abs() < 0.1);
+    }
+
+    #[test]
+    fn energy_power_relation() {
+        // Paper §2: receiver consumes 1.3 mW at 20 Gb/s = 65 fJ/bit.
+        let rx = FemtojoulesPerBit::new(65.0);
+        assert!((rx.power_at_gbps(20.0).value() - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_for_bytes_scales() {
+        let e = FemtojoulesPerBit::new(100.0);
+        // 1 byte = 8 bits * 100 fJ = 800 fJ.
+        assert!((e.energy_for_bytes(1) - 800e-15).abs() < 1e-24);
+    }
+
+    #[test]
+    fn milliwatts_to_watts() {
+        assert_eq!(Milliwatts::new(8_192.0).watts(), 8.192);
+    }
+
+    #[test]
+    #[should_panic(expected = "power must be finite and non-negative")]
+    fn negative_power_rejected() {
+        let _ = Milliwatts::new(-1.0);
+    }
+
+    #[test]
+    fn sums_work() {
+        let total: Db = [1.0, 2.0, 3.0].into_iter().map(Db::new).sum();
+        assert!((total.value() - 6.0).abs() < 1e-12);
+        let p: Milliwatts = [1.0, 2.0].into_iter().map(Milliwatts::new).sum();
+        assert!((p.value() - 3.0).abs() < 1e-12);
+    }
+}

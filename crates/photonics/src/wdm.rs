@@ -1,0 +1,237 @@
+//! The static WDM routing plan of the point-to-point network (§4.2),
+//! made concrete.
+//!
+//! The paper's point-to-point network needs no arbitration because
+//! wavelength assignment *is* the routing: a source picks the horizontal
+//! waveguide that couples into the destination's column and the
+//! wavelength that the destination's row drops. This module constructs
+//! the full (source → waveguide, wavelength) assignment and proves the
+//! property the architecture rests on: **no two transmissions ever share
+//! a (waveguide, wavelength) pair**, so the network is contention-free by
+//! construction.
+
+use crate::geometry::Layout;
+
+/// One end-to-end wavelength route of the static plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WdmRoute {
+    /// Source site index (row-major).
+    pub src: usize,
+    /// Destination site index (row-major).
+    pub dst: usize,
+    /// Which of the source's horizontal waveguides carries the signal.
+    /// Horizontal waveguides are private to the source, so the global id
+    /// is `(src, horizontal_waveguide)`.
+    pub horizontal_waveguide: usize,
+    /// Which *shared* vertical waveguide the signal couples into: one per
+    /// (destination column, source) pair at the scaled provisioning —
+    /// globally identified by `(dst_column, vertical_track)`.
+    pub vertical_track: usize,
+    /// The wavelength index within the waveguide (0..wdm).
+    pub wavelength: usize,
+}
+
+/// The complete static assignment for an n×n macrochip.
+///
+/// # Example
+///
+/// ```
+/// use photonics::geometry::Layout;
+/// use photonics::wdm::WdmPlan;
+///
+/// let plan = WdmPlan::point_to_point(&Layout::macrochip(), 2, 8);
+/// assert_eq!(plan.routes().len(), 64 * 63 * 2); // 2 wavelengths per pair
+/// plan.verify(); // contention-freedom by construction
+/// ```
+#[derive(Debug, Clone)]
+pub struct WdmPlan {
+    side: usize,
+    lambdas_per_dest: usize,
+    wdm: usize,
+    routes: Vec<WdmRoute>,
+}
+
+impl WdmPlan {
+    /// Builds the §4.2 plan: `lambdas_per_dest` wavelengths per ordered
+    /// site pair, `wdm` wavelengths per waveguide.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `wdm` divides the per-destination-column wavelength
+    /// count (`side × lambdas_per_dest`).
+    pub fn point_to_point(layout: &Layout, lambdas_per_dest: usize, wdm: usize) -> WdmPlan {
+        let side = layout.side();
+        let sites = layout.sites();
+        let per_col = side * lambdas_per_dest; // wavelengths a source aims at one column
+        assert!(
+            per_col.is_multiple_of(wdm),
+            "WDM factor must divide the per-column wavelength count"
+        );
+        let wgs_per_col = per_col / wdm; // horizontal waveguides per destination column
+
+        let mut routes = Vec::with_capacity(sites * (sites - 1) * lambdas_per_dest);
+        for src in 0..sites {
+            for dst in 0..sites {
+                if src == dst {
+                    continue;
+                }
+                let dst_col = dst % side;
+                let dst_row = dst / side;
+                for k in 0..lambdas_per_dest {
+                    // Within the destination column's bundle, the
+                    // destination row selects the dropped wavelength; `k`
+                    // spreads the pair's wavelengths across waveguides.
+                    let slot = dst_row * lambdas_per_dest + k;
+                    let horizontal = dst_col * wgs_per_col + slot / wdm;
+                    let wavelength = slot % wdm;
+                    routes.push(WdmRoute {
+                        src,
+                        dst,
+                        horizontal_waveguide: horizontal,
+                        // Each source owns a private track up each
+                        // destination column (the vertical waveguides are
+                        // provisioned per source, §4.2's 2x vertical
+                        // count covers both directions).
+                        vertical_track: src,
+                        wavelength,
+                    });
+                }
+            }
+        }
+        WdmPlan {
+            side,
+            lambdas_per_dest,
+            wdm,
+            routes,
+        }
+    }
+
+    /// All routes of the plan.
+    pub fn routes(&self) -> &[WdmRoute] {
+        &self.routes
+    }
+
+    /// Horizontal waveguides each source must drive.
+    pub fn horizontal_waveguides_per_site(&self) -> usize {
+        self.side * self.side * self.lambdas_per_dest / self.wdm
+    }
+
+    /// Verifies the plan's contention-freedom invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any (source, horizontal waveguide, wavelength) or
+    /// (destination column, vertical track, wavelength) is assigned to
+    /// two different destinations/sources, or if any site drops the same
+    /// wavelength for two different sources on one waveguide — i.e. if
+    /// the "static routing" would need arbitration after all.
+    pub fn verify(&self) {
+        use std::collections::HashMap;
+        // A source may not reuse (horizontal waveguide, lambda).
+        let mut h: HashMap<(usize, usize, usize), usize> = HashMap::new();
+        // A (dst column, vertical track, lambda, destination row) triple
+        // identifies the receiver-side drop; it may have one source only.
+        let mut v: HashMap<(usize, usize, usize, usize), usize> = HashMap::new();
+        for r in &self.routes {
+            let prev = h.insert((r.src, r.horizontal_waveguide, r.wavelength), r.dst);
+            assert!(
+                prev.is_none() || prev == Some(r.dst),
+                "source {} drives waveguide {} lambda {} toward two destinations",
+                r.src,
+                r.horizontal_waveguide,
+                r.wavelength
+            );
+            let dst_col = r.dst % self.side;
+            let dst_row = r.dst / self.side;
+            let prev = v.insert((dst_col, r.vertical_track, r.wavelength, dst_row), r.src);
+            assert!(
+                prev.is_none() || prev == Some(r.src),
+                "two sources collide on column {} track {} lambda {}",
+                dst_col,
+                r.vertical_track,
+                r.wavelength
+            );
+        }
+    }
+
+    /// The routes from one source, sorted by destination.
+    pub fn routes_from(&self, src: usize) -> Vec<WdmRoute> {
+        let mut v: Vec<WdmRoute> = self
+            .routes
+            .iter()
+            .copied()
+            .filter(|r| r.src == src)
+            .collect();
+        v.sort_by_key(|r| r.dst);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> WdmPlan {
+        WdmPlan::point_to_point(&Layout::macrochip(), 2, 8)
+    }
+
+    #[test]
+    fn scaled_plan_matches_section_4_2() {
+        let p = plan();
+        // "each site sources 16 horizontal waveguides, each carrying 8
+        // wavelengths of light, for a total of 128 wavelengths".
+        assert_eq!(p.horizontal_waveguides_per_site(), 16);
+        assert_eq!(p.routes_from(0).len(), 63 * 2);
+    }
+
+    #[test]
+    fn plan_is_contention_free() {
+        plan().verify();
+    }
+
+    #[test]
+    fn every_pair_gets_its_wavelengths() {
+        let p = plan();
+        for src in 0..64 {
+            let routes = p.routes_from(src);
+            let dsts: std::collections::HashSet<usize> = routes.iter().map(|r| r.dst).collect();
+            assert_eq!(dsts.len(), 63, "source {src} misses destinations");
+        }
+    }
+
+    #[test]
+    fn wavelength_identifies_destination_row_within_a_waveguide() {
+        // The receiver-side drop filter selects by wavelength: two
+        // destinations sharing a waveguide from the same source must use
+        // different wavelengths.
+        let p = plan();
+        for src in [0usize, 17, 63] {
+            let mut seen = std::collections::HashMap::new();
+            for r in p.routes_from(src) {
+                if let Some(prev) = seen.insert((r.horizontal_waveguide, r.wavelength), r.dst) {
+                    assert_eq!(prev, r.dst);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_scale_plan_also_verifies() {
+        let p = WdmPlan::point_to_point(&Layout::macrochip(), 16, 16);
+        assert_eq!(p.horizontal_waveguides_per_site(), 64);
+        p.verify();
+    }
+
+    #[test]
+    fn small_grid_plan_verifies() {
+        let p = WdmPlan::point_to_point(&Layout::new(4, 2.5, 0.1), 2, 8);
+        p.verify();
+        assert_eq!(p.routes().len(), 16 * 15 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn indivisible_wdm_rejected() {
+        let _ = WdmPlan::point_to_point(&Layout::macrochip(), 2, 7);
+    }
+}

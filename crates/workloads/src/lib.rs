@@ -1,0 +1,34 @@
+//! Workloads driving the macrochip networks (paper §5).
+//!
+//! Two families, matching the paper's methodology:
+//!
+//! * **Synthetic message patterns** (Table 3) — [`patterns`] defines the
+//!   uniform / transpose / butterfly / nearest-neighbor / all-to-all
+//!   destination functions; [`open_loop`] turns them into the
+//!   offered-load packet streams of Figure 6; [`synthetic_ops`] turns
+//!   them into coherence-operation streams with the LS/MS [`sharing`]
+//!   mixes of Figures 7, 8 and 10.
+//! * **Application kernels** (Table 2) — [`apps`] models Radix, Barnes,
+//!   Blackscholes, Fluidanimate (densities and forces) and Swaptions as
+//!   statistical address streams over *real* per-site L2 caches and
+//!   directories, so owners and sharers emerge from actual MOESI state.
+//!   This substitutes for the paper's proprietary instruction traces; see
+//!   DESIGN.md §2 for the substitution argument.
+//! * **Message-passing collectives** (the paper's §8 future work) —
+//!   [`message_passing`] implements bulk-synchronous ring all-reduce,
+//!   butterfly exchange, halo exchange and all-to-all personalized
+//!   schedules whose barriers expose how network overheads compose.
+
+pub mod apps;
+pub mod message_passing;
+pub mod open_loop;
+pub mod patterns;
+pub mod sharing;
+pub mod synthetic_ops;
+
+pub use apps::{AppProfile, AppWorkload};
+pub use message_passing::{Collective, MessagePassingWorkload};
+pub use open_loop::OpenLoopTraffic;
+pub use patterns::{DestinationGen, Pattern};
+pub use sharing::SharingMix;
+pub use synthetic_ops::SyntheticOpSource;

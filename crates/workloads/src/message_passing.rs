@@ -1,0 +1,378 @@
+//! Message-passing collectives — the paper's named future work ("future
+//! work will evaluate network architectures for message passing
+//! workloads", §8).
+//!
+//! Each collective is a bulk-synchronous schedule of site-to-site
+//! transfers: all sites send their step's messages, a barrier waits for
+//! every delivery, and the next step begins. Completion time of the whole
+//! schedule is the figure of merit. Unlike the open-loop Figure 6 sweeps,
+//! these workloads measure how a network's *overheads compose* across
+//! dependent communication steps — precisely where the token ring's
+//! reacquisition lap and the circuit switch's setup round trip compound.
+
+use desim::Time;
+use netcore::{Grid, MessageKind, Packet, PacketId, PacketSource, SiteId};
+
+/// A bulk-synchronous collective communication schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Collective {
+    /// Ring all-reduce: N−1 reduce-scatter steps plus N−1 all-gather
+    /// steps, each site sending one chunk to its ring successor.
+    RingAllReduce,
+    /// Recursive-doubling butterfly: log2(N) steps, partner `i XOR 2^k`.
+    ButterflyExchange,
+    /// Stencil halo exchange: every site swaps boundaries with its (up to
+    /// four) grid neighbors each step.
+    HaloExchange,
+    /// All-to-all personalized exchange: N−1 rotation steps, step `s`
+    /// sending to `(i + s) mod N`.
+    AllToAllPersonalized,
+}
+
+impl Collective {
+    /// All collectives, for sweeps.
+    pub const ALL: [Collective; 4] = [
+        Collective::RingAllReduce,
+        Collective::ButterflyExchange,
+        Collective::HaloExchange,
+        Collective::AllToAllPersonalized,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Collective::RingAllReduce => "ring all-reduce",
+            Collective::ButterflyExchange => "butterfly exchange",
+            Collective::HaloExchange => "halo exchange",
+            Collective::AllToAllPersonalized => "all-to-all personalized",
+        }
+    }
+
+    /// Number of steps in one round on an n-site grid.
+    pub fn steps(self, grid: &Grid) -> usize {
+        let n = grid.sites();
+        match self {
+            Collective::RingAllReduce => 2 * (n - 1),
+            Collective::ButterflyExchange => n.trailing_zeros() as usize,
+            Collective::HaloExchange => 1,
+            Collective::AllToAllPersonalized => n - 1,
+        }
+    }
+
+    /// The transfers of step `step`: (source, destination) pairs.
+    fn transfers(self, grid: &Grid, step: usize) -> Vec<(SiteId, SiteId)> {
+        let n = grid.sites();
+        match self {
+            Collective::RingAllReduce => {
+                // Ring successor; identical shape for both phases.
+                grid.iter()
+                    .map(|s| (s, SiteId::from_index((s.index() + 1) % n)))
+                    .collect()
+            }
+            Collective::ButterflyExchange => grid
+                .iter()
+                .map(|s| (s, SiteId::from_index(s.index() ^ (1 << step))))
+                .collect(),
+            Collective::HaloExchange => {
+                let side = grid.side();
+                let mut out = Vec::new();
+                for s in grid.iter() {
+                    let (x, y) = grid.coord(s);
+                    if x > 0 {
+                        out.push((s, grid.site(x - 1, y)));
+                    }
+                    if x + 1 < side {
+                        out.push((s, grid.site(x + 1, y)));
+                    }
+                    if y > 0 {
+                        out.push((s, grid.site(x, y - 1)));
+                    }
+                    if y + 1 < side {
+                        out.push((s, grid.site(x, y + 1)));
+                    }
+                }
+                out
+            }
+            Collective::AllToAllPersonalized => grid
+                .iter()
+                .map(|s| (s, SiteId::from_index((s.index() + step + 1) % n)))
+                .collect(),
+        }
+    }
+}
+
+/// A bulk-synchronous message-passing workload driving a network.
+///
+/// # Example
+///
+/// ```
+/// use netcore::{Grid, PacketSource};
+/// use workloads::message_passing::{Collective, MessagePassingWorkload};
+///
+/// let grid = Grid::new(8);
+/// let w = MessagePassingWorkload::new(&grid, Collective::ButterflyExchange,
+///                                     4096, 1);
+/// // 6 butterfly steps of 64 sites x 4 KB on an 8x8 macrochip.
+/// assert_eq!(w.total_messages(), 6 * 64);
+/// ```
+pub struct MessagePassingWorkload {
+    grid: Grid,
+    collective: Collective,
+    /// Payload per message, in bytes (split into cache-line packets).
+    message_bytes: u32,
+    /// Packet payload granularity (64-byte lines).
+    packet_bytes: u32,
+    rounds: usize,
+    // --- progress state ---
+    round: usize,
+    step: usize,
+    outstanding: u64,
+    ready: Vec<Packet>,
+    ready_at: Option<Time>,
+    next_packet: u64,
+    finished_at: Option<Time>,
+    steps_done: usize,
+}
+
+impl MessagePassingWorkload {
+    /// Creates a workload sending `message_bytes` per transfer, repeated
+    /// for `rounds` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message_bytes` or `rounds` is zero, or for the
+    /// butterfly on a non-power-of-two site count.
+    pub fn new(
+        grid: &Grid,
+        collective: Collective,
+        message_bytes: u32,
+        rounds: usize,
+    ) -> MessagePassingWorkload {
+        assert!(message_bytes > 0, "messages must be non-empty");
+        assert!(rounds > 0, "at least one round");
+        if collective == Collective::ButterflyExchange {
+            assert!(
+                grid.sites().is_power_of_two(),
+                "butterfly needs a power-of-two site count"
+            );
+        }
+        let mut w = MessagePassingWorkload {
+            grid: *grid,
+            collective,
+            message_bytes,
+            packet_bytes: 64,
+            rounds,
+            round: 0,
+            step: 0,
+            outstanding: 0,
+            ready: Vec::new(),
+            ready_at: Some(Time::ZERO),
+            next_packet: 0,
+            finished_at: None,
+            steps_done: 0,
+        };
+        w.stage_step(Time::ZERO);
+        w
+    }
+
+    /// Total messages the schedule will send.
+    pub fn total_messages(&self) -> u64 {
+        let per_round: usize = (0..self.collective.steps(&self.grid))
+            .map(|s| self.collective.transfers(&self.grid, s).len())
+            .sum();
+        (per_round * self.rounds) as u64
+    }
+
+    /// When the last delivery of the last step happened.
+    pub fn finished_at(&self) -> Option<Time> {
+        self.finished_at
+    }
+
+    /// Barriers completed so far.
+    pub fn steps_completed(&self) -> usize {
+        self.steps_done
+    }
+
+    /// Queues the current step's packets for emission at `at`.
+    fn stage_step(&mut self, at: Time) {
+        let transfers = self.collective.transfers(&self.grid, self.step);
+        let packets_per_message = self.message_bytes.div_ceil(self.packet_bytes);
+        for (src, dst) in transfers {
+            let mut remaining = self.message_bytes;
+            for _ in 0..packets_per_message {
+                let bytes = remaining.min(self.packet_bytes);
+                remaining -= bytes;
+                self.ready.push(Packet::new(
+                    PacketId(self.next_packet),
+                    src,
+                    dst,
+                    bytes,
+                    MessageKind::Data,
+                    at,
+                ));
+                self.next_packet += 1;
+                self.outstanding += 1;
+            }
+        }
+        self.ready_at = Some(at);
+    }
+
+    /// Advances the schedule after a barrier completes at `now`.
+    fn on_barrier(&mut self, now: Time) {
+        self.steps_done += 1;
+        self.step += 1;
+        if self.step >= self.collective.steps(&self.grid) {
+            self.step = 0;
+            self.round += 1;
+            if self.round >= self.rounds {
+                self.finished_at = Some(now);
+                self.ready_at = None;
+                return;
+            }
+        }
+        self.stage_step(now);
+    }
+}
+
+impl PacketSource for MessagePassingWorkload {
+    fn next_emission(&self) -> Option<Time> {
+        if self.ready.is_empty() {
+            None
+        } else {
+            self.ready_at
+        }
+    }
+
+    fn emit_due(&mut self, now: Time, out: &mut Vec<Packet>) {
+        if self.ready_at.is_some_and(|t| t <= now) {
+            out.append(&mut self.ready);
+        }
+    }
+
+    fn on_delivered(&mut self, _packet: &Packet, now: Time) {
+        debug_assert!(self.outstanding > 0, "delivery without outstanding sends");
+        self.outstanding -= 1;
+        if self.outstanding == 0 && self.ready.is_empty() {
+            self.on_barrier(now);
+        }
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.finished_at.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid {
+        Grid::new(8)
+    }
+
+    #[test]
+    fn step_counts_match_the_algorithms() {
+        let g = grid();
+        assert_eq!(Collective::RingAllReduce.steps(&g), 126);
+        assert_eq!(Collective::ButterflyExchange.steps(&g), 6);
+        assert_eq!(Collective::HaloExchange.steps(&g), 1);
+        assert_eq!(Collective::AllToAllPersonalized.steps(&g), 63);
+    }
+
+    #[test]
+    fn butterfly_partners_are_symmetric() {
+        let g = grid();
+        for step in 0..6 {
+            let transfers = Collective::ButterflyExchange.transfers(&g, step);
+            assert_eq!(transfers.len(), 64);
+            for (s, d) in &transfers {
+                assert!(transfers.contains(&(*d, *s)), "asymmetric at step {step}");
+                assert_ne!(s, d);
+            }
+        }
+    }
+
+    #[test]
+    fn halo_transfers_are_neighbor_only() {
+        let g = grid();
+        let transfers = Collective::HaloExchange.transfers(&g, 0);
+        // 4 interior edges per site, boundary-adjusted: 2*2*side*(side-1).
+        assert_eq!(transfers.len(), 2 * 2 * 8 * 7);
+        for (s, d) in transfers {
+            let (sx, sy) = g.coord(s);
+            let (dx, dy) = g.coord(d);
+            assert_eq!(sx.abs_diff(dx) + sy.abs_diff(dy), 1);
+        }
+    }
+
+    #[test]
+    fn rotation_never_sends_to_self() {
+        let g = grid();
+        for step in 0..63 {
+            for (s, d) in Collective::AllToAllPersonalized.transfers(&g, step) {
+                assert_ne!(s, d, "self-send at step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn messages_split_into_cache_lines() {
+        let g = grid();
+        let w = MessagePassingWorkload::new(&g, Collective::HaloExchange, 256, 1);
+        // 256 B message = 4 packets of 64 B per transfer.
+        assert_eq!(w.ready.len(), 224 * 4);
+        assert!(w.ready.iter().all(|p| p.bytes == 64));
+    }
+
+    #[test]
+    fn barrier_advances_only_after_all_deliveries() {
+        let g = grid();
+        let mut w = MessagePassingWorkload::new(&g, Collective::ButterflyExchange, 64, 1);
+        let mut out = Vec::new();
+        w.emit_due(Time::ZERO, &mut out);
+        assert_eq!(out.len(), 64);
+        assert_eq!(w.next_emission(), None, "nothing staged mid-step");
+        // Deliver all but one: no new step yet.
+        for p in &out[..63] {
+            let mut d = *p;
+            d.delivered = Some(Time::from_ns(10));
+            w.on_delivered(&d, Time::from_ns(10));
+        }
+        assert_eq!(w.steps_completed(), 0);
+        let mut last = out[63];
+        last.delivered = Some(Time::from_ns(12));
+        w.on_delivered(&last, Time::from_ns(12));
+        assert_eq!(w.steps_completed(), 1);
+        assert_eq!(w.next_emission(), Some(Time::from_ns(12)));
+    }
+
+    #[test]
+    fn completes_after_all_rounds() {
+        let g = grid();
+        let mut w = MessagePassingWorkload::new(&g, Collective::HaloExchange, 64, 2);
+        let mut now = Time::ZERO;
+        let mut total = 0;
+        while !w.is_exhausted() {
+            let mut out = Vec::new();
+            w.emit_due(now, &mut out);
+            assert!(!out.is_empty(), "stalled schedule");
+            total += out.len();
+            now += desim::Span::from_ns(5);
+            for p in out {
+                let mut d = p;
+                d.delivered = Some(now);
+                w.on_delivered(&d, now);
+            }
+        }
+        assert_eq!(total as u64, w.total_messages());
+        assert_eq!(w.finished_at(), Some(now));
+    }
+
+    #[test]
+    fn total_messages_counts_rounds() {
+        let g = grid();
+        let one = MessagePassingWorkload::new(&g, Collective::ButterflyExchange, 64, 1);
+        let three = MessagePassingWorkload::new(&g, Collective::ButterflyExchange, 64, 3);
+        assert_eq!(three.total_messages(), 3 * one.total_messages());
+    }
+}

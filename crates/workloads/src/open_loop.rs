@@ -1,0 +1,225 @@
+//! Open-loop packet traffic for the latency-vs-load sweeps (Figure 6).
+//!
+//! Each site injects 64-byte packets with exponentially distributed
+//! inter-arrival times; the offered load is expressed as a fraction of the
+//! 320 bytes/ns per-site peak, exactly as on Figure 6's x-axis.
+
+use crate::patterns::{DestinationGen, Pattern};
+use desim::{SimRng, Span, Time};
+use netcore::{Grid, MessageKind, Packet, PacketId, PacketSource};
+
+/// An open-loop Poisson packet source following a synthetic pattern.
+///
+/// # Example
+///
+/// ```
+/// use netcore::{Grid, PacketSource};
+/// use workloads::{OpenLoopTraffic, Pattern};
+///
+/// let grid = Grid::new(8);
+/// // 10% of the 320 B/ns per-site peak, 64 B packets.
+/// let traffic = OpenLoopTraffic::new(&grid, Pattern::Uniform, 0.10, 320.0, 64, 42);
+/// assert!(traffic.next_emission().is_some());
+/// ```
+pub struct OpenLoopTraffic {
+    grid: Grid,
+    dest: DestinationGen,
+    rng: SimRng,
+    /// Next injection instant per site; `Time::MAX` = finished.
+    next_at: Vec<Time>,
+    mean_gap: Span,
+    bytes: u32,
+    next_id: u64,
+    /// No packet is created at or after this deadline.
+    horizon: Time,
+    emitted: u64,
+}
+
+impl OpenLoopTraffic {
+    /// Creates a source injecting at `load_fraction` of `site_peak_bytes_per_ns`
+    /// per site, in packets of `bytes`, seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the load fraction or packet size is not positive.
+    pub fn new(
+        grid: &Grid,
+        pattern: Pattern,
+        load_fraction: f64,
+        site_peak_bytes_per_ns: f64,
+        bytes: u32,
+        seed: u64,
+    ) -> OpenLoopTraffic {
+        assert!(
+            load_fraction > 0.0 && load_fraction.is_finite(),
+            "load fraction must be positive"
+        );
+        assert!(bytes > 0, "packets must be non-empty");
+        let rate = load_fraction * site_peak_bytes_per_ns; // bytes/ns per site
+        let mean_gap = Span::from_ns_f64(bytes as f64 / rate);
+        let mut rng = SimRng::new(seed);
+        // Desynchronize sites from the start.
+        let next_at = (0..grid.sites())
+            .map(|_| Time::ZERO + rng.exp_span(mean_gap))
+            .collect();
+        OpenLoopTraffic {
+            grid: *grid,
+            dest: DestinationGen::new(pattern, grid),
+            rng,
+            next_at,
+            mean_gap,
+            bytes,
+            next_id: 0,
+            horizon: Time::MAX,
+            emitted: 0,
+        }
+    }
+
+    /// Stops creating new packets at or after `deadline` (in-flight traffic
+    /// still drains).
+    pub fn set_horizon(&mut self, deadline: Time) {
+        self.horizon = deadline;
+        for t in &mut self.next_at {
+            if *t >= deadline {
+                *t = Time::MAX;
+            }
+        }
+    }
+
+    /// Packets created so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Mean inter-arrival gap per site.
+    pub fn mean_gap(&self) -> Span {
+        self.mean_gap
+    }
+}
+
+impl PacketSource for OpenLoopTraffic {
+    fn next_emission(&self) -> Option<Time> {
+        self.next_at
+            .iter()
+            .copied()
+            .min()
+            .filter(|&t| t < Time::MAX)
+    }
+
+    fn emit_due(&mut self, now: Time, out: &mut Vec<Packet>) {
+        for site in 0..self.grid.sites() {
+            while self.next_at[site] <= now {
+                let at = self.next_at[site];
+                let src = netcore::SiteId::from_index(site);
+                let dst = self.dest.next(src, &self.grid, &mut self.rng);
+                out.push(Packet::new(
+                    PacketId(self.next_id),
+                    src,
+                    dst,
+                    self.bytes,
+                    MessageKind::Data,
+                    at,
+                ));
+                self.next_id += 1;
+                self.emitted += 1;
+                let next = at + self.rng.exp_span(self.mean_gap);
+                self.next_at[site] = if next >= self.horizon {
+                    Time::MAX
+                } else {
+                    next
+                };
+            }
+        }
+    }
+
+    fn on_delivered(&mut self, _packet: &Packet, _now: Time) {}
+
+    fn is_exhausted(&self) -> bool {
+        self.next_at.iter().all(|&t| t == Time::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn source(load: f64) -> OpenLoopTraffic {
+        OpenLoopTraffic::new(&Grid::new(8), Pattern::Uniform, load, 320.0, 64, 1)
+    }
+
+    #[test]
+    fn rate_matches_offered_load() {
+        // At 50% of 320 B/ns with 64 B packets, each site injects every
+        // 0.4 ns on average: over 1 us, ~160,000 packets total.
+        let mut s = source(0.5);
+        s.set_horizon(Time::from_us(1));
+        let mut out = Vec::new();
+        while let Some(t) = s.next_emission() {
+            s.emit_due(t, &mut out);
+        }
+        let n = out.len() as f64;
+        assert!((n - 160_000.0).abs() < 8_000.0, "emitted {n}");
+        assert!(s.is_exhausted());
+    }
+
+    #[test]
+    fn packets_are_timestamped_in_order_per_site() {
+        let mut s = source(0.1);
+        s.set_horizon(Time::from_us(1));
+        let mut out = Vec::new();
+        while let Some(t) = s.next_emission() {
+            s.emit_due(t, &mut out);
+        }
+        let mut last = vec![Time::ZERO; 64];
+        for p in &out {
+            assert!(p.created >= last[p.src.index()]);
+            last[p.src.index()] = p.created;
+        }
+    }
+
+    #[test]
+    fn horizon_stops_creation() {
+        let mut s = source(1.0);
+        s.set_horizon(Time::from_ns(100));
+        let mut out = Vec::new();
+        while let Some(t) = s.next_emission() {
+            s.emit_due(t, &mut out);
+        }
+        assert!(out.iter().all(|p| p.created < Time::from_ns(100)));
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let run = |seed| {
+            let mut s = OpenLoopTraffic::new(&Grid::new(8), Pattern::Uniform, 0.2, 320.0, 64, seed);
+            s.set_horizon(Time::from_ns(500));
+            let mut out = Vec::new();
+            while let Some(t) = s.next_emission() {
+                s.emit_due(t, &mut out);
+            }
+            out.iter()
+                .map(|p| (p.src, p.dst, p.created))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn unique_packet_ids() {
+        let mut s = source(0.3);
+        s.set_horizon(Time::from_ns(300));
+        let mut out = Vec::new();
+        while let Some(t) = s.next_emission() {
+            s.emit_due(t, &mut out);
+        }
+        let ids: std::collections::HashSet<_> = out.iter().map(|p| p.id).collect();
+        assert_eq!(ids.len(), out.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "load fraction")]
+    fn zero_load_rejected() {
+        let _ = source(0.0);
+    }
+}

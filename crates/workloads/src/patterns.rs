@@ -1,0 +1,335 @@
+//! The synthetic message patterns of the paper's Table 3.
+
+use desim::SimRng;
+use netcore::{Grid, SiteId};
+use std::fmt;
+
+/// A synthetic communication pattern (paper Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// Random destination for every packet.
+    Uniform,
+    /// First half of the site-id bits swapped with the second half.
+    Transpose,
+    /// LSB and MSB of the site id swapped.
+    Butterfly,
+    /// Random choice among the (up to four) grid neighbors.
+    Neighbor,
+    /// Every site cycles through all other sites.
+    AllToAll,
+    /// Mostly uniform, with a fraction of all traffic aimed at one hot
+    /// site (an extension beyond the paper's Table 3; hot-spot fraction
+    /// 10%, hot site = the grid center).
+    HotSpot,
+}
+
+impl Pattern {
+    /// The four patterns of Figure 6's load sweeps.
+    pub const FIGURE6: [Pattern; 4] = [
+        Pattern::Uniform,
+        Pattern::Transpose,
+        Pattern::Neighbor,
+        Pattern::Butterfly,
+    ];
+
+    /// The synthetic columns of Figures 7/8 (Transpose appears twice
+    /// there, once per sharing mix).
+    pub const FIGURE7: [Pattern; 4] = [
+        Pattern::AllToAll,
+        Pattern::Transpose,
+        Pattern::Neighbor,
+        Pattern::Butterfly,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pattern::Uniform => "Uniform",
+            Pattern::Transpose => "Transpose",
+            Pattern::Butterfly => "Butterfly",
+            Pattern::Neighbor => "Neighbor",
+            Pattern::AllToAll => "All-to-all",
+            Pattern::HotSpot => "Hot-spot",
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Stateful destination generator for a pattern (all-to-all cycles through
+/// destinations per source; the random patterns draw from the provided
+/// RNG).
+///
+/// # Example
+///
+/// ```
+/// use desim::SimRng;
+/// use netcore::Grid;
+/// use workloads::{DestinationGen, Pattern};
+///
+/// let grid = Grid::new(8);
+/// let mut rng = SimRng::new(1);
+/// let mut gen = DestinationGen::new(Pattern::Transpose, &grid);
+/// // Site 1 = 0b000001 -> 0b001000 = site 8.
+/// let dst = gen.next(grid.site(1, 0), &grid, &mut rng);
+/// assert_eq!(dst.index(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DestinationGen {
+    pattern: Pattern,
+    /// Per-source cursor for the all-to-all sweep.
+    cursors: Vec<usize>,
+}
+
+impl DestinationGen {
+    /// Creates a generator for `pattern` on `grid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the bit-permutation patterns (transpose, butterfly) if
+    /// the site count is not a power of two.
+    pub fn new(pattern: Pattern, grid: &Grid) -> DestinationGen {
+        if matches!(pattern, Pattern::Transpose | Pattern::Butterfly) {
+            assert!(
+                grid.sites().is_power_of_two(),
+                "bit-permutation patterns need a power-of-two site count"
+            );
+        }
+        DestinationGen {
+            pattern,
+            cursors: vec![1; grid.sites()],
+        }
+    }
+
+    /// The pattern this generator draws from.
+    pub fn pattern(&self) -> Pattern {
+        self.pattern
+    }
+
+    /// The next destination for a packet from `src`. May equal `src` for
+    /// the bit-permutation patterns (intra-site traffic, handled by the
+    /// networks' loop-back path).
+    pub fn next(&mut self, src: SiteId, grid: &Grid, rng: &mut SimRng) -> SiteId {
+        let sites = grid.sites();
+        let bits = sites.trailing_zeros() as usize;
+        match self.pattern {
+            Pattern::Uniform => {
+                // Uniform over the *other* sites.
+                let mut d = rng.range(0..sites - 1);
+                if d >= src.index() {
+                    d += 1;
+                }
+                SiteId::from_index(d)
+            }
+            Pattern::Transpose => {
+                let id = src.index();
+                let half = bits / 2;
+                let low_mask = (1 << half) - 1;
+                SiteId::from_index(((id & low_mask) << (bits - half)) | (id >> half))
+            }
+            Pattern::Butterfly => {
+                let id = src.index();
+                let b_low = id & 1;
+                let b_high = (id >> (bits - 1)) & 1;
+                let middle = id & !(1 | (1 << (bits - 1)));
+                SiteId::from_index(middle | (b_low << (bits - 1)) | b_high)
+            }
+            Pattern::Neighbor => {
+                let (x, y) = grid.coord(src);
+                let side = grid.side();
+                let mut neighbors: Vec<SiteId> = Vec::with_capacity(4);
+                if x > 0 {
+                    neighbors.push(grid.site(x - 1, y));
+                }
+                if x + 1 < side {
+                    neighbors.push(grid.site(x + 1, y));
+                }
+                if y > 0 {
+                    neighbors.push(grid.site(x, y - 1));
+                }
+                if y + 1 < side {
+                    neighbors.push(grid.site(x, y + 1));
+                }
+                *rng.choose(&neighbors)
+            }
+            Pattern::HotSpot => {
+                let side = grid.side();
+                let hot = grid.site(side / 2, side / 2);
+                if src != hot && rng.chance(0.1) {
+                    hot
+                } else {
+                    // Uniform over the other sites.
+                    let mut d = rng.range(0..sites - 1);
+                    if d >= src.index() {
+                        d += 1;
+                    }
+                    SiteId::from_index(d)
+                }
+            }
+            Pattern::AllToAll => {
+                let cursor = &mut self.cursors[src.index()];
+                let d = (src.index() + *cursor) % sites;
+                *cursor += 1;
+                if *cursor >= sites {
+                    *cursor = 1;
+                }
+                SiteId::from_index(d)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid {
+        Grid::new(8)
+    }
+
+    fn rng() -> SimRng {
+        SimRng::new(7)
+    }
+
+    #[test]
+    fn transpose_swaps_bit_halves() {
+        let g = grid();
+        let mut dg = DestinationGen::new(Pattern::Transpose, &g);
+        let mut r = rng();
+        // 0b000001 -> 0b001000, and the transpose is an involution.
+        let d = dg.next(SiteId::from_index(1), &g, &mut r);
+        assert_eq!(d.index(), 8);
+        let back = dg.next(d, &g, &mut r);
+        assert_eq!(back.index(), 1);
+    }
+
+    #[test]
+    fn transpose_fixed_points_are_intra_site() {
+        // Sites whose two bit-halves are equal send to themselves: 8 of 64.
+        let g = grid();
+        let mut dg = DestinationGen::new(Pattern::Transpose, &g);
+        let mut r = rng();
+        let fixed = g.iter().filter(|&s| dg.next(s, &g, &mut r) == s).count();
+        assert_eq!(fixed, 8);
+    }
+
+    #[test]
+    fn butterfly_swaps_lsb_and_msb() {
+        let g = grid();
+        let mut dg = DestinationGen::new(Pattern::Butterfly, &g);
+        let mut r = rng();
+        // 0b000001 <-> 0b100000.
+        assert_eq!(dg.next(SiteId::from_index(1), &g, &mut r).index(), 32);
+        assert_eq!(dg.next(SiteId::from_index(32), &g, &mut r).index(), 1);
+    }
+
+    #[test]
+    fn butterfly_half_the_sites_talk_to_themselves() {
+        // The paper notes 50% of butterfly traffic is intra-node (§6.2):
+        // every site with equal LSB and MSB is a fixed point.
+        let g = grid();
+        let mut dg = DestinationGen::new(Pattern::Butterfly, &g);
+        let mut r = rng();
+        let fixed = g.iter().filter(|&s| dg.next(s, &g, &mut r) == s).count();
+        assert_eq!(fixed, 32);
+    }
+
+    #[test]
+    fn uniform_never_picks_self_and_covers_everyone() {
+        let g = grid();
+        let mut dg = DestinationGen::new(Pattern::Uniform, &g);
+        let mut r = rng();
+        let src = g.site(3, 3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4000 {
+            let d = dg.next(src, &g, &mut r);
+            assert_ne!(d, src);
+            seen.insert(d);
+        }
+        assert_eq!(seen.len(), 63);
+    }
+
+    #[test]
+    fn neighbor_picks_only_adjacent_sites() {
+        let g = grid();
+        let mut dg = DestinationGen::new(Pattern::Neighbor, &g);
+        let mut r = rng();
+        let src = g.site(4, 4);
+        for _ in 0..100 {
+            let d = dg.next(src, &g, &mut r);
+            let (x, y) = g.coord(d);
+            let manhattan = x.abs_diff(4) + y.abs_diff(4);
+            assert_eq!(manhattan, 1, "non-neighbor {d}");
+        }
+    }
+
+    #[test]
+    fn corner_sites_have_two_neighbors() {
+        let g = grid();
+        let mut dg = DestinationGen::new(Pattern::Neighbor, &g);
+        let mut r = rng();
+        let corner = g.site(0, 0);
+        let seen: std::collections::HashSet<_> =
+            (0..200).map(|_| dg.next(corner, &g, &mut r)).collect();
+        assert_eq!(seen.len(), 2);
+        assert!(seen.contains(&g.site(1, 0)));
+        assert!(seen.contains(&g.site(0, 1)));
+    }
+
+    #[test]
+    fn all_to_all_cycles_through_every_destination() {
+        let g = grid();
+        let mut dg = DestinationGen::new(Pattern::AllToAll, &g);
+        let mut r = rng();
+        let src = g.site(0, 0);
+        let seen: Vec<_> = (0..63).map(|_| dg.next(src, &g, &mut r)).collect();
+        let unique: std::collections::HashSet<_> = seen.iter().collect();
+        assert_eq!(unique.len(), 63);
+        assert!(!seen.contains(&src));
+        // The cycle restarts.
+        assert_eq!(dg.next(src, &g, &mut r), seen[0]);
+    }
+
+    #[test]
+    fn all_to_all_cursors_are_per_source() {
+        let g = grid();
+        let mut dg = DestinationGen::new(Pattern::AllToAll, &g);
+        let mut r = rng();
+        let a = dg.next(g.site(0, 0), &g, &mut r);
+        let b = dg.next(g.site(1, 0), &g, &mut r);
+        assert_eq!(a.index(), 1);
+        assert_eq!(b.index(), 2);
+    }
+
+    #[test]
+    fn hotspot_concentrates_on_the_center() {
+        let g = grid();
+        let mut dg = DestinationGen::new(Pattern::HotSpot, &g);
+        let mut r = rng();
+        let hot = g.site(4, 4);
+        let n = 20_000;
+        let mut to_hot = 0;
+        for i in 0..n {
+            let src = SiteId::from_index(i % g.sites());
+            let d = dg.next(src, &g, &mut r);
+            assert_ne!(d, src, "hotspot must not self-send");
+            if d == hot {
+                to_hot += 1;
+            }
+        }
+        // ~10% directed + ~1.6% of the uniform remainder.
+        let frac = to_hot as f64 / n as f64;
+        assert!((frac - 0.115).abs() < 0.02, "hot fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn transpose_requires_power_of_two_sites() {
+        let g = Grid::new(3);
+        let _ = DestinationGen::new(Pattern::Transpose, &g);
+    }
+}

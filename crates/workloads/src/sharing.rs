@@ -1,0 +1,112 @@
+//! The paper's coherence sharing mixes (§5): synthetic benchmarks are
+//! driven with *Less Sharing* (LS) and *More Sharing* (MS) mixes.
+
+use desim::SimRng;
+
+/// How many sharers a synthetic coherence request finds at the directory.
+///
+/// * LS: "90% of coherence requests have no sharers for the cache block"
+///   — the remaining 10% find one to three.
+/// * MS: "40% of requests have three sharers" — the rest find none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SharingMix {
+    /// Less sharing: 90% of requests find no sharers.
+    LessSharing,
+    /// More sharing: 40% of requests find three sharers.
+    MoreSharing,
+}
+
+impl SharingMix {
+    /// Display suffix matching the paper's figures ("", "-MS").
+    pub fn suffix(self) -> &'static str {
+        match self {
+            SharingMix::LessSharing => "",
+            SharingMix::MoreSharing => "-MS",
+        }
+    }
+
+    /// Samples the number of sharers a request finds.
+    pub fn sample_sharers(self, rng: &mut SimRng) -> usize {
+        match self {
+            SharingMix::LessSharing => {
+                if rng.chance(0.9) {
+                    0
+                } else {
+                    rng.range(1..=3)
+                }
+            }
+            SharingMix::MoreSharing => {
+                if rng.chance(0.4) {
+                    3
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Expected invalidation fan-out per request.
+    pub fn expected_sharers(self) -> f64 {
+        match self {
+            SharingMix::LessSharing => 0.1 * 2.0, // 10% x E[1..=3] = 0.2
+            SharingMix::MoreSharing => 0.4 * 3.0, // 1.2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_mean(mix: SharingMix) -> f64 {
+        let mut rng = SimRng::new(11);
+        let n = 50_000;
+        let total: usize = (0..n).map(|_| mix.sample_sharers(&mut rng)).sum();
+        total as f64 / n as f64
+    }
+
+    #[test]
+    fn ls_mix_mostly_finds_no_sharers() {
+        let mut rng = SimRng::new(3);
+        let n = 50_000;
+        let zeros = (0..n)
+            .filter(|_| SharingMix::LessSharing.sample_sharers(&mut rng) == 0)
+            .count();
+        let frac = zeros as f64 / n as f64;
+        assert!((frac - 0.9).abs() < 0.01, "zero fraction {frac}");
+    }
+
+    #[test]
+    fn ms_mix_finds_three_sharers_forty_percent_of_the_time() {
+        let mut rng = SimRng::new(4);
+        let n = 50_000;
+        let threes = (0..n)
+            .filter(|_| SharingMix::MoreSharing.sample_sharers(&mut rng) == 3)
+            .count();
+        let frac = threes as f64 / n as f64;
+        assert!((frac - 0.4).abs() < 0.01, "three fraction {frac}");
+    }
+
+    #[test]
+    fn empirical_means_match_expected() {
+        for mix in [SharingMix::LessSharing, SharingMix::MoreSharing] {
+            let got = empirical_mean(mix);
+            let want = mix.expected_sharers();
+            assert!((got - want).abs() < 0.05, "{mix:?}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn ms_generates_more_invalidations_than_ls() {
+        assert!(
+            SharingMix::MoreSharing.expected_sharers()
+                > 5.0 * SharingMix::LessSharing.expected_sharers()
+        );
+    }
+
+    #[test]
+    fn suffixes_match_figures() {
+        assert_eq!(SharingMix::LessSharing.suffix(), "");
+        assert_eq!(SharingMix::MoreSharing.suffix(), "-MS");
+    }
+}

@@ -1,0 +1,57 @@
+//! Application study: replay the Blackscholes and Fluidanimate (forces)
+//! workload models — statistical traces over real MOESI caches and
+//! directories — and watch how communication locality changes which
+//! network wins.
+//!
+//! ```sh
+//! cargo run --release -p macrochip-examples --example coherent_app
+//! ```
+
+use macrochip::prelude::*;
+
+fn main() {
+    let config = MacrochipConfig::scaled();
+
+    let profiles: Vec<AppProfile> = AppProfile::suite()
+        .into_iter()
+        .filter(|p| p.name == "Blackscholes" || p.name == "Forces")
+        .map(|p| p.with_ops_per_core(60))
+        .collect();
+
+    for profile in profiles {
+        let spec = WorkloadSpec::App(profile);
+        println!(
+            "== {} (write fraction {:.0}%, {}) ==",
+            profile.name,
+            profile.write_fraction * 100.0,
+            if profile.neighbor_locality {
+                "neighbor-local sharing"
+            } else {
+                "global sharing"
+            }
+        );
+        let baseline = run_coherent(NetworkKind::CircuitSwitched, &spec, &config, 21);
+        for kind in [
+            NetworkKind::PointToPoint,
+            NetworkKind::LimitedPointToPoint,
+            NetworkKind::TokenRing,
+            NetworkKind::CircuitSwitched,
+        ] {
+            let run = run_coherent(kind, &spec, &config, 21);
+            println!(
+                "  {:<24} op latency {:>6.1} ns   speedup vs circuit {:>5.2}x   {:>6.1} KB routed electronically",
+                kind.name(),
+                run.mean_op_latency.as_ns_f64(),
+                run.speedup_over(&baseline),
+                run.routed_bytes as f64 / 1024.0,
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "Fluidanimate's neighbor-local traffic narrows the gap for the \
+         limited point-to-point network: its row/column channels match the \
+         communication pattern, so almost nothing crosses a router."
+    );
+}

@@ -1,0 +1,2 @@
+//! Library target anchoring the examples package; the runnable examples
+//! live in the `examples/` subdirectory of this package.

@@ -1,0 +1,47 @@
+//! Photonic link engineering: walk the optical power budgets behind the
+//! paper's Table 1/Table 5 analysis — where every decibel goes, and why
+//! the switched architectures need 5-30x the laser power.
+//!
+//! ```sh
+//! cargo run --release -p macrochip-examples --example link_budget
+//! ```
+
+use photonics::geometry::Layout;
+use photonics::inventory::NetworkId;
+use photonics::link::LinkBudget;
+use photonics::power::NetworkPower;
+use photonics::units::Dbm;
+
+fn main() {
+    let launch = Dbm::new(0.0); // 1 mW at the modulator
+
+    for budget in [
+        LinkBudget::unswitched_site_to_site(),
+        LinkBudget::two_phase_worst(),
+        LinkBudget::circuit_switched_worst(),
+        LinkBudget::token_ring_path(),
+    ] {
+        println!("{budget}");
+        println!(
+            "  margin over -21 dBm receiver at {launch} launch: {} ({})\n",
+            budget.margin(launch),
+            if budget.closes(launch) {
+                "link closes"
+            } else {
+                "needs more laser power"
+            }
+        );
+    }
+
+    println!("Resulting laser power per network (Table 5):");
+    let layout = Layout::macrochip();
+    for id in NetworkId::ALL {
+        let p = NetworkPower::for_network(id, &layout);
+        println!(
+            "  {:<24} {:>4.0}x loss factor -> {:>6.1} W of laser",
+            id.name(),
+            p.loss_factor,
+            p.laser.watts()
+        );
+    }
+}

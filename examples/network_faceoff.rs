@@ -1,0 +1,48 @@
+//! Face-off: run the same coherent workload over all six network
+//! architectures and compare performance, power and energy-delay product —
+//! a miniature of the paper's §6 evaluation.
+//!
+//! ```sh
+//! cargo run --release -p macrochip-examples --example network_faceoff
+//! ```
+
+use macrochip::prelude::*;
+
+fn main() {
+    let config = MacrochipConfig::scaled();
+    let model = NetworkEnergyModel::default();
+
+    // A moderate synthetic workload: uniform-random coherence requests
+    // with the paper's Less Sharing mix.
+    let spec = WorkloadSpec::Synthetic {
+        pattern: Pattern::Uniform,
+        mix: SharingMix::LessSharing,
+        ops_per_core: 40,
+    };
+
+    println!("Workload: {} ({} misses/core)\n", spec.name(), 40);
+    println!(
+        "{:<24} {:>12} {:>12} {:>12} {:>14}",
+        "Network", "Makespan", "Op latency", "Static (W)", "EDP vs p2p"
+    );
+
+    let p2p = run_coherent(NetworkKind::PointToPoint, &spec, &config, 7);
+    let p2p_edp = model.edp(&p2p);
+
+    for kind in NetworkKind::ALL {
+        let run = run_coherent(kind, &spec, &config, 7);
+        println!(
+            "{:<24} {:>9.2} us {:>9.1} ns {:>12.1} {:>13.1}x",
+            kind.name(),
+            run.makespan.as_ns_f64() / 1e3,
+            run.mean_op_latency.as_ns_f64(),
+            model.static_watts(kind),
+            model.edp(&run) / p2p_edp,
+        );
+    }
+
+    println!(
+        "\nThe point-to-point network wins on both time and energy — the \
+         paper's central result (§6)."
+    );
+}

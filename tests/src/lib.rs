@@ -1,0 +1,2 @@
+//! Shared helpers for the cross-crate integration test suite (see the
+//! sibling `tests/` directory for the test files themselves).

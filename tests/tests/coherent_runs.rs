@@ -1,0 +1,148 @@
+//! Cross-crate integration: coherent workloads over real networks — the
+//! paper's headline orderings on small runs.
+
+use macrochip::prelude::*;
+
+fn small(pattern: Pattern, mix: SharingMix) -> WorkloadSpec {
+    WorkloadSpec::Synthetic {
+        pattern,
+        mix,
+        ops_per_core: 8,
+    }
+}
+
+#[test]
+fn all_work_completes_on_every_network() {
+    let config = MacrochipConfig::scaled();
+    let spec = small(Pattern::Uniform, SharingMix::LessSharing);
+    for kind in NetworkKind::ALL {
+        let run = run_coherent(kind, &spec, &config, 11);
+        assert_eq!(run.ops_completed, 64 * 8 * 8, "{kind}");
+    }
+}
+
+#[test]
+fn p2p_wins_uniform_coherent_traffic() {
+    // §6.2: the point-to-point network consistently outperforms the
+    // others on latency-sensitive coherence traffic.
+    let config = MacrochipConfig::scaled();
+    let spec = small(Pattern::Uniform, SharingMix::LessSharing);
+    let p2p = run_coherent(NetworkKind::PointToPoint, &spec, &config, 11);
+    for kind in [
+        NetworkKind::TokenRing,
+        NetworkKind::CircuitSwitched,
+        NetworkKind::TwoPhase,
+    ] {
+        let other = run_coherent(kind, &spec, &config, 11);
+        assert!(
+            other.makespan > p2p.makespan,
+            "{kind} ({}) beat p2p ({})",
+            other.makespan,
+            p2p.makespan
+        );
+    }
+}
+
+#[test]
+fn circuit_switched_is_the_slowest_on_uniform() {
+    let config = MacrochipConfig::scaled();
+    let spec = small(Pattern::Uniform, SharingMix::LessSharing);
+    let circuit = run_coherent(NetworkKind::CircuitSwitched, &spec, &config, 11);
+    for kind in [
+        NetworkKind::PointToPoint,
+        NetworkKind::TokenRing,
+        NetworkKind::TwoPhase,
+        NetworkKind::LimitedPointToPoint,
+    ] {
+        let other = run_coherent(kind, &spec, &config, 11);
+        assert!(
+            other.makespan < circuit.makespan,
+            "{kind} slower than circuit"
+        );
+    }
+}
+
+#[test]
+fn limited_p2p_wins_nearest_neighbor() {
+    // §6.1/6.2: the nearest-neighbor pattern maps exactly onto the
+    // limited point-to-point network's row/column connectivity.
+    let config = MacrochipConfig::scaled();
+    let spec = small(Pattern::Neighbor, SharingMix::LessSharing);
+    let limited = run_coherent(NetworkKind::LimitedPointToPoint, &spec, &config, 11);
+    // Request/data traffic goes to grid neighbors (always peers); only
+    // the occasional LS-mix invalidation to a random sharer routes.
+    let routed_frac = limited.routed_bytes as f64 / limited.delivered_bytes as f64;
+    assert!(routed_frac < 0.05, "routed fraction {routed_frac}");
+    for kind in [
+        NetworkKind::PointToPoint,
+        NetworkKind::TokenRing,
+        NetworkKind::CircuitSwitched,
+        NetworkKind::TwoPhase,
+    ] {
+        let other = run_coherent(kind, &spec, &config, 11);
+        assert!(
+            other.mean_op_latency > limited.mean_op_latency,
+            "{kind} beat limited p2p on nearest-neighbor"
+        );
+    }
+}
+
+#[test]
+fn ms_mix_multiplies_small_messages() {
+    let config = MacrochipConfig::scaled();
+    let ls = run_coherent(
+        NetworkKind::PointToPoint,
+        &small(Pattern::Transpose, SharingMix::LessSharing),
+        &config,
+        11,
+    );
+    let ms = run_coherent(
+        NetworkKind::PointToPoint,
+        &small(Pattern::Transpose, SharingMix::MoreSharing),
+        &config,
+        11,
+    );
+    // MS sends invalidations + acks: substantially more packets per op.
+    assert!(
+        ms.packets as f64 > 1.5 * ls.packets as f64,
+        "MS {} vs LS {} packets",
+        ms.packets,
+        ls.packets
+    );
+}
+
+#[test]
+fn app_suite_runs_on_p2p_and_produces_sharing() {
+    let config = MacrochipConfig::scaled();
+    for profile in AppProfile::suite() {
+        let spec = WorkloadSpec::App(profile.with_ops_per_core(6));
+        let run = run_coherent(NetworkKind::PointToPoint, &spec, &config, 5);
+        assert!(
+            run.ops_completed >= 64 * 8 * 5,
+            "{}: only {} ops",
+            profile.name,
+            run.ops_completed
+        );
+        assert!(run.mean_op_latency.as_ns_f64() > 1.0, "{}", profile.name);
+    }
+}
+
+#[test]
+fn energy_model_ranks_p2p_first_on_edp() {
+    let config = MacrochipConfig::scaled();
+    let model = NetworkEnergyModel::default();
+    let spec = small(Pattern::Uniform, SharingMix::LessSharing);
+    let p2p = run_coherent(NetworkKind::PointToPoint, &spec, &config, 11);
+    let p2p_edp = model.edp(&p2p);
+    for kind in [
+        NetworkKind::TokenRing,
+        NetworkKind::CircuitSwitched,
+        NetworkKind::TwoPhase,
+    ] {
+        let run = run_coherent(kind, &spec, &config, 11);
+        assert!(
+            model.edp(&run) > 3.0 * p2p_edp,
+            "{kind} EDP too close to p2p"
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! End-to-end conservation and sanity tests across all six network
+//! architectures.
+
+use desim::Time;
+use macrochip::runner::{drive, DriveLimits};
+use netcore::{MacrochipConfig, NetworkKind};
+use workloads::{OpenLoopTraffic, Pattern};
+
+fn run_pattern(kind: NetworkKind, pattern: Pattern, load: f64) -> (u64, u64, f64) {
+    let config = MacrochipConfig::scaled();
+    let mut net = networks::build(kind, config);
+    let mut traffic = OpenLoopTraffic::new(&config.grid, pattern, load, 320.0, 64, 0xAB);
+    traffic.set_horizon(Time::from_ns(800));
+    drive(net.as_mut(), &mut traffic, DriveLimits::default());
+    let stats = net.stats();
+    (
+        traffic.emitted(),
+        stats.delivered_packets(),
+        stats.mean_latency().as_ns_f64(),
+    )
+}
+
+#[test]
+fn every_network_conserves_packets_on_every_pattern() {
+    for kind in NetworkKind::ALL {
+        for pattern in Pattern::FIGURE6 {
+            let (emitted, delivered, _) = run_pattern(kind, pattern, 0.01);
+            assert_eq!(
+                emitted, delivered,
+                "{kind} lost packets on {pattern}: {emitted} vs {delivered}"
+            );
+        }
+    }
+}
+
+#[test]
+fn latency_floor_is_physical() {
+    // No network may beat serialization + time-of-flight physics: at least
+    // 64 B / 320 B/ns = 0.2 ns for the widest channel.
+    for kind in NetworkKind::ALL {
+        let (_, delivered, mean_ns) = run_pattern(kind, Pattern::Uniform, 0.01);
+        assert!(delivered > 0, "{kind} delivered nothing");
+        assert!(
+            mean_ns >= 0.2,
+            "{kind} mean latency {mean_ns} ns beats physics"
+        );
+    }
+}
+
+#[test]
+fn p2p_has_the_lowest_light_load_uniform_latency() {
+    // §6.1: the point-to-point network has no arbitration or setup
+    // overhead; at light uniform load only its serialization (12.8 ns)
+    // and flight remain. The 40 GB/s+ architectures serialize faster but
+    // pay overheads that exceed the difference.
+    let p2p = run_pattern(NetworkKind::PointToPoint, Pattern::Uniform, 0.01).2;
+    for kind in [
+        NetworkKind::CircuitSwitched,
+        NetworkKind::TwoPhase,
+        NetworkKind::TwoPhaseAlt,
+    ] {
+        let other = run_pattern(kind, Pattern::Uniform, 0.01).2;
+        assert!(
+            other > p2p,
+            "{kind} ({other} ns) beat p2p ({p2p} ns) at light load"
+        );
+    }
+}
+
+#[test]
+fn circuit_switched_pays_the_setup_round_trip() {
+    let (_, _, mean_ns) = run_pattern(NetworkKind::CircuitSwitched, Pattern::Uniform, 0.005);
+    // Average ~4+4 control hops at ~15 ns each.
+    assert!(
+        mean_ns > 60.0,
+        "circuit-switched mean {mean_ns} ns is implausibly low"
+    );
+}
+
+#[test]
+fn nearest_neighbor_is_free_of_electronic_routing() {
+    let config = MacrochipConfig::scaled();
+    let mut net = networks::build(NetworkKind::LimitedPointToPoint, config);
+    let mut traffic = OpenLoopTraffic::new(&config.grid, Pattern::Neighbor, 0.05, 320.0, 64, 0xAB);
+    traffic.set_horizon(Time::from_ns(500));
+    drive(net.as_mut(), &mut traffic, DriveLimits::default());
+    assert_eq!(net.stats().routed_bytes(), 0);
+}
+
+#[test]
+fn uniform_traffic_on_limited_p2p_routes_most_bytes() {
+    // 75% of uniform traffic is to non-peers (§6.1).
+    let config = MacrochipConfig::scaled();
+    let mut net = networks::build(NetworkKind::LimitedPointToPoint, config);
+    let mut traffic = OpenLoopTraffic::new(&config.grid, Pattern::Uniform, 0.05, 320.0, 64, 0xAB);
+    traffic.set_horizon(Time::from_ns(500));
+    drive(net.as_mut(), &mut traffic, DriveLimits::default());
+    let stats = net.stats();
+    let frac = stats.routed_bytes() as f64 / stats.delivered_bytes() as f64;
+    assert!(
+        (frac - 0.75).abs() < 0.06,
+        "routed fraction {frac}, expected ~0.75"
+    );
+}
+
+#[test]
+fn two_phase_base_wastes_slots_under_column_contention() {
+    let config = MacrochipConfig::scaled();
+    let mut base = networks::build(NetworkKind::TwoPhase, config);
+    let mut traffic = OpenLoopTraffic::new(&config.grid, Pattern::Uniform, 0.05, 320.0, 64, 0xAB);
+    traffic.set_horizon(Time::from_ns(800));
+    drive(base.as_mut(), &mut traffic, DriveLimits::default());
+    assert!(
+        base.stats().wasted_slots() > 0,
+        "expected switch-tree contention waste"
+    );
+}

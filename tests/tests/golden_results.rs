@@ -1,0 +1,120 @@
+//! Golden-results regression guard: small, fast versions of the headline
+//! experiments pinned to tolerance bands, so future refactors cannot
+//! silently move the reproduction away from the paper.
+//!
+//! Bands are deliberately loose (these are small runs) but tight enough
+//! to catch an order-of-magnitude drift or a flipped ordering.
+
+use desim::Span;
+use macrochip::prelude::*;
+use macrochip::sweep::sustained_bandwidth;
+
+fn quick_sweep() -> SweepOptions {
+    SweepOptions {
+        sim: Span::from_us(2),
+        drain: Span::from_us(10),
+        max_stalled: 4_000,
+        seed: 1,
+    }
+}
+
+/// The paper's Figure 6 sustained-bandwidth observations on uniform
+/// random, with our accepted band (fraction of peak).
+#[test]
+fn golden_uniform_sustained_bandwidth() {
+    let config = MacrochipConfig::scaled();
+    let bands = [
+        (NetworkKind::PointToPoint, 0.90, 1.00),
+        (NetworkKind::LimitedPointToPoint, 0.40, 0.56),
+        (NetworkKind::TokenRing, 0.33, 0.48),
+        (NetworkKind::TwoPhase, 0.05, 0.13),
+        (NetworkKind::CircuitSwitched, 0.008, 0.035),
+    ];
+    for (kind, lo, hi) in bands {
+        let f = sustained_bandwidth(kind, Pattern::Uniform, &config, quick_sweep(), 0.02);
+        assert!(
+            (lo..=hi).contains(&f),
+            "{kind}: sustained {:.1}% outside golden band [{:.1}%, {:.1}%]",
+            f * 100.0,
+            lo * 100.0,
+            hi * 100.0
+        );
+    }
+}
+
+/// P2P coherence-operation latency band (paper: ≤54 ns on applications).
+#[test]
+fn golden_p2p_op_latency() {
+    let config = MacrochipConfig::scaled();
+    let spec = WorkloadSpec::Synthetic {
+        pattern: Pattern::Uniform,
+        mix: SharingMix::LessSharing,
+        ops_per_core: 20,
+    };
+    let run = run_coherent(NetworkKind::PointToPoint, &spec, &config, 0xFEED);
+    let lat = run.mean_op_latency.as_ns_f64();
+    assert!((35.0..=60.0).contains(&lat), "p2p op latency {lat} ns");
+}
+
+/// Speedup orderings of Figure 7 that must never flip.
+#[test]
+fn golden_figure7_orderings() {
+    let config = MacrochipConfig::scaled();
+    let spec = WorkloadSpec::Synthetic {
+        pattern: Pattern::Uniform,
+        mix: SharingMix::LessSharing,
+        ops_per_core: 15,
+    };
+    let runs: Vec<CoherentRun> = NetworkKind::ALL
+        .iter()
+        .map(|&k| run_coherent(k, &spec, &config, 0xFEED))
+        .collect();
+    let makespan = |k: NetworkKind| {
+        runs.iter()
+            .find(|r| r.network == k)
+            .expect("all networks ran")
+            .makespan
+    };
+    // P2P fastest; circuit-switched slowest; limited between p2p and the
+    // arbitrated designs.
+    assert!(makespan(NetworkKind::PointToPoint) < makespan(NetworkKind::LimitedPointToPoint));
+    assert!(makespan(NetworkKind::LimitedPointToPoint) < makespan(NetworkKind::TokenRing));
+    assert!(makespan(NetworkKind::TokenRing) < makespan(NetworkKind::CircuitSwitched));
+    assert!(makespan(NetworkKind::TwoPhase) < makespan(NetworkKind::CircuitSwitched));
+    // And the paper's factor bands, loosely.
+    let p2p = makespan(NetworkKind::PointToPoint).as_ns_f64();
+    let circuit = makespan(NetworkKind::CircuitSwitched).as_ns_f64();
+    let ratio = circuit / p2p;
+    assert!((3.0..=15.0).contains(&ratio), "p2p/circuit ratio {ratio}");
+}
+
+/// Analytic artifacts are exact and must stay exact.
+#[test]
+fn golden_analytic_tables() {
+    use photonics::geometry::Layout;
+    use photonics::inventory::{ComponentCounts, NetworkId};
+    use photonics::power::NetworkPower;
+    let layout = Layout::macrochip();
+    let p2p = NetworkPower::for_network(NetworkId::PointToPoint, &layout);
+    assert_eq!(p2p.laser_sources, 8_192);
+    assert!((p2p.laser.watts() - 8.192).abs() < 1e-9);
+    let counts = ComponentCounts::for_network(NetworkId::TwoPhaseData, &layout);
+    assert_eq!(counts.switches, 16_384);
+}
+
+/// Energy-delay-product ordering (Figure 10) must hold on a small run.
+#[test]
+fn golden_edp_ordering() {
+    let config = MacrochipConfig::scaled();
+    let model = NetworkEnergyModel::default();
+    let spec = WorkloadSpec::Synthetic {
+        pattern: Pattern::Uniform,
+        mix: SharingMix::LessSharing,
+        ops_per_core: 15,
+    };
+    let edp = |k| model.edp(&run_coherent(k, &spec, &config, 0xFEED));
+    let p2p = edp(NetworkKind::PointToPoint);
+    assert!(edp(NetworkKind::TokenRing) > 10.0 * p2p);
+    assert!(edp(NetworkKind::CircuitSwitched) > 100.0 * p2p);
+    assert!(edp(NetworkKind::TwoPhase) > 3.0 * p2p);
+}

@@ -1,0 +1,125 @@
+//! Property-based end-to-end tests: invariants that must hold for every
+//! network architecture under arbitrary admissible traffic.
+
+use desim::Time;
+use netcore::{MacrochipConfig, MessageKind, NetworkKind, Packet, PacketId};
+use proptest::prelude::*;
+
+/// A randomly generated injection: (source, destination, offset in ns).
+fn injections(max: usize) -> impl Strategy<Value = Vec<(usize, usize, u64)>> {
+    proptest::collection::vec((0usize..64, 0usize..64, 0u64..200), 1..max)
+}
+
+fn network_kind() -> impl Strategy<Value = NetworkKind> {
+    prop_oneof![
+        Just(NetworkKind::PointToPoint),
+        Just(NetworkKind::LimitedPointToPoint),
+        Just(NetworkKind::TokenRing),
+        Just(NetworkKind::CircuitSwitched),
+        Just(NetworkKind::TwoPhase),
+        Just(NetworkKind::TwoPhaseAlt),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever is injected is delivered exactly once, with delivery no
+    /// earlier than creation, on every architecture.
+    #[test]
+    fn conservation_and_causality(kind in network_kind(), inj in injections(40)) {
+        let config = MacrochipConfig::scaled();
+        let mut net = networks::build(kind, config);
+        let mut accepted = Vec::new();
+        let mut inj = inj;
+        inj.sort_by_key(|&(_, _, at)| at); // simulation time must advance monotonically
+        for (i, &(s, d, at_ns)) in inj.iter().enumerate() {
+            let at = Time::from_ns(at_ns);
+            net.advance(at);
+            let p = Packet::new(
+                PacketId(i as u64),
+                config.grid.site(s % 8, s / 8),
+                config.grid.site(d % 8, d / 8),
+                64,
+                MessageKind::Data,
+                at,
+            );
+            if net.inject(p, at).is_ok() {
+                accepted.push(PacketId(i as u64));
+            }
+        }
+        let mut guard = 0;
+        while let Some(t) = net.next_event() {
+            net.advance(t);
+            guard += 1;
+            prop_assert!(guard < 2_000_000, "{kind} did not drain");
+        }
+        let delivered = net.drain_delivered();
+        prop_assert_eq!(delivered.len(), accepted.len(), "{} conservation", kind);
+        let mut ids: Vec<PacketId> = delivered.iter().map(|p| p.id).collect();
+        ids.sort();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), accepted.len(), "{} duplicated packets", kind);
+        for p in &delivered {
+            prop_assert!(p.delivered.expect("delivered") >= p.created, "{} causality", kind);
+        }
+    }
+
+    /// Latency respects the physical floor: no 64-byte packet beats its
+    /// best-case serialization (bundle width 320 B/ns => 0.2 ns) and
+    /// inter-site packets cannot beat the time of flight.
+    #[test]
+    fn physical_latency_floor(kind in network_kind(), inj in injections(24)) {
+        let config = MacrochipConfig::scaled();
+        let mut net = networks::build(kind, config);
+        let mut inj = inj;
+        inj.sort_by_key(|&(_, _, at)| at);
+        for (i, &(s, d, at_ns)) in inj.iter().enumerate() {
+            let at = Time::from_ns(at_ns);
+            net.advance(at);
+            let p = Packet::new(
+                PacketId(i as u64),
+                config.grid.site(s % 8, s / 8),
+                config.grid.site(d % 8, d / 8),
+                64,
+                MessageKind::Data,
+                at,
+            );
+            let _ = net.inject(p, at);
+        }
+        while let Some(t) = net.next_event() {
+            net.advance(t);
+        }
+        for p in net.drain_delivered() {
+            let lat = p.latency().expect("delivered");
+            // Instrumentation invariant: wait + wire == total latency.
+            let wait = p.wait_time().expect("tx_start instrumented");
+            let wire = p.wire_time().expect("delivered");
+            prop_assert_eq!(wait + wire, lat, "{} breakdown", kind);
+            if p.src == p.dst {
+                prop_assert_eq!(lat, config.cycle(), "{} loopback", kind);
+            } else {
+                // The token ring's data follows the serpentine ring, whose
+                // wrap edge can undercut the row-column Manhattan route;
+                // its floor is the ring flight. Everyone else routes
+                // row-then-column.
+                let flight = if kind == NetworkKind::TokenRing {
+                    config
+                        .layout
+                        .ring_prop_delay(config.grid.coord(p.src), config.grid.coord(p.dst))
+                } else {
+                    config
+                        .layout
+                        .prop_delay(config.grid.coord(p.src), config.grid.coord(p.dst))
+                };
+                prop_assert!(
+                    lat >= flight,
+                    "{kind}: {lat} beats flight {flight} for {} -> {}",
+                    p.src,
+                    p.dst
+                );
+                prop_assert!(lat >= desim::Span::from_ps(200), "{} serialization", kind);
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! The paper's analytic artifacts, checked end to end: Tables 1, 5 and 6
+//! must reproduce exactly, and the link budgets must close.
+
+use photonics::components::{Component, RECEIVER_SENSITIVITY_DBM};
+use photonics::geometry::Layout;
+use photonics::inventory::{ComponentCounts, NetworkId};
+use photonics::link::LinkBudget;
+use photonics::power::NetworkPower;
+use photonics::units::{Db, Dbm};
+
+#[test]
+fn table1_component_losses() {
+    let cases = [
+        (Component::Modulator, 4.0),
+        (Component::Opxc, 1.2),
+        (Component::DropFilterPass, 0.1),
+        (Component::DropFilterDrop, 1.5),
+        (Component::Switch, 1.0),
+        (Component::WaveguidePerCm, 0.5),
+    ];
+    for (c, loss) in cases {
+        assert_eq!(c.props().insertion_loss, Db::new(loss), "{}", c.name());
+    }
+}
+
+#[test]
+fn unswitched_link_closes_with_4db_margin() {
+    let link = LinkBudget::unswitched_site_to_site();
+    assert!((link.total_loss().value() - 17.0).abs() < 0.2);
+    assert!((link.margin(Dbm::new(0.0)).value() - 4.0).abs() < 0.2);
+    assert_eq!(RECEIVER_SENSITIVITY_DBM, -21.0);
+}
+
+#[test]
+fn table5_reproduces_exactly() {
+    let layout = Layout::macrochip();
+    let expect = [
+        (NetworkId::TokenRing, 19.0, 155.0, 1.0),
+        (NetworkId::PointToPoint, 1.0, 8.0, 0.5),
+        (NetworkId::CircuitSwitched, 30.0, 245.0, 1.0),
+        (NetworkId::LimitedPointToPoint, 1.0, 8.0, 0.5),
+        (NetworkId::TwoPhaseData, 5.0, 41.0, 0.5),
+        (NetworkId::TwoPhaseDataAlt, 4.0, 65.5, 0.5),
+        (NetworkId::TwoPhaseArbitration, 8.0, 1.0, 0.1),
+    ];
+    for (id, factor, watts, tol) in expect {
+        let row = NetworkPower::for_network(id, &layout);
+        assert_eq!(row.loss_factor, factor, "{id} factor");
+        assert!(
+            (row.laser.watts() - watts).abs() <= tol,
+            "{id}: {} W vs paper {watts} W",
+            row.laser.watts()
+        );
+    }
+}
+
+#[test]
+fn table6_reproduces_exactly() {
+    let layout = Layout::macrochip();
+    let expect: [(NetworkId, u64, u64, u64, u64); 7] = [
+        (NetworkId::TokenRing, 524_288, 8_192, 32_768, 0),
+        (NetworkId::PointToPoint, 8_192, 8_192, 3_072, 0),
+        (NetworkId::CircuitSwitched, 8_192, 8_192, 2_048, 1_024),
+        (NetworkId::LimitedPointToPoint, 8_192, 8_192, 3_072, 128),
+        (NetworkId::TwoPhaseData, 8_192, 8_192, 4_096, 16_384),
+        (NetworkId::TwoPhaseDataAlt, 16_384, 8_192, 4_096, 15_360),
+        (NetworkId::TwoPhaseArbitration, 128, 1_024, 24, 0),
+    ];
+    for (id, tx, rx, wgs, switches) in expect {
+        let c = ComponentCounts::for_network(id, &layout);
+        let wg_reported = if id == NetworkId::TokenRing {
+            c.waveguide_area_equivalent
+        } else {
+            c.waveguides
+        };
+        assert_eq!(
+            (c.transmitters, c.receivers, wg_reported, c.switches),
+            (tx, rx, wgs, switches),
+            "{id}"
+        );
+    }
+}
+
+#[test]
+fn power_efficiency_headline() {
+    // Abstract: "the point-to-point is over 10x more power-efficient".
+    let layout = Layout::macrochip();
+    let p2p = NetworkPower::for_network(NetworkId::PointToPoint, &layout).laser;
+    for id in [NetworkId::TokenRing, NetworkId::CircuitSwitched] {
+        let other = NetworkPower::for_network(id, &layout).laser;
+        assert!(other.value() / p2p.value() > 10.0, "{id}");
+    }
+}
+
+#[test]
+fn complexity_headline() {
+    // §6.4: contrary to electronic networks, the photonic point-to-point
+    // has the lowest design complexity.
+    let layout = Layout::macrochip();
+    let p2p = ComponentCounts::for_network(NetworkId::PointToPoint, &layout);
+    assert_eq!(p2p.switches, 0);
+    for id in [
+        NetworkId::TokenRing,
+        NetworkId::CircuitSwitched,
+        NetworkId::TwoPhaseData,
+    ] {
+        let other = ComponentCounts::for_network(id, &layout);
+        assert!(
+            other.transmitters + other.switches > p2p.transmitters + p2p.switches,
+            "{id}"
+        );
+    }
+}
