@@ -2,9 +2,12 @@
 //! uniform-random workload through each network architecture.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use desim::Time;
-use macrochip::runner::{drive, DriveLimits};
+use desim::trace::RingSink;
+use desim::{Time, Tracer};
+use macrochip::runner::{drive, drive_traced, DriveLimits};
 use netcore::{MacrochipConfig, NetworkKind};
+use std::cell::RefCell;
+use std::rc::Rc;
 use workloads::{OpenLoopTraffic, Pattern};
 
 fn bench_networks(c: &mut Criterion) {
@@ -30,5 +33,30 @@ fn bench_networks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_networks);
+/// Flight-recorder overhead on the most heavily instrumented network:
+/// disabled tracing must cost no more than one branch per event, and
+/// recording into the bounded ring shows the enabled-path price.
+fn bench_tracing_overhead(c: &mut Criterion) {
+    let config = MacrochipConfig::scaled();
+    let mut group = c.benchmark_group("tracing_two_phase_5pct_500ns");
+    group.sample_size(10);
+    let run = |tracer: Tracer| {
+        let mut net = networks::build(NetworkKind::TwoPhase, config);
+        net.set_tracer(tracer.clone());
+        let mut traffic = OpenLoopTraffic::new(&config.grid, Pattern::Uniform, 0.05, 320.0, 64, 7);
+        traffic.set_horizon(Time::from_ns(500));
+        drive_traced(net.as_mut(), &mut traffic, DriveLimits::default(), tracer);
+        net.stats().delivered_packets()
+    };
+    group.bench_function("disabled", |b| b.iter(|| run(Tracer::disabled())));
+    group.bench_function("ring_sink", |b| {
+        b.iter(|| {
+            let sink = Rc::new(RefCell::new(RingSink::new(1 << 16)));
+            run(Tracer::shared(&sink))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_networks, bench_tracing_overhead);
 criterion_main!(benches);

@@ -26,7 +26,7 @@
 
 use crate::ops::{NextMiss, OpKind, OpSource, OpSpec};
 use desim::stats::LatencyHistogram;
-use desim::{EventQueue, Span, Time};
+use desim::{EventQueue, Span, Time, TraceEvent, Tracer};
 use netcore::{MacrochipConfig, MessageKind, Packet, PacketId, PacketSource, SiteId};
 use std::collections::{HashMap, VecDeque};
 
@@ -181,6 +181,7 @@ pub struct CoherenceEngine<S: OpSource> {
     next_op_id: u64,
     next_packet_id: u64,
     stats: OpStats,
+    tracer: Tracer,
 }
 
 impl<S: OpSource> CoherenceEngine<S> {
@@ -220,12 +221,19 @@ impl<S: OpSource> CoherenceEngine<S> {
             next_op_id: 0,
             next_packet_id: 0,
             stats: OpStats::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
     /// Results so far.
     pub fn stats(&self) -> &OpStats {
         &self.stats
+    }
+
+    /// Attaches a flight-recorder handle; MOESI state transitions are
+    /// emitted as [`TraceEvent::Coherence`] records.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Cores still with work to do.
@@ -359,13 +367,22 @@ impl<S: OpSource> CoherenceEngine<S> {
     }
 
     fn on_forward_at_owner(&mut self, op_id: u64, now: Time) {
-        let (owner, requester) = {
+        let (owner, requester, kind) = {
             let st = &self.ops[&op_id];
             (
                 st.spec.owner.expect("forward implies an owner"),
                 st.spec.requester,
+                st.spec.kind,
             )
         };
+        // The dirty owner downgrades: readers leave it owning a stale-able
+        // copy (M->O), writers take the line away entirely (M->I).
+        let transition = if kind == OpKind::Read { "M->O" } else { "M->I" };
+        self.tracer.emit(now, || TraceEvent::Coherence {
+            op: op_id,
+            site: owner.index(),
+            transition,
+        });
         let at = now + self.config.cache_latency;
         let p = self.packet(owner, requester, MessageKind::Data, op_id, at);
         self.events.push(at, EngEv::Emit { packet: p });
@@ -373,6 +390,11 @@ impl<S: OpSource> CoherenceEngine<S> {
 
     fn on_invalidate_at_sharer(&mut self, op_id: u64, sharer: SiteId, now: Time) {
         let requester = self.ops[&op_id].spec.requester;
+        self.tracer.emit(now, || TraceEvent::Coherence {
+            op: op_id,
+            site: sharer.index(),
+            transition: "S->I",
+        });
         let at = now + self.config.cache_latency;
         let p = self.packet(sharer, requester, MessageKind::Ack, op_id, at);
         self.events.push(at, EngEv::Emit { packet: p });
@@ -386,6 +408,19 @@ impl<S: OpSource> CoherenceEngine<S> {
         let site = st.spec.requester.index();
         self.pending_lines.remove(&(site, st.spec.line));
         self.mshrs_used[site] -= 1;
+
+        // The requester's line reaches its final MOESI state.
+        let transition = match st.spec.kind {
+            OpKind::Read if st.spec.owner.is_some() => "I->S",
+            OpKind::Read => "I->E",
+            OpKind::Write => "I->M",
+            OpKind::Upgrade => "S->M",
+        };
+        self.tracer.emit(now, || TraceEvent::Coherence {
+            op: op_id,
+            site,
+            transition,
+        });
 
         self.stats.completed += 1;
         self.stats.latency.record(now.saturating_since(st.issued));
@@ -748,6 +783,48 @@ mod tests {
         assert_eq!(run_ideal(&mut eng), 3);
         let makespan = eng.stats().last_completion().as_ns_f64();
         assert!((makespan - 3.0 * 30.4).abs() < 1e-6, "makespan {makespan}");
+    }
+
+    #[test]
+    fn traced_write_records_moesi_transitions() {
+        use desim::trace::RingSink;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let cfg = config();
+        let mut src = ScriptedSource::new();
+        let (a, h, o) = (s(&cfg, 0, 0), s(&cfg, 3, 3), s(&cfg, 5, 5));
+        src.push(
+            a,
+            0,
+            NextMiss {
+                gap: Span::ZERO,
+                op: OpSpec {
+                    requester: a,
+                    home: h,
+                    kind: OpKind::Write,
+                    owner: Some(o),
+                    sharers: vec![s(&cfg, 2, 2)],
+                    line: 0x40,
+                },
+            },
+        );
+        let mut eng = CoherenceEngine::new(cfg, EngineConfig::default(), src);
+        let sink = Rc::new(RefCell::new(RingSink::new(64)));
+        eng.set_tracer(desim::Tracer::shared(&sink));
+        assert_eq!(run_ideal(&mut eng), 1);
+        let transitions: Vec<&'static str> = sink
+            .borrow()
+            .events()
+            .map(|&(_, e)| match e {
+                desim::TraceEvent::Coherence { transition, .. } => transition,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        // Owner downgrade, sharer invalidation, requester fill.
+        assert!(transitions.contains(&"M->I"));
+        assert!(transitions.contains(&"S->I"));
+        assert_eq!(*transitions.last().unwrap(), "I->M");
     }
 
     #[test]

@@ -10,12 +10,17 @@
 //!
 //! Argument parsing is deliberately dependency-free.
 
-use desim::Time;
+use desim::trace::{chrome_trace_json, RingSink};
+use desim::{Time, TraceEvent, Tracer};
 use macrochip::prelude::*;
 use macrochip::report::{fmt, Table};
 use macrochip::runner::{drive, DriveLimits};
-use macrochip::sweep::{latency_vs_load, sustained_bandwidth};
+use macrochip::sweep::{run_load_point_traced, sustained_bandwidth};
+use netcore::{MetricsRegistry, MetricsSnapshot};
+use std::cell::RefCell;
 use std::process::ExitCode;
+use std::rc::Rc;
+use std::time::Instant;
 use workloads::{Collective, MessagePassingWorkload};
 
 const USAGE: &str = "\
@@ -33,7 +38,90 @@ PATTERNS:   uniform, transpose, butterfly, neighbor, all-to-all, hotspot
 WORKLOADS:  Radix, Barnes, Blackscholes, Densities, Forces, Swaptions,
             or a pattern name (synthetic, LS mix)
 COLLECTIVES: ring, butterfly, halo, all-to-all
+
+OUTPUT (sweep, sustained):
+    --trace <FILE>     write a Chrome-trace-event JSON flight recording
+                       (open in ui.perfetto.dev or chrome://tracing)
+    --metrics <FILE>   write metrics and a run manifest; JSON, or CSV when
+                       the file name ends in .csv
+    -q, --quiet        suppress the result table on stdout
+    -v, --verbose      report progress on stderr as each point completes
 ";
+
+/// Retained trace events per load point; the ring keeps the most recent
+/// window when a point overflows it.
+const TRACE_EVENTS_PER_POINT: usize = 1 << 16;
+
+/// Output controls shared by the measurement subcommands.
+struct OutputOpts {
+    trace: Option<String>,
+    metrics: Option<String>,
+    quiet: bool,
+    verbose: bool,
+}
+
+impl OutputOpts {
+    fn parse(args: &[String]) -> OutputOpts {
+        OutputOpts {
+            trace: flag(args, "--trace"),
+            metrics: flag(args, "--metrics"),
+            quiet: args.iter().any(|a| a == "-q" || a == "--quiet"),
+            verbose: args.iter().any(|a| a == "-v" || a == "--verbose"),
+        }
+    }
+}
+
+/// One exported measurement: run label, offered load, its metrics.
+struct RunRecord {
+    network: String,
+    offered: f64,
+    saturated: bool,
+    snapshot: MetricsSnapshot,
+}
+
+fn write_trace(path: &str, sections: &[(String, Vec<(Time, TraceEvent)>)]) -> Result<(), String> {
+    std::fs::write(path, chrome_trace_json(sections)).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn write_metrics(path: &str, manifest: &RunManifest, runs: &[RunRecord]) -> Result<(), String> {
+    let body = if path.ends_with(".csv") {
+        let mut t = Table::new(&["Network", "Load (%)", "Metric", "Kind", "Field", "Value"]);
+        for run in runs {
+            for r in run.snapshot.rows() {
+                t.row_owned(vec![
+                    run.network.clone(),
+                    fmt(run.offered * 100.0, 1),
+                    r[0].clone(),
+                    r[1].clone(),
+                    r[2].clone(),
+                    r[3].clone(),
+                ]);
+            }
+        }
+        t.to_csv()
+    } else {
+        let mut s = String::from("{\n\"manifest\": ");
+        s.push_str(&manifest.to_json());
+        s.push_str(",\n\"runs\": [");
+        for (i, run) in runs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n{\n\"network\": \"");
+            s.push_str(&netcore::metrics::json_escape(&run.network));
+            s.push_str("\",\n\"offered_load\": ");
+            s.push_str(&netcore::metrics::json_f64(run.offered));
+            s.push_str(",\n\"saturated\": ");
+            s.push_str(if run.saturated { "true" } else { "false" });
+            s.push_str(",\n\"metrics\": ");
+            s.push_str(&run.snapshot.to_json());
+            s.push_str("\n}");
+        }
+        s.push_str("\n]\n}\n");
+        s
+    };
+    std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))
+}
 
 fn parse_network(name: &str) -> Option<Vec<NetworkKind>> {
     Some(match name {
@@ -117,11 +205,12 @@ fn cmd_tables() -> Result<(), String> {
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let out = OutputOpts::parse(args);
     let config = MacrochipConfig::scaled();
-    let kinds = parse_network(&flag(args, "--network").ok_or("missing --network")?)
-        .ok_or("unknown network")?;
-    let pattern = parse_pattern(&flag(args, "--pattern").ok_or("missing --pattern")?)
-        .ok_or("unknown pattern")?;
+    let network_arg = flag(args, "--network").ok_or("missing --network")?;
+    let kinds = parse_network(&network_arg).ok_or("unknown network")?;
+    let pattern_arg = flag(args, "--pattern").ok_or("missing --pattern")?;
+    let pattern = parse_pattern(&pattern_arg).ok_or("unknown pattern")?;
     let loads: Vec<f64> = match flag(args, "--loads") {
         Some(s) => s
             .split(',')
@@ -129,30 +218,184 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             .collect::<Result<_, _>>()?,
         None => macrochip::sweep::figure6_loads(pattern),
     };
-    let mut table = Table::new(&["Network", "Load (%)", "Mean latency (ns)", "Saturated"]);
-    for kind in kinds {
-        for p in latency_vs_load(kind, pattern, &loads, &config, SweepOptions::default()) {
+    let options = SweepOptions::default();
+    let started = Instant::now();
+    let mut table = Table::new(&[
+        "Network",
+        "Load (%)",
+        "Mean latency (ns)",
+        "p99 (ns)",
+        "Saturated",
+    ]);
+    let mut sections: Vec<(String, Vec<(Time, TraceEvent)>)> = Vec::new();
+    let mut runs: Vec<RunRecord> = Vec::new();
+    let mut saturated_points = 0usize;
+    for &kind in &kinds {
+        for &load in &loads {
+            let sink = Rc::new(RefCell::new(RingSink::new(TRACE_EVENTS_PER_POINT)));
+            let tracer = if out.trace.is_some() {
+                Tracer::shared(&sink)
+            } else {
+                Tracer::disabled()
+            };
+            let (p, net) = run_load_point_traced(
+                networks::build(kind, config),
+                pattern,
+                load,
+                &config,
+                options,
+                tracer,
+            );
+            saturated_points += usize::from(p.saturated);
             table.row_owned(vec![
                 kind.name().to_string(),
                 fmt(p.offered * 100.0, 1),
                 fmt(p.mean_latency_ns, 2),
+                fmt(p.p99_latency_ns, 2),
                 p.saturated.to_string(),
             ]);
+            if out.trace.is_some() {
+                let label = format!(
+                    "{} @ {}% {}",
+                    kind.name(),
+                    fmt(load * 100.0, 0),
+                    pattern_arg
+                );
+                sections.push((label, sink.borrow().snapshot()));
+            }
+            if out.metrics.is_some() {
+                let mut reg = MetricsRegistry::new();
+                reg.record_net_stats(net.stats());
+                reg.set_gauge("run.offered_load", load);
+                runs.push(RunRecord {
+                    network: kind.name().to_string(),
+                    offered: load,
+                    saturated: p.saturated,
+                    snapshot: reg.snapshot(),
+                });
+            }
+            if out.verbose {
+                eprintln!(
+                    "[sweep] {} @ {:.1}%: mean {:.2} ns, p99 {:.2} ns{}",
+                    kind.name(),
+                    load * 100.0,
+                    p.mean_latency_ns,
+                    p.p99_latency_ns,
+                    if p.saturated { " (saturated)" } else { "" }
+                );
+            }
         }
     }
-    println!("{}", table.to_text());
+    if let Some(path) = &out.trace {
+        write_trace(path, &sections)?;
+    }
+    if let Some(path) = &out.metrics {
+        let mut manifest = RunManifest::new("sweep", &config);
+        manifest.network = network_arg;
+        manifest.pattern = pattern_arg;
+        manifest.seed = options.seed;
+        manifest.set_limits(DriveLimits {
+            deadline: Time::ZERO + options.sim + options.drain,
+            max_stalled: options.max_stalled,
+        });
+        manifest.outcome = format!(
+            "{saturated_points}/{} points saturated",
+            kinds.len() * loads.len()
+        );
+        manifest.wall_clock_ms = started.elapsed().as_secs_f64() * 1e3;
+        write_metrics(path, &manifest, &runs)?;
+    }
+    if !out.quiet {
+        println!("{}", table.to_text());
+    }
     Ok(())
 }
 
 fn cmd_sustained(args: &[String]) -> Result<(), String> {
+    let out = OutputOpts::parse(args);
     let config = MacrochipConfig::scaled();
-    let kinds = parse_network(&flag(args, "--network").ok_or("missing --network")?)
-        .ok_or("unknown network")?;
-    let pattern = parse_pattern(&flag(args, "--pattern").ok_or("missing --pattern")?)
-        .ok_or("unknown pattern")?;
-    for kind in kinds {
-        let f = sustained_bandwidth(kind, pattern, &config, SweepOptions::default(), 0.01);
-        println!("{:<24} {:>5.1}% of peak", kind.name(), f * 100.0);
+    let network_arg = flag(args, "--network").ok_or("missing --network")?;
+    let kinds = parse_network(&network_arg).ok_or("unknown network")?;
+    let pattern_arg = flag(args, "--pattern").ok_or("missing --pattern")?;
+    let pattern = parse_pattern(&pattern_arg).ok_or("unknown pattern")?;
+    let options = SweepOptions::default();
+    let started = Instant::now();
+    let mut table = Table::new(&[
+        "Network",
+        "Sustained (% peak)",
+        "Throughput (GB/s)",
+        "p99 latency (ns)",
+    ]);
+    let mut sections: Vec<(String, Vec<(Time, TraceEvent)>)> = Vec::new();
+    let mut runs: Vec<RunRecord> = Vec::new();
+    for &kind in &kinds {
+        let f = sustained_bandwidth(kind, pattern, &config, options, 0.01);
+        // Re-measure at the sustained load so throughput and tail latency
+        // describe the network at its operating point, not at saturation.
+        let measure = f.max(0.01);
+        let sink = Rc::new(RefCell::new(RingSink::new(TRACE_EVENTS_PER_POINT)));
+        let tracer = if out.trace.is_some() {
+            Tracer::shared(&sink)
+        } else {
+            Tracer::disabled()
+        };
+        let (p, net) = run_load_point_traced(
+            networks::build(kind, config),
+            pattern,
+            measure,
+            &config,
+            options,
+            tracer,
+        );
+        let gbps = net.stats().throughput_gbps();
+        table.row_owned(vec![
+            kind.name().to_string(),
+            fmt(f * 100.0, 1),
+            fmt(gbps, 2),
+            fmt(p.p99_latency_ns, 1),
+        ]);
+        if out.trace.is_some() {
+            let label = format!("{} sustained @ {}%", kind.name(), fmt(measure * 100.0, 1));
+            sections.push((label, sink.borrow().snapshot()));
+        }
+        if out.metrics.is_some() {
+            let mut reg = MetricsRegistry::new();
+            reg.record_net_stats(net.stats());
+            reg.set_gauge("run.sustained_fraction", f);
+            runs.push(RunRecord {
+                network: kind.name().to_string(),
+                offered: measure,
+                saturated: p.saturated,
+                snapshot: reg.snapshot(),
+            });
+        }
+        if out.verbose {
+            eprintln!(
+                "[sustained] {}: {:.1}% of peak, {:.2} GB/s, p99 {:.1} ns",
+                kind.name(),
+                f * 100.0,
+                gbps,
+                p.p99_latency_ns
+            );
+        }
+    }
+    if let Some(path) = &out.trace {
+        write_trace(path, &sections)?;
+    }
+    if let Some(path) = &out.metrics {
+        let mut manifest = RunManifest::new("sustained", &config);
+        manifest.network = network_arg;
+        manifest.pattern = pattern_arg;
+        manifest.seed = options.seed;
+        manifest.set_limits(DriveLimits {
+            deadline: Time::ZERO + options.sim + options.drain,
+            max_stalled: options.max_stalled,
+        });
+        manifest.wall_clock_ms = started.elapsed().as_secs_f64() * 1e3;
+        write_metrics(path, &manifest, &runs)?;
+    }
+    if !out.quiet {
+        println!("{}", table.to_text());
     }
     Ok(())
 }

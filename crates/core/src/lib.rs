@@ -17,7 +17,9 @@
 //! * [`energy`] — laser/tuning/transceiver/router energy accounting and
 //!   energy-delay products (Table 5, Figures 9 and 10);
 //! * [`report`] — plain-text/markdown/CSV table rendering for the
-//!   regeneration binaries.
+//!   regeneration binaries;
+//! * [`manifest`] — run provenance (config, seed, limits, outcome,
+//!   version) emitted alongside exported metrics.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,7 @@
 
 pub mod energy;
 pub mod experiment;
+pub mod manifest;
 pub mod report;
 pub mod runner;
 pub mod sweep;
@@ -47,9 +50,12 @@ pub mod sweep;
 pub mod prelude {
     pub use crate::energy::{EnergyBreakdown, NetworkEnergyModel};
     pub use crate::experiment::{run_coherent, CoherentRun, WorkloadSpec};
+    pub use crate::manifest::RunManifest;
     pub use crate::report::Table;
-    pub use crate::runner::{drive, DriveLimits, RunOutcome};
-    pub use crate::sweep::{run_load_point, sustained_bandwidth, LoadPoint, SweepOptions};
+    pub use crate::runner::{drive, drive_traced, DriveLimits, RunOutcome};
+    pub use crate::sweep::{
+        run_load_point, run_load_point_traced, sustained_bandwidth, LoadPoint, SweepOptions,
+    };
     pub use netcore::{MacrochipConfig, Network, NetworkKind};
     pub use workloads::{AppProfile, Pattern, SharingMix};
 }

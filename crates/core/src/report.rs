@@ -260,7 +260,7 @@ mod tests {
 
     #[test]
     fn fmt_rounds() {
-        assert_eq!(fmt(3.14159, 2), "3.14");
+        assert_eq!(fmt(2.71911, 2), "2.72");
         assert_eq!(fmt(10.0, 0), "10");
     }
 

@@ -1,6 +1,6 @@
 //! The simulation driver: couples a [`PacketSource`] to a [`Network`].
 
-use desim::Time;
+use desim::{Time, TraceEvent, Tracer};
 use netcore::{Network, Packet, PacketSource};
 use std::collections::VecDeque;
 
@@ -66,6 +66,23 @@ pub fn drive(
     source: &mut dyn PacketSource,
     limits: DriveLimits,
 ) -> RunOutcome {
+    drive_traced(net, source, limits, Tracer::disabled())
+}
+
+/// [`drive`] with a flight-recorder handle.
+///
+/// The driver itself emits [`TraceEvent::Stall`] when the network first
+/// refuses a packet and [`TraceEvent::Retry`] when a stalled packet is
+/// finally accepted on re-offer; everything in between comes from the
+/// network's own instrumentation (the tracer is **not** forwarded to the
+/// network here — callers attach it via [`Network::set_tracer`] so the two
+/// layers can share one sink).
+pub fn drive_traced(
+    net: &mut dyn Network,
+    source: &mut dyn PacketSource,
+    limits: DriveLimits,
+    tracer: Tracer,
+) -> RunOutcome {
     let mut stalled: VecDeque<Packet> = VecDeque::new();
     let mut emissions: Vec<Packet> = Vec::new();
     let mut now = Time::ZERO;
@@ -108,8 +125,15 @@ pub fn drive(
         let retries = stalled.len().min(64);
         for _ in 0..retries {
             let p = stalled.pop_front().expect("len checked");
-            if let Err(back) = net.inject(p, now) {
-                stalled.push_back(back);
+            let (id, src) = (p.id.0, p.src.index());
+            match net.inject(p, now) {
+                Ok(()) => {
+                    tracer.emit(now, || TraceEvent::Retry {
+                        packet: id,
+                        site: src,
+                    });
+                }
+                Err(back) => stalled.push_back(back),
             }
         }
 
@@ -117,6 +141,10 @@ pub fn drive(
         source.emit_due(now, &mut emissions);
         for p in emissions.drain(..) {
             if let Err(back) = net.inject(p, now) {
+                tracer.emit(now, || TraceEvent::Stall {
+                    packet: back.id.0,
+                    site: back.src.index(),
+                });
                 stalled.push_back(back);
             }
         }

@@ -6,8 +6,8 @@
 //! throughput at each point. The vertical asymptote of the resulting
 //! curve is the network's maximum sustainable bandwidth (§6.1).
 
-use crate::runner::{drive, DriveLimits};
-use desim::{Span, Time};
+use crate::runner::{drive_traced, DriveLimits};
+use desim::{Span, Time, Tracer};
 use netcore::{MacrochipConfig, NetworkKind};
 use workloads::{OpenLoopTraffic, Pattern};
 
@@ -70,12 +70,32 @@ pub fn run_load_point(
 /// Runs one load point on an already-built (possibly custom-configured)
 /// network — the entry point for the ablation sweeps.
 pub fn run_load_point_on(
-    mut net: Box<dyn netcore::Network>,
+    net: Box<dyn netcore::Network>,
     pattern: Pattern,
     offered: f64,
     config: &MacrochipConfig,
     options: SweepOptions,
 ) -> LoadPoint {
+    run_load_point_traced(net, pattern, offered, config, options, Tracer::disabled()).0
+}
+
+/// [`run_load_point_on`] with a flight recorder attached.
+///
+/// The tracer is installed on the network (via [`netcore::Network::set_tracer`])
+/// **and** handed to the driver, so one sink sees the full event stream:
+/// injects, stalls/retries, arbitration, hops and deliveries. The driven
+/// network is returned alongside the measured point so callers can export
+/// its [`netcore::NetStats`] (per-phase latency, throughput) into a
+/// metrics registry.
+pub fn run_load_point_traced(
+    mut net: Box<dyn netcore::Network>,
+    pattern: Pattern,
+    offered: f64,
+    config: &MacrochipConfig,
+    options: SweepOptions,
+    tracer: Tracer,
+) -> (LoadPoint, Box<dyn netcore::Network>) {
+    net.set_tracer(tracer.clone());
     let peak = config.site_bandwidth_bytes_per_ns();
     let mut traffic = OpenLoopTraffic::new(
         &config.grid,
@@ -87,13 +107,14 @@ pub fn run_load_point_on(
     );
     let horizon = Time::ZERO + options.sim;
     traffic.set_horizon(horizon);
-    let outcome = drive(
+    let outcome = drive_traced(
         net.as_mut(),
         &mut traffic,
         DriveLimits {
             deadline: horizon + options.drain,
             max_stalled: options.max_stalled,
         },
+        tracer,
     );
     let stats = net.stats();
     let delivered_rate = stats.delivered_bytes_per_ns() / config.grid.sites() as f64;
@@ -102,13 +123,14 @@ pub fn run_load_point_on(
     let offered_rate = offered * peak;
     let undelivered = traffic.emitted() > 0
         && (stats.delivered_packets() as f64) < 0.85 * traffic.emitted() as f64;
-    LoadPoint {
+    let point = LoadPoint {
         offered,
         mean_latency_ns: stats.mean_latency().as_ns_f64(),
         p99_latency_ns: stats.latency().percentile(0.99).as_ns_f64(),
         delivered_bytes_per_ns_per_site: delivered_rate.min(offered_rate),
         saturated: outcome.saturated || outcome.timed_out || undelivered,
-    }
+    };
+    (point, net)
 }
 
 /// Runs a whole latency-load curve over `loads`.

@@ -11,7 +11,10 @@
 //! * [`SimRng`] — a seeded random-number wrapper so every run is
 //!   reproducible;
 //! * [`stats`] — counters, running means, log-scale latency histograms and
-//!   time-weighted averages used by every higher-level crate.
+//!   time-weighted averages used by every higher-level crate;
+//! * [`trace`] — the flight recorder: structured [`TraceEvent`]s, pluggable
+//!   [`TraceSink`]s and a Chrome-trace/Perfetto exporter, all behind a
+//!   [`Tracer`] handle that costs one branch when disabled.
 //!
 //! # Example
 //!
@@ -29,7 +32,9 @@ mod queue;
 mod rng;
 pub mod stats;
 mod time;
+pub mod trace;
 
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{Span, Time};
+pub use trace::{TraceEvent, TraceSink, Tracer};

@@ -244,6 +244,18 @@ impl LatencyHistogram {
         self.max()
     }
 
+    /// The 95th-percentile latency; see [`LatencyHistogram::percentile`]
+    /// for bucket semantics.
+    pub fn p95(&self) -> Span {
+        self.percentile(0.95)
+    }
+
+    /// The 99th-percentile latency; see [`LatencyHistogram::percentile`]
+    /// for bucket semantics.
+    pub fn p99(&self) -> Span {
+        self.percentile(0.99)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -291,7 +303,19 @@ impl TimeWeighted {
     }
 
     /// Updates the tracked value at time `now`.
+    ///
+    /// `now` must not precede the previous update: time-weighted averaging
+    /// is only meaningful over a monotone clock. Debug builds assert this
+    /// so a mis-instrumented call site fails loudly; release builds
+    /// saturate — an out-of-order update contributes zero weight for the
+    /// elapsed interval and the tracker's clock stays at its high-water
+    /// mark.
     pub fn set(&mut self, now: Time, value: f64) {
+        debug_assert!(
+            now >= self.last_time,
+            "TimeWeighted::set given out-of-order time: {now} < {}",
+            self.last_time
+        );
         let dt = now.saturating_since(self.last_time).as_ns_f64();
         self.integral += self.value * dt;
         self.last_time = now.max(self.last_time);
@@ -430,5 +454,25 @@ mod tests {
     fn empty_histogram_percentile_is_zero() {
         let h = LatencyHistogram::new();
         assert_eq!(h.percentile(0.9), Span::ZERO);
+    }
+
+    #[test]
+    fn tail_percentile_shorthands_match_percentile() {
+        let mut h = LatencyHistogram::new();
+        for ns in 1..=1000u64 {
+            h.record(Span::from_ns(ns));
+        }
+        assert_eq!(h.p95(), h.percentile(0.95));
+        assert_eq!(h.p99(), h.percentile(0.99));
+        assert!(h.p95() <= h.p99());
+        assert!(h.p99().as_ns_f64() >= 990.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out-of-order time")]
+    fn time_weighted_rejects_backward_time_in_debug() {
+        let mut tw = TimeWeighted::new(Time::from_ns(10), 1.0);
+        tw.set(Time::from_ns(5), 2.0);
     }
 }

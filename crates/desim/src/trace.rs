@@ -1,0 +1,709 @@
+//! Structured event tracing — the simulator's flight recorder.
+//!
+//! Every layer of the stack (runner, networks, coherence engine) carries a
+//! [`Tracer`] handle and emits [`TraceEvent`]s at the points where packets
+//! change state: injection, stalls and retries, arbitration, token and
+//! circuit ownership, per-hop forwarding, delivery, and coherence-protocol
+//! state transitions.
+//!
+//! The design goal is **zero cost when disabled**: a disabled [`Tracer`]
+//! holds no sink, [`Tracer::emit`] is one branch on an `Option`, and the
+//! event-construction closure is never evaluated. Enabled tracers write to
+//! a [`TraceSink`]; the bundled [`RingSink`] keeps a bounded in-memory
+//! window of the most recent events, and [`chrome_trace_json`] exports
+//! recorded events as Chrome-trace-event JSON loadable at
+//! `ui.perfetto.dev`.
+//!
+//! # Example
+//!
+//! ```
+//! use desim::trace::{RingSink, TraceEvent, Tracer};
+//! use desim::Time;
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//!
+//! let sink = Rc::new(RefCell::new(RingSink::new(1024)));
+//! let tracer = Tracer::shared(&sink);
+//! tracer.emit(Time::from_ns(5), || TraceEvent::Inject {
+//!     packet: 0,
+//!     src: 1,
+//!     dst: 2,
+//!     bytes: 64,
+//! });
+//! assert_eq!(sink.borrow().len(), 1);
+//! ```
+
+use crate::{Span, Time};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// One observable state change in the simulator.
+///
+/// Ids are raw integers rather than the typed ids of higher crates so that
+/// `desim` stays dependency-free: `packet` is a `PacketId`'s inner value,
+/// `src`/`dst`/`site` are site indices, `op` is a coherence-op id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A packet entered the network.
+    Inject {
+        packet: u64,
+        src: usize,
+        dst: usize,
+        bytes: u32,
+    },
+    /// The network refused a packet (backpressure); the driver holds it.
+    Stall { packet: u64, site: usize },
+    /// A previously stalled packet was accepted on re-offer.
+    Retry { packet: u64, site: usize },
+    /// A packet posted an arbitration request for a shared channel.
+    ArbRequest { packet: u64, site: usize },
+    /// Arbitration granted the channel; `wasted_slots` counts the slots
+    /// lost to conflicts before this grant.
+    ArbGrant {
+        packet: u64,
+        site: usize,
+        wasted_slots: u32,
+    },
+    /// A site captured the token for a destination's ring channel.
+    TokenAcquire { dst: usize, holder: usize },
+    /// The token moved on after the holder's burst.
+    TokenRelease { dst: usize, holder: usize },
+    /// A switched path finished setup end-to-end.
+    CircuitSetup {
+        circuit: u64,
+        src: usize,
+        dst: usize,
+    },
+    /// A switched path was torn down after carrying `packets` packets.
+    CircuitTeardown { circuit: u64, packets: u32 },
+    /// A packet was forwarded through an intermediate site.
+    Hop { packet: u64, at: usize },
+    /// A packet reached its destination; `latency` is end-to-end.
+    Deliver {
+        packet: u64,
+        src: usize,
+        dst: usize,
+        latency: Span,
+    },
+    /// A coherence-protocol state transition (e.g. `"S->M"`) for `op` at
+    /// `site`.
+    Coherence {
+        op: u64,
+        site: usize,
+        transition: &'static str,
+    },
+}
+
+impl TraceEvent {
+    /// Stable event name used in exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Inject { .. } => "inject",
+            TraceEvent::Stall { .. } => "stall",
+            TraceEvent::Retry { .. } => "retry",
+            TraceEvent::ArbRequest { .. } => "arb-request",
+            TraceEvent::ArbGrant { .. } => "arb-grant",
+            TraceEvent::TokenAcquire { .. } => "token-acquire",
+            TraceEvent::TokenRelease { .. } => "token-release",
+            TraceEvent::CircuitSetup { .. } => "circuit-setup",
+            TraceEvent::CircuitTeardown { .. } => "circuit-teardown",
+            TraceEvent::Hop { .. } => "hop",
+            TraceEvent::Deliver { .. } => "deliver",
+            TraceEvent::Coherence { .. } => "coherence",
+        }
+    }
+
+    /// The site index used as the export's thread lane, so Perfetto groups
+    /// events by where they happened.
+    fn lane(&self) -> usize {
+        match *self {
+            TraceEvent::Inject { src, .. } => src,
+            TraceEvent::Stall { site, .. } => site,
+            TraceEvent::Retry { site, .. } => site,
+            TraceEvent::ArbRequest { site, .. } => site,
+            TraceEvent::ArbGrant { site, .. } => site,
+            TraceEvent::TokenAcquire { holder, .. } => holder,
+            TraceEvent::TokenRelease { holder, .. } => holder,
+            TraceEvent::CircuitSetup { src, .. } => src,
+            TraceEvent::CircuitTeardown { .. } => 0,
+            TraceEvent::Hop { at, .. } => at,
+            TraceEvent::Deliver { dst, .. } => dst,
+            TraceEvent::Coherence { site, .. } => site,
+        }
+    }
+
+    /// Writes the Chrome-trace `args` object for this event.
+    fn write_args(&self, out: &mut String) {
+        match *self {
+            TraceEvent::Inject {
+                packet,
+                src,
+                dst,
+                bytes,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"packet\":{packet},\"src\":{src},\"dst\":{dst},\"bytes\":{bytes}}}"
+                );
+            }
+            TraceEvent::Stall { packet, site } | TraceEvent::Retry { packet, site } => {
+                let _ = write!(out, "{{\"packet\":{packet},\"site\":{site}}}");
+            }
+            TraceEvent::ArbRequest { packet, site } => {
+                let _ = write!(out, "{{\"packet\":{packet},\"site\":{site}}}");
+            }
+            TraceEvent::ArbGrant {
+                packet,
+                site,
+                wasted_slots,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"packet\":{packet},\"site\":{site},\"wasted_slots\":{wasted_slots}}}"
+                );
+            }
+            TraceEvent::TokenAcquire { dst, holder } | TraceEvent::TokenRelease { dst, holder } => {
+                let _ = write!(out, "{{\"dst\":{dst},\"holder\":{holder}}}");
+            }
+            TraceEvent::CircuitSetup { circuit, src, dst } => {
+                let _ = write!(out, "{{\"circuit\":{circuit},\"src\":{src},\"dst\":{dst}}}");
+            }
+            TraceEvent::CircuitTeardown { circuit, packets } => {
+                let _ = write!(out, "{{\"circuit\":{circuit},\"packets\":{packets}}}");
+            }
+            TraceEvent::Hop { packet, at } => {
+                let _ = write!(out, "{{\"packet\":{packet},\"at\":{at}}}");
+            }
+            TraceEvent::Deliver {
+                packet,
+                src,
+                dst,
+                latency,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"packet\":{packet},\"src\":{src},\"dst\":{dst},\"latency_ns\":{}}}",
+                    latency.as_ns_f64()
+                );
+            }
+            TraceEvent::Coherence {
+                op,
+                site,
+                transition,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"op\":{op},\"site\":{site},\"transition\":\"{}\"}}",
+                    escape_json(transition)
+                );
+            }
+        }
+    }
+}
+
+/// Receives timestamped events from a [`Tracer`].
+pub trait TraceSink {
+    fn record(&mut self, at: Time, event: TraceEvent);
+}
+
+/// A sink that discards everything; useful as an explicit placeholder where
+/// an API requires a sink value (a disabled [`Tracer`] needs no sink at
+/// all).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NopSink;
+
+impl TraceSink for NopSink {
+    fn record(&mut self, _at: Time, _event: TraceEvent) {}
+}
+
+/// A bounded in-memory ring buffer of the most recent events.
+///
+/// When the buffer is full the **oldest** event is dropped, so a
+/// long-running simulation keeps the trailing window — the part that shows
+/// why it ended up in its final state. Dropped events are counted.
+#[derive(Debug)]
+pub struct RingSink {
+    events: VecDeque<(Time, TraceEvent)>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> RingSink {
+        assert!(capacity > 0, "RingSink capacity must be positive");
+        RingSink {
+            events: VecDeque::with_capacity(capacity.min(1 << 16)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events discarded because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(Time, TraceEvent)> {
+        self.events.iter()
+    }
+
+    /// Copies the buffered events out, oldest first.
+    pub fn snapshot(&self) -> Vec<(Time, TraceEvent)> {
+        self.events.iter().copied().collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, at: Time, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back((at, event));
+    }
+}
+
+/// A cheap, cloneable handle to an optional [`TraceSink`].
+///
+/// Cloning shares the sink, so the runner, a network and a coherence engine
+/// can all write into one recording. The default handle is disabled:
+/// [`Tracer::emit`] then reduces to a single `Option` branch and the event
+/// closure is never evaluated, which keeps instrumented hot paths at their
+/// un-instrumented cost.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    sink: Option<Rc<RefCell<dyn TraceSink>>>,
+}
+
+impl Tracer {
+    /// A handle that records nothing.
+    pub fn disabled() -> Tracer {
+        Tracer { sink: None }
+    }
+
+    /// A handle owning a fresh sink.
+    pub fn new<S: TraceSink + 'static>(sink: S) -> Tracer {
+        Tracer {
+            sink: Some(Rc::new(RefCell::new(sink))),
+        }
+    }
+
+    /// A handle sharing `sink`; the caller keeps its `Rc` to read the
+    /// recording back after the run.
+    pub fn shared<S: TraceSink + 'static>(sink: &Rc<RefCell<S>>) -> Tracer {
+        Tracer {
+            sink: Some(Rc::clone(sink) as Rc<RefCell<dyn TraceSink>>),
+        }
+    }
+
+    /// True if events will be recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records the event produced by `event` at simulation time `at`.
+    ///
+    /// The closure is only evaluated when the tracer is enabled, so callers
+    /// may compute event fields inside it without cost in the disabled
+    /// case.
+    #[inline]
+    pub fn emit(&self, at: Time, event: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().record(at, event());
+        }
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+/// Minimal JSON string escaping for the hand-rolled exporters.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Exports recorded events as Chrome-trace-event JSON (the "JSON array
+/// format"), loadable at `ui.perfetto.dev` or `chrome://tracing`.
+///
+/// Each `(name, events)` section becomes its own process (`pid`), labelled
+/// with a `process_name` metadata record, so a sweep can pack one section
+/// per load point into a single file. Within a section, events land on the
+/// thread lane (`tid`) of the site where they happened. Deliveries are
+/// emitted as complete (`"ph":"X"`) spans covering the packet's lifetime;
+/// everything else is an instant (`"ph":"i"`).
+///
+/// Timestamps are microseconds of simulation time, as the format requires.
+pub fn chrome_trace_json(sections: &[(String, Vec<(Time, TraceEvent)>)]) -> String {
+    let mut out = String::new();
+    out.push('[');
+    let mut first = true;
+    let mut push_record = |out: &mut String, record: String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(&record);
+    };
+    for (index, (name, events)) in sections.iter().enumerate() {
+        let pid = index + 1;
+        push_record(
+            &mut out,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape_json(name)
+            ),
+        );
+        for &(at, event) in events {
+            let mut record = String::with_capacity(128);
+            let tid = event.lane();
+            match event {
+                TraceEvent::Deliver { latency, .. } => {
+                    // A complete event spanning the packet's in-flight time.
+                    let start = at - latency;
+                    let _ = write!(
+                        record,
+                        "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{tid},\"args\":",
+                        event.name(),
+                        start.as_us_f64(),
+                        latency.as_ns_f64() / 1_000.0,
+                    );
+                }
+                _ => {
+                    let _ = write!(
+                        record,
+                        "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{pid},\"tid\":{tid},\"args\":",
+                        event.name(),
+                        at.as_us_f64(),
+                    );
+                }
+            }
+            event.write_args(&mut record);
+            record.push('}');
+            push_record(&mut out, record);
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Validates that `s` is syntactically well-formed JSON.
+///
+/// The workspace hand-rolls all its JSON writers (there is no serde in the
+/// dependency closure), so exporters and tests use this tiny
+/// recursive-descent checker to guard against malformed output.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    struct P<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+    impl P<'_> {
+        fn ws(&mut self) {
+            while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+        fn peek(&self) -> Option<u8> {
+            self.b.get(self.i).copied()
+        }
+        fn eat(&mut self, c: u8) -> Result<(), String> {
+            if self.peek() == Some(c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!(
+                    "expected '{}' at byte {}, found {:?}",
+                    c as char,
+                    self.i,
+                    self.peek().map(|b| b as char)
+                ))
+            }
+        }
+        fn value(&mut self) -> Result<(), String> {
+            self.ws();
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => self.string(),
+                Some(b't') => self.literal("true"),
+                Some(b'f') => self.literal("false"),
+                Some(b'n') => self.literal("null"),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                other => Err(format!("unexpected {other:?} at byte {}", self.i)),
+            }
+        }
+        fn literal(&mut self, lit: &str) -> Result<(), String> {
+            if self.b[self.i..].starts_with(lit.as_bytes()) {
+                self.i += lit.len();
+                Ok(())
+            } else {
+                Err(format!("bad literal at byte {}", self.i))
+            }
+        }
+        fn number(&mut self) -> Result<(), String> {
+            let start = self.i;
+            if self.peek() == Some(b'-') {
+                self.i += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+            }
+            if self.peek() == Some(b'.') {
+                self.i += 1;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.i += 1;
+                }
+            }
+            if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+                self.i += 1;
+                if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                    self.i += 1;
+                }
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.i += 1;
+                }
+            }
+            if self.i == start {
+                Err(format!("empty number at byte {start}"))
+            } else {
+                Ok(())
+            }
+        }
+        fn string(&mut self) -> Result<(), String> {
+            self.eat(b'"')?;
+            while let Some(c) = self.peek() {
+                self.i += 1;
+                match c {
+                    b'"' => return Ok(()),
+                    b'\\' => {
+                        self.i += 1; // skip the escaped character
+                    }
+                    _ => {}
+                }
+            }
+            Err("unterminated string".into())
+        }
+        fn object(&mut self) -> Result<(), String> {
+            self.eat(b'{')?;
+            self.ws();
+            if self.peek() == Some(b'}') {
+                self.i += 1;
+                return Ok(());
+            }
+            loop {
+                self.ws();
+                self.string()?;
+                self.ws();
+                self.eat(b':')?;
+                self.value()?;
+                self.ws();
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("bad object separator {other:?}")),
+                }
+            }
+        }
+        fn array(&mut self) -> Result<(), String> {
+            self.eat(b'[')?;
+            self.ws();
+            if self.peek() == Some(b']') {
+                self.i += 1;
+                return Ok(());
+            }
+            loop {
+                self.value()?;
+                self.ws();
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b']') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("bad array separator {other:?}")),
+                }
+            }
+        }
+    }
+    let mut p = P {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing bytes at {}", p.i));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(packet: u64) -> TraceEvent {
+        TraceEvent::Inject {
+            packet,
+            src: 0,
+            dst: 1,
+            bytes: 64,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_never_evaluates_the_closure() {
+        let tracer = Tracer::disabled();
+        let mut evaluated = false;
+        tracer.emit(Time::ZERO, || {
+            evaluated = true;
+            ev(0)
+        });
+        assert!(!evaluated);
+        assert!(!tracer.is_enabled());
+    }
+
+    #[test]
+    fn shared_tracer_records_into_the_callers_sink() {
+        let sink = Rc::new(RefCell::new(RingSink::new(8)));
+        let tracer = Tracer::shared(&sink);
+        let clone = tracer.clone();
+        tracer.emit(Time::from_ns(1), || ev(0));
+        clone.emit(Time::from_ns(2), || ev(1));
+        let events = sink.borrow().snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].0, Time::from_ns(1));
+        assert_eq!(events[1].1, ev(1));
+    }
+
+    #[test]
+    fn ring_sink_drops_oldest_when_full() {
+        let mut ring = RingSink::new(3);
+        for i in 0..5u64 {
+            ring.record(Time::from_ns(i), ev(i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let kept: Vec<u64> = ring
+            .events()
+            .map(|&(_, e)| match e {
+                TraceEvent::Inject { packet, .. } => packet,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_required_fields() {
+        let events = vec![
+            (Time::from_ns(0), ev(0)),
+            (
+                Time::from_ns(5),
+                TraceEvent::ArbGrant {
+                    packet: 0,
+                    site: 0,
+                    wasted_slots: 2,
+                },
+            ),
+            (
+                Time::from_ns(20),
+                TraceEvent::Deliver {
+                    packet: 0,
+                    src: 0,
+                    dst: 1,
+                    latency: Span::from_ns(20),
+                },
+            ),
+            (
+                Time::from_ns(21),
+                TraceEvent::Coherence {
+                    op: 7,
+                    site: 1,
+                    transition: "I->M",
+                },
+            ),
+        ];
+        let json = chrome_trace_json(&[("two-phase @ 10%".to_string(), events)]);
+        validate_json(&json).expect("exporter must emit well-formed JSON");
+        assert!(json.trim_start().starts_with('['));
+        for field in [
+            "\"ph\":\"X\"",
+            "\"ph\":\"i\"",
+            "\"ts\":",
+            "\"dur\":",
+            "\"name\":\"deliver\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        // The deliver span starts at delivery minus latency.
+        assert!(json.contains("\"ts\":0,\"dur\":0.02"));
+    }
+
+    #[test]
+    fn chrome_export_separates_sections_by_pid() {
+        let a = vec![(Time::ZERO, ev(0))];
+        let b = vec![(Time::ZERO, ev(1))];
+        let json = chrome_trace_json(&[("a".to_string(), a), ("b".to_string(), b)]);
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"pid\":2"));
+        assert_eq!(json.matches("process_name").count(), 2);
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        assert!(validate_json("{\"a\": [1, 2.5, -3e4, true, null, \"x\\\"y\"]}").is_ok());
+        assert!(validate_json("[1, 2,]").is_err());
+        assert!(validate_json("{\"a\": }").is_err());
+        assert!(validate_json("[1] trailing").is_err());
+    }
+
+    #[test]
+    fn event_names_are_stable() {
+        assert_eq!(ev(0).name(), "inject");
+        assert_eq!(
+            TraceEvent::TokenAcquire { dst: 0, holder: 1 }.name(),
+            "token-acquire"
+        );
+    }
+}

@@ -82,6 +82,33 @@ proptest! {
         prop_assert!(p100 >= Span::from_ns(max) || p100.as_ns_f64() >= max as f64);
     }
 
+    /// A merged histogram's percentiles bracket the single-stream
+    /// percentiles: the merged distribution is a mixture of the two
+    /// components, so for any quantile q its value lies between the
+    /// components' values at q.
+    #[test]
+    fn merged_histogram_percentiles_bracket_components(
+        a in proptest::collection::vec(1u64..1_000_000, 1..200),
+        b in proptest::collection::vec(1u64..1_000_000, 1..200)
+    ) {
+        let (mut ha, mut hb) = (LatencyHistogram::new(), LatencyHistogram::new());
+        for &s in &a {
+            ha.record(Span::from_ns(s));
+        }
+        for &s in &b {
+            hb.record(Span::from_ns(s));
+        }
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        for q in [0.25, 0.5, 0.75, 0.95, 0.99, 1.0] {
+            let (pa, pb, pm) = (ha.percentile(q), hb.percentile(q), merged.percentile(q));
+            prop_assert!(pa.min(pb) <= pm, "q={q}: merged {pm} below both {pa}, {pb}");
+            prop_assert!(pm <= pa.max(pb), "q={q}: merged {pm} above both {pa}, {pb}");
+        }
+        prop_assert_eq!(merged.p95(), merged.percentile(0.95));
+        prop_assert_eq!(merged.p99(), merged.percentile(0.99));
+    }
+
     /// The running mean matches a direct computation and merging two
     /// halves matches the whole.
     #[test]

@@ -8,7 +8,10 @@
 //! * [`TxChannel`] — a serializing optical channel with a bounded queue;
 //! * [`Network`] — the trait every architecture implements, so the
 //!   experiment harness can drive them interchangeably;
-//! * [`NetStats`] — injection/delivery/latency accounting.
+//! * [`NetStats`] — injection/delivery/latency accounting, including the
+//!   per-phase latency breakdown ([`Phase`]);
+//! * [`metrics`] — the unified [`MetricsRegistry`] with deterministic
+//!   JSON/CSV snapshots.
 //!
 //! # Example
 //!
@@ -23,16 +26,18 @@
 
 mod channel;
 mod config;
+pub mod metrics;
 mod network;
 mod packet;
 mod site;
-mod stats;
+pub mod stats;
 mod traffic;
 
 pub use channel::TxChannel;
 pub use config::MacrochipConfig;
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use network::{Network, NetworkKind};
 pub use packet::{MessageKind, Packet, PacketId};
 pub use site::{Grid, SiteId};
-pub use stats::NetStats;
+pub use stats::{NetStats, Phase};
 pub use traffic::PacketSource;

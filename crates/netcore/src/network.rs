@@ -1,7 +1,7 @@
 //! The `Network` trait implemented by all five architectures.
 
 use crate::{MacrochipConfig, NetStats, Packet};
-use desim::Time;
+use desim::{Time, Tracer};
 use photonics::inventory::NetworkId;
 use std::fmt;
 
@@ -112,6 +112,13 @@ pub trait Network {
 
     /// Aggregate statistics collected so far.
     fn stats(&self) -> &NetStats;
+
+    /// Attaches a flight-recorder handle; subsequent activity emits
+    /// [`desim::TraceEvent`]s into it. The default implementation ignores
+    /// the tracer, so architectures opt in individually.
+    fn set_tracer(&mut self, tracer: Tracer) {
+        let _ = tracer;
+    }
 }
 
 #[cfg(test)]

@@ -73,6 +73,14 @@ pub struct Packet {
     /// the network): everything before this is queueing/arbitration/setup
     /// wait, everything after is wire time.
     pub tx_start: Option<Time>,
+    /// When the packet began contending for the medium (arbitration
+    /// request posted, token awaited, path setup started). Networks with
+    /// no arbitration set this equal to `tx_start`, making the
+    /// arbitration-wait phase zero.
+    pub arb_start: Option<Time>,
+    /// When the final serialization finished; the remainder until
+    /// `delivered` is pure propagation (time of flight).
+    pub tx_end: Option<Time>,
     /// Bytes that crossed an electronic router on the way (limited
     /// point-to-point forwarding); drives router energy accounting.
     pub routed_bytes: u32,
@@ -99,6 +107,8 @@ impl Packet {
             created,
             delivered: None,
             tx_start: None,
+            arb_start: None,
+            tx_end: None,
             routed_bytes: 0,
             op: None,
         }
@@ -133,6 +143,39 @@ impl Packet {
     /// True once the network has handed the packet to its destination.
     pub fn is_delivered(&self) -> bool {
         self.delivered.is_some()
+    }
+
+    /// Phase 1 of the latency breakdown: time queued at the source before
+    /// the packet began contending for the medium, if instrumented.
+    pub fn queueing_time(&self) -> Option<Span> {
+        self.arb_start.map(|a| a.saturating_since(self.created))
+    }
+
+    /// Phase 2: time between first contending for the medium and the final
+    /// transmission starting (arbitration pipeline, token wait, circuit
+    /// setup), if instrumented.
+    pub fn arb_wait_time(&self) -> Option<Span> {
+        match (self.arb_start, self.tx_start) {
+            (Some(a), Some(t)) => Some(t.saturating_since(a)),
+            _ => None,
+        }
+    }
+
+    /// Phase 3: time putting bits on the wire, if instrumented.
+    pub fn serialization_time(&self) -> Option<Span> {
+        match (self.tx_start, self.tx_end) {
+            (Some(t), Some(e)) => Some(e.saturating_since(t)),
+            _ => None,
+        }
+    }
+
+    /// Phase 4: time of flight from the last bit leaving the source to the
+    /// delivery instant, if instrumented and delivered.
+    pub fn propagation_time(&self) -> Option<Span> {
+        match (self.tx_end, self.delivered) {
+            (Some(e), Some(d)) => Some(d.saturating_since(e)),
+            _ => None,
+        }
     }
 }
 
@@ -192,5 +235,32 @@ mod tests {
     fn op_attachment() {
         let p = packet().with_op(42);
         assert_eq!(p.op, Some(42));
+    }
+
+    #[test]
+    fn phase_breakdown_sums_to_latency() {
+        let mut p = packet(); // created at 100 ns
+        p.arb_start = Some(Time::from_ns(104));
+        p.tx_start = Some(Time::from_ns(112));
+        p.tx_end = Some(Time::from_ns(125));
+        p.delivered = Some(Time::from_ns(130));
+        assert_eq!(p.queueing_time(), Some(Span::from_ns(4)));
+        assert_eq!(p.arb_wait_time(), Some(Span::from_ns(8)));
+        assert_eq!(p.serialization_time(), Some(Span::from_ns(13)));
+        assert_eq!(p.propagation_time(), Some(Span::from_ns(5)));
+        let sum = p.queueing_time().unwrap()
+            + p.arb_wait_time().unwrap()
+            + p.serialization_time().unwrap()
+            + p.propagation_time().unwrap();
+        assert_eq!(Some(sum), p.latency());
+    }
+
+    #[test]
+    fn phases_require_instrumentation() {
+        let p = packet();
+        assert_eq!(p.queueing_time(), None);
+        assert_eq!(p.arb_wait_time(), None);
+        assert_eq!(p.serialization_time(), None);
+        assert_eq!(p.propagation_time(), None);
     }
 }

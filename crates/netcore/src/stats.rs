@@ -4,6 +4,39 @@ use crate::{MessageKind, Packet};
 use desim::stats::{Counter, LatencyHistogram, Mean};
 use desim::{Span, Time};
 
+/// One phase of the end-to-end latency breakdown (paper Fig. 6 decomposed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Queued at the source before contending for the medium.
+    Queueing,
+    /// Waiting on arbitration / token / circuit setup.
+    ArbWait,
+    /// Putting bits on the wire.
+    Serialization,
+    /// Time of flight to the destination.
+    Propagation,
+}
+
+impl Phase {
+    /// All phases, in temporal order.
+    pub const ALL: [Phase; 4] = [
+        Phase::Queueing,
+        Phase::ArbWait,
+        Phase::Serialization,
+        Phase::Propagation,
+    ];
+
+    /// Stable name used in metrics snapshots and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Queueing => "queueing",
+            Phase::ArbWait => "arb_wait",
+            Phase::Serialization => "serialization",
+            Phase::Propagation => "propagation",
+        }
+    }
+}
+
 /// Aggregate statistics of one network simulation.
 ///
 /// Every architecture records the same measures so experiments can compare
@@ -29,6 +62,9 @@ pub struct NetStats {
     latency: LatencyHistogram,
     data_latency: LatencyHistogram,
     control_latency: LatencyHistogram,
+    /// Per-phase latency histograms, indexed like [`Phase::ALL`]; filled
+    /// only for packets whose network stamped the phase boundaries.
+    phase_latency: [LatencyHistogram; 4],
     per_source: Vec<Mean>,
     first_delivery: Option<Time>,
     last_delivery: Option<Time>,
@@ -47,6 +83,12 @@ impl NetStats {
             latency: LatencyHistogram::new(),
             data_latency: LatencyHistogram::new(),
             control_latency: LatencyHistogram::new(),
+            phase_latency: [
+                LatencyHistogram::new(),
+                LatencyHistogram::new(),
+                LatencyHistogram::new(),
+                LatencyHistogram::new(),
+            ],
             per_source: Vec::new(),
             first_delivery: None,
             last_delivery: None,
@@ -80,6 +122,17 @@ impl NetStats {
             self.data_latency.record(lat);
         } else {
             self.control_latency.record(lat);
+        }
+        let phases = [
+            packet.queueing_time(),
+            packet.arb_wait_time(),
+            packet.serialization_time(),
+            packet.propagation_time(),
+        ];
+        for (hist, span) in self.phase_latency.iter_mut().zip(phases) {
+            if let Some(span) = span {
+                hist.record(span);
+            }
         }
         let src = packet.src.index();
         if self.per_source.len() <= src {
@@ -147,6 +200,27 @@ impl NetStats {
         &self.control_latency
     }
 
+    /// Latency histogram of one phase of the end-to-end breakdown.
+    ///
+    /// Phases are recorded per delivered packet when the network stamped
+    /// the corresponding boundaries, so a phase's count can be lower than
+    /// `delivered_packets()` on partially instrumented paths.
+    pub fn phase_latency(&self, phase: Phase) -> &LatencyHistogram {
+        let idx = Phase::ALL.iter().position(|&p| p == phase).unwrap();
+        &self.phase_latency[idx]
+    }
+
+    /// Mean duration of each phase in ns, in [`Phase::ALL`] order; a
+    /// compact per-phase breakdown for reports.
+    pub fn phase_breakdown_ns(&self) -> [f64; 4] {
+        [
+            self.phase_latency[0].mean().as_ns_f64(),
+            self.phase_latency[1].mean().as_ns_f64(),
+            self.phase_latency[2].mean().as_ns_f64(),
+            self.phase_latency[3].mean().as_ns_f64(),
+        ]
+    }
+
     /// Mean latency observed by each source site (index = site index).
     /// Sites that delivered nothing report zero.
     pub fn per_source_mean_latency_ns(&self) -> Vec<f64> {
@@ -181,6 +255,23 @@ impl NetStats {
             }
             _ => 0.0,
         }
+    }
+
+    /// Delivered throughput in GB/s over the `first_delivery` →
+    /// `last_delivery` window (1 byte/ns = 1 GB/s in the decimal units the
+    /// paper uses), or zero before two deliveries have happened.
+    pub fn throughput_gbps(&self) -> f64 {
+        self.delivered_bytes_per_ns()
+    }
+
+    /// Instant of the first delivery, if any.
+    pub fn first_delivery(&self) -> Option<Time> {
+        self.first_delivery
+    }
+
+    /// Instant of the most recent delivery, if any.
+    pub fn last_delivery(&self) -> Option<Time> {
+        self.last_delivery
     }
 }
 
@@ -300,5 +391,41 @@ mod tests {
         p.routed_bytes = 64;
         s.on_deliver(&p);
         assert_eq!(s.routed_bytes(), 64);
+    }
+
+    #[test]
+    fn phase_histograms_fill_from_stamped_packets() {
+        let mut s = NetStats::new();
+        let mut p = delivered_packet(0, 30, MessageKind::Data);
+        p.arb_start = Some(Time::from_ns(2));
+        p.tx_start = Some(Time::from_ns(10));
+        p.tx_end = Some(Time::from_ns(23));
+        s.on_deliver(&p);
+        // An unstamped packet contributes to e2e latency but no phases.
+        s.on_deliver(&delivered_packet(0, 10, MessageKind::Data));
+        assert_eq!(s.phase_latency(Phase::Queueing).count(), 1);
+        assert_eq!(s.phase_latency(Phase::ArbWait).count(), 1);
+        assert_eq!(s.phase_latency(Phase::Serialization).count(), 1);
+        assert_eq!(s.phase_latency(Phase::Propagation).count(), 1);
+        assert_eq!(s.phase_latency(Phase::Queueing).mean(), Span::from_ns(2));
+        assert_eq!(s.phase_latency(Phase::ArbWait).mean(), Span::from_ns(8));
+        assert_eq!(
+            s.phase_latency(Phase::Serialization).mean(),
+            Span::from_ns(13)
+        );
+        assert_eq!(s.phase_latency(Phase::Propagation).mean(), Span::from_ns(7));
+        let breakdown = s.phase_breakdown_ns();
+        assert_eq!(breakdown, [2.0, 8.0, 13.0, 7.0]);
+    }
+
+    #[test]
+    fn throughput_gbps_matches_bytes_per_ns() {
+        let mut s = NetStats::new();
+        s.on_deliver(&delivered_packet(0, 0, MessageKind::Data));
+        s.on_deliver(&delivered_packet(0, 64, MessageKind::Data));
+        assert_eq!(s.throughput_gbps(), s.delivered_bytes_per_ns());
+        assert!((s.throughput_gbps() - 2.0).abs() < 1e-12);
+        assert_eq!(s.first_delivery(), Some(Time::ZERO));
+        assert_eq!(s.last_delivery(), Some(Time::from_ns(64)));
     }
 }

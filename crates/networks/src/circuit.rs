@@ -16,7 +16,7 @@
 //! (§6.1). Gateways sustain a small number of concurrent circuits
 //! ([`MAX_CIRCUITS_PER_GATEWAY`]).
 
-use desim::{EventQueue, Span, Time};
+use desim::{EventQueue, Span, Time, TraceEvent, Tracer};
 use netcore::{
     MacrochipConfig, MessageKind, NetStats, Network, NetworkKind, Packet, PacketId, SiteId,
     TxChannel,
@@ -100,6 +100,7 @@ pub struct CircuitSwitchedNetwork {
     events: EventQueue<Ev>,
     delivered: Vec<Packet>,
     stats: NetStats,
+    tracer: Tracer,
 }
 
 const DIR_XP: usize = 0;
@@ -159,6 +160,7 @@ impl CircuitSwitchedNetwork {
             events: EventQueue::new(),
             delivered: Vec::new(),
             stats: NetStats::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -257,10 +259,13 @@ impl CircuitSwitchedNetwork {
     /// Starts new circuits from `src` while the gateway has capacity.
     fn try_start(&mut self, src: SiteId, now: Time) {
         while self.out_active[src.index()] < self.gateway_limit {
-            let Some(packet) = self.src_wait[src.index()].pop_front() else {
+            let Some(mut packet) = self.src_wait[src.index()].pop_front() else {
                 return;
             };
             let dst = packet.dst;
+            // Leaving the gateway queue starts the setup handshake: the
+            // circuit's setup round trip is this network's arbitration.
+            packet.arb_start = Some(now);
             let mut packets = vec![packet];
             // Batch further queued packets for the same destination onto
             // this circuit (no effect at the paper's batch limit of 1).
@@ -269,7 +274,9 @@ impl CircuitSwitchedNetwork {
                 let mut i = 0;
                 while i < queue.len() && packets.len() < self.batch_limit {
                     if queue[i].dst == dst {
-                        packets.push(queue.remove(i).expect("index checked"));
+                        let mut extra = queue.remove(i).expect("index checked");
+                        extra.arb_start = Some(now);
+                        packets.push(extra);
                     } else {
                         i += 1;
                     }
@@ -304,6 +311,10 @@ impl CircuitSwitchedNetwork {
                 self.dst_wait[dst.index()].push_back(circuit);
             }
         } else {
+            self.tracer.emit(now, || TraceEvent::Hop {
+                packet: circuit,
+                at: at.index(),
+            });
             self.forward_setup(circuit, at, now);
         }
     }
@@ -318,14 +329,20 @@ impl CircuitSwitchedNetwork {
 
     fn on_ack(&mut self, circuit: u64, now: Time) {
         let c = self.circuits.get_mut(&circuit).expect("live circuit");
-        for p in &mut c.packets {
-            p.tx_start = Some(now);
-        }
-        let c = &self.circuits[&circuit];
         let bytes: u32 = c.packets.iter().map(|p| p.bytes).sum();
         let bw = self.config.channel_bytes_per_ns(LAMBDAS_PER_CIRCUIT);
         let ser = Span::from_ns_f64(bytes as f64 / bw);
+        for p in &mut c.packets {
+            p.tx_start = Some(now);
+            p.tx_end = Some(now + ser);
+        }
+        let (src, dst) = (c.src, c.dst);
         let flight = self.config.layout.hop_delay() * c.hops as u64;
+        self.tracer.emit(now, || TraceEvent::CircuitSetup {
+            circuit,
+            src: src.index(),
+            dst: dst.index(),
+        });
         self.events
             .push(now + ser + flight, Ev::DataDone { circuit });
     }
@@ -335,11 +352,22 @@ impl CircuitSwitchedNetwork {
             .circuits
             .remove(&circuit)
             .expect("circuit completes exactly once");
+        let carried = c.packets.len() as u32;
         for mut p in c.packets {
             p.delivered = Some(now);
             self.stats.on_deliver(&p);
+            self.tracer.emit(now, || TraceEvent::Deliver {
+                packet: p.id.0,
+                src: p.src.index(),
+                dst: p.dst.index(),
+                latency: now.saturating_since(p.created),
+            });
             self.delivered.push(p);
         }
+        self.tracer.emit(now, || TraceEvent::CircuitTeardown {
+            circuit,
+            packets: carried,
+        });
         // Gateways free immediately; switch teardown proceeds off the
         // critical path (the teardown message follows the same control
         // path but holds no gateway resources).
@@ -364,7 +392,15 @@ impl Network for CircuitSwitchedNetwork {
     fn inject(&mut self, packet: Packet, now: Time) -> Result<(), Packet> {
         if packet.src == packet.dst {
             let mut packet = packet;
+            packet.arb_start = Some(now);
             packet.tx_start = Some(now);
+            packet.tx_end = Some(now);
+            self.tracer.emit(now, || TraceEvent::Inject {
+                packet: packet.id.0,
+                src: packet.src.index(),
+                dst: packet.dst.index(),
+                bytes: packet.bytes,
+            });
             self.events
                 .push(now + self.config.cycle(), Ev::Deliver { packet });
             self.stats.on_inject();
@@ -375,6 +411,12 @@ impl Network for CircuitSwitchedNetwork {
             return Err(packet);
         }
         let src = packet.src;
+        self.tracer.emit(now, || TraceEvent::Inject {
+            packet: packet.id.0,
+            src: packet.src.index(),
+            dst: packet.dst.index(),
+            bytes: packet.bytes,
+        });
         self.src_wait[src.index()].push_back(packet);
         self.stats.on_inject();
         self.try_start(src, now);
@@ -395,6 +437,12 @@ impl Network for CircuitSwitchedNetwork {
                 Ev::Deliver { mut packet } => {
                     packet.delivered = Some(t);
                     self.stats.on_deliver(&packet);
+                    self.tracer.emit(t, || TraceEvent::Deliver {
+                        packet: packet.id.0,
+                        src: packet.src.index(),
+                        dst: packet.dst.index(),
+                        latency: t.saturating_since(packet.created),
+                    });
                     self.delivered.push(packet);
                 }
             }
@@ -407,6 +455,10 @@ impl Network for CircuitSwitchedNetwork {
 
     fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 

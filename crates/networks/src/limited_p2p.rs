@@ -12,7 +12,7 @@
 //! model can charge the paper's conservative 60 pJ/byte router energy
 //! (§6.3, Figure 9).
 
-use desim::{EventQueue, Time};
+use desim::{EventQueue, Time, TraceEvent, Tracer};
 use netcore::{MacrochipConfig, NetStats, Network, NetworkKind, Packet, SiteId, TxChannel};
 
 /// Wavelengths per peer channel (8 × 2.5 GB/s = 20 GB/s).
@@ -81,6 +81,7 @@ pub struct LimitedP2pNetwork {
     events: EventQueue<Ev>,
     delivered: Vec<Packet>,
     stats: NetStats,
+    tracer: Tracer,
 }
 
 impl LimitedP2pNetwork {
@@ -113,6 +114,7 @@ impl LimitedP2pNetwork {
             events: EventQueue::new(),
             delivered: Vec::new(),
             stats: NetStats::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -154,7 +156,11 @@ impl LimitedP2pNetwork {
         if let Some((mut packet, finish)) = ch.begin_if_ready(now) {
             if hop_dst == packet.dst {
                 // Final optical hop: the wire portion of the trip starts.
+                // No arbitration exists here, so the phase is zero-width;
+                // any earlier hop and conversion time counts as queueing.
+                packet.arb_start = Some(now);
                 packet.tx_start = Some(now);
+                packet.tx_end = Some(finish);
             }
             let prop = self
                 .config
@@ -195,6 +201,10 @@ impl LimitedP2pNetwork {
         if packet.routed_bytes == 0 {
             packet.routed_bytes = packet.bytes;
         }
+        self.tracer.emit(t, || TraceEvent::Hop {
+            packet: packet.id.0,
+            at: at.index(),
+        });
         let idx = self.channel_index(at, packet.dst);
         let retry_at = {
             let ch = self.channels[idx]
@@ -216,6 +226,12 @@ impl LimitedP2pNetwork {
     fn deliver(&mut self, mut packet: Packet, at: Time) {
         packet.delivered = Some(at);
         self.stats.on_deliver(&packet);
+        self.tracer.emit(at, || TraceEvent::Deliver {
+            packet: packet.id.0,
+            src: packet.src.index(),
+            dst: packet.dst.index(),
+            latency: at.saturating_since(packet.created),
+        });
         self.delivered.push(packet);
     }
 }
@@ -232,7 +248,15 @@ impl Network for LimitedP2pNetwork {
     fn inject(&mut self, packet: Packet, now: Time) -> Result<(), Packet> {
         if packet.src == packet.dst {
             let mut packet = packet;
+            packet.arb_start = Some(now);
             packet.tx_start = Some(now);
+            packet.tx_end = Some(now);
+            self.tracer.emit(now, || TraceEvent::Inject {
+                packet: packet.id.0,
+                src: packet.src.index(),
+                dst: packet.dst.index(),
+                bytes: packet.bytes,
+            });
             self.events.push(
                 now + self.config.cycle(),
                 Ev::Arrive {
@@ -249,6 +273,12 @@ impl Network for LimitedP2pNetwork {
             self.forwarder(packet.src, packet.dst)
         };
         let idx = self.channel_index(packet.src, first_hop);
+        let (id, src, dst, bytes) = (
+            packet.id.0,
+            packet.src.index(),
+            packet.dst.index(),
+            packet.bytes,
+        );
         let result = self.channels[idx]
             .as_mut()
             .expect("first hop is always a peer of the source")
@@ -256,6 +286,12 @@ impl Network for LimitedP2pNetwork {
         match result {
             Ok(()) => {
                 self.stats.on_inject();
+                self.tracer.emit(now, || TraceEvent::Inject {
+                    packet: id,
+                    src,
+                    dst,
+                    bytes,
+                });
                 self.pump(idx, now);
                 Ok(())
             }
@@ -286,6 +322,10 @@ impl Network for LimitedP2pNetwork {
 
     fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 

@@ -10,7 +10,7 @@
 //! Intra-site transfers use a single-cycle loop-back, as in the paper's
 //! evaluation (§6.2).
 
-use desim::{EventQueue, Time};
+use desim::{EventQueue, Time, TraceEvent, Tracer};
 use netcore::{MacrochipConfig, NetStats, Network, NetworkKind, Packet, TxChannel};
 
 /// Wavelengths per point-to-point channel (2 × 2.5 GB/s = 5 GB/s).
@@ -47,6 +47,7 @@ pub struct P2pNetwork {
     events: EventQueue<Ev>,
     delivered: Vec<Packet>,
     stats: NetStats,
+    tracer: Tracer,
 }
 
 impl P2pNetwork {
@@ -64,6 +65,7 @@ impl P2pNetwork {
             events: EventQueue::new(),
             delivered: Vec::new(),
             stats: NetStats::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -74,7 +76,11 @@ impl P2pNetwork {
     /// Starts the channel's next transmission if it is idle.
     fn pump(&mut self, channel: usize, now: Time) {
         if let Some((mut packet, finish)) = self.channels[channel].begin_if_ready(now) {
+            // No arbitration on a dedicated channel: the arbitration phase
+            // is zero-width, so all pre-wire delay counts as queueing.
+            packet.arb_start = Some(now);
             packet.tx_start = Some(now);
+            packet.tx_end = Some(finish);
             let prop = self.config.layout.prop_delay(
                 self.config.grid.coord(packet.src),
                 self.config.grid.coord(packet.dst),
@@ -87,6 +93,12 @@ impl P2pNetwork {
     fn deliver(&mut self, mut packet: Packet, at: Time) {
         packet.delivered = Some(at);
         self.stats.on_deliver(&packet);
+        self.tracer.emit(at, || TraceEvent::Deliver {
+            packet: packet.id.0,
+            src: packet.src.index(),
+            dst: packet.dst.index(),
+            latency: at.saturating_since(packet.created),
+        });
         self.delivered.push(packet);
     }
 }
@@ -104,16 +116,36 @@ impl Network for P2pNetwork {
         if packet.src == packet.dst {
             // Single-cycle intra-site loop-back.
             let mut packet = packet;
+            packet.arb_start = Some(now);
             packet.tx_start = Some(now);
+            packet.tx_end = Some(now);
+            self.tracer.emit(now, || TraceEvent::Inject {
+                packet: packet.id.0,
+                src: packet.src.index(),
+                dst: packet.dst.index(),
+                bytes: packet.bytes,
+            });
             self.events
                 .push(now + self.config.cycle(), Ev::Deliver { packet });
             self.stats.on_inject();
             return Ok(());
         }
         let channel = self.channel_index(&packet);
+        let (id, src, dst, bytes) = (
+            packet.id.0,
+            packet.src.index(),
+            packet.dst.index(),
+            packet.bytes,
+        );
         match self.channels[channel].try_enqueue(packet) {
             Ok(()) => {
                 self.stats.on_inject();
+                self.tracer.emit(now, || TraceEvent::Inject {
+                    packet: id,
+                    src,
+                    dst,
+                    bytes,
+                });
                 self.pump(channel, now);
                 Ok(())
             }
@@ -143,6 +175,10 @@ impl Network for P2pNetwork {
 
     fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 

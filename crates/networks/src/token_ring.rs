@@ -13,7 +13,7 @@
 //! time) reference point is kept; event cost is proportional to traffic,
 //! not to token spins.
 
-use desim::{EventQueue, Span, Time};
+use desim::{EventQueue, Span, Time, TraceEvent, Tracer};
 use netcore::{MacrochipConfig, NetStats, Network, NetworkKind, Packet, TxChannel};
 
 /// Wavelengths per destination bundle (128 × 2.5 GB/s = 320 GB/s).
@@ -73,6 +73,7 @@ pub struct TokenRingNetwork {
     events: EventQueue<Ev>,
     delivered: Vec<Packet>,
     stats: NetStats,
+    tracer: Tracer,
 }
 
 impl TokenRingNetwork {
@@ -110,6 +111,7 @@ impl TokenRingNetwork {
             events: EventQueue::new(),
             delivered: Vec::new(),
             stats: NetStats::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -158,6 +160,10 @@ impl TokenRingNetwork {
         let holder = layout.ring_coord(pos);
         let holder_site = grid.site(holder.0, holder.1);
         let q_idx = self.queue_index(holder_site.index(), dst);
+        self.tracer.emit(t, || TraceEvent::TokenAcquire {
+            dst,
+            holder: holder_site.index(),
+        });
 
         // Transmit up to max_burst queued packets back to back on the
         // destination's bundle.
@@ -170,6 +176,7 @@ impl TokenRingNetwork {
             packet.tx_start = Some(finish);
             let ser = self.bundles[dst].serialization(packet.bytes);
             finish += ser;
+            packet.tx_end = Some(finish);
             let dst_coord = grid.coord(netcore::SiteId::from_index(dst));
             let prop = layout.ring_prop_delay(holder, dst_coord);
             self.events.push(finish + prop, Ev::Deliver { packet });
@@ -180,6 +187,10 @@ impl TokenRingNetwork {
             // Re-injecting the token costs the holder a beat.
             finish += TOKEN_RELEASE;
         }
+        self.tracer.emit(finish, || TraceEvent::TokenRelease {
+            dst,
+            holder: holder_site.index(),
+        });
 
         // Release the token and route it to the next requester (at least
         // one hop away: a site cannot re-grab without the token passing
@@ -209,6 +220,12 @@ impl TokenRingNetwork {
     fn deliver(&mut self, mut packet: Packet, at: Time) {
         packet.delivered = Some(at);
         self.stats.on_deliver(&packet);
+        self.tracer.emit(at, || TraceEvent::Deliver {
+            packet: packet.id.0,
+            src: packet.src.index(),
+            dst: packet.dst.index(),
+            latency: at.saturating_since(packet.created),
+        });
         self.delivered.push(packet);
     }
 }
@@ -225,7 +242,15 @@ impl Network for TokenRingNetwork {
     fn inject(&mut self, packet: Packet, now: Time) -> Result<(), Packet> {
         if packet.src == packet.dst {
             let mut packet = packet;
+            packet.arb_start = Some(now);
             packet.tx_start = Some(now);
+            packet.tx_end = Some(now);
+            self.tracer.emit(now, || TraceEvent::Inject {
+                packet: packet.id.0,
+                src: packet.src.index(),
+                dst: packet.dst.index(),
+                bytes: packet.bytes,
+            });
             self.events
                 .push(now + self.config.cycle(), Ev::Deliver { packet });
             self.stats.on_inject();
@@ -238,6 +263,16 @@ impl Network for TokenRingNetwork {
             return Err(packet);
         }
         let pos = self.ring_pos(packet.src);
+        let mut packet = packet;
+        // Token arbitration starts the moment the packet queues: the wait
+        // for the circulating token is this network's arbitration phase.
+        packet.arb_start = Some(now);
+        self.tracer.emit(now, || TraceEvent::Inject {
+            packet: packet.id.0,
+            src: packet.src.index(),
+            dst: packet.dst.index(),
+            bytes: packet.bytes,
+        });
         self.queues[q].push_back(packet);
         self.stats.on_inject();
         self.claim_token(dst, pos, now);
@@ -263,6 +298,10 @@ impl Network for TokenRingNetwork {
 
     fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 

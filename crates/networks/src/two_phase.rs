@@ -22,7 +22,7 @@
 //! the base design's low sustained bandwidth, and why the ALT variant
 //! (double trees, double transmitters) recovers a factor ~1.4 (§6.1).
 
-use desim::{EventQueue, Span, Time};
+use desim::{EventQueue, Span, Time, TraceEvent, Tracer};
 use netcore::{MacrochipConfig, NetStats, Network, NetworkKind, Packet, SiteId};
 use std::collections::VecDeque;
 
@@ -64,6 +64,8 @@ pub const NOTIFY_INTERVAL: Span = Span::from_ps(400 / NOTIFY_WDM);
 struct Queued {
     packet: Packet,
     eligible_at: Time,
+    /// Data slots this packet has burned on switch-tree conflicts so far.
+    wasted: u32,
 }
 
 /// One shared (row → destination) channel's arbitration state.
@@ -120,6 +122,7 @@ pub struct TwoPhaseNetwork {
     events: EventQueue<Ev>,
     delivered: Vec<Packet>,
     stats: NetStats,
+    tracer: Tracer,
 }
 
 impl TwoPhaseNetwork {
@@ -161,6 +164,7 @@ impl TwoPhaseNetwork {
             events: EventQueue::new(),
             delivered: Vec::new(),
             stats: NetStats::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -281,10 +285,10 @@ impl TwoPhaseNetwork {
 
         match free_tree {
             Some(tree) => {
-                let mut packet = self.channels[channel].queues[src_col]
+                let queued = self.channels[channel].queues[src_col]
                     .pop_front()
-                    .expect("head packet present")
-                    .packet;
+                    .expect("head packet present");
+                let mut packet = queued.packet;
                 packet.tx_start = Some(t);
                 self.trees[tree_idx][tree] = t + dur;
                 let bw = self.config.channel_bytes_per_ns(LAMBDAS_PER_CHANNEL);
@@ -294,6 +298,13 @@ impl TwoPhaseNetwork {
                     .layout
                     .prop_delay(self.config.grid.coord(src), self.config.grid.coord(dst));
                 packet.routed_bytes = 0;
+                packet.tx_end = Some(t + ser);
+                let (id, wasted) = (packet.id.0, queued.wasted);
+                self.tracer.emit(t, || TraceEvent::ArbGrant {
+                    packet: id,
+                    site: src.index(),
+                    wasted_slots: wasted,
+                });
                 self.events.push(t + ser + prop, Ev::Deliver { packet });
             }
             None => {
@@ -303,6 +314,12 @@ impl TwoPhaseNetwork {
                     .front_mut()
                     .expect("head packet present");
                 q.eligible_at = t + ARB_PIPELINE;
+                q.wasted += 1;
+                let id = q.packet.id.0;
+                self.tracer.emit(t, || TraceEvent::Retry {
+                    packet: id,
+                    site: src.index(),
+                });
             }
         }
 
@@ -316,6 +333,12 @@ impl TwoPhaseNetwork {
     fn deliver(&mut self, mut packet: Packet, at: Time) {
         packet.delivered = Some(at);
         self.stats.on_deliver(&packet);
+        self.tracer.emit(at, || TraceEvent::Deliver {
+            packet: packet.id.0,
+            src: packet.src.index(),
+            dst: packet.dst.index(),
+            latency: at.saturating_since(packet.created),
+        });
         self.delivered.push(packet);
     }
 }
@@ -336,7 +359,15 @@ impl Network for TwoPhaseNetwork {
     fn inject(&mut self, packet: Packet, now: Time) -> Result<(), Packet> {
         if packet.src == packet.dst {
             let mut packet = packet;
+            packet.arb_start = Some(now);
             packet.tx_start = Some(now);
+            packet.tx_end = Some(now);
+            self.tracer.emit(now, || TraceEvent::Inject {
+                packet: packet.id.0,
+                src: packet.src.index(),
+                dst: packet.dst.index(),
+                bytes: packet.bytes,
+            });
             self.events
                 .push(now + self.config.cycle(), Ev::Deliver { packet });
             self.stats.on_inject();
@@ -348,10 +379,23 @@ impl Network for TwoPhaseNetwork {
             self.stats.on_reject();
             return Err(packet);
         }
+        let mut packet = packet;
+        packet.arb_start = Some(now);
+        self.tracer.emit(now, || TraceEvent::Inject {
+            packet: packet.id.0,
+            src: packet.src.index(),
+            dst: packet.dst.index(),
+            bytes: packet.bytes,
+        });
+        self.tracer.emit(now, || TraceEvent::ArbRequest {
+            packet: packet.id.0,
+            site: packet.src.index(),
+        });
         let eligible_at = now + ARB_PIPELINE;
         self.channels[channel].queues[src_col].push_back(Queued {
             packet,
             eligible_at,
+            wasted: 0,
         });
         self.stats.on_inject();
         self.schedule_slot(channel, eligible_at);
@@ -377,6 +421,10 @@ impl Network for TwoPhaseNetwork {
 
     fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 

@@ -1,0 +1,198 @@
+//! Offline drop-in subset of the `criterion` benchmark harness.
+//!
+//! The build environment for this workspace cannot reach crates.io, so this
+//! crate vendors the slice of criterion the bench suite uses: `Criterion`,
+//! `bench_function`, `benchmark_group` (with `sample_size`,
+//! `bench_function`, `bench_with_input`, `finish`), `BenchmarkId`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed over
+//! `sample_size` samples; the per-iteration mean, minimum and maximum across
+//! samples are printed. There are no HTML reports, no statistical regression
+//! tests, and no `--save-baseline`; compare the printed ns/iter numbers
+//! across runs instead.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `group/function/parameter`-style id from a function name + parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id carrying only the parameter (the group provides the name).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Drives a single benchmark body.
+pub struct Bencher {
+    samples: usize,
+    /// Mean ns/iter per sample, filled by `iter`.
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Bencher {
+        Bencher {
+            samples,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f`, amortizing over enough iterations per sample to make
+    /// `Instant` overhead negligible.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and iteration-count calibration: grow until one batch
+        // takes at least ~2 ms.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.results
+                .push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.results.is_empty() {
+            println!("{id:<40} no measurement");
+            return;
+        }
+        let mean = self.results.iter().sum::<f64>() / self.results.len() as f64;
+        let min = self.results.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self.results.iter().cloned().fold(0.0f64, f64::max);
+        println!("{id:<40} time: [{min:>12.1} ns {mean:>12.1} ns {max:>12.1} ns]");
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            default_samples: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.default_samples);
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.default_samples;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            samples,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.samples = n;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Runs a parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.id));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `main` running the given groups (for `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; accept and
+            // ignore them.
+            $($group();)+
+        }
+    };
+}

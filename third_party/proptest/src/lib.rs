@@ -1,0 +1,152 @@
+//! Offline drop-in subset of the `proptest` crate API.
+//!
+//! The build environment for this workspace cannot reach crates.io, so this
+//! crate vendors the slice of proptest the test suite actually uses: the
+//! `proptest!` macro (with an optional `#![proptest_config(..)]` header),
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, the [`Strategy`]
+//! trait with `prop_map`, integer/float range strategies, tuple strategies,
+//! `proptest::collection::vec`, `proptest::bool::ANY`, `prop_oneof!` and
+//! `Just`.
+//!
+//! Differences from upstream: cases are generated from a fixed seed (fully
+//! deterministic run-to-run) and failing inputs are reported but **not
+//! shrunk**. Both are acceptable for this workspace: determinism is a
+//! project-wide requirement and the generated inputs are small enough to
+//! debug unshrunk.
+
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The single test-runner entry point used by the generated tests.
+pub fn run_cases<F>(config: &test_runner::ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut test_runner::TestRng, u32),
+{
+    for i in 0..config.cases {
+        // Each case gets an independent deterministic stream.
+        let mut rng = test_runner::TestRng::deterministic(i as u64);
+        case(&mut rng, i);
+    }
+}
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn holds(x in 0u64..100, ys in proptest::collection::vec(0u32..9, 1..20)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::run_cases(&config, |rng, case| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, rng);)+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)+),
+                        $(&$arg),+
+                    );
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n    inputs: {}",
+                            case + 1, config.cases, e, inputs
+                        );
+                    }
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, reporting the generated
+/// inputs on failure instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Chooses uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,125 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike upstream proptest there is no value-tree/shrinking machinery:
+/// `generate` directly produces a value from the test RNG.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Derives a strategy that post-processes generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: std::fmt::Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy, for heterogeneous collections
+    /// (used by `prop_oneof!`).
+    fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: std::fmt::Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Uniform choice among boxed strategies; built by `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+/// Constructs a [`Union`]; used by the `prop_oneof!` macro expansion.
+///
+/// # Panics
+///
+/// Panics if `options` is empty.
+pub fn union<T: std::fmt::Debug>(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+    Union { options }
+}
+
+impl<T: std::fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.rng().gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}

@@ -1,0 +1,69 @@
+//! Test configuration, RNG and failure plumbing.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Per-test configuration; only `cases` is interpreted.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256; that is cheap for this workspace's
+        // properties and keeps coverage comparable.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property case (carries the assertion message).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The RNG handed to strategies: deterministic, seeded per case so every
+/// run of the suite generates the same inputs.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// A generator for case number `case`, independent of wall clock and
+    /// process state.
+    pub fn deterministic(case: u64) -> TestRng {
+        const SUITE_SEED: u64 = 0x5EED_CAFE_F00D_D00D;
+        TestRng {
+            inner: StdRng::seed_from_u64(SUITE_SEED ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Access to the underlying source for `gen_range` etc.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
