@@ -813,14 +813,17 @@ mod tests {
         let sink = Rc::new(RefCell::new(RingSink::new(64)));
         eng.set_tracer(desim::Tracer::shared(&sink));
         assert_eq!(run_ideal(&mut eng), 1);
+        let recorded = sink.borrow().events().count();
         let transitions: Vec<&'static str> = sink
             .borrow()
             .events()
-            .map(|&(_, e)| match e {
-                desim::TraceEvent::Coherence { transition, .. } => transition,
-                other => panic!("unexpected event {other:?}"),
+            .filter_map(|&(_, e)| match e {
+                desim::TraceEvent::Coherence { transition, .. } => Some(transition),
+                _ => None,
             })
             .collect();
+        // Every recorded event must be a coherence transition.
+        assert_eq!(transitions.len(), recorded);
         // Owner downgrade, sharer invalidation, requester fill.
         assert!(transitions.contains(&"M->I"));
         assert!(transitions.contains(&"S->I"));

@@ -6,12 +6,13 @@
 //! macrochip sustained --network all --pattern uniform
 //! macrochip coherent  --workload Swaptions --network all [--ops 40]
 //! macrochip mp        --collective butterfly [--bytes 1024] [--rounds 2]
+//! macrochip faults    --network all [--faults "rand-links=2; transient=0.01"]
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free.
 
 use desim::trace::{chrome_trace_json, RingSink};
-use desim::{Time, TraceEvent, Tracer};
+use desim::{Span, Time, TraceEvent, Tracer};
 use macrochip::prelude::*;
 use macrochip::report::{fmt, Table};
 use macrochip::runner::{drive, DriveLimits};
@@ -21,7 +22,7 @@ use std::cell::RefCell;
 use std::process::ExitCode;
 use std::rc::Rc;
 use std::time::Instant;
-use workloads::{Collective, MessagePassingWorkload};
+use workloads::{Collective, MessagePassingWorkload, OpenLoopTraffic};
 
 const USAGE: &str = "\
 macrochip — silicon-photonic multi-chip network simulator (ISCA 2010 reproduction)
@@ -32,6 +33,8 @@ USAGE:
     macrochip sustained --network <NET|all> --pattern <PAT>
     macrochip coherent  --workload <NAME> --network <NET|all> [--ops <N>]
     macrochip mp        --collective <COLL> [--bytes <B>] [--rounds <R>]
+    macrochip faults    --network <NET|all> [--pattern <PAT>] [--load <F>]
+                        [--faults <SPEC>] [--seed <N>] [--duration-short]
 
 NETWORKS:   p2p, limited, token, circuit, two-phase, two-phase-alt, all
 PATTERNS:   uniform, transpose, butterfly, neighbor, all-to-all, hotspot
@@ -39,7 +42,12 @@ WORKLOADS:  Radix, Barnes, Blackscholes, Densities, Forces, Swaptions,
             or a pattern name (synthetic, LS mix)
 COLLECTIVES: ring, butterfly, halo, all-to-all
 
-OUTPUT (sweep, sustained):
+FAULT SPEC (clauses joined with ';'):
+    link:3->17@2us  laser:5@500ns  site:12@1us   explicit faults
+    rand-links=N    transient=P | transient=xtalk:K
+    repair=SPAN     retries=N     backoff=SPAN   no-recovery
+
+OUTPUT (sweep, sustained, faults):
     --trace <FILE>     write a Chrome-trace-event JSON flight recording
                        (open in ui.perfetto.dev or chrome://tracing)
     --metrics <FILE>   write metrics and a run manifest; JSON, or CSV when
@@ -460,6 +468,119 @@ fn cmd_mp(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Default fault campaign when `--faults` is omitted: a light mix of
+/// structural and transient faults with auto-repair.
+const DEFAULT_FAULT_SPEC: &str = "rand-links=2; transient=0.01; repair=10us";
+
+fn cmd_faults(args: &[String]) -> Result<(), String> {
+    let out = OutputOpts::parse(args);
+    let config = MacrochipConfig::scaled();
+    let network_arg = flag(args, "--network").unwrap_or_else(|| "all".into());
+    let kinds = parse_network(&network_arg).ok_or("unknown network")?;
+    let pattern_arg = flag(args, "--pattern").unwrap_or_else(|| "uniform".into());
+    let pattern = parse_pattern(&pattern_arg).ok_or("unknown pattern")?;
+    let load: f64 = flag(args, "--load")
+        .map(|s| s.parse().map_err(|_| "bad --load"))
+        .transpose()?
+        .unwrap_or(0.05);
+    let spec = flag(args, "--faults").unwrap_or_else(|| DEFAULT_FAULT_SPEC.into());
+    let plan = faults::FaultPlan::parse(&spec).map_err(|e| e.to_string())?;
+    let seed: u64 = flag(args, "--seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(0xC0FFEE);
+    let (sim, drain) = if args.iter().any(|a| a == "--duration-short") {
+        (Span::from_us(1), Span::from_us(5))
+    } else {
+        (Span::from_us(5), Span::from_us(20))
+    };
+    let horizon = Time::ZERO + sim;
+    let limits = DriveLimits {
+        deadline: horizon + drain,
+        max_stalled: 5_000,
+    };
+    let started = Instant::now();
+    let mut table = Table::new(&[
+        "Network",
+        "Delivered",
+        "Dropped",
+        "Retries",
+        "Availability",
+        "Goodput (B/ns)",
+        "Degraded (us)",
+    ]);
+    let mut sections: Vec<(String, Vec<(Time, TraceEvent)>)> = Vec::new();
+    let mut runs: Vec<RunRecord> = Vec::new();
+    for &kind in &kinds {
+        let sink = Rc::new(RefCell::new(RingSink::new(TRACE_EVENTS_PER_POINT)));
+        let tracer = if out.trace.is_some() {
+            Tracer::shared(&sink)
+        } else {
+            Tracer::disabled()
+        };
+        let mut net =
+            faults::ResilientNetwork::new(networks::build(kind, config), &plan, seed, horizon);
+        net.set_tracer(tracer.clone());
+        let peak = config.site_bandwidth_bytes_per_ns();
+        let mut traffic =
+            OpenLoopTraffic::new(&config.grid, pattern, load, peak, config.data_bytes, seed);
+        traffic.set_horizon(horizon);
+        let outcome = macrochip::runner::drive_traced(&mut net, &mut traffic, limits, tracer);
+        let s = net.fault_stats().clone();
+        let availability = net.availability();
+        let goodput = s.clean_bytes as f64 / outcome.end.as_ns_f64().max(1.0);
+        table.row_owned(vec![
+            kind.name().to_string(),
+            s.clean_delivered.to_string(),
+            net.lost_packets().to_string(),
+            s.retries.to_string(),
+            fmt(availability, 4),
+            fmt(goodput, 2),
+            fmt(s.time_degraded(outcome.end).as_ns_f64() / 1e3, 2),
+        ]);
+        if out.trace.is_some() {
+            sections.push((format!("{} faults", kind.name()), sink.borrow().snapshot()));
+        }
+        if out.metrics.is_some() {
+            let mut reg = MetricsRegistry::new();
+            net.record_metrics(&mut reg, outcome.end);
+            reg.set_gauge("run.offered_load", load);
+            runs.push(RunRecord {
+                network: kind.name().to_string(),
+                offered: load,
+                saturated: outcome.saturated,
+                snapshot: reg.snapshot(),
+            });
+        }
+        if out.verbose {
+            eprintln!(
+                "[faults] {}: availability {:.4}, {} retries, {} dropped",
+                kind.name(),
+                availability,
+                s.retries,
+                s.dropped
+            );
+        }
+    }
+    if let Some(path) = &out.trace {
+        write_trace(path, &sections)?;
+    }
+    if let Some(path) = &out.metrics {
+        let mut manifest = RunManifest::new("faults", &config);
+        manifest.network = network_arg;
+        manifest.pattern = pattern_arg;
+        manifest.fault_plan = plan.to_spec();
+        manifest.seed = seed;
+        manifest.set_limits(limits);
+        manifest.wall_clock_ms = started.elapsed().as_secs_f64() * 1e3;
+        write_metrics(path, &manifest, &runs)?;
+    }
+    if !out.quiet {
+        println!("Fault plan: {}\n\n{}", plan.to_spec(), table.to_text());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -468,6 +589,7 @@ fn main() -> ExitCode {
         Some("sustained") => cmd_sustained(&args),
         Some("coherent") => cmd_coherent(&args),
         Some("mp") => cmd_mp(&args),
+        Some("faults") => cmd_faults(&args),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())

@@ -23,6 +23,9 @@ pub struct RunManifest {
     pub network: String,
     /// Traffic pattern or workload name.
     pub pattern: String,
+    /// Canonical fault-plan specification the run was subjected to, or
+    /// `none` for fault-free runs.
+    pub fault_plan: String,
     /// RNG seed for the traffic generator.
     pub seed: u64,
     /// Drive deadline, in nanoseconds of simulation time.
@@ -51,6 +54,7 @@ impl RunManifest {
             command: command.to_string(),
             network: String::new(),
             pattern: String::new(),
+            fault_plan: String::from("none"),
             seed: 0,
             deadline_ns: f64::INFINITY,
             max_stalled: 0,
@@ -75,6 +79,11 @@ impl RunManifest {
         let _ = write!(out, "\n  \"command\": \"{}\",", json_escape(&self.command));
         let _ = write!(out, "\n  \"network\": \"{}\",", json_escape(&self.network));
         let _ = write!(out, "\n  \"pattern\": \"{}\",", json_escape(&self.pattern));
+        let _ = write!(
+            out,
+            "\n  \"fault_plan\": \"{}\",",
+            json_escape(&self.fault_plan)
+        );
         let _ = write!(out, "\n  \"seed\": {},", self.seed);
         let _ = write!(out, "\n  \"deadline_ns\": {},", json_f64(self.deadline_ns));
         let _ = write!(out, "\n  \"max_stalled\": {},", self.max_stalled);
@@ -116,6 +125,7 @@ mod tests {
         for key in [
             "\"command\": \"sweep\"",
             "\"network\": \"two-phase\"",
+            "\"fault_plan\": \"none\"",
             "\"seed\": 12648430",
             "\"deadline_ns\": 25000",
             "\"sites\": 64",

@@ -94,6 +94,36 @@ pub enum TraceEvent {
         site: usize,
         transition: &'static str,
     },
+    /// An injected fault took effect (`kind` is the fault's stable name,
+    /// e.g. `"link-kill"`); `peer` is the far end for link faults, else 0.
+    Fault {
+        kind: &'static str,
+        site: usize,
+        peer: usize,
+    },
+    /// A previously injected fault was repaired or masked.
+    Recover {
+        kind: &'static str,
+        site: usize,
+        peer: usize,
+    },
+    /// A packet arrived corrupted (transient bit errors) and must be
+    /// retransmitted.
+    Corrupt { packet: u64, dst: usize },
+    /// A packet was permanently dropped; `reason` is a stable short name
+    /// (`"retries-exhausted"`, `"dead-site"`, …).
+    Drop {
+        packet: u64,
+        site: usize,
+        reason: &'static str,
+    },
+    /// A negative acknowledgement scheduled a bounded-backoff retry;
+    /// `attempt` counts retransmissions of this packet so far.
+    Nack {
+        packet: u64,
+        src: usize,
+        attempt: u32,
+    },
 }
 
 impl TraceEvent {
@@ -112,6 +142,11 @@ impl TraceEvent {
             TraceEvent::Hop { .. } => "hop",
             TraceEvent::Deliver { .. } => "deliver",
             TraceEvent::Coherence { .. } => "coherence",
+            TraceEvent::Fault { .. } => "fault",
+            TraceEvent::Recover { .. } => "recover",
+            TraceEvent::Corrupt { .. } => "corrupt",
+            TraceEvent::Drop { .. } => "drop",
+            TraceEvent::Nack { .. } => "nack",
         }
     }
 
@@ -131,6 +166,11 @@ impl TraceEvent {
             TraceEvent::Hop { at, .. } => at,
             TraceEvent::Deliver { dst, .. } => dst,
             TraceEvent::Coherence { site, .. } => site,
+            TraceEvent::Fault { site, .. } => site,
+            TraceEvent::Recover { site, .. } => site,
+            TraceEvent::Corrupt { dst, .. } => dst,
+            TraceEvent::Drop { site, .. } => site,
+            TraceEvent::Nack { src, .. } => src,
         }
     }
 
@@ -197,6 +237,37 @@ impl TraceEvent {
                     out,
                     "{{\"op\":{op},\"site\":{site},\"transition\":\"{}\"}}",
                     escape_json(transition)
+                );
+            }
+            TraceEvent::Fault { kind, site, peer } | TraceEvent::Recover { kind, site, peer } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"{}\",\"site\":{site},\"peer\":{peer}}}",
+                    escape_json(kind)
+                );
+            }
+            TraceEvent::Corrupt { packet, dst } => {
+                let _ = write!(out, "{{\"packet\":{packet},\"dst\":{dst}}}");
+            }
+            TraceEvent::Drop {
+                packet,
+                site,
+                reason,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"packet\":{packet},\"site\":{site},\"reason\":\"{}\"}}",
+                    escape_json(reason)
+                );
+            }
+            TraceEvent::Nack {
+                packet,
+                src,
+                attempt,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"packet\":{packet},\"src\":{src},\"attempt\":{attempt}}}"
                 );
             }
         }
@@ -705,5 +776,74 @@ mod tests {
             TraceEvent::TokenAcquire { dst: 0, holder: 1 }.name(),
             "token-acquire"
         );
+        assert_eq!(
+            TraceEvent::Fault {
+                kind: "link-kill",
+                site: 0,
+                peer: 1
+            }
+            .name(),
+            "fault"
+        );
+        assert_eq!(
+            TraceEvent::Nack {
+                packet: 0,
+                src: 0,
+                attempt: 1
+            }
+            .name(),
+            "nack"
+        );
+    }
+
+    #[test]
+    fn fault_events_export_as_valid_json() {
+        let events = vec![
+            (
+                Time::from_ns(1),
+                TraceEvent::Fault {
+                    kind: "link-kill",
+                    site: 3,
+                    peer: 17,
+                },
+            ),
+            (Time::from_ns(2), TraceEvent::Corrupt { packet: 9, dst: 4 }),
+            (
+                Time::from_ns(3),
+                TraceEvent::Nack {
+                    packet: 9,
+                    src: 0,
+                    attempt: 2,
+                },
+            ),
+            (
+                Time::from_ns(4),
+                TraceEvent::Drop {
+                    packet: 9,
+                    site: 0,
+                    reason: "retries-exhausted",
+                },
+            ),
+            (
+                Time::from_ns(5),
+                TraceEvent::Recover {
+                    kind: "link-kill",
+                    site: 3,
+                    peer: 17,
+                },
+            ),
+        ];
+        let json = chrome_trace_json(&[("faulted".to_string(), events)]);
+        validate_json(&json).expect("fault events must export as valid JSON");
+        for field in [
+            "\"name\":\"fault\"",
+            "\"name\":\"recover\"",
+            "\"name\":\"corrupt\"",
+            "\"name\":\"drop\"",
+            "\"name\":\"nack\"",
+            "\"reason\":\"retries-exhausted\"",
+        ] {
+            assert!(json.contains(field), "missing {field}");
+        }
     }
 }

@@ -1,0 +1,516 @@
+//! The fault-plan DSL: what fails, when, and how the system recovers.
+//!
+//! A [`FaultPlan`] is parsed from a compact clause language (one string on
+//! the command line) and compiled against a grid, seed and horizon into a
+//! deterministic, time-sorted schedule of [`NetFault`]s:
+//!
+//! ```text
+//! link:3->17@2us; site:12@1us; laser:5@500ns;
+//! rand-links=4; transient=0.01; repair=10us; retries=8; backoff=100ns
+//! ```
+//!
+//! Clauses are `;`-separated. `link`/`laser`/`site` schedule explicit
+//! faults at fixed instants; `rand-links=N` draws `N` extra link kills
+//! from the seeded RNG; `transient=P` (or `transient=xtalk:K` to derive
+//! `P` from the waveguide-crossing crosstalk model) sets the per-packet
+//! corruption probability; `repair=SPAN` auto-repairs every link/laser
+//! kill after `SPAN`; `retries`/`backoff` shape the delivery contract and
+//! `no-recovery` disables it. The empty string and `none` parse to the
+//! no-fault plan, under which the resilience wrapper is a pure
+//! pass-through.
+
+use desim::{SimRng, Span, Time};
+use netcore::{Grid, NetFault, SiteId};
+use photonics::crosstalk::CrossingModel;
+use std::fmt;
+
+/// Salt mixed into the plan seed for the random-link-kill stream, so it
+/// is decorrelated from the traffic generator using the same seed.
+const RAND_LINK_SALT: u64 = 0xFA17_707A_57A7_1C00;
+
+/// A malformed fault-plan specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A clause whose head is not part of the grammar.
+    UnknownClause(String),
+    /// A time that is not `<integer>(ps|ns|us)`.
+    BadTime(String),
+    /// An unparsable count, probability or site index.
+    BadNumber(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownClause(c) => write!(f, "unknown fault-plan clause '{c}'"),
+            PlanError::BadTime(t) => write!(f, "bad time '{t}' (want e.g. 500ns, 2us, 100ps)"),
+            PlanError::BadNumber(n) => write!(f, "bad number '{n}'"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// One explicitly scheduled fault, in grid-independent form (raw site
+/// indices; [`FaultPlan::schedule`] wraps them modulo the grid size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedFault {
+    /// When the fault strikes.
+    pub at: Time,
+    /// What fails.
+    pub what: FaultSpec,
+}
+
+/// The failing element of a [`PlannedFault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// Permanent kill of the directed link `src -> dst`.
+    Link { src: usize, dst: usize },
+    /// Loss of half the site's laser channels.
+    Laser { site: usize },
+    /// Whole-die failure.
+    Site { site: usize },
+}
+
+/// Per-packet transient corruption model.
+///
+/// Transients stand in for bit-error bursts; the probability can be set
+/// directly or derived from the waveguide-crossing crosstalk model: the
+/// fraction of optical eye margin consumed by coherent crosstalk beating
+/// (`1 - 10^(-penalty_dB/10)`) is taken as the probability that a packet
+/// crossing `k` waveguides arrives corrupted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientModel {
+    /// Probability, in `[0, 1]`, that any one delivery is corrupted.
+    pub per_packet: f64,
+}
+
+impl TransientModel {
+    /// No transient faults.
+    pub fn off() -> TransientModel {
+        TransientModel { per_packet: 0.0 }
+    }
+
+    /// A fixed per-packet corruption probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability.
+    pub fn fixed(p: f64) -> TransientModel {
+        assert!((0.0..=1.0).contains(&p), "corruption probability {p}");
+        TransientModel { per_packet: p }
+    }
+
+    /// Derives the corruption probability from `crossings` waveguide
+    /// crossings under `model`. A closed eye (unbounded penalty) maps to
+    /// certainty.
+    pub fn from_crosstalk(model: &CrossingModel, crossings: u32) -> TransientModel {
+        let per_packet = match model.power_penalty(crossings) {
+            Some(penalty) => 1.0 - 10f64.powf(-penalty.value() / 10.0),
+            None => 1.0,
+        };
+        TransientModel { per_packet }
+    }
+}
+
+/// The delivery contract: timeout-free NACK-and-retry with exponential
+/// backoff, bounded by `max_retries`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// When false, corrupted and evicted packets are dropped outright.
+    pub enabled: bool,
+    /// Retransmission attempts before a packet is declared lost.
+    pub max_retries: u32,
+    /// First retry delay; attempt `n` waits `backoff * 2^(n-1)`.
+    pub backoff: Span,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> RecoveryPolicy {
+        RecoveryPolicy {
+            enabled: true,
+            max_retries: 8,
+            backoff: Span::from_ns(100),
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// The backoff before retry attempt `attempt` (1-based), doubling per
+    /// attempt and capped at 1024x the base so schedules stay bounded.
+    pub fn backoff_for(&self, attempt: u32) -> Span {
+        let exp = attempt.saturating_sub(1).min(10);
+        self.backoff * (1u64 << exp)
+    }
+}
+
+/// A complete, grid-independent description of a fault campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Explicitly scheduled faults, in specification order.
+    pub events: Vec<PlannedFault>,
+    /// Extra link kills drawn from the seeded RNG across the horizon.
+    pub rand_links: u32,
+    /// Per-packet transient corruption.
+    pub transient: TransientModel,
+    /// Auto-repair delay for link/laser kills (site kills are permanent).
+    pub repair_after: Option<Span>,
+    /// The delivery contract.
+    pub recovery: RecoveryPolicy,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The no-fault plan: scheduling nothing, corrupting nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            events: Vec::new(),
+            rand_links: 0,
+            transient: TransientModel::off(),
+            repair_after: None,
+            recovery: RecoveryPolicy::default(),
+        }
+    }
+
+    /// True when the plan injects no faults at all, making the resilience
+    /// wrapper a pure pass-through that reproduces baseline numbers.
+    pub fn is_none(&self) -> bool {
+        self.events.is_empty() && self.rand_links == 0 && self.transient.per_packet == 0.0
+    }
+
+    /// Parses the clause language described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] naming the offending clause.
+    pub fn parse(spec: &str) -> Result<FaultPlan, PlanError> {
+        let mut plan = FaultPlan::none();
+        let trimmed = spec.trim();
+        if trimmed.is_empty() || trimmed == "none" {
+            return Ok(plan);
+        }
+        for clause in trimmed.split(';') {
+            let c = clause.trim();
+            if c.is_empty() {
+                continue;
+            }
+            if let Some(rest) = c.strip_prefix("link:") {
+                let (pair, at) = split_at(rest)?;
+                let (s, d) = pair
+                    .split_once("->")
+                    .ok_or_else(|| PlanError::UnknownClause(c.to_string()))?;
+                plan.events.push(PlannedFault {
+                    at,
+                    what: FaultSpec::Link {
+                        src: parse_number(s)?,
+                        dst: parse_number(d)?,
+                    },
+                });
+            } else if let Some(rest) = c.strip_prefix("laser:") {
+                let (site, at) = split_at(rest)?;
+                plan.events.push(PlannedFault {
+                    at,
+                    what: FaultSpec::Laser {
+                        site: parse_number(site)?,
+                    },
+                });
+            } else if let Some(rest) = c.strip_prefix("site:") {
+                let (site, at) = split_at(rest)?;
+                plan.events.push(PlannedFault {
+                    at,
+                    what: FaultSpec::Site {
+                        site: parse_number(site)?,
+                    },
+                });
+            } else if let Some(v) = c.strip_prefix("rand-links=") {
+                plan.rand_links = parse_number(v)? as u32;
+            } else if let Some(v) = c.strip_prefix("transient=") {
+                if let Some(k) = v.strip_prefix("xtalk:") {
+                    plan.transient = TransientModel::from_crosstalk(
+                        &CrossingModel::bogaerts_optimized(),
+                        parse_number(k)? as u32,
+                    );
+                } else {
+                    let p: f64 = v.parse().map_err(|_| PlanError::BadNumber(v.to_string()))?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(PlanError::BadNumber(v.to_string()));
+                    }
+                    plan.transient = TransientModel { per_packet: p };
+                }
+            } else if let Some(v) = c.strip_prefix("repair=") {
+                plan.repair_after = Some(parse_span(v)?);
+            } else if let Some(v) = c.strip_prefix("retries=") {
+                plan.recovery.max_retries = parse_number(v)? as u32;
+            } else if let Some(v) = c.strip_prefix("backoff=") {
+                plan.recovery.backoff = parse_span(v)?;
+            } else if c == "no-recovery" {
+                plan.recovery.enabled = false;
+            } else {
+                return Err(PlanError::UnknownClause(c.to_string()));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The canonical specification string: `parse(to_spec())` yields an
+    /// equivalent plan, and equal plans yield byte-identical strings
+    /// (recorded in the run manifest for provenance).
+    pub fn to_spec(&self) -> String {
+        if self.is_none() && self.recovery == RecoveryPolicy::default() {
+            return String::from("none");
+        }
+        let mut clauses: Vec<String> = Vec::new();
+        for e in &self.events {
+            let at = fmt_span(Span::from_ps(e.at.as_ps()));
+            clauses.push(match e.what {
+                FaultSpec::Link { src, dst } => format!("link:{src}->{dst}@{at}"),
+                FaultSpec::Laser { site } => format!("laser:{site}@{at}"),
+                FaultSpec::Site { site } => format!("site:{site}@{at}"),
+            });
+        }
+        if self.rand_links > 0 {
+            clauses.push(format!("rand-links={}", self.rand_links));
+        }
+        if self.transient.per_packet > 0.0 {
+            clauses.push(format!("transient={}", self.transient.per_packet));
+        }
+        if let Some(r) = self.repair_after {
+            clauses.push(format!("repair={}", fmt_span(r)));
+        }
+        if self.recovery.enabled {
+            let d = RecoveryPolicy::default();
+            if self.recovery.max_retries != d.max_retries {
+                clauses.push(format!("retries={}", self.recovery.max_retries));
+            }
+            if self.recovery.backoff != d.backoff {
+                clauses.push(format!("backoff={}", fmt_span(self.recovery.backoff)));
+            }
+        } else {
+            clauses.push(String::from("no-recovery"));
+        }
+        clauses.join("; ")
+    }
+
+    /// Compiles the plan into a time-sorted fault schedule for `grid`.
+    ///
+    /// Raw site indices wrap modulo the grid size, so every plan is total
+    /// on every grid. Random link kills are drawn from `seed` (decorrelated
+    /// from the traffic stream by a fixed salt) across `[0, horizon)`;
+    /// identical `(plan, grid, seed, horizon)` inputs produce
+    /// byte-identical schedules.
+    pub fn schedule(&self, grid: &Grid, seed: u64, horizon: Time) -> Vec<(Time, NetFault)> {
+        let sites = grid.sites();
+        let mut out: Vec<(Time, NetFault)> = Vec::new();
+        let push_with_repair = |at: Time, fault: NetFault, out: &mut Vec<(Time, NetFault)>| {
+            out.push((at, fault));
+            if let Some(delay) = self.repair_after {
+                let repair = match fault {
+                    NetFault::LinkKill { src, dst } => Some(NetFault::LinkRepair { src, dst }),
+                    NetFault::LaserLoss { site } => Some(NetFault::LaserRestore { site }),
+                    _ => None,
+                };
+                if let Some(r) = repair {
+                    out.push((at + delay, r));
+                }
+            }
+        };
+        for e in &self.events {
+            let fault = match e.what {
+                FaultSpec::Link { src, dst } => NetFault::LinkKill {
+                    src: SiteId::from_index(src % sites),
+                    dst: SiteId::from_index(dst % sites),
+                },
+                FaultSpec::Laser { site } => NetFault::LaserLoss {
+                    site: SiteId::from_index(site % sites),
+                },
+                FaultSpec::Site { site } => NetFault::SiteKill {
+                    site: SiteId::from_index(site % sites),
+                },
+            };
+            push_with_repair(e.at, fault, &mut out);
+        }
+        if self.rand_links > 0 {
+            let mut rng = SimRng::new(seed ^ RAND_LINK_SALT);
+            let horizon_ps = horizon.as_ps().max(1);
+            for _ in 0..self.rand_links {
+                let src = rng.range(0..sites);
+                let mut dst = rng.range(0..sites);
+                if dst == src {
+                    dst = (dst + 1) % sites;
+                }
+                let at = Time::from_ps(rng.range(0..horizon_ps));
+                push_with_repair(
+                    at,
+                    NetFault::LinkKill {
+                        src: SiteId::from_index(src),
+                        dst: SiteId::from_index(dst),
+                    },
+                    &mut out,
+                );
+            }
+        }
+        out.sort_by_key(|(at, fault)| {
+            (
+                *at,
+                fault.is_recovery(),
+                fault.name(),
+                fault.site().index(),
+                fault.peer().index(),
+            )
+        });
+        out
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_spec())
+    }
+}
+
+/// Splits `body@TIME` into the body and the parsed time.
+fn split_at(s: &str) -> Result<(&str, Time), PlanError> {
+    let (body, at) = s
+        .split_once('@')
+        .ok_or_else(|| PlanError::BadTime(s.to_string()))?;
+    Ok((body, Time::ZERO + parse_span(at)?))
+}
+
+fn parse_number(s: &str) -> Result<usize, PlanError> {
+    s.trim()
+        .parse()
+        .map_err(|_| PlanError::BadNumber(s.to_string()))
+}
+
+fn parse_span(s: &str) -> Result<Span, PlanError> {
+    let t = s.trim();
+    let (digits, scale) = if let Some(d) = t.strip_suffix("ns") {
+        (d, 1_000u64)
+    } else if let Some(d) = t.strip_suffix("us") {
+        (d, 1_000_000)
+    } else if let Some(d) = t.strip_suffix("ps") {
+        (d, 1)
+    } else {
+        return Err(PlanError::BadTime(t.to_string()));
+    };
+    let n: u64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| PlanError::BadTime(t.to_string()))?;
+    Ok(Span::from_ps(n * scale))
+}
+
+/// Formats a span losslessly in the largest exact unit.
+fn fmt_span(s: Span) -> String {
+    let ps = s.as_ps();
+    if ps.is_multiple_of(1_000_000) {
+        format!("{}us", ps / 1_000_000)
+    } else if ps.is_multiple_of(1_000) {
+        format!("{}ns", ps / 1_000)
+    } else {
+        format!("{ps}ps")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid {
+        netcore::MacrochipConfig::scaled().grid
+    }
+
+    #[test]
+    fn parses_the_worked_example() {
+        let plan = FaultPlan::parse(
+            "link:3->17@2us; site:12@1us; laser:5@500ns; \
+             rand-links=4; transient=0.01; repair=10us; retries=8; backoff=100ns",
+        )
+        .unwrap();
+        assert_eq!(plan.events.len(), 3);
+        assert_eq!(plan.rand_links, 4);
+        assert!((plan.transient.per_packet - 0.01).abs() < 1e-12);
+        assert_eq!(plan.repair_after, Some(Span::from_us(10)));
+        assert!(plan.recovery.enabled);
+        assert_eq!(plan.recovery.max_retries, 8);
+    }
+
+    #[test]
+    fn empty_and_none_are_the_no_fault_plan() {
+        assert!(FaultPlan::parse("").unwrap().is_none());
+        assert!(FaultPlan::parse("none").unwrap().is_none());
+        assert_eq!(FaultPlan::none().to_spec(), "none");
+    }
+
+    #[test]
+    fn bad_clauses_are_typed_errors() {
+        assert!(matches!(
+            FaultPlan::parse("explode:now"),
+            Err(PlanError::UnknownClause(_))
+        ));
+        assert!(matches!(
+            FaultPlan::parse("link:1->2@fast"),
+            Err(PlanError::BadTime(_))
+        ));
+        assert!(matches!(
+            FaultPlan::parse("transient=2.0"),
+            Err(PlanError::BadNumber(_))
+        ));
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let spec = "link:3->17@2us; laser:5@500ns; rand-links=2; \
+                    transient=0.01; repair=10us; backoff=50ns";
+        let plan = FaultPlan::parse(spec).unwrap();
+        let again = FaultPlan::parse(&plan.to_spec()).unwrap();
+        assert_eq!(plan, again);
+    }
+
+    #[test]
+    fn schedule_interleaves_repairs_in_time_order() {
+        let plan = FaultPlan::parse("link:0->1@1us; laser:2@2us; repair=500ns").unwrap();
+        let sched = plan.schedule(&grid(), 7, Time::from_us(100));
+        let names: Vec<_> = sched.iter().map(|(_, f)| f.name()).collect();
+        assert_eq!(
+            names,
+            ["link-kill", "link-repair", "laser-loss", "laser-restore"]
+        );
+        assert_eq!(sched[1].0, Time::from_ns(1_500));
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_schedules() {
+        let plan = FaultPlan::parse("rand-links=16; repair=1us").unwrap();
+        let a = plan.schedule(&grid(), 42, Time::from_us(50));
+        let b = plan.schedule(&grid(), 42, Time::from_us(50));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(a.len(), 32);
+        let c = plan.schedule(&grid(), 43, Time::from_us(50));
+        assert_ne!(format!("{a:?}"), format!("{c:?}"));
+    }
+
+    #[test]
+    fn crosstalk_derived_transients_scale_with_crossings() {
+        let few = TransientModel::from_crosstalk(&CrossingModel::bogaerts_optimized(), 8);
+        let many = TransientModel::from_crosstalk(&CrossingModel::bogaerts_optimized(), 256);
+        assert!(few.per_packet > 0.0 && few.per_packet < many.per_packet);
+        // A plain crossing closes the eye after a handful of crossings.
+        let closed = TransientModel::from_crosstalk(&CrossingModel::bogaerts_plain(), 4);
+        assert_eq!(closed.per_packet, 1.0);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let r = RecoveryPolicy::default();
+        assert_eq!(r.backoff_for(1), Span::from_ns(100));
+        assert_eq!(r.backoff_for(2), Span::from_ns(200));
+        assert_eq!(r.backoff_for(4), Span::from_ns(800));
+        assert_eq!(r.backoff_for(40), r.backoff_for(11));
+    }
+}

@@ -115,6 +115,27 @@ impl TxChannel {
         self.bytes_per_ns
     }
 
+    /// Changes the channel bandwidth (wavelength loss or restoration).
+    ///
+    /// In-flight transmissions keep their already-computed finish time;
+    /// only subsequent serializations see the new rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not strictly positive and finite.
+    pub fn set_bytes_per_ns(&mut self, bytes_per_ns: f64) {
+        assert!(
+            bytes_per_ns > 0.0 && bytes_per_ns.is_finite(),
+            "invalid channel bandwidth"
+        );
+        self.bytes_per_ns = bytes_per_ns;
+    }
+
+    /// Removes and returns every queued packet (fault eviction).
+    pub fn drain_queue(&mut self) -> Vec<Packet> {
+        self.queue.drain(..).collect()
+    }
+
     /// Peek at the head packet without dequeuing it.
     pub fn peek(&self) -> Option<&Packet> {
         self.queue.front()

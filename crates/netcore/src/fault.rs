@@ -1,0 +1,139 @@
+//! The fault vocabulary shared between the fault-injection subsystem and
+//! the network implementations.
+//!
+//! The `faults` crate schedules faults; each network implements
+//! [`Network::apply_fault`](crate::Network::apply_fault) to translate a
+//! [`NetFault`] into its own degradation policy (spare wavelengths,
+//! electronic re-route, token regeneration, circuit re-setup, requestor
+//! masking). Keeping the vocabulary here lets the five networks stay
+//! independent of the injection machinery.
+
+use crate::{Packet, SiteId};
+
+/// A structural fault applied to a network at a simulation instant.
+///
+/// Transient bit-error faults are *not* represented here: corruption is a
+/// per-packet delivery-contract concern handled above the network by the
+/// resilience wrapper, which sees every delivered packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// A directed inter-site link (waveguide bundle) fails permanently
+    /// (until a matching [`NetFault::LinkRepair`]).
+    LinkKill { src: SiteId, dst: SiteId },
+    /// A previously killed link is repaired to full bandwidth.
+    LinkRepair { src: SiteId, dst: SiteId },
+    /// A site loses part of its laser power budget: outgoing channels drop
+    /// to half bandwidth (one of two wavelengths survives).
+    LaserLoss { site: SiteId },
+    /// A site's laser power budget is restored.
+    LaserRestore { site: SiteId },
+    /// An entire site (die) fails: it neither sources nor sinks traffic.
+    SiteKill { site: SiteId },
+}
+
+impl NetFault {
+    /// Stable kebab-case name used in trace events and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetFault::LinkKill { .. } => "link-kill",
+            NetFault::LinkRepair { .. } => "link-repair",
+            NetFault::LaserLoss { .. } => "laser-loss",
+            NetFault::LaserRestore { .. } => "laser-restore",
+            NetFault::SiteKill { .. } => "site-kill",
+        }
+    }
+
+    /// True for repair/restore events (recovery rather than degradation).
+    pub fn is_recovery(self) -> bool {
+        matches!(
+            self,
+            NetFault::LinkRepair { .. } | NetFault::LaserRestore { .. }
+        )
+    }
+
+    /// The primary site the fault anchors to (trace lane).
+    pub fn site(self) -> SiteId {
+        match self {
+            NetFault::LinkKill { src, .. } | NetFault::LinkRepair { src, .. } => src,
+            NetFault::LaserLoss { site }
+            | NetFault::LaserRestore { site }
+            | NetFault::SiteKill { site } => site,
+        }
+    }
+
+    /// The far end for link faults; the primary site otherwise.
+    pub fn peer(self) -> SiteId {
+        match self {
+            NetFault::LinkKill { dst, .. } | NetFault::LinkRepair { dst, .. } => dst,
+            other => other.site(),
+        }
+    }
+}
+
+/// What a network did with an applied fault.
+#[derive(Debug, Default)]
+pub struct FaultResponse {
+    /// Short stable description of the degradation policy that ran
+    /// (`"spare-wavelength"`, `"reroute"`, `"token-regen"`, …); empty when
+    /// nothing happened.
+    pub action: &'static str,
+    /// True if the network has a policy for this fault kind. Unhandled
+    /// faults are absorbed by the resilience wrapper instead.
+    pub handled: bool,
+    /// Packets evicted from internal queues by the fault; the wrapper
+    /// decides whether each is retried or dropped.
+    pub evicted: Vec<Packet>,
+}
+
+impl FaultResponse {
+    /// A response saying the network has no policy for this fault.
+    pub fn unhandled() -> FaultResponse {
+        FaultResponse::default()
+    }
+
+    /// A response naming the degradation policy that was applied.
+    pub fn handled(action: &'static str) -> FaultResponse {
+        FaultResponse {
+            action,
+            handled: true,
+            evicted: Vec::new(),
+        }
+    }
+
+    /// Attaches evicted packets to the response.
+    pub fn with_evicted(mut self, evicted: Vec<Packet>) -> FaultResponse {
+        self.evicted = evicted;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_anchors_are_stable() {
+        let a = SiteId::from_index(3);
+        let b = SiteId::from_index(17);
+        let kill = NetFault::LinkKill { src: a, dst: b };
+        assert_eq!(kill.name(), "link-kill");
+        assert_eq!(kill.site(), a);
+        assert_eq!(kill.peer(), b);
+        assert!(!kill.is_recovery());
+        let repair = NetFault::LinkRepair { src: a, dst: b };
+        assert!(repair.is_recovery());
+        let die = NetFault::SiteKill { site: b };
+        assert_eq!(die.site(), b);
+        assert_eq!(die.peer(), b);
+    }
+
+    #[test]
+    fn responses_carry_policy_and_evictions() {
+        let r = FaultResponse::unhandled();
+        assert!(!r.handled);
+        assert!(r.evicted.is_empty());
+        let r = FaultResponse::handled("spare-wavelength");
+        assert!(r.handled);
+        assert_eq!(r.action, "spare-wavelength");
+    }
+}

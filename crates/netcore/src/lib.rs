@@ -26,6 +26,7 @@
 
 mod channel;
 mod config;
+mod fault;
 pub mod metrics;
 mod network;
 mod packet;
@@ -35,6 +36,7 @@ mod traffic;
 
 pub use channel::TxChannel;
 pub use config::MacrochipConfig;
+pub use fault::{FaultResponse, NetFault};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use network::{Network, NetworkKind};
 pub use packet::{MessageKind, Packet, PacketId};

@@ -74,6 +74,7 @@ impl MetricsRegistry {
     pub fn record_net_stats(&mut self, stats: &NetStats) {
         self.add_counter("net.injected", stats.injected_packets());
         self.add_counter("net.rejected", stats.rejected_packets());
+        self.add_counter("net.dropped", stats.dropped_packets());
         self.add_counter("net.delivered", stats.delivered_packets());
         self.add_counter("net.delivered_bytes", stats.delivered_bytes());
         self.add_counter("net.routed_bytes", stats.routed_bytes());

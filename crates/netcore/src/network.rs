@@ -1,6 +1,6 @@
 //! The `Network` trait implemented by all five architectures.
 
-use crate::{MacrochipConfig, NetStats, Packet};
+use crate::{FaultResponse, MacrochipConfig, NetFault, NetStats, Packet};
 use desim::{Time, Tracer};
 use photonics::inventory::NetworkId;
 use std::fmt;
@@ -118,6 +118,18 @@ pub trait Network {
     /// the tracer, so architectures opt in individually.
     fn set_tracer(&mut self, tracer: Tracer) {
         let _ = tracer;
+    }
+
+    /// Applies a structural fault at `now`, running this architecture's
+    /// degradation policy (spare wavelengths, re-routing, token
+    /// regeneration, circuit re-setup, requestor masking).
+    ///
+    /// The default implementation reports the fault as unhandled; the
+    /// resilience wrapper in the `faults` crate then falls back to its
+    /// generic drop/retry policy.
+    fn apply_fault(&mut self, fault: NetFault, now: Time) -> FaultResponse {
+        let _ = (fault, now);
+        FaultResponse::unhandled()
     }
 }
 

@@ -55,6 +55,7 @@ impl Phase {
 pub struct NetStats {
     injected: Counter,
     rejected: Counter,
+    dropped: Counter,
     delivered: Counter,
     delivered_bytes: Counter,
     routed_bytes: Counter,
@@ -76,6 +77,7 @@ impl NetStats {
         NetStats {
             injected: Counter::new(),
             rejected: Counter::new(),
+            dropped: Counter::new(),
             delivered: Counter::new(),
             delivered_bytes: Counter::new(),
             routed_bytes: Counter::new(),
@@ -103,6 +105,12 @@ impl NetStats {
     /// Records a refused injection (backpressure).
     pub fn on_reject(&mut self) {
         self.rejected.incr();
+    }
+
+    /// Records a packet permanently dropped by a fault (dead destination,
+    /// retry budget exhausted).
+    pub fn on_drop(&mut self) {
+        self.dropped.incr();
     }
 
     /// Records a delivery; the packet must carry its `delivered` stamp.
@@ -158,6 +166,11 @@ impl NetStats {
     /// Injection attempts refused by backpressure.
     pub fn rejected_packets(&self) -> u64 {
         self.rejected.value()
+    }
+
+    /// Packets permanently lost to faults.
+    pub fn dropped_packets(&self) -> u64 {
+        self.dropped.value()
     }
 
     /// Packets delivered end to end.
@@ -332,9 +345,11 @@ mod tests {
         s.on_inject();
         s.on_reject();
         s.on_wasted_slot();
+        s.on_drop();
         assert_eq!(s.injected_packets(), 1);
         assert_eq!(s.rejected_packets(), 1);
         assert_eq!(s.wasted_slots(), 1);
+        assert_eq!(s.dropped_packets(), 1);
     }
 
     #[test]

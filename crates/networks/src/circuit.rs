@@ -18,10 +18,10 @@
 
 use desim::{EventQueue, Span, Time, TraceEvent, Tracer};
 use netcore::{
-    MacrochipConfig, MessageKind, NetStats, Network, NetworkKind, Packet, PacketId, SiteId,
-    TxChannel,
+    FaultResponse, MacrochipConfig, MessageKind, NetFault, NetStats, Network, NetworkKind, Packet,
+    PacketId, SiteId, TxChannel,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Wavelengths per data circuit (128 × 2.5 GB/s = 320 GB/s).
 pub const LAMBDAS_PER_CIRCUIT: usize = 128;
@@ -50,6 +50,9 @@ struct Circuit {
     dst: SiteId,
     packets: Vec<Packet>,
     hops: usize,
+    /// Control hops the setup message has actually taken, counting
+    /// fault detours; bounded to detect unroutable paths.
+    setup_hops: usize,
 }
 
 #[derive(Debug)]
@@ -94,6 +97,9 @@ pub struct CircuitSwitchedNetwork {
     src_wait: Vec<VecDeque<Packet>>,
     dst_wait: Vec<VecDeque<u64>>,
     circuits: HashMap<u64, Circuit>,
+    /// Killed torus segments, stored in both directions (a waveguide cut
+    /// takes out the whole segment); setup routing detours around them.
+    dead_links: HashSet<(usize, usize)>,
     gateway_limit: usize,
     batch_limit: usize,
     next_circuit: u64,
@@ -154,6 +160,7 @@ impl CircuitSwitchedNetwork {
             src_wait: (0..sites).map(|_| VecDeque::new()).collect(),
             dst_wait: (0..sites).map(|_| VecDeque::new()).collect(),
             circuits: HashMap::new(),
+            dead_links: HashSet::new(),
             gateway_limit,
             batch_limit,
             next_circuit: 0,
@@ -165,27 +172,43 @@ impl CircuitSwitchedNetwork {
     }
 
     /// XY wrap-around routing: the next hop direction from `cur` toward
-    /// `dst`, x first.
+    /// `dst`, x first. Directions whose segment is killed are skipped in
+    /// favour of the same-axis reverse ring, then the other axis; with
+    /// every segment dead the preferred direction is returned and the
+    /// setup-hop bound eventually abandons the circuit.
     fn next_dir(&self, cur: SiteId, dst: SiteId) -> usize {
         let g = self.config.grid;
         let n = g.side();
         let (cx, cy) = g.coord(cur);
         let (dx, dy) = g.coord(dst);
-        if cx != dx {
-            let fwd = (dx + n - cx) % n; // hops going +x
-            if fwd <= n - fwd {
-                DIR_XP
-            } else {
-                DIR_XN
-            }
+        let x_fwd = (dx + n - cx) % n; // hops going +x
+        let (x_best, x_back) = if x_fwd <= n - x_fwd {
+            (DIR_XP, DIR_XN)
         } else {
-            let fwd = (dy + n - cy) % n;
-            if fwd <= n - fwd {
-                DIR_YP
-            } else {
-                DIR_YN
-            }
-        }
+            (DIR_XN, DIR_XP)
+        };
+        let y_fwd = (dy + n - cy) % n;
+        let (y_best, y_back) = if y_fwd <= n - y_fwd {
+            (DIR_YP, DIR_YN)
+        } else {
+            (DIR_YN, DIR_YP)
+        };
+        // Detour preference: the other axis comes before the same-axis
+        // reverse ring, which would just lead back to the blocked segment.
+        let order = if cx != dx {
+            [x_best, y_best, y_back, x_back]
+        } else {
+            [y_best, x_best, x_back, y_back]
+        };
+        order
+            .into_iter()
+            .find(|&dir| self.link_live(cur, self.neighbor(cur, dir)))
+            .unwrap_or(order[0])
+    }
+
+    /// True when the torus segment between neighbours `a` and `b` is alive.
+    fn link_live(&self, a: SiteId, b: SiteId) -> bool {
+        !self.dead_links.contains(&(a.index(), b.index()))
     }
 
     fn neighbor(&self, cur: SiteId, dir: usize) -> SiteId {
@@ -222,7 +245,10 @@ impl CircuitSwitchedNetwork {
 
     /// Sends the circuit's setup message one hop onward from `from`.
     fn forward_setup(&mut self, circuit: u64, from: SiteId, now: Time) {
-        let dst = self.circuits[&circuit].dst;
+        let Some(c) = self.circuits.get(&circuit) else {
+            return; // abandoned by a fault while the setup was in flight
+        };
+        let dst = c.dst;
         let dir = self.next_dir(from, dst);
         let link = self.link_index(from, dir);
         let marker = Packet::new(
@@ -295,6 +321,7 @@ impl CircuitSwitchedNetwork {
                     dst,
                     packets,
                     hops,
+                    setup_hops: 0,
                 },
             );
             self.out_active[src.index()] += 1;
@@ -303,7 +330,18 @@ impl CircuitSwitchedNetwork {
     }
 
     fn on_setup_arrive(&mut self, circuit: u64, at: SiteId, now: Time) {
-        let dst = self.circuits[&circuit].dst;
+        let Some(c) = self.circuits.get_mut(&circuit) else {
+            return; // abandoned by a fault while the setup was in flight
+        };
+        let dst = c.dst;
+        c.setup_hops += 1;
+        // A setup wandering far beyond any healthy path means the fault
+        // pattern has cut the destination off: abandon the circuit.
+        let lost = at != dst && c.setup_hops > 6 * self.config.grid.side();
+        if lost {
+            self.abandon_circuit(circuit, at, now);
+            return;
+        }
         if at == dst {
             if self.in_active[dst.index()] < self.gateway_limit {
                 self.grant(circuit, now);
@@ -319,16 +357,42 @@ impl CircuitSwitchedNetwork {
         }
     }
 
+    /// Abandons a circuit whose setup cannot reach the destination,
+    /// dropping its packets and freeing the source gateway slot.
+    fn abandon_circuit(&mut self, circuit: u64, at: SiteId, now: Time) {
+        let Some(c) = self.circuits.remove(&circuit) else {
+            return;
+        };
+        for p in &c.packets {
+            self.stats.on_drop();
+            self.tracer.emit(now, || TraceEvent::Drop {
+                packet: p.id.0,
+                site: at.index(),
+                reason: "setup-lost",
+            });
+        }
+        self.tracer.emit(now, || TraceEvent::CircuitTeardown {
+            circuit,
+            packets: 0,
+        });
+        self.out_active[c.src.index()] -= 1;
+        self.try_start(c.src, now);
+    }
+
     /// Destination accepts the circuit; the ack flies back to the source.
     fn grant(&mut self, circuit: u64, now: Time) {
-        let c = &self.circuits[&circuit];
+        let Some(c) = self.circuits.get(&circuit) else {
+            return;
+        };
         self.in_active[c.dst.index()] += 1;
         let ack = self.ack_traverse(c.hops);
         self.events.push(now + ack, Ev::AckArrive { circuit });
     }
 
     fn on_ack(&mut self, circuit: u64, now: Time) {
-        let c = self.circuits.get_mut(&circuit).expect("live circuit");
+        let Some(c) = self.circuits.get_mut(&circuit) else {
+            return; // abandoned by a fault before the ack came back
+        };
         let bytes: u32 = c.packets.iter().map(|p| p.bytes).sum();
         let bw = self.config.channel_bytes_per_ns(LAMBDAS_PER_CIRCUIT);
         let ser = Span::from_ns_f64(bytes as f64 / bw);
@@ -348,10 +412,9 @@ impl CircuitSwitchedNetwork {
     }
 
     fn on_data_done(&mut self, circuit: u64, now: Time) {
-        let c = self
-            .circuits
-            .remove(&circuit)
-            .expect("circuit completes exactly once");
+        let Some(c) = self.circuits.remove(&circuit) else {
+            return; // abandoned by a fault
+        };
         let carried = c.packets.len() as u32;
         for mut p in c.packets {
             p.delivered = Some(now);
@@ -459,6 +522,42 @@ impl Network for CircuitSwitchedNetwork {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Degradation policy: path re-setup around killed segments. Setup
+    /// messages recompute their route at every switch point, so marking a
+    /// segment dead diverts all subsequent setups; in-flight circuits
+    /// complete optimistically (their switches are already configured).
+    /// Laser loss halves the affected site's control-network bandwidth,
+    /// slowing every setup it sources.
+    fn apply_fault(&mut self, fault: NetFault, _now: Time) -> FaultResponse {
+        match fault {
+            NetFault::LinkKill { src, dst } => {
+                self.dead_links.insert((src.index(), dst.index()));
+                self.dead_links.insert((dst.index(), src.index()));
+                FaultResponse::handled("re-setup")
+            }
+            NetFault::LinkRepair { src, dst } => {
+                self.dead_links.remove(&(src.index(), dst.index()));
+                self.dead_links.remove(&(dst.index(), src.index()));
+                FaultResponse::handled("direct-route")
+            }
+            NetFault::LaserLoss { site } => {
+                for dir in 0..4 {
+                    self.ctrl_links[site.index() * 4 + dir]
+                        .set_bytes_per_ns(self.config.lambda_bytes_per_ns * 0.5);
+                }
+                FaultResponse::handled("half-control-bandwidth")
+            }
+            NetFault::LaserRestore { site } => {
+                for dir in 0..4 {
+                    self.ctrl_links[site.index() * 4 + dir]
+                        .set_bytes_per_ns(self.config.lambda_bytes_per_ns);
+                }
+                FaultResponse::handled("full-control-bandwidth")
+            }
+            NetFault::SiteKill { .. } => FaultResponse::unhandled(),
+        }
     }
 }
 
@@ -625,6 +724,60 @@ mod tests {
         let t2 = done.iter().find(|p| p.id == PacketId(2)).unwrap().delivered;
         assert_eq!(t0, t2);
         assert_ne!(t0, t1);
+    }
+
+    #[test]
+    fn killed_segment_diverts_the_setup_path() {
+        let mut n = net();
+        let g = n.config.grid;
+        let (src, dst) = (g.site(0, 0), g.site(1, 0));
+        // Kill the direct segment; XY routing must detour.
+        let r = n.apply_fault(NetFault::LinkKill { src, dst }, Time::ZERO);
+        assert!(r.handled);
+        assert_eq!(r.action, "re-setup");
+        assert_ne!(n.neighbor(src, n.next_dir(src, dst)), dst);
+        n.inject(data(0, src, dst, Time::ZERO), Time::ZERO).unwrap();
+        run_until_idle(&mut n);
+        let done = n.drain_delivered();
+        assert_eq!(done.len(), 1);
+        // The detoured setup is slower than the healthy single hop.
+        assert!(done[0].latency().unwrap().as_ns_f64() > 35.0);
+        assert_eq!(n.stats().dropped_packets(), 0);
+    }
+
+    #[test]
+    fn unroutable_destination_abandons_the_circuit() {
+        let mut n = net();
+        let g = n.config.grid;
+        let dst = g.site(4, 4);
+        // Cut every segment touching the destination.
+        for dir in 0..4 {
+            let peer = n.neighbor(dst, dir);
+            n.apply_fault(
+                NetFault::LinkKill {
+                    src: dst,
+                    dst: peer,
+                },
+                Time::ZERO,
+            );
+        }
+        n.inject(data(0, g.site(0, 0), dst, Time::ZERO), Time::ZERO)
+            .unwrap();
+        run_until_idle(&mut n);
+        assert!(n.drain_delivered().is_empty());
+        assert_eq!(n.stats().dropped_packets(), 1);
+        // The gateway slot came back, so later circuits still start.
+        assert_eq!(n.out_active[g.site(0, 0).index()], 0);
+    }
+
+    #[test]
+    fn repaired_segment_restores_direct_setup() {
+        let mut n = net();
+        let g = n.config.grid;
+        let (src, dst) = (g.site(0, 0), g.site(1, 0));
+        n.apply_fault(NetFault::LinkKill { src, dst }, Time::ZERO);
+        n.apply_fault(NetFault::LinkRepair { src, dst }, Time::ZERO);
+        assert_eq!(n.neighbor(src, n.next_dir(src, dst)), dst);
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //! (§6.3, Figure 9).
 
 use desim::{EventQueue, Time, TraceEvent, Tracer};
-use netcore::{MacrochipConfig, NetStats, Network, NetworkKind, Packet, SiteId, TxChannel};
+use netcore::{
+    FaultResponse, MacrochipConfig, NetFault, NetStats, Network, NetworkKind, Packet, SiteId,
+    TxChannel,
+};
 
 /// Wavelengths per peer channel (8 × 2.5 GB/s = 20 GB/s).
 pub const LAMBDAS_PER_CHANNEL: usize = 8;
@@ -78,6 +81,8 @@ pub struct LimitedP2pNetwork {
     policy: RoutingPolicy,
     /// Dense S×S map; `None` where no direct channel exists.
     channels: Vec<Option<TxChannel>>,
+    /// Dense S×S map of killed links (same indexing as `channels`).
+    dead: Vec<bool>,
     events: EventQueue<Ev>,
     delivered: Vec<Packet>,
     stats: NetStats,
@@ -110,6 +115,7 @@ impl LimitedP2pNetwork {
         LimitedP2pNetwork {
             config,
             policy,
+            dead: vec![false; channels.len()],
             channels,
             events: EventQueue::new(),
             delivered: Vec::new(),
@@ -144,6 +150,57 @@ impl LimitedP2pNetwork {
 
     fn channel_index(&self, src: SiteId, dst: SiteId) -> usize {
         src.index() * self.config.grid.sites() + dst.index()
+    }
+
+    /// True when a direct optical channel `a -> b` exists and is alive.
+    fn live(&self, a: SiteId, b: SiteId) -> bool {
+        let idx = self.channel_index(a, b);
+        self.channels[idx].is_some() && !self.dead[idx]
+    }
+
+    /// The first optical hop toward `dst`, routing electronically around
+    /// any killed links; `None` when every detour is dead too.
+    fn route_first_hop(&self, src: SiteId, dst: SiteId) -> Option<SiteId> {
+        let g = self.config.grid;
+        if g.are_peers(src, dst) {
+            if self.live(src, dst) {
+                return Some(dst);
+            }
+            // Direct peer link dead: detour through another site on the
+            // shared row or column, which is a peer of both ends.
+            let shared_row = g.y(src) == g.y(dst);
+            return (0..g.side())
+                .map(|i| {
+                    if shared_row {
+                        g.site(i, g.y(src))
+                    } else {
+                        g.site(g.x(src), i)
+                    }
+                })
+                .find(|&f| f != src && f != dst && self.live(src, f) && self.live(f, dst));
+        }
+        // Non-peer pair: prefer the policy's corner, fall back to the
+        // opposite corner when a leg through it is dead.
+        let preferred = self.forwarder(src, dst);
+        let row_first = g.site(g.x(dst), g.y(src));
+        let col_first = g.site(g.x(src), g.y(dst));
+        let fallback = if preferred == row_first {
+            col_first
+        } else {
+            row_first
+        };
+        [preferred, fallback]
+            .into_iter()
+            .find(|&f| self.live(src, f) && self.live(f, dst))
+    }
+
+    fn drop_packet(&mut self, packet: Packet, at: SiteId, now: Time) {
+        self.stats.on_drop();
+        self.tracer.emit(now, || TraceEvent::Drop {
+            packet: packet.id.0,
+            site: at.index(),
+            reason: "no-route",
+        });
     }
 
     fn pump(&mut self, channel: usize, now: Time) {
@@ -194,22 +251,23 @@ impl LimitedP2pNetwork {
     }
 
     fn on_forward(&mut self, mut packet: Packet, at: SiteId, t: Time) {
-        debug_assert!(
-            self.config.grid.are_peers(at, packet.dst),
-            "forwarder must be a peer of the destination"
-        );
-        if packet.routed_bytes == 0 {
-            packet.routed_bytes = packet.bytes;
-        }
+        // Route from the router toward the destination; in the healthy
+        // network this is always the direct peer channel `at -> dst`, but
+        // a killed link diverts through a further electronic hop.
+        let Some(hop) = self.route_first_hop(at, packet.dst) else {
+            self.drop_packet(packet, at, t);
+            return;
+        };
+        packet.routed_bytes = packet.routed_bytes.saturating_add(packet.bytes);
         self.tracer.emit(t, || TraceEvent::Hop {
             packet: packet.id.0,
             at: at.index(),
         });
-        let idx = self.channel_index(at, packet.dst);
+        let idx = self.channel_index(at, hop);
         let retry_at = {
             let ch = self.channels[idx]
                 .as_mut()
-                .expect("forwarder is a column peer of dst");
+                .expect("routed hops follow existing channels");
             match ch.try_enqueue(packet) {
                 Ok(()) => None,
                 // Output buffer full: the router holds the packet and
@@ -267,10 +325,12 @@ impl Network for LimitedP2pNetwork {
             self.stats.on_inject();
             return Ok(());
         }
-        let first_hop = if self.config.grid.are_peers(packet.src, packet.dst) {
-            packet.dst
-        } else {
-            self.forwarder(packet.src, packet.dst)
+        let Some(first_hop) = self.route_first_hop(packet.src, packet.dst) else {
+            // Every route is dead: absorb the packet as a fault drop so
+            // the driver does not retry forever against a dead path.
+            self.stats.on_inject();
+            self.drop_packet(packet, packet.src, now);
+            return Ok(());
         };
         let idx = self.channel_index(packet.src, first_hop);
         let (id, src, dst, bytes) = (
@@ -326,6 +386,51 @@ impl Network for LimitedP2pNetwork {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Degradation policy: electronic re-route around killed links. A
+    /// killed peer link evicts its queued packets (the wrapper retries
+    /// them) and subsequent traffic detours through a live forwarder;
+    /// laser loss halves the affected site's outgoing channel bandwidth.
+    fn apply_fault(&mut self, fault: NetFault, _now: Time) -> FaultResponse {
+        let sites = self.config.grid.sites();
+        let full = self.config.channel_bytes_per_ns(LAMBDAS_PER_CHANNEL);
+        let spare = self.config.channel_bytes_per_ns(LAMBDAS_PER_CHANNEL / 2);
+        match fault {
+            NetFault::LinkKill { src, dst } => {
+                let idx = self.channel_index(src, dst);
+                let Some(ch) = self.channels[idx].as_mut() else {
+                    return FaultResponse::unhandled();
+                };
+                self.dead[idx] = true;
+                FaultResponse::handled("reroute").with_evicted(ch.drain_queue())
+            }
+            NetFault::LinkRepair { src, dst } => {
+                let idx = self.channel_index(src, dst);
+                if self.channels[idx].is_none() {
+                    return FaultResponse::unhandled();
+                }
+                self.dead[idx] = false;
+                FaultResponse::handled("direct-route")
+            }
+            NetFault::LaserLoss { site } => {
+                for d in 0..sites {
+                    if let Some(ch) = self.channels[site.index() * sites + d].as_mut() {
+                        ch.set_bytes_per_ns(spare);
+                    }
+                }
+                FaultResponse::handled("half-bandwidth")
+            }
+            NetFault::LaserRestore { site } => {
+                for d in 0..sites {
+                    if let Some(ch) = self.channels[site.index() * sites + d].as_mut() {
+                        ch.set_bytes_per_ns(full);
+                    }
+                }
+                FaultResponse::handled("full-bandwidth")
+            }
+            NetFault::SiteKill { .. } => FaultResponse::unhandled(),
+        }
     }
 }
 
@@ -495,6 +600,66 @@ mod tests {
             assert_eq!(done.len(), 1, "{policy:?}");
             assert_eq!(done[0].routed_bytes, 64, "{policy:?}");
         }
+    }
+
+    #[test]
+    fn killed_peer_link_detours_electronically() {
+        let mut n = net();
+        let g = n.config.grid;
+        let (a, b) = (g.site(0, 0), g.site(5, 0));
+        let r = n.apply_fault(NetFault::LinkKill { src: a, dst: b }, Time::ZERO);
+        assert!(r.handled);
+        assert_eq!(r.action, "reroute");
+        n.inject(data(0, a, b, Time::ZERO), Time::ZERO).unwrap();
+        run_until_idle(&mut n);
+        let done = n.drain_delivered();
+        assert_eq!(done.len(), 1);
+        // The detour crosses an electronic router, unlike the direct link.
+        assert_eq!(done[0].routed_bytes, 64);
+        assert!(done[0].latency().unwrap() > Span::from_ns_f64(10.0));
+    }
+
+    #[test]
+    fn killed_forwarder_leg_uses_the_other_corner() {
+        let mut n = net();
+        let g = n.config.grid;
+        let (src, dst) = (g.site(0, 0), g.site(3, 5));
+        // Kill the row-first corner's first leg; traffic must route via
+        // the column-first corner (0,5).
+        n.apply_fault(
+            NetFault::LinkKill {
+                src,
+                dst: g.site(3, 0),
+            },
+            Time::ZERO,
+        );
+        assert_eq!(g.coord(n.route_first_hop(src, dst).unwrap()), (0, 5));
+        n.inject(data(0, src, dst, Time::ZERO), Time::ZERO).unwrap();
+        run_until_idle(&mut n);
+        assert_eq!(n.drain_delivered().len(), 1);
+    }
+
+    #[test]
+    fn repair_restores_the_direct_route() {
+        let mut n = net();
+        let g = n.config.grid;
+        let (a, b) = (g.site(0, 0), g.site(5, 0));
+        n.apply_fault(NetFault::LinkKill { src: a, dst: b }, Time::ZERO);
+        n.apply_fault(NetFault::LinkRepair { src: a, dst: b }, Time::ZERO);
+        assert_eq!(n.route_first_hop(a, b), Some(b));
+    }
+
+    #[test]
+    fn killed_link_evicts_queued_packets() {
+        let mut n = net();
+        let g = n.config.grid;
+        let (a, b) = (g.site(0, 0), g.site(1, 0));
+        for i in 0..4u64 {
+            n.inject(data(i, a, b, Time::ZERO), Time::ZERO).unwrap();
+        }
+        let r = n.apply_fault(NetFault::LinkKill { src: a, dst: b }, Time::ZERO);
+        // One packet is already in flight; the rest were queued.
+        assert_eq!(r.evicted.len(), 3);
     }
 
     #[test]

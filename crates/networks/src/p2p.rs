@@ -11,7 +11,9 @@
 //! evaluation (§6.2).
 
 use desim::{EventQueue, Time, TraceEvent, Tracer};
-use netcore::{MacrochipConfig, NetStats, Network, NetworkKind, Packet, TxChannel};
+use netcore::{
+    FaultResponse, MacrochipConfig, NetFault, NetStats, Network, NetworkKind, Packet, TxChannel,
+};
 
 /// Wavelengths per point-to-point channel (2 × 2.5 GB/s = 5 GB/s).
 pub const LAMBDAS_PER_CHANNEL: usize = 2;
@@ -180,6 +182,39 @@ impl Network for P2pNetwork {
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
     }
+
+    /// Degradation policy: every site pair has a dedicated two-wavelength
+    /// channel, so a killed waveguide falls back to the spare wavelength
+    /// (half bandwidth) instead of dying, and a laser loss halves every
+    /// outgoing channel of the affected site.
+    fn apply_fault(&mut self, fault: NetFault, _now: Time) -> FaultResponse {
+        let sites = self.config.grid.sites();
+        let full = self.config.channel_bytes_per_ns(LAMBDAS_PER_CHANNEL);
+        let spare = self.config.channel_bytes_per_ns(1);
+        match fault {
+            NetFault::LinkKill { src, dst } => {
+                self.channels[src.index() * sites + dst.index()].set_bytes_per_ns(spare);
+                FaultResponse::handled("spare-wavelength")
+            }
+            NetFault::LinkRepair { src, dst } => {
+                self.channels[src.index() * sites + dst.index()].set_bytes_per_ns(full);
+                FaultResponse::handled("full-bandwidth")
+            }
+            NetFault::LaserLoss { site } => {
+                for dst in 0..sites {
+                    self.channels[site.index() * sites + dst].set_bytes_per_ns(spare);
+                }
+                FaultResponse::handled("spare-wavelength")
+            }
+            NetFault::LaserRestore { site } => {
+                for dst in 0..sites {
+                    self.channels[site.index() * sites + dst].set_bytes_per_ns(full);
+                }
+                FaultResponse::handled("full-bandwidth")
+            }
+            NetFault::SiteKill { .. } => FaultResponse::unhandled(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -289,6 +324,43 @@ mod tests {
         assert_eq!(n.stats().delivered_packets(), 4);
         assert_eq!(n.stats().delivered_bytes(), 256);
         assert_eq!(n.drain_delivered().len(), 4);
+    }
+
+    #[test]
+    fn killed_link_reroutes_to_spare_wavelength() {
+        let mut n = net();
+        let g = n.config.grid;
+        let (a, b) = (g.site(0, 0), g.site(1, 0));
+        let r = n.apply_fault(NetFault::LinkKill { src: a, dst: b }, Time::ZERO);
+        assert!(r.handled);
+        assert_eq!(r.action, "spare-wavelength");
+        n.inject(data(0, a, b, Time::ZERO), Time::ZERO).unwrap();
+        run_until_idle(&mut n);
+        let done = n.drain_delivered();
+        // 64 B at 2.5 B/ns = 25.6 ns serialization (twice the healthy
+        // 12.8 ns), plus one hop at 0.25 ns.
+        assert_eq!(done[0].latency().unwrap(), Span::from_ns_f64(25.85));
+        // Repair restores the full two-wavelength rate.
+        n.apply_fault(NetFault::LinkRepair { src: a, dst: b }, Time::ZERO);
+        let t = Time::from_us(1);
+        n.inject(data(1, a, b, t), t).unwrap();
+        run_until_idle(&mut n);
+        let done = n.drain_delivered();
+        assert_eq!(done[0].latency().unwrap(), Span::from_ns_f64(13.05));
+    }
+
+    #[test]
+    fn laser_loss_halves_every_outgoing_channel() {
+        let mut n = net();
+        let g = n.config.grid;
+        let a = g.site(0, 0);
+        n.apply_fault(NetFault::LaserLoss { site: a }, Time::ZERO);
+        n.inject(data(0, a, g.site(7, 7), Time::ZERO), Time::ZERO)
+            .unwrap();
+        run_until_idle(&mut n);
+        let done = n.drain_delivered();
+        // 64 B at 2.5 B/ns = 25.6 ns; 14 hops at 0.25 ns = 3.5 ns.
+        assert_eq!(done[0].latency().unwrap(), Span::from_ns_f64(29.1));
     }
 
     #[test]

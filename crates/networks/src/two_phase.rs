@@ -23,7 +23,9 @@
 //! (double trees, double transmitters) recovers a factor ~1.4 (§6.1).
 
 use desim::{EventQueue, Span, Time, TraceEvent, Tracer};
-use netcore::{MacrochipConfig, NetStats, Network, NetworkKind, Packet, SiteId};
+use netcore::{
+    FaultResponse, MacrochipConfig, NetFault, NetStats, Network, NetworkKind, Packet, SiteId,
+};
 use std::collections::VecDeque;
 
 /// Wavelengths per shared data channel (16 × 2.5 GB/s = 40 GB/s).
@@ -119,6 +121,13 @@ pub struct TwoPhaseNetwork {
     /// Next instant each column's notification waveguide can carry another
     /// switch request.
     notify_free: Vec<Time>,
+    /// Dead dies: masked out of arbitration as both requestors and
+    /// destinations.
+    masked_sites: Vec<bool>,
+    /// Laser-dead transmitters: masked as requestors only.
+    masked_tx: Vec<bool>,
+    /// Killed shared (row → destination) channels.
+    masked_channels: Vec<bool>,
     events: EventQueue<Ev>,
     delivered: Vec<Packet>,
     stats: NetStats,
@@ -161,6 +170,9 @@ impl TwoPhaseNetwork {
             channels,
             trees: vec![vec![Time::ZERO; trees_per_column]; sites * side],
             notify_free: vec![Time::ZERO; side],
+            masked_sites: vec![false; sites],
+            masked_tx: vec![false; sites],
+            masked_channels: vec![false; side * sites],
             events: EventQueue::new(),
             delivered: Vec::new(),
             stats: NetStats::new(),
@@ -375,6 +387,23 @@ impl Network for TwoPhaseNetwork {
         }
         let channel = self.channel_index(packet.src, packet.dst);
         let src_col = self.config.grid.x(packet.src);
+        if self.masked_channels[channel]
+            || self.masked_sites[packet.src.index()]
+            || self.masked_sites[packet.dst.index()]
+            || self.masked_tx[packet.src.index()]
+        {
+            // The arbiter masks dead requestors, channels and sinks out of
+            // the round-robin: the packet is absorbed as a fault drop so
+            // nothing ever waits on a masked resource.
+            self.stats.on_inject();
+            self.stats.on_drop();
+            self.tracer.emit(now, || TraceEvent::Drop {
+                packet: packet.id.0,
+                site: packet.src.index(),
+                reason: "masked",
+            });
+            return Ok(());
+        }
         if self.channels[channel].queues[src_col].len() >= self.config.queue_capacity {
             self.stats.on_reject();
             return Err(packet);
@@ -425,6 +454,70 @@ impl Network for TwoPhaseNetwork {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Degradation policy: the distributed arbiters mask dead requestors.
+    /// A dead die (or laser-dead transmitter) is dropped from every
+    /// round-robin domain and its queued packets are evicted for the
+    /// wrapper to triage; a killed shared channel is masked the same way.
+    fn apply_fault(&mut self, fault: NetFault, _now: Time) -> FaultResponse {
+        let sites = self.config.grid.sites();
+        let g = self.config.grid;
+        match fault {
+            NetFault::SiteKill { site } => {
+                self.masked_sites[site.index()] = true;
+                let mut evicted = Vec::new();
+                // The dead site's own pending requests, across its row.
+                let row = g.y(site);
+                let col = g.x(site);
+                for d in 0..sites {
+                    evicted.extend(
+                        self.channels[row * sites + d].queues[col]
+                            .drain(..)
+                            .map(|q| q.packet),
+                    );
+                }
+                // Everyone else's packets destined to the dead site.
+                for r in 0..g.side() {
+                    for queue in &mut self.channels[r * sites + site.index()].queues {
+                        evicted.extend(queue.drain(..).map(|q| q.packet));
+                    }
+                }
+                FaultResponse::handled("mask-requestor").with_evicted(evicted)
+            }
+            NetFault::LaserLoss { site } => {
+                self.masked_tx[site.index()] = true;
+                let mut evicted = Vec::new();
+                let row = g.y(site);
+                let col = g.x(site);
+                for d in 0..sites {
+                    evicted.extend(
+                        self.channels[row * sites + d].queues[col]
+                            .drain(..)
+                            .map(|q| q.packet),
+                    );
+                }
+                FaultResponse::handled("mask-requestor").with_evicted(evicted)
+            }
+            NetFault::LaserRestore { site } => {
+                self.masked_tx[site.index()] = false;
+                FaultResponse::handled("unmask-requestor")
+            }
+            NetFault::LinkKill { src, dst } => {
+                let channel = self.channel_index(src, dst);
+                self.masked_channels[channel] = true;
+                let mut evicted = Vec::new();
+                for queue in &mut self.channels[channel].queues {
+                    evicted.extend(queue.drain(..).map(|q| q.packet));
+                }
+                FaultResponse::handled("mask-channel").with_evicted(evicted)
+            }
+            NetFault::LinkRepair { src, dst } => {
+                let channel = self.channel_index(src, dst);
+                self.masked_channels[channel] = false;
+                FaultResponse::handled("unmask-channel")
+            }
+        }
     }
 }
 
@@ -592,5 +685,51 @@ mod tests {
     fn base_kind_is_two_phase() {
         assert_eq!(net().kind(), NetworkKind::TwoPhase);
         assert!(!net().is_alt());
+    }
+
+    #[test]
+    fn dead_site_is_masked_and_its_queues_evicted() {
+        let mut n = net();
+        let g = n.config.grid;
+        let dead = g.site(2, 0);
+        // One pending request from the dying site, one destined to it.
+        n.inject(data(0, dead, g.site(5, 5), Time::ZERO), Time::ZERO)
+            .unwrap();
+        n.inject(data(1, g.site(0, 3), dead, Time::ZERO), Time::ZERO)
+            .unwrap();
+        let r = n.apply_fault(NetFault::SiteKill { site: dead }, Time::ZERO);
+        assert!(r.handled);
+        assert_eq!(r.action, "mask-requestor");
+        assert_eq!(r.evicted.len(), 2);
+        // New traffic touching the dead site is absorbed as drops, never
+        // queued against a masked requestor.
+        n.inject(data(2, dead, g.site(5, 5), Time::ZERO), Time::ZERO)
+            .unwrap();
+        n.inject(data(3, g.site(0, 3), dead, Time::ZERO), Time::ZERO)
+            .unwrap();
+        run_until_idle(&mut n);
+        assert!(n.drain_delivered().is_empty());
+        assert_eq!(n.stats().dropped_packets(), 2);
+        // Healthy pairs in the same row still communicate.
+        n.inject(data(4, g.site(3, 0), g.site(5, 5), Time::ZERO), Time::ZERO)
+            .unwrap();
+        run_until_idle(&mut n);
+        assert_eq!(n.drain_delivered().len(), 1);
+    }
+
+    #[test]
+    fn masked_channel_recovers_after_repair() {
+        let mut n = net();
+        let g = n.config.grid;
+        let (src, dst) = (g.site(0, 0), g.site(4, 4));
+        n.apply_fault(NetFault::LinkKill { src, dst }, Time::ZERO);
+        n.inject(data(0, src, dst, Time::ZERO), Time::ZERO).unwrap();
+        run_until_idle(&mut n);
+        assert_eq!(n.stats().dropped_packets(), 1);
+        n.apply_fault(NetFault::LinkRepair { src, dst }, Time::ZERO);
+        let t = Time::from_ns(100);
+        n.inject(data(1, src, dst, t), t).unwrap();
+        run_until_idle(&mut n);
+        assert_eq!(n.drain_delivered().len(), 1);
     }
 }

@@ -159,16 +159,17 @@ pub const RECEIVER_SENSITIVITY_DBM: f64 = -21.0;
 pub const LAUNCH_POWER_DBM: f64 = 0.0;
 
 /// Dynamic electrical energy of a complete transmit+receive pair, per bit.
+///
+/// Total over every [`EnergyCost`] shape: per-bit costs (dynamic or
+/// amortized static) contribute their value, standing and negligible
+/// costs contribute nothing — so the function stays correct if Table 1's
+/// energy models are ever re-classified.
 pub fn transceiver_dynamic_energy() -> FemtojoulesPerBit {
-    let m = match Component::Modulator.props().energy {
-        EnergyCost::Dynamic(e) => e,
-        _ => unreachable!("modulator energy is dynamic"),
+    let per_bit = |c: Component| match c.props().energy {
+        EnergyCost::Dynamic(e) | EnergyCost::Static(e) => e,
+        EnergyCost::Standing(_) | EnergyCost::Negligible => FemtojoulesPerBit::new(0.0),
     };
-    let r = match Component::Receiver.props().energy {
-        EnergyCost::Dynamic(e) => e,
-        _ => unreachable!("receiver energy is dynamic"),
-    };
-    m + r
+    per_bit(Component::Modulator) + per_bit(Component::Receiver)
 }
 
 #[cfg(test)]
@@ -197,20 +198,26 @@ mod tests {
     #[test]
     fn modulator_power_matches_paper() {
         // Paper: 0.7 mW modulator at 20 Gb/s = 35 fJ/bit.
-        if let EnergyCost::Dynamic(e) = Component::Modulator.props().energy {
+        let energy = Component::Modulator.props().energy;
+        assert!(
+            matches!(energy, EnergyCost::Dynamic(_)),
+            "modulator energy should be dynamic, got {energy:?}"
+        );
+        if let EnergyCost::Dynamic(e) = energy {
             assert!((e.power_at_gbps(WAVELENGTH_GBPS).value() - 0.7).abs() < 1e-12);
-        } else {
-            panic!("modulator should have dynamic energy");
         }
     }
 
     #[test]
     fn receiver_power_matches_paper() {
         // Paper: 1.3 mW receiver at 20 Gb/s = 65 fJ/bit.
-        if let EnergyCost::Dynamic(e) = Component::Receiver.props().energy {
+        let energy = Component::Receiver.props().energy;
+        assert!(
+            matches!(energy, EnergyCost::Dynamic(_)),
+            "receiver energy should be dynamic, got {energy:?}"
+        );
+        if let EnergyCost::Dynamic(e) = energy {
             assert!((e.power_at_gbps(WAVELENGTH_GBPS).value() - 1.3).abs() < 1e-12);
-        } else {
-            panic!("receiver should have dynamic energy");
         }
     }
 

@@ -197,8 +197,9 @@ mod tests {
         for _ in 0..200 {
             let m = s.next_miss(g.site(0, 0), 0).unwrap();
             m.op.validate();
+            assert_ne!(m.op.kind, OpKind::Upgrade, "synthetic mixes never upgrade");
             match m.op.kind {
-                OpKind::Write => {
+                OpKind::Write | OpKind::Upgrade => {
                     writes += 1;
                     assert_eq!(m.op.sharers.len(), 3);
                 }
@@ -206,7 +207,6 @@ mod tests {
                     reads += 1;
                     assert!(m.op.sharers.is_empty());
                 }
-                OpKind::Upgrade => panic!("synthetic mixes never upgrade"),
             }
         }
         // MS: ~40% writes.

@@ -1,0 +1,117 @@
+//! Cross-crate fault-injection checks: the zero-fault wrapper reproduces
+//! baseline numbers exactly, and degraded runs stay accountable.
+
+use desim::{Span, Time};
+use faults::{FaultPlan, ResilientNetwork};
+use macrochip::runner::{drive, DriveLimits};
+use netcore::{MacrochipConfig, MetricsRegistry, Network, NetworkKind};
+use workloads::{OpenLoopTraffic, Pattern};
+
+const SIM: Span = Span::from_us(2);
+const DRAIN: Span = Span::from_us(10);
+
+fn traffic(config: &MacrochipConfig, seed: u64) -> OpenLoopTraffic {
+    let mut t = OpenLoopTraffic::new(
+        &config.grid,
+        Pattern::Uniform,
+        0.02,
+        config.site_bandwidth_bytes_per_ns(),
+        config.data_bytes,
+        seed,
+    );
+    t.set_horizon(Time::ZERO + SIM);
+    t
+}
+
+fn limits() -> DriveLimits {
+    DriveLimits {
+        deadline: Time::ZERO + SIM + DRAIN,
+        max_stalled: 5_000,
+    }
+}
+
+/// A metrics snapshot of one driven network, as canonical JSON.
+fn snapshot_json(net: &dyn Network) -> String {
+    let mut reg = MetricsRegistry::new();
+    reg.record_net_stats(net.stats());
+    reg.snapshot().to_json()
+}
+
+#[test]
+fn zero_fault_plan_reproduces_baseline_byte_identically() {
+    for kind in NetworkKind::FIGURE6 {
+        let config = MacrochipConfig::scaled();
+        // Baseline: the bare network.
+        let mut bare = networks::build(kind, config);
+        let mut t = traffic(&config, 42);
+        drive(bare.as_mut(), &mut t, limits());
+        let baseline = snapshot_json(bare.as_ref());
+        // Same seed, same traffic, but wrapped under the no-fault plan.
+        let mut wrapped = ResilientNetwork::new(
+            networks::build(kind, config),
+            &FaultPlan::none(),
+            42,
+            Time::ZERO + SIM,
+        );
+        let mut t = traffic(&config, 42);
+        drive(&mut wrapped, &mut t, limits());
+        assert_eq!(
+            baseline,
+            snapshot_json(&wrapped),
+            "{kind}: no-fault wrapper changed the baseline metrics"
+        );
+        let s = wrapped.fault_stats();
+        assert_eq!(
+            (s.corrupted, s.retries, s.dropped, s.faults_applied),
+            (0, 0, 0, 0),
+            "{kind}: no-fault wrapper did fault work"
+        );
+        assert_eq!(wrapped.availability(), 1.0);
+    }
+}
+
+#[test]
+fn faulted_runs_resolve_every_packet() {
+    // One percent transient faults with recovery: every emitted packet
+    // ends as exactly one clean delivery or counted drop, on all five
+    // networks.
+    let plan = FaultPlan::parse("transient=0.01; rand-links=2; repair=5us").unwrap();
+    for kind in NetworkKind::FIGURE6 {
+        let config = MacrochipConfig::scaled();
+        let mut net =
+            ResilientNetwork::new(networks::build(kind, config), &plan, 7, Time::ZERO + SIM);
+        let mut t = traffic(&config, 7);
+        let outcome = drive(&mut net, &mut t, limits());
+        assert!(!outcome.saturated, "{kind} saturated at 2% load");
+        let s = net.fault_stats();
+        assert_eq!(
+            s.clean_delivered + net.lost_packets(),
+            t.emitted(),
+            "{kind}: packets unaccounted for"
+        );
+        assert_eq!(net.pending_retries(), 0, "{kind}: packets stuck in retry");
+        let a = net.availability();
+        assert!((0.0..=1.0).contains(&a), "{kind}: availability {a}");
+    }
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_faulted_metrics() {
+    let plan = FaultPlan::parse("transient=0.02; rand-links=3; repair=2us").unwrap();
+    let run = |seed: u64| {
+        let config = MacrochipConfig::scaled();
+        let mut net = ResilientNetwork::new(
+            networks::build(NetworkKind::TwoPhase, config),
+            &plan,
+            seed,
+            Time::ZERO + SIM,
+        );
+        let mut t = traffic(&config, seed);
+        let outcome = drive(&mut net, &mut t, limits());
+        let mut reg = MetricsRegistry::new();
+        net.record_metrics(&mut reg, outcome.end);
+        reg.snapshot().to_json()
+    };
+    assert_eq!(run(99), run(99));
+    assert_ne!(run(99), run(100));
+}
