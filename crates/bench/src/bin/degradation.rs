@@ -14,10 +14,13 @@
 //! cargo run --release -p macrochip-bench --bin degradation
 //! ```
 //!
-//! Set `MACROCHIP_FAST=1` for a shorter traffic window.
+//! Set `MACROCHIP_FAST=1` for a shorter traffic window; `--jobs <N>` (or
+//! `MACROCHIP_JOBS=N`) shards the (network × fault-rate) grid across N
+//! workers without changing the table.
 
 use desim::{Span, Time};
 use faults::{FaultPlan, ResilientNetwork};
+use macrochip::campaign::run_indexed;
 use macrochip::report::{fmt, Table};
 use macrochip::runner::{drive, DriveLimits};
 use netcore::{MacrochipConfig, Network, NetworkKind};
@@ -60,49 +63,56 @@ fn main() {
         "Dropped",
         "Degraded (us)",
     ]);
-    for kind in NetworkKind::FIGURE6 {
-        for rate in FAULT_RATES {
-            let plan = plan_for(rate);
-            let mut net =
-                ResilientNetwork::new(networks::build(kind, config), &plan, SEED, horizon);
-            let peak = config.site_bandwidth_bytes_per_ns();
-            let mut traffic = OpenLoopTraffic::new(
-                &config.grid,
-                Pattern::Uniform,
-                LOAD,
-                peak,
-                config.data_bytes,
-                SEED,
-            );
-            traffic.set_horizon(horizon);
-            let outcome = drive(
-                &mut net,
-                &mut traffic,
-                DriveLimits {
-                    deadline: horizon + drain,
-                    max_stalled: 5_000,
-                },
-            );
-            let s = net.fault_stats();
-            // Goodput over the delivery window: retry tails extend it, the
-            // trailing repair events of the fault schedule do not.
-            let window = net
-                .stats()
-                .last_delivery()
-                .unwrap_or(outcome.end)
-                .as_ns_f64()
-                .max(sim.as_ns_f64());
-            let goodput = s.clean_bytes as f64 / window / config.grid.sites() as f64;
-            table.row_owned(vec![
-                kind.name().to_string(),
-                fmt(rate, 3),
-                fmt(goodput, 3),
-                fmt(net.availability(), 4),
-                s.retries.to_string(),
-                net.lost_packets().to_string(),
-                fmt(s.time_degraded(outcome.end).as_ns_f64() / 1e3, 2),
-            ]);
-        }
+    // Each (network, fault-rate) cell is an independent simulation with
+    // its own wrapper, RNG and traffic source; shard the grid and merge
+    // the rows back in table order.
+    let cells: Vec<(NetworkKind, f64)> = NetworkKind::FIGURE6
+        .iter()
+        .flat_map(|&kind| FAULT_RATES.iter().map(move |&rate| (kind, rate)))
+        .collect();
+    let rows = run_indexed(&cells, macrochip_bench::jobs(), |_, &(kind, rate)| {
+        let plan = plan_for(rate);
+        let mut net = ResilientNetwork::new(networks::build(kind, config), &plan, SEED, horizon);
+        let peak = config.site_bandwidth_bytes_per_ns();
+        let mut traffic = OpenLoopTraffic::new(
+            &config.grid,
+            Pattern::Uniform,
+            LOAD,
+            peak,
+            config.data_bytes,
+            SEED,
+        );
+        traffic.set_horizon(horizon);
+        let outcome = drive(
+            &mut net,
+            &mut traffic,
+            DriveLimits {
+                deadline: horizon + drain,
+                max_stalled: 5_000,
+            },
+        );
+        let s = net.fault_stats();
+        // Goodput over the delivery window: retry tails extend it, the
+        // trailing repair events of the fault schedule do not.
+        let window = net
+            .stats()
+            .last_delivery()
+            .unwrap_or(outcome.end)
+            .as_ns_f64()
+            .max(sim.as_ns_f64());
+        let goodput = s.clean_bytes as f64 / window / config.grid.sites() as f64;
+        vec![
+            kind.name().to_string(),
+            fmt(rate, 3),
+            fmt(goodput, 3),
+            fmt(net.availability(), 4),
+            s.retries.to_string(),
+            net.lost_packets().to_string(),
+            fmt(s.time_degraded(outcome.end).as_ns_f64() / 1e3, 2),
+        ]
+    });
+    for row in rows {
+        table.row_owned(row);
     }
     println!(
         "Degraded-mode throughput: uniform load at {:.0}% of peak, \

@@ -6,9 +6,13 @@
 //! vertical asymptote; this binary prints the measured saturation point
 //! next to the paper's observation.
 //!
-//! Environment: `MACROCHIP_FAST=1` shrinks the simulation window.
+//! Environment: `MACROCHIP_FAST=1` shrinks the simulation window;
+//! `--jobs <N>` (or `MACROCHIP_JOBS=N`) shards the (pattern × network)
+//! curves across N workers — the printed curves and the CSV are
+//! byte-identical to a serial run.
 
 use desim::Span;
+use macrochip::campaign::run_indexed;
 use macrochip::prelude::*;
 use macrochip::report::fmt;
 use macrochip::sweep::{figure6_loads, latency_vs_load, sustained_bandwidth};
@@ -44,13 +48,30 @@ fn main() {
 
     let mut csv = String::from("pattern,network,offered_pct,mean_latency_ns,p99_latency_ns,delivered_bytes_per_ns_per_site,saturated\n");
 
-    for pattern in Pattern::FIGURE6 {
-        println!("== {pattern} ==");
-        for kind in NetworkKind::FIGURE6 {
-            let loads = figure6_loads(pattern);
-            let points = latency_vs_load(kind, pattern, &loads, &config, options);
+    // One curve per (pattern, network): shard the curves across workers,
+    // then print and serialize them in figure order.
+    let curves: Vec<(Pattern, NetworkKind)> = Pattern::FIGURE6
+        .iter()
+        .flat_map(|&pattern| {
+            NetworkKind::FIGURE6
+                .iter()
+                .map(move |&kind| (pattern, kind))
+        })
+        .collect();
+    let jobs = macrochip_bench::jobs();
+    let measured = run_indexed(&curves, jobs, |_, &(pattern, kind)| {
+        latency_vs_load(kind, pattern, &figure6_loads(pattern), &config, options)
+    });
+
+    let mut last_pattern = None;
+    for (&(pattern, kind), points) in curves.iter().zip(&measured) {
+        if last_pattern != Some(pattern) {
+            println!("== {pattern} ==");
+            last_pattern = Some(pattern);
+        }
+        {
             print!("  {:<24}", kind.name());
-            for p in &points {
+            for p in points {
                 if p.saturated {
                     print!(" {:>5.1}%:SAT", p.offered * 100.0);
                 } else {
@@ -73,8 +94,10 @@ fn main() {
     }
 
     println!("\nMaximum sustainable bandwidth on Uniform (measured vs. paper):");
-    for kind in NetworkKind::FIGURE6 {
-        let measured = sustained_bandwidth(kind, Pattern::Uniform, &config, options, 0.01);
+    let sustained = run_indexed(&NetworkKind::FIGURE6, jobs, |_, &kind| {
+        sustained_bandwidth(kind, Pattern::Uniform, &config, options, 0.01)
+    });
+    for (&kind, &measured) in NetworkKind::FIGURE6.iter().zip(&sustained) {
         let paper = paper_uniform_sustained(kind)
             .map(|f| format!("{:.1}%", f * 100.0))
             .unwrap_or_else(|| "-".to_string());

@@ -1,5 +1,9 @@
 //! Regenerates **Figure 7: Speedup for Benchmarks and Synthetic Message
 //! Patterns, Normalized to the Circuit-Switched Network** (paper §6.2).
+//!
+//! The coherent grid behind it shards across `--jobs <N>` /
+//! `MACROCHIP_JOBS=N` workers (byte-identical output) and is cached as
+//! CSV under `results/`; `--no-cache` forces a resimulation.
 
 use macrochip::prelude::*;
 use macrochip::report::{fmt, Table};

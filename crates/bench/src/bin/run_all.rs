@@ -5,19 +5,30 @@
 //! (`table1`, `table4`, `table5_power`, `table6_counts`,
 //! `fig6_latency_load`, `fig7_speedup`, `fig8_latency`,
 //! `fig9_router_energy`, `fig10_edp`).
+//!
+//! `--jobs <N>` (or `MACROCHIP_JOBS=N`) shards each child's simulation
+//! grid across N worker threads — artifacts stay byte-identical to a
+//! serial run. `--no-cache` (or `MACROCHIP_NO_CACHE=1`) forces grids to
+//! resimulate instead of loading cached results.
 
 use std::process::Command;
 
 fn run(bin: &str) {
     println!("\n=== {bin} ===\n");
-    let status = Command::new(
+    let mut cmd = Command::new(
         std::env::current_exe()
             .expect("self path")
             .parent()
             .expect("bin dir")
             .join(bin),
-    )
-    .status();
+    );
+    // Forward the campaign-engine knobs (`--jobs`, `--no-cache`) to the
+    // child binaries as their environment equivalents.
+    cmd.env("MACROCHIP_JOBS", macrochip_bench::jobs().to_string());
+    if macrochip_bench::no_cache() {
+        cmd.env("MACROCHIP_NO_CACHE", "1");
+    }
+    let status = cmd.status();
     match status {
         Ok(s) if s.success() => {}
         Ok(s) => eprintln!("{bin} exited with {s}"),

@@ -32,6 +32,34 @@ pub fn fast_mode() -> bool {
     std::env::var("MACROCHIP_FAST").is_ok_and(|v| v == "1")
 }
 
+/// Worker threads for the parallelizable grids: `--jobs <N>` on the
+/// command line, else `MACROCHIP_JOBS`, else 1 (serial). `0` auto-detects
+/// one worker per hardware thread. Whatever the value, results come back
+/// in canonical order, so every regenerated artifact is byte-identical
+/// to a serial run.
+pub fn jobs() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(v) = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+    {
+        return v;
+    }
+    std::env::var("MACROCHIP_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// `--no-cache` / `MACROCHIP_NO_CACHE=1` force grids to resimulate
+/// instead of loading cached results.
+pub fn no_cache() -> bool {
+    std::env::args().any(|a| a == "--no-cache")
+        || std::env::var("MACROCHIP_NO_CACHE").is_ok_and(|v| v == "1")
+}
+
 /// The six simulated architectures, figure order.
 pub fn all_networks() -> [NetworkKind; 6] {
     NetworkKind::ALL
@@ -93,35 +121,47 @@ pub fn runs_from_csv(csv: &str) -> Option<Vec<CoherentRun>> {
 pub fn coherent_grid() -> Vec<CoherentRun> {
     let ops = ops_per_core();
     let cache = results_dir().join(format!("coherent_runs_ops{ops}.csv"));
-    if let Ok(csv) = fs::read_to_string(&cache) {
-        if let Some(runs) = runs_from_csv(&csv) {
-            if !runs.is_empty() {
-                eprintln!(
-                    "[coherent grid] loaded {} cached runs from {}",
-                    runs.len(),
-                    cache.display()
-                );
-                return runs;
+    if !no_cache() {
+        if let Ok(csv) = fs::read_to_string(&cache) {
+            if let Some(runs) = runs_from_csv(&csv) {
+                if !runs.is_empty() {
+                    eprintln!(
+                        "[coherent grid] loaded {} cached runs from {}",
+                        runs.len(),
+                        cache.display()
+                    );
+                    return runs;
+                }
             }
         }
     }
     let config = MacrochipConfig::scaled();
     let suite = WorkloadSpec::figure7_suite(ops);
-    let mut runs = Vec::new();
-    for spec in &suite {
-        for kind in all_networks() {
-            eprintln!("[coherent grid] {} on {} ...", spec.name(), kind.name());
-            let start = std::time::Instant::now();
-            let run = run_coherent(kind, spec, &config, 0xFEED);
-            eprintln!(
-                "[coherent grid]   makespan {:.2} us, {} ops, {:.1}s wall",
-                run.makespan.as_ns_f64() / 1e3,
-                run.ops_completed,
-                start.elapsed().as_secs_f64()
-            );
-            runs.push(run);
-        }
-    }
+    // Every (workload, network) cell is an independent closed-loop
+    // simulation; shard them across `jobs()` workers. The merge brings
+    // the runs back in grid order, so the CSV (and every figure built
+    // from it) is byte-identical to a serial run.
+    let cells: Vec<(WorkloadSpec, NetworkKind)> = suite
+        .iter()
+        .flat_map(|spec| {
+            all_networks()
+                .into_iter()
+                .map(move |kind| (spec.clone(), kind))
+        })
+        .collect();
+    let runs = run_indexed(&cells, jobs(), |_, (spec, kind)| {
+        let start = std::time::Instant::now();
+        let run = run_coherent(*kind, spec, &config, 0xFEED);
+        eprintln!(
+            "[coherent grid] {} on {}: makespan {:.2} us, {} ops, {:.1}s wall",
+            spec.name(),
+            kind.name(),
+            run.makespan.as_ns_f64() / 1e3,
+            run.ops_completed,
+            start.elapsed().as_secs_f64()
+        );
+        run
+    });
     fs::write(&cache, runs_to_csv(&runs)).expect("cannot write results cache");
     runs
 }

@@ -2,17 +2,19 @@
 //!
 //! ```text
 //! macrochip tables
-//! macrochip sweep     --network p2p --pattern uniform --loads 0.1,0.3,0.6
+//! macrochip sweep     --network p2p --pattern uniform --loads 0.1,0.3,0.6 [--jobs 4]
 //! macrochip sustained --network all --pattern uniform
 //! macrochip coherent  --workload Swaptions --network all [--ops 40]
 //! macrochip mp        --collective butterfly [--bytes 1024] [--rounds 2]
-//! macrochip faults    --network all [--faults "rand-links=2; transient=0.01"]
+//! macrochip faults    --network all [--faults "rand-links=2; transient=0.01"] [--jobs 4]
+//! macrochip run-all   [--pattern uniform] [--jobs 0] [--no-cache]
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free.
 
 use desim::trace::{chrome_trace_json, RingSink};
 use desim::{Span, Time, TraceEvent, Tracer};
+use macrochip::campaign::{self, point_key, CampaignPoint, PointExecOptions, PointResult};
 use macrochip::prelude::*;
 use macrochip::report::{fmt, Table};
 use macrochip::runner::{drive, DriveLimits};
@@ -22,7 +24,7 @@ use std::cell::RefCell;
 use std::process::ExitCode;
 use std::rc::Rc;
 use std::time::Instant;
-use workloads::{Collective, MessagePassingWorkload, OpenLoopTraffic};
+use workloads::{Collective, MessagePassingWorkload};
 
 const USAGE: &str = "\
 macrochip — silicon-photonic multi-chip network simulator (ISCA 2010 reproduction)
@@ -35,6 +37,7 @@ USAGE:
     macrochip mp        --collective <COLL> [--bytes <B>] [--rounds <R>]
     macrochip faults    --network <NET|all> [--pattern <PAT>] [--load <F>]
                         [--faults <SPEC>] [--seed <N>] [--duration-short]
+    macrochip run-all   [--pattern <PAT>] [--seed <N>] [--duration-short]
 
 NETWORKS:   p2p, limited, token, circuit, two-phase, two-phase-alt, all
 PATTERNS:   uniform, transpose, butterfly, neighbor, all-to-all, hotspot
@@ -47,13 +50,23 @@ FAULT SPEC (clauses joined with ';'):
     rand-links=N    transient=P | transient=xtalk:K
     repair=SPAN     retries=N     backoff=SPAN   no-recovery
 
-OUTPUT (sweep, sustained, faults):
+OUTPUT (sweep, sustained, faults, run-all):
     --trace <FILE>     write a Chrome-trace-event JSON flight recording
                        (open in ui.perfetto.dev or chrome://tracing)
     --metrics <FILE>   write metrics and a run manifest; JSON, or CSV when
                        the file name ends in .csv
     -q, --quiet        suppress the result table on stdout
     -v, --verbose      report progress on stderr as each point completes
+
+PARALLELISM (sweep, faults, run-all — campaign engine):
+    --jobs <N>         shard independent points across N worker threads
+                       (default 1 = serial; 0 = one per hardware thread).
+                       Output is byte-identical for every N.
+    --no-cache         always simulate, bypassing the content-addressed
+                       result cache under results/cache/ (override the
+                       location with MACROCHIP_CACHE). Runs that record a
+                       --trace or --metrics side channel skip the cache
+                       automatically.
 ";
 
 /// Retained trace events per load point; the ring keeps the most recent
@@ -76,6 +89,97 @@ impl OutputOpts {
             quiet: args.iter().any(|a| a == "-q" || a == "--quiet"),
             verbose: args.iter().any(|a| a == "-v" || a == "--verbose"),
         }
+    }
+}
+
+/// Campaign-engine controls shared by `sweep`, `faults` and `run-all`.
+struct JobOpts {
+    /// Worker threads; `0` auto-detects, `1` (the default) is serial.
+    jobs: usize,
+    /// Bypass the content-addressed result cache.
+    no_cache: bool,
+}
+
+impl JobOpts {
+    fn parse(args: &[String]) -> Result<JobOpts, String> {
+        let jobs = match flag(args, "--jobs") {
+            Some(s) => s.parse().map_err(|_| format!("bad --jobs {s}"))?,
+            None => 1,
+        };
+        Ok(JobOpts {
+            jobs,
+            no_cache: args.iter().any(|a| a == "--no-cache"),
+        })
+    }
+}
+
+/// Opens the default result cache unless the user disabled it or the run
+/// records a side channel — traces and metrics are not cached, so serving
+/// a hit would silently drop them.
+fn open_cache(
+    no_cache: bool,
+    side_channels: bool,
+) -> Result<Option<campaign::ResultCache>, String> {
+    if no_cache || side_channels {
+        return Ok(None);
+    }
+    let dir = campaign::ResultCache::default_dir();
+    campaign::ResultCache::new(dir.clone())
+        .map(Some)
+        .map_err(|e| format!("opening cache {}: {e}", dir.display()))
+}
+
+/// Manifest description of how the cache behaved over a campaign.
+fn cache_summary(enabled: bool, hits: usize, total: usize) -> String {
+    if enabled {
+        format!("{hits}/{total} points from cache")
+    } else {
+        "disabled".into()
+    }
+}
+
+/// One executed campaign cell as it crosses back from a worker: the
+/// (possibly cached) result plus any requested side channels.
+struct Cell {
+    result: PointResult,
+    cached: bool,
+    trace: Vec<(Time, TraceEvent)>,
+    metrics: Option<MetricsSnapshot>,
+}
+
+/// Executes one campaign point with cache consultation. Side channels are
+/// only produced on a miss (hits never simulate), but `open_cache`
+/// guarantees the cache is off whenever side channels were requested.
+fn run_cell(
+    point: &CampaignPoint,
+    config: &MacrochipConfig,
+    cache: Option<&campaign::ResultCache>,
+    exec: PointExecOptions,
+) -> Cell {
+    let key = point_key(point, config);
+    if let Some(cache) = cache {
+        if let Some(hit) = cache.load(key) {
+            if hit.tag() == point.tag() {
+                return Cell {
+                    result: hit,
+                    cached: true,
+                    trace: Vec::new(),
+                    metrics: None,
+                };
+            }
+        }
+    }
+    let run = campaign::run_point_full(point, config, exec);
+    if let Some(cache) = cache {
+        // A failed store (read-only tree, disk full) only costs future
+        // recomputation; the run itself still succeeds.
+        let _ = cache.store(key, &run.result);
+    }
+    Cell {
+        result: run.result,
+        cached: false,
+        trace: run.trace,
+        metrics: run.metrics,
     }
 }
 
@@ -226,8 +330,33 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             .collect::<Result<_, _>>()?,
         None => macrochip::sweep::figure6_loads(pattern),
     };
+    let jobs = JobOpts::parse(args)?;
     let options = SweepOptions::default();
     let started = Instant::now();
+    // Every (network, load) cell is one independent campaign point, listed
+    // in table order; the campaign engine hands the results back in that
+    // same order no matter how many workers computed them.
+    let points: Vec<CampaignPoint> = kinds
+        .iter()
+        .flat_map(|&kind| {
+            loads.iter().map(move |&offered| CampaignPoint::Sweep {
+                kind,
+                pattern,
+                offered,
+                options,
+            })
+        })
+        .collect();
+    let exec = PointExecOptions {
+        trace: out.trace.is_some(),
+        metrics: out.metrics.is_some(),
+        trace_capacity: TRACE_EVENTS_PER_POINT,
+    };
+    let cache = open_cache(jobs.no_cache, exec.trace || exec.metrics)?;
+    let cells = run_indexed(&points, jobs.jobs, |_, point| {
+        run_cell(point, &config, cache.as_ref(), exec)
+    });
+
     let mut table = Table::new(&[
         "Network",
         "Load (%)",
@@ -238,60 +367,56 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let mut sections: Vec<(String, Vec<(Time, TraceEvent)>)> = Vec::new();
     let mut runs: Vec<RunRecord> = Vec::new();
     let mut saturated_points = 0usize;
-    for &kind in &kinds {
-        for &load in &loads {
-            let sink = Rc::new(RefCell::new(RingSink::new(TRACE_EVENTS_PER_POINT)));
-            let tracer = if out.trace.is_some() {
-                Tracer::shared(&sink)
-            } else {
-                Tracer::disabled()
-            };
-            let (p, net) = run_load_point_traced(
-                networks::build(kind, config),
-                pattern,
-                load,
-                &config,
-                options,
-                tracer,
+    let mut cache_hits = 0usize;
+    for (point, cell) in points.iter().zip(cells) {
+        let &CampaignPoint::Sweep {
+            kind,
+            offered: load,
+            ..
+        } = point
+        else {
+            unreachable!("sweep campaign holds only sweep points");
+        };
+        let cached = cell.cached;
+        cache_hits += usize::from(cached);
+        let PointResult::Sweep(p) = cell.result else {
+            unreachable!("sweep point produced a non-sweep result");
+        };
+        saturated_points += usize::from(p.saturated);
+        table.row_owned(vec![
+            kind.name().to_string(),
+            fmt(p.offered * 100.0, 1),
+            fmt(p.mean_latency_ns, 2),
+            fmt(p.p99_latency_ns, 2),
+            p.saturated.to_string(),
+        ]);
+        if out.trace.is_some() {
+            let label = format!(
+                "{} @ {}% {}",
+                kind.name(),
+                fmt(load * 100.0, 0),
+                pattern_arg
             );
-            saturated_points += usize::from(p.saturated);
-            table.row_owned(vec![
-                kind.name().to_string(),
-                fmt(p.offered * 100.0, 1),
-                fmt(p.mean_latency_ns, 2),
-                fmt(p.p99_latency_ns, 2),
-                p.saturated.to_string(),
-            ]);
-            if out.trace.is_some() {
-                let label = format!(
-                    "{} @ {}% {}",
-                    kind.name(),
-                    fmt(load * 100.0, 0),
-                    pattern_arg
-                );
-                sections.push((label, sink.borrow().snapshot()));
-            }
-            if out.metrics.is_some() {
-                let mut reg = MetricsRegistry::new();
-                reg.record_net_stats(net.stats());
-                reg.set_gauge("run.offered_load", load);
-                runs.push(RunRecord {
-                    network: kind.name().to_string(),
-                    offered: load,
-                    saturated: p.saturated,
-                    snapshot: reg.snapshot(),
-                });
-            }
-            if out.verbose {
-                eprintln!(
-                    "[sweep] {} @ {:.1}%: mean {:.2} ns, p99 {:.2} ns{}",
-                    kind.name(),
-                    load * 100.0,
-                    p.mean_latency_ns,
-                    p.p99_latency_ns,
-                    if p.saturated { " (saturated)" } else { "" }
-                );
-            }
+            sections.push((label, cell.trace));
+        }
+        if out.metrics.is_some() {
+            runs.push(RunRecord {
+                network: kind.name().to_string(),
+                offered: load,
+                saturated: p.saturated,
+                snapshot: cell.metrics.expect("metrics were requested"),
+            });
+        }
+        if out.verbose {
+            eprintln!(
+                "[sweep] {} @ {:.1}%: mean {:.2} ns, p99 {:.2} ns{}{}",
+                kind.name(),
+                load * 100.0,
+                p.mean_latency_ns,
+                p.p99_latency_ns,
+                if p.saturated { " (saturated)" } else { "" },
+                if cached { " (cached)" } else { "" }
+            );
         }
     }
     if let Some(path) = &out.trace {
@@ -302,14 +427,14 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         manifest.network = network_arg;
         manifest.pattern = pattern_arg;
         manifest.seed = options.seed;
-        manifest.set_limits(DriveLimits {
-            deadline: Time::ZERO + options.sim + options.drain,
-            max_stalled: options.max_stalled,
-        });
-        manifest.outcome = format!(
-            "{saturated_points}/{} points saturated",
-            kinds.len() * loads.len()
-        );
+        manifest.set_limits(DriveLimits::for_window(
+            options.sim,
+            options.drain,
+            options.max_stalled,
+        ));
+        manifest.jobs = campaign::resolve_jobs(jobs.jobs);
+        manifest.cache = cache_summary(cache.is_some(), cache_hits, points.len());
+        manifest.outcome = format!("{saturated_points}/{} points saturated", points.len());
         manifest.wall_clock_ms = started.elapsed().as_secs_f64() * 1e3;
         write_metrics(path, &manifest, &runs)?;
     }
@@ -494,12 +619,35 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
     } else {
         (Span::from_us(5), Span::from_us(20))
     };
-    let horizon = Time::ZERO + sim;
-    let limits = DriveLimits {
-        deadline: horizon + drain,
-        max_stalled: 5_000,
-    };
+    let jobs = JobOpts::parse(args)?;
+    const MAX_STALLED: usize = 5_000;
     let started = Instant::now();
+    // One fault-campaign point per network; each worker builds its own
+    // resilient network, fault RNG and traffic source, so points shard
+    // cleanly and deterministically.
+    let points: Vec<CampaignPoint> = kinds
+        .iter()
+        .map(|&kind| CampaignPoint::Fault {
+            kind,
+            pattern,
+            load,
+            plan: plan.clone(),
+            seed,
+            sim,
+            drain,
+            max_stalled: MAX_STALLED,
+        })
+        .collect();
+    let exec = PointExecOptions {
+        trace: out.trace.is_some(),
+        metrics: out.metrics.is_some(),
+        trace_capacity: TRACE_EVENTS_PER_POINT,
+    };
+    let cache = open_cache(jobs.no_cache, exec.trace || exec.metrics)?;
+    let cells = run_indexed(&points, jobs.jobs, |_, point| {
+        run_cell(point, &config, cache.as_ref(), exec)
+    });
+
     let mut table = Table::new(&[
         "Network",
         "Delivered",
@@ -511,54 +659,42 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
     ]);
     let mut sections: Vec<(String, Vec<(Time, TraceEvent)>)> = Vec::new();
     let mut runs: Vec<RunRecord> = Vec::new();
-    for &kind in &kinds {
-        let sink = Rc::new(RefCell::new(RingSink::new(TRACE_EVENTS_PER_POINT)));
-        let tracer = if out.trace.is_some() {
-            Tracer::shared(&sink)
-        } else {
-            Tracer::disabled()
+    let mut cache_hits = 0usize;
+    for (point, cell) in points.iter().zip(cells) {
+        let kind = point.kind();
+        let cached = cell.cached;
+        cache_hits += usize::from(cached);
+        let PointResult::Fault(f) = cell.result else {
+            unreachable!("fault point produced a non-fault result");
         };
-        let mut net =
-            faults::ResilientNetwork::new(networks::build(kind, config), &plan, seed, horizon);
-        net.set_tracer(tracer.clone());
-        let peak = config.site_bandwidth_bytes_per_ns();
-        let mut traffic =
-            OpenLoopTraffic::new(&config.grid, pattern, load, peak, config.data_bytes, seed);
-        traffic.set_horizon(horizon);
-        let outcome = macrochip::runner::drive_traced(&mut net, &mut traffic, limits, tracer);
-        let s = net.fault_stats().clone();
-        let availability = net.availability();
-        let goodput = s.clean_bytes as f64 / outcome.end.as_ns_f64().max(1.0);
         table.row_owned(vec![
             kind.name().to_string(),
-            s.clean_delivered.to_string(),
-            net.lost_packets().to_string(),
-            s.retries.to_string(),
-            fmt(availability, 4),
-            fmt(goodput, 2),
-            fmt(s.time_degraded(outcome.end).as_ns_f64() / 1e3, 2),
+            f.clean_delivered.to_string(),
+            f.lost.to_string(),
+            f.retries.to_string(),
+            fmt(f.availability, 4),
+            fmt(f.goodput_bytes_per_ns(), 2),
+            fmt(f.degraded_ns / 1e3, 2),
         ]);
         if out.trace.is_some() {
-            sections.push((format!("{} faults", kind.name()), sink.borrow().snapshot()));
+            sections.push((format!("{} faults", kind.name()), cell.trace));
         }
         if out.metrics.is_some() {
-            let mut reg = MetricsRegistry::new();
-            net.record_metrics(&mut reg, outcome.end);
-            reg.set_gauge("run.offered_load", load);
             runs.push(RunRecord {
                 network: kind.name().to_string(),
                 offered: load,
-                saturated: outcome.saturated,
-                snapshot: reg.snapshot(),
+                saturated: f.saturated,
+                snapshot: cell.metrics.expect("metrics were requested"),
             });
         }
         if out.verbose {
             eprintln!(
-                "[faults] {}: availability {:.4}, {} retries, {} dropped",
+                "[faults] {}: availability {:.4}, {} retries, {} dropped{}",
                 kind.name(),
-                availability,
-                s.retries,
-                s.dropped
+                f.availability,
+                f.retries,
+                f.lost,
+                if cached { " (cached)" } else { "" }
             );
         }
     }
@@ -571,12 +707,194 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
         manifest.pattern = pattern_arg;
         manifest.fault_plan = plan.to_spec();
         manifest.seed = seed;
-        manifest.set_limits(limits);
+        manifest.set_limits(DriveLimits::for_window(sim, drain, MAX_STALLED));
+        manifest.jobs = campaign::resolve_jobs(jobs.jobs);
+        manifest.cache = cache_summary(cache.is_some(), cache_hits, points.len());
         manifest.wall_clock_ms = started.elapsed().as_secs_f64() * 1e3;
         write_metrics(path, &manifest, &runs)?;
     }
     if !out.quiet {
         println!("Fault plan: {}\n\n{}", plan.to_spec(), table.to_text());
+    }
+    Ok(())
+}
+
+/// The whole open-loop evaluation in one campaign: every network's
+/// Figure 6 latency-load curve plus every network's fault campaign, as a
+/// single flat point list sharded across `--jobs` workers.
+fn cmd_run_all(args: &[String]) -> Result<(), String> {
+    let out = OutputOpts::parse(args);
+    let jobs = JobOpts::parse(args)?;
+    let config = MacrochipConfig::scaled();
+    let pattern_arg = flag(args, "--pattern").unwrap_or_else(|| "uniform".into());
+    let pattern = parse_pattern(&pattern_arg).ok_or("unknown pattern")?;
+    let seed: u64 = flag(args, "--seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(0xC0FFEE);
+    let (sim, drain) = if args.iter().any(|a| a == "--duration-short") {
+        (Span::from_us(1), Span::from_us(5))
+    } else {
+        (Span::from_us(5), Span::from_us(20))
+    };
+    const MAX_STALLED: usize = 5_000;
+    const FAULT_LOAD: f64 = 0.05;
+    let options = SweepOptions {
+        sim,
+        drain,
+        max_stalled: MAX_STALLED,
+        seed,
+    };
+    let plan = faults::FaultPlan::parse(DEFAULT_FAULT_SPEC).map_err(|e| e.to_string())?;
+    let loads = macrochip::sweep::figure6_loads(pattern);
+    let started = Instant::now();
+
+    let mut points: Vec<CampaignPoint> = Vec::new();
+    for &kind in NetworkKind::ALL.iter() {
+        for &offered in &loads {
+            points.push(CampaignPoint::Sweep {
+                kind,
+                pattern,
+                offered,
+                options,
+            });
+        }
+    }
+    let sweep_count = points.len();
+    for &kind in NetworkKind::ALL.iter() {
+        points.push(CampaignPoint::Fault {
+            kind,
+            pattern,
+            load: FAULT_LOAD,
+            plan: plan.clone(),
+            seed,
+            sim,
+            drain,
+            max_stalled: MAX_STALLED,
+        });
+    }
+
+    let exec = PointExecOptions {
+        trace: out.trace.is_some(),
+        metrics: out.metrics.is_some(),
+        trace_capacity: TRACE_EVENTS_PER_POINT,
+    };
+    let cache = open_cache(jobs.no_cache, exec.trace || exec.metrics)?;
+    let cells = run_indexed(&points, jobs.jobs, |_, point| {
+        run_cell(point, &config, cache.as_ref(), exec)
+    });
+
+    let mut sweep_table = Table::new(&[
+        "Network",
+        "Load (%)",
+        "Mean latency (ns)",
+        "p99 (ns)",
+        "Saturated",
+    ]);
+    let mut fault_table = Table::new(&[
+        "Network",
+        "Delivered",
+        "Dropped",
+        "Retries",
+        "Availability",
+        "Goodput (B/ns)",
+        "Degraded (us)",
+    ]);
+    let mut sections: Vec<(String, Vec<(Time, TraceEvent)>)> = Vec::new();
+    let mut runs: Vec<RunRecord> = Vec::new();
+    let mut cache_hits = 0usize;
+    let mut saturated_points = 0usize;
+    for (point, cell) in points.iter().zip(cells) {
+        cache_hits += usize::from(cell.cached);
+        match (point, cell.result) {
+            (&CampaignPoint::Sweep { kind, offered, .. }, PointResult::Sweep(p)) => {
+                saturated_points += usize::from(p.saturated);
+                sweep_table.row_owned(vec![
+                    kind.name().to_string(),
+                    fmt(p.offered * 100.0, 1),
+                    fmt(p.mean_latency_ns, 2),
+                    fmt(p.p99_latency_ns, 2),
+                    p.saturated.to_string(),
+                ]);
+                if exec.trace {
+                    let label = format!(
+                        "{} @ {}% {}",
+                        kind.name(),
+                        fmt(offered * 100.0, 0),
+                        pattern_arg
+                    );
+                    sections.push((label, cell.trace));
+                }
+                if exec.metrics {
+                    runs.push(RunRecord {
+                        network: kind.name().to_string(),
+                        offered,
+                        saturated: p.saturated,
+                        snapshot: cell.metrics.expect("metrics were requested"),
+                    });
+                }
+            }
+            (&CampaignPoint::Fault { kind, load, .. }, PointResult::Fault(f)) => {
+                fault_table.row_owned(vec![
+                    kind.name().to_string(),
+                    f.clean_delivered.to_string(),
+                    f.lost.to_string(),
+                    f.retries.to_string(),
+                    fmt(f.availability, 4),
+                    fmt(f.goodput_bytes_per_ns(), 2),
+                    fmt(f.degraded_ns / 1e3, 2),
+                ]);
+                if exec.trace {
+                    sections.push((format!("{} faults", kind.name()), cell.trace));
+                }
+                if exec.metrics {
+                    runs.push(RunRecord {
+                        network: kind.name().to_string(),
+                        offered: load,
+                        saturated: f.saturated,
+                        snapshot: cell.metrics.expect("metrics were requested"),
+                    });
+                }
+            }
+            _ => unreachable!("campaign returned a mismatched result type"),
+        }
+    }
+    if let Some(path) = &out.trace {
+        write_trace(path, &sections)?;
+    }
+    if let Some(path) = &out.metrics {
+        let mut manifest = RunManifest::new("run-all", &config);
+        manifest.network = "all".into();
+        manifest.pattern = pattern_arg.clone();
+        manifest.fault_plan = plan.to_spec();
+        manifest.seed = seed;
+        manifest.set_limits(DriveLimits::for_window(sim, drain, MAX_STALLED));
+        manifest.jobs = campaign::resolve_jobs(jobs.jobs);
+        manifest.cache = cache_summary(cache.is_some(), cache_hits, points.len());
+        manifest.outcome = format!("{saturated_points}/{sweep_count} sweep points saturated");
+        manifest.wall_clock_ms = started.elapsed().as_secs_f64() * 1e3;
+        write_metrics(path, &manifest, &runs)?;
+    }
+    if !out.quiet {
+        println!(
+            "Figure 6 sweep ({} pattern)\n\n{}",
+            pattern_arg,
+            sweep_table.to_text()
+        );
+        println!(
+            "Fault campaign: {}\n\n{}",
+            plan.to_spec(),
+            fault_table.to_text()
+        );
+    }
+    if out.verbose {
+        eprintln!(
+            "[run-all] {} points, {} from cache, jobs={}, {:.2} s",
+            points.len(),
+            cache_hits,
+            campaign::resolve_jobs(jobs.jobs),
+            started.elapsed().as_secs_f64()
+        );
     }
     Ok(())
 }
@@ -590,6 +908,7 @@ fn main() -> ExitCode {
         Some("coherent") => cmd_coherent(&args),
         Some("mp") => cmd_mp(&args),
         Some("faults") => cmd_faults(&args),
+        Some("run-all") => cmd_run_all(&args),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())

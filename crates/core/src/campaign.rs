@@ -1,0 +1,809 @@
+//! Parallel campaign engine: deterministic sharded execution of
+//! independent simulation points, with a content-addressed result cache.
+//!
+//! The paper's evaluation (§6) is a cross-product of {networks} ×
+//! {patterns/workloads} × {offered loads, seeds, fault plans}. Every point
+//! of that product is an **independent** simulation: it builds its own
+//! network, drives its own `desim` event loop, and draws from its own
+//! seeded RNG. This module shards such points across a work-stealing
+//! `std::thread` pool and merges the results back in **canonical
+//! (input-index) order**, so campaign output is byte-identical to the
+//! serial path regardless of worker count or OS scheduling.
+//!
+//! Two layers:
+//!
+//! * [`run_indexed`] — the untyped engine: run `f(i, &items[i])` for every
+//!   item on `jobs` workers, return outputs in input order. Workers steal
+//!   the next unclaimed index from a shared atomic counter, so a slow
+//!   point (a saturated network grinding to its stall bound) does not hold
+//!   up the queue behind one unlucky worker.
+//! * [`Campaign`] — the typed layer: a declarative [`CampaignPoint`] list
+//!   (sweep / fault / coherent points) executed through [`run_point`],
+//!   with results transparently persisted in a [`ResultCache`] keyed by a
+//!   content hash of the full point specification, so repeated campaigns
+//!   skip already-computed points.
+//!
+//! Determinism contract: for a fixed point list and configuration, the
+//! returned vector — and any serialization of it — is identical for every
+//! `jobs` value, with a cold or warm cache. The differential and property
+//! tests in `tests/` enforce this.
+
+use crate::experiment::{run_coherent, CoherentRun, WorkloadSpec};
+use crate::runner::{drive_traced, DriveLimits};
+use crate::sweep::{run_load_point_traced, LoadPoint, SweepOptions};
+use desim::trace::RingSink;
+use desim::{Span, Time, TraceEvent, Tracer};
+use faults::{FaultPlan, ResilientNetwork};
+use netcore::{MacrochipConfig, MetricsRegistry, MetricsSnapshot, Network, NetworkKind};
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use workloads::{OpenLoopTraffic, Pattern};
+
+/// Bumped whenever the cache key derivation or value encoding changes, so
+/// stale `results/cache/` entries from older binaries are never misread.
+const CACHE_FORMAT: u32 = 1;
+
+/// The number of workers to use when the caller asks for "auto" (`0`):
+/// one per available hardware thread.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolves a `--jobs` value: `0` means auto-detect, anything else is
+/// taken literally.
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        default_jobs()
+    } else {
+        jobs
+    }
+}
+
+/// Runs `f(i, &items[i])` for every item, sharded across `jobs` worker
+/// threads, and returns the outputs **in input order**.
+///
+/// Scheduling is work-stealing over the index space: each worker claims
+/// the next unprocessed index from a shared atomic counter, computes its
+/// point, and repeats until the space is exhausted. Results carry their
+/// input index back to the merge step, so the output order (and therefore
+/// any serialization of it) is independent of worker count and of how the
+/// OS interleaves the workers. With `jobs <= 1` (or one item) the items
+/// are processed inline on the calling thread — the exact code path the
+/// parallel version must match byte-for-byte.
+///
+/// Panics in `f` propagate to the caller once all workers have stopped.
+pub fn run_indexed<I, O, F>(items: &[I], jobs: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    let workers = resolve_jobs(jobs).min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, O)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // Batch the lock: each worker buffers its finished points
+                // locally and publishes once, so the mutex is cold.
+                let mut local: Vec<(usize, O)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                collected
+                    .lock()
+                    .expect("campaign worker poisoned the result lock")
+                    .extend(local);
+            });
+        }
+    });
+    let mut pairs = collected
+        .into_inner()
+        .expect("campaign result lock poisoned");
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert!(
+        pairs.iter().enumerate().all(|(n, &(i, _))| n == i),
+        "campaign merge lost or duplicated a point"
+    );
+    pairs.into_iter().map(|(_, o)| o).collect()
+}
+
+/// One independent simulation point of a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignPoint {
+    /// An open-loop latency/throughput measurement at one offered load
+    /// (one cell of a Figure 6 curve).
+    Sweep {
+        kind: NetworkKind,
+        pattern: Pattern,
+        /// Offered load as a fraction of the per-site peak.
+        offered: f64,
+        options: SweepOptions,
+    },
+    /// An open-loop run under a fault plan (one cell of the degradation
+    /// tables).
+    Fault {
+        kind: NetworkKind,
+        pattern: Pattern,
+        /// Offered load as a fraction of the per-site peak.
+        load: f64,
+        plan: FaultPlan,
+        seed: u64,
+        /// Traffic-generation window.
+        sim: Span,
+        /// Extra drain time after generation stops.
+        drain: Span,
+        /// Stalled-packet bound that declares saturation.
+        max_stalled: usize,
+    },
+    /// A closed-loop coherent run to completion (one cell of the Figure
+    /// 7–10 grid).
+    Coherent {
+        kind: NetworkKind,
+        spec: WorkloadSpec,
+        seed: u64,
+    },
+}
+
+impl CampaignPoint {
+    /// Stable one-word tag, used in cache files and progress reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CampaignPoint::Sweep { .. } => "sweep",
+            CampaignPoint::Fault { .. } => "fault",
+            CampaignPoint::Coherent { .. } => "coherent",
+        }
+    }
+
+    /// The network architecture this point exercises.
+    pub fn kind(&self) -> NetworkKind {
+        match *self {
+            CampaignPoint::Sweep { kind, .. }
+            | CampaignPoint::Fault { kind, .. }
+            | CampaignPoint::Coherent { kind, .. } => kind,
+        }
+    }
+}
+
+/// Resilience measurements of one fault campaign point — the fields the
+/// degradation tables report, in cache-stable form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSummary {
+    /// Packets delivered clean through the resilience wrapper.
+    pub clean_delivered: u64,
+    /// Packets lost for good.
+    pub lost: u64,
+    /// Retransmissions re-injected.
+    pub retries: u64,
+    /// Fraction of deliveries that arrived clean.
+    pub availability: f64,
+    /// Bytes delivered clean.
+    pub clean_bytes: u64,
+    /// Simulated time spent with at least one unrepaired fault, ns.
+    pub degraded_ns: f64,
+    /// Simulation time when the run stopped, ns.
+    pub end_ns: f64,
+    /// The run hit its stalled-packet bound.
+    pub saturated: bool,
+}
+
+impl FaultSummary {
+    /// Clean goodput over the whole run, bytes per nanosecond.
+    pub fn goodput_bytes_per_ns(&self) -> f64 {
+        self.clean_bytes as f64 / self.end_ns.max(1.0)
+    }
+}
+
+/// The measured result of one [`CampaignPoint`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointResult {
+    Sweep(LoadPoint),
+    Fault(FaultSummary),
+    Coherent(CoherentRun),
+}
+
+impl PointResult {
+    /// Stable tag matching [`CampaignPoint::tag`].
+    pub fn tag(&self) -> &'static str {
+        match self {
+            PointResult::Sweep(_) => "sweep",
+            PointResult::Fault(_) => "fault",
+            PointResult::Coherent(_) => "coherent",
+        }
+    }
+
+    /// Serializes the result into the cache value encoding.
+    ///
+    /// Floats are stored as the hexadecimal of their IEEE-754 bits, so a
+    /// cache hit reproduces the original computation **bit-for-bit** — the
+    /// property tests round-trip on exact bytes.
+    pub fn to_cache_bytes(&self) -> String {
+        let mut s = format!("macrochip-campaign-cache v{CACHE_FORMAT}\n{}\n", self.tag());
+        let f64_field = |out: &mut String, name: &str, v: f64| {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&format!("{:016x}\n", v.to_bits()));
+        };
+        match self {
+            PointResult::Sweep(p) => {
+                f64_field(&mut s, "offered", p.offered);
+                f64_field(&mut s, "mean_latency_ns", p.mean_latency_ns);
+                f64_field(&mut s, "p99_latency_ns", p.p99_latency_ns);
+                f64_field(&mut s, "delivered", p.delivered_bytes_per_ns_per_site);
+                s.push_str(if p.saturated {
+                    "saturated 1\n"
+                } else {
+                    "saturated 0\n"
+                });
+            }
+            PointResult::Fault(f) => {
+                s.push_str(&format!("clean_delivered {}\n", f.clean_delivered));
+                s.push_str(&format!("lost {}\n", f.lost));
+                s.push_str(&format!("retries {}\n", f.retries));
+                f64_field(&mut s, "availability", f.availability);
+                s.push_str(&format!("clean_bytes {}\n", f.clean_bytes));
+                f64_field(&mut s, "degraded_ns", f.degraded_ns);
+                f64_field(&mut s, "end_ns", f.end_ns);
+                s.push_str(if f.saturated {
+                    "saturated 1\n"
+                } else {
+                    "saturated 0\n"
+                });
+            }
+            PointResult::Coherent(r) => {
+                s.push_str(&format!("network {}\n", r.network.name()));
+                s.push_str(&format!("workload {}\n", r.workload));
+                s.push_str(&format!("makespan_ps {}\n", r.makespan.as_ps()));
+                s.push_str(&format!(
+                    "mean_op_latency_ps {}\n",
+                    r.mean_op_latency.as_ps()
+                ));
+                s.push_str(&format!("ops_completed {}\n", r.ops_completed));
+                s.push_str(&format!("delivered_bytes {}\n", r.delivered_bytes));
+                s.push_str(&format!("routed_bytes {}\n", r.routed_bytes));
+                s.push_str(&format!("packets {}\n", r.packets));
+            }
+        }
+        s
+    }
+
+    /// Parses a cache value back. Returns `None` for anything malformed
+    /// or written by a different cache format.
+    pub fn from_cache_bytes(bytes: &str) -> Option<PointResult> {
+        let mut lines = bytes.lines();
+        if lines.next()? != format!("macrochip-campaign-cache v{CACHE_FORMAT}") {
+            return None;
+        }
+        let tag = lines.next()?;
+        let mut fields = std::collections::BTreeMap::new();
+        for line in lines {
+            let (k, v) = line.split_once(' ')?;
+            fields.insert(k, v);
+        }
+        let f64_field = |name: &str| -> Option<f64> {
+            u64::from_str_radix(fields.get(name)?, 16)
+                .ok()
+                .map(f64::from_bits)
+        };
+        let u64_field = |name: &str| -> Option<u64> { fields.get(name)?.parse().ok() };
+        let bool_field = |name: &str| -> Option<bool> {
+            match *fields.get(name)? {
+                "1" => Some(true),
+                "0" => Some(false),
+                _ => None,
+            }
+        };
+        match tag {
+            "sweep" => Some(PointResult::Sweep(LoadPoint {
+                offered: f64_field("offered")?,
+                mean_latency_ns: f64_field("mean_latency_ns")?,
+                p99_latency_ns: f64_field("p99_latency_ns")?,
+                delivered_bytes_per_ns_per_site: f64_field("delivered")?,
+                saturated: bool_field("saturated")?,
+            })),
+            "fault" => Some(PointResult::Fault(FaultSummary {
+                clean_delivered: u64_field("clean_delivered")?,
+                lost: u64_field("lost")?,
+                retries: u64_field("retries")?,
+                availability: f64_field("availability")?,
+                clean_bytes: u64_field("clean_bytes")?,
+                degraded_ns: f64_field("degraded_ns")?,
+                end_ns: f64_field("end_ns")?,
+                saturated: bool_field("saturated")?,
+            })),
+            "coherent" => {
+                let network_name = *fields.get("network")?;
+                Some(PointResult::Coherent(CoherentRun {
+                    network: NetworkKind::ALL
+                        .into_iter()
+                        .find(|k| k.name() == network_name)?,
+                    workload: fields.get("workload")?.to_string(),
+                    makespan: Span::from_ps(u64_field("makespan_ps")?),
+                    mean_op_latency: Span::from_ps(u64_field("mean_op_latency_ps")?),
+                    ops_completed: u64_field("ops_completed")?,
+                    delivered_bytes: u64_field("delivered_bytes")?,
+                    routed_bytes: u64_field("routed_bytes")?,
+                    packets: u64_field("packets")?,
+                }))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// 64-bit FNV-1a over `bytes`, the cache's content hash.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Content hash of a campaign point under `config`: every input that can
+/// change the simulation result feeds the key — point kind, pattern, load
+/// bits, seed, windows, fault plan, the full platform configuration, the
+/// crate version and the cache format.
+pub fn point_key(point: &CampaignPoint, config: &MacrochipConfig) -> u64 {
+    let mut material = format!(
+        "fmt{CACHE_FORMAT}|{}|cfg{:?}|",
+        env!("CARGO_PKG_VERSION"),
+        config
+    );
+    match point {
+        CampaignPoint::Sweep {
+            kind,
+            pattern,
+            offered,
+            options,
+        } => {
+            material.push_str(&format!(
+                "sweep|{:?}|{:?}|load{:016x}|{:?}",
+                kind,
+                pattern,
+                offered.to_bits(),
+                options
+            ));
+        }
+        CampaignPoint::Fault {
+            kind,
+            pattern,
+            load,
+            plan,
+            seed,
+            sim,
+            drain,
+            max_stalled,
+        } => {
+            material.push_str(&format!(
+                "fault|{:?}|{:?}|load{:016x}|plan{}|seed{}|sim{}|drain{}|stall{}",
+                kind,
+                pattern,
+                load.to_bits(),
+                plan.to_spec(),
+                seed,
+                sim.as_ps(),
+                drain.as_ps(),
+                max_stalled
+            ));
+        }
+        CampaignPoint::Coherent { kind, spec, seed } => {
+            material.push_str(&format!("coherent|{:?}|{:?}|seed{}", kind, spec, seed));
+        }
+    }
+    fnv1a64(material.as_bytes())
+}
+
+/// Side-channel outputs a point execution can capture alongside its
+/// [`PointResult`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PointExecOptions {
+    /// Record a flight-recorder event stream for the point.
+    pub trace: bool,
+    /// Snapshot the point's metrics registry.
+    pub metrics: bool,
+    /// Ring capacity used when `trace` is on.
+    pub trace_capacity: usize,
+}
+
+/// One executed point, with whatever side channels were requested. All
+/// fields are `Send`, so a worker can hand the whole thing back across
+/// the shard boundary (the per-worker `Tracer`/`RingSink` themselves never
+/// leave the worker — only their snapshots do).
+#[derive(Debug, Clone)]
+pub struct PointRun {
+    pub result: PointResult,
+    /// Recorded trace events, oldest first (empty unless requested).
+    pub trace: Vec<(Time, TraceEvent)>,
+    /// Metrics snapshot (present only when requested).
+    pub metrics: Option<MetricsSnapshot>,
+}
+
+/// Executes one campaign point to completion on the calling thread.
+pub fn run_point(point: &CampaignPoint, config: &MacrochipConfig) -> PointResult {
+    run_point_full(point, config, PointExecOptions::default()).result
+}
+
+/// [`run_point`] with optional flight-recorder and metrics capture.
+///
+/// Tracing and metrics are unsupported for [`CampaignPoint::Coherent`]
+/// points (the coherent harness owns its network internally); their side
+/// channels come back empty.
+pub fn run_point_full(
+    point: &CampaignPoint,
+    config: &MacrochipConfig,
+    exec: PointExecOptions,
+) -> PointRun {
+    let sink = Rc::new(RefCell::new(RingSink::new(exec.trace_capacity.max(1))));
+    let tracer = if exec.trace {
+        Tracer::shared(&sink)
+    } else {
+        Tracer::disabled()
+    };
+    let (result, metrics) = match point {
+        CampaignPoint::Sweep {
+            kind,
+            pattern,
+            offered,
+            options,
+        } => {
+            let (p, net) = run_load_point_traced(
+                networks::build(*kind, *config),
+                *pattern,
+                *offered,
+                config,
+                *options,
+                tracer,
+            );
+            let metrics = exec.metrics.then(|| {
+                let mut reg = MetricsRegistry::new();
+                reg.record_net_stats(net.stats());
+                reg.set_gauge("run.offered_load", *offered);
+                reg.snapshot()
+            });
+            (PointResult::Sweep(p), metrics)
+        }
+        CampaignPoint::Fault {
+            kind,
+            pattern,
+            load,
+            plan,
+            seed,
+            sim,
+            drain,
+            max_stalled,
+        } => {
+            let horizon = Time::ZERO + *sim;
+            let mut net =
+                ResilientNetwork::new(networks::build(*kind, *config), plan, *seed, horizon);
+            net.set_tracer(tracer.clone());
+            let peak = config.site_bandwidth_bytes_per_ns();
+            let mut traffic = OpenLoopTraffic::new(
+                &config.grid,
+                *pattern,
+                *load,
+                peak,
+                config.data_bytes,
+                *seed,
+            );
+            traffic.set_horizon(horizon);
+            let outcome = drive_traced(
+                &mut net,
+                &mut traffic,
+                DriveLimits::for_window(*sim, *drain, *max_stalled),
+                tracer,
+            );
+            let metrics = exec.metrics.then(|| {
+                let mut reg = MetricsRegistry::new();
+                net.record_metrics(&mut reg, outcome.end);
+                reg.set_gauge("run.offered_load", *load);
+                reg.snapshot()
+            });
+            let s = net.fault_stats();
+            let result = PointResult::Fault(FaultSummary {
+                clean_delivered: s.clean_delivered,
+                lost: net.lost_packets(),
+                retries: s.retries,
+                availability: net.availability(),
+                clean_bytes: s.clean_bytes,
+                degraded_ns: s.time_degraded(outcome.end).as_ns_f64(),
+                end_ns: outcome.end.as_ns_f64(),
+                saturated: outcome.saturated,
+            });
+            (result, metrics)
+        }
+        CampaignPoint::Coherent { kind, spec, seed } => (
+            PointResult::Coherent(run_coherent(*kind, spec, config, *seed)),
+            None,
+        ),
+    };
+    let trace = if exec.trace {
+        sink.borrow().snapshot()
+    } else {
+        Vec::new()
+    };
+    PointRun {
+        result,
+        trace,
+        metrics,
+    }
+}
+
+/// Monotonic suffix for cache temp files, so concurrent workers (and
+/// duplicate points) never collide mid-write.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A content-addressed store of campaign results on disk.
+///
+/// One file per point, named by the [`point_key`] hash; values are the
+/// bit-exact [`PointResult::to_cache_bytes`] encoding. Writes go through a
+/// temp file and an atomic rename, so a cache shared by concurrent workers
+/// (or concurrent campaigns) never exposes a torn entry.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<ResultCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultCache { dir })
+    }
+
+    /// The default cache root: `$MACROCHIP_CACHE`, or `results/cache`.
+    pub fn default_dir() -> PathBuf {
+        match std::env::var("MACROCHIP_CACHE") {
+            Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
+            _ => Path::new("results").join("cache"),
+        }
+    }
+
+    /// Where the cache lives.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file an entry with `key` is stored at.
+    pub fn path_for(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.v{CACHE_FORMAT}.txt"))
+    }
+
+    /// Loads the entry for `key`, if present and well-formed.
+    pub fn load(&self, key: u64) -> Option<PointResult> {
+        let bytes = std::fs::read_to_string(self.path_for(key)).ok()?;
+        PointResult::from_cache_bytes(&bytes)
+    }
+
+    /// Stores `result` under `key` (atomic write-then-rename).
+    pub fn store(&self, key: u64, result: &PointResult) -> std::io::Result<()> {
+        let tmp = self.dir.join(format!(
+            "{key:016x}.tmp.{}.{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, result.to_cache_bytes())?;
+        std::fs::rename(&tmp, self.path_for(key))
+    }
+}
+
+/// One executed campaign point: its result and whether it came from cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignOutcome {
+    pub result: PointResult,
+    /// True if the result was served from the cache without simulating.
+    pub cached: bool,
+}
+
+/// A configured campaign executor: worker count, optional cache, platform
+/// configuration.
+#[derive(Debug)]
+pub struct Campaign {
+    /// Worker threads; `0` auto-detects, `1` is strictly serial.
+    pub jobs: usize,
+    /// Result cache, or `None` to always simulate.
+    pub cache: Option<ResultCache>,
+    /// Platform configuration shared by every point.
+    pub config: MacrochipConfig,
+}
+
+impl Campaign {
+    /// A serial, uncached campaign under `config`.
+    pub fn serial(config: MacrochipConfig) -> Campaign {
+        Campaign {
+            jobs: 1,
+            cache: None,
+            config,
+        }
+    }
+
+    /// Executes every point, sharded across [`Campaign::jobs`] workers,
+    /// returning outcomes in input order (byte-identical to `jobs = 1`).
+    ///
+    /// Cache consultation happens inside the worker: a hit skips the
+    /// simulation entirely, a miss simulates and persists the result. On a
+    /// key collision where the stored entry's type does not match the
+    /// point's, the entry is ignored and recomputed.
+    pub fn run(&self, points: &[CampaignPoint]) -> Vec<CampaignOutcome> {
+        run_indexed(points, self.jobs, |_, point| {
+            let key = point_key(point, &self.config);
+            if let Some(cache) = &self.cache {
+                if let Some(hit) = cache.load(key) {
+                    if hit.tag() == point.tag() {
+                        return CampaignOutcome {
+                            result: hit,
+                            cached: true,
+                        };
+                    }
+                }
+            }
+            let result = run_point(point, &self.config);
+            if let Some(cache) = &self.cache {
+                // A failed store (read-only results dir, disk full) only
+                // costs future recomputation; the campaign still succeeds.
+                let _ = cache.store(key, &result);
+            }
+            CampaignOutcome {
+                result,
+                cached: false,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> MacrochipConfig {
+        MacrochipConfig::scaled()
+    }
+
+    fn temp_cache(label: &str) -> ResultCache {
+        let dir = std::env::temp_dir().join(format!(
+            "macrochip-campaign-{label}-{}-{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        ResultCache::new(dir).expect("temp cache dir")
+    }
+
+    #[test]
+    fn run_indexed_preserves_input_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for jobs in [0, 1, 2, 3, 4, 8, 64] {
+            let out = run_indexed(&items, jobs, |_, &x| x * x + 1);
+            assert_eq!(out, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn run_indexed_handles_empty_and_single_item() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(run_indexed(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(run_indexed(&[9u32], 4, |i, &x| (i, x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn sweep_point_round_trips_through_cache_bytes_exactly() {
+        let p = PointResult::Sweep(LoadPoint {
+            offered: 0.1,
+            mean_latency_ns: 17.348_222_1,
+            p99_latency_ns: 88.125,
+            delivered_bytes_per_ns_per_site: 31.999_999_999,
+            saturated: false,
+        });
+        let bytes = p.to_cache_bytes();
+        let back = PointResult::from_cache_bytes(&bytes).expect("parses");
+        assert_eq!(back, p);
+        assert_eq!(back.to_cache_bytes(), bytes);
+    }
+
+    #[test]
+    fn malformed_cache_bytes_are_rejected() {
+        assert!(PointResult::from_cache_bytes("").is_none());
+        assert!(PointResult::from_cache_bytes("macrochip-campaign-cache v999\nsweep\n").is_none());
+        let truncated = "macrochip-campaign-cache v1\nsweep\noffered zz\n";
+        assert!(PointResult::from_cache_bytes(truncated).is_none());
+    }
+
+    #[test]
+    fn point_key_separates_distinct_points() {
+        let config = config();
+        let sweep = |kind: NetworkKind, offered: f64| CampaignPoint::Sweep {
+            kind,
+            pattern: Pattern::Uniform,
+            offered,
+            options: SweepOptions::default(),
+        };
+        let base = sweep(NetworkKind::PointToPoint, 0.1);
+        let other_load = sweep(NetworkKind::PointToPoint, 0.2);
+        let other_net = sweep(NetworkKind::TokenRing, 0.1);
+        let k0 = point_key(&base, &config);
+        assert_ne!(k0, point_key(&other_load, &config));
+        assert_ne!(k0, point_key(&other_net, &config));
+        // Stable within a process/version.
+        assert_eq!(k0, point_key(&base, &config));
+    }
+
+    #[test]
+    fn cache_store_load_round_trips() {
+        let cache = temp_cache("roundtrip");
+        let result = PointResult::Fault(FaultSummary {
+            clean_delivered: 1000,
+            lost: 3,
+            retries: 17,
+            availability: 0.997,
+            clean_bytes: 64_000,
+            degraded_ns: 1_234.5,
+            end_ns: 25_000.0,
+            saturated: false,
+        });
+        assert!(cache.load(42).is_none());
+        cache.store(42, &result).expect("store");
+        assert_eq!(cache.load(42), Some(result));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn campaign_cache_hit_skips_simulation_and_matches_miss() {
+        let points = vec![
+            CampaignPoint::Sweep {
+                kind: NetworkKind::PointToPoint,
+                pattern: Pattern::Uniform,
+                offered: 0.05,
+                options: SweepOptions {
+                    sim: Span::from_ns(500),
+                    drain: Span::from_us(2),
+                    max_stalled: 2_000,
+                    seed: 7,
+                },
+            },
+            CampaignPoint::Fault {
+                kind: NetworkKind::PointToPoint,
+                pattern: Pattern::Uniform,
+                load: 0.02,
+                plan: FaultPlan::parse("transient=0.01").expect("plan"),
+                seed: 7,
+                sim: Span::from_ns(500),
+                drain: Span::from_us(2),
+                max_stalled: 2_000,
+            },
+        ];
+        let campaign = Campaign {
+            jobs: 1,
+            cache: Some(temp_cache("hit")),
+            config: config(),
+        };
+        let cold = campaign.run(&points);
+        assert!(cold.iter().all(|o| !o.cached), "cold run must simulate");
+        let warm = campaign.run(&points);
+        assert!(warm.iter().all(|o| o.cached), "warm run must hit");
+        for (a, b) in cold.iter().zip(&warm) {
+            assert_eq!(a.result, b.result);
+            assert_eq!(a.result.to_cache_bytes(), b.result.to_cache_bytes());
+        }
+        let _ = std::fs::remove_dir_all(campaign.cache.as_ref().unwrap().dir());
+    }
+
+    #[test]
+    fn resolve_jobs_auto_detects_zero() {
+        assert!(resolve_jobs(0) >= 1);
+        assert_eq!(resolve_jobs(3), 3);
+    }
+}

@@ -14,7 +14,7 @@ use netcore::{MacrochipConfig, NetworkKind};
 use workloads::{AppProfile, AppWorkload, Pattern, SharingMix, SyntheticOpSource};
 
 /// Which workload a coherent run executes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WorkloadSpec {
     /// An application-kernel model (Table 2).
     App(AppProfile),
@@ -78,7 +78,7 @@ impl WorkloadSpec {
 }
 
 /// The measured outcome of one coherent run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoherentRun {
     /// The network architecture used.
     pub network: NetworkKind,

@@ -10,6 +10,9 @@
 //!
 //! * [`runner`] — the event loop driving any [`netcore::Network`] from
 //!   any [`netcore::PacketSource`], with injection backpressure;
+//! * [`campaign`] — the parallel campaign engine: deterministic sharded
+//!   execution of independent simulation points across a work-stealing
+//!   thread pool, with a content-addressed result cache;
 //! * [`sweep`] — open-loop latency-vs-offered-load sweeps (Figure 6) and
 //!   saturation detection;
 //! * [`experiment`] — closed-loop coherent runs over application and
@@ -39,6 +42,7 @@
 //! assert!(point.mean_latency_ns < 30.0);
 //! ```
 
+pub mod campaign;
 pub mod energy;
 pub mod experiment;
 pub mod manifest;
@@ -48,6 +52,10 @@ pub mod sweep;
 
 /// One-stop imports for examples and binaries.
 pub mod prelude {
+    pub use crate::campaign::{
+        run_indexed, Campaign, CampaignOutcome, CampaignPoint, FaultSummary, PointResult,
+        ResultCache,
+    };
     pub use crate::energy::{EnergyBreakdown, NetworkEnergyModel};
     pub use crate::experiment::{run_coherent, CoherentRun, WorkloadSpec};
     pub use crate::manifest::RunManifest;

@@ -34,6 +34,11 @@ pub struct RunManifest {
     pub max_stalled: usize,
     /// How the run(s) ended (e.g. `completed`, `3/10 points saturated`).
     pub outcome: String,
+    /// Worker threads the campaign engine used (1 = serial). Parallel
+    /// execution never changes results — this is provenance, not input.
+    pub jobs: usize,
+    /// Result-cache provenance: `disabled`, or `N/M points from cache`.
+    pub cache: String,
     /// Host wall-clock duration of the run, in milliseconds.
     pub wall_clock_ms: f64,
     /// Version of the `macrochip` crate that produced the results.
@@ -59,6 +64,8 @@ impl RunManifest {
             deadline_ns: f64::INFINITY,
             max_stalled: 0,
             outcome: String::from("completed"),
+            jobs: 1,
+            cache: String::from("disabled"),
             wall_clock_ms: 0.0,
             version: env!("CARGO_PKG_VERSION"),
             sites: config.grid.sites(),
@@ -88,6 +95,8 @@ impl RunManifest {
         let _ = write!(out, "\n  \"deadline_ns\": {},", json_f64(self.deadline_ns));
         let _ = write!(out, "\n  \"max_stalled\": {},", self.max_stalled);
         let _ = write!(out, "\n  \"outcome\": \"{}\",", json_escape(&self.outcome));
+        let _ = write!(out, "\n  \"jobs\": {},", self.jobs);
+        let _ = write!(out, "\n  \"cache\": \"{}\",", json_escape(&self.cache));
         let _ = write!(
             out,
             "\n  \"wall_clock_ms\": {},",
@@ -130,6 +139,8 @@ mod tests {
             "\"deadline_ns\": 25000",
             "\"sites\": 64",
             "\"version\": \"",
+            "\"jobs\": 1",
+            "\"cache\": \"disabled\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

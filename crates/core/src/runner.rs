@@ -14,6 +14,18 @@ pub struct DriveLimits {
     pub max_stalled: usize,
 }
 
+impl DriveLimits {
+    /// Limits for the standard open-loop shape: generate traffic for
+    /// `sim`, then allow `drain` extra time for in-flight packets, with
+    /// `max_stalled` as the saturation bound.
+    pub fn for_window(sim: desim::Span, drain: desim::Span, max_stalled: usize) -> DriveLimits {
+        DriveLimits {
+            deadline: Time::ZERO + sim + drain,
+            max_stalled,
+        }
+    }
+}
+
 impl Default for DriveLimits {
     fn default() -> DriveLimits {
         DriveLimits {

@@ -27,7 +27,7 @@ pub struct LoadPoint {
 }
 
 /// Knobs for a sweep.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepOptions {
     /// Traffic-generation window per load point.
     pub sim: Span,

@@ -340,6 +340,64 @@ impl RingSink {
     pub fn snapshot(&self) -> Vec<(Time, TraceEvent)> {
         self.events.iter().copied().collect()
     }
+
+    /// Merges another sink's recording into this one, keeping the merged
+    /// stream ordered by timestamp (stable: on ties, this sink's events
+    /// come first, then `other`'s, each in recording order).
+    ///
+    /// This is the parallel-campaign merge path: each worker records into
+    /// its own `RingSink` (a [`Tracer`] is deliberately **not** `Send` —
+    /// it shares its sink via `Rc`), and the per-worker sinks are absorbed
+    /// into one recording afterwards. `RingSink` itself is `Send`, so
+    /// whole sinks — or their [`RingSink::snapshot`]s — can cross thread
+    /// boundaries. If the merged stream overflows this sink's capacity the
+    /// oldest events are dropped and counted, as on the record path.
+    pub fn absorb(&mut self, other: &RingSink) {
+        let mut merged = VecDeque::with_capacity(self.events.len() + other.events.len());
+        let mut a = self.events.iter().copied().peekable();
+        let mut b = other.events.iter().copied().peekable();
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&(ta, _)), Some(&(tb, _))) => {
+                    if ta <= tb {
+                        merged.push_back(a.next().expect("peeked"));
+                    } else {
+                        merged.push_back(b.next().expect("peeked"));
+                    }
+                }
+                (Some(_), None) => merged.push_back(a.next().expect("peeked")),
+                (None, Some(_)) => merged.push_back(b.next().expect("peeked")),
+                (None, None) => break,
+            }
+        }
+        self.dropped += other.dropped;
+        while merged.len() > self.capacity {
+            merged.pop_front();
+            self.dropped += 1;
+        }
+        self.events = merged;
+    }
+}
+
+/// Compile-time audit of the tracing types' thread-safety contract, relied
+/// on by the parallel campaign engine in higher crates:
+///
+/// * [`TraceEvent`] and recorded `(Time, TraceEvent)` streams are
+///   `Send + Sync` — results can cross worker boundaries;
+/// * [`RingSink`] and [`NopSink`] are `Send` — a worker-local sink can be
+///   moved to the merge thread whole;
+/// * [`Tracer`] is intentionally **not** `Send` (it shares its sink via
+///   `Rc<RefCell<..>>` for single-threaded cheapness) — each worker must
+///   construct its own, which is what keeps per-point recordings isolated
+///   and the merged output deterministic.
+#[allow(dead_code)]
+fn _audit_send_bounds() {
+    fn send_and_sync<T: Send + Sync>() {}
+    fn send_only<T: Send>() {}
+    send_and_sync::<TraceEvent>();
+    send_and_sync::<Vec<(Time, TraceEvent)>>();
+    send_only::<RingSink>();
+    send_only::<NopSink>();
 }
 
 impl TraceSink for RingSink {
@@ -684,6 +742,38 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].0, Time::from_ns(1));
         assert_eq!(events[1].1, ev(1));
+    }
+
+    #[test]
+    fn absorb_merges_time_ordered_and_respects_capacity() {
+        let mut a = RingSink::new(16);
+        let mut b = RingSink::new(16);
+        for i in [0u64, 2, 4] {
+            a.record(Time::from_ns(i), ev(i));
+        }
+        for i in [1u64, 2, 3] {
+            b.record(Time::from_ns(i), ev(100 + i));
+        }
+        a.absorb(&b);
+        let times: Vec<u64> = a.events().map(|&(t, _)| t.as_ps() / 1000).collect();
+        assert_eq!(times, vec![0, 1, 2, 2, 3, 4]);
+        // Stable on ties: the absorbing sink's event at t=2 precedes the
+        // absorbed one.
+        let packets: Vec<u64> = a
+            .events()
+            .map(|&(_, e)| match e {
+                TraceEvent::Inject { packet, .. } => packet,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(packets, vec![0, 101, 2, 102, 103, 4]);
+
+        // Overflow drops oldest and counts them.
+        let mut small = RingSink::new(2);
+        small.record(Time::from_ns(9), ev(9));
+        small.absorb(&a);
+        assert_eq!(small.len(), 2);
+        assert_eq!(small.dropped(), 5);
     }
 
     #[test]

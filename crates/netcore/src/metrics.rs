@@ -68,6 +68,27 @@ impl MetricsRegistry {
             .merge(hist);
     }
 
+    /// Merges another registry into this one: counters add, gauges take
+    /// `other`'s value, histograms pool their samples.
+    ///
+    /// This is the parallel-campaign reduction: each worker accumulates
+    /// its shard's metrics into a private registry, and the per-worker
+    /// registries are merged **in canonical shard order** afterwards.
+    /// Counter sums and histogram merges are order-independent; gauges are
+    /// last-write-wins, so merging in input order reproduces exactly what
+    /// a serial run recording the same shards in sequence would hold.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, n) in &other.counters {
+            self.add_counter(name, *n);
+        }
+        for (name, v) in &other.gauges {
+            self.set_gauge(name, *v);
+        }
+        for (name, h) in &other.histograms {
+            self.merge_histogram(name, h);
+        }
+    }
+
     /// Flattens a network's [`NetStats`] into the registry under the
     /// standard names: `net.*` counters/gauges, `latency.*` end-to-end
     /// histograms and `phase.*` per-phase breakdown histograms.
@@ -328,6 +349,42 @@ mod tests {
         assert!(rows
             .iter()
             .any(|r| r[0] == "latency.e2e" && r[2] == "p99_ns"));
+    }
+
+    #[test]
+    fn merge_pools_counters_and_histograms_deterministically() {
+        let mut a = MetricsRegistry::new();
+        a.add_counter("net.delivered", 10);
+        a.set_gauge("run.offered_load", 0.1);
+        a.record_latency("latency.e2e", Span::from_ns(100));
+        let mut b = MetricsRegistry::new();
+        b.add_counter("net.delivered", 32);
+        b.add_counter("net.dropped", 1);
+        b.set_gauge("run.offered_load", 0.2);
+        b.record_latency("latency.e2e", Span::from_ns(300));
+
+        // Serial reference: record a's shard then b's into one registry.
+        let mut serial = MetricsRegistry::new();
+        serial.merge(&a);
+        serial.merge(&b);
+
+        let mut merged = MetricsRegistry::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(serial.snapshot().to_json(), merged.snapshot().to_json());
+
+        let snap = merged.snapshot();
+        assert!(snap.to_json().contains("\"net.delivered\": 42"));
+        assert!(snap.to_json().contains("\"net.dropped\": 1"));
+        // Last-write-wins gauge: b's value.
+        assert!(snap.to_json().contains("\"run.offered_load\": 0.2"));
+        let (_, hist) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "latency.e2e")
+            .expect("merged histogram present");
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.mean_ns, 200.0);
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Property tests for the parallel campaign engine: merge-order
+//! invariance under worker count and input permutation, bit-exact cache
+//! round-trips for arbitrary float payloads (including NaN and infinity
+//! bit patterns), and latency monotonicity of sweep curves below
+//! saturation.
+
+use desim::Span;
+use macrochip::campaign::{
+    run_indexed, run_point, CampaignPoint, FaultSummary, PointResult, ResultCache,
+};
+use macrochip::prelude::*;
+use macrochip::sweep::LoadPoint;
+use netcore::MacrochipConfig;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use workloads::Pattern;
+
+static CACHE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_cache() -> ResultCache {
+    let dir = std::env::temp_dir().join(format!(
+        "macrochip-proptest-cache-{}-{}",
+        std::process::id(),
+        CACHE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    ResultCache::new(dir).expect("temp cache dir")
+}
+
+/// Seeded Fisher-Yates permutation of `0..n` (proptest owns the seed, so
+/// failures replay deterministically).
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut s = seed | 1;
+    for i in (1..n).rev() {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        perm.swap(i, (s >> 33) as usize % (i + 1));
+    }
+    perm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `run_indexed` returns outputs in input order for every worker
+    /// count, and permuting the inputs permutes the outputs identically —
+    /// scheduling never leaks into the merge.
+    #[test]
+    fn run_indexed_order_invariant_under_jobs_and_permutation(
+        items in proptest::collection::vec(0u64..1_000_000, 1..64),
+        jobs in 0usize..9,
+        seed in 0u64..u64::MAX,
+    ) {
+        let f = |_: usize, &x: &u64| x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+        let serial: Vec<u64> = items.iter().map(|x| f(0, x)).collect();
+        prop_assert_eq!(&run_indexed(&items, jobs, f), &serial);
+
+        let perm = permutation(items.len(), seed);
+        let shuffled: Vec<u64> = perm.iter().map(|&i| items[i]).collect();
+        let expected: Vec<u64> = perm.iter().map(|&i| serial[i]).collect();
+        prop_assert_eq!(run_indexed(&shuffled, jobs, f), expected);
+    }
+
+    /// A cache hit reproduces the stored value's serialization
+    /// byte-for-byte, whatever the float bit patterns are.
+    #[test]
+    fn sweep_cache_entries_round_trip_bit_exactly(
+        bits in proptest::collection::vec(0u64..u64::MAX, 4..5),
+        saturated in proptest::bool::ANY,
+        key in 0u64..u64::MAX,
+    ) {
+        let result = PointResult::Sweep(LoadPoint {
+            offered: f64::from_bits(bits[0]),
+            mean_latency_ns: f64::from_bits(bits[1]),
+            p99_latency_ns: f64::from_bits(bits[2]),
+            delivered_bytes_per_ns_per_site: f64::from_bits(bits[3]),
+            saturated,
+        });
+        let bytes = result.to_cache_bytes();
+        let reparsed = PointResult::from_cache_bytes(&bytes).expect("well-formed bytes parse");
+        prop_assert_eq!(reparsed.to_cache_bytes(), bytes.clone());
+
+        let cache = temp_cache();
+        cache.store(key, &result).expect("store succeeds");
+        let hit = cache.load(key).expect("stored key hits");
+        prop_assert_eq!(hit.to_cache_bytes(), bytes);
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    /// Same bit-exactness for the fault-campaign value encoding.
+    #[test]
+    fn fault_cache_entries_round_trip_bit_exactly(
+        counters in proptest::collection::vec(0u64..u64::MAX, 4..5),
+        bits in proptest::collection::vec(0u64..u64::MAX, 3..4),
+        saturated in proptest::bool::ANY,
+        key in 0u64..u64::MAX,
+    ) {
+        let result = PointResult::Fault(FaultSummary {
+            clean_delivered: counters[0],
+            lost: counters[1],
+            retries: counters[2],
+            availability: f64::from_bits(bits[0]),
+            clean_bytes: counters[3],
+            degraded_ns: f64::from_bits(bits[1]),
+            end_ns: f64::from_bits(bits[2]),
+            saturated,
+        });
+        let bytes = result.to_cache_bytes();
+        let reparsed = PointResult::from_cache_bytes(&bytes).expect("well-formed bytes parse");
+        prop_assert_eq!(reparsed.to_cache_bytes(), bytes.clone());
+
+        let cache = temp_cache();
+        cache.store(key, &result).expect("store succeeds");
+        let hit = cache.load(key).expect("stored key hits");
+        prop_assert_eq!(hit.to_cache_bytes(), bytes);
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+}
+
+proptest! {
+    // Simulation-backed property: few cases, short windows.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// On the point-to-point network under uniform traffic, mean latency
+    /// is (within a small simulation-noise allowance) non-decreasing in
+    /// offered load until the first saturated point — queueing only ever
+    /// adds delay. Computed through the parallel engine, so the property
+    /// also covers the sharded path.
+    #[test]
+    fn sweep_latency_non_decreasing_until_saturation(seed in 1u64..1_000) {
+        let config = MacrochipConfig::scaled();
+        let options = SweepOptions {
+            sim: Span::from_us(1),
+            drain: Span::from_us(5),
+            max_stalled: 5_000,
+            seed,
+        };
+        let loads = [0.1, 0.4, 0.8];
+        let points: Vec<CampaignPoint> = loads
+            .iter()
+            .map(|&offered| CampaignPoint::Sweep {
+                kind: NetworkKind::PointToPoint,
+                pattern: Pattern::Uniform,
+                offered,
+                options,
+            })
+            .collect();
+        let results = run_indexed(&points, 4, |_, p| run_point(p, &config));
+        let mut prev = 0.0f64;
+        for (load, r) in loads.iter().zip(&results) {
+            let PointResult::Sweep(p) = r else { unreachable!("sweep point") };
+            if p.saturated {
+                break;
+            }
+            prop_assert!(
+                p.mean_latency_ns >= prev * 0.98,
+                "latency fell from {prev} to {} at load {load} (seed {seed})",
+                p.mean_latency_ns
+            );
+            prev = p.mean_latency_ns;
+        }
+    }
+}

@@ -6,6 +6,7 @@
 //! to catch an order-of-magnitude drift or a flipped ordering.
 
 use desim::Span;
+use macrochip::campaign::{run_indexed, run_point, CampaignPoint, PointResult};
 use macrochip::prelude::*;
 use macrochip::sweep::sustained_bandwidth;
 
@@ -100,6 +101,141 @@ fn golden_analytic_tables() {
     assert!((p2p.laser.watts() - 8.192).abs() < 1e-9);
     let counts = ComponentCounts::for_network(NetworkId::TwoPhaseData, &layout);
     assert_eq!(counts.switches, 16_384);
+}
+
+/// Table 1's energy terms are the paper's numbers verbatim and must stay
+/// exact: they seed every power and EDP figure downstream.
+#[test]
+fn golden_table1_energy_terms() {
+    use photonics::components::{Component, EnergyCost};
+    use photonics::units::{FemtojoulesPerBit, Milliwatts};
+    let dynamic = |fj: f64| EnergyCost::Dynamic(FemtojoulesPerBit::new(fj));
+    let standing = |mw: f64| EnergyCost::Standing(Milliwatts::new(mw));
+    let expected = [
+        (Component::Modulator, dynamic(35.0)),
+        (Component::ModulatorOffResonance, EnergyCost::Negligible),
+        (Component::Opxc, EnergyCost::Negligible),
+        (Component::WaveguidePerCm, EnergyCost::Negligible),
+        (Component::DropFilterPass, standing(0.1)),
+        (Component::DropFilterDrop, standing(0.1)),
+        (Component::Multiplexer, standing(0.1)),
+        (Component::Receiver, dynamic(65.0)),
+        (Component::Switch, standing(0.5)),
+        (
+            Component::Laser,
+            EnergyCost::Static(FemtojoulesPerBit::new(50.0)),
+        ),
+        (Component::Splitter, EnergyCost::Negligible),
+    ];
+    assert_eq!(expected.len(), Component::ALL.len());
+    for (component, energy) in expected {
+        assert_eq!(component.props().energy, energy, "{}", component.name());
+    }
+}
+
+/// Table 6's component counts are analytic and must stay exact, per
+/// network row (scaled 8×8 configuration: 2 λ/destination, 8-way WDM).
+#[test]
+fn golden_table6_component_counts() {
+    use photonics::geometry::Layout;
+    use photonics::inventory::{ComponentCounts, NetworkId};
+    let layout = Layout::macrochip();
+    // (network, transmitters, receivers, waveguides, switches)
+    let expected = [
+        (NetworkId::TokenRing, 524_288, 8_192, 32_768, 0),
+        (NetworkId::PointToPoint, 8_192, 8_192, 3_072, 0),
+        (NetworkId::CircuitSwitched, 8_192, 8_192, 2_048, 1_024),
+        (NetworkId::LimitedPointToPoint, 8_192, 8_192, 3_072, 128),
+        (NetworkId::TwoPhaseData, 8_192, 8_192, 4_096, 16_384),
+    ];
+    for (id, tx, rx, wgs, switches) in expected {
+        let c = ComponentCounts::for_network(id, &layout);
+        assert_eq!(c.transmitters, tx, "{id} transmitters");
+        assert_eq!(c.receivers, rx, "{id} receivers");
+        assert_eq!(c.waveguide_area_equivalent, wgs, "{id} waveguides");
+        assert_eq!(c.switches, switches, "{id} switches");
+    }
+}
+
+/// One Figure 6-style latency-load curve per network, pinned to explicit
+/// per-point latency bands (ns). Loads sit below each architecture's
+/// saturation knee, so every point must come back unsaturated and the
+/// curve must be monotone non-decreasing. Runs through the parallel
+/// campaign engine (jobs = 2), so a merge-order regression would also
+/// surface here as a band miss.
+#[test]
+fn golden_figure6_curves() {
+    let config = MacrochipConfig::scaled();
+    let options = quick_sweep();
+    // Per point: (offered load, min mean ns, max mean ns).
+    type Curve = (NetworkKind, [(f64, f64, f64); 3]);
+    let curves: [Curve; 5] = [
+        (
+            NetworkKind::PointToPoint,
+            [(0.1, 10.0, 20.0), (0.3, 12.0, 25.0), (0.6, 16.0, 40.0)],
+        ),
+        (
+            NetworkKind::LimitedPointToPoint,
+            [(0.1, 10.0, 22.0), (0.2, 12.0, 25.0), (0.4, 18.0, 45.0)],
+        ),
+        (
+            NetworkKind::TokenRing,
+            [(0.1, 15.0, 32.0), (0.2, 18.0, 45.0), (0.35, 60.0, 180.0)],
+        ),
+        (
+            NetworkKind::TwoPhase,
+            [(0.02, 15.0, 35.0), (0.05, 17.0, 45.0), (0.07, 90.0, 400.0)],
+        ),
+        (
+            NetworkKind::CircuitSwitched,
+            [
+                (0.005, 50.0, 150.0),
+                (0.01, 80.0, 220.0),
+                (0.02, 400.0, 1_500.0),
+            ],
+        ),
+    ];
+    let points: Vec<CampaignPoint> = curves
+        .iter()
+        .flat_map(|&(kind, loads)| {
+            loads
+                .into_iter()
+                .map(move |(offered, _, _)| CampaignPoint::Sweep {
+                    kind,
+                    pattern: Pattern::Uniform,
+                    offered,
+                    options,
+                })
+        })
+        .collect();
+    let results = run_indexed(&points, 2, |_, p| run_point(p, &config));
+    let bands = curves.iter().flat_map(|&(kind, loads)| {
+        loads
+            .into_iter()
+            .map(move |(load, lo, hi)| (kind, load, lo, hi))
+    });
+    let mut prev: Option<(NetworkKind, f64)> = None;
+    for ((kind, load, lo, hi), r) in bands.zip(&results) {
+        let PointResult::Sweep(p) = r else {
+            unreachable!("sweep point")
+        };
+        assert!(!p.saturated, "{kind} saturated at {load}");
+        assert!(
+            (lo..=hi).contains(&p.mean_latency_ns),
+            "{kind} @ {load}: mean {:.2} ns outside golden band [{lo}, {hi}]",
+            p.mean_latency_ns
+        );
+        if let Some((prev_kind, prev_mean)) = prev {
+            if prev_kind == kind {
+                assert!(
+                    p.mean_latency_ns >= prev_mean,
+                    "{kind} latency fell from {prev_mean} to {} at {load}",
+                    p.mean_latency_ns
+                );
+            }
+        }
+        prev = Some((kind, p.mean_latency_ns));
+    }
 }
 
 /// Energy-delay-product ordering (Figure 10) must hold on a small run.

@@ -40,14 +40,21 @@ where
 
 /// Defines property tests.
 ///
-/// ```ignore
+/// In a test module each function carries `#[test]`; the attribute list
+/// may also be empty, which makes the expansion directly callable (as
+/// done here so the example actually runs):
+///
+/// ```
+/// use proptest::prelude::*;
+///
 /// proptest! {
 ///     #![proptest_config(ProptestConfig::with_cases(48))]
-///     #[test]
 ///     fn holds(x in 0u64..100, ys in proptest::collection::vec(0u32..9, 1..20)) {
 ///         prop_assert!(x < 100);
+///         prop_assert!(!ys.is_empty());
 ///     }
 /// }
+/// holds();
 /// ```
 #[macro_export]
 macro_rules! proptest {
