@@ -70,47 +70,52 @@ fn main() {
         .iter()
         .flat_map(|&kind| FAULT_RATES.iter().map(move |&rate| (kind, rate)))
         .collect();
-    let rows = run_indexed(&cells, macrochip_bench::jobs(), |_, &(kind, rate)| {
-        let plan = plan_for(rate);
-        let mut net = ResilientNetwork::new(networks::build(kind, config), &plan, SEED, horizon);
-        let peak = config.site_bandwidth_bytes_per_ns();
-        let mut traffic = OpenLoopTraffic::new(
-            &config.grid,
-            Pattern::Uniform,
-            LOAD,
-            peak,
-            config.data_bytes,
-            SEED,
-        );
-        traffic.set_horizon(horizon);
-        let outcome = drive(
-            &mut net,
-            &mut traffic,
-            DriveLimits {
-                deadline: horizon + drain,
-                max_stalled: 5_000,
-            },
-        );
-        let s = net.fault_stats();
-        // Goodput over the delivery window: retry tails extend it, the
-        // trailing repair events of the fault schedule do not.
-        let window = net
-            .stats()
-            .last_delivery()
-            .unwrap_or(outcome.end)
-            .as_ns_f64()
-            .max(sim.as_ns_f64());
-        let goodput = s.clean_bytes as f64 / window / config.grid.sites() as f64;
-        vec![
-            kind.name().to_string(),
-            fmt(rate, 3),
-            fmt(goodput, 3),
-            fmt(net.availability(), 4),
-            s.retries.to_string(),
-            net.lost_packets().to_string(),
-            fmt(s.time_degraded(outcome.end).as_ns_f64() / 1e3, 2),
-        ]
-    });
+    let rows = run_indexed(
+        &cells,
+        macrochip_bench::CampaignEnv::detect().jobs,
+        |_, &(kind, rate)| {
+            let plan = plan_for(rate);
+            let mut net =
+                ResilientNetwork::new(networks::build(kind, config), &plan, SEED, horizon);
+            let peak = config.site_bandwidth_bytes_per_ns();
+            let mut traffic = OpenLoopTraffic::new(
+                &config.grid,
+                Pattern::Uniform,
+                LOAD,
+                peak,
+                config.data_bytes,
+                SEED,
+            );
+            traffic.set_horizon(horizon);
+            let outcome = drive(
+                &mut net,
+                &mut traffic,
+                DriveLimits {
+                    deadline: horizon + drain,
+                    max_stalled: 5_000,
+                },
+            );
+            let s = net.fault_stats();
+            // Goodput over the delivery window: retry tails extend it, the
+            // trailing repair events of the fault schedule do not.
+            let window = net
+                .stats()
+                .last_delivery()
+                .unwrap_or(outcome.end)
+                .as_ns_f64()
+                .max(sim.as_ns_f64());
+            let goodput = s.clean_bytes as f64 / window / config.grid.sites() as f64;
+            vec![
+                kind.name().to_string(),
+                fmt(rate, 3),
+                fmt(goodput, 3),
+                fmt(net.availability(), 4),
+                s.retries.to_string(),
+                net.lost_packets().to_string(),
+                fmt(s.time_degraded(outcome.end).as_ns_f64() / 1e3, 2),
+            ]
+        },
+    );
     for row in rows {
         table.row_owned(row);
     }

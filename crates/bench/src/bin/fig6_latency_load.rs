@@ -58,7 +58,7 @@ fn main() {
                 .map(move |&kind| (pattern, kind))
         })
         .collect();
-    let jobs = macrochip_bench::jobs();
+    let jobs = macrochip_bench::CampaignEnv::detect().jobs;
     let measured = run_indexed(&curves, jobs, |_, &(pattern, kind)| {
         latency_vs_load(kind, pattern, &figure6_loads(pattern), &config, options)
     });

@@ -11,9 +11,10 @@
 //! serial run. `--no-cache` (or `MACROCHIP_NO_CACHE=1`) forces grids to
 //! resimulate instead of loading cached results.
 
+use macrochip_bench::CampaignEnv;
 use std::process::Command;
 
-fn run(bin: &str) {
+fn run(bin: &str, env: &CampaignEnv) {
     println!("\n=== {bin} ===\n");
     let mut cmd = Command::new(
         std::env::current_exe()
@@ -22,12 +23,14 @@ fn run(bin: &str) {
             .expect("bin dir")
             .join(bin),
     );
-    // Forward the campaign-engine knobs (`--jobs`, `--no-cache`) to the
-    // child binaries as their environment equivalents.
-    cmd.env("MACROCHIP_JOBS", macrochip_bench::jobs().to_string());
-    if macrochip_bench::no_cache() {
+    // Forward the resolved campaign-engine knobs (`--jobs`, `--no-cache`,
+    // cache location) to the child binaries as their environment
+    // equivalents, so every child sees the same configuration.
+    cmd.env("MACROCHIP_JOBS", env.jobs.to_string());
+    if env.no_cache {
         cmd.env("MACROCHIP_NO_CACHE", "1");
     }
+    cmd.env("MACROCHIP_CACHE_DIR", &env.cache_dir);
     let status = cmd.status();
     match status {
         Ok(s) if s.success() => {}
@@ -39,6 +42,7 @@ fn run(bin: &str) {
 }
 
 fn main() {
+    let env = CampaignEnv::detect();
     for bin in [
         "table1",
         "table4",
@@ -56,7 +60,7 @@ fn main() {
         "latency_breakdown",
         "fairness",
     ] {
-        run(bin);
+        run(bin, &env);
     }
     println!(
         "\nAll artifacts regenerated under {}",

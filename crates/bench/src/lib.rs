@@ -32,32 +32,70 @@ pub fn fast_mode() -> bool {
     std::env::var("MACROCHIP_FAST").is_ok_and(|v| v == "1")
 }
 
-/// Worker threads for the parallelizable grids: `--jobs <N>` on the
-/// command line, else `MACROCHIP_JOBS`, else 1 (serial). `0` auto-detects
-/// one worker per hardware thread. Whatever the value, results come back
-/// in canonical order, so every regenerated artifact is byte-identical
-/// to a serial run.
-pub fn jobs() -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    if let Some(v) = args
-        .iter()
-        .position(|a| a == "--jobs")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-    {
-        return v;
+/// The campaign-engine knobs every regeneration binary shares, parsed
+/// once from the command line and environment.
+///
+/// This is the single home of the `--jobs`/`MACROCHIP_JOBS`,
+/// `--no-cache`/`MACROCHIP_NO_CACHE` and `MACROCHIP_CACHE_DIR` parsing —
+/// the binaries (and [`jobs`]/[`no_cache`] below) all go through it, and
+/// `run_all` forwards the resolved values to its children so a child
+/// never re-derives them differently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignEnv {
+    /// Worker threads (1 = serial, 0 = one per hardware thread). Results
+    /// come back in canonical order whatever the value, so every
+    /// regenerated artifact is byte-identical to a serial run.
+    pub jobs: usize,
+    /// Resimulate instead of loading cached results.
+    pub no_cache: bool,
+    /// Where the campaign result cache lives (`MACROCHIP_CACHE_DIR`,
+    /// default `results/cache`).
+    pub cache_dir: PathBuf,
+}
+
+impl CampaignEnv {
+    /// Reads the process's command line and environment.
+    pub fn detect() -> CampaignEnv {
+        let args: Vec<String> = std::env::args().collect();
+        CampaignEnv::from_parts(&args, |name| std::env::var(name).ok())
     }
-    std::env::var("MACROCHIP_JOBS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1)
+
+    /// The parse itself, injectable for tests: `--jobs <N>` beats
+    /// `MACROCHIP_JOBS`, `--no-cache` or `MACROCHIP_NO_CACHE=1` disables
+    /// the cache, and the cache directory resolves exactly like the
+    /// campaign engine's [`ResultCache::default_dir`].
+    pub fn from_parts(args: &[String], env: impl Fn(&str) -> Option<String>) -> CampaignEnv {
+        let jobs = args
+            .iter()
+            .position(|a| a == "--jobs")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .or_else(|| env("MACROCHIP_JOBS").and_then(|v| v.parse().ok()))
+            .unwrap_or(1);
+        let no_cache = args.iter().any(|a| a == "--no-cache")
+            || env("MACROCHIP_NO_CACHE").is_some_and(|v| v == "1");
+        let cache_dir = ["MACROCHIP_CACHE_DIR", "MACROCHIP_CACHE"]
+            .iter()
+            .find_map(|name| env(name).filter(|v| !v.is_empty()))
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("results").join("cache"));
+        CampaignEnv {
+            jobs,
+            no_cache,
+            cache_dir,
+        }
+    }
+}
+
+/// Worker threads for the parallelizable grids — see [`CampaignEnv`].
+pub fn jobs() -> usize {
+    CampaignEnv::detect().jobs
 }
 
 /// `--no-cache` / `MACROCHIP_NO_CACHE=1` force grids to resimulate
-/// instead of loading cached results.
+/// instead of loading cached results — see [`CampaignEnv`].
 pub fn no_cache() -> bool {
-    std::env::args().any(|a| a == "--no-cache")
-        || std::env::var("MACROCHIP_NO_CACHE").is_ok_and(|v| v == "1")
+    CampaignEnv::detect().no_cache
 }
 
 /// The six simulated architectures, figure order.
@@ -120,8 +158,9 @@ pub fn runs_from_csv(csv: &str) -> Option<Vec<CoherentRun>> {
 /// 9 and 10: every workload of the Figure 7 suite on every network.
 pub fn coherent_grid() -> Vec<CoherentRun> {
     let ops = ops_per_core();
+    let campaign_env = CampaignEnv::detect();
     let cache = results_dir().join(format!("coherent_runs_ops{ops}.csv"));
-    if !no_cache() {
+    if !campaign_env.no_cache {
         if let Ok(csv) = fs::read_to_string(&cache) {
             if let Some(runs) = runs_from_csv(&csv) {
                 if !runs.is_empty() {
@@ -149,7 +188,7 @@ pub fn coherent_grid() -> Vec<CoherentRun> {
                 .map(move |kind| (spec.clone(), kind))
         })
         .collect();
-    let runs = run_indexed(&cells, jobs(), |_, (spec, kind)| {
+    let runs = run_indexed(&cells, campaign_env.jobs, |_, (spec, kind)| {
         let start = std::time::Instant::now();
         let run = run_coherent(*kind, spec, &config, 0xFEED);
         eprintln!(
@@ -222,5 +261,52 @@ mod tests {
     #[test]
     fn malformed_csv_rejected() {
         assert!(runs_from_csv("header\nnot,enough,fields").is_none());
+    }
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn campaign_env_prefers_args_over_environment() {
+        let e = CampaignEnv::from_parts(
+            &strings(&["bin", "--jobs", "4", "--no-cache"]),
+            |n| match n {
+                "MACROCHIP_JOBS" => Some("9".into()),
+                "MACROCHIP_CACHE_DIR" => Some("ci-cache".into()),
+                _ => None,
+            },
+        );
+        assert_eq!(e.jobs, 4);
+        assert!(e.no_cache);
+        assert_eq!(e.cache_dir, PathBuf::from("ci-cache"));
+    }
+
+    #[test]
+    fn campaign_env_falls_back_to_environment_then_defaults() {
+        let e = CampaignEnv::from_parts(&strings(&["bin"]), |n| {
+            (n == "MACROCHIP_JOBS").then(|| "9".into())
+        });
+        assert_eq!(e.jobs, 9);
+        assert!(!e.no_cache);
+        assert_eq!(e.cache_dir, PathBuf::from("results").join("cache"));
+
+        let e = CampaignEnv::from_parts(&strings(&["bin"]), |_| None);
+        assert_eq!(e.jobs, 1);
+    }
+
+    #[test]
+    fn campaign_env_honors_legacy_cache_variable() {
+        let e = CampaignEnv::from_parts(&strings(&["bin"]), |n| {
+            (n == "MACROCHIP_CACHE").then(|| "old-dir".into())
+        });
+        assert_eq!(e.cache_dir, PathBuf::from("old-dir"));
+        // The new name wins when both are set.
+        let e = CampaignEnv::from_parts(&strings(&["bin"]), |n| match n {
+            "MACROCHIP_CACHE_DIR" => Some("new-dir".into()),
+            "MACROCHIP_CACHE" => Some("old-dir".into()),
+            _ => None,
+        });
+        assert_eq!(e.cache_dir, PathBuf::from("new-dir"));
     }
 }

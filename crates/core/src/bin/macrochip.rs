@@ -8,19 +8,29 @@
 //! macrochip mp        --collective butterfly [--bytes 1024] [--rounds 2]
 //! macrochip faults    --network all [--faults "rand-links=2; transient=0.01"] [--jobs 4]
 //! macrochip run-all   [--pattern uniform] [--jobs 0] [--no-cache]
+//! macrochip capture   --out run.mtrc --pattern uniform [--load 0.05]
+//! macrochip replay    --trace run.mtrc [--network all] [--faults "rand-links=2"]
+//! macrochip trace-info run.mtrc | --dir traces/ [--write-index]
+//! macrochip trace-transform --trace run.mtrc --out half.mtrc --truncate-ns 500
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free.
 
+use coherence::EngineConfig;
 use desim::trace::{chrome_trace_json, RingSink};
 use desim::{Span, Time, TraceEvent, Tracer};
 use macrochip::campaign::{self, point_key, CampaignPoint, PointExecOptions, PointResult};
+use macrochip::experiment::run_coherent_observed;
 use macrochip::prelude::*;
 use macrochip::report::{fmt, Table};
 use macrochip::runner::{drive, DriveLimits};
-use macrochip::sweep::{run_load_point_traced, sustained_bandwidth};
-use netcore::{MetricsRegistry, MetricsSnapshot};
+use macrochip::sweep::{run_load_point_observed, run_load_point_traced, sustained_bandwidth};
+use netcore::{MessageKind, MetricsRegistry, MetricsSnapshot};
+use replay::{CaptureSink, CorpusManifest, TraceMeta};
 use std::cell::RefCell;
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::Path;
 use std::process::ExitCode;
 use std::rc::Rc;
 use std::time::Instant;
@@ -38,6 +48,19 @@ USAGE:
     macrochip faults    --network <NET|all> [--pattern <PAT>] [--load <F>]
                         [--faults <SPEC>] [--seed <N>] [--duration-short]
     macrochip run-all   [--pattern <PAT>] [--seed <N>] [--duration-short]
+    macrochip capture   --out <FILE.mtrc> --pattern <PAT> [--load <F>]
+                        [--network <NET>] [--seed <N>] [--duration-short]
+                        [--stats <FILE>]
+                        (or --workload <NAME> [--ops <N>] for a coherent run)
+    macrochip replay    --trace <FILE.mtrc> [--network <NET|all>]
+                        [--faults <SPEC>] [--seed <N>] [--duration-short]
+                        [--jobs <N>] [--no-cache] [--stats <FILE>]
+                        [--metrics <FILE>] [--trace-out <FILE>]
+    macrochip trace-info <FILE.mtrc>... | --dir <DIR> [--write-index]
+    macrochip trace-transform --trace <IN.mtrc> --out <OUT.mtrc>
+                        (--time-scale <N/D> | --truncate <N>
+                         | --truncate-ns <NS> | --keep-kind <KIND>
+                         | --remap <rot:K|i,j,...> | --merge <A,B,...>)
 
 NETWORKS:   p2p, limited, token, circuit, two-phase, two-phase-alt, all
 PATTERNS:   uniform, transpose, butterfly, neighbor, all-to-all, hotspot
@@ -64,9 +87,19 @@ PARALLELISM (sweep, faults, run-all — campaign engine):
                        Output is byte-identical for every N.
     --no-cache         always simulate, bypassing the content-addressed
                        result cache under results/cache/ (override the
-                       location with MACROCHIP_CACHE). Runs that record a
-                       --trace or --metrics side channel skip the cache
-                       automatically.
+                       location with MACROCHIP_CACHE_DIR). Runs that record
+                       a --trace, --metrics or --stats side channel skip
+                       the cache automatically.
+
+TRACES (capture, replay — the cross-network comparison harness):
+    capture records every injected packet into a compact binary .mtrc
+    trace, writes a .manifest.json provenance sidecar next to it and
+    regenerates the directory's MANIFEST.json corpus index. replay streams
+    a trace back through any network (optionally under a fault plan), so
+    every architecture is judged on identical traffic; a same-network
+    replay reproduces the live run's stats byte-for-byte. --stats writes
+    the net.*-family metrics snapshot both sides use for that comparison.
+    KINDS for --keep-kind: data, request, forward, invalidate, ack, control
 ";
 
 /// Retained trace events per load point; the ring keeps the most recent
@@ -434,6 +467,9 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         ));
         manifest.jobs = campaign::resolve_jobs(jobs.jobs);
         manifest.cache = cache_summary(cache.is_some(), cache_hits, points.len());
+        if let Some(c) = &cache {
+            manifest.cache_dir = c.dir().display().to_string();
+        }
         manifest.outcome = format!("{saturated_points}/{} points saturated", points.len());
         manifest.wall_clock_ms = started.elapsed().as_secs_f64() * 1e3;
         write_metrics(path, &manifest, &runs)?;
@@ -710,6 +746,9 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
         manifest.set_limits(DriveLimits::for_window(sim, drain, MAX_STALLED));
         manifest.jobs = campaign::resolve_jobs(jobs.jobs);
         manifest.cache = cache_summary(cache.is_some(), cache_hits, points.len());
+        if let Some(c) = &cache {
+            manifest.cache_dir = c.dir().display().to_string();
+        }
         manifest.wall_clock_ms = started.elapsed().as_secs_f64() * 1e3;
         write_metrics(path, &manifest, &runs)?;
     }
@@ -871,6 +910,9 @@ fn cmd_run_all(args: &[String]) -> Result<(), String> {
         manifest.set_limits(DriveLimits::for_window(sim, drain, MAX_STALLED));
         manifest.jobs = campaign::resolve_jobs(jobs.jobs);
         manifest.cache = cache_summary(cache.is_some(), cache_hits, points.len());
+        if let Some(c) = &cache {
+            manifest.cache_dir = c.dir().display().to_string();
+        }
         manifest.outcome = format!("{saturated_points}/{sweep_count} sweep points saturated");
         manifest.wall_clock_ms = started.elapsed().as_secs_f64() * 1e3;
         write_metrics(path, &manifest, &runs)?;
@@ -899,6 +941,559 @@ fn cmd_run_all(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Writes the stats file used by the capture→replay byte-identity check:
+/// a JSON object mapping each run's network to its `net.*`-family metrics
+/// snapshot. A live capture and a same-network replay of its trace must
+/// produce identical bytes.
+fn write_stats(path: &str, runs: &[(String, MetricsSnapshot)]) -> Result<(), String> {
+    let mut s = String::from("{\n\"stats\": [");
+    for (i, (network, snap)) in runs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n{\n\"network\": \"");
+        s.push_str(&netcore::metrics::json_escape(network));
+        s.push_str("\",\n\"metrics\": ");
+        s.push_str(&snap.to_json());
+        s.push_str("\n}");
+    }
+    s.push_str("\n]\n}\n");
+    std::fs::write(path, s).map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// Drops one metrics family from a snapshot. Replay stats strip `replay.*`
+/// (trace coverage, which a live run cannot record) so the remainder
+/// matches the live capture bit-for-bit.
+fn without_family(snap: &MetricsSnapshot, prefix: &str) -> MetricsSnapshot {
+    MetricsSnapshot {
+        counters: snap
+            .counters
+            .iter()
+            .filter(|(n, _)| !n.starts_with(prefix))
+            .cloned()
+            .collect(),
+        gauges: snap
+            .gauges
+            .iter()
+            .filter(|(n, _)| !n.starts_with(prefix))
+            .cloned()
+            .collect(),
+        histograms: snap
+            .histograms
+            .iter()
+            .filter(|(n, _)| !n.starts_with(prefix))
+            .cloned()
+            .collect(),
+    }
+}
+
+/// Parses a rational time-scale factor: `3/2`, or `4` for `4/1`.
+fn parse_ratio(spec: &str) -> Result<(u64, u64), String> {
+    let (num, den) = spec.split_once('/').unwrap_or((spec, "1"));
+    let num = num.parse().map_err(|_| format!("bad ratio {spec}"))?;
+    let den = den.parse().map_err(|_| format!("bad ratio {spec}"))?;
+    Ok((num, den))
+}
+
+/// Parses a site map: `rot:K` rotates every index by K, or an explicit
+/// comma list of one target index per site.
+fn parse_site_map(spec: &str, sites: usize) -> Result<Vec<u16>, String> {
+    if let Some(k) = spec.strip_prefix("rot:") {
+        let k: usize = k.parse().map_err(|_| format!("bad --remap {spec}"))?;
+        return Ok((0..sites).map(|i| ((i + k) % sites) as u16).collect());
+    }
+    spec.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<u16>()
+                .map_err(|_| format!("bad site index {s}"))
+        })
+        .collect()
+}
+
+fn parse_message_kind(name: &str) -> Option<MessageKind> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "data" => MessageKind::Data,
+        "request" => MessageKind::Request,
+        "forward" => MessageKind::Forward,
+        "invalidate" => MessageKind::Invalidate,
+        "ack" => MessageKind::Ack,
+        "control" => MessageKind::Control,
+        _ => return None,
+    })
+}
+
+fn cmd_capture(args: &[String]) -> Result<(), String> {
+    let config = MacrochipConfig::scaled();
+    let out_path = flag(args, "--out").ok_or("missing --out <FILE.mtrc>")?;
+    if let Some(parent) = Path::new(&out_path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+    {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+    }
+    let network_arg = flag(args, "--network").unwrap_or_else(|| "p2p".into());
+    let kinds = parse_network(&network_arg).ok_or("unknown network")?;
+    let &[kind] = &kinds[..] else {
+        return Err("capture records one run; pick a single --network".into());
+    };
+    let seed: u64 = flag(args, "--seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(0xC0FFEE);
+    let stats_path = flag(args, "--stats");
+    let quiet = args.iter().any(|a| a == "-q" || a == "--quiet");
+    let started = Instant::now();
+    let grid_side = config.grid.side() as u16;
+
+    let (header, live_stats, pattern_label, limits, outcome);
+    if let Some(name) = flag(args, "--workload") {
+        if stats_path.is_some() {
+            return Err(
+                "--stats needs an open-loop capture (--pattern); the coherent harness owns \
+                 its network"
+                    .into(),
+            );
+        }
+        let ops: u32 = flag(args, "--ops")
+            .map(|s| s.parse().map_err(|_| "bad --ops"))
+            .transpose()?
+            .unwrap_or(40);
+        let spec = parse_workload(&name, ops).ok_or("unknown workload")?;
+        let meta = TraceMeta {
+            grid_side,
+            seed,
+            description: format!("coherent {} on {} seed {seed}", spec.name(), kind.name()),
+        };
+        let mut sink = CaptureSink::create_file(&out_path, &meta)
+            .map_err(|e| format!("creating {out_path}: {e}"))?;
+        let run = run_coherent_observed(kind, &spec, &config, EngineConfig::default(), seed, |p| {
+            sink.record(p)
+        });
+        header = sink
+            .finish()
+            .map_err(|e| format!("capturing into {out_path}: {e}"))?;
+        live_stats = None;
+        pattern_label = spec.name();
+        limits = None;
+        outcome = format!(
+            "captured {} packets; makespan {} us",
+            header.packets,
+            fmt(run.makespan.as_ns_f64() / 1e3, 2)
+        );
+    } else {
+        let pattern_arg = flag(args, "--pattern").ok_or("missing --pattern (or --workload)")?;
+        let pattern = parse_pattern(&pattern_arg).ok_or("unknown pattern")?;
+        let load: f64 = flag(args, "--load")
+            .map(|s| s.parse().map_err(|_| "bad --load"))
+            .transpose()?
+            .unwrap_or(0.05);
+        let (sim, drain) = if args.iter().any(|a| a == "--duration-short") {
+            (Span::from_us(1), Span::from_us(5))
+        } else {
+            (Span::from_us(5), Span::from_us(20))
+        };
+        let options = SweepOptions {
+            sim,
+            drain,
+            max_stalled: 5_000,
+            seed,
+        };
+        let meta = TraceMeta {
+            grid_side,
+            seed,
+            description: format!(
+                "open-loop {pattern_arg} @ {}% on {} seed {seed}",
+                fmt(load * 100.0, 1),
+                kind.name()
+            ),
+        };
+        let mut sink = CaptureSink::create_file(&out_path, &meta)
+            .map_err(|e| format!("creating {out_path}: {e}"))?;
+        let (point, net) = run_load_point_observed(
+            networks::build(kind, config),
+            pattern,
+            load,
+            &config,
+            options,
+            Tracer::disabled(),
+            |p| sink.record(p),
+        );
+        header = sink
+            .finish()
+            .map_err(|e| format!("capturing into {out_path}: {e}"))?;
+        let mut reg = MetricsRegistry::new();
+        reg.record_net_stats(net.stats());
+        live_stats = Some(reg.snapshot());
+        pattern_label = pattern_arg;
+        limits = Some(DriveLimits::for_window(sim, drain, options.max_stalled));
+        outcome = format!(
+            "captured {} packets{}",
+            header.packets,
+            if point.saturated { " (saturated)" } else { "" }
+        );
+    }
+
+    let trace_path = Path::new(&out_path);
+    let mut manifest = RunManifest::new("capture", &config);
+    manifest.network = network_arg;
+    manifest.pattern = pattern_label;
+    manifest.seed = seed;
+    if let Some(limits) = limits {
+        manifest.set_limits(limits);
+    }
+    manifest.outcome = outcome.clone();
+    manifest.wall_clock_ms = started.elapsed().as_secs_f64() * 1e3;
+    let sidecar = replay::sidecar_path(trace_path);
+    std::fs::write(&sidecar, manifest.to_json() + "\n")
+        .map_err(|e| format!("writing {}: {e}", sidecar.display()))?;
+    let dir = match trace_path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let index = CorpusManifest::scan(dir)
+        .and_then(|m| m.write_index(dir))
+        .map_err(|e| format!("indexing {}: {e}", dir.display()))?;
+    if let Some(path) = &stats_path {
+        let snap = live_stats.expect("open-loop capture has live stats");
+        write_stats(path, &[(kind.name().to_string(), snap)])?;
+    }
+    if !quiet {
+        println!(
+            "{out_path}: {} packets, {} us, hash {:016x}\n{}\nsidecar {}\nindex {}",
+            header.packets,
+            fmt(header.last_ps as f64 / 1e6, 2),
+            header.content_hash,
+            outcome,
+            sidecar.display(),
+            index.display()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let config = MacrochipConfig::scaled();
+    let trace_arg = flag(args, "--trace").ok_or("missing --trace <FILE.mtrc>")?;
+    // Streaming full-body validation up front: a truncated file or a
+    // corrupted block is a clear error here, before any simulation runs.
+    let header = replay::validate(Path::new(&trace_arg))
+        .map_err(|e| format!("validating {trace_arg}: {e}"))?;
+    let side = usize::from(header.meta.grid_side);
+    if side != config.grid.side() {
+        return Err(format!(
+            "trace was captured on a {side}x{side} grid, configuration is {0}x{0}",
+            config.grid.side()
+        ));
+    }
+    let network_arg = flag(args, "--network").unwrap_or_else(|| "all".into());
+    let kinds = parse_network(&network_arg).ok_or("unknown network")?;
+    let plan = flag(args, "--faults")
+        .map(|s| faults::FaultPlan::parse(&s).map_err(|e| e.to_string()))
+        .transpose()?;
+    let seed: u64 = flag(args, "--seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(0xC0FFEE);
+    let drain = if args.iter().any(|a| a == "--duration-short") {
+        Span::from_us(5)
+    } else {
+        Span::from_us(20)
+    };
+    const MAX_STALLED: usize = 5_000;
+    let jobs = JobOpts::parse(args)?;
+    let trace_out = flag(args, "--trace-out");
+    let metrics_path = flag(args, "--metrics");
+    let stats_path = flag(args, "--stats");
+    let quiet = args.iter().any(|a| a == "-q" || a == "--quiet");
+    let verbose = args.iter().any(|a| a == "-v" || a == "--verbose");
+    let started = Instant::now();
+
+    // One replay point per network — identical traffic, sharded like any
+    // other campaign. The cache key covers the trace's content hash, not
+    // its path.
+    let points: Vec<CampaignPoint> = kinds
+        .iter()
+        .map(|&kind| CampaignPoint::Replay {
+            kind,
+            trace: trace_arg.clone(),
+            content_hash: header.content_hash,
+            plan: plan.clone(),
+            seed,
+            drain,
+            max_stalled: MAX_STALLED,
+        })
+        .collect();
+    let exec = PointExecOptions {
+        trace: trace_out.is_some(),
+        metrics: metrics_path.is_some() || stats_path.is_some(),
+        trace_capacity: TRACE_EVENTS_PER_POINT,
+    };
+    let cache = open_cache(jobs.no_cache, exec.trace || exec.metrics)?;
+    let cells = run_indexed(&points, jobs.jobs, |_, point| {
+        run_cell(point, &config, cache.as_ref(), exec)
+    });
+
+    let mut table = Table::new(&[
+        "Network",
+        "Delivered",
+        "Delivery (%)",
+        "Mean latency (ns)",
+        "p99 (ns)",
+        "Saturated",
+    ]);
+    let mut sections: Vec<(String, Vec<(Time, TraceEvent)>)> = Vec::new();
+    let mut runs: Vec<RunRecord> = Vec::new();
+    let mut stats_runs: Vec<(String, MetricsSnapshot)> = Vec::new();
+    let mut cache_hits = 0usize;
+    for (point, cell) in points.iter().zip(cells) {
+        let kind = point.kind();
+        cache_hits += usize::from(cell.cached);
+        let PointResult::Replay(r) = cell.result else {
+            unreachable!("replay point produced a non-replay result");
+        };
+        if r.poisoned {
+            return Err(format!(
+                "replaying {trace_arg} on {}: trace failed mid-replay after validation",
+                kind.name()
+            ));
+        }
+        table.row_owned(vec![
+            kind.name().to_string(),
+            r.delivered.to_string(),
+            fmt(r.delivery_ratio() * 100.0, 1),
+            fmt(r.mean_latency_ns, 2),
+            fmt(r.p99_latency_ns, 2),
+            r.saturated.to_string(),
+        ]);
+        if exec.trace {
+            sections.push((format!("{} replay", kind.name()), cell.trace));
+        }
+        if let Some(snap) = cell.metrics {
+            if stats_path.is_some() {
+                stats_runs.push((kind.name().to_string(), without_family(&snap, "replay.")));
+            }
+            if metrics_path.is_some() {
+                runs.push(RunRecord {
+                    network: kind.name().to_string(),
+                    offered: f64::NAN,
+                    saturated: r.saturated,
+                    snapshot: snap,
+                });
+            }
+        }
+        if verbose {
+            eprintln!(
+                "[replay] {}: {}/{} delivered, mean {:.2} ns{}",
+                kind.name(),
+                r.delivered,
+                r.trace_packets,
+                r.mean_latency_ns,
+                if cell.cached { " (cached)" } else { "" }
+            );
+        }
+    }
+    if let Some(path) = &trace_out {
+        write_trace(path, &sections)?;
+    }
+    if let Some(path) = &metrics_path {
+        let mut manifest = RunManifest::new("replay", &config);
+        manifest.network = network_arg;
+        manifest.pattern = trace_arg.clone();
+        if let Some(plan) = &plan {
+            manifest.fault_plan = plan.to_spec();
+        }
+        manifest.seed = seed;
+        manifest.set_limits(DriveLimits {
+            deadline: header.last_time() + drain,
+            max_stalled: MAX_STALLED,
+        });
+        manifest.jobs = campaign::resolve_jobs(jobs.jobs);
+        manifest.cache = cache_summary(cache.is_some(), cache_hits, points.len());
+        if let Some(c) = &cache {
+            manifest.cache_dir = c.dir().display().to_string();
+        }
+        manifest.outcome = format!(
+            "replayed {} packets on {} networks",
+            header.packets,
+            points.len()
+        );
+        manifest.wall_clock_ms = started.elapsed().as_secs_f64() * 1e3;
+        write_metrics(path, &manifest, &runs)?;
+    }
+    if let Some(path) = &stats_path {
+        write_stats(path, &stats_runs)?;
+    }
+    if !quiet {
+        println!(
+            "Trace {trace_arg}: {} packets, {} us, hash {:016x}\n\n{}",
+            header.packets,
+            fmt(header.last_ps as f64 / 1e6, 2),
+            header.content_hash,
+            table.to_text()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace_info(args: &[String]) -> Result<(), String> {
+    let mut table = Table::new(&[
+        "File",
+        "Packets",
+        "Duration (us)",
+        "Grid",
+        "Seed",
+        "Size (B)",
+        "Hash",
+        "Description",
+    ]);
+    if let Some(dir) = flag(args, "--dir") {
+        // Directory mode decodes headers only (cheap corpus listing);
+        // single-file mode below does full-body CRC validation.
+        let corpus = CorpusManifest::scan(&dir).map_err(|e| format!("scanning {dir}: {e}"))?;
+        for e in &corpus.entries {
+            table.row_owned(vec![
+                e.file.clone(),
+                e.header.packets.to_string(),
+                fmt(e.header.last_ps as f64 / 1e6, 2),
+                format!("{0}x{0}", e.header.meta.grid_side),
+                e.header.meta.seed.to_string(),
+                e.size_bytes.to_string(),
+                format!("{:016x}", e.header.content_hash),
+                e.header.meta.description.clone(),
+            ]);
+        }
+        println!("{}", table.to_text());
+        if args.iter().any(|a| a == "--write-index") {
+            let path = corpus
+                .write_index(&dir)
+                .map_err(|e| format!("indexing {dir}: {e}"))?;
+            println!("wrote {}", path.display());
+        }
+        return Ok(());
+    }
+    let mut files: Vec<String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" | "--dir" => i += 2,
+            a if a.starts_with('-') => i += 1,
+            a => {
+                files.push(a.to_string());
+                i += 1;
+            }
+        }
+    }
+    if let Some(t) = flag(args, "--trace") {
+        files.push(t);
+    }
+    if files.is_empty() {
+        return Err("trace-info needs <FILE.mtrc> arguments or --dir <DIR>".into());
+    }
+    for f in &files {
+        // Full streaming validation, not just the header: every block's
+        // CRC is checked, so trace-info doubles as an integrity check.
+        let h = replay::validate(Path::new(f)).map_err(|e| format!("validating {f}: {e}"))?;
+        let size = std::fs::metadata(f).map(|m| m.len()).unwrap_or(0);
+        table.row_owned(vec![
+            f.clone(),
+            h.packets.to_string(),
+            fmt(h.last_ps as f64 / 1e6, 2),
+            format!("{0}x{0}", h.meta.grid_side),
+            h.meta.seed.to_string(),
+            size.to_string(),
+            format!("{:016x}", h.content_hash),
+            h.meta.description.clone(),
+        ]);
+    }
+    println!("{}", table.to_text());
+    Ok(())
+}
+
+fn cmd_trace_transform(args: &[String]) -> Result<(), String> {
+    let out_path = flag(args, "--out").ok_or("missing --out <FILE.mtrc>")?;
+    const OPS: [&str; 6] = [
+        "--time-scale",
+        "--truncate",
+        "--truncate-ns",
+        "--keep-kind",
+        "--remap",
+        "--merge",
+    ];
+    let given: Vec<&str> = OPS
+        .iter()
+        .copied()
+        .filter(|o| flag(args, o).is_some())
+        .collect();
+    let &[op] = &given[..] else {
+        return Err(
+            "pick exactly one transform: --time-scale <N/D>, --truncate <N>, \
+             --truncate-ns <NS>, --keep-kind <KIND>, --remap <rot:K|i,j,...>, \
+             --merge <A,B,...>"
+                .into(),
+        );
+    };
+    let spec = flag(args, op).expect("op flag present");
+    let output = || -> Result<BufWriter<File>, String> {
+        File::create(&out_path)
+            .map(BufWriter::new)
+            .map_err(|e| format!("creating {out_path}: {e}"))
+    };
+    let open_input = || -> Result<_, String> {
+        let path = flag(args, "--trace").ok_or("missing --trace <IN.mtrc>")?;
+        replay::open_file(&path).map_err(|e| format!("opening {path}: {e}"))
+    };
+    let header = match op {
+        "--time-scale" => {
+            let (num, den) = parse_ratio(&spec)?;
+            replay::transform::time_scale(open_input()?, output()?, num, den)
+        }
+        "--truncate" => {
+            let n: u64 = spec.parse().map_err(|_| format!("bad --truncate {spec}"))?;
+            replay::transform::truncate(open_input()?, output()?, n, None)
+        }
+        "--truncate-ns" => {
+            let ns: u64 = spec
+                .parse()
+                .map_err(|_| format!("bad --truncate-ns {spec}"))?;
+            replay::transform::truncate(open_input()?, output()?, u64::MAX, Some(Time::from_ns(ns)))
+        }
+        "--keep-kind" => {
+            let kind =
+                parse_message_kind(&spec).ok_or_else(|| format!("unknown message kind {spec}"))?;
+            replay::transform::filter(
+                open_input()?,
+                output()?,
+                move |p| p.kind == kind,
+                &format!("kind={spec}"),
+            )
+        }
+        "--remap" => {
+            let input = open_input()?;
+            let side = usize::from(input.header().meta.grid_side);
+            let map = parse_site_map(&spec, side * side)?;
+            replay::transform::site_remap(input, output()?, &map)
+        }
+        "--merge" => {
+            let mut inputs = Vec::new();
+            for path in spec.split(',').filter(|s| !s.is_empty()) {
+                inputs.push(replay::open_file(path).map_err(|e| format!("opening {path}: {e}"))?);
+            }
+            replay::transform::merge(inputs, output()?)
+        }
+        _ => unreachable!("op came from OPS"),
+    }
+    .map_err(|e| format!("transforming: {e}"))?;
+    println!(
+        "{out_path}: {} packets, {} us, hash {:016x}",
+        header.packets,
+        fmt(header.last_ps as f64 / 1e6, 2),
+        header.content_hash
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -909,6 +1504,10 @@ fn main() -> ExitCode {
         Some("mp") => cmd_mp(&args),
         Some("faults") => cmd_faults(&args),
         Some("run-all") => cmd_run_all(&args),
+        Some("capture") => cmd_capture(&args),
+        Some("replay") => cmd_replay(&args),
+        Some("trace-info") => cmd_trace_info(&args),
+        Some("trace-transform") => cmd_trace_transform(&args),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())

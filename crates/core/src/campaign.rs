@@ -29,6 +29,7 @@
 //! tests in `tests/` enforce this.
 
 use crate::experiment::{run_coherent, CoherentRun, WorkloadSpec};
+use crate::replay_run::{run_replay, run_replay_faulted, ReplayOptions, ReplaySummary};
 use crate::runner::{drive_traced, DriveLimits};
 use crate::sweep::{run_load_point_traced, LoadPoint, SweepOptions};
 use desim::trace::RingSink;
@@ -155,6 +156,25 @@ pub enum CampaignPoint {
         spec: WorkloadSpec,
         seed: u64,
     },
+    /// A captured `.mtrc` trace replayed through one network, optionally
+    /// under a fault plan (one cell of a cross-network comparison grid).
+    Replay {
+        kind: NetworkKind,
+        /// Path to the `.mtrc` trace file.
+        trace: String,
+        /// Content hash from the trace header. The cache key covers this
+        /// — not the path — so a renamed trace still hits, and an edited
+        /// trace at the same path misses.
+        content_hash: u64,
+        /// Fault plan to replay under, if any.
+        plan: Option<FaultPlan>,
+        /// RNG seed for the fault plan (unused without one).
+        seed: u64,
+        /// Extra drain time after the last trace packet.
+        drain: Span,
+        /// Stalled-packet bound that declares saturation.
+        max_stalled: usize,
+    },
 }
 
 impl CampaignPoint {
@@ -164,6 +184,7 @@ impl CampaignPoint {
             CampaignPoint::Sweep { .. } => "sweep",
             CampaignPoint::Fault { .. } => "fault",
             CampaignPoint::Coherent { .. } => "coherent",
+            CampaignPoint::Replay { .. } => "replay",
         }
     }
 
@@ -172,7 +193,8 @@ impl CampaignPoint {
         match *self {
             CampaignPoint::Sweep { kind, .. }
             | CampaignPoint::Fault { kind, .. }
-            | CampaignPoint::Coherent { kind, .. } => kind,
+            | CampaignPoint::Coherent { kind, .. }
+            | CampaignPoint::Replay { kind, .. } => kind,
         }
     }
 }
@@ -212,6 +234,7 @@ pub enum PointResult {
     Sweep(LoadPoint),
     Fault(FaultSummary),
     Coherent(CoherentRun),
+    Replay(ReplaySummary),
 }
 
 impl PointResult {
@@ -221,6 +244,17 @@ impl PointResult {
             PointResult::Sweep(_) => "sweep",
             PointResult::Fault(_) => "fault",
             PointResult::Coherent(_) => "coherent",
+            PointResult::Replay(_) => "replay",
+        }
+    }
+
+    /// False for results that must not be persisted: a poisoned replay
+    /// (corrupt trace) records *that* attempt, not the point's true value
+    /// — caching it would mask the repaired trace forever.
+    pub fn cacheable(&self) -> bool {
+        match self {
+            PointResult::Replay(r) => !r.poisoned,
+            _ => true,
         }
     }
 
@@ -274,6 +308,28 @@ impl PointResult {
                 s.push_str(&format!("delivered_bytes {}\n", r.delivered_bytes));
                 s.push_str(&format!("routed_bytes {}\n", r.routed_bytes));
                 s.push_str(&format!("packets {}\n", r.packets));
+            }
+            PointResult::Replay(r) => {
+                s.push_str(&format!("trace_packets {}\n", r.trace_packets));
+                s.push_str(&format!("emitted {}\n", r.emitted));
+                s.push_str(&format!("delivered {}\n", r.delivered));
+                s.push_str(&format!("delivered_bytes {}\n", r.delivered_bytes));
+                f64_field(&mut s, "mean_latency_ns", r.mean_latency_ns);
+                f64_field(&mut s, "p99_latency_ns", r.p99_latency_ns);
+                f64_field(&mut s, "per_site", r.delivered_bytes_per_ns_per_site);
+                f64_field(&mut s, "end_ns", r.end_ns);
+                s.push_str(if r.saturated {
+                    "saturated 1\n"
+                } else {
+                    "saturated 0\n"
+                });
+                s.push_str(if r.timed_out {
+                    "timed_out 1\n"
+                } else {
+                    "timed_out 0\n"
+                });
+                s.push_str(&format!("trace_last_ps {}\n", r.trace_last_ps));
+                s.push_str(&format!("content_hash {:016x}\n", r.content_hash));
             }
         }
         s
@@ -338,6 +394,23 @@ impl PointResult {
                     packets: u64_field("packets")?,
                 }))
             }
+            "replay" => Some(PointResult::Replay(ReplaySummary {
+                trace_packets: u64_field("trace_packets")?,
+                emitted: u64_field("emitted")?,
+                delivered: u64_field("delivered")?,
+                delivered_bytes: u64_field("delivered_bytes")?,
+                mean_latency_ns: f64_field("mean_latency_ns")?,
+                p99_latency_ns: f64_field("p99_latency_ns")?,
+                delivered_bytes_per_ns_per_site: f64_field("per_site")?,
+                end_ns: f64_field("end_ns")?,
+                saturated: bool_field("saturated")?,
+                timed_out: bool_field("timed_out")?,
+                // Poisoned results are never cached, so a cache entry is
+                // always a clean replay.
+                poisoned: false,
+                trace_last_ps: u64_field("trace_last_ps")?,
+                content_hash: u64::from_str_radix(fields.get("content_hash")?, 16).ok()?,
+            })),
             _ => None,
         }
     }
@@ -402,6 +475,26 @@ pub fn point_key(point: &CampaignPoint, config: &MacrochipConfig) -> u64 {
         }
         CampaignPoint::Coherent { kind, spec, seed } => {
             material.push_str(&format!("coherent|{:?}|{:?}|seed{}", kind, spec, seed));
+        }
+        CampaignPoint::Replay {
+            kind,
+            trace: _, // the content hash identifies the trace, not its path
+            content_hash,
+            plan,
+            seed,
+            drain,
+            max_stalled,
+        } => {
+            material.push_str(&format!(
+                "replay|{:?}|hash{:016x}|plan{}|seed{}|drain{}|stall{}",
+                kind,
+                content_hash,
+                plan.as_ref()
+                    .map_or_else(|| "none".to_string(), |p| p.to_spec()),
+                seed,
+                drain.as_ps(),
+                max_stalled
+            ));
         }
     }
     fnv1a64(material.as_bytes())
@@ -529,6 +622,72 @@ pub fn run_point_full(
             PointResult::Coherent(run_coherent(*kind, spec, config, *seed)),
             None,
         ),
+        CampaignPoint::Replay {
+            kind,
+            trace,
+            content_hash,
+            plan,
+            seed,
+            drain,
+            max_stalled,
+        } => {
+            let options = ReplayOptions {
+                drain: *drain,
+                max_stalled: *max_stalled,
+            };
+            let path = Path::new(trace);
+            // A trace that cannot be opened or replayed cleanly yields a
+            // poisoned (never-cached) summary instead of a panic — the
+            // CLI pre-validates traces, so this is the defense in depth.
+            let run = match plan {
+                Some(plan) => {
+                    run_replay_faulted(*kind, path, config, plan, *seed, options, tracer.clone())
+                        .map(|(summary, net)| {
+                            let metrics = exec.metrics.then(|| {
+                                let mut reg = MetricsRegistry::new();
+                                crate::replay_run::record_replay_metrics(&mut reg, &net, &summary);
+                                reg.snapshot()
+                            });
+                            (summary, metrics)
+                        })
+                }
+                None => run_replay(*kind, path, config, options, tracer.clone()).map(
+                    |(summary, net)| {
+                        let metrics = exec.metrics.then(|| {
+                            let mut reg = MetricsRegistry::new();
+                            crate::replay_run::record_replay_metrics(
+                                &mut reg,
+                                net.as_ref(),
+                                &summary,
+                            );
+                            reg.snapshot()
+                        });
+                        (summary, metrics)
+                    },
+                ),
+            };
+            match run {
+                Ok((summary, metrics)) => (PointResult::Replay(summary), metrics),
+                Err(_) => (
+                    PointResult::Replay(ReplaySummary {
+                        trace_packets: 0,
+                        emitted: 0,
+                        delivered: 0,
+                        delivered_bytes: 0,
+                        mean_latency_ns: 0.0,
+                        p99_latency_ns: 0.0,
+                        delivered_bytes_per_ns_per_site: 0.0,
+                        end_ns: 0.0,
+                        saturated: false,
+                        timed_out: false,
+                        poisoned: true,
+                        trace_last_ps: 0,
+                        content_hash: *content_hash,
+                    }),
+                    None,
+                ),
+            }
+        }
     };
     let trace = if exec.trace {
         sink.borrow().snapshot()
@@ -565,12 +724,17 @@ impl ResultCache {
         Ok(ResultCache { dir })
     }
 
-    /// The default cache root: `$MACROCHIP_CACHE`, or `results/cache`.
+    /// The default cache root: `$MACROCHIP_CACHE_DIR`, falling back to the
+    /// legacy `$MACROCHIP_CACHE` name, then `results/cache`.
     pub fn default_dir() -> PathBuf {
-        match std::env::var("MACROCHIP_CACHE") {
-            Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
-            _ => Path::new("results").join("cache"),
+        for var in ["MACROCHIP_CACHE_DIR", "MACROCHIP_CACHE"] {
+            if let Ok(dir) = std::env::var(var) {
+                if !dir.is_empty() {
+                    return PathBuf::from(dir);
+                }
+            }
         }
+        Path::new("results").join("cache")
     }
 
     /// Where the cache lives.
@@ -653,9 +817,12 @@ impl Campaign {
             }
             let result = run_point(point, &self.config);
             if let Some(cache) = &self.cache {
-                // A failed store (read-only results dir, disk full) only
-                // costs future recomputation; the campaign still succeeds.
-                let _ = cache.store(key, &result);
+                if result.cacheable() {
+                    // A failed store (read-only results dir, disk full)
+                    // only costs future recomputation; the campaign still
+                    // succeeds.
+                    let _ = cache.store(key, &result);
+                }
             }
             CampaignOutcome {
                 result,
@@ -805,5 +972,170 @@ mod tests {
     fn resolve_jobs_auto_detects_zero() {
         assert!(resolve_jobs(0) >= 1);
         assert_eq!(resolve_jobs(3), 3);
+    }
+
+    /// Captures a tiny uniform run to a temp `.mtrc` file.
+    fn temp_trace(label: &str) -> (PathBuf, u64) {
+        use crate::sweep::run_load_point_observed;
+        let cfg = config();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "macrochip-replay-{label}-{}-{}.mtrc",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let meta = replay::TraceMeta {
+            grid_side: cfg.grid.side() as u16,
+            seed: 5,
+            description: "campaign test".into(),
+        };
+        let mut writer = Some(replay::create_file(&path, &meta).expect("create"));
+        let _ = run_load_point_observed(
+            networks::build(NetworkKind::PointToPoint, cfg),
+            Pattern::Uniform,
+            0.02,
+            &cfg,
+            SweepOptions {
+                sim: Span::from_ns(300),
+                drain: Span::from_us(2),
+                max_stalled: 2_000,
+                seed: 5,
+            },
+            Tracer::disabled(),
+            |p| {
+                writer.as_mut().expect("live").record(p).expect("record");
+            },
+        );
+        let (_, header) = writer.take().expect("writer").finish().expect("finish");
+        (path, header.content_hash)
+    }
+
+    #[test]
+    fn replay_points_run_cache_and_round_trip() {
+        let (path, content_hash) = temp_trace("point");
+        let point = CampaignPoint::Replay {
+            kind: NetworkKind::PointToPoint,
+            trace: path.to_string_lossy().into_owned(),
+            content_hash,
+            plan: None,
+            seed: 0,
+            drain: Span::from_us(2),
+            max_stalled: 2_000,
+        };
+        let campaign = Campaign {
+            jobs: 1,
+            cache: Some(temp_cache("replay")),
+            config: config(),
+        };
+        let cold = campaign.run(std::slice::from_ref(&point));
+        assert!(!cold[0].cached);
+        let PointResult::Replay(ref summary) = cold[0].result else {
+            panic!("expected replay result");
+        };
+        assert!(!summary.poisoned);
+        assert!(summary.delivered > 0);
+        assert_eq!(summary.emitted, summary.trace_packets);
+        assert_eq!(summary.content_hash, content_hash);
+
+        // Warm: served from cache, byte-identical encoding.
+        let warm = campaign.run(std::slice::from_ref(&point));
+        assert!(warm[0].cached);
+        assert_eq!(warm[0].result, cold[0].result);
+        assert_eq!(
+            warm[0].result.to_cache_bytes(),
+            cold[0].result.to_cache_bytes()
+        );
+
+        // The key covers the content hash, not the path: a renamed trace
+        // still hits the same entry.
+        let moved = path.with_extension("moved.mtrc");
+        std::fs::rename(&path, &moved).expect("rename");
+        let renamed = CampaignPoint::Replay {
+            kind: NetworkKind::PointToPoint,
+            trace: moved.to_string_lossy().into_owned(),
+            content_hash,
+            plan: None,
+            seed: 0,
+            drain: Span::from_us(2),
+            max_stalled: 2_000,
+        };
+        assert_eq!(
+            point_key(&point, &campaign.config),
+            point_key(&renamed, &campaign.config)
+        );
+        let hit = campaign.run(std::slice::from_ref(&renamed));
+        assert!(hit[0].cached);
+
+        let _ = std::fs::remove_file(&moved);
+        let _ = std::fs::remove_dir_all(campaign.cache.as_ref().unwrap().dir());
+    }
+
+    #[test]
+    fn missing_trace_poisons_and_is_never_cached() {
+        let point = CampaignPoint::Replay {
+            kind: NetworkKind::PointToPoint,
+            trace: "/nonexistent/never.mtrc".into(),
+            content_hash: 0xDEAD,
+            plan: None,
+            seed: 0,
+            drain: Span::from_us(2),
+            max_stalled: 2_000,
+        };
+        let campaign = Campaign {
+            jobs: 1,
+            cache: Some(temp_cache("poison")),
+            config: config(),
+        };
+        let out = campaign.run(std::slice::from_ref(&point));
+        let PointResult::Replay(ref summary) = out[0].result else {
+            panic!("expected replay result");
+        };
+        assert!(summary.poisoned);
+        assert!(!out[0].result.cacheable());
+        // Second run must recompute, not hit a poisoned cache entry.
+        let again = campaign.run(std::slice::from_ref(&point));
+        assert!(!again[0].cached);
+        let _ = std::fs::remove_dir_all(campaign.cache.as_ref().unwrap().dir());
+    }
+
+    #[test]
+    fn replay_summary_round_trips_through_cache_bytes() {
+        let r = PointResult::Replay(ReplaySummary {
+            trace_packets: 12_345,
+            emitted: 12_345,
+            delivered: 12_340,
+            delivered_bytes: 790_080,
+            mean_latency_ns: 17.25,
+            p99_latency_ns: 99.5,
+            delivered_bytes_per_ns_per_site: 3.2,
+            end_ns: 25_000.0,
+            saturated: false,
+            timed_out: true,
+            poisoned: false,
+            trace_last_ps: 4_999_850,
+            content_hash: 0x0123_4567_89ab_cdef,
+        });
+        let bytes = r.to_cache_bytes();
+        let back = PointResult::from_cache_bytes(&bytes).expect("parses");
+        assert_eq!(back, r);
+        assert_eq!(back.to_cache_bytes(), bytes);
+    }
+
+    #[test]
+    fn cache_dir_env_override_order() {
+        // Serialized via a lock-free convention: this test is the only
+        // one touching these env vars.
+        std::env::remove_var("MACROCHIP_CACHE_DIR");
+        std::env::remove_var("MACROCHIP_CACHE");
+        assert_eq!(
+            ResultCache::default_dir(),
+            Path::new("results").join("cache")
+        );
+        std::env::set_var("MACROCHIP_CACHE", "legacy-dir");
+        assert_eq!(ResultCache::default_dir(), PathBuf::from("legacy-dir"));
+        std::env::set_var("MACROCHIP_CACHE_DIR", "new-dir");
+        assert_eq!(ResultCache::default_dir(), PathBuf::from("new-dir"));
+        std::env::remove_var("MACROCHIP_CACHE_DIR");
+        std::env::remove_var("MACROCHIP_CACHE");
     }
 }

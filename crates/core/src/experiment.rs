@@ -7,10 +7,10 @@
 //! operation* is Figure 8; its traffic counters feed the energy model
 //! behind Figures 9 and 10.
 
-use crate::runner::{drive, DriveLimits};
+use crate::runner::{drive_observed, DriveLimits};
 use coherence::{CoherenceEngine, EngineConfig};
-use desim::{Span, Time};
-use netcore::{MacrochipConfig, NetworkKind};
+use desim::{Span, Time, Tracer};
+use netcore::{MacrochipConfig, NetworkKind, Packet};
 use workloads::{AppProfile, AppWorkload, Pattern, SharingMix, SyntheticOpSource};
 
 /// Which workload a coherent run executes.
@@ -153,13 +153,34 @@ pub fn run_coherent_with(
     engine_config: EngineConfig,
     seed: u64,
 ) -> CoherentRun {
+    run_coherent_observed(kind, spec, config, engine_config, seed, |_| {})
+}
+
+/// [`run_coherent_with`] with a capture hook: `observer` sees every packet
+/// the coherence engine injects (requests, forwards, invalidations, acks,
+/// data), in emission order — so a closed-loop run can be captured into a
+/// replayable trace. A no-op observer leaves the run untouched.
+pub fn run_coherent_observed<F: FnMut(&Packet)>(
+    kind: NetworkKind,
+    spec: &WorkloadSpec,
+    config: &MacrochipConfig,
+    engine_config: EngineConfig,
+    seed: u64,
+    observer: F,
+) -> CoherentRun {
     let mut net = networks::build(kind, *config);
 
     let (stats, completed) = match spec {
         WorkloadSpec::App(profile) => {
             let source = AppWorkload::new(&config.grid, *profile, seed);
             let mut engine = CoherenceEngine::new(*config, engine_config, source);
-            let outcome = drive(net.as_mut(), &mut engine, coherent_limits());
+            let outcome = drive_observed(
+                net.as_mut(),
+                &mut engine,
+                coherent_limits(),
+                Tracer::disabled(),
+                observer,
+            );
             debug_assert!(!outcome.timed_out, "coherent run timed out");
             (engine.stats().clone(), engine.stats().completed())
         }
@@ -170,7 +191,13 @@ pub fn run_coherent_with(
         } => {
             let source = SyntheticOpSource::new(&config.grid, *pattern, *mix, *ops_per_core, seed);
             let mut engine = CoherenceEngine::new(*config, engine_config, source);
-            let outcome = drive(net.as_mut(), &mut engine, coherent_limits());
+            let outcome = drive_observed(
+                net.as_mut(),
+                &mut engine,
+                coherent_limits(),
+                Tracer::disabled(),
+                observer,
+            );
             debug_assert!(!outcome.timed_out, "coherent run timed out");
             (engine.stats().clone(), engine.stats().completed())
         }

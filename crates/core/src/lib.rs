@@ -22,7 +22,10 @@
 //! * [`report`] — plain-text/markdown/CSV table rendering for the
 //!   regeneration binaries;
 //! * [`manifest`] — run provenance (config, seed, limits, outcome,
-//!   version) emitted alongside exported metrics.
+//!   version) emitted alongside exported metrics;
+//! * [`replay_run`] — trace-driven experiments: capture any run into a
+//!   `.mtrc` trace and play it back through any network, bare or under a
+//!   fault plan (the §5 trace-driven comparison methodology).
 //!
 //! ## Quickstart
 //!
@@ -46,6 +49,7 @@ pub mod campaign;
 pub mod energy;
 pub mod experiment;
 pub mod manifest;
+pub mod replay_run;
 pub mod report;
 pub mod runner;
 pub mod sweep;
@@ -59,8 +63,11 @@ pub mod prelude {
     pub use crate::energy::{EnergyBreakdown, NetworkEnergyModel};
     pub use crate::experiment::{run_coherent, CoherentRun, WorkloadSpec};
     pub use crate::manifest::RunManifest;
+    pub use crate::replay_run::{
+        drive_replay, run_replay, run_replay_faulted, ReplayOptions, ReplaySummary,
+    };
     pub use crate::report::Table;
-    pub use crate::runner::{drive, drive_traced, DriveLimits, RunOutcome};
+    pub use crate::runner::{drive, drive_observed, drive_traced, DriveLimits, RunOutcome};
     pub use crate::sweep::{
         run_load_point, run_load_point_traced, sustained_bandwidth, LoadPoint, SweepOptions,
     };

@@ -39,6 +39,9 @@ pub struct RunManifest {
     pub jobs: usize,
     /// Result-cache provenance: `disabled`, or `N/M points from cache`.
     pub cache: String,
+    /// Directory the result cache lives in (the `MACROCHIP_CACHE_DIR`
+    /// resolution at run time, whether or not the cache was consulted).
+    pub cache_dir: String,
     /// Host wall-clock duration of the run, in milliseconds.
     pub wall_clock_ms: f64,
     /// Version of the `macrochip` crate that produced the results.
@@ -66,6 +69,9 @@ impl RunManifest {
             outcome: String::from("completed"),
             jobs: 1,
             cache: String::from("disabled"),
+            cache_dir: crate::campaign::ResultCache::default_dir()
+                .display()
+                .to_string(),
             wall_clock_ms: 0.0,
             version: env!("CARGO_PKG_VERSION"),
             sites: config.grid.sites(),
@@ -97,6 +103,11 @@ impl RunManifest {
         let _ = write!(out, "\n  \"outcome\": \"{}\",", json_escape(&self.outcome));
         let _ = write!(out, "\n  \"jobs\": {},", self.jobs);
         let _ = write!(out, "\n  \"cache\": \"{}\",", json_escape(&self.cache));
+        let _ = write!(
+            out,
+            "\n  \"cache_dir\": \"{}\",",
+            json_escape(&self.cache_dir)
+        );
         let _ = write!(
             out,
             "\n  \"wall_clock_ms\": {},",
@@ -141,6 +152,7 @@ mod tests {
             "\"version\": \"",
             "\"jobs\": 1",
             "\"cache\": \"disabled\"",
+            "\"cache_dir\": \"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

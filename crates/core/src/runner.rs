@@ -1,7 +1,7 @@
 //! The simulation driver: couples a [`PacketSource`] to a [`Network`].
 
 use desim::{Time, TraceEvent, Tracer};
-use netcore::{Network, Packet, PacketSource};
+use netcore::{Network, ObservedSource, Packet, PacketSource};
 use std::collections::VecDeque;
 
 /// Bounds on a driven run.
@@ -89,6 +89,25 @@ pub fn drive(
 /// network's own instrumentation (the tracer is **not** forwarded to the
 /// network here — callers attach it via [`Network::set_tracer`] so the two
 /// layers can share one sink).
+/// [`drive_traced`] with a capture hook: `observer` is called for every
+/// packet the source emits, in emission order, before the network sees it.
+///
+/// This is how trace capture taps the runner — a
+/// [`replay::CaptureSink`]-backed closure records each injected packet
+/// without perturbing the run (the observer cannot reorder, drop or delay
+/// packets; it only watches). Because the driver visits emissions in
+/// event-time order, the observed stream is sorted by `Packet::created`.
+pub fn drive_observed<F: FnMut(&Packet)>(
+    net: &mut dyn Network,
+    source: &mut dyn PacketSource,
+    limits: DriveLimits,
+    tracer: Tracer,
+    observer: F,
+) -> RunOutcome {
+    let mut observed = ObservedSource::new(source, observer);
+    drive_traced(net, &mut observed, limits, tracer)
+}
+
 pub fn drive_traced(
     net: &mut dyn Network,
     source: &mut dyn PacketSource,

@@ -6,9 +6,9 @@
 //! throughput at each point. The vertical asymptote of the resulting
 //! curve is the network's maximum sustainable bandwidth (§6.1).
 
-use crate::runner::{drive_traced, DriveLimits};
+use crate::runner::{drive_observed, DriveLimits};
 use desim::{Span, Time, Tracer};
-use netcore::{MacrochipConfig, NetworkKind};
+use netcore::{MacrochipConfig, NetworkKind, Packet};
 use workloads::{OpenLoopTraffic, Pattern};
 
 /// One measured point of a latency-load curve.
@@ -88,12 +88,28 @@ pub fn run_load_point_on(
 /// its [`netcore::NetStats`] (per-phase latency, throughput) into a
 /// metrics registry.
 pub fn run_load_point_traced(
+    net: Box<dyn netcore::Network>,
+    pattern: Pattern,
+    offered: f64,
+    config: &MacrochipConfig,
+    options: SweepOptions,
+    tracer: Tracer,
+) -> (LoadPoint, Box<dyn netcore::Network>) {
+    run_load_point_observed(net, pattern, offered, config, options, tracer, |_| {})
+}
+
+/// [`run_load_point_traced`] with a capture hook: `observer` sees every
+/// packet the traffic generator emits, in emission order (the trace
+/// subsystem's `CaptureSink` plugs in here). A no-op observer leaves the
+/// run's behavior and results untouched.
+pub fn run_load_point_observed<F: FnMut(&Packet)>(
     mut net: Box<dyn netcore::Network>,
     pattern: Pattern,
     offered: f64,
     config: &MacrochipConfig,
     options: SweepOptions,
     tracer: Tracer,
+    observer: F,
 ) -> (LoadPoint, Box<dyn netcore::Network>) {
     net.set_tracer(tracer.clone());
     let peak = config.site_bandwidth_bytes_per_ns();
@@ -107,7 +123,7 @@ pub fn run_load_point_traced(
     );
     let horizon = Time::ZERO + options.sim;
     traffic.set_horizon(horizon);
-    let outcome = drive_traced(
+    let outcome = drive_observed(
         net.as_mut(),
         &mut traffic,
         DriveLimits {
@@ -115,6 +131,7 @@ pub fn run_load_point_traced(
             max_stalled: options.max_stalled,
         },
         tracer,
+        observer,
     );
     let stats = net.stats();
     let delivered_rate = stats.delivered_bytes_per_ns() / config.grid.sites() as f64;

@@ -42,4 +42,4 @@ pub use network::{Network, NetworkKind};
 pub use packet::{MessageKind, Packet, PacketId};
 pub use site::{Grid, SiteId};
 pub use stats::{NetStats, Phase};
-pub use traffic::PacketSource;
+pub use traffic::{ObservedSource, PacketSource};

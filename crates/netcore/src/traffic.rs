@@ -29,6 +29,49 @@ pub trait PacketSource {
     fn is_exhausted(&self) -> bool;
 }
 
+/// A [`PacketSource`] adapter that reports every emitted packet to an
+/// observer callback — the capture hook of the trace subsystem.
+///
+/// Wraps any source (open-loop pattern, sharing mix, coherence engine)
+/// without changing its behavior: the observer sees exactly the packets
+/// the driver receives, in emission order, after the inner source has
+/// produced them. Since the driver pumps sources in event-time order,
+/// the observed stream is sorted by `Packet::created` — the invariant the
+/// trace format relies on.
+pub struct ObservedSource<'a, F: FnMut(&Packet)> {
+    inner: &'a mut dyn PacketSource,
+    observer: F,
+}
+
+impl<'a, F: FnMut(&Packet)> ObservedSource<'a, F> {
+    /// Wraps `inner`, calling `observer` on every packet it emits.
+    pub fn new(inner: &'a mut dyn PacketSource, observer: F) -> ObservedSource<'a, F> {
+        ObservedSource { inner, observer }
+    }
+}
+
+impl<F: FnMut(&Packet)> PacketSource for ObservedSource<'_, F> {
+    fn next_emission(&self) -> Option<Time> {
+        self.inner.next_emission()
+    }
+
+    fn emit_due(&mut self, now: Time, out: &mut Vec<Packet>) {
+        let before = out.len();
+        self.inner.emit_due(now, out);
+        for p in &out[before..] {
+            (self.observer)(p);
+        }
+    }
+
+    fn on_delivered(&mut self, packet: &Packet, now: Time) {
+        self.inner.on_delivered(packet, now);
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.inner.is_exhausted()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,6 +98,42 @@ mod tests {
         fn is_exhausted(&self) -> bool {
             self.packet.is_none()
         }
+    }
+
+    #[test]
+    fn observed_source_sees_every_emission_and_nothing_else() {
+        let p = Packet::new(
+            PacketId(7),
+            SiteId::from_index(2),
+            SiteId::from_index(3),
+            64,
+            MessageKind::Ack,
+            Time::from_ns(1),
+        );
+        let mut inner = OneShot {
+            packet: Some(p),
+            delivered: 0,
+        };
+        let mut seen = Vec::new();
+        {
+            let mut observed = ObservedSource::new(&mut inner, |p: &Packet| seen.push(p.id));
+            assert_eq!(observed.next_emission(), Some(Time::from_ns(1)));
+            // Pre-existing contents of `out` are not re-observed.
+            let mut out = vec![Packet::new(
+                PacketId(0),
+                SiteId::from_index(0),
+                SiteId::from_index(1),
+                64,
+                MessageKind::Data,
+                Time::from_ns(0),
+            )];
+            observed.emit_due(Time::from_ns(2), &mut out);
+            assert_eq!(out.len(), 2);
+            assert!(observed.is_exhausted());
+            observed.on_delivered(&out[1], Time::from_ns(3));
+        }
+        assert_eq!(seen, vec![PacketId(7)]);
+        assert_eq!(inner.delivered, 1);
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! The trace corpus: a directory of `.mtrc` files plus an index manifest
+//! with per-trace provenance.
+//!
+//! Capture writes each trace next to a `<trace>.manifest.json` sidecar
+//! holding the `RunManifest` JSON of the run that produced it. The corpus
+//! index (`MANIFEST.json`) is never parsed back — it is *regenerated* by
+//! scanning the trace headers and sidecars, so a hand-edited or stale
+//! index can't poison anything.
+
+use crate::format::{TraceError, TraceHeader};
+use netcore::metrics::json_escape;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Name of the corpus index file inside a trace directory.
+pub const INDEX_NAME: &str = "MANIFEST.json";
+
+/// One trace in the corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Trace file name (relative to the corpus directory).
+    pub file: String,
+    /// Decoded trace header.
+    pub header: TraceHeader,
+    /// Size of the trace file in bytes.
+    pub size_bytes: u64,
+    /// Raw `RunManifest` JSON from the provenance sidecar, if present and
+    /// shaped like a JSON object.
+    pub provenance: Option<String>,
+}
+
+/// The scanned corpus of one `traces/` directory.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusManifest {
+    /// Entries sorted by file name (deterministic index output).
+    pub entries: Vec<CorpusEntry>,
+}
+
+/// Sidecar path for a trace: `foo.mtrc` → `foo.mtrc.manifest.json`.
+pub fn sidecar_path(trace: &Path) -> PathBuf {
+    let mut name = trace.as_os_str().to_os_string();
+    name.push(".manifest.json");
+    PathBuf::from(name)
+}
+
+impl CorpusManifest {
+    /// Scans `dir` for `.mtrc` traces, decoding each header (headers only
+    /// — no full-body validation, so scanning a large corpus is cheap)
+    /// and picking up provenance sidecars.
+    pub fn scan(dir: impl AsRef<Path>) -> Result<CorpusManifest, TraceError> {
+        let dir = dir.as_ref();
+        let mut files: Vec<PathBuf> = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "mtrc") {
+                files.push(path);
+            }
+        }
+        files.sort();
+        let mut entries = Vec::with_capacity(files.len());
+        for path in files {
+            let reader = crate::format::open_file(&path)?;
+            let header = reader.header().clone();
+            let size_bytes = fs::metadata(&path)?.len();
+            let provenance = fs::read_to_string(sidecar_path(&path))
+                .ok()
+                .map(|s| s.trim().to_string())
+                .filter(|s| s.starts_with('{') && s.ends_with('}'));
+            let file = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            entries.push(CorpusEntry {
+                file,
+                header,
+                size_bytes,
+                provenance,
+            });
+        }
+        Ok(CorpusManifest { entries })
+    }
+
+    /// Renders the index as a JSON array of trace descriptors.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n  {{");
+            let _ = write!(out, "\n    \"file\": \"{}\",", json_escape(&e.file));
+            let _ = write!(
+                out,
+                "\n    \"description\": \"{}\",",
+                json_escape(&e.header.meta.description)
+            );
+            let _ = write!(out, "\n    \"version\": {},", e.header.version);
+            let _ = write!(out, "\n    \"grid_side\": {},", e.header.meta.grid_side);
+            let _ = write!(out, "\n    \"seed\": {},", e.header.meta.seed);
+            let _ = write!(out, "\n    \"packets\": {},", e.header.packets);
+            let _ = write!(
+                out,
+                "\n    \"duration_ns\": {},",
+                e.header.last_ps as f64 / 1_000.0
+            );
+            let _ = write!(
+                out,
+                "\n    \"content_hash\": \"{:016x}\",",
+                e.header.content_hash
+            );
+            let _ = write!(out, "\n    \"size_bytes\": {},", e.size_bytes);
+            match &e.provenance {
+                // The sidecar is JSON we wrote ourselves; embed verbatim,
+                // indented to keep the index readable.
+                Some(p) => {
+                    let indented = p.replace('\n', "\n    ");
+                    let _ = write!(out, "\n    \"provenance\": {indented}");
+                }
+                None => {
+                    let _ = write!(out, "\n    \"provenance\": null");
+                }
+            }
+            out.push_str("\n  }");
+        }
+        out.push_str("\n]");
+        out
+    }
+
+    /// Writes (or rewrites) the corpus index in `dir`.
+    pub fn write_index(&self, dir: impl AsRef<Path>) -> Result<PathBuf, TraceError> {
+        let path = dir.as_ref().join(INDEX_NAME);
+        fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{TraceMeta, TraceWriter};
+    use desim::trace::validate_json;
+    use desim::Time;
+    use netcore::{MessageKind, Packet, PacketId, SiteId};
+    use std::fs::File;
+    use std::io::BufWriter;
+
+    fn write_trace(path: &Path, description: &str, n: u64) {
+        let meta = TraceMeta {
+            grid_side: 8,
+            seed: 3,
+            description: description.into(),
+        };
+        let file = BufWriter::new(File::create(path).expect("create"));
+        let mut w = TraceWriter::create(file, &meta).expect("writer");
+        for i in 0..n {
+            w.record(&Packet::new(
+                PacketId(i),
+                SiteId::from_index(0),
+                SiteId::from_index(1),
+                64,
+                MessageKind::Data,
+                Time::from_ps(i * 100),
+            ))
+            .expect("record");
+        }
+        w.finish().expect("finish");
+    }
+
+    #[test]
+    fn scan_builds_a_sorted_valid_index() {
+        let dir = std::env::temp_dir().join(format!("mtrc-corpus-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("mkdir");
+        write_trace(&dir.join("b.mtrc"), "second", 5);
+        write_trace(&dir.join("a.mtrc"), "first", 3);
+        fs::write(
+            sidecar_path(&dir.join("a.mtrc")),
+            "{\n  \"command\": \"capture\"\n}\n",
+        )
+        .expect("sidecar");
+        fs::write(dir.join("ignored.txt"), "not a trace").expect("noise");
+
+        let corpus = CorpusManifest::scan(&dir).expect("scan");
+        assert_eq!(corpus.entries.len(), 2);
+        assert_eq!(corpus.entries[0].file, "a.mtrc");
+        assert_eq!(corpus.entries[0].header.packets, 3);
+        assert!(corpus.entries[0].provenance.is_some());
+        assert!(corpus.entries[1].provenance.is_none());
+
+        let json = corpus.to_json();
+        validate_json(&json).expect("index JSON well-formed");
+        assert!(json.contains("\"command\": \"capture\""), "{json}");
+
+        let index = corpus.write_index(&dir).expect("write");
+        assert!(index.ends_with(INDEX_NAME));
+        assert!(fs::read_to_string(index).expect("read").contains("a.mtrc"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sidecar_naming() {
+        assert_eq!(
+            sidecar_path(Path::new("traces/foo.mtrc")),
+            PathBuf::from("traces/foo.mtrc.manifest.json")
+        );
+    }
+}

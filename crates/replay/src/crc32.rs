@@ -1,0 +1,65 @@
+//! CRC-32 (IEEE 802.3 polynomial), the per-block integrity check of the
+//! `.mtrc` format.
+//!
+//! Table-driven, one 256-entry table built at first use. The digest of the
+//! empty message is 0, which doubles as the checksum of the end-of-trace
+//! marker block.
+
+/// Reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ t[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let clean = b"macrochip trace block payload".to_vec();
+        let base = crc32(&clean);
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut bad = clean.clone();
+                bad[byte] ^= 1 << bit;
+                assert_ne!(crc32(&bad), base, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -1,0 +1,786 @@
+//! The `.mtrc` binary traffic-trace format: versioned header, CRC32-framed
+//! blocks of varint + delta-encoded packet records, streamed in O(block)
+//! memory.
+//!
+//! # Layout
+//!
+//! ```text
+//! header (fixed 46 bytes + description):
+//!     0  magic          b"MTRC"
+//!     4  version        u16 LE  (currently 1)
+//!     6  flags          u16 LE  (reserved, 0)
+//!     8  grid_side      u16 LE  (n of the n x n site grid)
+//!    10  reserved       u16 LE  (0)
+//!    12  seed           u64 LE  (RNG seed of the captured run)
+//!    20  packet_count   u64 LE  (patched by `finish`)
+//!    28  last_ps        u64 LE  (creation instant of the last packet)
+//!    36  content_hash   u64 LE  (FNV-1a over all block payload bytes)
+//!    44  desc_len       u16 LE
+//!    46  description    UTF-8, desc_len bytes
+//! blocks, repeated:
+//!     payload_len  u32 LE  (0 terminates the trace)
+//!     record_count u32 LE
+//!     payload      encoded records
+//!     crc32        u32 LE  (IEEE CRC-32 of payload)
+//! ```
+//!
+//! Each record encodes one [`Packet`] at its injection point:
+//! `uvarint Δcreated_ps, uvarint src, uvarint dst, uvarint bytes, u8 kind,
+//! svarint Δid, uvarint op+1 (0 = none)`. Creation timestamps are
+//! non-decreasing in capture order (the driver visits emissions in time
+//! order), so the time delta is unsigned; packet ids are usually
+//! sequential, so the ZigZag id delta is almost always the single byte 0.
+//!
+//! The writer buffers one block, stamps its CRC, and remembers a running
+//! FNV-1a content hash; [`TraceWriter::finish`] writes the end marker and
+//! seeks back to patch the three summary fields. Readers therefore know
+//! the packet count, duration and content hash from the header alone, and
+//! verify every block's CRC as they stream.
+
+use crate::crc32::crc32;
+use crate::varint::{get_svarint, get_uvarint, put_svarint, put_uvarint};
+use desim::Time;
+use netcore::{MessageKind, Packet, PacketId, SiteId};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// File magic, the first four bytes of every trace.
+pub const MAGIC: [u8; 4] = *b"MTRC";
+
+/// Current format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Fixed header length before the description string.
+pub(crate) const HEADER_FIXED: usize = 46;
+
+/// Byte offset of the `packet_count` field (start of the patched region).
+const PATCH_OFFSET: u64 = 20;
+
+/// Target payload size before a block is flushed (~64 KiB keeps replay
+/// memory O(block) while amortizing framing overhead).
+pub const BLOCK_TARGET_BYTES: usize = 64 * 1024;
+
+/// Everything that can go wrong reading or writing a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the `MTRC` magic.
+    BadMagic,
+    /// The file's format version is newer than this reader understands.
+    UnsupportedVersion(u16),
+    /// The header is truncated or self-inconsistent.
+    BadHeader(String),
+    /// A block failed its CRC or could not be decoded.
+    CorruptBlock {
+        /// Zero-based index of the offending block.
+        block: usize,
+        /// Human-readable diagnosis.
+        reason: String,
+    },
+    /// Record stream violated an invariant (e.g. time went backwards).
+    BadRecord(String),
+    /// The trace body disagrees with its header summary fields.
+    SummaryMismatch(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadMagic => write!(f, "not a .mtrc trace (bad magic)"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported trace version {v} (this build reads v{FORMAT_VERSION})"
+                )
+            }
+            TraceError::BadHeader(why) => write!(f, "malformed trace header: {why}"),
+            TraceError::CorruptBlock { block, reason } => {
+                write!(f, "corrupt trace block {block}: {reason}")
+            }
+            TraceError::BadRecord(why) => write!(f, "invalid trace record: {why}"),
+            TraceError::SummaryMismatch(why) => {
+                write!(f, "trace body disagrees with header: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> TraceError {
+        TraceError::Io(e)
+    }
+}
+
+/// 64-bit FNV-1a, the trace's content hash (over block payload bytes).
+pub fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a offset basis — the starting value for [`fnv1a64`] chains.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Descriptive metadata fixed at capture time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Side of the n×n site grid the trace addresses.
+    pub grid_side: u16,
+    /// RNG seed of the captured run (provenance; replay does not use it).
+    pub seed: u64,
+    /// Free-form one-line description (network, pattern, load, ...).
+    pub description: String,
+}
+
+/// The decoded header of a trace, including the patched summary fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Format version the file was written with.
+    pub version: u16,
+    /// Capture-time metadata.
+    pub meta: TraceMeta,
+    /// Packets in the trace.
+    pub packets: u64,
+    /// Creation instant of the last packet, picoseconds.
+    pub last_ps: u64,
+    /// FNV-1a over all block payload bytes; the replay cache key.
+    pub content_hash: u64,
+}
+
+impl TraceHeader {
+    /// Creation instant of the last packet as a [`Time`].
+    pub fn last_time(&self) -> Time {
+        Time::from_ps(self.last_ps)
+    }
+}
+
+fn kind_to_u8(kind: MessageKind) -> u8 {
+    MessageKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("kind is one of MessageKind::ALL") as u8
+}
+
+fn kind_from_u8(v: u8) -> Option<MessageKind> {
+    MessageKind::ALL.get(v as usize).copied()
+}
+
+/// Encodes one record into `payload`. `prev` carries (created_ps, id) of
+/// the previous record.
+fn encode_record(payload: &mut Vec<u8>, p: &Packet, prev: (u64, u64)) {
+    let created = p.created.as_ps();
+    put_uvarint(payload, created - prev.0);
+    put_uvarint(payload, p.src.index() as u64);
+    put_uvarint(payload, p.dst.index() as u64);
+    put_uvarint(payload, u64::from(p.bytes));
+    payload.push(kind_to_u8(p.kind));
+    // Sequential ids (the overwhelmingly common case) encode as a zero
+    // delta from prev_id + 1.
+    put_svarint(payload, p.id.0 as i64 - (prev.1 as i64 + 1));
+    put_uvarint(payload, p.op.map_or(0, |op| op + 1));
+}
+
+/// Decodes one record. Returns the packet and updates `prev`.
+fn decode_record(
+    payload: &[u8],
+    pos: &mut usize,
+    prev: &mut (u64, u64),
+    sites: u64,
+) -> Result<Packet, String> {
+    let delta = get_uvarint(payload, pos).ok_or("truncated time delta")?;
+    let created = prev
+        .0
+        .checked_add(delta)
+        .ok_or("timestamp overflows u64 picoseconds")?;
+    let src = get_uvarint(payload, pos).ok_or("truncated src")?;
+    let dst = get_uvarint(payload, pos).ok_or("truncated dst")?;
+    if src >= sites || dst >= sites {
+        return Err(format!(
+            "site id out of range (src {src}, dst {dst}, sites {sites})"
+        ));
+    }
+    let bytes = get_uvarint(payload, pos).ok_or("truncated size")?;
+    let bytes = u32::try_from(bytes).map_err(|_| "packet size exceeds u32".to_string())?;
+    if bytes == 0 {
+        return Err("zero-byte packet".to_string());
+    }
+    let kind = *payload.get(*pos).ok_or("truncated kind")?;
+    *pos += 1;
+    let kind = kind_from_u8(kind).ok_or_else(|| format!("unknown message kind {kind}"))?;
+    let id_delta = get_svarint(payload, pos).ok_or("truncated id delta")?;
+    let id = (prev.1 as i64 + 1 + id_delta) as u64;
+    let op = get_uvarint(payload, pos).ok_or("truncated op")?;
+    *prev = (created, id);
+    let mut packet = Packet::new(
+        PacketId(id),
+        SiteId::from_index(src as usize),
+        SiteId::from_index(dst as usize),
+        bytes,
+        kind,
+        Time::from_ps(created),
+    );
+    if op > 0 {
+        packet = packet.with_op(op - 1);
+    }
+    Ok(packet)
+}
+
+/// Streaming writer of `.mtrc` traces.
+///
+/// Records must arrive in non-decreasing creation-time order (capture
+/// order satisfies this; transforms re-establish it). The writer needs a
+/// seekable sink so [`finish`](Self::finish) can patch the summary fields
+/// into the header.
+///
+/// # Example
+///
+/// ```
+/// use replay::{TraceMeta, TraceWriter, TraceReader};
+/// use netcore::{MessageKind, Packet, PacketId, SiteId};
+/// use desim::Time;
+/// use std::io::Cursor;
+///
+/// let meta = TraceMeta { grid_side: 8, seed: 7, description: "doc".into() };
+/// let mut w = TraceWriter::create(Cursor::new(Vec::new()), &meta).unwrap();
+/// w.record(&Packet::new(PacketId(0), SiteId::from_index(1), SiteId::from_index(2),
+///                       64, MessageKind::Data, Time::from_ns(5))).unwrap();
+/// let (sink, header) = w.finish().unwrap();
+/// assert_eq!(header.packets, 1);
+/// let mut r = TraceReader::new(Cursor::new(sink.into_inner())).unwrap();
+/// let mut block = Vec::new();
+/// assert_eq!(r.next_block(&mut block).unwrap(), 1);
+/// assert_eq!(block[0].bytes, 64);
+/// ```
+pub struct TraceWriter<W: Write + Seek> {
+    sink: W,
+    meta: TraceMeta,
+    payload: Vec<u8>,
+    block_records: u32,
+    prev: (u64, u64),
+    packets: u64,
+    last_ps: u64,
+    content_hash: u64,
+    started: bool,
+}
+
+impl<W: Write + Seek> TraceWriter<W> {
+    /// Starts a trace on `sink`, writing the header immediately.
+    pub fn create(mut sink: W, meta: &TraceMeta) -> Result<TraceWriter<W>, TraceError> {
+        if meta.grid_side == 0 {
+            return Err(TraceError::BadHeader("grid side must be positive".into()));
+        }
+        let desc = meta.description.as_bytes();
+        let desc_len = u16::try_from(desc.len())
+            .map_err(|_| TraceError::BadHeader("description longer than 64 KiB".into()))?;
+        let mut header = Vec::with_capacity(HEADER_FIXED + desc.len());
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header.extend_from_slice(&0u16.to_le_bytes()); // flags
+        header.extend_from_slice(&meta.grid_side.to_le_bytes());
+        header.extend_from_slice(&0u16.to_le_bytes()); // reserved
+        header.extend_from_slice(&meta.seed.to_le_bytes());
+        header.extend_from_slice(&0u64.to_le_bytes()); // packet_count (patched)
+        header.extend_from_slice(&0u64.to_le_bytes()); // last_ps (patched)
+        header.extend_from_slice(&0u64.to_le_bytes()); // content_hash (patched)
+        header.extend_from_slice(&desc_len.to_le_bytes());
+        header.extend_from_slice(desc);
+        debug_assert_eq!(header.len(), HEADER_FIXED + desc.len());
+        sink.write_all(&header)?;
+        Ok(TraceWriter {
+            sink,
+            meta: meta.clone(),
+            payload: Vec::with_capacity(BLOCK_TARGET_BYTES + 64),
+            block_records: 0,
+            prev: (0, 0),
+            packets: 0,
+            last_ps: 0,
+            content_hash: FNV_OFFSET,
+            started: false,
+        })
+    }
+
+    /// The metadata this trace was created with.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Packets recorded so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Appends one packet record.
+    ///
+    /// Fails if `packet.created` precedes the previous record (capture
+    /// order is time order; transforms must re-sort before writing) or
+    /// addresses a site outside the trace's grid.
+    pub fn record(&mut self, packet: &Packet) -> Result<(), TraceError> {
+        let created = packet.created.as_ps();
+        if self.started && created < self.prev.0 {
+            return Err(TraceError::BadRecord(format!(
+                "creation time went backwards ({} ps after {} ps)",
+                created, self.prev.0
+            )));
+        }
+        let sites = u64::from(self.meta.grid_side) * u64::from(self.meta.grid_side);
+        if packet.src.index() as u64 >= sites || packet.dst.index() as u64 >= sites {
+            return Err(TraceError::BadRecord(format!(
+                "packet {} addresses a site outside the {}x{} grid",
+                packet.id, self.meta.grid_side, self.meta.grid_side
+            )));
+        }
+        encode_record(&mut self.payload, packet, self.prev);
+        self.prev = (created, packet.id.0);
+        self.block_records += 1;
+        self.packets += 1;
+        self.last_ps = created;
+        self.started = true;
+        if self.payload.len() >= BLOCK_TARGET_BYTES {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> Result<(), TraceError> {
+        if self.block_records == 0 {
+            return Ok(());
+        }
+        let len = u32::try_from(self.payload.len())
+            .map_err(|_| TraceError::BadRecord("block payload exceeds u32 bytes".into()))?;
+        self.sink.write_all(&len.to_le_bytes())?;
+        self.sink.write_all(&self.block_records.to_le_bytes())?;
+        self.sink.write_all(&self.payload)?;
+        self.sink.write_all(&crc32(&self.payload).to_le_bytes())?;
+        self.content_hash = fnv1a64(self.content_hash, &self.payload);
+        self.payload.clear();
+        self.block_records = 0;
+        Ok(())
+    }
+
+    /// Flushes the tail block, writes the end marker, patches the header
+    /// summary and returns the sink plus the final header.
+    pub fn finish(mut self) -> Result<(W, TraceHeader), TraceError> {
+        self.flush_block()?;
+        // End marker: empty payload, zero records, CRC of nothing.
+        self.sink.write_all(&0u32.to_le_bytes())?;
+        self.sink.write_all(&0u32.to_le_bytes())?;
+        self.sink.write_all(&0u32.to_le_bytes())?;
+        self.sink.seek(SeekFrom::Start(PATCH_OFFSET))?;
+        self.sink.write_all(&self.packets.to_le_bytes())?;
+        self.sink.write_all(&self.last_ps.to_le_bytes())?;
+        self.sink.write_all(&self.content_hash.to_le_bytes())?;
+        self.sink.seek(SeekFrom::End(0))?;
+        self.sink.flush()?;
+        let header = TraceHeader {
+            version: FORMAT_VERSION,
+            meta: self.meta,
+            packets: self.packets,
+            last_ps: self.last_ps,
+            content_hash: self.content_hash,
+        };
+        Ok((self.sink, header))
+    }
+}
+
+/// Opens a trace writer on a new file at `path` (truncating any previous
+/// content).
+pub fn create_file(
+    path: impl AsRef<Path>,
+    meta: &TraceMeta,
+) -> Result<TraceWriter<BufWriter<File>>, TraceError> {
+    let file = File::create(path)?;
+    TraceWriter::create(BufWriter::new(file), meta)
+}
+
+fn read_exact_array<const N: usize, R: Read>(r: &mut R) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Streaming reader of `.mtrc` traces: O(block) memory, CRC-checked.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    source: R,
+    header: TraceHeader,
+    prev: (u64, u64),
+    blocks_read: usize,
+    packets_read: u64,
+    running_hash: u64,
+    finished: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a trace, decoding and sanity-checking its header.
+    pub fn new(mut source: R) -> Result<TraceReader<R>, TraceError> {
+        let magic: [u8; 4] = read_exact_array(&mut source)?;
+        if magic != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = u16::from_le_bytes(read_exact_array(&mut source)?);
+        if version == 0 || version > FORMAT_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let _flags = u16::from_le_bytes(read_exact_array::<2, _>(&mut source)?);
+        let grid_side = u16::from_le_bytes(read_exact_array(&mut source)?);
+        if grid_side == 0 {
+            return Err(TraceError::BadHeader("zero grid side".into()));
+        }
+        let _reserved = u16::from_le_bytes(read_exact_array::<2, _>(&mut source)?);
+        let seed = u64::from_le_bytes(read_exact_array(&mut source)?);
+        let packets = u64::from_le_bytes(read_exact_array(&mut source)?);
+        let last_ps = u64::from_le_bytes(read_exact_array(&mut source)?);
+        let content_hash = u64::from_le_bytes(read_exact_array(&mut source)?);
+        let desc_len = u16::from_le_bytes(read_exact_array(&mut source)?);
+        let mut desc = vec![0u8; desc_len as usize];
+        source.read_exact(&mut desc)?;
+        let description = String::from_utf8(desc)
+            .map_err(|_| TraceError::BadHeader("description is not UTF-8".into()))?;
+        Ok(TraceReader {
+            source,
+            header: TraceHeader {
+                version,
+                meta: TraceMeta {
+                    grid_side,
+                    seed,
+                    description,
+                },
+                packets,
+                last_ps,
+                content_hash,
+            },
+            prev: (0, 0),
+            blocks_read: 0,
+            packets_read: 0,
+            running_hash: FNV_OFFSET,
+            finished: false,
+        })
+    }
+
+    /// The decoded header.
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Packets decoded so far.
+    pub fn packets_read(&self) -> u64 {
+        self.packets_read
+    }
+
+    /// Reads and decodes the next block into `out` (cleared first),
+    /// verifying its CRC. Returns the number of packets appended; `0`
+    /// means the end of the trace was reached cleanly.
+    pub fn next_block(&mut self, out: &mut Vec<Packet>) -> Result<usize, TraceError> {
+        out.clear();
+        if self.finished {
+            return Ok(0);
+        }
+        let block = self.blocks_read;
+        let fail = |reason: String| TraceError::CorruptBlock { block, reason };
+        let payload_len = u32::from_le_bytes(
+            read_exact_array(&mut self.source)
+                .map_err(|e| fail(format!("truncated frame: {e}")))?,
+        );
+        let record_count = u32::from_le_bytes(
+            read_exact_array(&mut self.source)
+                .map_err(|e| fail(format!("truncated frame: {e}")))?,
+        );
+        if payload_len == 0 {
+            // End marker; validate its (empty) CRC and the header summary.
+            let crc = u32::from_le_bytes(
+                read_exact_array(&mut self.source)
+                    .map_err(|e| fail(format!("truncated end marker: {e}")))?,
+            );
+            if record_count != 0 || crc != 0 {
+                return Err(fail("malformed end marker".into()));
+            }
+            self.finished = true;
+            if self.packets_read != self.header.packets {
+                return Err(TraceError::SummaryMismatch(format!(
+                    "header promises {} packets, body holds {}",
+                    self.header.packets, self.packets_read
+                )));
+            }
+            if self.running_hash != self.header.content_hash {
+                return Err(TraceError::SummaryMismatch(format!(
+                    "content hash {:016x} != header {:016x}",
+                    self.running_hash, self.header.content_hash
+                )));
+            }
+            if self.packets_read > 0 && self.prev.0 != self.header.last_ps {
+                return Err(TraceError::SummaryMismatch(format!(
+                    "last timestamp {} ps != header {} ps",
+                    self.prev.0, self.header.last_ps
+                )));
+            }
+            return Ok(0);
+        }
+        if record_count == 0 {
+            return Err(fail("non-empty block with zero records".into()));
+        }
+        let mut payload = vec![0u8; payload_len as usize];
+        self.source
+            .read_exact(&mut payload)
+            .map_err(|e| fail(format!("truncated payload: {e}")))?;
+        let stored_crc = u32::from_le_bytes(
+            read_exact_array(&mut self.source)
+                .map_err(|e| fail(format!("truncated checksum: {e}")))?,
+        );
+        let actual_crc = crc32(&payload);
+        if stored_crc != actual_crc {
+            return Err(fail(format!(
+                "CRC mismatch (stored {stored_crc:08x}, computed {actual_crc:08x})"
+            )));
+        }
+        self.running_hash = fnv1a64(self.running_hash, &payload);
+        let sites = u64::from(self.header.meta.grid_side) * u64::from(self.header.meta.grid_side);
+        let mut pos = 0usize;
+        out.reserve(record_count as usize);
+        for _ in 0..record_count {
+            let before = self.prev.0;
+            let packet = decode_record(&payload, &mut pos, &mut self.prev, sites).map_err(&fail)?;
+            debug_assert!(self.prev.0 >= before, "decoder moved time backwards");
+            out.push(packet);
+        }
+        if pos != payload.len() {
+            return Err(fail(format!(
+                "{} trailing bytes after {} records",
+                payload.len() - pos,
+                record_count
+            )));
+        }
+        self.blocks_read += 1;
+        self.packets_read += record_count as u64;
+        Ok(record_count as usize)
+    }
+}
+
+/// Opens a buffered trace reader on `path`.
+pub fn open_file(path: impl AsRef<Path>) -> Result<TraceReader<BufReader<File>>, TraceError> {
+    let file = File::open(path)?;
+    TraceReader::new(BufReader::new(file))
+}
+
+/// Streams through the whole trace at `path`, verifying every block CRC,
+/// the record encoding and the header summary. Returns the header on
+/// success. Memory stays O(block) regardless of trace size.
+pub fn validate(path: impl AsRef<Path>) -> Result<TraceHeader, TraceError> {
+    let mut reader = open_file(path)?;
+    let mut block = Vec::new();
+    while reader.next_block(&mut block)? > 0 {}
+    Ok(reader.header().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn meta() -> TraceMeta {
+        TraceMeta {
+            grid_side: 8,
+            seed: 42,
+            description: "unit test".into(),
+        }
+    }
+
+    fn packet(id: u64, src: usize, dst: usize, ps: u64) -> Packet {
+        Packet::new(
+            PacketId(id),
+            SiteId::from_index(src),
+            SiteId::from_index(dst),
+            64,
+            MessageKind::Data,
+            Time::from_ps(ps),
+        )
+    }
+
+    fn write_trace(packets: &[Packet]) -> (Vec<u8>, TraceHeader) {
+        let mut w = TraceWriter::create(Cursor::new(Vec::new()), &meta()).expect("create");
+        for p in packets {
+            w.record(p).expect("record");
+        }
+        let (sink, header) = w.finish().expect("finish");
+        (sink.into_inner(), header)
+    }
+
+    fn read_all(bytes: &[u8]) -> (Vec<Packet>, TraceHeader) {
+        let mut r = TraceReader::new(Cursor::new(bytes.to_vec())).expect("open");
+        let mut all = Vec::new();
+        let mut block = Vec::new();
+        while r.next_block(&mut block).expect("block") > 0 {
+            all.extend(block.iter().copied());
+        }
+        (all, r.header().clone())
+    }
+
+    #[test]
+    fn round_trips_packets_exactly() {
+        let original = vec![
+            packet(0, 1, 2, 100),
+            packet(1, 3, 4, 100),
+            packet(2, 5, 6, 250).with_op(17),
+            packet(3, 0, 63, 9_999),
+        ];
+        let (bytes, header) = write_trace(&original);
+        assert_eq!(header.packets, 4);
+        assert_eq!(header.last_ps, 9_999);
+        let (back, rheader) = read_all(&bytes);
+        assert_eq!(rheader, header);
+        assert_eq!(back.len(), 4);
+        for (a, b) in original.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.src, b.src);
+            assert_eq!(a.dst, b.dst);
+            assert_eq!(a.bytes, b.bytes);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.created, b.created);
+            assert_eq!(a.op, b.op);
+        }
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let (bytes, header) = write_trace(&[]);
+        assert_eq!(header.packets, 0);
+        let (back, _) = read_all(&bytes);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn many_blocks_stream_cleanly() {
+        // Enough records to cross several block boundaries.
+        let n = 40_000u64;
+        let packets: Vec<Packet> = (0..n)
+            .map(|i| packet(i, (i % 64) as usize, ((i + 1) % 64) as usize, i * 7))
+            .collect();
+        let (bytes, header) = write_trace(&packets);
+        assert_eq!(header.packets, n);
+        let mut r = TraceReader::new(Cursor::new(bytes)).expect("open");
+        let mut total = 0usize;
+        let mut blocks = 0usize;
+        let mut block = Vec::new();
+        loop {
+            let got = r.next_block(&mut block).expect("block");
+            if got == 0 {
+                break;
+            }
+            total += got;
+            blocks += 1;
+        }
+        assert_eq!(total as u64, n);
+        assert!(blocks > 1, "expected multiple blocks, got {blocks}");
+    }
+
+    #[test]
+    fn non_monotonic_times_are_rejected_at_write() {
+        let mut w = TraceWriter::create(Cursor::new(Vec::new()), &meta()).expect("create");
+        w.record(&packet(0, 1, 2, 500)).expect("first");
+        let err = w.record(&packet(1, 1, 2, 400)).expect_err("backwards");
+        assert!(err.to_string().contains("backwards"), "{err}");
+    }
+
+    #[test]
+    fn out_of_grid_sites_are_rejected_at_write() {
+        let mut w = TraceWriter::create(Cursor::new(Vec::new()), &meta()).expect("create");
+        let err = w.record(&packet(0, 64, 2, 0)).expect_err("site 64 on 8x8");
+        assert!(err.to_string().contains("outside"), "{err}");
+    }
+
+    #[test]
+    fn corrupted_crc_is_a_clean_error() {
+        let packets: Vec<Packet> = (0..100).map(|i| packet(i, 1, 2, i * 10)).collect();
+        let (mut bytes, _) = write_trace(&packets);
+        // Flip one payload byte somewhere after the header.
+        let target = HEADER_FIXED + "unit test".len() + 20;
+        bytes[target] ^= 0x40;
+        let mut r = TraceReader::new(Cursor::new(bytes)).expect("header still fine");
+        let mut block = Vec::new();
+        let err = loop {
+            match r.next_block(&mut block) {
+                Ok(0) => panic!("corruption not detected"),
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("corrupt trace block"), "{msg}");
+        assert!(msg.contains("CRC mismatch"), "{msg}");
+    }
+
+    #[test]
+    fn truncated_trace_is_a_clean_error() {
+        let packets: Vec<Packet> = (0..100).map(|i| packet(i, 1, 2, i * 10)).collect();
+        let (bytes, _) = write_trace(&packets);
+        let cut = &bytes[..bytes.len() - 7];
+        let mut r = TraceReader::new(Cursor::new(cut.to_vec())).expect("header fine");
+        let mut block = Vec::new();
+        let mut saw_error = false;
+        loop {
+            match r.next_block(&mut block) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(e) => {
+                    saw_error = true;
+                    assert!(matches!(
+                        e,
+                        TraceError::CorruptBlock { .. } | TraceError::Io(_)
+                    ));
+                    break;
+                }
+            }
+        }
+        assert!(saw_error, "truncation slipped through");
+    }
+
+    #[test]
+    fn tampered_header_count_is_detected() {
+        let packets: Vec<Packet> = (0..10).map(|i| packet(i, 1, 2, i * 10)).collect();
+        let (mut bytes, _) = write_trace(&packets);
+        bytes[PATCH_OFFSET as usize] ^= 0x01; // packet_count
+        let mut r = TraceReader::new(Cursor::new(bytes)).expect("header fine");
+        let mut block = Vec::new();
+        let err = loop {
+            match r.next_block(&mut block) {
+                Ok(0) => panic!("mismatch not detected"),
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, TraceError::SummaryMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = TraceReader::new(Cursor::new(b"NOPE".to_vec())).expect_err("magic");
+        assert!(matches!(err, TraceError::BadMagic));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let (mut bytes, _) = write_trace(&[]);
+        bytes[4] = 0xFF;
+        bytes[5] = 0xFF;
+        let err = TraceReader::new(Cursor::new(bytes)).expect_err("version");
+        assert!(matches!(err, TraceError::UnsupportedVersion(_)));
+    }
+
+    #[test]
+    fn encoding_is_compact_for_dense_streams() {
+        // Sequential ids, small deltas: a record should average well under
+        // ten bytes against the 40+ bytes of a naive fixed layout.
+        let packets: Vec<Packet> = (0..10_000).map(|i| packet(i, 1, 2, i * 13)).collect();
+        let (bytes, _) = write_trace(&packets);
+        let per_record = bytes.len() as f64 / 10_000.0;
+        assert!(per_record < 10.0, "{per_record} bytes/record");
+    }
+}

@@ -1,0 +1,226 @@
+//! Deterministic replay: a [`PacketSource`] that streams packets out of a
+//! `.mtrc` trace.
+//!
+//! The capture stream is globally sorted by creation time (the driver
+//! visits emissions in time order), so replay is a pure merge: the source
+//! offers the front packet's `created` instant as its next emission and
+//! releases every packet due by `now`. Driving any network with a
+//! `TraceSource` therefore reproduces the captured injection schedule
+//! exactly — and replaying through the *same* network configuration
+//! reproduces the original run byte-for-byte.
+//!
+//! Memory stays O(block): one decoded block is buffered at a time. A
+//! mid-stream decode or CRC failure *poisons* the source — it stops
+//! emitting and reports the error through [`TraceSource::error`] — rather
+//! than panicking inside the simulation loop.
+
+use crate::format::{TraceError, TraceHeader, TraceReader};
+use desim::Time;
+use netcore::{Packet, PacketSource};
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::Path;
+
+/// A [`PacketSource`] replaying a captured trace.
+pub struct TraceSource<R: Read> {
+    reader: TraceReader<R>,
+    buffer: VecDeque<Packet>,
+    scratch: Vec<Packet>,
+    error: Option<TraceError>,
+    end_of_trace: bool,
+    emitted: u64,
+    delivered: u64,
+}
+
+impl TraceSource<BufReader<File>> {
+    /// Opens a trace file for replay.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        Ok(TraceSource::new(crate::format::open_file(path)?))
+    }
+}
+
+impl<R: Read> TraceSource<R> {
+    /// Wraps an open reader, buffering its first block.
+    pub fn new(reader: TraceReader<R>) -> TraceSource<R> {
+        let mut source = TraceSource {
+            reader,
+            buffer: VecDeque::new(),
+            scratch: Vec::new(),
+            error: None,
+            end_of_trace: false,
+            emitted: 0,
+            delivered: 0,
+        };
+        source.refill();
+        source
+    }
+
+    /// The trace's header.
+    pub fn header(&self) -> &TraceHeader {
+        self.reader.header()
+    }
+
+    /// Packets handed to the driver so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Deliveries observed so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// The error that poisoned this source, if any. A poisoned source
+    /// emits nothing further and reports itself exhausted; callers that
+    /// need hard guarantees should check this after the run (or
+    /// [`validate`](crate::format::validate) the trace up front).
+    pub fn error(&self) -> Option<&TraceError> {
+        self.error.as_ref()
+    }
+
+    /// True when replay stopped early because the trace was corrupt.
+    pub fn is_poisoned(&self) -> bool {
+        self.error.is_some()
+    }
+
+    /// Maintains the invariant that `buffer` is non-empty unless the trace
+    /// is finished or poisoned, so `next_emission` (which cannot refill
+    /// through `&self`) always sees the true next instant.
+    fn refill(&mut self) {
+        while self.buffer.is_empty() && !self.end_of_trace && self.error.is_none() {
+            match self.reader.next_block(&mut self.scratch) {
+                Ok(0) => self.end_of_trace = true,
+                Ok(_) => self.buffer.extend(self.scratch.drain(..)),
+                Err(e) => {
+                    self.error = Some(e);
+                }
+            }
+        }
+    }
+}
+
+impl<R: Read> PacketSource for TraceSource<R> {
+    fn next_emission(&self) -> Option<Time> {
+        self.buffer.front().map(|p| p.created)
+    }
+
+    fn emit_due(&mut self, now: Time, out: &mut Vec<Packet>) {
+        loop {
+            while let Some(front) = self.buffer.front() {
+                if front.created > now {
+                    return;
+                }
+                out.push(self.buffer.pop_front().expect("front exists"));
+                self.emitted += 1;
+            }
+            self.refill();
+            if self.buffer.is_empty() {
+                return;
+            }
+        }
+    }
+
+    fn on_delivered(&mut self, _packet: &Packet, _now: Time) {
+        self.delivered += 1;
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.buffer.is_empty() && (self.end_of_trace || self.error.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{TraceMeta, TraceWriter, HEADER_FIXED};
+    use desim::Time;
+    use netcore::{MessageKind, PacketId, SiteId};
+    use std::io::Cursor;
+
+    fn packet(id: u64, ps: u64) -> Packet {
+        Packet::new(
+            PacketId(id),
+            SiteId::from_index((id % 64) as usize),
+            SiteId::from_index(((id + 3) % 64) as usize),
+            64,
+            MessageKind::Data,
+            Time::from_ps(ps),
+        )
+    }
+
+    fn trace_bytes(packets: &[Packet]) -> Vec<u8> {
+        let meta = TraceMeta {
+            grid_side: 8,
+            seed: 1,
+            description: "source test".into(),
+        };
+        let mut w = TraceWriter::create(Cursor::new(Vec::new()), &meta).expect("create");
+        for p in packets {
+            w.record(p).expect("record");
+        }
+        w.finish().expect("finish").0.into_inner()
+    }
+
+    #[test]
+    fn replays_in_captured_order() {
+        let packets: Vec<Packet> = (0..500).map(|i| packet(i, i * 100)).collect();
+        let mut src =
+            TraceSource::new(TraceReader::new(Cursor::new(trace_bytes(&packets))).expect("open"));
+        assert_eq!(src.next_emission(), Some(Time::from_ps(0)));
+        let mut out = Vec::new();
+        src.emit_due(Time::from_ps(250), &mut out);
+        assert_eq!(out.len(), 3); // created at 0, 100, 200
+        assert!(!src.is_exhausted());
+        out.clear();
+        src.emit_due(Time::from_ps(u64::MAX / 2), &mut out);
+        assert_eq!(out.len(), 497);
+        assert!(src.is_exhausted());
+        assert_eq!(src.emitted(), 500);
+        assert!(src.error().is_none());
+    }
+
+    #[test]
+    fn emission_crosses_block_boundaries_at_one_instant() {
+        // Many packets at the same instant, enough to span blocks: one
+        // emit_due must surface all of them.
+        let packets: Vec<Packet> = (0..30_000).map(|i| packet(i, 42)).collect();
+        let mut src =
+            TraceSource::new(TraceReader::new(Cursor::new(trace_bytes(&packets))).expect("open"));
+        let mut out = Vec::new();
+        src.emit_due(Time::from_ps(42), &mut out);
+        assert_eq!(out.len(), 30_000);
+        assert!(src.is_exhausted());
+    }
+
+    #[test]
+    fn corrupt_block_poisons_instead_of_panicking() {
+        let packets: Vec<Packet> = (0..60_000).map(|i| packet(i, i)).collect();
+        let mut bytes = trace_bytes(&packets);
+        // Flip a byte deep in the stream (beyond the first block).
+        let target = bytes.len() - 2048;
+        bytes[target] ^= 0x10;
+        assert!(target > HEADER_FIXED + 64 * 1024, "must hit a later block");
+        let mut src = TraceSource::new(TraceReader::new(Cursor::new(bytes)).expect("open"));
+        let mut out = Vec::new();
+        src.emit_due(Time::from_ps(u64::MAX / 2), &mut out);
+        assert!(src.is_poisoned());
+        assert!(src.is_exhausted());
+        assert!(out.len() < 60_000, "corrupt tail must not be emitted");
+        let msg = src.error().expect("error retained").to_string();
+        assert!(msg.contains("corrupt trace block"), "{msg}");
+    }
+
+    #[test]
+    fn delivery_counting() {
+        let packets: Vec<Packet> = (0..4).map(|i| packet(i, i * 10)).collect();
+        let mut src =
+            TraceSource::new(TraceReader::new(Cursor::new(trace_bytes(&packets))).expect("open"));
+        let mut out = Vec::new();
+        src.emit_due(Time::from_ps(1000), &mut out);
+        for p in &out {
+            src.on_delivered(p, Time::from_ps(2000));
+        }
+        assert_eq!(src.delivered(), 4);
+    }
+}

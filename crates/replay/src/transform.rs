@@ -1,0 +1,396 @@
+//! Streaming trace transforms: time-scale, site-remap, filter, merge and
+//! truncate.
+//!
+//! Every transform reads blocks from one (or several) [`TraceReader`]s and
+//! writes a fresh trace through a [`TraceWriter`], so memory stays
+//! O(block) no matter the trace size. Transforms preserve the capture
+//! invariant — records sorted by creation time — either trivially
+//! (filter/truncate take monotone subsequences, remap leaves times alone,
+//! scaling is monotone) or by construction (merge is a k-way time merge).
+
+use crate::format::{TraceError, TraceHeader, TraceMeta, TraceReader, TraceWriter};
+use desim::Time;
+use netcore::{Packet, PacketId, SiteId};
+use std::io::{Read, Seek, Write};
+
+/// Scales every creation timestamp by the rational factor `num / den`.
+///
+/// A rational factor keeps the transform exactly deterministic across
+/// platforms (no float rounding): each timestamp becomes
+/// `t * num / den` in 128-bit arithmetic, truncated to picoseconds.
+/// `num > den` stretches the trace (lower offered load), `num < den`
+/// compresses it (higher load).
+pub fn time_scale<R: Read, W: Write + Seek>(
+    mut input: TraceReader<R>,
+    output: W,
+    num: u64,
+    den: u64,
+) -> Result<TraceHeader, TraceError> {
+    if num == 0 || den == 0 {
+        return Err(TraceError::BadRecord(
+            "time-scale factor must have positive numerator and denominator".into(),
+        ));
+    }
+    let meta = scaled_meta(input.header(), &format!("time-scale {num}/{den}"));
+    let mut out = TraceWriter::create(output, &meta)?;
+    let mut block = Vec::new();
+    while input.next_block(&mut block)? > 0 {
+        for p in &block {
+            let ps = u128::from(p.created.as_ps()) * u128::from(num) / u128::from(den);
+            let ps = u64::try_from(ps).map_err(|_| {
+                TraceError::BadRecord("scaled timestamp overflows u64 picoseconds".into())
+            })?;
+            let mut q = *p;
+            q.created = Time::from_ps(ps);
+            out.record(&q)?;
+        }
+    }
+    Ok(out.finish()?.1)
+}
+
+/// Rewrites site indices through `map` (index → new index).
+///
+/// `map` must cover every site of the trace's grid and stay within it;
+/// it need not be a permutation (collapsing sites is allowed, e.g. to
+/// fold a hot-spot onto one victim).
+pub fn site_remap<R: Read, W: Write + Seek>(
+    mut input: TraceReader<R>,
+    output: W,
+    map: &[u16],
+) -> Result<TraceHeader, TraceError> {
+    let side = input.header().meta.grid_side;
+    let sites = usize::from(side) * usize::from(side);
+    if map.len() != sites {
+        return Err(TraceError::BadRecord(format!(
+            "site map has {} entries, grid has {} sites",
+            map.len(),
+            sites
+        )));
+    }
+    if let Some(bad) = map.iter().find(|&&m| usize::from(m) >= sites) {
+        return Err(TraceError::BadRecord(format!(
+            "site map target {bad} outside the {side}x{side} grid"
+        )));
+    }
+    let meta = scaled_meta(input.header(), "site-remap");
+    let mut out = TraceWriter::create(output, &meta)?;
+    let mut block = Vec::new();
+    while input.next_block(&mut block)? > 0 {
+        for p in &block {
+            let mut q = *p;
+            q.src = SiteId::from_index(usize::from(map[p.src.index()]));
+            q.dst = SiteId::from_index(usize::from(map[p.dst.index()]));
+            out.record(&q)?;
+        }
+    }
+    Ok(out.finish()?.1)
+}
+
+/// Keeps only packets matching `keep`.
+pub fn filter<R: Read, W: Write + Seek, F: FnMut(&Packet) -> bool>(
+    mut input: TraceReader<R>,
+    output: W,
+    mut keep: F,
+    label: &str,
+) -> Result<TraceHeader, TraceError> {
+    let meta = scaled_meta(input.header(), &format!("filter {label}"));
+    let mut out = TraceWriter::create(output, &meta)?;
+    let mut block = Vec::new();
+    while input.next_block(&mut block)? > 0 {
+        for p in &block {
+            if keep(p) {
+                out.record(p)?;
+            }
+        }
+    }
+    Ok(out.finish()?.1)
+}
+
+/// Stops after `max_packets` records or the first record created after
+/// `max_time`, whichever comes first.
+pub fn truncate<R: Read, W: Write + Seek>(
+    mut input: TraceReader<R>,
+    output: W,
+    max_packets: u64,
+    max_time: Option<Time>,
+) -> Result<TraceHeader, TraceError> {
+    let meta = scaled_meta(input.header(), "truncate");
+    let mut out = TraceWriter::create(output, &meta)?;
+    let mut block = Vec::new();
+    'outer: while input.next_block(&mut block)? > 0 {
+        for p in &block {
+            if out.packets() >= max_packets {
+                break 'outer;
+            }
+            if max_time.is_some_and(|t| p.created > t) {
+                break 'outer;
+            }
+            out.record(p)?;
+        }
+    }
+    Ok(out.finish()?.1)
+}
+
+/// K-way merges several traces into one time-ordered stream.
+///
+/// All inputs must share a grid side. Packets are renumbered sequentially
+/// in merged order so ids stay unique across source traces; ties on the
+/// creation instant resolve in input order (first trace wins), keeping
+/// the merge fully deterministic.
+pub fn merge<R: Read, W: Write + Seek>(
+    inputs: Vec<TraceReader<R>>,
+    output: W,
+) -> Result<TraceHeader, TraceError> {
+    let Some(first) = inputs.first() else {
+        return Err(TraceError::BadRecord(
+            "merge needs at least one input".into(),
+        ));
+    };
+    let side = first.header().meta.grid_side;
+    if let Some(other) = inputs.iter().find(|r| r.header().meta.grid_side != side) {
+        return Err(TraceError::BadRecord(format!(
+            "cannot merge traces of different grids ({side} vs {})",
+            other.header().meta.grid_side
+        )));
+    }
+    let meta = TraceMeta {
+        grid_side: side,
+        seed: first.header().meta.seed,
+        description: format!("merge of {} traces", inputs.len()),
+    };
+    let mut out = TraceWriter::create(output, &meta)?;
+
+    // One cursor per input: the current block and an index into it.
+    struct Cursor<R: Read> {
+        reader: TraceReader<R>,
+        block: Vec<Packet>,
+        pos: usize,
+        done: bool,
+    }
+    let mut cursors: Vec<Cursor<R>> = inputs
+        .into_iter()
+        .map(|reader| Cursor {
+            reader,
+            block: Vec::new(),
+            pos: 0,
+            done: false,
+        })
+        .collect();
+    for c in &mut cursors {
+        advance(c)?;
+    }
+
+    fn advance<R: Read>(c: &mut Cursor<R>) -> Result<(), TraceError> {
+        while !c.done && c.pos >= c.block.len() {
+            c.pos = 0;
+            if c.reader.next_block(&mut c.block)? == 0 {
+                c.done = true;
+                c.block.clear();
+            }
+        }
+        Ok(())
+    }
+
+    let mut next_id = 0u64;
+    loop {
+        // Pick the earliest front across cursors; ties go to the lowest
+        // input index.
+        let mut best: Option<(usize, Time)> = None;
+        for (i, c) in cursors.iter().enumerate() {
+            if let Some(p) = c.block.get(c.pos) {
+                if best.is_none_or(|(_, t)| p.created < t) {
+                    best = Some((i, p.created));
+                }
+            }
+        }
+        let Some((i, _)) = best else { break };
+        let mut p = cursors[i].block[cursors[i].pos];
+        cursors[i].pos += 1;
+        advance(&mut cursors[i])?;
+        p.id = PacketId(next_id);
+        next_id += 1;
+        out.record(&p)?;
+    }
+    Ok(out.finish()?.1)
+}
+
+/// Derives the output metadata from the input header, appending the
+/// transform to the description chain.
+fn scaled_meta(header: &TraceHeader, what: &str) -> TraceMeta {
+    let mut description = format!("{} | {}", header.meta.description, what);
+    // The header field is u16-length; keep the newest provenance.
+    while description.len() > u16::MAX as usize {
+        let cut = description.len() - u16::MAX as usize;
+        description = description[cut..].to_string();
+    }
+    TraceMeta {
+        grid_side: header.meta.grid_side,
+        seed: header.meta.seed,
+        description,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::TraceWriter;
+    use netcore::MessageKind;
+    use std::io::Cursor;
+
+    fn packet(id: u64, src: usize, dst: usize, ps: u64, kind: MessageKind) -> Packet {
+        Packet::new(
+            PacketId(id),
+            SiteId::from_index(src),
+            SiteId::from_index(dst),
+            64,
+            kind,
+            Time::from_ps(ps),
+        )
+    }
+
+    fn trace(packets: &[Packet]) -> Vec<u8> {
+        let meta = TraceMeta {
+            grid_side: 4,
+            seed: 5,
+            description: "transform test".into(),
+        };
+        let mut w = TraceWriter::create(Cursor::new(Vec::new()), &meta).expect("create");
+        for p in packets {
+            w.record(p).expect("record");
+        }
+        w.finish().expect("finish").0.into_inner()
+    }
+
+    fn reader(bytes: &[u8]) -> TraceReader<Cursor<Vec<u8>>> {
+        TraceReader::new(Cursor::new(bytes.to_vec())).expect("open")
+    }
+
+    fn read_all(bytes: &[u8]) -> Vec<Packet> {
+        let mut r = reader(bytes);
+        let mut all = Vec::new();
+        let mut block = Vec::new();
+        while r.next_block(&mut block).expect("block") > 0 {
+            all.extend(block.iter().copied());
+        }
+        all
+    }
+
+    #[test]
+    fn time_scale_stretches_and_compresses() {
+        let bytes = trace(&[
+            packet(0, 0, 1, 100, MessageKind::Data),
+            packet(1, 2, 3, 1000, MessageKind::Data),
+        ]);
+        let mut out = Cursor::new(Vec::new());
+        time_scale(reader(&bytes), &mut out, 3, 2).expect("scale");
+        let scaled = read_all(&out.into_inner());
+        assert_eq!(scaled[0].created.as_ps(), 150);
+        assert_eq!(scaled[1].created.as_ps(), 1500);
+
+        let mut out = Cursor::new(Vec::new());
+        time_scale(reader(&bytes), &mut out, 1, 2).expect("scale");
+        let scaled = read_all(&out.into_inner());
+        assert_eq!(scaled[0].created.as_ps(), 50);
+        assert_eq!(scaled[1].created.as_ps(), 500);
+    }
+
+    #[test]
+    fn time_scale_rejects_zero_factor() {
+        let bytes = trace(&[packet(0, 0, 1, 100, MessageKind::Data)]);
+        let err = time_scale(reader(&bytes), Cursor::new(Vec::new()), 0, 1).expect_err("zero");
+        assert!(err.to_string().contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn site_remap_rewrites_endpoints() {
+        let bytes = trace(&[packet(0, 0, 1, 100, MessageKind::Data)]);
+        // Reverse the 16-site grid.
+        let map: Vec<u16> = (0..16).rev().collect();
+        let mut out = Cursor::new(Vec::new());
+        site_remap(reader(&bytes), &mut out, &map).expect("remap");
+        let remapped = read_all(&out.into_inner());
+        assert_eq!(remapped[0].src.index(), 15);
+        assert_eq!(remapped[0].dst.index(), 14);
+    }
+
+    #[test]
+    fn site_remap_validates_the_map() {
+        let bytes = trace(&[packet(0, 0, 1, 100, MessageKind::Data)]);
+        let short = vec![0u16; 3];
+        assert!(site_remap(reader(&bytes), Cursor::new(Vec::new()), &short).is_err());
+        let out_of_range = vec![16u16; 16];
+        assert!(site_remap(reader(&bytes), Cursor::new(Vec::new()), &out_of_range).is_err());
+    }
+
+    #[test]
+    fn filter_keeps_matching_packets() {
+        let bytes = trace(&[
+            packet(0, 0, 1, 100, MessageKind::Data),
+            packet(1, 2, 3, 200, MessageKind::Ack),
+            packet(2, 1, 2, 300, MessageKind::Data),
+        ]);
+        let mut out = Cursor::new(Vec::new());
+        filter(
+            reader(&bytes),
+            &mut out,
+            |p| p.kind == MessageKind::Data,
+            "kind=data",
+        )
+        .expect("filter");
+        let kept = read_all(&out.into_inner());
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().all(|p| p.kind == MessageKind::Data));
+        // Original ids survive filtering (provenance).
+        assert_eq!(kept[1].id, PacketId(2));
+    }
+
+    #[test]
+    fn truncate_stops_at_count_and_time() {
+        let packets: Vec<Packet> = (0..100)
+            .map(|i| packet(i, 0, 1, i * 10, MessageKind::Data))
+            .collect();
+        let bytes = trace(&packets);
+        let mut out = Cursor::new(Vec::new());
+        truncate(reader(&bytes), &mut out, 7, None).expect("truncate");
+        assert_eq!(read_all(&out.into_inner()).len(), 7);
+
+        let mut out = Cursor::new(Vec::new());
+        truncate(reader(&bytes), &mut out, u64::MAX, Some(Time::from_ps(55))).expect("truncate");
+        let kept = read_all(&out.into_inner());
+        assert_eq!(kept.len(), 6); // created 0..=50
+        assert!(kept.iter().all(|p| p.created.as_ps() <= 55));
+    }
+
+    #[test]
+    fn merge_interleaves_by_time_and_renumbers() {
+        let a = trace(&[
+            packet(10, 0, 1, 100, MessageKind::Data),
+            packet(11, 0, 1, 300, MessageKind::Data),
+        ]);
+        let b = trace(&[
+            packet(20, 2, 3, 200, MessageKind::Ack),
+            packet(21, 2, 3, 300, MessageKind::Ack),
+        ]);
+        let mut out = Cursor::new(Vec::new());
+        merge(vec![reader(&a), reader(&b)], &mut out).expect("merge");
+        let merged = read_all(&out.into_inner());
+        let times: Vec<u64> = merged.iter().map(|p| p.created.as_ps()).collect();
+        assert_eq!(times, vec![100, 200, 300, 300]);
+        // Tie at 300 ps: input order, trace A first.
+        assert_eq!(merged[2].kind, MessageKind::Data);
+        assert_eq!(merged[3].kind, MessageKind::Ack);
+        let ids: Vec<u64> = merged.iter().map(|p| p.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn merged_output_is_a_valid_trace() {
+        let a = trace(&[packet(0, 0, 1, 50, MessageKind::Data)]);
+        let b = trace(&[packet(0, 2, 3, 25, MessageKind::Data)]);
+        let mut out = Cursor::new(Vec::new());
+        let header = merge(vec![reader(&a), reader(&b)], &mut out).expect("merge");
+        assert_eq!(header.packets, 2);
+        let merged = read_all(&out.into_inner());
+        assert_eq!(merged[0].created.as_ps(), 25);
+    }
+}

@@ -1,0 +1,121 @@
+//! LEB128 variable-length integers, the space saver behind `.mtrc`
+//! records.
+//!
+//! Unsigned values use plain LEB128 (7 payload bits per byte, MSB as the
+//! continuation flag); signed deltas go through ZigZag first so small
+//! negative values stay short. Timestamps are delta-encoded by the trace
+//! writer, so the common case — a few hundred picoseconds between
+//! packets — fits in one or two bytes instead of eight.
+
+/// Appends `value` to `out` as unsigned LEB128.
+pub fn put_uvarint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends `value` to `out` as ZigZag-mapped LEB128.
+pub fn put_svarint(out: &mut Vec<u8>, value: i64) {
+    put_uvarint(out, zigzag(value));
+}
+
+/// Maps a signed value onto the unsigned line: 0, -1, 1, -2, 2, ...
+pub fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Reads an unsigned LEB128 value from `buf` starting at `*pos`,
+/// advancing `*pos` past it. Returns `None` on truncation or a value
+/// wider than 64 bits.
+pub fn get_uvarint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return None; // would overflow 64 bits
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Reads a ZigZag-mapped LEB128 value. See [`get_uvarint`].
+pub fn get_svarint(buf: &[u8], pos: &mut usize) -> Option<i64> {
+    get_uvarint(buf, pos).map(unzigzag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uvarint_round_trips_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_uvarint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn svarint_round_trips_signed_values() {
+        for v in [0i64, -1, 1, -64, 63, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            put_svarint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_svarint(&buf, &mut pos), Some(v));
+        }
+    }
+
+    #[test]
+    fn small_values_are_single_bytes() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 100);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        put_svarint(&mut buf, -2);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let buf = [0x80u8, 0x80]; // continuation bits with no terminator
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn overwide_input_is_rejected() {
+        let buf = [0xFFu8; 11];
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_is_a_bijection_on_samples() {
+        for v in [-3i64, -2, -1, 0, 1, 2, 3, 1 << 40, -(1 << 40)] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

@@ -56,7 +56,11 @@ impl OpenLoopTraffic {
         );
         assert!(bytes > 0, "packets must be non-empty");
         let rate = load_fraction * site_peak_bytes_per_ns; // bytes/ns per site
-        let mean_gap = Span::from_ns_f64(bytes as f64 / rate);
+
+        // Clamp to the 1-ps simulation tick: at extreme offered loads the
+        // exact gap rounds to zero, which `exp_span` rejects (and a zero
+        // gap would re-inject at the same instant forever).
+        let mean_gap = Span::from_ns_f64(bytes as f64 / rate).max(Span::from_ps(1));
         let mut rng = SimRng::new(seed);
         // Desynchronize sites from the start.
         let next_at = (0..grid.sites())
@@ -221,5 +225,41 @@ mod tests {
     #[should_panic(expected = "load fraction")]
     fn zero_load_rejected() {
         let _ = source(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "load fraction")]
+    fn non_finite_load_rejected() {
+        let _ = source(f64::INFINITY);
+    }
+
+    #[test]
+    fn extreme_load_clamps_the_gap_to_one_tick() {
+        // At 10^6 × peak the exact mean gap is far below a picosecond;
+        // the source clamps to the 1-ps tick instead of panicking in
+        // `exp_span` (or spinning forever on a zero gap).
+        let mut s = source(1e6);
+        assert_eq!(s.mean_gap(), Span::from_ps(1));
+        s.set_horizon(Time::from_ns(1));
+        let mut out = Vec::new();
+        while let Some(t) = s.next_emission() {
+            s.emit_due(t, &mut out);
+        }
+        assert!(!out.is_empty());
+        assert!(s.is_exhausted());
+    }
+
+    #[test]
+    fn single_site_grid_carries_loopback_all_to_all() {
+        // A 1x1 grid has no peers; all-to-all degenerates to pure
+        // loop-back traffic rather than panicking.
+        let mut s = OpenLoopTraffic::new(&Grid::new(1), Pattern::AllToAll, 0.1, 320.0, 64, 1);
+        s.set_horizon(Time::from_ns(100));
+        let mut out = Vec::new();
+        while let Some(t) = s.next_emission() {
+            s.emit_due(t, &mut out);
+        }
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|p| p.src == p.dst));
     }
 }

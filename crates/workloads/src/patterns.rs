@@ -91,12 +91,25 @@ impl DestinationGen {
     /// # Panics
     ///
     /// Panics for the bit-permutation patterns (transpose, butterfly) if
-    /// the site count is not a power of two.
+    /// the site count is not a power of two, and for the patterns that
+    /// target a *different* site (uniform, neighbor, hot-spot, butterfly)
+    /// on a single-site grid, which has no peer to send to. Transpose and
+    /// all-to-all degenerate to loop-back traffic on one site and are
+    /// allowed.
     pub fn new(pattern: Pattern, grid: &Grid) -> DestinationGen {
         if matches!(pattern, Pattern::Transpose | Pattern::Butterfly) {
             assert!(
                 grid.sites().is_power_of_two(),
                 "bit-permutation patterns need a power-of-two site count"
+            );
+        }
+        if matches!(
+            pattern,
+            Pattern::Uniform | Pattern::Neighbor | Pattern::HotSpot | Pattern::Butterfly
+        ) {
+            assert!(
+                grid.sites() > 1,
+                "{pattern} needs at least two sites; a 1x1 grid has no peer to target"
             );
         }
         DestinationGen {
@@ -331,5 +344,45 @@ mod tests {
     fn transpose_requires_power_of_two_sites() {
         let g = Grid::new(3);
         let _ = DestinationGen::new(Pattern::Transpose, &g);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two sites")]
+    fn uniform_rejects_a_single_site_grid() {
+        let _ = DestinationGen::new(Pattern::Uniform, &Grid::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two sites")]
+    fn neighbor_rejects_a_single_site_grid() {
+        let _ = DestinationGen::new(Pattern::Neighbor, &Grid::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two sites")]
+    fn hotspot_rejects_a_single_site_grid() {
+        let _ = DestinationGen::new(Pattern::HotSpot, &Grid::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two sites")]
+    fn butterfly_rejects_a_single_site_grid() {
+        // 1 is a power of two, so without the peer check butterfly would
+        // reach a shift-underflow in `next` instead of a clear message.
+        let _ = DestinationGen::new(Pattern::Butterfly, &Grid::new(1));
+    }
+
+    #[test]
+    fn single_site_degenerate_patterns_self_send() {
+        // Transpose and all-to-all stay well-defined on one site: every
+        // packet is loop-back.
+        let g = Grid::new(1);
+        let mut r = rng();
+        let src = g.site(0, 0);
+        let mut dg = DestinationGen::new(Pattern::Transpose, &g);
+        assert_eq!(dg.next(src, &g, &mut r), src);
+        let mut dg = DestinationGen::new(Pattern::AllToAll, &g);
+        assert_eq!(dg.next(src, &g, &mut r), src);
+        assert_eq!(dg.next(src, &g, &mut r), src);
     }
 }
