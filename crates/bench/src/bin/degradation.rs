@@ -62,6 +62,8 @@ fn main() {
         "Retries",
         "Dropped",
         "Degraded (us)",
+        "Fairness",
+        "Sources",
     ]);
     // Each (network, fault-rate) cell is an independent simulation with
     // its own wrapper, RNG and traffic source; shard the grid and merge
@@ -105,6 +107,10 @@ fn main() {
                 .as_ns_f64()
                 .max(sim.as_ns_f64());
             let goodput = s.clean_bytes as f64 / window / config.grid.sites() as f64;
+            // Jain's index only covers sources that delivered at least one
+            // packet, so a fault plan that silences a site can *raise*
+            // fairness. Reporting the participating-source count alongside
+            // makes that shrinkage visible instead of silent.
             vec![
                 kind.name().to_string(),
                 fmt(rate, 3),
@@ -113,6 +119,12 @@ fn main() {
                 s.retries.to_string(),
                 net.lost_packets().to_string(),
                 fmt(s.time_degraded(outcome.end).as_ns_f64() / 1e3, 2),
+                fmt(net.stats().jain_fairness(), 4),
+                format!(
+                    "{}/{}",
+                    net.stats().participating_sources(),
+                    config.grid.sites()
+                ),
             ]
         },
     );

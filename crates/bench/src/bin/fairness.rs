@@ -17,6 +17,7 @@ fn main() {
     let mut table = Table::new(&[
         "Network",
         "Jain index",
+        "Sources",
         "Best site mean (ns)",
         "Worst site mean (ns)",
     ]);
@@ -38,6 +39,7 @@ fn main() {
         table.row_owned(vec![
             kind.name().to_string(),
             fmt(stats.jain_fairness(), 4),
+            format!("{}/{}", stats.participating_sources(), config.grid.sites()),
             fmt(best, 1),
             fmt(worst, 1),
         ]);

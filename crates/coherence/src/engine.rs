@@ -455,6 +455,184 @@ impl<S: OpSource> CoherenceEngine<S> {
             None => self.active_cores -= 1,
         }
     }
+
+    /// Checks the engine's structural invariants and returns any
+    /// violations found (empty when healthy). Cheap enough to call after
+    /// every drain step under `--audit`, or once at end of run:
+    ///
+    /// * **MSHRs never leak** — each live primary op holds exactly one
+    ///   register at its requester site, so the per-site live-op count
+    ///   must equal `mshrs_used`, which must never exceed the configured
+    ///   file size; once the engine drains, every register is free.
+    /// * **Waiters only queue on a full file** — a core stalled in
+    ///   `mshr_waiters` while registers are free would be a lost wakeup.
+    /// * **Pending-line table is a bijection** — every `(site, line)`
+    ///   entry names a live op for that site and line, and every live op
+    ///   is findable by its `(site, line)` key (no dangling or shadowed
+    ///   entries).
+    /// * **Directory owner/sharer exclusivity** — a live op's snapshot
+    ///   never lists the owner or the requester among the sharers to
+    ///   invalidate, never lists a sharer twice, and never collects more
+    ///   acks than it asked for.
+    pub fn check_invariants(&self, now: Time) -> Vec<netcore::AuditViolation> {
+        let mut violations = Vec::new();
+        let mut flag =
+            |check: &'static str, op: Option<u64>, site: Option<usize>, detail: String| {
+                violations.push(netcore::AuditViolation {
+                    check,
+                    packet: op,
+                    site,
+                    at: now,
+                    detail,
+                });
+            };
+
+        let sites = self.net_config.grid.sites();
+        let mut live_per_site = vec![0usize; sites];
+        for (&op_id, st) in &self.ops {
+            let site = st.spec.requester.index();
+            if let Some(slot) = live_per_site.get_mut(site) {
+                *slot += 1;
+            }
+            match self.pending_lines.get(&(site, st.spec.line)) {
+                Some(&primary) if primary == op_id => {}
+                Some(&primary) => flag(
+                    "coherence.pending-line-shadowed",
+                    Some(op_id),
+                    Some(site),
+                    format!(
+                        "live op on line {:#x} shadowed by op {} in the pending table",
+                        st.spec.line, primary
+                    ),
+                ),
+                None => flag(
+                    "coherence.pending-line-missing",
+                    Some(op_id),
+                    Some(site),
+                    format!(
+                        "live op on line {:#x} absent from the pending table",
+                        st.spec.line
+                    ),
+                ),
+            }
+            if st.spec.owner == Some(st.spec.requester) {
+                flag(
+                    "coherence.requester-owns-line",
+                    Some(op_id),
+                    Some(site),
+                    "op snapshot names the requester as the line's owner".into(),
+                );
+            }
+            if st.spec.sharers.contains(&st.spec.requester) {
+                flag(
+                    "coherence.requester-among-sharers",
+                    Some(op_id),
+                    Some(site),
+                    "op snapshot lists the requester among sharers to invalidate".into(),
+                );
+            }
+            if let Some(owner) = st.spec.owner {
+                if st.spec.sharers.contains(&owner) {
+                    flag(
+                        "coherence.owner-among-sharers",
+                        Some(op_id),
+                        Some(site),
+                        format!(
+                            "site {owner} is both owner and sharer of line {:#x}",
+                            st.spec.line
+                        ),
+                    );
+                }
+            }
+            let mut sharers = st.spec.sharers.clone();
+            sharers.sort_unstable();
+            sharers.dedup();
+            if sharers.len() != st.spec.sharers.len() {
+                flag(
+                    "coherence.duplicate-sharer",
+                    Some(op_id),
+                    Some(site),
+                    format!(
+                        "sharer list for line {:#x} contains duplicates",
+                        st.spec.line
+                    ),
+                );
+            }
+            if st.acks_got > st.acks_needed {
+                flag(
+                    "coherence.ack-overflow",
+                    Some(op_id),
+                    Some(site),
+                    format!(
+                        "collected {} acks but only {} expected",
+                        st.acks_got, st.acks_needed
+                    ),
+                );
+            }
+        }
+
+        for (&(site, line), &op_id) in &self.pending_lines {
+            match self.ops.get(&op_id) {
+                None => flag(
+                    "coherence.pending-line-dangling",
+                    Some(op_id),
+                    Some(site),
+                    format!("pending table entry for line {line:#x} names a completed op"),
+                ),
+                Some(st) => {
+                    if st.spec.requester.index() != site || st.spec.line != line {
+                        flag(
+                            "coherence.pending-line-mismatch",
+                            Some(op_id),
+                            Some(site),
+                            format!(
+                                "pending entry (site {site}, line {line:#x}) names an op for \
+                                 site {} line {:#x}",
+                                st.spec.requester.index(),
+                                st.spec.line
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        for (site, (&used, &live)) in self.mshrs_used.iter().zip(&live_per_site).enumerate() {
+            if used != live {
+                flag(
+                    "coherence.mshr-leak",
+                    None,
+                    Some(site),
+                    format!("{used} registers in use vs {live} live ops at the site"),
+                );
+            }
+            if used > self.config.mshrs_per_site {
+                flag(
+                    "coherence.mshr-overcommit",
+                    None,
+                    Some(site),
+                    format!(
+                        "{used} registers in use vs a file of {}",
+                        self.config.mshrs_per_site
+                    ),
+                );
+            }
+            if !self.mshr_waiters[site].is_empty() && used < self.config.mshrs_per_site {
+                flag(
+                    "coherence.mshr-waiter-stall",
+                    None,
+                    Some(site),
+                    format!(
+                        "{} cores queued while {} of {} registers are free",
+                        self.mshr_waiters[site].len(),
+                        self.config.mshrs_per_site - used,
+                        self.config.mshrs_per_site
+                    ),
+                );
+            }
+        }
+        violations
+    }
 }
 
 impl<S: OpSource> PacketSource for CoherenceEngine<S> {
@@ -845,5 +1023,89 @@ mod tests {
         );
         let eng = CoherenceEngine::new(cfg, EngineConfig::default(), src);
         assert_eq!(eng.active_cores(), 1);
+    }
+
+    #[test]
+    fn invariants_hold_mid_run_and_after_drain() {
+        let cfg = config();
+        let mut src = ScriptedSource::new();
+        let (a, h) = (s(&cfg, 0, 0), s(&cfg, 3, 3));
+        for line in 0..4u64 {
+            src.push(
+                a,
+                line as usize,
+                NextMiss {
+                    gap: Span::ZERO,
+                    op: read_op(&cfg, a, h, 0x40 * (line + 1)),
+                },
+            );
+        }
+        let mut eng = CoherenceEngine::new(cfg, EngineConfig::default(), src);
+        // Mid-run: issue the first misses, then audit with ops live.
+        let t = eng.next_emission().expect("work scheduled");
+        let mut out = Vec::new();
+        eng.emit_due(t, &mut out);
+        assert!(!out.is_empty());
+        assert!(eng.check_invariants(t).is_empty());
+        for mut p in out {
+            p.delivered = Some(t);
+            eng.on_delivered(&p, t);
+        }
+        run_ideal(&mut eng);
+        // Drained: every MSHR free, pending table empty.
+        let end = eng.stats().last_completion();
+        assert!(eng.check_invariants(end).is_empty());
+    }
+
+    #[test]
+    fn a_leaked_mshr_register_is_flagged_with_its_site() {
+        let cfg = config();
+        let mut src = ScriptedSource::new();
+        let (a, h) = (s(&cfg, 0, 0), s(&cfg, 3, 3));
+        src.push(
+            a,
+            0,
+            NextMiss {
+                gap: Span::ZERO,
+                op: read_op(&cfg, a, h, 0x40),
+            },
+        );
+        let mut eng = CoherenceEngine::new(cfg, EngineConfig::default(), src);
+        run_ideal(&mut eng);
+        // Corrupt the bookkeeping the way a missed decrement would.
+        eng.mshrs_used[a.index()] += 1;
+        let violations = eng.check_invariants(Time::from_ns(10));
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].check, "coherence.mshr-leak");
+        assert_eq!(violations[0].site, Some(a.index()));
+        assert_eq!(violations[0].at, Time::from_ns(10));
+    }
+
+    #[test]
+    fn a_dangling_pending_line_entry_is_flagged() {
+        let cfg = config();
+        let mut src = ScriptedSource::new();
+        let (a, h) = (s(&cfg, 0, 0), s(&cfg, 3, 3));
+        src.push(
+            a,
+            0,
+            NextMiss {
+                gap: Span::ZERO,
+                op: read_op(&cfg, a, h, 0x40),
+            },
+        );
+        let mut eng = CoherenceEngine::new(cfg, EngineConfig::default(), src);
+        run_ideal(&mut eng);
+        // A completed op left behind in the pending table.
+        eng.pending_lines.insert((a.index(), 0x40), 99);
+        let checks: Vec<&str> = eng
+            .check_invariants(Time::ZERO)
+            .iter()
+            .map(|v| v.check)
+            .collect();
+        assert!(
+            checks.contains(&"coherence.pending-line-dangling"),
+            "{checks:?}"
+        );
     }
 }

@@ -25,6 +25,7 @@ use macrochip::prelude::*;
 use macrochip::report::{fmt, Table};
 use macrochip::runner::{drive, DriveLimits};
 use macrochip::sweep::{run_load_point_observed, run_load_point_traced, sustained_bandwidth};
+use netcore::audit::AuditReport;
 use netcore::{MessageKind, MetricsRegistry, MetricsSnapshot};
 use replay::{CaptureSink, CorpusManifest, TraceMeta};
 use std::cell::RefCell;
@@ -55,7 +56,7 @@ USAGE:
     macrochip replay    --trace <FILE.mtrc> [--network <NET|all>]
                         [--faults <SPEC>] [--seed <N>] [--duration-short]
                         [--jobs <N>] [--no-cache] [--stats <FILE>]
-                        [--metrics <FILE>] [--trace-out <FILE>]
+                        [--metrics <FILE>] [--trace-out <FILE>] [--audit]
     macrochip trace-info <FILE.mtrc>... | --dir <DIR> [--write-index]
     macrochip trace-transform --trace <IN.mtrc> --out <OUT.mtrc>
                         (--time-scale <N/D> | --truncate <N>
@@ -78,6 +79,13 @@ OUTPUT (sweep, sustained, faults, run-all):
                        (open in ui.perfetto.dev or chrome://tracing)
     --metrics <FILE>   write metrics and a run manifest; JSON, or CSV when
                        the file name ends in .csv
+    --audit            (sweep, faults, run-all, coherent, replay) run the
+                       invariant auditor over every point: packet
+                       conservation, causality and physical latency
+                       floors, per-architecture resource invariants.
+                       Violations are printed with packet id, site and sim
+                       time, exported as the audit.* metrics family, and
+                       fail the command with a nonzero exit.
     -q, --quiet        suppress the result table on stdout
     -v, --verbose      report progress on stderr as each point completes
 
@@ -110,6 +118,7 @@ const TRACE_EVENTS_PER_POINT: usize = 1 << 16;
 struct OutputOpts {
     trace: Option<String>,
     metrics: Option<String>,
+    audit: bool,
     quiet: bool,
     verbose: bool,
 }
@@ -119,9 +128,59 @@ impl OutputOpts {
         OutputOpts {
             trace: flag(args, "--trace"),
             metrics: flag(args, "--metrics"),
+            audit: args.iter().any(|a| a == "--audit"),
             quiet: args.iter().any(|a| a == "-q" || a == "--quiet"),
             verbose: args.iter().any(|a| a == "-v" || a == "--verbose"),
         }
+    }
+}
+
+/// Accumulates per-point audit reports across a campaign and renders the
+/// final verdict: a one-line all-clear on stderr, or every recorded
+/// violation (packet id, site, sim time) plus a hard error.
+struct AuditLog {
+    enabled: bool,
+    points: usize,
+    violations: u64,
+    lines: Vec<String>,
+}
+
+impl AuditLog {
+    fn new(enabled: bool) -> AuditLog {
+        AuditLog {
+            enabled,
+            points: 0,
+            violations: 0,
+            lines: Vec::new(),
+        }
+    }
+
+    fn absorb(&mut self, label: &str, report: Option<&AuditReport>) {
+        let Some(report) = report else { return };
+        self.points += 1;
+        self.violations += report.total_violations;
+        for line in report.violation_lines() {
+            self.lines.push(format!("[{label}] {line}"));
+        }
+    }
+
+    fn finish(self, quiet: bool) -> Result<(), String> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if self.violations == 0 {
+            if !quiet {
+                eprintln!("[audit] {} points audited, 0 violations", self.points);
+            }
+            return Ok(());
+        }
+        for line in &self.lines {
+            eprintln!("[audit] {line}");
+        }
+        Err(format!(
+            "audit: {} invariant violation(s) across {} audited point(s)",
+            self.violations, self.points
+        ))
     }
 }
 
@@ -178,6 +237,7 @@ struct Cell {
     cached: bool,
     trace: Vec<(Time, TraceEvent)>,
     metrics: Option<MetricsSnapshot>,
+    audit: Option<AuditReport>,
 }
 
 /// Executes one campaign point with cache consultation. Side channels are
@@ -198,6 +258,7 @@ fn run_cell(
                     cached: true,
                     trace: Vec::new(),
                     metrics: None,
+                    audit: None,
                 };
             }
         }
@@ -213,6 +274,7 @@ fn run_cell(
         cached: false,
         trace: run.trace,
         metrics: run.metrics,
+        audit: run.audit,
     }
 }
 
@@ -383,9 +445,10 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let exec = PointExecOptions {
         trace: out.trace.is_some(),
         metrics: out.metrics.is_some(),
+        audit: out.audit,
         trace_capacity: TRACE_EVENTS_PER_POINT,
     };
-    let cache = open_cache(jobs.no_cache, exec.trace || exec.metrics)?;
+    let cache = open_cache(jobs.no_cache, exec.trace || exec.metrics || exec.audit)?;
     let cells = run_indexed(&points, jobs.jobs, |_, point| {
         run_cell(point, &config, cache.as_ref(), exec)
     });
@@ -399,6 +462,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     ]);
     let mut sections: Vec<(String, Vec<(Time, TraceEvent)>)> = Vec::new();
     let mut runs: Vec<RunRecord> = Vec::new();
+    let mut audit_log = AuditLog::new(out.audit);
     let mut saturated_points = 0usize;
     let mut cache_hits = 0usize;
     for (point, cell) in points.iter().zip(cells) {
@@ -412,6 +476,10 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         };
         let cached = cell.cached;
         cache_hits += usize::from(cached);
+        audit_log.absorb(
+            &format!("{} @ {}%", kind.name(), fmt(load * 100.0, 1)),
+            cell.audit.as_ref(),
+        );
         let PointResult::Sweep(p) = cell.result else {
             unreachable!("sweep point produced a non-sweep result");
         };
@@ -477,7 +545,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     if !out.quiet {
         println!("{}", table.to_text());
     }
-    Ok(())
+    audit_log.finish(out.quiet)
 }
 
 fn cmd_sustained(args: &[String]) -> Result<(), String> {
@@ -579,10 +647,24 @@ fn cmd_coherent(args: &[String]) -> Result<(), String> {
         .ok_or("unknown workload")?;
     let kinds = parse_network(&flag(args, "--network").ok_or("missing --network")?)
         .ok_or("unknown network")?;
+    let audit = args.iter().any(|a| a == "--audit");
     let model = NetworkEnergyModel::default();
     let mut table = Table::new(&["Network", "Makespan (us)", "Op latency (ns)", "EDP (nJ.s)"]);
+    let mut audit_log = AuditLog::new(audit);
     for kind in kinds {
-        let run = run_coherent(kind, &spec, &config, 0xCAFE);
+        let run = if audit {
+            let (run, report) = macrochip::experiment::run_coherent_audited(
+                kind,
+                &spec,
+                &config,
+                EngineConfig::default(),
+                0xCAFE,
+            );
+            audit_log.absorb(&format!("{} {}", kind.name(), spec.name()), Some(&report));
+            run
+        } else {
+            run_coherent(kind, &spec, &config, 0xCAFE)
+        };
         table.row_owned(vec![
             kind.name().to_string(),
             fmt(run.makespan.as_ns_f64() / 1e3, 2),
@@ -591,7 +673,7 @@ fn cmd_coherent(args: &[String]) -> Result<(), String> {
         ]);
     }
     println!("Workload: {}\n\n{}", spec.name(), table.to_text());
-    Ok(())
+    audit_log.finish(false)
 }
 
 fn cmd_mp(args: &[String]) -> Result<(), String> {
@@ -677,9 +759,10 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
     let exec = PointExecOptions {
         trace: out.trace.is_some(),
         metrics: out.metrics.is_some(),
+        audit: out.audit,
         trace_capacity: TRACE_EVENTS_PER_POINT,
     };
-    let cache = open_cache(jobs.no_cache, exec.trace || exec.metrics)?;
+    let cache = open_cache(jobs.no_cache, exec.trace || exec.metrics || exec.audit)?;
     let cells = run_indexed(&points, jobs.jobs, |_, point| {
         run_cell(point, &config, cache.as_ref(), exec)
     });
@@ -695,11 +778,13 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
     ]);
     let mut sections: Vec<(String, Vec<(Time, TraceEvent)>)> = Vec::new();
     let mut runs: Vec<RunRecord> = Vec::new();
+    let mut audit_log = AuditLog::new(out.audit);
     let mut cache_hits = 0usize;
     for (point, cell) in points.iter().zip(cells) {
         let kind = point.kind();
         let cached = cell.cached;
         cache_hits += usize::from(cached);
+        audit_log.absorb(&format!("{} faults", kind.name()), cell.audit.as_ref());
         let PointResult::Fault(f) = cell.result else {
             unreachable!("fault point produced a non-fault result");
         };
@@ -755,7 +840,7 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
     if !out.quiet {
         println!("Fault plan: {}\n\n{}", plan.to_spec(), table.to_text());
     }
-    Ok(())
+    audit_log.finish(out.quiet)
 }
 
 /// The whole open-loop evaluation in one campaign: every network's
@@ -816,9 +901,10 @@ fn cmd_run_all(args: &[String]) -> Result<(), String> {
     let exec = PointExecOptions {
         trace: out.trace.is_some(),
         metrics: out.metrics.is_some(),
+        audit: out.audit,
         trace_capacity: TRACE_EVENTS_PER_POINT,
     };
-    let cache = open_cache(jobs.no_cache, exec.trace || exec.metrics)?;
+    let cache = open_cache(jobs.no_cache, exec.trace || exec.metrics || exec.audit)?;
     let cells = run_indexed(&points, jobs.jobs, |_, point| {
         run_cell(point, &config, cache.as_ref(), exec)
     });
@@ -841,10 +927,18 @@ fn cmd_run_all(args: &[String]) -> Result<(), String> {
     ]);
     let mut sections: Vec<(String, Vec<(Time, TraceEvent)>)> = Vec::new();
     let mut runs: Vec<RunRecord> = Vec::new();
+    let mut audit_log = AuditLog::new(out.audit);
     let mut cache_hits = 0usize;
     let mut saturated_points = 0usize;
     for (point, cell) in points.iter().zip(cells) {
         cache_hits += usize::from(cell.cached);
+        let audit_label = match point {
+            CampaignPoint::Sweep { kind, offered, .. } => {
+                format!("{} @ {}%", kind.name(), fmt(offered * 100.0, 1))
+            }
+            _ => format!("{} faults", point.kind().name()),
+        };
+        audit_log.absorb(&audit_label, cell.audit.as_ref());
         match (point, cell.result) {
             (&CampaignPoint::Sweep { kind, offered, .. }, PointResult::Sweep(p)) => {
                 saturated_points += usize::from(p.saturated);
@@ -938,7 +1032,7 @@ fn cmd_run_all(args: &[String]) -> Result<(), String> {
             started.elapsed().as_secs_f64()
         );
     }
-    Ok(())
+    audit_log.finish(out.quiet)
 }
 
 /// Writes the stats file used by the capture→replay byte-identity check:
@@ -1206,6 +1300,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     let trace_out = flag(args, "--trace-out");
     let metrics_path = flag(args, "--metrics");
     let stats_path = flag(args, "--stats");
+    let audit = args.iter().any(|a| a == "--audit");
     let quiet = args.iter().any(|a| a == "-q" || a == "--quiet");
     let verbose = args.iter().any(|a| a == "-v" || a == "--verbose");
     let started = Instant::now();
@@ -1228,9 +1323,10 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     let exec = PointExecOptions {
         trace: trace_out.is_some(),
         metrics: metrics_path.is_some() || stats_path.is_some(),
+        audit,
         trace_capacity: TRACE_EVENTS_PER_POINT,
     };
-    let cache = open_cache(jobs.no_cache, exec.trace || exec.metrics)?;
+    let cache = open_cache(jobs.no_cache, exec.trace || exec.metrics || exec.audit)?;
     let cells = run_indexed(&points, jobs.jobs, |_, point| {
         run_cell(point, &config, cache.as_ref(), exec)
     });
@@ -1246,10 +1342,12 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     let mut sections: Vec<(String, Vec<(Time, TraceEvent)>)> = Vec::new();
     let mut runs: Vec<RunRecord> = Vec::new();
     let mut stats_runs: Vec<(String, MetricsSnapshot)> = Vec::new();
+    let mut audit_log = AuditLog::new(audit);
     let mut cache_hits = 0usize;
     for (point, cell) in points.iter().zip(cells) {
         let kind = point.kind();
         cache_hits += usize::from(cell.cached);
+        audit_log.absorb(&format!("{} replay", kind.name()), cell.audit.as_ref());
         let PointResult::Replay(r) = cell.result else {
             unreachable!("replay point produced a non-replay result");
         };
@@ -1334,7 +1432,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
             table.to_text()
         );
     }
-    Ok(())
+    audit_log.finish(quiet)
 }
 
 fn cmd_trace_info(args: &[String]) -> Result<(), String> {

@@ -28,13 +28,14 @@
 //! `jobs` value, with a cold or warm cache. The differential and property
 //! tests in `tests/` enforce this.
 
-use crate::experiment::{run_coherent, CoherentRun, WorkloadSpec};
+use crate::experiment::{run_coherent, run_coherent_audited, CoherentRun, WorkloadSpec};
 use crate::replay_run::{run_replay, run_replay_faulted, ReplayOptions, ReplaySummary};
 use crate::runner::{drive_traced, DriveLimits};
 use crate::sweep::{run_load_point_traced, LoadPoint, SweepOptions};
-use desim::trace::RingSink;
+use desim::trace::{RingSink, TeeSink};
 use desim::{Span, Time, TraceEvent, Tracer};
 use faults::{FaultPlan, ResilientNetwork};
+use netcore::audit::{AuditReport, Auditor};
 use netcore::{MacrochipConfig, MetricsRegistry, MetricsSnapshot, Network, NetworkKind};
 use std::cell::RefCell;
 use std::path::{Path, PathBuf};
@@ -510,6 +511,10 @@ pub struct PointExecOptions {
     pub metrics: bool,
     /// Ring capacity used when `trace` is on.
     pub trace_capacity: usize,
+    /// Run the point under the invariant auditor ([`netcore::audit`]) and
+    /// return the reconciled [`AuditReport`]. With `metrics` also on, the
+    /// snapshot additionally carries the `audit.*` counter family.
+    pub audit: bool,
 }
 
 /// One executed point, with whatever side channels were requested. All
@@ -523,6 +528,9 @@ pub struct PointRun {
     pub trace: Vec<(Time, TraceEvent)>,
     /// Metrics snapshot (present only when requested).
     pub metrics: Option<MetricsSnapshot>,
+    /// Invariant-audit report (present only when requested; absent for a
+    /// replay point whose trace failed to open).
+    pub audit: Option<AuditReport>,
 }
 
 /// Executes one campaign point to completion on the calling thread.
@@ -530,23 +538,42 @@ pub fn run_point(point: &CampaignPoint, config: &MacrochipConfig) -> PointResult
     run_point_full(point, config, PointExecOptions::default()).result
 }
 
-/// [`run_point`] with optional flight-recorder and metrics capture.
+/// [`run_point`] with optional flight-recorder, metrics, and invariant
+/// audit capture.
 ///
 /// Tracing and metrics are unsupported for [`CampaignPoint::Coherent`]
 /// points (the coherent harness owns its network internally); their side
-/// channels come back empty.
+/// channels come back empty. Auditing **is** supported for coherent
+/// points — it routes through [`run_coherent_audited`], which also checks
+/// the coherence engine's structural invariants.
 pub fn run_point_full(
     point: &CampaignPoint,
     config: &MacrochipConfig,
     exec: PointExecOptions,
 ) -> PointRun {
     let sink = Rc::new(RefCell::new(RingSink::new(exec.trace_capacity.max(1))));
-    let tracer = if exec.trace {
-        Tracer::shared(&sink)
-    } else {
-        Tracer::disabled()
+    // Coherent points build their auditor inside run_coherent_audited.
+    let auditor = (exec.audit && !matches!(point, CampaignPoint::Coherent { .. })).then(|| {
+        let kind = match point {
+            CampaignPoint::Sweep { kind, .. }
+            | CampaignPoint::Fault { kind, .. }
+            | CampaignPoint::Coherent { kind, .. }
+            | CampaignPoint::Replay { kind, .. } => *kind,
+        };
+        Rc::new(RefCell::new(Auditor::new(kind, config)))
+    });
+    let tracer = match (&auditor, exec.trace) {
+        (Some(a), true) => {
+            let mut tee = TeeSink::new();
+            tee.add(&sink);
+            tee.add(a);
+            Tracer::shared(&Rc::new(RefCell::new(tee)))
+        }
+        (Some(a), false) => Tracer::shared(a),
+        (None, true) => Tracer::shared(&sink),
+        (None, false) => Tracer::disabled(),
     };
-    let (result, metrics) = match point {
+    let (result, metrics, audit) = match point {
         CampaignPoint::Sweep {
             kind,
             pattern,
@@ -561,13 +588,20 @@ pub fn run_point_full(
                 *options,
                 tracer,
             );
+            let audit = auditor.map(|a| {
+                let end = Time::ZERO + options.sim + options.drain;
+                a.borrow_mut().finalize(net.stats(), 0, end)
+            });
             let metrics = exec.metrics.then(|| {
                 let mut reg = MetricsRegistry::new();
                 reg.record_net_stats(net.stats());
                 reg.set_gauge("run.offered_load", *offered);
+                if let Some(report) = &audit {
+                    report.record_metrics(&mut reg);
+                }
                 reg.snapshot()
             });
-            (PointResult::Sweep(p), metrics)
+            (PointResult::Sweep(p), metrics, audit)
         }
         CampaignPoint::Fault {
             kind,
@@ -599,10 +633,17 @@ pub fn run_point_full(
                 DriveLimits::for_window(*sim, *drain, *max_stalled),
                 tracer,
             );
+            let audit = auditor.map(|a| {
+                a.borrow_mut()
+                    .finalize(net.stats(), net.fault_stats().dropped, outcome.end)
+            });
             let metrics = exec.metrics.then(|| {
                 let mut reg = MetricsRegistry::new();
                 net.record_metrics(&mut reg, outcome.end);
                 reg.set_gauge("run.offered_load", *load);
+                if let Some(report) = &audit {
+                    report.record_metrics(&mut reg);
+                }
                 reg.snapshot()
             });
             let s = net.fault_stats();
@@ -616,12 +657,26 @@ pub fn run_point_full(
                 end_ns: outcome.end.as_ns_f64(),
                 saturated: outcome.saturated,
             });
-            (result, metrics)
+            (result, metrics, audit)
         }
-        CampaignPoint::Coherent { kind, spec, seed } => (
-            PointResult::Coherent(run_coherent(*kind, spec, config, *seed)),
-            None,
-        ),
+        CampaignPoint::Coherent { kind, spec, seed } => {
+            if exec.audit {
+                let (run, report) = run_coherent_audited(
+                    *kind,
+                    spec,
+                    config,
+                    coherence::EngineConfig::default(),
+                    *seed,
+                );
+                (PointResult::Coherent(run), None, Some(report))
+            } else {
+                (
+                    PointResult::Coherent(run_coherent(*kind, spec, config, *seed)),
+                    None,
+                    None,
+                )
+            }
+        }
         CampaignPoint::Replay {
             kind,
             trace,
@@ -643,16 +698,28 @@ pub fn run_point_full(
                 Some(plan) => {
                     run_replay_faulted(*kind, path, config, plan, *seed, options, tracer.clone())
                         .map(|(summary, net)| {
+                            let audit = auditor.map(|a| {
+                                let end = Time::ZERO + Span::from_ns_f64(summary.end_ns);
+                                a.borrow_mut()
+                                    .finalize(net.stats(), net.fault_stats().dropped, end)
+                            });
                             let metrics = exec.metrics.then(|| {
                                 let mut reg = MetricsRegistry::new();
                                 crate::replay_run::record_replay_metrics(&mut reg, &net, &summary);
+                                if let Some(report) = &audit {
+                                    report.record_metrics(&mut reg);
+                                }
                                 reg.snapshot()
                             });
-                            (summary, metrics)
+                            (summary, metrics, audit)
                         })
                 }
                 None => run_replay(*kind, path, config, options, tracer.clone()).map(
                     |(summary, net)| {
+                        let audit = auditor.map(|a| {
+                            let end = Time::ZERO + Span::from_ns_f64(summary.end_ns);
+                            a.borrow_mut().finalize(net.stats(), 0, end)
+                        });
                         let metrics = exec.metrics.then(|| {
                             let mut reg = MetricsRegistry::new();
                             crate::replay_run::record_replay_metrics(
@@ -660,14 +727,17 @@ pub fn run_point_full(
                                 net.as_ref(),
                                 &summary,
                             );
+                            if let Some(report) = &audit {
+                                report.record_metrics(&mut reg);
+                            }
                             reg.snapshot()
                         });
-                        (summary, metrics)
+                        (summary, metrics, audit)
                     },
                 ),
             };
             match run {
-                Ok((summary, metrics)) => (PointResult::Replay(summary), metrics),
+                Ok((summary, metrics, audit)) => (PointResult::Replay(summary), metrics, audit),
                 Err(_) => (
                     PointResult::Replay(ReplaySummary {
                         trace_packets: 0,
@@ -685,6 +755,7 @@ pub fn run_point_full(
                         content_hash: *content_hash,
                     }),
                     None,
+                    None,
                 ),
             }
         }
@@ -698,6 +769,7 @@ pub fn run_point_full(
         result,
         trace,
         metrics,
+        audit,
     }
 }
 

@@ -8,9 +8,13 @@
 //! behind Figures 9 and 10.
 
 use crate::runner::{drive_observed, DriveLimits};
-use coherence::{CoherenceEngine, EngineConfig};
+use coherence::ops::OpSource;
+use coherence::{CoherenceEngine, EngineConfig, OpStats};
 use desim::{Span, Time, Tracer};
-use netcore::{MacrochipConfig, NetworkKind, Packet};
+use netcore::audit::{AuditReport, Auditor};
+use netcore::{MacrochipConfig, Network, NetworkKind, Packet};
+use std::cell::RefCell;
+use std::rc::Rc;
 use workloads::{AppProfile, AppWorkload, Pattern, SharingMix, SyntheticOpSource};
 
 /// Which workload a coherent run executes.
@@ -168,43 +172,81 @@ pub fn run_coherent_observed<F: FnMut(&Packet)>(
     seed: u64,
     observer: F,
 ) -> CoherentRun {
-    let mut net = networks::build(kind, *config);
+    run_coherent_full(kind, spec, config, engine_config, seed, observer, false).0
+}
 
-    let (stats, completed) = match spec {
-        WorkloadSpec::App(profile) => {
-            let source = AppWorkload::new(&config.grid, *profile, seed);
-            let mut engine = CoherenceEngine::new(*config, engine_config, source);
-            let outcome = drive_observed(
-                net.as_mut(),
-                &mut engine,
-                coherent_limits(),
-                Tracer::disabled(),
-                observer,
-            );
-            debug_assert!(!outcome.timed_out, "coherent run timed out");
-            (engine.stats().clone(), engine.stats().completed())
+/// [`run_coherent_with`] under the invariant auditor: the network's
+/// flight-recorder stream feeds a [`netcore::Auditor`] and the coherence
+/// engine's structural invariants (MSHR accounting, pending-line table,
+/// directory owner/sharer exclusivity) are checked after the drain. The
+/// returned report merges both layers' findings.
+pub fn run_coherent_audited(
+    kind: NetworkKind,
+    spec: &WorkloadSpec,
+    config: &MacrochipConfig,
+    engine_config: EngineConfig,
+    seed: u64,
+) -> (CoherentRun, AuditReport) {
+    let (run, report) = run_coherent_full(kind, spec, config, engine_config, seed, |_| {}, true);
+    (run, report.expect("audit requested"))
+}
+
+#[allow(clippy::type_complexity)]
+fn run_coherent_full<F: FnMut(&Packet)>(
+    kind: NetworkKind,
+    spec: &WorkloadSpec,
+    config: &MacrochipConfig,
+    engine_config: EngineConfig,
+    seed: u64,
+    observer: F,
+    audit: bool,
+) -> (CoherentRun, Option<AuditReport>) {
+    let mut net = networks::build(kind, *config);
+    let auditor = audit.then(|| Rc::new(RefCell::new(Auditor::new(kind, config))));
+    let tracer = match &auditor {
+        Some(a) => {
+            let tracer = Tracer::shared(a);
+            net.set_tracer(tracer.clone());
+            tracer
         }
+        None => Tracer::disabled(),
+    };
+
+    let (stats, completed, mut violations) = match spec {
+        WorkloadSpec::App(profile) => drive_coherent(
+            net.as_mut(),
+            AppWorkload::new(&config.grid, *profile, seed),
+            config,
+            engine_config,
+            tracer,
+            observer,
+            audit,
+        ),
         WorkloadSpec::Synthetic {
             pattern,
             mix,
             ops_per_core,
-        } => {
-            let source = SyntheticOpSource::new(&config.grid, *pattern, *mix, *ops_per_core, seed);
-            let mut engine = CoherenceEngine::new(*config, engine_config, source);
-            let outcome = drive_observed(
-                net.as_mut(),
-                &mut engine,
-                coherent_limits(),
-                Tracer::disabled(),
-                observer,
-            );
-            debug_assert!(!outcome.timed_out, "coherent run timed out");
-            (engine.stats().clone(), engine.stats().completed())
-        }
+        } => drive_coherent(
+            net.as_mut(),
+            SyntheticOpSource::new(&config.grid, *pattern, *mix, *ops_per_core, seed),
+            config,
+            engine_config,
+            tracer,
+            observer,
+            audit,
+        ),
     };
 
+    let report = auditor.map(|a| {
+        let end = stats.last_completion();
+        let mut report = a.borrow_mut().finalize(net.stats(), 0, end);
+        report.total_violations += violations.len() as u64;
+        report.violations.append(&mut violations);
+        report
+    });
+
     let net_stats = net.stats();
-    CoherentRun {
+    let run = CoherentRun {
         network: kind,
         workload: spec.name(),
         makespan: stats.last_completion().saturating_since(Time::ZERO),
@@ -213,7 +255,37 @@ pub fn run_coherent_observed<F: FnMut(&Packet)>(
         delivered_bytes: net_stats.delivered_bytes(),
         routed_bytes: net_stats.routed_bytes(),
         packets: net_stats.delivered_packets(),
-    }
+    };
+    (run, report)
+}
+
+/// Drives one engine over `net` to completion; shared by the App and
+/// Synthetic arms so their setup cannot drift apart. Returns the engine's
+/// stats, its completed-op count, and (when `check` is set) any engine
+/// invariant violations found after the drain.
+fn drive_coherent<S: OpSource, F: FnMut(&Packet)>(
+    net: &mut dyn Network,
+    source: S,
+    config: &MacrochipConfig,
+    engine_config: EngineConfig,
+    tracer: Tracer,
+    observer: F,
+    check: bool,
+) -> (OpStats, u64, Vec<netcore::AuditViolation>) {
+    let mut engine = CoherenceEngine::new(*config, engine_config, source);
+    engine.set_tracer(tracer.clone());
+    let outcome = drive_observed(net, &mut engine, coherent_limits(), tracer, observer);
+    debug_assert!(!outcome.timed_out, "coherent run timed out");
+    let violations = if check {
+        engine.check_invariants(outcome.end)
+    } else {
+        Vec::new()
+    };
+    (
+        engine.stats().clone(),
+        engine.stats().completed(),
+        violations,
+    )
 }
 
 fn coherent_limits() -> DriveLimits {

@@ -10,6 +10,8 @@
 //!
 //! * [`runner`] — the event loop driving any [`netcore::Network`] from
 //!   any [`netcore::PacketSource`], with injection backpressure;
+//! * [`audit_run`] — invariant-audited runs and the cross-network
+//!   differential oracle behind the `--audit` flag;
 //! * [`campaign`] — the parallel campaign engine: deterministic sharded
 //!   execution of independent simulation points across a work-stealing
 //!   thread pool, with a content-addressed result cache;
@@ -45,6 +47,7 @@
 //! assert!(point.mean_latency_ns < 30.0);
 //! ```
 
+pub mod audit_run;
 pub mod campaign;
 pub mod energy;
 pub mod experiment;
@@ -56,6 +59,9 @@ pub mod sweep;
 
 /// One-stop imports for examples and binaries.
 pub mod prelude {
+    pub use crate::audit_run::{
+        differential_replay, run_load_point_audited, run_replay_audited, DifferentialReport,
+    };
     pub use crate::campaign::{
         run_indexed, Campaign, CampaignOutcome, CampaignPoint, FaultSummary, PointResult,
         ResultCache,

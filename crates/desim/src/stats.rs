@@ -232,6 +232,9 @@ impl LatencyHistogram {
         if total == 0 {
             return Span::ZERO;
         }
+        // `q` is in [0, 1], so the product never exceeds `total` and the
+        // cast back to u64 is exact for any feasible sample count.
+        #[allow(clippy::cast_possible_truncation)]
         let target = (q * total as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (i, &n) in self.buckets.iter().enumerate() {

@@ -128,6 +128,9 @@ impl Span {
     /// Panics if `ns` is negative or not finite.
     pub fn from_ns_f64(ns: f64) -> Span {
         assert!(ns.is_finite() && ns >= 0.0, "invalid duration: {ns} ns");
+        // Saturating by construction: the value is asserted non-negative
+        // and finite, and `as u64` clamps anything past u64::MAX.
+        #[allow(clippy::cast_possible_truncation)]
         Span((ns * PS_PER_NS as f64).round() as u64)
     }
 

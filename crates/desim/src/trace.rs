@@ -77,7 +77,10 @@ pub enum TraceEvent {
         dst: usize,
     },
     /// A switched path was torn down after carrying `packets` packets.
-    CircuitTeardown { circuit: u64, packets: u32 },
+    /// The count is `u64` so a long-lived circuit can never truncate its
+    /// accounting (the invariant auditor cross-checks it against per-packet
+    /// deliveries).
+    CircuitTeardown { circuit: u64, packets: u64 },
     /// A packet was forwarded through an intermediate site.
     Hop { packet: u64, at: usize },
     /// A packet reached its destination; `latency` is end-to-end.
@@ -407,6 +410,67 @@ impl TraceSink for RingSink {
             self.dropped += 1;
         }
         self.events.push_back((at, event));
+    }
+}
+
+/// Fans one event stream out to several sinks, in registration order.
+///
+/// A [`Tracer`] carries exactly one sink, but some runs want two
+/// independent consumers of the same stream — e.g. a [`RingSink`] keeping
+/// the flight-recorder window *and* an invariant auditor checking every
+/// event. Wrap both in a `TeeSink` and hand the tee to the tracer; each
+/// inner sink keeps its own `Rc`, so the caller can still read either back
+/// after the run.
+///
+/// # Example
+///
+/// ```
+/// use desim::trace::{RingSink, TeeSink, TraceEvent, Tracer};
+/// use desim::Time;
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+///
+/// let ring = Rc::new(RefCell::new(RingSink::new(16)));
+/// let mut tee = TeeSink::new();
+/// tee.add(&ring);
+/// let tracer = Tracer::new(tee);
+/// tracer.emit(Time::ZERO, || TraceEvent::Stall { packet: 1, site: 0 });
+/// assert_eq!(ring.borrow().len(), 1);
+/// ```
+#[derive(Default)]
+pub struct TeeSink {
+    sinks: Vec<Rc<RefCell<dyn TraceSink>>>,
+}
+
+impl TeeSink {
+    /// Creates an empty tee (records nothing until sinks are added).
+    pub fn new() -> TeeSink {
+        TeeSink::default()
+    }
+
+    /// Registers a shared sink; the caller keeps its `Rc` to read the
+    /// sink back after the run.
+    pub fn add<S: TraceSink + 'static>(&mut self, sink: &Rc<RefCell<S>>) {
+        self.sinks
+            .push(Rc::clone(sink) as Rc<RefCell<dyn TraceSink>>);
+    }
+
+    /// Number of registered sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// True if no sink is registered.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn record(&mut self, at: Time, event: TraceEvent) {
+        for sink in &self.sinks {
+            sink.borrow_mut().record(at, event);
+        }
     }
 }
 
@@ -774,6 +838,21 @@ mod tests {
         small.absorb(&a);
         assert_eq!(small.len(), 2);
         assert_eq!(small.dropped(), 5);
+    }
+
+    #[test]
+    fn tee_sink_fans_out_to_every_registered_sink() {
+        let a = Rc::new(RefCell::new(RingSink::new(8)));
+        let b = Rc::new(RefCell::new(RingSink::new(8)));
+        let mut tee = TeeSink::new();
+        assert!(tee.is_empty());
+        tee.add(&a);
+        tee.add(&b);
+        assert_eq!(tee.len(), 2);
+        let tracer = Tracer::new(tee);
+        tracer.emit(Time::from_ns(3), || ev(7));
+        assert_eq!(a.borrow().snapshot(), b.borrow().snapshot());
+        assert_eq!(a.borrow().len(), 1);
     }
 
     #[test]

@@ -109,6 +109,84 @@ proptest! {
         prop_assert_eq!(merged.p99(), merged.percentile(0.99));
     }
 
+    /// `percentile` is monotone in the quantile for *arbitrary* quantile
+    /// pairs, not just a fixed ladder: for q1 <= q2, p(q1) <= p(q2).
+    #[test]
+    fn histogram_percentile_is_monotone_in_arbitrary_q(
+        samples in proptest::collection::vec(0u64..10_000_000, 1..300),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(Span::from_ns(s));
+        }
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(
+            h.percentile(lo) <= h.percentile(hi),
+            "p({lo}) = {} > p({hi}) = {}",
+            h.percentile(lo),
+            h.percentile(hi)
+        );
+        prop_assert!(h.percentile(hi) <= h.percentile(1.0));
+    }
+
+    /// The mean lies between the extreme percentiles at bucket
+    /// granularity: the *lower* bound of the first occupied bucket
+    /// (`percentile(0.0)` reports its upper bound, one power of two
+    /// above) can never exceed the mean, and the upper bound of the last
+    /// occupied bucket (`percentile(1.0)`) can never undercut it.
+    #[test]
+    fn histogram_mean_sits_between_extreme_buckets(
+        samples in proptest::collection::vec(0u64..10_000_000, 1..300)
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(Span::from_ns(s));
+        }
+        let mean = h.mean().as_ns_f64();
+        let p0 = h.percentile(0.0).as_ns_f64();
+        let p100 = h.percentile(1.0).as_ns_f64();
+        // Bucket 0 is [0,1) ns and reports upper bound 1; every later
+        // bucket [2^(i-1), 2^i) reports 2^i, so halving recovers the
+        // lower bound.
+        let floor = if p0 <= 1.0 { 0.0 } else { p0 / 2.0 };
+        prop_assert!(floor <= mean, "first-bucket floor {floor} > mean {mean}");
+        prop_assert!(mean <= p100, "mean {mean} > last-bucket bound {p100}");
+    }
+
+    /// Merging histograms is exactly equivalent to recording the
+    /// concatenated sample stream: every quantile agrees to the bucket
+    /// boundary, not merely within a bracket.
+    #[test]
+    fn merge_then_percentile_equals_concatenated(
+        a in proptest::collection::vec(0u64..10_000_000, 1..200),
+        b in proptest::collection::vec(0u64..10_000_000, 0..200),
+        qs in proptest::collection::vec(0.0f64..1.0, 1..8)
+    ) {
+        let (mut ha, mut hb, mut whole) =
+            (LatencyHistogram::new(), LatencyHistogram::new(), LatencyHistogram::new());
+        for &s in &a {
+            ha.record(Span::from_ns(s));
+            whole.record(Span::from_ns(s));
+        }
+        for &s in &b {
+            hb.record(Span::from_ns(s));
+            whole.record(Span::from_ns(s));
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), whole.count());
+        for &q in &qs {
+            prop_assert_eq!(
+                ha.percentile(q),
+                whole.percentile(q),
+                "q={} diverged after merge",
+                q
+            );
+        }
+        prop_assert_eq!(ha.percentile(1.0), whole.percentile(1.0));
+    }
+
     /// The running mean matches a direct computation and merging two
     /// halves matches the whole.
     #[test]

@@ -24,6 +24,7 @@
 //! assert!((config.site_bandwidth_bytes_per_ns() - 320.0).abs() < 1e-9);
 //! ```
 
+pub mod audit;
 mod channel;
 mod config;
 mod fault;
@@ -34,6 +35,7 @@ mod site;
 pub mod stats;
 mod traffic;
 
+pub use audit::{AuditReport, AuditViolation, Auditor};
 pub use channel::TxChannel;
 pub use config::MacrochipConfig;
 pub use fault::{FaultResponse, NetFault};

@@ -302,7 +302,7 @@ mod tests {
         use crate::{MessageKind, Packet, PacketId, SiteId};
         use desim::Time;
         let mut stats = NetStats::new();
-        stats.on_inject();
+        stats.on_inject(Time::ZERO);
         let mut p = Packet::new(
             PacketId(0),
             SiteId::from_index(0),

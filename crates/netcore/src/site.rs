@@ -11,7 +11,14 @@ pub struct SiteId(u16);
 
 impl SiteId {
     /// Creates a site id from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit a `u16` — wrapping a site index
+    /// would silently alias two different sites.
     pub const fn from_index(index: usize) -> SiteId {
+        assert!(index <= u16::MAX as usize, "site index out of range");
+        #[allow(clippy::cast_possible_truncation)]
         SiteId(index as u16)
     }
 

@@ -67,6 +67,7 @@ pub struct NetStats {
     /// only for packets whose network stamped the phase boundaries.
     phase_latency: [LatencyHistogram; 4],
     per_source: Vec<Mean>,
+    first_injection: Option<Time>,
     first_delivery: Option<Time>,
     last_delivery: Option<Time>,
 }
@@ -92,14 +93,18 @@ impl NetStats {
                 LatencyHistogram::new(),
             ],
             per_source: Vec::new(),
+            first_injection: None,
             first_delivery: None,
             last_delivery: None,
         }
     }
 
-    /// Records a successful injection.
-    pub fn on_inject(&mut self) {
+    /// Records a successful injection at simulation time `now`.
+    pub fn on_inject(&mut self, now: Time) {
         self.injected.incr();
+        if self.first_injection.is_none_or(|t| now < t) {
+            self.first_injection = Some(now);
+        }
     }
 
     /// Records a refused injection (backpressure).
@@ -240,10 +245,27 @@ impl NetStats {
         self.per_source.iter().map(Mean::mean).collect()
     }
 
+    /// Number of sources that delivered at least one packet — the `n` of
+    /// [`NetStats::jain_fairness`].
+    ///
+    /// A fault plan that kills a site silently shrinks the fairness
+    /// population: the dead source stops delivering, drops out of the
+    /// index, and `jain_fairness` can *rise* even though service got
+    /// strictly worse. Reports should always publish this count next to
+    /// the index so a shrinking population is visible.
+    pub fn participating_sources(&self) -> usize {
+        self.per_source.iter().filter(|m| m.count() > 0).count()
+    }
+
     /// Jain's fairness index over the per-source mean latencies:
     /// `(Σx)² / (n·Σx²)`, 1.0 = perfectly fair, 1/n = maximally unfair.
-    /// Sources with no deliveries are excluded; returns 1.0 with fewer
-    /// than two participating sources.
+    ///
+    /// Sources with no deliveries are **excluded** — `n` is
+    /// [`NetStats::participating_sources`], not the grid size — and the
+    /// index returns 1.0 with fewer than two participating sources. Under
+    /// a site-kill fault plan this means dead sources do not drag the
+    /// index down; interpret the index together with
+    /// `participating_sources()` to catch that case.
     pub fn jain_fairness(&self) -> f64 {
         let xs: Vec<f64> = self
             .per_source
@@ -259,22 +281,42 @@ impl NetStats {
         sum * sum / (xs.len() as f64 * sq)
     }
 
-    /// Delivered throughput in bytes/ns over the delivery window, or zero
-    /// before two deliveries have happened.
+    /// Delivered throughput in bytes/ns.
+    ///
+    /// Window semantics: the rate is measured over the delivery window
+    /// `first_delivery → last_delivery` when it is non-empty (two or more
+    /// distinct delivery instants), which excludes the initial pipe-fill
+    /// latency from steady-state throughput. A run with a single delivery
+    /// instant — short fault-degraded runs often end that way — has an
+    /// empty delivery window, so the rate falls back to the
+    /// `first_injection → last_delivery` window instead of reporting a
+    /// misleading 0.0. Returns zero only when nothing was delivered or no
+    /// window has positive width.
     pub fn delivered_bytes_per_ns(&self) -> f64 {
-        match (self.first_delivery, self.last_delivery) {
-            (Some(a), Some(b)) if b > a => {
-                self.delivered_bytes.value() as f64 / b.saturating_since(a).as_ns_f64()
-            }
-            _ => 0.0,
+        let window = match (self.first_delivery, self.last_delivery) {
+            (Some(a), Some(b)) if b > a => Some(b.saturating_since(a)),
+            (_, Some(b)) => self
+                .first_injection
+                .filter(|&f| b > f)
+                .map(|f| b.saturating_since(f)),
+            _ => None,
+        };
+        match window {
+            Some(w) => self.delivered_bytes.value() as f64 / w.as_ns_f64(),
+            None => 0.0,
         }
     }
 
-    /// Delivered throughput in GB/s over the `first_delivery` →
-    /// `last_delivery` window (1 byte/ns = 1 GB/s in the decimal units the
-    /// paper uses), or zero before two deliveries have happened.
+    /// Delivered throughput in GB/s (1 byte/ns = 1 GB/s in the decimal
+    /// units the paper uses); see [`NetStats::delivered_bytes_per_ns`]
+    /// for the window semantics.
     pub fn throughput_gbps(&self) -> f64 {
         self.delivered_bytes_per_ns()
+    }
+
+    /// Instant of the first recorded injection, if any.
+    pub fn first_injection(&self) -> Option<Time> {
+        self.first_injection
     }
 
     /// Instant of the first delivery, if any.
@@ -333,16 +375,41 @@ mod tests {
     }
 
     #[test]
-    fn zero_throughput_with_one_delivery() {
+    fn single_delivery_falls_back_to_the_injection_window() {
+        // One delivery instant leaves the delivery window empty; the rate
+        // must fall back to first_injection → last_delivery instead of
+        // reporting zero (short fault-degraded runs end this way).
         let mut s = NetStats::new();
+        s.on_inject(Time::from_ns(1));
         s.on_deliver(&delivered_packet(0, 5, MessageKind::Data));
+        // 64 bytes over the 1 ns → 5 ns window.
+        assert!((s.delivered_bytes_per_ns() - 16.0).abs() < 1e-12);
+        assert_eq!(s.first_injection(), Some(Time::from_ns(1)));
+    }
+
+    #[test]
+    fn zero_throughput_without_any_window() {
+        // No delivery at all, or a delivery with no recorded injection and
+        // an empty delivery window: no rate is computable.
+        let mut s = NetStats::new();
         assert_eq!(s.delivered_bytes_per_ns(), 0.0);
+        s.on_deliver(&delivered_packet(0, 0, MessageKind::Data));
+        assert_eq!(s.delivered_bytes_per_ns(), 0.0);
+    }
+
+    #[test]
+    fn first_injection_keeps_the_earliest_instant() {
+        let mut s = NetStats::new();
+        s.on_inject(Time::from_ns(7));
+        s.on_inject(Time::from_ns(3));
+        s.on_inject(Time::from_ns(9));
+        assert_eq!(s.first_injection(), Some(Time::from_ns(3)));
     }
 
     #[test]
     fn counts_rejections_and_waste() {
         let mut s = NetStats::new();
-        s.on_inject();
+        s.on_inject(Time::ZERO);
         s.on_reject();
         s.on_wasted_slot();
         s.on_drop();
@@ -356,9 +423,9 @@ mod tests {
     fn fairness_index_detects_skew() {
         let mut fair = NetStats::new();
         let mut unfair = NetStats::new();
-        for site in 0..4u64 {
+        for site in 0..4u32 {
             let mut p = Packet::new(
-                PacketId(site),
+                PacketId(u64::from(site)),
                 SiteId::from_index(site as usize),
                 SiteId::from_index(5),
                 64,
@@ -368,11 +435,37 @@ mod tests {
             p.delivered = Some(Time::from_ns(10));
             fair.on_deliver(&p);
             // Skewed: site i waits 10 * 4^i ns.
-            p.delivered = Some(Time::from_ns(10 * 4u64.pow(site as u32)));
+            p.delivered = Some(Time::from_ns(10 * 4u64.pow(site)));
             unfair.on_deliver(&p);
         }
         assert!((fair.jain_fairness() - 1.0).abs() < 1e-12);
         assert!(unfair.jain_fairness() < 0.5, "{}", unfair.jain_fairness());
+        assert_eq!(fair.participating_sources(), 4);
+        assert_eq!(unfair.participating_sources(), 4);
+    }
+
+    #[test]
+    fn dead_sources_drop_out_of_the_fairness_population() {
+        // Sites 0 and 2 deliver identically; sites 1 and 3 deliver
+        // nothing (e.g. killed by a fault plan). The index stays perfect —
+        // which is exactly why participating_sources must be reported
+        // alongside it.
+        let mut s = NetStats::new();
+        for site in [0usize, 2] {
+            let mut p = Packet::new(
+                PacketId(site as u64),
+                SiteId::from_index(site),
+                SiteId::from_index(5),
+                64,
+                MessageKind::Data,
+                Time::ZERO,
+            );
+            p.delivered = Some(Time::from_ns(10));
+            s.on_deliver(&p);
+        }
+        assert_eq!(s.participating_sources(), 2);
+        assert!((s.jain_fairness() - 1.0).abs() < 1e-12);
+        assert_eq!(NetStats::new().participating_sources(), 0);
     }
 
     #[test]

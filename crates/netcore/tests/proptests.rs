@@ -42,7 +42,7 @@ proptest! {
             now = finish;
             order += 1;
         }
-        prop_assert_eq!(order as usize, sizes.len());
+        prop_assert_eq!(order, sizes.len() as u64);
     }
 
     /// Capacity is enforced exactly: `cap` packets fit, the next bounces.

@@ -415,7 +415,9 @@ impl CircuitSwitchedNetwork {
         let Some(c) = self.circuits.remove(&circuit) else {
             return; // abandoned by a fault
         };
-        let carried = c.packets.len() as u32;
+        // u64: a long-lived circuit must never truncate its carried-packet
+        // count — the auditor pairs this against per-packet deliveries.
+        let carried = c.packets.len() as u64;
         for mut p in c.packets {
             p.delivered = Some(now);
             self.stats.on_deliver(&p);
@@ -466,7 +468,7 @@ impl Network for CircuitSwitchedNetwork {
             });
             self.events
                 .push(now + self.config.cycle(), Ev::Deliver { packet });
-            self.stats.on_inject();
+            self.stats.on_inject(now);
             return Ok(());
         }
         if self.src_wait[packet.src.index()].len() >= self.config.queue_capacity * 4 {
@@ -481,7 +483,7 @@ impl Network for CircuitSwitchedNetwork {
             bytes: packet.bytes,
         });
         self.src_wait[src.index()].push_back(packet);
-        self.stats.on_inject();
+        self.stats.on_inject(now);
         self.try_start(src, now);
         Ok(())
     }
@@ -620,14 +622,9 @@ mod tests {
         let g = n.config.grid;
         let src = g.site(0, 0);
         // More packets than the gateway's 16 sourced waveguides.
-        for i in 0..24u64 {
+        for i in 0..24usize {
             n.inject(
-                data(
-                    i,
-                    src,
-                    g.site((i % 6 + 1) as usize, (i / 6 + 1) as usize),
-                    Time::ZERO,
-                ),
+                data(i as u64, src, g.site(i % 6 + 1, i / 6 + 1), Time::ZERO),
                 Time::ZERO,
             )
             .unwrap();
@@ -644,9 +641,9 @@ mod tests {
         let g = n.config.grid;
         let dst = g.site(4, 4);
         // More sources than the destination gateway accepts at once.
-        for i in 0..8u64 {
+        for i in 0..8usize {
             n.inject(
-                data(i, g.site(i as usize % 8, 0), dst, Time::ZERO),
+                data(i as u64, g.site(i % 8, 0), dst, Time::ZERO),
                 Time::ZERO,
             )
             .unwrap();
@@ -662,9 +659,9 @@ mod tests {
         let mut n = net();
         let g = n.config.grid;
         // Many circuits from one source share its +x control link.
-        for i in 0..4u64 {
+        for i in 0..4usize {
             n.inject(
-                data(i, g.site(0, 0), g.site(3, i as usize), Time::ZERO),
+                data(i as u64, g.site(0, 0), g.site(3, i), Time::ZERO),
                 Time::ZERO,
             )
             .unwrap();

@@ -322,13 +322,13 @@ impl Network for LimitedP2pNetwork {
                     packet,
                 },
             );
-            self.stats.on_inject();
+            self.stats.on_inject(now);
             return Ok(());
         }
         let Some(first_hop) = self.route_first_hop(packet.src, packet.dst) else {
             // Every route is dead: absorb the packet as a fault drop so
             // the driver does not retry forever against a dead path.
-            self.stats.on_inject();
+            self.stats.on_inject(now);
             self.drop_packet(packet, packet.src, now);
             return Ok(());
         };
@@ -345,7 +345,7 @@ impl Network for LimitedP2pNetwork {
             .try_enqueue(packet);
         match result {
             Ok(()) => {
-                self.stats.on_inject();
+                self.stats.on_inject(now);
                 self.tracer.emit(now, || TraceEvent::Inject {
                     packet: id,
                     src,

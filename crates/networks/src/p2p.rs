@@ -129,7 +129,7 @@ impl Network for P2pNetwork {
             });
             self.events
                 .push(now + self.config.cycle(), Ev::Deliver { packet });
-            self.stats.on_inject();
+            self.stats.on_inject(now);
             return Ok(());
         }
         let channel = self.channel_index(&packet);
@@ -141,7 +141,7 @@ impl Network for P2pNetwork {
         );
         match self.channels[channel].try_enqueue(packet) {
             Ok(()) => {
-                self.stats.on_inject();
+                self.stats.on_inject(now);
                 self.tracer.emit(now, || TraceEvent::Inject {
                     packet: id,
                     src,
@@ -313,9 +313,9 @@ mod tests {
     fn stats_count_deliveries() {
         let mut n = net();
         let g = n.config.grid;
-        for i in 0..4u64 {
+        for i in 0..4usize {
             n.inject(
-                data(i, g.site(0, 0), g.site(i as usize + 1, 0), Time::ZERO),
+                data(i as u64, g.site(0, 0), g.site(i + 1, 0), Time::ZERO),
                 Time::ZERO,
             )
             .unwrap();

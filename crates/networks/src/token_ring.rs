@@ -255,7 +255,7 @@ impl Network for TokenRingNetwork {
             });
             self.events
                 .push(now + self.config.cycle(), Ev::Deliver { packet });
-            self.stats.on_inject();
+            self.stats.on_inject(now);
             return Ok(());
         }
         let dst = packet.dst.index();
@@ -276,7 +276,7 @@ impl Network for TokenRingNetwork {
             bytes: packet.bytes,
         });
         self.queues[q].push_back(packet);
-        self.stats.on_inject();
+        self.stats.on_inject(now);
         self.claim_token(dst, pos, now);
         Ok(())
     }

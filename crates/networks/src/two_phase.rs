@@ -382,7 +382,7 @@ impl Network for TwoPhaseNetwork {
             });
             self.events
                 .push(now + self.config.cycle(), Ev::Deliver { packet });
-            self.stats.on_inject();
+            self.stats.on_inject(now);
             return Ok(());
         }
         let channel = self.channel_index(packet.src, packet.dst);
@@ -394,9 +394,18 @@ impl Network for TwoPhaseNetwork {
         {
             // The arbiter masks dead requestors, channels and sinks out of
             // the round-robin: the packet is absorbed as a fault drop so
-            // nothing ever waits on a masked resource.
-            self.stats.on_inject();
+            // nothing ever waits on a masked resource. The flight recorder
+            // still sees the admission — stats counted it as injected, so
+            // an Inject event must precede the Drop or the trace stream
+            // under-reports injections.
+            self.stats.on_inject(now);
             self.stats.on_drop();
+            self.tracer.emit(now, || TraceEvent::Inject {
+                packet: packet.id.0,
+                src: packet.src.index(),
+                dst: packet.dst.index(),
+                bytes: packet.bytes,
+            });
             self.tracer.emit(now, || TraceEvent::Drop {
                 packet: packet.id.0,
                 site: packet.src.index(),
@@ -426,7 +435,7 @@ impl Network for TwoPhaseNetwork {
             eligible_at,
             wasted: 0,
         });
-        self.stats.on_inject();
+        self.stats.on_inject(now);
         self.schedule_slot(channel, eligible_at);
         Ok(())
     }

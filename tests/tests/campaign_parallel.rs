@@ -132,6 +132,7 @@ fn fault_metrics_side_channel_identical_serial_vs_parallel() {
     let exec = PointExecOptions {
         trace: false,
         metrics: true,
+        audit: false,
         trace_capacity: 1,
     };
     let cfg = config();
@@ -158,6 +159,7 @@ fn trace_side_channel_identical_serial_vs_parallel() {
     let exec = PointExecOptions {
         trace: true,
         metrics: false,
+        audit: false,
         trace_capacity: 1 << 14,
     };
     let cfg = config();

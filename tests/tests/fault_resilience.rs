@@ -96,6 +96,53 @@ fn faulted_runs_resolve_every_packet() {
 }
 
 #[test]
+fn site_kill_shrinks_participating_sources_not_fairness() {
+    // Jain's index is computed over sources that delivered at least one
+    // packet. A plan that kills a site therefore removes it from the
+    // index instead of scoring it as maximally unfair — fairness can hold
+    // (or even rise) while a site is silently dead. The honest signal is
+    // the participating-source count, which is why the degradation bench
+    // reports both side by side.
+    let config = MacrochipConfig::scaled();
+    let sites = config.grid.sites();
+
+    // Baseline: fault-free, every site delivers.
+    let mut bare = networks::build(NetworkKind::PointToPoint, config);
+    let mut t = traffic(&config, 11);
+    drive(bare.as_mut(), &mut t, limits());
+    let baseline = bare.stats().jain_fairness();
+    assert_eq!(bare.stats().participating_sources(), sites);
+
+    // Kill one site before its first packet can be delivered and never
+    // repair it; the wrapper absorbs all of its traffic as dead-site
+    // drops.
+    let plan = FaultPlan::parse("site:12@1ns; no-recovery").unwrap();
+    let mut net = ResilientNetwork::new(
+        networks::build(NetworkKind::PointToPoint, config),
+        &plan,
+        11,
+        Time::ZERO + SIM,
+    );
+    let mut t = traffic(&config, 11);
+    drive(&mut net, &mut t, limits());
+    let stats = net.stats();
+    assert!(
+        stats.participating_sources() < sites,
+        "killed site still delivered: {}/{sites} sources",
+        stats.participating_sources()
+    );
+    assert!(net.fault_stats().dropped > 0, "no dead-site drops recorded");
+    // The survivors are still served fairly, so the index stays near the
+    // fault-free baseline — the shrinkage only shows in the source count.
+    assert!(
+        (stats.jain_fairness() - baseline).abs() < 0.05,
+        "fairness moved from {baseline} to {} despite surviving sources \
+         being served evenly",
+        stats.jain_fairness()
+    );
+}
+
+#[test]
 fn identical_seeds_reproduce_identical_faulted_metrics() {
     let plan = FaultPlan::parse("transient=0.02; rand-links=3; repair=2us").unwrap();
     let run = |seed: u64| {
