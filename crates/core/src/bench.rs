@@ -1,0 +1,871 @@
+//! The standing host-performance baseline: `macrochip bench`.
+//!
+//! Runs a fixed-seed open-loop workload on each of the five Figure 6
+//! networks, repeats it for several trials, and reports the **median**
+//! wall-clock plus derived events/sec — the simulator's host throughput.
+//! Results serialize as a schema-versioned `BENCH_<n>.json` that later
+//! performance PRs diff against ([`compare`]): the workload, seed and
+//! simulated window are pinned, so two checkouts measuring the same
+//! `BENCH` file contents (minus the timing fields) are running the same
+//! experiment.
+//!
+//! Simulation outputs are deterministic, so every trial must agree on
+//! events, injections and deliveries — [`run_bench`] asserts this, which
+//! doubles as a cheap determinism check on every bench run. Wall-clock
+//! and anything derived from it (`wall_ms_*`, `events_per_sec`,
+//! `packets_per_sec`, `peak_rss_bytes`) are the only fields allowed to
+//! differ between runs.
+
+use crate::sweep::{run_load_point_observed, SweepOptions};
+use desim::prof;
+use desim::trace::RingSink;
+use desim::{Span, Tracer};
+use netcore::metrics::{json_escape, json_f64};
+use netcore::{MacrochipConfig, NetworkKind};
+use std::fmt::Write as _;
+use std::time::Instant;
+use workloads::Pattern;
+
+/// Schema version of the emitted `BENCH_*.json`. Bump when fields change
+/// incompatibly; [`compare`] warns across versions.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Identifies the document as a macrochip bench baseline.
+pub const BENCH_SCHEMA: &str = "macrochip-bench";
+
+/// Fixed RNG seed for every bench workload.
+pub const BENCH_SEED: u64 = 0xC0FFEE;
+
+/// Ring capacity when benching with the flight recorder attached.
+const BENCH_TRACE_CAPACITY: usize = 1 << 16;
+
+/// Offered load (fraction of per-site peak) each network is benched at —
+/// comfortably below its measured saturation point so the run exercises
+/// the steady-state event loop rather than stall churn.
+pub fn bench_load(kind: NetworkKind) -> f64 {
+    match kind {
+        NetworkKind::PointToPoint => 0.30,
+        NetworkKind::LimitedPointToPoint => 0.20,
+        NetworkKind::TokenRing | NetworkKind::TwoPhaseAlt => 0.15,
+        NetworkKind::TwoPhase => 0.03,
+        NetworkKind::CircuitSwitched => 0.01,
+    }
+}
+
+/// Knobs for a bench run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchOptions {
+    /// Trials per network; the reported wall-clock is their median.
+    pub trials: usize,
+    /// Traffic-generation window per trial.
+    pub sim: Span,
+    /// Extra drain time after generation stops.
+    pub drain: Span,
+    /// Attach a ring-buffer flight recorder during trials (measures the
+    /// tracer-enabled overhead; default is disabled, the production
+    /// fast path).
+    pub trace: bool,
+    /// Print a per-trial line to stderr as results come in.
+    pub progress: bool,
+}
+
+impl BenchOptions {
+    /// The full baseline: 5 trials over a 5 µs window.
+    pub fn full() -> BenchOptions {
+        BenchOptions {
+            trials: 5,
+            sim: Span::from_us(5),
+            drain: Span::from_us(20),
+            trace: false,
+            progress: false,
+        }
+    }
+
+    /// CI smoke sizing: 3 trials over a 1 µs window.
+    pub fn quick() -> BenchOptions {
+        BenchOptions {
+            trials: 3,
+            sim: Span::from_us(1),
+            drain: Span::from_us(5),
+            ..BenchOptions::full()
+        }
+    }
+}
+
+/// Median wall-clock and deterministic work figures for one network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkBench {
+    pub kind: NetworkKind,
+    pub offered_load: f64,
+    /// Simulation events processed per trial (identical across trials).
+    pub events: u64,
+    pub injected: u64,
+    pub delivered: u64,
+    pub saturated: bool,
+    /// Simulation end time, nanoseconds (deterministic).
+    pub end_ns: f64,
+    /// Per-trial wall-clock, milliseconds, in execution order.
+    pub wall_ms_trials: Vec<f64>,
+}
+
+impl NetworkBench {
+    /// Median of the per-trial wall-clocks, milliseconds.
+    pub fn wall_ms_median(&self) -> f64 {
+        median(&self.wall_ms_trials)
+    }
+
+    /// Host throughput at the median trial: simulation events per
+    /// wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        per_sec(self.events, self.wall_ms_median())
+    }
+
+    /// Delivered packets per wall-clock second at the median trial.
+    pub fn packets_per_sec(&self) -> f64 {
+        per_sec(self.delivered, self.wall_ms_median())
+    }
+}
+
+/// A complete bench baseline, ready to serialize.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    pub schema_version: u64,
+    /// Git commit of the benched tree, or `"unknown"`.
+    pub commit: String,
+    /// `macrochip` crate version.
+    pub version: String,
+    pub quick: bool,
+    pub trials: usize,
+    pub seed: u64,
+    pub sim_ns: f64,
+    pub drain_ns: f64,
+    pub sites: usize,
+    pub cores_per_site: usize,
+    pub data_bytes: u32,
+    /// `"ring"` when benched with the flight recorder attached,
+    /// `"disabled"` for the production fast path.
+    pub tracer: String,
+    pub peak_rss_bytes: u64,
+    pub networks: Vec<NetworkBench>,
+}
+
+/// Runs the bench workload on all five Figure 6 networks.
+///
+/// # Panics
+///
+/// Panics if any two trials of the same network disagree on a
+/// deterministic field — that would mean the simulator itself broke
+/// determinism, which no bench number could be trusted over.
+pub fn run_bench(config: &MacrochipConfig, options: &BenchOptions) -> BenchReport {
+    assert!(options.trials >= 1, "bench needs at least one trial");
+    let sweep = SweepOptions {
+        sim: options.sim,
+        drain: options.drain,
+        max_stalled: 5_000,
+        seed: BENCH_SEED,
+    };
+    let mut networks_out = Vec::new();
+    for kind in NetworkKind::FIGURE6 {
+        let load = bench_load(kind);
+        let mut bench: Option<NetworkBench> = None;
+        for trial in 0..options.trials {
+            let net = networks::build(kind, *config);
+            let tracer = if options.trace {
+                Tracer::new(RingSink::new(BENCH_TRACE_CAPACITY))
+            } else {
+                Tracer::disabled()
+            };
+            let started = Instant::now();
+            let (point, net) =
+                run_load_point_observed(net, Pattern::Uniform, load, config, sweep, tracer, |_| {});
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            let measured = NetworkBench {
+                kind,
+                offered_load: load,
+                events: net.events_processed(),
+                injected: net.stats().injected_packets(),
+                delivered: net.stats().delivered_packets(),
+                saturated: point.saturated,
+                end_ns: options.sim.as_ns_f64() + options.drain.as_ns_f64(),
+                wall_ms_trials: vec![wall_ms],
+            };
+            if options.progress {
+                eprintln!(
+                    "[bench] {}: trial {}/{}: {:.1} ms, {:.2}M ev/s",
+                    kind.name(),
+                    trial + 1,
+                    options.trials,
+                    wall_ms,
+                    per_sec(measured.events, wall_ms) / 1e6,
+                );
+            }
+            match &mut bench {
+                None => bench = Some(measured),
+                Some(prev) => {
+                    assert_eq!(
+                        (prev.events, prev.injected, prev.delivered, prev.saturated),
+                        (
+                            measured.events,
+                            measured.injected,
+                            measured.delivered,
+                            measured.saturated
+                        ),
+                        "{} trial {} disagrees with trial 1 on deterministic fields",
+                        kind.name(),
+                        trial + 1
+                    );
+                    prev.wall_ms_trials.push(wall_ms);
+                }
+            }
+        }
+        networks_out.push(bench.expect("trials >= 1"));
+    }
+    BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        commit: current_commit(),
+        version: env!("CARGO_PKG_VERSION").to_string(),
+        quick: *options == BenchOptions::quick(),
+        trials: options.trials,
+        seed: BENCH_SEED,
+        sim_ns: options.sim.as_ns_f64(),
+        drain_ns: options.drain.as_ns_f64(),
+        sites: config.grid.sites(),
+        cores_per_site: config.cores_per_site,
+        data_bytes: config.data_bytes,
+        tracer: if options.trace { "ring" } else { "disabled" }.to_string(),
+        peak_rss_bytes: prof::peak_rss_bytes(),
+        networks: networks_out,
+    }
+}
+
+/// The benched tree's commit: `$MACROCHIP_COMMIT` if set, else
+/// `git rev-parse --short=12 HEAD`, else `"unknown"`.
+fn current_commit() -> String {
+    if let Ok(commit) = std::env::var("MACROCHIP_COMMIT") {
+        if !commit.is_empty() {
+            return commit;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+impl BenchReport {
+    /// Serializes the report as the `BENCH_*.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\n  \"schema\": \"{BENCH_SCHEMA}\",");
+        let _ = write!(out, "\n  \"schema_version\": {},", self.schema_version);
+        let _ = write!(out, "\n  \"commit\": \"{}\",", json_escape(&self.commit));
+        let _ = write!(out, "\n  \"version\": \"{}\",", json_escape(&self.version));
+        let _ = write!(out, "\n  \"quick\": {},", self.quick);
+        let _ = write!(out, "\n  \"trials\": {},", self.trials);
+        let _ = write!(out, "\n  \"seed\": {},", self.seed);
+        let _ = write!(out, "\n  \"sim_ns\": {},", json_f64(self.sim_ns));
+        let _ = write!(out, "\n  \"drain_ns\": {},", json_f64(self.drain_ns));
+        let _ = write!(out, "\n  \"sites\": {},", self.sites);
+        let _ = write!(out, "\n  \"cores_per_site\": {},", self.cores_per_site);
+        let _ = write!(out, "\n  \"data_bytes\": {},", self.data_bytes);
+        let _ = write!(out, "\n  \"tracer\": \"{}\",", json_escape(&self.tracer));
+        let _ = write!(out, "\n  \"peak_rss_bytes\": {},", self.peak_rss_bytes);
+        out.push_str("\n  \"networks\": [");
+        for (i, n) in self.networks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {{");
+            let _ = write!(
+                out,
+                "\n      \"network\": \"{}\",",
+                json_escape(n.kind.name())
+            );
+            let _ = write!(
+                out,
+                "\n      \"offered_load\": {},",
+                json_f64(n.offered_load)
+            );
+            let _ = write!(out, "\n      \"events\": {},", n.events);
+            let _ = write!(out, "\n      \"injected\": {},", n.injected);
+            let _ = write!(out, "\n      \"delivered\": {},", n.delivered);
+            let _ = write!(out, "\n      \"saturated\": {},", n.saturated);
+            let _ = write!(out, "\n      \"end_ns\": {},", json_f64(n.end_ns));
+            let trials: Vec<String> = n
+                .wall_ms_trials
+                .iter()
+                .map(|&w| json_f64(w).to_string())
+                .collect();
+            let _ = write!(out, "\n      \"wall_ms_trials\": [{}],", trials.join(", "));
+            let _ = write!(
+                out,
+                "\n      \"wall_ms_median\": {},",
+                json_f64(n.wall_ms_median())
+            );
+            let _ = write!(
+                out,
+                "\n      \"events_per_sec\": {},",
+                json_f64(n.events_per_sec())
+            );
+            let _ = write!(
+                out,
+                "\n      \"packets_per_sec\": {}",
+                json_f64(n.packets_per_sec())
+            );
+            let _ = write!(out, "\n    }}");
+        }
+        out.push_str("\n  ]\n}");
+        out
+    }
+
+    /// Renders the human-readable summary table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            "network", "load", "events", "wall(ms)", "ev/s", "pkt/s"
+        );
+        for n in &self.networks {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>7.0}% {:>12} {:>12.2} {:>12.0} {:>12.0}",
+                n.kind.name(),
+                n.offered_load * 100.0,
+                n.events,
+                n.wall_ms_median(),
+                n.events_per_sec(),
+                n.packets_per_sec(),
+            );
+        }
+        out
+    }
+
+    /// Parses a previously written `BENCH_*.json` (only the fields
+    /// [`compare`] needs: schema, version, and per-network deterministic
+    /// + throughput figures).
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let doc = json::parse(text)?;
+        if doc.get("schema").and_then(json::Value::as_str) != Some(BENCH_SCHEMA) {
+            return Err(format!("not a {BENCH_SCHEMA} document"));
+        }
+        let num = |k: &str| -> f64 { doc.get(k).and_then(json::Value::as_f64).unwrap_or(0.0) };
+        let text_field = |k: &str| -> String {
+            doc.get(k)
+                .and_then(json::Value::as_str)
+                .unwrap_or("unknown")
+                .to_string()
+        };
+        let mut networks = Vec::new();
+        if let Some(json::Value::Array(items)) = doc.get("networks") {
+            for item in items {
+                let name = item
+                    .get("network")
+                    .and_then(json::Value::as_str)
+                    .ok_or("network entry without a name")?;
+                let kind = NetworkKind::ALL
+                    .into_iter()
+                    .find(|k| k.name() == name)
+                    .ok_or_else(|| format!("unknown network {name:?}"))?;
+                let n = |k: &str| item.get(k).and_then(json::Value::as_f64).unwrap_or(0.0);
+                let trials = match item.get("wall_ms_trials") {
+                    Some(json::Value::Array(ws)) => {
+                        ws.iter().filter_map(json::Value::as_f64).collect()
+                    }
+                    _ => Vec::new(),
+                };
+                networks.push(NetworkBench {
+                    kind,
+                    offered_load: n("offered_load"),
+                    events: n("events") as u64,
+                    injected: n("injected") as u64,
+                    delivered: n("delivered") as u64,
+                    saturated: item.get("saturated").and_then(json::Value::as_bool) == Some(true),
+                    end_ns: n("end_ns"),
+                    wall_ms_trials: trials,
+                });
+            }
+        }
+        Ok(BenchReport {
+            schema_version: num("schema_version") as u64,
+            commit: text_field("commit"),
+            version: text_field("version"),
+            quick: doc.get("quick").and_then(json::Value::as_bool) == Some(true),
+            trials: num("trials") as usize,
+            seed: num("seed") as u64,
+            sim_ns: num("sim_ns"),
+            drain_ns: num("drain_ns"),
+            sites: num("sites") as usize,
+            cores_per_site: num("cores_per_site") as usize,
+            data_bytes: num("data_bytes") as u32,
+            tracer: text_field("tracer"),
+            peak_rss_bytes: num("peak_rss_bytes") as u64,
+            networks,
+        })
+    }
+}
+
+/// The verdict of diffing a fresh bench against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchComparison {
+    /// One human-readable line per compared network.
+    pub lines: Vec<String>,
+    /// Networks whose events/sec regressed by more than the factor.
+    pub regressions: Vec<String>,
+    /// Cross-schema or cross-workload caveats.
+    pub warnings: Vec<String>,
+}
+
+impl BenchComparison {
+    /// True when no network regressed beyond the allowed factor.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Diffs `fresh` against `baseline`: a network regresses when its
+/// events/sec falls below `baseline / factor` (factor 2.0 = "more than
+/// 2x slower fails"). Networks absent from the baseline are skipped with
+/// a warning, as are schema or workload mismatches.
+pub fn compare(fresh: &BenchReport, baseline: &BenchReport, factor: f64) -> BenchComparison {
+    let mut out = BenchComparison {
+        lines: Vec::new(),
+        regressions: Vec::new(),
+        warnings: Vec::new(),
+    };
+    if fresh.schema_version != baseline.schema_version {
+        out.warnings.push(format!(
+            "schema_version differs: {} vs baseline {}",
+            fresh.schema_version, baseline.schema_version
+        ));
+    }
+    if (fresh.sim_ns, fresh.seed) != (baseline.sim_ns, baseline.seed) {
+        out.warnings.push(
+            "workload differs from baseline (sim window or seed); ratios are not like-for-like"
+                .to_string(),
+        );
+    }
+    for n in &fresh.networks {
+        let Some(base) = baseline.networks.iter().find(|b| b.kind == n.kind) else {
+            out.warnings
+                .push(format!("{} missing from baseline, skipped", n.kind.name()));
+            continue;
+        };
+        if n.events != base.events {
+            out.warnings.push(format!(
+                "{}: event count changed {} -> {} (different workload or simulator \
+                 behavior; the ratio below compares throughput, not identical work)",
+                n.kind.name(),
+                base.events,
+                n.events
+            ));
+        }
+        let fresh_eps = n.events_per_sec();
+        let base_eps = base.events_per_sec();
+        let ratio = if base_eps > 0.0 {
+            fresh_eps / base_eps
+        } else {
+            1.0
+        };
+        out.lines.push(format!(
+            "{:<24} {:>12.0} ev/s vs {:>12.0} baseline ({:+.1}%)",
+            n.kind.name(),
+            fresh_eps,
+            base_eps,
+            (ratio - 1.0) * 100.0
+        ));
+        if base_eps > 0.0 && fresh_eps * factor < base_eps {
+            out.regressions.push(format!(
+                "{}: {:.0} ev/s is more than {factor}x below baseline {:.0} ev/s",
+                n.kind.name(),
+                fresh_eps,
+                base_eps
+            ));
+        }
+    }
+    out
+}
+
+fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        0.5 * (sorted[mid - 1] + sorted[mid])
+    }
+}
+
+fn per_sec(count: u64, wall_ms: f64) -> f64 {
+    if wall_ms > 0.0 {
+        count as f64 / (wall_ms / 1e3)
+    } else {
+        0.0
+    }
+}
+
+/// A minimal recursive-descent JSON reader — just enough to load a
+/// `BENCH_*.json` back for comparison. The workspace deliberately has no
+/// serde; the writer side is hand-rolled (like every other exporter
+/// here), so the reader is too.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Number(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at offset {}", b as char, self.pos))
+            }
+        }
+
+        fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(value)
+            } else {
+                Err(format!("bad literal at offset {}", self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::String(self.string()?)),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                other => Err(format!("unexpected {other:?} at offset {}", self.pos)),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut pairs = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(pairs));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                pairs.push((key, self.value()?));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(pairs));
+                    }
+                    _ => return Err(format!("bad object at offset {}", self.pos)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(format!("bad array at offset {}", self.pos)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                    .ok_or_else(|| {
+                                        format!("bad \\u escape at offset {}", self.pos)
+                                    })?;
+                                out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                                self.pos += 4;
+                            }
+                            other => {
+                                return Err(format!("bad escape {other:?} at offset {}", self.pos))
+                            }
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (the input came from a
+                        // &str, so boundaries are valid).
+                        let rest = &self.bytes[self.pos..];
+                        let s =
+                            std::str::from_utf8(rest).map_err(|_| "invalid UTF-8".to_string())?;
+                        let c = s.chars().next().expect("peeked non-empty");
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                    None => return Err("unterminated string".to_string()),
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+            {
+                self.pos += 1;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Value::Number)
+                .ok_or_else(|| format!("bad number at offset {start}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::trace::validate_json;
+
+    fn tiny_options() -> BenchOptions {
+        BenchOptions {
+            trials: 3,
+            sim: Span::from_ns(100),
+            drain: Span::from_us(2),
+            trace: false,
+            progress: false,
+        }
+    }
+
+    #[test]
+    fn bench_loads_stay_below_saturation_margins() {
+        for kind in NetworkKind::FIGURE6 {
+            assert!(bench_load(kind) > 0.0 && bench_load(kind) < 1.0);
+        }
+    }
+
+    #[test]
+    fn bench_runs_all_five_networks_and_round_trips_json() {
+        let config = MacrochipConfig::scaled();
+        let report = run_bench(&config, &tiny_options());
+        assert_eq!(report.networks.len(), 5);
+        for n in &report.networks {
+            assert!(n.events > 0, "{} processed no events", n.kind.name());
+            assert!(!n.saturated, "{} saturated at bench load", n.kind.name());
+            assert_eq!(n.wall_ms_trials.len(), 3);
+        }
+        let json = report.to_json();
+        validate_json(&json).expect("bench JSON must be well-formed");
+        let parsed = BenchReport::from_json(&json).expect("round trip");
+        assert_eq!(parsed.schema_version, BENCH_SCHEMA_VERSION);
+        assert_eq!(parsed.networks.len(), 5);
+        for (a, b) in parsed.networks.iter().zip(&report.networks) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.delivered, b.delivered);
+        }
+    }
+
+    #[test]
+    fn consecutive_runs_agree_on_non_timing_fields() {
+        let config = MacrochipConfig::scaled();
+        let a = run_bench(&config, &tiny_options());
+        let b = run_bench(&config, &tiny_options());
+        for (x, y) in a.networks.iter().zip(&b.networks) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.events, y.events, "{}", x.kind.name());
+            assert_eq!(x.injected, y.injected);
+            assert_eq!(x.delivered, y.delivered);
+            assert_eq!(x.saturated, y.saturated);
+            assert_eq!(x.end_ns, y.end_ns);
+        }
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.sim_ns, b.sim_ns);
+        assert_eq!(a.commit, b.commit);
+    }
+
+    #[test]
+    fn compare_flags_large_regressions_only() {
+        let config = MacrochipConfig::scaled();
+        let baseline = run_bench(&config, &tiny_options());
+        // Same run compared to itself: no regression.
+        let same = compare(&baseline, &baseline, 2.0);
+        assert!(same.passed(), "{:?}", same.regressions);
+        assert_eq!(same.lines.len(), 5);
+
+        // A 10x slowdown on one network must be flagged.
+        let mut slow = baseline.clone();
+        slow.networks[0].wall_ms_trials = baseline.networks[0]
+            .wall_ms_trials
+            .iter()
+            .map(|w| w * 10.0)
+            .collect();
+        let diff = compare(&slow, &baseline, 2.0);
+        assert!(!diff.passed());
+        assert_eq!(diff.regressions.len(), 1);
+        assert!(diff.regressions[0].contains(slow.networks[0].kind.name()));
+    }
+
+    #[test]
+    fn compare_warns_on_workload_mismatch() {
+        let config = MacrochipConfig::scaled();
+        let baseline = run_bench(&config, &tiny_options());
+        let mut other = baseline.clone();
+        other.sim_ns += 1.0;
+        other.networks[0].events += 7;
+        let diff = compare(&other, &baseline, 2.0);
+        assert!(diff.warnings.iter().any(|w| w.contains("workload differs")));
+        assert!(diff
+            .warnings
+            .iter()
+            .any(|w| w.contains("event count changed")));
+    }
+
+    #[test]
+    fn median_handles_odd_even_and_empty() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn json_parser_handles_nesting_escapes_and_rejects_garbage() {
+        let v = json::parse("{\"a\": [1, -2.5e1, true, null], \"s\": \"q\\\"\\u0041\", \"o\": {}}")
+            .expect("valid");
+        assert_eq!(
+            v.get("a").and_then(|a| match a {
+                json::Value::Array(items) => items[1].as_f64(),
+                _ => None,
+            }),
+            Some(-25.0)
+        );
+        assert_eq!(v.get("s").and_then(json::Value::as_str), Some("q\"A"));
+        assert!(json::parse("{\"a\": }").is_err());
+        assert!(json::parse("[1, 2,]").is_err());
+        assert!(json::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn from_json_rejects_foreign_documents() {
+        assert!(BenchReport::from_json("{\"schema\": \"other\"}").is_err());
+        assert!(BenchReport::from_json("not json").is_err());
+    }
+}

@@ -12,11 +12,13 @@
 //! macrochip replay    --trace run.mtrc [--network all] [--faults "rand-links=2"]
 //! macrochip trace-info run.mtrc | --dir traces/ [--write-index]
 //! macrochip trace-transform --trace run.mtrc --out half.mtrc --truncate-ns 500
+//! macrochip bench     [--quick] [--out BENCH_1.json] [--against baseline.json]
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free.
 
 use coherence::EngineConfig;
+use desim::prof;
 use desim::trace::{chrome_trace_json, RingSink};
 use desim::{Span, Time, TraceEvent, Tracer};
 use macrochip::campaign::{self, point_key, CampaignPoint, PointExecOptions, PointResult};
@@ -62,6 +64,9 @@ USAGE:
                         (--time-scale <N/D> | --truncate <N>
                          | --truncate-ns <NS> | --keep-kind <KIND>
                          | --remap <rot:K|i,j,...> | --merge <A,B,...>)
+    macrochip bench     [--quick] [--trials <N>] [--out <FILE>]
+                        [--against <BASELINE.json>] [--factor <F>]
+                        [--with-tracer] [--profile] [--progress] [-q]
 
 NETWORKS:   p2p, limited, token, circuit, two-phase, two-phase-alt, all
 PATTERNS:   uniform, transpose, butterfly, neighbor, all-to-all, hotspot
@@ -88,6 +93,30 @@ OUTPUT (sweep, sustained, faults, run-all):
                        fail the command with a nonzero exit.
     -q, --quiet        suppress the result table on stdout
     -v, --verbose      report progress on stderr as each point completes
+    --progress         stream a live status line to stderr every 500 ms
+                       (points done, furthest sim time, events, events/sec,
+                       ETA) read from the always-on host counters; never
+                       perturbs results
+    --host-metrics     append a host.* metrics family (wall-clock,
+                       events/sec, peak RSS, profiler span table) to the
+                       --metrics output. Host figures are wall-clock
+                       derived and nondeterministic, so they are off by
+                       default to keep exported snapshots byte-identical
+                       across reruns
+    --profile          enable the span profiler (event dispatch, network
+                       step, injection, source, trace fan-out, audit) and
+                       print its self/total table to stderr on completion.
+                       Simulation results are byte-identical either way
+
+HOST PERF BASELINE (bench):
+    bench runs a fixed-seed workload on all five Figure 6 networks,
+    repeats it (median of 5 trials; --quick = 3 shorter trials), checks
+    that every trial agrees on the deterministic fields, and writes a
+    schema-versioned BENCH_<n>.json (events/sec, wall-clock, commit).
+    --against <FILE> compares versus a checked-in baseline and exits
+    nonzero when any network's events/sec regressed by more than
+    --factor (default 2.0). --with-tracer attaches a ring flight
+    recorder during trials to measure tracer-on overhead.
 
 PARALLELISM (sweep, faults, run-all — campaign engine):
     --jobs <N>         shard independent points across N worker threads
@@ -121,17 +150,55 @@ struct OutputOpts {
     audit: bool,
     quiet: bool,
     verbose: bool,
+    /// Stream live status lines from the host counters (`--progress`).
+    progress: bool,
+    /// Export the nondeterministic host.* metrics family
+    /// (`--host-metrics`); off by default so metrics files stay
+    /// byte-identical across reruns.
+    host_metrics: bool,
+    /// Span profiler requested (`--profile`); parsing the flag also
+    /// enables the profiler so every span from here on is recorded.
+    profile: bool,
 }
 
 impl OutputOpts {
     fn parse(args: &[String]) -> OutputOpts {
+        let profile = args.iter().any(|a| a == "--profile");
+        if profile {
+            prof::set_enabled(true);
+        }
         OutputOpts {
             trace: flag(args, "--trace"),
             metrics: flag(args, "--metrics"),
             audit: args.iter().any(|a| a == "--audit"),
             quiet: args.iter().any(|a| a == "-q" || a == "--quiet"),
             verbose: args.iter().any(|a| a == "-v" || a == "--verbose"),
+            progress: args.iter().any(|a| a == "--progress"),
+            host_metrics: args.iter().any(|a| a == "--host-metrics"),
+            profile,
         }
+    }
+
+    /// Prints the profiler's self/total span table to stderr when
+    /// `--profile` was given. Call once, after the work is done.
+    fn finish_profile(&self) {
+        if self.profile {
+            eprint!("{}", prof::report().table());
+        }
+    }
+}
+
+/// The host.* metrics record appended to `--metrics` output when
+/// `--host-metrics` is given: wall-clock, throughput, peak RSS and the
+/// profiler span table, flattened under a pseudo-network named `host`.
+fn host_record(wall_ms: f64) -> RunRecord {
+    let mut reg = MetricsRegistry::new();
+    reg.record_host_stats(wall_ms, &prof::report());
+    RunRecord {
+        network: "host".into(),
+        offered: 0.0,
+        saturated: false,
+        snapshot: reg.snapshot(),
     }
 }
 
@@ -253,6 +320,7 @@ fn run_cell(
     if let Some(cache) = cache {
         if let Some(hit) = cache.load(key) {
             if hit.tag() == point.tag() {
+                prof::add(prof::Counter::PointsDone, 1);
                 return Cell {
                     result: hit,
                     cached: true,
@@ -264,6 +332,7 @@ fn run_cell(
         }
     }
     let run = campaign::run_point_full(point, config, exec);
+    prof::add(prof::Counter::PointsDone, 1);
     if let Some(cache) = cache {
         // A failed store (read-only tree, disk full) only costs future
         // recomputation; the run itself still succeeds.
@@ -428,6 +497,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let jobs = JobOpts::parse(args)?;
     let options = SweepOptions::default();
     let started = Instant::now();
+    let events_base = prof::counter(prof::Counter::SimEvents);
     // Every (network, load) cell is one independent campaign point, listed
     // in table order; the campaign engine hands the results back in that
     // same order no matter how many workers computed them.
@@ -449,9 +519,12 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         trace_capacity: TRACE_EVENTS_PER_POINT,
     };
     let cache = open_cache(jobs.no_cache, exec.trace || exec.metrics || exec.audit)?;
-    let cells = run_indexed(&points, jobs.jobs, |_, point| {
-        run_cell(point, &config, cache.as_ref(), exec)
-    });
+    let cells = {
+        let _progress = ProgressReporter::start("sweep", points.len(), out.progress);
+        run_indexed(&points, jobs.jobs, |_, point| {
+            run_cell(point, &config, cache.as_ref(), exec)
+        })
+    };
 
     let mut table = Table::new(&[
         "Network",
@@ -539,12 +612,16 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             manifest.cache_dir = c.dir().display().to_string();
         }
         manifest.outcome = format!("{saturated_points}/{} points saturated", points.len());
-        manifest.wall_clock_ms = started.elapsed().as_secs_f64() * 1e3;
+        manifest.set_host_stats(started.elapsed().as_secs_f64() * 1e3, events_base);
+        if out.host_metrics {
+            runs.push(host_record(manifest.wall_clock_ms));
+        }
         write_metrics(path, &manifest, &runs)?;
     }
     if !out.quiet {
         println!("{}", table.to_text());
     }
+    out.finish_profile();
     audit_log.finish(out.quiet)
 }
 
@@ -557,6 +634,7 @@ fn cmd_sustained(args: &[String]) -> Result<(), String> {
     let pattern = parse_pattern(&pattern_arg).ok_or("unknown pattern")?;
     let options = SweepOptions::default();
     let started = Instant::now();
+    let events_base = prof::counter(prof::Counter::SimEvents);
     let mut table = Table::new(&[
         "Network",
         "Sustained (% peak)",
@@ -628,12 +706,16 @@ fn cmd_sustained(args: &[String]) -> Result<(), String> {
             deadline: Time::ZERO + options.sim + options.drain,
             max_stalled: options.max_stalled,
         });
-        manifest.wall_clock_ms = started.elapsed().as_secs_f64() * 1e3;
+        manifest.set_host_stats(started.elapsed().as_secs_f64() * 1e3, events_base);
+        if out.host_metrics {
+            runs.push(host_record(manifest.wall_clock_ms));
+        }
         write_metrics(path, &manifest, &runs)?;
     }
     if !out.quiet {
         println!("{}", table.to_text());
     }
+    out.finish_profile();
     Ok(())
 }
 
@@ -740,6 +822,7 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
     let jobs = JobOpts::parse(args)?;
     const MAX_STALLED: usize = 5_000;
     let started = Instant::now();
+    let events_base = prof::counter(prof::Counter::SimEvents);
     // One fault-campaign point per network; each worker builds its own
     // resilient network, fault RNG and traffic source, so points shard
     // cleanly and deterministically.
@@ -763,9 +846,12 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
         trace_capacity: TRACE_EVENTS_PER_POINT,
     };
     let cache = open_cache(jobs.no_cache, exec.trace || exec.metrics || exec.audit)?;
-    let cells = run_indexed(&points, jobs.jobs, |_, point| {
-        run_cell(point, &config, cache.as_ref(), exec)
-    });
+    let cells = {
+        let _progress = ProgressReporter::start("faults", points.len(), out.progress);
+        run_indexed(&points, jobs.jobs, |_, point| {
+            run_cell(point, &config, cache.as_ref(), exec)
+        })
+    };
 
     let mut table = Table::new(&[
         "Network",
@@ -834,12 +920,16 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
         if let Some(c) = &cache {
             manifest.cache_dir = c.dir().display().to_string();
         }
-        manifest.wall_clock_ms = started.elapsed().as_secs_f64() * 1e3;
+        manifest.set_host_stats(started.elapsed().as_secs_f64() * 1e3, events_base);
+        if out.host_metrics {
+            runs.push(host_record(manifest.wall_clock_ms));
+        }
         write_metrics(path, &manifest, &runs)?;
     }
     if !out.quiet {
         println!("Fault plan: {}\n\n{}", plan.to_spec(), table.to_text());
     }
+    out.finish_profile();
     audit_log.finish(out.quiet)
 }
 
@@ -872,6 +962,7 @@ fn cmd_run_all(args: &[String]) -> Result<(), String> {
     let plan = faults::FaultPlan::parse(DEFAULT_FAULT_SPEC).map_err(|e| e.to_string())?;
     let loads = macrochip::sweep::figure6_loads(pattern);
     let started = Instant::now();
+    let events_base = prof::counter(prof::Counter::SimEvents);
 
     let mut points: Vec<CampaignPoint> = Vec::new();
     for &kind in NetworkKind::ALL.iter() {
@@ -905,9 +996,12 @@ fn cmd_run_all(args: &[String]) -> Result<(), String> {
         trace_capacity: TRACE_EVENTS_PER_POINT,
     };
     let cache = open_cache(jobs.no_cache, exec.trace || exec.metrics || exec.audit)?;
-    let cells = run_indexed(&points, jobs.jobs, |_, point| {
-        run_cell(point, &config, cache.as_ref(), exec)
-    });
+    let cells = {
+        let _progress = ProgressReporter::start("run-all", points.len(), out.progress);
+        run_indexed(&points, jobs.jobs, |_, point| {
+            run_cell(point, &config, cache.as_ref(), exec)
+        })
+    };
 
     let mut sweep_table = Table::new(&[
         "Network",
@@ -1008,7 +1102,10 @@ fn cmd_run_all(args: &[String]) -> Result<(), String> {
             manifest.cache_dir = c.dir().display().to_string();
         }
         manifest.outcome = format!("{saturated_points}/{sweep_count} sweep points saturated");
-        manifest.wall_clock_ms = started.elapsed().as_secs_f64() * 1e3;
+        manifest.set_host_stats(started.elapsed().as_secs_f64() * 1e3, events_base);
+        if out.host_metrics {
+            runs.push(host_record(manifest.wall_clock_ms));
+        }
         write_metrics(path, &manifest, &runs)?;
     }
     if !out.quiet {
@@ -1032,6 +1129,7 @@ fn cmd_run_all(args: &[String]) -> Result<(), String> {
             started.elapsed().as_secs_f64()
         );
     }
+    out.finish_profile();
     audit_log.finish(out.quiet)
 }
 
@@ -1139,6 +1237,7 @@ fn cmd_capture(args: &[String]) -> Result<(), String> {
     let stats_path = flag(args, "--stats");
     let quiet = args.iter().any(|a| a == "-q" || a == "--quiet");
     let started = Instant::now();
+    let events_base = prof::counter(prof::Counter::SimEvents);
     let grid_side = config.grid.side() as u16;
 
     let (header, live_stats, pattern_label, limits, outcome);
@@ -1238,7 +1337,7 @@ fn cmd_capture(args: &[String]) -> Result<(), String> {
         manifest.set_limits(limits);
     }
     manifest.outcome = outcome.clone();
-    manifest.wall_clock_ms = started.elapsed().as_secs_f64() * 1e3;
+    manifest.set_host_stats(started.elapsed().as_secs_f64() * 1e3, events_base);
     let sidecar = replay::sidecar_path(trace_path);
     std::fs::write(&sidecar, manifest.to_json() + "\n")
         .map_err(|e| format!("writing {}: {e}", sidecar.display()))?;
@@ -1303,7 +1402,10 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     let audit = args.iter().any(|a| a == "--audit");
     let quiet = args.iter().any(|a| a == "-q" || a == "--quiet");
     let verbose = args.iter().any(|a| a == "-v" || a == "--verbose");
+    let progress = args.iter().any(|a| a == "--progress");
+    let host_metrics = args.iter().any(|a| a == "--host-metrics");
     let started = Instant::now();
+    let events_base = prof::counter(prof::Counter::SimEvents);
 
     // One replay point per network — identical traffic, sharded like any
     // other campaign. The cache key covers the trace's content hash, not
@@ -1327,9 +1429,12 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         trace_capacity: TRACE_EVENTS_PER_POINT,
     };
     let cache = open_cache(jobs.no_cache, exec.trace || exec.metrics || exec.audit)?;
-    let cells = run_indexed(&points, jobs.jobs, |_, point| {
-        run_cell(point, &config, cache.as_ref(), exec)
-    });
+    let cells = {
+        let _progress = ProgressReporter::start("replay", points.len(), progress);
+        run_indexed(&points, jobs.jobs, |_, point| {
+            run_cell(point, &config, cache.as_ref(), exec)
+        })
+    };
 
     let mut table = Table::new(&[
         "Network",
@@ -1417,7 +1522,10 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
             header.packets,
             points.len()
         );
-        manifest.wall_clock_ms = started.elapsed().as_secs_f64() * 1e3;
+        manifest.set_host_stats(started.elapsed().as_secs_f64() * 1e3, events_base);
+        if host_metrics {
+            runs.push(host_record(manifest.wall_clock_ms));
+        }
         write_metrics(path, &manifest, &runs)?;
     }
     if let Some(path) = &stats_path {
@@ -1592,6 +1700,77 @@ fn cmd_trace_transform(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `macrochip bench` — measure host throughput on all five networks and
+/// write the standing `BENCH_*.json` baseline. See `bench` in USAGE.
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let config = MacrochipConfig::scaled();
+    let quiet = args.iter().any(|a| a == "-q" || a == "--quiet");
+    let profile = args.iter().any(|a| a == "--profile");
+    if profile {
+        prof::set_enabled(true);
+    }
+    let mut options = if args.iter().any(|a| a == "--quick") {
+        BenchOptions::quick()
+    } else {
+        BenchOptions::full()
+    };
+    if let Some(t) = flag(args, "--trials") {
+        options.trials = t.parse().map_err(|_| format!("bad --trials {t}"))?;
+        if options.trials == 0 {
+            return Err("--trials must be at least 1".into());
+        }
+    }
+    options.trace = args.iter().any(|a| a == "--with-tracer");
+    options.progress = args
+        .iter()
+        .any(|a| a == "--progress" || a == "-v" || a == "--verbose");
+    let out_path = flag(args, "--out").unwrap_or_else(|| "BENCH_1.json".into());
+    let factor: f64 = flag(args, "--factor")
+        .map(|s| s.parse().map_err(|_| format!("bad --factor {s}")))
+        .transpose()?
+        .unwrap_or(2.0);
+
+    let report = macrochip::bench::run_bench(&config, &options);
+    std::fs::write(&out_path, report.to_json() + "\n")
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    if !quiet {
+        print!("{}", report.table());
+        println!(
+            "\nwrote {out_path} (commit {}, {} trials)",
+            report.commit, report.trials
+        );
+    }
+    if profile {
+        eprint!("{}", prof::report().table());
+    }
+
+    if let Some(base_path) = flag(args, "--against") {
+        let text =
+            std::fs::read_to_string(&base_path).map_err(|e| format!("reading {base_path}: {e}"))?;
+        let baseline =
+            BenchReport::from_json(&text).map_err(|e| format!("parsing {base_path}: {e}"))?;
+        let diff = macrochip::bench::compare(&report, &baseline, factor);
+        for w in &diff.warnings {
+            eprintln!("[bench] warning: {w}");
+        }
+        if !quiet {
+            for line in &diff.lines {
+                println!("{line}");
+            }
+        }
+        if !diff.passed() {
+            return Err(format!(
+                "bench regression vs {base_path}:\n  {}",
+                diff.regressions.join("\n  ")
+            ));
+        }
+        if !quiet {
+            println!("bench: within {factor}x of {base_path} on all networks");
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -1606,6 +1785,7 @@ fn main() -> ExitCode {
         Some("replay") => cmd_replay(&args),
         Some("trace-info") => cmd_trace_info(&args),
         Some("trace-transform") => cmd_trace_transform(&args),
+        Some("bench") => cmd_bench(&args),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())

@@ -765,6 +765,9 @@ pub fn run_point_full(
     } else {
         Vec::new()
     };
+    // Audit finalization spans happen after the drive's own flush; roll
+    // them up before this worker thread moves to its next point.
+    desim::prof::flush();
     PointRun {
         result,
         trace,
@@ -820,9 +823,25 @@ impl ResultCache {
     }
 
     /// Loads the entry for `key`, if present and well-formed.
+    ///
+    /// Lookup wall-clock and the hit/miss verdict feed the `host.*`
+    /// cache counters (a "hit" here means the entry decoded; callers may
+    /// still reject it on a tag mismatch).
     pub fn load(&self, key: u64) -> Option<PointResult> {
-        let bytes = std::fs::read_to_string(self.path_for(key)).ok()?;
-        PointResult::from_cache_bytes(&bytes)
+        use desim::prof::{self, Counter};
+        let start = std::time::Instant::now();
+        let result = std::fs::read_to_string(self.path_for(key))
+            .ok()
+            .and_then(|bytes| PointResult::from_cache_bytes(&bytes));
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if result.is_some() {
+            prof::add(Counter::CacheHits, 1);
+            prof::add(Counter::CacheHitNs, ns);
+        } else {
+            prof::add(Counter::CacheMisses, 1);
+            prof::add(Counter::CacheMissNs, ns);
+        }
+        result
     }
 
     /// Stores `result` under `key` (atomic write-then-rename).
@@ -880,6 +899,7 @@ impl Campaign {
             if let Some(cache) = &self.cache {
                 if let Some(hit) = cache.load(key) {
                     if hit.tag() == point.tag() {
+                        desim::prof::add(desim::prof::Counter::PointsDone, 1);
                         return CampaignOutcome {
                             result: hit,
                             cached: true,
@@ -896,6 +916,7 @@ impl Campaign {
                     let _ = cache.store(key, &result);
                 }
             }
+            desim::prof::add(desim::prof::Counter::PointsDone, 1);
             CampaignOutcome {
                 result,
                 cached: false,

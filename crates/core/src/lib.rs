@@ -27,7 +27,13 @@
 //!   version) emitted alongside exported metrics;
 //! * [`replay_run`] — trace-driven experiments: capture any run into a
 //!   `.mtrc` trace and play it back through any network, bare or under a
-//!   fault plan (the §5 trace-driven comparison methodology).
+//!   fault plan (the §5 trace-driven comparison methodology);
+//! * [`bench`] — the standing host-performance baseline behind
+//!   `macrochip bench`: fixed-seed workloads on all five networks,
+//!   median-of-trials wall-clock and events/sec, schema-versioned
+//!   `BENCH_*.json` with regression comparison;
+//! * [`progress`] — live `--progress` status lines streamed from the
+//!   always-on [`desim::prof`] host counters.
 //!
 //! ## Quickstart
 //!
@@ -48,10 +54,12 @@
 //! ```
 
 pub mod audit_run;
+pub mod bench;
 pub mod campaign;
 pub mod energy;
 pub mod experiment;
 pub mod manifest;
+pub mod progress;
 pub mod replay_run;
 pub mod report;
 pub mod runner;
@@ -62,6 +70,7 @@ pub mod prelude {
     pub use crate::audit_run::{
         differential_replay, run_load_point_audited, run_replay_audited, DifferentialReport,
     };
+    pub use crate::bench::{run_bench, BenchOptions, BenchReport};
     pub use crate::campaign::{
         run_indexed, Campaign, CampaignOutcome, CampaignPoint, FaultSummary, PointResult,
         ResultCache,
@@ -69,6 +78,7 @@ pub mod prelude {
     pub use crate::energy::{EnergyBreakdown, NetworkEnergyModel};
     pub use crate::experiment::{run_coherent, CoherentRun, WorkloadSpec};
     pub use crate::manifest::RunManifest;
+    pub use crate::progress::ProgressReporter;
     pub use crate::replay_run::{
         drive_replay, run_replay, run_replay_faulted, ReplayOptions, ReplaySummary,
     };

@@ -44,6 +44,13 @@ pub struct RunManifest {
     pub cache_dir: String,
     /// Host wall-clock duration of the run, in milliseconds.
     pub wall_clock_ms: f64,
+    /// Simulation events the run processed (deterministic; from the
+    /// always-on [`desim::prof`] host counters).
+    pub host_events: u64,
+    /// Host throughput: `host_events / wall_clock`. Nondeterministic.
+    pub host_events_per_sec: f64,
+    /// Peak resident set size in bytes (`VmHWM`), 0 where unavailable.
+    pub host_peak_rss_bytes: u64,
     /// Version of the `macrochip` crate that produced the results.
     pub version: &'static str,
     /// Simulated sites (the 8×8 grid).
@@ -73,6 +80,9 @@ impl RunManifest {
                 .display()
                 .to_string(),
             wall_clock_ms: 0.0,
+            host_events: 0,
+            host_events_per_sec: 0.0,
+            host_peak_rss_bytes: 0,
             version: env!("CARGO_PKG_VERSION"),
             sites: config.grid.sites(),
             cores_per_site: config.cores_per_site,
@@ -84,6 +94,22 @@ impl RunManifest {
     pub fn set_limits(&mut self, limits: DriveLimits) {
         self.deadline_ns = limits.deadline.as_ns_f64();
         self.max_stalled = limits.max_stalled;
+    }
+
+    /// Records host observability figures: the wall clock, the simulation
+    /// events processed since `events_base` (a [`desim::prof`] counter
+    /// reading taken at command start), the derived events/sec, and the
+    /// process peak RSS. Call once, right after the run finishes.
+    pub fn set_host_stats(&mut self, wall_ms: f64, events_base: u64) {
+        self.wall_clock_ms = wall_ms;
+        self.host_events =
+            desim::prof::counter(desim::prof::Counter::SimEvents).saturating_sub(events_base);
+        self.host_events_per_sec = if wall_ms > 0.0 {
+            self.host_events as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        };
+        self.host_peak_rss_bytes = desim::prof::peak_rss_bytes();
     }
 
     /// Serializes the manifest as a JSON object.
@@ -112,6 +138,17 @@ impl RunManifest {
             out,
             "\n  \"wall_clock_ms\": {},",
             json_f64(self.wall_clock_ms)
+        );
+        let _ = write!(out, "\n  \"host_events\": {},", self.host_events);
+        let _ = write!(
+            out,
+            "\n  \"host_events_per_sec\": {},",
+            json_f64(self.host_events_per_sec)
+        );
+        let _ = write!(
+            out,
+            "\n  \"host_peak_rss_bytes\": {},",
+            self.host_peak_rss_bytes
         );
         let _ = write!(out, "\n  \"version\": \"{}\",", json_escape(self.version));
         let _ = write!(out, "\n  \"sites\": {},", self.sites);
@@ -143,6 +180,9 @@ mod tests {
         let json = m.to_json();
         validate_json(&json).expect("manifest JSON must be well-formed");
         for key in [
+            "\"host_events\": 0",
+            "\"host_events_per_sec\": 0",
+            "\"host_peak_rss_bytes\": ",
             "\"command\": \"sweep\"",
             "\"network\": \"two-phase\"",
             "\"fault_plan\": \"none\"",

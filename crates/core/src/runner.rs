@@ -1,5 +1,6 @@
 //! The simulation driver: couples a [`PacketSource`] to a [`Network`].
 
+use desim::prof::{self, Counter, Site};
 use desim::{Time, TraceEvent, Tracer};
 use netcore::{Network, ObservedSource, Packet, PacketSource};
 use std::collections::VecDeque;
@@ -114,11 +115,45 @@ pub fn drive_traced(
     limits: DriveLimits,
     tracer: Tracer,
 ) -> RunOutcome {
+    // Host observability brackets: deltas (the network may be driven more
+    // than once, e.g. by the sustained-bandwidth bisection) roll into the
+    // process-wide prof counters when the run ends. None of this touches
+    // simulation state — profiling on or off, results are byte-identical.
+    let events_before = net.events_processed();
+    let packets_before = net.stats().delivered_packets();
+    let outcome = drive_loop(net, source, limits, tracer);
+    prof::add(
+        Counter::SimEvents,
+        net.events_processed().saturating_sub(events_before),
+    );
+    prof::add(
+        Counter::Packets,
+        net.stats()
+            .delivered_packets()
+            .saturating_sub(packets_before),
+    );
+    prof::note_sim_time(outcome.end.as_ps());
+    prof::flush();
+    outcome
+}
+
+fn drive_loop(
+    net: &mut dyn Network,
+    source: &mut dyn PacketSource,
+    limits: DriveLimits,
+    tracer: Tracer,
+) -> RunOutcome {
     let mut stalled: VecDeque<Packet> = VecDeque::new();
     let mut emissions: Vec<Packet> = Vec::new();
     let mut now = Time::ZERO;
+    let mut iterations: u32 = 0;
 
     loop {
+        let _dispatch = prof::span(Site::Dispatch);
+        iterations = iterations.wrapping_add(1);
+        if iterations.is_multiple_of(4096) {
+            prof::note_sim_time(now.as_ps());
+        }
         let t_src = source.next_emission();
         let t_net = net.next_event();
         let t = match (t_src, t_net) {
@@ -146,30 +181,47 @@ pub fn drive_traced(
         }
         now = t;
 
-        net.advance(now);
-        for p in net.drain_delivered() {
-            source.on_delivered(&p, now);
+        {
+            let _step = prof::span(Site::NetworkStep);
+            net.advance(now);
+        }
+        {
+            let _drain = prof::span(Site::Drain);
+            for p in net.drain_delivered() {
+                source.on_delivered(&p, now);
+            }
         }
 
+        let _inject = prof::span(Site::Inject);
         // Re-offer stalled packets, FIFO, a bounded batch per event so a
         // saturated run stays O(events) instead of O(events x stalls).
         let retries = stalled.len().min(64);
         for _ in 0..retries {
             let p = stalled.pop_front().expect("len checked");
-            let (id, src) = (p.id.0, p.src.index());
+            // Fast path: the packet is moved into the network, so its
+            // trace fields are copied out beforehand — only when the
+            // flight recorder is attached.
+            let retry_fields = tracer.is_enabled().then(|| (p.id.0, p.src.index()));
             match net.inject(p, now) {
                 Ok(()) => {
-                    tracer.emit(now, || TraceEvent::Retry {
-                        packet: id,
-                        site: src,
-                    });
+                    if let Some((id, src)) = retry_fields {
+                        tracer.emit(now, || TraceEvent::Retry {
+                            packet: id,
+                            site: src,
+                        });
+                    }
                 }
                 Err(back) => stalled.push_back(back),
             }
         }
+        drop(_inject);
 
         emissions.clear();
-        source.emit_due(now, &mut emissions);
+        {
+            let _emit = prof::span(Site::SourceEmit);
+            source.emit_due(now, &mut emissions);
+        }
+        let _inject = prof::span(Site::Inject);
         for p in emissions.drain(..) {
             if let Err(back) = net.inject(p, now) {
                 tracer.emit(now, || TraceEvent::Stall {

@@ -14,7 +14,10 @@
 //!   time-weighted averages used by every higher-level crate;
 //! * [`trace`] — the flight recorder: structured [`TraceEvent`]s, pluggable
 //!   [`TraceSink`]s and a Chrome-trace/Perfetto exporter, all behind a
-//!   [`Tracer`] handle that costs one branch when disabled.
+//!   [`Tracer`] handle that costs one branch when disabled;
+//! * [`prof`] — host-side observability: RAII wall-clock spans over the
+//!   kernel's hot sites plus monotone throughput counters, a no-op behind
+//!   one atomic load when disabled.
 //!
 //! # Example
 //!
@@ -28,6 +31,7 @@
 //! assert_eq!((t, ev), (Time::from_ns(1), "first"));
 //! ```
 
+pub mod prof;
 mod queue;
 mod rng;
 pub mod stats;

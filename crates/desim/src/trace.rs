@@ -307,12 +307,20 @@ pub struct RingSink {
 impl RingSink {
     /// Creates a ring holding at most `capacity` events.
     ///
+    /// The **logical** capacity is always honored exactly — a ring built
+    /// with `capacity = 1 << 20` keeps 1 Mi events before dropping. Only
+    /// the *eager pre-allocation* is clamped to 64 Ki entries, so a
+    /// pathological capacity request cannot reserve gigabytes up front;
+    /// beyond the clamp the deque grows on demand as events arrive. See
+    /// `huge_capacity_is_honored_beyond_preallocation_clamp`.
+    ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> RingSink {
         assert!(capacity > 0, "RingSink capacity must be positive");
         RingSink {
+            // Clamp bounds the up-front reservation only, never the ring.
             events: VecDeque::with_capacity(capacity.min(1 << 16)),
             capacity,
             dropped: 0,
@@ -520,6 +528,7 @@ impl Tracer {
     #[inline]
     pub fn emit(&self, at: Time, event: impl FnOnce() -> TraceEvent) {
         if let Some(sink) = &self.sink {
+            let _span = crate::prof::span(crate::prof::Site::TraceFanout);
             sink.borrow_mut().record(at, event());
         }
     }
@@ -871,6 +880,22 @@ mod tests {
             })
             .collect();
         assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn huge_capacity_is_honored_beyond_preallocation_clamp() {
+        // The constructor clamps only the eager reservation (64 Ki); the
+        // ring itself must keep every event up to the requested capacity.
+        let requested = (1 << 16) + 4_096;
+        let mut ring = RingSink::new(requested);
+        for i in 0..requested as u64 {
+            ring.record(Time::from_ns(i), ev(i));
+        }
+        assert_eq!(ring.len(), requested, "capacity clamped logically");
+        assert_eq!(ring.dropped(), 0, "no drops below requested capacity");
+        ring.record(Time::from_ns(requested as u64), ev(requested as u64));
+        assert_eq!(ring.len(), requested);
+        assert_eq!(ring.dropped(), 1, "drop starts exactly at capacity");
     }
 
     #[test]

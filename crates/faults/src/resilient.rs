@@ -419,6 +419,10 @@ impl Network for ResilientNetwork {
         self.inner.stats()
     }
 
+    fn events_processed(&self) -> u64 {
+        self.inner.events_processed()
+    }
+
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer.clone();
         self.inner.set_tracer(tracer);

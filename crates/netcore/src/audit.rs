@@ -575,6 +575,7 @@ impl Auditor {
     /// zero for bare networks. `end` is the simulation end time, stamped
     /// on finalize-stage violations.
     pub fn finalize(&mut self, stats: &NetStats, fault_drops: u64, end: Time) -> AuditReport {
+        let _span = desim::prof::span(desim::prof::Site::Audit);
         if self.deliver_events != stats.delivered_packets() {
             self.flag(
                 "accounting.delivered-mismatch",
@@ -745,6 +746,7 @@ impl Auditor {
 
 impl TraceSink for Auditor {
     fn record(&mut self, at: Time, event: TraceEvent) {
+        let _span = desim::prof::span(desim::prof::Site::Audit);
         self.events += 1;
         match event {
             TraceEvent::Inject {

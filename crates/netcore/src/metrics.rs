@@ -113,6 +113,59 @@ impl MetricsRegistry {
         }
     }
 
+    /// Flattens a host-side profiler report into the registry under the
+    /// `host.*` family: throughput gauges (events/sec, packets/sec,
+    /// wall-clock, peak RSS), cache hit/miss counters with mean
+    /// latencies, and per-span self/total wall-clock.
+    ///
+    /// `host.*` values are wall-clock-derived and therefore **not**
+    /// deterministic across reruns — callers that byte-compare snapshots
+    /// must either skip this method or strip the family first (the
+    /// `macrochip` CLI records it only behind `--host-metrics`).
+    pub fn record_host_stats(&mut self, wall_ms: f64, report: &desim::prof::ProfReport) {
+        use desim::prof::Counter;
+        let events = report.counter(Counter::SimEvents);
+        let packets = report.counter(Counter::Packets);
+        let wall_s = wall_ms / 1e3;
+        self.add_counter("host.events", events);
+        self.add_counter("host.packets", packets);
+        self.add_counter("host.points_done", report.counter(Counter::PointsDone));
+        self.set_gauge("host.wall_clock_ms", wall_ms);
+        if wall_s > 0.0 {
+            self.set_gauge("host.events_per_sec", events as f64 / wall_s);
+            self.set_gauge("host.packets_per_sec", packets as f64 / wall_s);
+        }
+        self.set_gauge("host.peak_rss_bytes", desim::prof::peak_rss_bytes() as f64);
+        let hits = report.counter(Counter::CacheHits);
+        let misses = report.counter(Counter::CacheMisses);
+        self.add_counter("host.cache.hits", hits);
+        self.add_counter("host.cache.misses", misses);
+        if hits > 0 {
+            self.set_gauge(
+                "host.cache.hit_ms_mean",
+                report.counter(Counter::CacheHitNs) as f64 / hits as f64 / 1e6,
+            );
+        }
+        if misses > 0 {
+            self.set_gauge(
+                "host.cache.miss_ms_mean",
+                report.counter(Counter::CacheMissNs) as f64 / misses as f64 / 1e6,
+            );
+        }
+        for span in report.spans.iter().filter(|s| s.count > 0) {
+            let name = span.site.name();
+            self.add_counter(&format!("host.span.{name}.count"), span.count);
+            self.set_gauge(
+                &format!("host.span.{name}.self_ms"),
+                span.self_ns as f64 / 1e6,
+            );
+            self.set_gauge(
+                &format!("host.span.{name}.total_ms"),
+                span.total_ns as f64 / 1e6,
+            );
+        }
+    }
+
     /// A deterministic, ordered snapshot of everything recorded.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -385,6 +438,40 @@ mod tests {
             .expect("merged histogram present");
         assert_eq!(hist.count, 2);
         assert_eq!(hist.mean_ns, 200.0);
+    }
+
+    #[test]
+    fn host_stats_flatten_under_host_names() {
+        use desim::prof::{Counter, ProfReport, Site, SpanStats};
+        let report = ProfReport {
+            spans: vec![SpanStats {
+                site: Site::Dispatch,
+                count: 4,
+                total_ns: 8_000_000,
+                self_ns: 2_000_000,
+            }],
+            counters: vec![
+                (Counter::SimEvents, 1_000),
+                (Counter::Packets, 250),
+                (Counter::CacheHits, 2),
+                (Counter::CacheHitNs, 4_000_000),
+            ],
+        };
+        let mut reg = MetricsRegistry::new();
+        reg.record_host_stats(500.0, &report);
+        let json = reg.snapshot().to_json();
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"host.events\": 1000"), "{json}");
+        assert!(json.contains("\"host.events_per_sec\": 2000"), "{json}");
+        assert!(json.contains("\"host.packets_per_sec\": 500"), "{json}");
+        assert!(json.contains("\"host.cache.hits\": 2"), "{json}");
+        assert!(json.contains("\"host.cache.hit_ms_mean\": 2"), "{json}");
+        assert!(json.contains("\"host.span.dispatch.count\": 4"), "{json}");
+        assert!(json.contains("\"host.span.dispatch.self_ms\": 2"), "{json}");
+        assert!(
+            !json.contains("host.cache.miss_ms_mean"),
+            "no misses recorded: {json}"
+        );
     }
 
     #[test]

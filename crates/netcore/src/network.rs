@@ -113,6 +113,16 @@ pub trait Network {
     /// Aggregate statistics collected so far.
     fn stats(&self) -> &NetStats;
 
+    /// Internal simulation events processed so far (event-queue pops).
+    ///
+    /// This is the deterministic work figure host-side throughput is
+    /// measured against: `events_processed / wall_clock` is the
+    /// simulator's events-per-second. The default returns 0 for
+    /// architectures (or wrappers) that do not expose their queue.
+    fn events_processed(&self) -> u64 {
+        0
+    }
+
     /// Attaches a flight-recorder handle; subsequent activity emits
     /// [`desim::TraceEvent`]s into it. The default implementation ignores
     /// the tracer, so architectures opt in individually.

@@ -522,6 +522,10 @@ impl Network for CircuitSwitchedNetwork {
         &self.stats
     }
 
+    fn events_processed(&self) -> u64 {
+        self.events.popped()
+    }
+
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
     }

@@ -333,12 +333,16 @@ impl Network for LimitedP2pNetwork {
             return Ok(());
         };
         let idx = self.channel_index(packet.src, first_hop);
-        let (id, src, dst, bytes) = (
-            packet.id.0,
-            packet.src.index(),
-            packet.dst.index(),
-            packet.bytes,
-        );
+        // Fast path: skip extracting trace fields (the packet is moved
+        // into the queue below) unless the flight recorder is attached.
+        let trace_fields = self.tracer.is_enabled().then(|| {
+            (
+                packet.id.0,
+                packet.src.index(),
+                packet.dst.index(),
+                packet.bytes,
+            )
+        });
         let result = self.channels[idx]
             .as_mut()
             .expect("first hop is always a peer of the source")
@@ -346,12 +350,14 @@ impl Network for LimitedP2pNetwork {
         match result {
             Ok(()) => {
                 self.stats.on_inject(now);
-                self.tracer.emit(now, || TraceEvent::Inject {
-                    packet: id,
-                    src,
-                    dst,
-                    bytes,
-                });
+                if let Some((id, src, dst, bytes)) = trace_fields {
+                    self.tracer.emit(now, || TraceEvent::Inject {
+                        packet: id,
+                        src,
+                        dst,
+                        bytes,
+                    });
+                }
                 self.pump(idx, now);
                 Ok(())
             }
@@ -382,6 +388,10 @@ impl Network for LimitedP2pNetwork {
 
     fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    fn events_processed(&self) -> u64 {
+        self.events.popped()
     }
 
     fn set_tracer(&mut self, tracer: Tracer) {

@@ -133,21 +133,27 @@ impl Network for P2pNetwork {
             return Ok(());
         }
         let channel = self.channel_index(&packet);
-        let (id, src, dst, bytes) = (
-            packet.id.0,
-            packet.src.index(),
-            packet.dst.index(),
-            packet.bytes,
-        );
+        // Fast path: skip extracting trace fields (the packet is moved
+        // into the queue below) unless the flight recorder is attached.
+        let trace_fields = self.tracer.is_enabled().then(|| {
+            (
+                packet.id.0,
+                packet.src.index(),
+                packet.dst.index(),
+                packet.bytes,
+            )
+        });
         match self.channels[channel].try_enqueue(packet) {
             Ok(()) => {
                 self.stats.on_inject(now);
-                self.tracer.emit(now, || TraceEvent::Inject {
-                    packet: id,
-                    src,
-                    dst,
-                    bytes,
-                });
+                if let Some((id, src, dst, bytes)) = trace_fields {
+                    self.tracer.emit(now, || TraceEvent::Inject {
+                        packet: id,
+                        src,
+                        dst,
+                        bytes,
+                    });
+                }
                 self.pump(channel, now);
                 Ok(())
             }
@@ -177,6 +183,10 @@ impl Network for P2pNetwork {
 
     fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    fn events_processed(&self) -> u64 {
+        self.events.popped()
     }
 
     fn set_tracer(&mut self, tracer: Tracer) {

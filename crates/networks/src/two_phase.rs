@@ -461,6 +461,10 @@ impl Network for TwoPhaseNetwork {
         &self.stats
     }
 
+    fn events_processed(&self) -> u64 {
+        self.events.popped()
+    }
+
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
     }
