@@ -13,6 +13,10 @@
 //! macrochip trace-info run.mtrc | --dir traces/ [--write-index]
 //! macrochip trace-transform --trace run.mtrc --out half.mtrc --truncate-ns 500
 //! macrochip bench     [--quick] [--out BENCH_1.json] [--against baseline.json]
+//! macrochip serve     [--addr 127.0.0.1:7447] [--workers 0] [--queue-cap 16]
+//! macrochip submit    sweep --network p2p --pattern uniform [--wait]
+//! macrochip status    [--job job-1] | result --job job-1 | cancel --job job-1
+//! macrochip cache     stats | prune [--max-bytes N] [--older-than SPAN]
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free.
@@ -23,21 +27,22 @@ use desim::trace::{chrome_trace_json, RingSink};
 use desim::{Span, Time, TraceEvent, Tracer};
 use macrochip::campaign::{self, point_key, CampaignPoint, PointExecOptions, PointResult};
 use macrochip::experiment::run_coherent_observed;
+use macrochip::names;
 use macrochip::prelude::*;
-use macrochip::report::{fmt, Table};
+use macrochip::report::{self, fmt, Table};
 use macrochip::runner::{drive, DriveLimits};
 use macrochip::sweep::{run_load_point_observed, run_load_point_traced, sustained_bandwidth};
 use netcore::audit::AuditReport;
-use netcore::{MessageKind, MetricsRegistry, MetricsSnapshot};
+use netcore::{MetricsRegistry, MetricsSnapshot};
 use replay::{CaptureSink, CorpusManifest, TraceMeta};
 use std::cell::RefCell;
 use std::fs::File;
 use std::io::BufWriter;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::rc::Rc;
 use std::time::Instant;
-use workloads::{Collective, MessagePassingWorkload};
+use workloads::MessagePassingWorkload;
 
 const USAGE: &str = "\
 macrochip — silicon-photonic multi-chip network simulator (ISCA 2010 reproduction)
@@ -65,8 +70,17 @@ USAGE:
                          | --truncate-ns <NS> | --keep-kind <KIND>
                          | --remap <rot:K|i,j,...> | --merge <A,B,...>)
     macrochip bench     [--quick] [--trials <N>] [--out <FILE>]
-                        [--against <BASELINE.json>] [--factor <F>]
+                        [--against <BASELINE.json>] [--max-regression <F>]
                         [--with-tracer] [--profile] [--progress] [-q]
+    macrochip serve     [--addr <HOST:PORT>] [--workers <N>] [--queue-cap <N>]
+                        [--no-cache] [--manifest-dir <DIR>] [-q]
+    macrochip submit    <sweep|faults|coherent|replay> <CAMPAIGN FLAGS>
+                        [--wait] [--addr <HOST:PORT>] [-q] [-v]
+    macrochip status    [--job <ID>] [--addr <HOST:PORT>]
+    macrochip result    --job <ID> [--addr <HOST:PORT>]
+    macrochip cancel    --job <ID> [--addr <HOST:PORT>]
+    macrochip shutdown  [--addr <HOST:PORT>]
+    macrochip cache     stats | prune [--max-bytes <N>] [--older-than <AGE>]
 
 NETWORKS:   p2p, limited, token, circuit, two-phase, two-phase-alt, all
 PATTERNS:   uniform, transpose, butterfly, neighbor, all-to-all, hotspot
@@ -115,8 +129,25 @@ HOST PERF BASELINE (bench):
     schema-versioned BENCH_<n>.json (events/sec, wall-clock, commit).
     --against <FILE> compares versus a checked-in baseline and exits
     nonzero when any network's events/sec regressed by more than
-    --factor (default 2.0). --with-tracer attaches a ring flight
-    recorder during trials to measure tracer-on overhead.
+    --max-regression (default 2.0; --factor is the historical alias).
+    The factor in force is recorded in the written JSON. --with-tracer
+    attaches a ring flight recorder during trials to measure tracer-on
+    overhead.
+
+SERVING CAMPAIGNS (serve, submit, status, result, cancel, shutdown):
+    serve runs an always-on daemon on a local TCP socket speaking
+    line-delimited JSON (default 127.0.0.1:7447; override with --addr or
+    MACROCHIP_SERVE_ADDR). Jobs are sweep/faults/coherent/replay point
+    lists; points shard across workers by their content hash, the result
+    cache answers warm points before they are scheduled, and at most
+    --queue-cap unfinished jobs are accepted (beyond that, submissions
+    get a retryable 'queue full' error). Each finished or cancelled job
+    is recorded as a manifest under --manifest-dir. submit builds the
+    same points the direct subcommand would and, with --wait, streams
+    progress (host.* counter deltas) and prints the identical table.
+    cache stats / cache prune inspect and bound the shared result cache
+    (prune by --max-bytes total size and/or --older-than age: 30s, 10m,
+    2h, 7d).
 
 PARALLELISM (sweep, faults, run-all — campaign engine):
     --jobs <N>         shard independent points across N worker threads
@@ -399,52 +430,6 @@ fn write_metrics(path: &str, manifest: &RunManifest, runs: &[RunRecord]) -> Resu
     std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))
 }
 
-fn parse_network(name: &str) -> Option<Vec<NetworkKind>> {
-    Some(match name {
-        "p2p" => vec![NetworkKind::PointToPoint],
-        "limited" => vec![NetworkKind::LimitedPointToPoint],
-        "token" => vec![NetworkKind::TokenRing],
-        "circuit" => vec![NetworkKind::CircuitSwitched],
-        "two-phase" => vec![NetworkKind::TwoPhase],
-        "two-phase-alt" => vec![NetworkKind::TwoPhaseAlt],
-        "all" => NetworkKind::ALL.to_vec(),
-        _ => return None,
-    })
-}
-
-fn parse_pattern(name: &str) -> Option<Pattern> {
-    Some(match name {
-        "uniform" => Pattern::Uniform,
-        "transpose" => Pattern::Transpose,
-        "butterfly" => Pattern::Butterfly,
-        "neighbor" => Pattern::Neighbor,
-        "all-to-all" => Pattern::AllToAll,
-        "hotspot" => Pattern::HotSpot,
-        _ => return None,
-    })
-}
-
-fn parse_collective(name: &str) -> Option<Collective> {
-    Some(match name {
-        "ring" => Collective::RingAllReduce,
-        "butterfly" => Collective::ButterflyExchange,
-        "halo" => Collective::HaloExchange,
-        "all-to-all" => Collective::AllToAllPersonalized,
-        _ => return None,
-    })
-}
-
-fn parse_workload(name: &str, ops: u32) -> Option<WorkloadSpec> {
-    if let Some(profile) = AppProfile::suite().into_iter().find(|p| p.name == name) {
-        return Some(WorkloadSpec::App(profile.with_ops_per_core(ops)));
-    }
-    parse_pattern(&name.to_lowercase()).map(|pattern| WorkloadSpec::Synthetic {
-        pattern,
-        mix: SharingMix::LessSharing,
-        ops_per_core: ops,
-    })
-}
-
 /// Pulls `--flag value` out of the argument list.
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -484,9 +469,9 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let out = OutputOpts::parse(args);
     let config = MacrochipConfig::scaled();
     let network_arg = flag(args, "--network").ok_or("missing --network")?;
-    let kinds = parse_network(&network_arg).ok_or("unknown network")?;
+    let kinds = names::parse_networks(&network_arg).ok_or("unknown network")?;
     let pattern_arg = flag(args, "--pattern").ok_or("missing --pattern")?;
-    let pattern = parse_pattern(&pattern_arg).ok_or("unknown pattern")?;
+    let pattern = names::parse_pattern(&pattern_arg).ok_or("unknown pattern")?;
     let loads: Vec<f64> = match flag(args, "--loads") {
         Some(s) => s
             .split(',')
@@ -526,13 +511,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         })
     };
 
-    let mut table = Table::new(&[
-        "Network",
-        "Load (%)",
-        "Mean latency (ns)",
-        "p99 (ns)",
-        "Saturated",
-    ]);
+    let mut table = report::sweep_table();
     let mut sections: Vec<(String, Vec<(Time, TraceEvent)>)> = Vec::new();
     let mut runs: Vec<RunRecord> = Vec::new();
     let mut audit_log = AuditLog::new(out.audit);
@@ -557,13 +536,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             unreachable!("sweep point produced a non-sweep result");
         };
         saturated_points += usize::from(p.saturated);
-        table.row_owned(vec![
-            kind.name().to_string(),
-            fmt(p.offered * 100.0, 1),
-            fmt(p.mean_latency_ns, 2),
-            fmt(p.p99_latency_ns, 2),
-            p.saturated.to_string(),
-        ]);
+        report::sweep_row(&mut table, kind, &p);
         if out.trace.is_some() {
             let label = format!(
                 "{} @ {}% {}",
@@ -629,9 +602,9 @@ fn cmd_sustained(args: &[String]) -> Result<(), String> {
     let out = OutputOpts::parse(args);
     let config = MacrochipConfig::scaled();
     let network_arg = flag(args, "--network").ok_or("missing --network")?;
-    let kinds = parse_network(&network_arg).ok_or("unknown network")?;
+    let kinds = names::parse_networks(&network_arg).ok_or("unknown network")?;
     let pattern_arg = flag(args, "--pattern").ok_or("missing --pattern")?;
-    let pattern = parse_pattern(&pattern_arg).ok_or("unknown pattern")?;
+    let pattern = names::parse_pattern(&pattern_arg).ok_or("unknown pattern")?;
     let options = SweepOptions::default();
     let started = Instant::now();
     let events_base = prof::counter(prof::Counter::SimEvents);
@@ -725,13 +698,13 @@ fn cmd_coherent(args: &[String]) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| "bad --ops"))
         .transpose()?
         .unwrap_or(40);
-    let spec = parse_workload(&flag(args, "--workload").ok_or("missing --workload")?, ops)
+    let spec = names::parse_workload(&flag(args, "--workload").ok_or("missing --workload")?, ops)
         .ok_or("unknown workload")?;
-    let kinds = parse_network(&flag(args, "--network").ok_or("missing --network")?)
+    let kinds = names::parse_networks(&flag(args, "--network").ok_or("missing --network")?)
         .ok_or("unknown network")?;
     let audit = args.iter().any(|a| a == "--audit");
     let model = NetworkEnergyModel::default();
-    let mut table = Table::new(&["Network", "Makespan (us)", "Op latency (ns)", "EDP (nJ.s)"]);
+    let mut table = report::coherent_table();
     let mut audit_log = AuditLog::new(audit);
     for kind in kinds {
         let run = if audit {
@@ -747,12 +720,7 @@ fn cmd_coherent(args: &[String]) -> Result<(), String> {
         } else {
             run_coherent(kind, &spec, &config, 0xCAFE)
         };
-        table.row_owned(vec![
-            kind.name().to_string(),
-            fmt(run.makespan.as_ns_f64() / 1e3, 2),
-            fmt(run.mean_op_latency.as_ns_f64(), 1),
-            format!("{:.3e}", model.edp(&run) * 1e9),
-        ]);
+        report::coherent_row(&mut table, &model, &run);
     }
     println!("Workload: {}\n\n{}", spec.name(), table.to_text());
     audit_log.finish(false)
@@ -760,8 +728,9 @@ fn cmd_coherent(args: &[String]) -> Result<(), String> {
 
 fn cmd_mp(args: &[String]) -> Result<(), String> {
     let config = MacrochipConfig::scaled();
-    let collective = parse_collective(&flag(args, "--collective").ok_or("missing --collective")?)
-        .ok_or("unknown collective")?;
+    let collective =
+        names::parse_collective(&flag(args, "--collective").ok_or("missing --collective")?)
+            .ok_or("unknown collective")?;
     let bytes: u32 = flag(args, "--bytes")
         .map(|s| s.parse().map_err(|_| "bad --bytes"))
         .transpose()?
@@ -801,9 +770,9 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
     let out = OutputOpts::parse(args);
     let config = MacrochipConfig::scaled();
     let network_arg = flag(args, "--network").unwrap_or_else(|| "all".into());
-    let kinds = parse_network(&network_arg).ok_or("unknown network")?;
+    let kinds = names::parse_networks(&network_arg).ok_or("unknown network")?;
     let pattern_arg = flag(args, "--pattern").unwrap_or_else(|| "uniform".into());
-    let pattern = parse_pattern(&pattern_arg).ok_or("unknown pattern")?;
+    let pattern = names::parse_pattern(&pattern_arg).ok_or("unknown pattern")?;
     let load: f64 = flag(args, "--load")
         .map(|s| s.parse().map_err(|_| "bad --load"))
         .transpose()?
@@ -853,15 +822,7 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
         })
     };
 
-    let mut table = Table::new(&[
-        "Network",
-        "Delivered",
-        "Dropped",
-        "Retries",
-        "Availability",
-        "Goodput (B/ns)",
-        "Degraded (us)",
-    ]);
+    let mut table = report::fault_table();
     let mut sections: Vec<(String, Vec<(Time, TraceEvent)>)> = Vec::new();
     let mut runs: Vec<RunRecord> = Vec::new();
     let mut audit_log = AuditLog::new(out.audit);
@@ -874,15 +835,7 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
         let PointResult::Fault(f) = cell.result else {
             unreachable!("fault point produced a non-fault result");
         };
-        table.row_owned(vec![
-            kind.name().to_string(),
-            f.clean_delivered.to_string(),
-            f.lost.to_string(),
-            f.retries.to_string(),
-            fmt(f.availability, 4),
-            fmt(f.goodput_bytes_per_ns(), 2),
-            fmt(f.degraded_ns / 1e3, 2),
-        ]);
+        report::fault_row(&mut table, kind, &f);
         if out.trace.is_some() {
             sections.push((format!("{} faults", kind.name()), cell.trace));
         }
@@ -941,7 +894,7 @@ fn cmd_run_all(args: &[String]) -> Result<(), String> {
     let jobs = JobOpts::parse(args)?;
     let config = MacrochipConfig::scaled();
     let pattern_arg = flag(args, "--pattern").unwrap_or_else(|| "uniform".into());
-    let pattern = parse_pattern(&pattern_arg).ok_or("unknown pattern")?;
+    let pattern = names::parse_pattern(&pattern_arg).ok_or("unknown pattern")?;
     let seed: u64 = flag(args, "--seed")
         .map(|s| s.parse().map_err(|_| "bad --seed"))
         .transpose()?
@@ -1003,22 +956,8 @@ fn cmd_run_all(args: &[String]) -> Result<(), String> {
         })
     };
 
-    let mut sweep_table = Table::new(&[
-        "Network",
-        "Load (%)",
-        "Mean latency (ns)",
-        "p99 (ns)",
-        "Saturated",
-    ]);
-    let mut fault_table = Table::new(&[
-        "Network",
-        "Delivered",
-        "Dropped",
-        "Retries",
-        "Availability",
-        "Goodput (B/ns)",
-        "Degraded (us)",
-    ]);
+    let mut sweep_table = report::sweep_table();
+    let mut fault_table = report::fault_table();
     let mut sections: Vec<(String, Vec<(Time, TraceEvent)>)> = Vec::new();
     let mut runs: Vec<RunRecord> = Vec::new();
     let mut audit_log = AuditLog::new(out.audit);
@@ -1036,13 +975,7 @@ fn cmd_run_all(args: &[String]) -> Result<(), String> {
         match (point, cell.result) {
             (&CampaignPoint::Sweep { kind, offered, .. }, PointResult::Sweep(p)) => {
                 saturated_points += usize::from(p.saturated);
-                sweep_table.row_owned(vec![
-                    kind.name().to_string(),
-                    fmt(p.offered * 100.0, 1),
-                    fmt(p.mean_latency_ns, 2),
-                    fmt(p.p99_latency_ns, 2),
-                    p.saturated.to_string(),
-                ]);
+                report::sweep_row(&mut sweep_table, kind, &p);
                 if exec.trace {
                     let label = format!(
                         "{} @ {}% {}",
@@ -1062,15 +995,7 @@ fn cmd_run_all(args: &[String]) -> Result<(), String> {
                 }
             }
             (&CampaignPoint::Fault { kind, load, .. }, PointResult::Fault(f)) => {
-                fault_table.row_owned(vec![
-                    kind.name().to_string(),
-                    f.clean_delivered.to_string(),
-                    f.lost.to_string(),
-                    f.retries.to_string(),
-                    fmt(f.availability, 4),
-                    fmt(f.goodput_bytes_per_ns(), 2),
-                    fmt(f.degraded_ns / 1e3, 2),
-                ]);
+                report::fault_row(&mut fault_table, kind, &f);
                 if exec.trace {
                     sections.push((format!("{} faults", kind.name()), cell.trace));
                 }
@@ -1203,18 +1128,6 @@ fn parse_site_map(spec: &str, sites: usize) -> Result<Vec<u16>, String> {
         .collect()
 }
 
-fn parse_message_kind(name: &str) -> Option<MessageKind> {
-    Some(match name.to_ascii_lowercase().as_str() {
-        "data" => MessageKind::Data,
-        "request" => MessageKind::Request,
-        "forward" => MessageKind::Forward,
-        "invalidate" => MessageKind::Invalidate,
-        "ack" => MessageKind::Ack,
-        "control" => MessageKind::Control,
-        _ => return None,
-    })
-}
-
 fn cmd_capture(args: &[String]) -> Result<(), String> {
     let config = MacrochipConfig::scaled();
     let out_path = flag(args, "--out").ok_or("missing --out <FILE.mtrc>")?;
@@ -1226,7 +1139,7 @@ fn cmd_capture(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("creating {}: {e}", parent.display()))?;
     }
     let network_arg = flag(args, "--network").unwrap_or_else(|| "p2p".into());
-    let kinds = parse_network(&network_arg).ok_or("unknown network")?;
+    let kinds = names::parse_networks(&network_arg).ok_or("unknown network")?;
     let &[kind] = &kinds[..] else {
         return Err("capture records one run; pick a single --network".into());
     };
@@ -1253,7 +1166,7 @@ fn cmd_capture(args: &[String]) -> Result<(), String> {
             .map(|s| s.parse().map_err(|_| "bad --ops"))
             .transpose()?
             .unwrap_or(40);
-        let spec = parse_workload(&name, ops).ok_or("unknown workload")?;
+        let spec = names::parse_workload(&name, ops).ok_or("unknown workload")?;
         let meta = TraceMeta {
             grid_side,
             seed,
@@ -1277,7 +1190,7 @@ fn cmd_capture(args: &[String]) -> Result<(), String> {
         );
     } else {
         let pattern_arg = flag(args, "--pattern").ok_or("missing --pattern (or --workload)")?;
-        let pattern = parse_pattern(&pattern_arg).ok_or("unknown pattern")?;
+        let pattern = names::parse_pattern(&pattern_arg).ok_or("unknown pattern")?;
         let load: f64 = flag(args, "--load")
             .map(|s| s.parse().map_err(|_| "bad --load"))
             .transpose()?
@@ -1381,7 +1294,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         ));
     }
     let network_arg = flag(args, "--network").unwrap_or_else(|| "all".into());
-    let kinds = parse_network(&network_arg).ok_or("unknown network")?;
+    let kinds = names::parse_networks(&network_arg).ok_or("unknown network")?;
     let plan = flag(args, "--faults")
         .map(|s| faults::FaultPlan::parse(&s).map_err(|e| e.to_string()))
         .transpose()?;
@@ -1436,14 +1349,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         })
     };
 
-    let mut table = Table::new(&[
-        "Network",
-        "Delivered",
-        "Delivery (%)",
-        "Mean latency (ns)",
-        "p99 (ns)",
-        "Saturated",
-    ]);
+    let mut table = report::replay_table();
     let mut sections: Vec<(String, Vec<(Time, TraceEvent)>)> = Vec::new();
     let mut runs: Vec<RunRecord> = Vec::new();
     let mut stats_runs: Vec<(String, MetricsSnapshot)> = Vec::new();
@@ -1462,14 +1368,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
                 kind.name()
             ));
         }
-        table.row_owned(vec![
-            kind.name().to_string(),
-            r.delivered.to_string(),
-            fmt(r.delivery_ratio() * 100.0, 1),
-            fmt(r.mean_latency_ns, 2),
-            fmt(r.p99_latency_ns, 2),
-            r.saturated.to_string(),
-        ]);
+        report::replay_row(&mut table, kind, &r);
         if exec.trace {
             sections.push((format!("{} replay", kind.name()), cell.trace));
         }
@@ -1666,8 +1565,8 @@ fn cmd_trace_transform(args: &[String]) -> Result<(), String> {
             replay::transform::truncate(open_input()?, output()?, u64::MAX, Some(Time::from_ns(ns)))
         }
         "--keep-kind" => {
-            let kind =
-                parse_message_kind(&spec).ok_or_else(|| format!("unknown message kind {spec}"))?;
+            let kind = names::parse_message_kind(&spec)
+                .ok_or_else(|| format!("unknown message kind {spec}"))?;
             replay::transform::filter(
                 open_input()?,
                 output()?,
@@ -1725,10 +1624,13 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         .iter()
         .any(|a| a == "--progress" || a == "-v" || a == "--verbose");
     let out_path = flag(args, "--out").unwrap_or_else(|| "BENCH_1.json".into());
-    let factor: f64 = flag(args, "--factor")
-        .map(|s| s.parse().map_err(|_| format!("bad --factor {s}")))
+    // `--factor` is the historical spelling of `--max-regression`.
+    let factor: f64 = flag(args, "--max-regression")
+        .or_else(|| flag(args, "--factor"))
+        .map(|s| s.parse().map_err(|_| format!("bad --max-regression {s}")))
         .transpose()?
-        .unwrap_or(2.0);
+        .unwrap_or(macrochip::bench::DEFAULT_MAX_REGRESSION);
+    options.max_regression = factor;
 
     let report = macrochip::bench::run_bench(&config, &options);
     std::fs::write(&out_path, report.to_json() + "\n")
@@ -1771,6 +1673,430 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `macrochip serve` — run the always-on campaign daemon.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let addr = flag(args, "--addr").unwrap_or_else(serve::default_addr);
+    let workers: usize = flag(args, "--workers")
+        .map(|s| s.parse().map_err(|_| format!("bad --workers {s}")))
+        .transpose()?
+        .unwrap_or(0);
+    let queue_cap: usize = flag(args, "--queue-cap")
+        .map(|s| s.parse().map_err(|_| format!("bad --queue-cap {s}")))
+        .transpose()?
+        .unwrap_or(16);
+    if queue_cap == 0 {
+        return Err("--queue-cap must be at least 1".into());
+    }
+    let no_cache = args.iter().any(|a| a == "--no-cache");
+    let quiet = args.iter().any(|a| a == "-q" || a == "--quiet");
+    let options = serve::ServeOptions {
+        workers,
+        queue_cap,
+        cache: open_cache(no_cache, false)?,
+        manifest_dir: flag(args, "--manifest-dir").map(PathBuf::from),
+        quiet,
+    };
+    let server = serve::Server::bind(&addr as &str, MacrochipConfig::scaled(), options)
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    server.run().map_err(|e| format!("serving on {addr}: {e}"))
+}
+
+/// Connects to the daemon named by `--addr` (default
+/// `$MACROCHIP_SERVE_ADDR`, then `127.0.0.1:7447`).
+fn connect(args: &[String]) -> Result<(String, serve::Client), String> {
+    let addr = flag(args, "--addr").unwrap_or_else(serve::default_addr);
+    let client = serve::Client::connect(&addr)
+        .map_err(|e| format!("connecting to {addr} (is `macrochip serve` running?): {e}"))?;
+    Ok((addr, client))
+}
+
+/// Builds the campaign points (and the stdout the direct command would
+/// print around its result table) for one `submit` subcommand. Point
+/// construction mirrors the direct subcommands exactly — same defaults,
+/// same seeds — so a served job is byte-identical to a local run.
+fn build_submission(sub: &str, args: &[String]) -> Result<(Vec<CampaignPoint>, String), String> {
+    match sub {
+        "sweep" => {
+            let kinds = names::parse_networks(&flag(args, "--network").ok_or("missing --network")?)
+                .ok_or("unknown network")?;
+            let pattern =
+                names::parse_pattern(&flag(args, "--pattern").ok_or("missing --pattern")?)
+                    .ok_or("unknown pattern")?;
+            let loads: Vec<f64> = match flag(args, "--loads") {
+                Some(s) => s
+                    .split(',')
+                    .map(|x| x.parse().map_err(|_| format!("bad load {x}")))
+                    .collect::<Result<_, _>>()?,
+                None => macrochip::sweep::figure6_loads(pattern),
+            };
+            let options = SweepOptions::default();
+            let points = kinds
+                .iter()
+                .flat_map(|&kind| {
+                    loads.iter().map(move |&offered| CampaignPoint::Sweep {
+                        kind,
+                        pattern,
+                        offered,
+                        options,
+                    })
+                })
+                .collect();
+            Ok((points, String::new()))
+        }
+        "faults" => {
+            let kinds =
+                names::parse_networks(&flag(args, "--network").unwrap_or_else(|| "all".into()))
+                    .ok_or("unknown network")?;
+            let pattern =
+                names::parse_pattern(&flag(args, "--pattern").unwrap_or_else(|| "uniform".into()))
+                    .ok_or("unknown pattern")?;
+            let load: f64 = flag(args, "--load")
+                .map(|s| s.parse().map_err(|_| "bad --load"))
+                .transpose()?
+                .unwrap_or(0.05);
+            let spec = flag(args, "--faults").unwrap_or_else(|| DEFAULT_FAULT_SPEC.into());
+            let plan = faults::FaultPlan::parse(&spec).map_err(|e| e.to_string())?;
+            let seed: u64 = flag(args, "--seed")
+                .map(|s| s.parse().map_err(|_| "bad --seed"))
+                .transpose()?
+                .unwrap_or(0xC0FFEE);
+            let (sim, drain) = if args.iter().any(|a| a == "--duration-short") {
+                (Span::from_us(1), Span::from_us(5))
+            } else {
+                (Span::from_us(5), Span::from_us(20))
+            };
+            let prefix = format!("Fault plan: {}\n\n", plan.to_spec());
+            let points = kinds
+                .iter()
+                .map(|&kind| CampaignPoint::Fault {
+                    kind,
+                    pattern,
+                    load,
+                    plan: plan.clone(),
+                    seed,
+                    sim,
+                    drain,
+                    max_stalled: 5_000,
+                })
+                .collect();
+            Ok((points, prefix))
+        }
+        "coherent" => {
+            let ops: u32 = flag(args, "--ops")
+                .map(|s| s.parse().map_err(|_| "bad --ops"))
+                .transpose()?
+                .unwrap_or(40);
+            let spec =
+                names::parse_workload(&flag(args, "--workload").ok_or("missing --workload")?, ops)
+                    .ok_or("unknown workload")?;
+            let kinds = names::parse_networks(&flag(args, "--network").ok_or("missing --network")?)
+                .ok_or("unknown network")?;
+            let prefix = format!("Workload: {}\n\n", spec.name());
+            let points = kinds
+                .iter()
+                .map(|&kind| CampaignPoint::Coherent {
+                    kind,
+                    spec: spec.clone(),
+                    seed: 0xCAFE,
+                })
+                .collect();
+            Ok((points, prefix))
+        }
+        "replay" => {
+            let trace_arg = flag(args, "--trace").ok_or("missing --trace <FILE.mtrc>")?;
+            let header = replay::validate(Path::new(&trace_arg))
+                .map_err(|e| format!("validating {trace_arg}: {e}"))?;
+            let kinds =
+                names::parse_networks(&flag(args, "--network").unwrap_or_else(|| "all".into()))
+                    .ok_or("unknown network")?;
+            let plan = flag(args, "--faults")
+                .map(|s| faults::FaultPlan::parse(&s).map_err(|e| e.to_string()))
+                .transpose()?;
+            let seed: u64 = flag(args, "--seed")
+                .map(|s| s.parse().map_err(|_| "bad --seed"))
+                .transpose()?
+                .unwrap_or(0xC0FFEE);
+            let drain = if args.iter().any(|a| a == "--duration-short") {
+                Span::from_us(5)
+            } else {
+                Span::from_us(20)
+            };
+            let prefix = format!(
+                "Trace {trace_arg}: {} packets, {} us, hash {:016x}\n\n",
+                header.packets,
+                fmt(header.last_ps as f64 / 1e6, 2),
+                header.content_hash
+            );
+            let points = kinds
+                .iter()
+                .map(|&kind| CampaignPoint::Replay {
+                    kind,
+                    trace: trace_arg.clone(),
+                    content_hash: header.content_hash,
+                    plan: plan.clone(),
+                    seed,
+                    drain,
+                    max_stalled: 5_000,
+                })
+                .collect();
+            Ok((points, prefix))
+        }
+        other => Err(format!(
+            "submit serves sweep, faults, coherent or replay campaigns, not '{other}'"
+        )),
+    }
+}
+
+/// Renders served results exactly as the matching direct subcommand
+/// would have printed them.
+fn render_results(
+    sub: &str,
+    prefix: &str,
+    points: &[CampaignPoint],
+    results: &[PointResult],
+) -> Result<(), String> {
+    if points.len() != results.len() {
+        return Err(format!(
+            "server returned {} results for {} points",
+            results.len(),
+            points.len()
+        ));
+    }
+    let table = match sub {
+        "sweep" => {
+            let mut table = report::sweep_table();
+            for (point, result) in points.iter().zip(results) {
+                let (PointResult::Sweep(p), kind) = (result, point.kind()) else {
+                    return Err("server returned a non-sweep result".into());
+                };
+                report::sweep_row(&mut table, kind, p);
+            }
+            table
+        }
+        "faults" => {
+            let mut table = report::fault_table();
+            for (point, result) in points.iter().zip(results) {
+                let (PointResult::Fault(f), kind) = (result, point.kind()) else {
+                    return Err("server returned a non-fault result".into());
+                };
+                report::fault_row(&mut table, kind, f);
+            }
+            table
+        }
+        "coherent" => {
+            let model = NetworkEnergyModel::default();
+            let mut table = report::coherent_table();
+            for result in results {
+                let PointResult::Coherent(run) = result else {
+                    return Err("server returned a non-coherent result".into());
+                };
+                report::coherent_row(&mut table, &model, run);
+            }
+            table
+        }
+        "replay" => {
+            let mut table = report::replay_table();
+            for (point, result) in points.iter().zip(results) {
+                let (PointResult::Replay(r), kind) = (result, point.kind()) else {
+                    return Err("server returned a non-replay result".into());
+                };
+                report::replay_row(&mut table, kind, r);
+            }
+            table
+        }
+        _ => unreachable!("build_submission vetted the subcommand"),
+    };
+    println!("{prefix}{}", table.to_text());
+    Ok(())
+}
+
+/// `macrochip submit` — send a campaign to the daemon; with `--wait`,
+/// stream progress and print the same table the direct command would.
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let sub = args
+        .get(1)
+        .filter(|a| !a.starts_with('-'))
+        .ok_or("submit needs a campaign: sweep, faults, coherent or replay")?
+        .clone();
+    let (points, prefix) = build_submission(&sub, args)?;
+    let quiet = args.iter().any(|a| a == "-q" || a == "--quiet");
+    let verbose = args.iter().any(|a| a == "-v" || a == "--verbose");
+    let (addr, mut client) = connect(args)?;
+    let submitted = client.submit(&sub, None, points.clone())?;
+    if !quiet {
+        eprintln!(
+            "[submit] {} accepted by {addr}: {} points, {} warm, state {}",
+            submitted.job, submitted.points, submitted.warm, submitted.state
+        );
+    }
+    if !args.iter().any(|a| a == "--wait") {
+        if !quiet {
+            println!("{}", submitted.job);
+        }
+        return Ok(());
+    }
+    let status = client.wait(&submitted.job, |s| {
+        if verbose {
+            eprintln!(
+                "[submit] {}: {}/{} points, {} events, {} cache hits",
+                s.job, s.done, s.total, s.counters.sim_events, s.counters.cache_hits
+            );
+        }
+    })?;
+    if status.state != "done" {
+        return Err(format!(
+            "job {} ended {} with {}/{} points done",
+            status.job, status.state, status.done, status.total
+        ));
+    }
+    let results = client.result(&submitted.job)?;
+    if quiet {
+        return Ok(());
+    }
+    render_results(&sub, &prefix, &points, &results)
+}
+
+/// `macrochip status` — one job's progress, or the server's vitals.
+fn cmd_status(args: &[String]) -> Result<(), String> {
+    let (addr, mut client) = connect(args)?;
+    match flag(args, "--job") {
+        Some(job) => {
+            let s = client.status(&job)?;
+            println!(
+                "{}: {}, {}/{} points done ({} warm), {:.0} ms, {} sim events, \
+                 {} cache hits / {} misses",
+                s.job,
+                s.state,
+                s.done,
+                s.total,
+                s.warm,
+                s.wall_ms,
+                s.counters.sim_events,
+                s.counters.cache_hits,
+                s.counters.cache_misses
+            );
+        }
+        None => {
+            let v = client.ping()?;
+            let field = |k: &str| {
+                v.get(k).map_or("?".to_string(), |f| match f {
+                    macrochip::json::Value::String(s) => s.clone(),
+                    other => format!("{other:?}"),
+                })
+            };
+            let num = |k: &str| {
+                v.get(k)
+                    .and_then(macrochip::json::Value::as_u64)
+                    .unwrap_or(0)
+            };
+            println!(
+                "{addr}: macrochip-serve v{} (protocol {}), {} workers, queue cap {}, \
+                 cache {}, {} jobs accepted ({} unfinished)",
+                field("version"),
+                num("protocol"),
+                num("workers"),
+                num("queue_cap"),
+                field("cache"),
+                num("jobs"),
+                num("unfinished")
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `macrochip result` — fetch a finished job's results in the raw
+/// bit-exact cache encoding (`submit --wait` renders tables instead).
+fn cmd_result(args: &[String]) -> Result<(), String> {
+    let job = flag(args, "--job").ok_or("missing --job <ID>")?;
+    let (_, mut client) = connect(args)?;
+    for result in client.result(&job)? {
+        print!("{}", result.to_cache_bytes());
+    }
+    Ok(())
+}
+
+fn cmd_cancel(args: &[String]) -> Result<(), String> {
+    let job = flag(args, "--job").ok_or("missing --job <ID>")?;
+    let (_, mut client) = connect(args)?;
+    client.cancel(&job)?;
+    println!("{job} cancelled");
+    Ok(())
+}
+
+fn cmd_shutdown(args: &[String]) -> Result<(), String> {
+    let (addr, mut client) = connect(args)?;
+    client.shutdown()?;
+    println!("{addr} shutting down");
+    Ok(())
+}
+
+/// Parses a wall-clock age: plain seconds, or `30s`, `10m`, `2h`, `7d`.
+fn parse_age(spec: &str) -> Result<std::time::Duration, String> {
+    let (digits, unit) = match spec.find(|c: char| !c.is_ascii_digit()) {
+        Some(i) => spec.split_at(i),
+        None => (spec, "s"),
+    };
+    let n: u64 = digits.parse().map_err(|_| format!("bad age {spec:?}"))?;
+    let seconds = match unit {
+        "s" => n,
+        "m" => n * 60,
+        "h" => n * 3_600,
+        "d" => n * 86_400,
+        _ => return Err(format!("bad age {spec:?} (use s, m, h or d)")),
+    };
+    Ok(std::time::Duration::from_secs(seconds))
+}
+
+/// `macrochip cache` — inspect or prune the content-addressed result
+/// cache shared by the campaign engine and the serve daemon.
+fn cmd_cache(args: &[String]) -> Result<(), String> {
+    let dir = campaign::ResultCache::default_dir();
+    let cache = campaign::ResultCache::new(dir.clone())
+        .map_err(|e| format!("opening cache {}: {e}", dir.display()))?;
+    match args.get(1).map(String::as_str) {
+        Some("stats") => {
+            let stats = cache
+                .stats()
+                .map_err(|e| format!("scanning {}: {e}", dir.display()))?;
+            println!(
+                "{}: {} entries, {} bytes",
+                dir.display(),
+                stats.entries,
+                stats.bytes
+            );
+            Ok(())
+        }
+        Some("prune") => {
+            let max_bytes: Option<u64> = flag(args, "--max-bytes")
+                .map(|s| s.parse().map_err(|_| format!("bad --max-bytes {s}")))
+                .transpose()?;
+            let older_than = flag(args, "--older-than")
+                .map(|s| parse_age(&s))
+                .transpose()?;
+            if max_bytes.is_none() && older_than.is_none() {
+                return Err("prune needs --max-bytes <N> and/or --older-than <AGE>".into());
+            }
+            let removed = cache
+                .prune(max_bytes, older_than)
+                .map_err(|e| format!("pruning {}: {e}", dir.display()))?;
+            let left = cache
+                .stats()
+                .map_err(|e| format!("scanning {}: {e}", dir.display()))?;
+            println!(
+                "{}: pruned {} entries ({} bytes); {} entries ({} bytes) remain",
+                dir.display(),
+                removed.entries,
+                removed.bytes,
+                left.entries,
+                left.bytes
+            );
+            Ok(())
+        }
+        _ => Err("cache needs a subcommand: stats or prune".into()),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -1786,6 +2112,13 @@ fn main() -> ExitCode {
         Some("trace-info") => cmd_trace_info(&args),
         Some("trace-transform") => cmd_trace_transform(&args),
         Some("bench") => cmd_bench(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("submit") => cmd_submit(&args),
+        Some("status") => cmd_status(&args),
+        Some("result") => cmd_result(&args),
+        Some("cancel") => cmd_cancel(&args),
+        Some("shutdown") => cmd_shutdown(&args),
+        Some("cache") => cmd_cache(&args),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())

@@ -16,6 +16,7 @@
 //! `packets_per_sec`, `peak_rss_bytes`) are the only fields allowed to
 //! differ between runs.
 
+use crate::json;
 use crate::sweep::{run_load_point_observed, SweepOptions};
 use desim::prof;
 use desim::trace::RingSink;
@@ -35,6 +36,10 @@ pub const BENCH_SCHEMA: &str = "macrochip-bench";
 
 /// Fixed RNG seed for every bench workload.
 pub const BENCH_SEED: u64 = 0xC0FFEE;
+
+/// Default regression threshold for [`compare`]: a network fails when its
+/// events/sec falls more than this factor below the baseline.
+pub const DEFAULT_MAX_REGRESSION: f64 = 2.0;
 
 /// Ring capacity when benching with the flight recorder attached.
 const BENCH_TRACE_CAPACITY: usize = 1 << 16;
@@ -67,6 +72,10 @@ pub struct BenchOptions {
     pub trace: bool,
     /// Print a per-trial line to stderr as results come in.
     pub progress: bool,
+    /// Regression threshold recorded in the report and used by
+    /// `--against` comparisons ([`DEFAULT_MAX_REGRESSION`] unless
+    /// overridden with `--max-regression`).
+    pub max_regression: f64,
 }
 
 impl BenchOptions {
@@ -78,6 +87,7 @@ impl BenchOptions {
             drain: Span::from_us(20),
             trace: false,
             progress: false,
+            max_regression: DEFAULT_MAX_REGRESSION,
         }
     }
 
@@ -145,6 +155,9 @@ pub struct BenchReport {
     /// `"ring"` when benched with the flight recorder attached,
     /// `"disabled"` for the production fast path.
     pub tracer: String,
+    /// The `--max-regression` factor this report was produced under, so
+    /// a baseline records the gate it expects to be compared with.
+    pub max_regression: f64,
     pub peak_rss_bytes: u64,
     pub networks: Vec<NetworkBench>,
 }
@@ -233,6 +246,7 @@ pub fn run_bench(config: &MacrochipConfig, options: &BenchOptions) -> BenchRepor
         cores_per_site: config.cores_per_site,
         data_bytes: config.data_bytes,
         tracer: if options.trace { "ring" } else { "disabled" }.to_string(),
+        max_regression: options.max_regression,
         peak_rss_bytes: prof::peak_rss_bytes(),
         networks: networks_out,
     }
@@ -274,6 +288,11 @@ impl BenchReport {
         let _ = write!(out, "\n  \"cores_per_site\": {},", self.cores_per_site);
         let _ = write!(out, "\n  \"data_bytes\": {},", self.data_bytes);
         let _ = write!(out, "\n  \"tracer\": \"{}\",", json_escape(&self.tracer));
+        let _ = write!(
+            out,
+            "\n  \"max_regression\": {},",
+            json_f64(self.max_regression)
+        );
         let _ = write!(out, "\n  \"peak_rss_bytes\": {},", self.peak_rss_bytes);
         out.push_str("\n  \"networks\": [");
         for (i, n) in self.networks.iter().enumerate() {
@@ -391,6 +410,10 @@ impl BenchReport {
                 });
             }
         }
+        let max_regression = doc
+            .get("max_regression")
+            .and_then(json::Value::as_f64)
+            .unwrap_or(DEFAULT_MAX_REGRESSION);
         Ok(BenchReport {
             schema_version: num("schema_version") as u64,
             commit: text_field("commit"),
@@ -404,6 +427,7 @@ impl BenchReport {
             cores_per_site: num("cores_per_site") as usize,
             data_bytes: num("data_bytes") as u32,
             tracer: text_field("tracer"),
+            max_regression,
             peak_rss_bytes: num("peak_rss_bytes") as u64,
             networks,
         })
@@ -513,232 +537,6 @@ fn per_sec(count: u64, wall_ms: f64) -> f64 {
     }
 }
 
-/// A minimal recursive-descent JSON reader — just enough to load a
-/// `BENCH_*.json` back for comparison. The workspace deliberately has no
-/// serde; the writer side is hand-rolled (like every other exporter
-/// here), so the reader is too.
-mod json {
-    /// A parsed JSON value.
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Value {
-        Null,
-        Bool(bool),
-        Number(f64),
-        String(String),
-        Array(Vec<Value>),
-        Object(Vec<(String, Value)>),
-    }
-
-    impl Value {
-        pub fn get(&self, key: &str) -> Option<&Value> {
-            match self {
-                Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-                _ => None,
-            }
-        }
-
-        pub fn as_f64(&self) -> Option<f64> {
-            match self {
-                Value::Number(n) => Some(*n),
-                _ => None,
-            }
-        }
-
-        pub fn as_str(&self) -> Option<&str> {
-            match self {
-                Value::String(s) => Some(s),
-                _ => None,
-            }
-        }
-
-        pub fn as_bool(&self) -> Option<bool> {
-            match self {
-                Value::Bool(b) => Some(*b),
-                _ => None,
-            }
-        }
-    }
-
-    pub fn parse(text: &str) -> Result<Value, String> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let value = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing bytes at offset {}", p.pos));
-        }
-        Ok(value)
-    }
-
-    struct Parser<'a> {
-        bytes: &'a [u8],
-        pos: usize,
-    }
-
-    impl Parser<'_> {
-        fn peek(&self) -> Option<u8> {
-            self.bytes.get(self.pos).copied()
-        }
-
-        fn skip_ws(&mut self) {
-            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-                self.pos += 1;
-            }
-        }
-
-        fn expect(&mut self, b: u8) -> Result<(), String> {
-            if self.peek() == Some(b) {
-                self.pos += 1;
-                Ok(())
-            } else {
-                Err(format!("expected {:?} at offset {}", b as char, self.pos))
-            }
-        }
-
-        fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
-            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-                self.pos += word.len();
-                Ok(value)
-            } else {
-                Err(format!("bad literal at offset {}", self.pos))
-            }
-        }
-
-        fn value(&mut self) -> Result<Value, String> {
-            match self.peek() {
-                Some(b'{') => self.object(),
-                Some(b'[') => self.array(),
-                Some(b'"') => Ok(Value::String(self.string()?)),
-                Some(b't') => self.literal("true", Value::Bool(true)),
-                Some(b'f') => self.literal("false", Value::Bool(false)),
-                Some(b'n') => self.literal("null", Value::Null),
-                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-                other => Err(format!("unexpected {other:?} at offset {}", self.pos)),
-            }
-        }
-
-        fn object(&mut self) -> Result<Value, String> {
-            self.expect(b'{')?;
-            let mut pairs = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b'}') {
-                self.pos += 1;
-                return Ok(Value::Object(pairs));
-            }
-            loop {
-                self.skip_ws();
-                let key = self.string()?;
-                self.skip_ws();
-                self.expect(b':')?;
-                self.skip_ws();
-                pairs.push((key, self.value()?));
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b'}') => {
-                        self.pos += 1;
-                        return Ok(Value::Object(pairs));
-                    }
-                    _ => return Err(format!("bad object at offset {}", self.pos)),
-                }
-            }
-        }
-
-        fn array(&mut self) -> Result<Value, String> {
-            self.expect(b'[')?;
-            let mut items = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b']') {
-                self.pos += 1;
-                return Ok(Value::Array(items));
-            }
-            loop {
-                self.skip_ws();
-                items.push(self.value()?);
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b']') => {
-                        self.pos += 1;
-                        return Ok(Value::Array(items));
-                    }
-                    _ => return Err(format!("bad array at offset {}", self.pos)),
-                }
-            }
-        }
-
-        fn string(&mut self) -> Result<String, String> {
-            self.expect(b'"')?;
-            let mut out = String::new();
-            loop {
-                match self.peek() {
-                    Some(b'"') => {
-                        self.pos += 1;
-                        return Ok(out);
-                    }
-                    Some(b'\\') => {
-                        self.pos += 1;
-                        match self.peek() {
-                            Some(b'"') => out.push('"'),
-                            Some(b'\\') => out.push('\\'),
-                            Some(b'/') => out.push('/'),
-                            Some(b'n') => out.push('\n'),
-                            Some(b'r') => out.push('\r'),
-                            Some(b't') => out.push('\t'),
-                            Some(b'u') => {
-                                let hex = self
-                                    .bytes
-                                    .get(self.pos + 1..self.pos + 5)
-                                    .and_then(|h| std::str::from_utf8(h).ok())
-                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                    .ok_or_else(|| {
-                                        format!("bad \\u escape at offset {}", self.pos)
-                                    })?;
-                                out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
-                                self.pos += 4;
-                            }
-                            other => {
-                                return Err(format!("bad escape {other:?} at offset {}", self.pos))
-                            }
-                        }
-                        self.pos += 1;
-                    }
-                    Some(_) => {
-                        // Consume one UTF-8 scalar (the input came from a
-                        // &str, so boundaries are valid).
-                        let rest = &self.bytes[self.pos..];
-                        let s =
-                            std::str::from_utf8(rest).map_err(|_| "invalid UTF-8".to_string())?;
-                        let c = s.chars().next().expect("peeked non-empty");
-                        out.push(c);
-                        self.pos += c.len_utf8();
-                    }
-                    None => return Err("unterminated string".to_string()),
-                }
-            }
-        }
-
-        fn number(&mut self) -> Result<Value, String> {
-            let start = self.pos;
-            if self.peek() == Some(b'-') {
-                self.pos += 1;
-            }
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
-            {
-                self.pos += 1;
-            }
-            std::str::from_utf8(&self.bytes[start..self.pos])
-                .ok()
-                .and_then(|s| s.parse().ok())
-                .map(Value::Number)
-                .ok_or_else(|| format!("bad number at offset {start}"))
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -751,6 +549,7 @@ mod tests {
             drain: Span::from_us(2),
             trace: false,
             progress: false,
+            max_regression: DEFAULT_MAX_REGRESSION,
         }
     }
 
@@ -844,23 +643,6 @@ mod tests {
         assert_eq!(median(&[3.0]), 3.0);
         assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
         assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
-    }
-
-    #[test]
-    fn json_parser_handles_nesting_escapes_and_rejects_garbage() {
-        let v = json::parse("{\"a\": [1, -2.5e1, true, null], \"s\": \"q\\\"\\u0041\", \"o\": {}}")
-            .expect("valid");
-        assert_eq!(
-            v.get("a").and_then(|a| match a {
-                json::Value::Array(items) => items[1].as_f64(),
-                _ => None,
-            }),
-            Some(-25.0)
-        );
-        assert_eq!(v.get("s").and_then(json::Value::as_str), Some("q\"A"));
-        assert!(json::parse("{\"a\": }").is_err());
-        assert!(json::parse("[1, 2,]").is_err());
-        assert!(json::parse("{} trailing").is_err());
     }
 
     #[test]

@@ -854,6 +854,85 @@ impl ResultCache {
         std::fs::write(&tmp, result.to_cache_bytes())?;
         std::fs::rename(&tmp, self.path_for(key))
     }
+
+    /// Lists every entry in the cache: `(path, bytes, modified)`. Files
+    /// that are not cache entries (temp files, strays) are skipped.
+    fn entries(&self) -> std::io::Result<Vec<(PathBuf, u64, std::time::SystemTime)>> {
+        let mut out = Vec::new();
+        for dirent in std::fs::read_dir(&self.dir)? {
+            let dirent = dirent?;
+            let path = dirent.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            // Entries are "<16 hex>.v<N>.txt"; anything else is a temp
+            // file mid-write or unrelated, and not ours to account for.
+            let is_entry = name.len() >= 16
+                && name.as_bytes()[..16].iter().all(u8::is_ascii_hexdigit)
+                && name[16..].starts_with(".v")
+                && name.ends_with(".txt");
+            if !is_entry {
+                continue;
+            }
+            let meta = dirent.metadata()?;
+            let modified = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            out.push((path, meta.len(), modified));
+        }
+        Ok(out)
+    }
+
+    /// Entry count and total size of the cache.
+    pub fn stats(&self) -> std::io::Result<CacheStats> {
+        let entries = self.entries()?;
+        Ok(CacheStats {
+            entries: entries.len(),
+            bytes: entries.iter().map(|(_, b, _)| b).sum(),
+        })
+    }
+
+    /// Evicts entries: everything modified more than `older_than` ago,
+    /// then (if still over) oldest-first until the cache holds at most
+    /// `max_bytes`. Either bound may be `None` (no constraint). Returns
+    /// what was removed.
+    pub fn prune(
+        &self,
+        max_bytes: Option<u64>,
+        older_than: Option<std::time::Duration>,
+    ) -> std::io::Result<CacheStats> {
+        let mut entries = self.entries()?;
+        // Oldest first, path as a tie-break so same-mtime entries (coarse
+        // filesystem clocks) evict in a stable order.
+        entries.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        let mut total: u64 = entries.iter().map(|(_, b, _)| b).sum();
+        let cutoff = older_than.map(|age| std::time::SystemTime::now() - age);
+        let mut removed = CacheStats {
+            entries: 0,
+            bytes: 0,
+        };
+        for (path, bytes, modified) in entries {
+            let expired = cutoff.is_some_and(|c| modified <= c);
+            let over = max_bytes.is_some_and(|cap| total > cap);
+            if !expired && !over {
+                if max_bytes.is_none() {
+                    break; // age-only prune and this entry is young enough
+                }
+                continue;
+            }
+            std::fs::remove_file(&path)?;
+            total -= bytes;
+            removed.entries += 1;
+            removed.bytes += bytes;
+        }
+        Ok(removed)
+    }
+}
+
+/// Entry count and total bytes, as reported by [`ResultCache::stats`] and
+/// (for the removed set) [`ResultCache::prune`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub entries: usize,
+    pub bytes: u64,
 }
 
 /// One executed campaign point: its result and whether it came from cache.
@@ -1017,6 +1096,73 @@ mod tests {
         assert!(cache.load(42).is_none());
         cache.store(42, &result).expect("store");
         assert_eq!(cache.load(42), Some(result));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn cache_stats_count_entries_and_ignore_strays() {
+        let cache = temp_cache("stats");
+        let empty = cache.stats().expect("stats");
+        assert_eq!((empty.entries, empty.bytes), (0, 0));
+        let result = PointResult::Sweep(LoadPoint {
+            offered: 0.1,
+            mean_latency_ns: 10.0,
+            p99_latency_ns: 20.0,
+            delivered_bytes_per_ns_per_site: 1.0,
+            saturated: false,
+        });
+        cache.store(1, &result).expect("store");
+        cache.store(2, &result).expect("store");
+        // Strays — a temp file mid-write and an unrelated file — are not
+        // entries and must not be counted (or pruned).
+        std::fs::write(cache.dir().join("deadbeef.tmp.1.2"), "partial").unwrap();
+        std::fs::write(cache.dir().join("README"), "not a cache entry").unwrap();
+        let stats = cache.stats().expect("stats");
+        assert_eq!(stats.entries, 2);
+        assert_eq!(
+            stats.bytes,
+            2 * result.to_cache_bytes().len() as u64,
+            "bytes must sum entry file sizes"
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn cache_prune_respects_size_and_age_bounds() {
+        let cache = temp_cache("prune");
+        let result = PointResult::Sweep(LoadPoint {
+            offered: 0.2,
+            mean_latency_ns: 11.0,
+            p99_latency_ns: 21.0,
+            delivered_bytes_per_ns_per_site: 2.0,
+            saturated: true,
+        });
+        let entry_bytes = result.to_cache_bytes().len() as u64;
+        for key in 0..4 {
+            cache.store(key, &result).expect("store");
+        }
+        std::fs::write(cache.dir().join("README"), "stray").unwrap();
+
+        // No bounds: nothing to do.
+        let noop = cache.prune(None, None).expect("prune");
+        assert_eq!(noop.entries, 0);
+        // A huge age cutoff removes nothing.
+        let young = cache
+            .prune(None, Some(std::time::Duration::from_secs(1 << 20)))
+            .expect("prune");
+        assert_eq!(young.entries, 0);
+        // Cap at two entries' worth: the two oldest go.
+        let trimmed = cache.prune(Some(2 * entry_bytes), None).expect("prune");
+        assert_eq!(trimmed.entries, 2);
+        assert_eq!(trimmed.bytes, 2 * entry_bytes);
+        assert_eq!(cache.stats().unwrap().entries, 2);
+        // Zero age removes everything that remains; the stray survives.
+        let rest = cache
+            .prune(None, Some(std::time::Duration::ZERO))
+            .expect("prune");
+        assert_eq!(rest.entries, 2);
+        assert_eq!(cache.stats().unwrap().entries, 0);
+        assert!(cache.dir().join("README").exists());
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

@@ -58,7 +58,9 @@ pub mod bench;
 pub mod campaign;
 pub mod energy;
 pub mod experiment;
+pub mod json;
 pub mod manifest;
+pub mod names;
 pub mod progress;
 pub mod replay_run;
 pub mod report;

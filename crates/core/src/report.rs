@@ -153,6 +153,108 @@ pub fn fmt(value: f64, digits: usize) -> String {
     format!("{value:.digits$}")
 }
 
+// Shared result-table renderers.
+//
+// The direct CLI subcommands and the serve client (`macrochip submit
+// --wait`) both print campaign results; routing them through one set of
+// builders is what makes "served output is byte-identical to the direct
+// run" checkable with `cmp` rather than a judgement call.
+
+/// The `sweep` result table (header only; fill with [`sweep_row`]).
+pub fn sweep_table() -> Table {
+    Table::new(&[
+        "Network",
+        "Load (%)",
+        "Mean latency (ns)",
+        "p99 (ns)",
+        "Saturated",
+    ])
+}
+
+/// One sweep result row.
+pub fn sweep_row(table: &mut Table, kind: netcore::NetworkKind, p: &crate::sweep::LoadPoint) {
+    table.row_owned(vec![
+        kind.name().to_string(),
+        fmt(p.offered * 100.0, 1),
+        fmt(p.mean_latency_ns, 2),
+        fmt(p.p99_latency_ns, 2),
+        p.saturated.to_string(),
+    ]);
+}
+
+/// The `faults` result table (header only; fill with [`fault_row`]).
+pub fn fault_table() -> Table {
+    Table::new(&[
+        "Network",
+        "Delivered",
+        "Dropped",
+        "Retries",
+        "Availability",
+        "Goodput (B/ns)",
+        "Degraded (us)",
+    ])
+}
+
+/// One fault-campaign result row.
+pub fn fault_row(table: &mut Table, kind: netcore::NetworkKind, f: &crate::campaign::FaultSummary) {
+    table.row_owned(vec![
+        kind.name().to_string(),
+        f.clean_delivered.to_string(),
+        f.lost.to_string(),
+        f.retries.to_string(),
+        fmt(f.availability, 4),
+        fmt(f.goodput_bytes_per_ns(), 2),
+        fmt(f.degraded_ns / 1e3, 2),
+    ]);
+}
+
+/// The `replay` result table (header only; fill with [`replay_row`]).
+pub fn replay_table() -> Table {
+    Table::new(&[
+        "Network",
+        "Delivered",
+        "Delivery (%)",
+        "Mean latency (ns)",
+        "p99 (ns)",
+        "Saturated",
+    ])
+}
+
+/// One replay result row.
+pub fn replay_row(
+    table: &mut Table,
+    kind: netcore::NetworkKind,
+    r: &crate::replay_run::ReplaySummary,
+) {
+    table.row_owned(vec![
+        kind.name().to_string(),
+        r.delivered.to_string(),
+        fmt(r.delivery_ratio() * 100.0, 1),
+        fmt(r.mean_latency_ns, 2),
+        fmt(r.p99_latency_ns, 2),
+        r.saturated.to_string(),
+    ]);
+}
+
+/// The `coherent` result table (header only; fill with [`coherent_row`]).
+pub fn coherent_table() -> Table {
+    Table::new(&["Network", "Makespan (us)", "Op latency (ns)", "EDP (nJ.s)"])
+}
+
+/// One coherent-workload result row.
+pub fn coherent_row(
+    table: &mut Table,
+    model: &crate::energy::NetworkEnergyModel,
+    run: &crate::experiment::CoherentRun,
+) {
+    table.row_owned(vec![
+        run.network.name().to_string(),
+        fmt(run.makespan.as_ns_f64() / 1e3, 2),
+        fmt(run.mean_op_latency.as_ns_f64(), 1),
+        format!("{:.3e}", model.edp(run) * 1e9),
+    ]);
+}
+
 /// Renders an n×n grid of per-site values as an ASCII heatmap with a
 /// min/max legend. Values are normalized across the grid; darker glyphs
 /// mean larger values.

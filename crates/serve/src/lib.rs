@@ -1,0 +1,32 @@
+//! Always-on campaign service for the macrochip simulator.
+//!
+//! `macrochip serve` turns the one-shot campaign engine into a daemon: a
+//! TCP listener speaking a line-delimited JSON protocol ([`proto`]), a
+//! bounded job queue sharded across a worker pool ([`server`]), and a
+//! typed client the CLI's `submit`/`status`/`result` subcommands are
+//! built on ([`client`]).
+//!
+//! Three properties carry over from the batch engine unchanged:
+//!
+//! - **Determinism.** A served point runs through the same
+//!   [`macrochip::campaign::run_point`] as a direct CLI invocation, with
+//!   the same seed, so its result is byte-identical — results travel on
+//!   the wire in the cache's bit-exact float encoding to keep it that
+//!   way.
+//! - **Dedupe for free.** Points are sharded to workers by their
+//!   [`macrochip::campaign::point_key`] content hash, so duplicate points
+//!   land on the same worker serially and the shared
+//!   [`macrochip::campaign::ResultCache`] doubles as a dedupe table:
+//!   warm submissions short-circuit before they ever reach a worker.
+//! - **Observability.** Job progress streams the same `host.*` counters
+//!   (`points_done`, `sim_events`, `packets`, `cache_hits`,
+//!   `cache_misses`) the profiler records, as deltas since the job was
+//!   accepted.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, JobStatus, Submitted};
+pub use proto::{default_addr, Request, DEFAULT_ADDR, PROTOCOL_VERSION};
+pub use server::{ServeOptions, Server, ShutdownHandle};

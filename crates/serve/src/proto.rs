@@ -1,0 +1,547 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! Every request is one JSON object on one line; every response is one
+//! JSON object on one line (`\n`-terminated). The only exception is
+//! `watch`, where the server streams multiple `{"event": ...}` lines for
+//! one request, ending with `{"event": "end", ...}`.
+//!
+//! Campaign points travel as JSON objects built from the same canonical
+//! names the CLI uses ([`macrochip::names`]); results travel as
+//! [`PointResult::to_cache_bytes`] strings, the simulator's bit-exact
+//! float encoding, so a served result is comparable byte-for-byte with a
+//! direct `run_point` — the serve acceptance check is `assert_eq!` on
+//! those strings, not an epsilon.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"submit","command":"sweep","seed":7,"points":[{...},...]}
+//! {"op":"status","job":"job-1"}
+//! {"op":"result","job":"job-1"}
+//! {"op":"cancel","job":"job-1"}
+//! {"op":"watch","job":"job-1"}
+//! {"op":"shutdown"}
+//! ```
+
+use macrochip::campaign::CampaignPoint;
+use macrochip::json::{self, Value};
+use macrochip::names;
+use macrochip::sweep::SweepOptions;
+use netcore::metrics::{json_escape, json_f64};
+use std::fmt::Write as _;
+use workloads::SharingMix;
+
+/// Wire protocol version, reported by `ping` and checked by clients.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Default serve address when `MACROCHIP_SERVE_ADDR` is unset.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7447";
+
+/// The address clients and the daemon bind/connect by default:
+/// `$MACROCHIP_SERVE_ADDR`, falling back to [`DEFAULT_ADDR`].
+pub fn default_addr() -> String {
+    match std::env::var("MACROCHIP_SERVE_ADDR") {
+        Ok(addr) if !addr.is_empty() => addr,
+        _ => DEFAULT_ADDR.to_string(),
+    }
+}
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Ping,
+    Submit {
+        /// Label recorded in the job's manifest (e.g. `sweep`).
+        command: String,
+        /// Optional job seed; when present it overrides the seed of every
+        /// point, so one number pins the whole job deterministically.
+        seed: Option<u64>,
+        points: Vec<CampaignPoint>,
+    },
+    Status {
+        job: String,
+    },
+    Result {
+        job: String,
+    },
+    Cancel {
+        job: String,
+    },
+    Watch {
+        job: String,
+    },
+    Shutdown,
+}
+
+/// Serializes one campaign point as a wire object.
+pub fn encode_point(point: &CampaignPoint) -> String {
+    let mut s = String::from("{");
+    match point {
+        CampaignPoint::Sweep {
+            kind,
+            pattern,
+            offered,
+            options,
+        } => {
+            let _ = write!(
+                s,
+                "\"type\":\"sweep\",\"network\":\"{}\",\"pattern\":\"{}\",\"offered\":{},\
+                 \"sim_ps\":{},\"drain_ps\":{},\"max_stalled\":{},\"seed\":{}",
+                names::network_code(*kind),
+                names::pattern_code(*pattern),
+                json_f64(*offered),
+                options.sim.as_ps(),
+                options.drain.as_ps(),
+                options.max_stalled,
+                options.seed,
+            );
+        }
+        CampaignPoint::Fault {
+            kind,
+            pattern,
+            load,
+            plan,
+            seed,
+            sim,
+            drain,
+            max_stalled,
+        } => {
+            let _ = write!(
+                s,
+                "\"type\":\"fault\",\"network\":\"{}\",\"pattern\":\"{}\",\"load\":{},\
+                 \"plan\":\"{}\",\"seed\":{},\"sim_ps\":{},\"drain_ps\":{},\"max_stalled\":{}",
+                names::network_code(*kind),
+                names::pattern_code(*pattern),
+                json_f64(*load),
+                json_escape(&plan.to_spec()),
+                seed,
+                sim.as_ps(),
+                drain.as_ps(),
+                max_stalled,
+            );
+        }
+        CampaignPoint::Coherent { kind, spec, seed } => {
+            let (workload, ops, mix) = match spec {
+                macrochip::experiment::WorkloadSpec::App(p) => {
+                    (p.name.to_string(), p.ops_per_core, "less")
+                }
+                macrochip::experiment::WorkloadSpec::Synthetic {
+                    pattern,
+                    mix,
+                    ops_per_core,
+                } => (
+                    names::pattern_code(*pattern).to_string(),
+                    *ops_per_core,
+                    match mix {
+                        SharingMix::LessSharing => "less",
+                        SharingMix::MoreSharing => "more",
+                    },
+                ),
+            };
+            let _ = write!(
+                s,
+                "\"type\":\"coherent\",\"network\":\"{}\",\"workload\":\"{}\",\"ops\":{ops},\
+                 \"mix\":\"{mix}\",\"seed\":{seed}",
+                names::network_code(*kind),
+                json_escape(&workload),
+            );
+        }
+        CampaignPoint::Replay {
+            kind,
+            trace,
+            content_hash,
+            plan,
+            seed,
+            drain,
+            max_stalled,
+        } => {
+            let _ = write!(
+                s,
+                "\"type\":\"replay\",\"network\":\"{}\",\"trace\":\"{}\",\
+                 \"content_hash\":\"{content_hash:016x}\",",
+                names::network_code(*kind),
+                json_escape(trace),
+            );
+            match plan {
+                Some(p) => {
+                    let _ = write!(s, "\"plan\":\"{}\",", json_escape(&p.to_spec()));
+                }
+                None => s.push_str("\"plan\":null,"),
+            }
+            let _ = write!(
+                s,
+                "\"seed\":{seed},\"drain_ps\":{},\"max_stalled\":{}",
+                drain.as_ps(),
+                max_stalled,
+            );
+        }
+    }
+    s.push('}');
+    s
+}
+
+fn str_field<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing or non-string \"{key}\""))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or invalid \"{key}\""))
+}
+
+fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing or non-number \"{key}\""))
+}
+
+fn usize_field(v: &Value, key: &str) -> Result<usize, String> {
+    usize::try_from(u64_field(v, key)?).map_err(|_| format!("\"{key}\" out of range"))
+}
+
+fn network_field(v: &Value) -> Result<netcore::NetworkKind, String> {
+    let code = str_field(v, "network")?;
+    names::parse_network(code).ok_or_else(|| format!("unknown network {code:?}"))
+}
+
+fn pattern_field(v: &Value) -> Result<workloads::Pattern, String> {
+    let code = str_field(v, "pattern")?;
+    names::parse_pattern(code).ok_or_else(|| format!("unknown pattern {code:?}"))
+}
+
+fn plan_field(spec: &str) -> Result<faults::FaultPlan, String> {
+    faults::FaultPlan::parse(spec).map_err(|e| format!("bad fault plan: {e}"))
+}
+
+/// Parses one campaign point from a wire object.
+pub fn decode_point(v: &Value) -> Result<CampaignPoint, String> {
+    match str_field(v, "type")? {
+        "sweep" => Ok(CampaignPoint::Sweep {
+            kind: network_field(v)?,
+            pattern: pattern_field(v)?,
+            offered: f64_field(v, "offered")?,
+            options: SweepOptions {
+                sim: desim::Span::from_ps(u64_field(v, "sim_ps")?),
+                drain: desim::Span::from_ps(u64_field(v, "drain_ps")?),
+                max_stalled: usize_field(v, "max_stalled")?,
+                seed: u64_field(v, "seed")?,
+            },
+        }),
+        "fault" => Ok(CampaignPoint::Fault {
+            kind: network_field(v)?,
+            pattern: pattern_field(v)?,
+            load: f64_field(v, "load")?,
+            plan: plan_field(str_field(v, "plan")?)?,
+            seed: u64_field(v, "seed")?,
+            sim: desim::Span::from_ps(u64_field(v, "sim_ps")?),
+            drain: desim::Span::from_ps(u64_field(v, "drain_ps")?),
+            max_stalled: usize_field(v, "max_stalled")?,
+        }),
+        "coherent" => {
+            let name = str_field(v, "workload")?;
+            let ops = u32::try_from(u64_field(v, "ops")?).map_err(|_| "\"ops\" out of range")?;
+            let mut spec = names::parse_workload(name, ops)
+                .ok_or_else(|| format!("unknown workload {name:?}"))?;
+            if let Some("more") = v.get("mix").and_then(Value::as_str) {
+                if let macrochip::experiment::WorkloadSpec::Synthetic { mix, .. } = &mut spec {
+                    *mix = SharingMix::MoreSharing;
+                }
+            }
+            Ok(CampaignPoint::Coherent {
+                kind: network_field(v)?,
+                spec,
+                seed: u64_field(v, "seed")?,
+            })
+        }
+        "replay" => {
+            let hash = str_field(v, "content_hash")?;
+            let plan = match v.get("plan") {
+                None | Some(Value::Null) => None,
+                Some(Value::String(spec)) => Some(plan_field(spec)?),
+                Some(_) => return Err("\"plan\" must be a string or null".into()),
+            };
+            Ok(CampaignPoint::Replay {
+                kind: network_field(v)?,
+                trace: str_field(v, "trace")?.to_string(),
+                content_hash: u64::from_str_radix(hash, 16)
+                    .map_err(|_| format!("bad content_hash {hash:?}"))?,
+                plan,
+                seed: u64_field(v, "seed")?,
+                drain: desim::Span::from_ps(u64_field(v, "drain_ps")?),
+                max_stalled: usize_field(v, "max_stalled")?,
+            })
+        }
+        other => Err(format!("unknown point type {other:?}")),
+    }
+}
+
+/// Serializes a request as one wire line (no trailing newline).
+pub fn encode_request(req: &Request) -> String {
+    match req {
+        Request::Ping => "{\"op\":\"ping\"}".to_string(),
+        Request::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
+        Request::Status { job } => {
+            format!("{{\"op\":\"status\",\"job\":\"{}\"}}", json_escape(job))
+        }
+        Request::Result { job } => {
+            format!("{{\"op\":\"result\",\"job\":\"{}\"}}", json_escape(job))
+        }
+        Request::Cancel { job } => {
+            format!("{{\"op\":\"cancel\",\"job\":\"{}\"}}", json_escape(job))
+        }
+        Request::Watch { job } => format!("{{\"op\":\"watch\",\"job\":\"{}\"}}", json_escape(job)),
+        Request::Submit {
+            command,
+            seed,
+            points,
+        } => {
+            let mut s = format!(
+                "{{\"op\":\"submit\",\"command\":\"{}\",",
+                json_escape(command)
+            );
+            if let Some(seed) = seed {
+                let _ = write!(s, "\"seed\":{seed},");
+            }
+            s.push_str("\"points\":[");
+            for (i, p) in points.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&encode_point(p));
+            }
+            s.push_str("]}");
+            s
+        }
+    }
+}
+
+/// Parses one request line.
+pub fn decode_request(line: &str) -> Result<Request, String> {
+    let v = json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    match str_field(&v, "op")? {
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        "status" => Ok(Request::Status {
+            job: str_field(&v, "job")?.to_string(),
+        }),
+        "result" => Ok(Request::Result {
+            job: str_field(&v, "job")?.to_string(),
+        }),
+        "cancel" => Ok(Request::Cancel {
+            job: str_field(&v, "job")?.to_string(),
+        }),
+        "watch" => Ok(Request::Watch {
+            job: str_field(&v, "job")?.to_string(),
+        }),
+        "submit" => {
+            let seed = match v.get("seed") {
+                None | Some(Value::Null) => None,
+                Some(s) => Some(
+                    s.as_u64()
+                        .ok_or("\"seed\" must be a non-negative integer")?,
+                ),
+            };
+            let raw = v
+                .get("points")
+                .and_then(Value::as_array)
+                .ok_or("missing \"points\" array")?;
+            if raw.is_empty() {
+                return Err("a job needs at least one point".into());
+            }
+            let points = raw
+                .iter()
+                .enumerate()
+                .map(|(i, p)| decode_point(p).map_err(|e| format!("point {i}: {e}")))
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(Request::Submit {
+                command: str_field(&v, "command")?.to_string(),
+                seed,
+                points,
+            })
+        }
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Forces `seed` onto every point of a job (the submit-level override):
+/// one number pins the whole job, mirroring the CLI's single `--seed`.
+pub fn apply_seed(points: &mut [CampaignPoint], seed: u64) {
+    for point in points {
+        match point {
+            CampaignPoint::Sweep { options, .. } => options.seed = seed,
+            CampaignPoint::Fault { seed: s, .. }
+            | CampaignPoint::Coherent { seed: s, .. }
+            | CampaignPoint::Replay { seed: s, .. } => *s = seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::Span;
+    use netcore::NetworkKind;
+    use workloads::Pattern;
+
+    fn sample_points() -> Vec<CampaignPoint> {
+        vec![
+            CampaignPoint::Sweep {
+                kind: NetworkKind::TwoPhase,
+                pattern: Pattern::Transpose,
+                offered: 0.137,
+                options: SweepOptions {
+                    sim: Span::from_us(1),
+                    drain: Span::from_us(5),
+                    max_stalled: 5_000,
+                    seed: 0xC0FFEE,
+                },
+            },
+            CampaignPoint::Fault {
+                kind: NetworkKind::TokenRing,
+                pattern: Pattern::Uniform,
+                load: 0.05,
+                plan: faults::FaultPlan::parse("rand-links=2; transient=0.01; repair=10us")
+                    .expect("valid plan"),
+                seed: 7,
+                sim: Span::from_us(1),
+                drain: Span::from_us(5),
+                max_stalled: 5_000,
+            },
+            CampaignPoint::Coherent {
+                kind: NetworkKind::PointToPoint,
+                spec: names::parse_workload("Swaptions", 40).expect("suite workload"),
+                seed: 0xCAFE,
+            },
+            CampaignPoint::Coherent {
+                kind: NetworkKind::CircuitSwitched,
+                spec: macrochip::experiment::WorkloadSpec::Synthetic {
+                    pattern: Pattern::Transpose,
+                    mix: SharingMix::MoreSharing,
+                    ops_per_core: 10,
+                },
+                seed: 1,
+            },
+            CampaignPoint::Replay {
+                kind: NetworkKind::LimitedPointToPoint,
+                trace: "traces/run one.mtrc".to_string(),
+                content_hash: 0xDEAD_BEEF_0BAD_F00D,
+                plan: Some(faults::FaultPlan::parse("rand-links=1").expect("valid plan")),
+                seed: 3,
+                drain: Span::from_us(20),
+                max_stalled: 5_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn points_round_trip_through_the_wire_encoding() {
+        for point in sample_points() {
+            let wire = encode_point(&point);
+            let v = json::parse(&wire).expect("wire point is valid JSON");
+            let back = decode_point(&v).expect("decodes");
+            assert_eq!(back, point, "wire: {wire}");
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = vec![
+            Request::Ping,
+            Request::Shutdown,
+            Request::Status {
+                job: "job-1".into(),
+            },
+            Request::Result {
+                job: "job-2".into(),
+            },
+            Request::Cancel {
+                job: "job-3".into(),
+            },
+            Request::Watch {
+                job: "job-4".into(),
+            },
+            Request::Submit {
+                command: "sweep".into(),
+                seed: Some(42),
+                points: sample_points(),
+            },
+            Request::Submit {
+                command: "faults".into(),
+                seed: None,
+                points: sample_points()[..1].to_vec(),
+            },
+        ];
+        for req in reqs {
+            let line = encode_request(&req);
+            assert!(!line.contains('\n'), "one request = one line: {line}");
+            assert_eq!(decode_request(&line).expect("decodes"), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        assert!(decode_request("not json")
+            .unwrap_err()
+            .contains("malformed JSON"));
+        assert!(decode_request("{\"no_op\":1}")
+            .unwrap_err()
+            .contains("\"op\""));
+        assert!(decode_request("{\"op\":\"dance\"}")
+            .unwrap_err()
+            .contains("unknown op"));
+        assert!(decode_request("{\"op\":\"status\"}")
+            .unwrap_err()
+            .contains("\"job\""));
+        let empty = "{\"op\":\"submit\",\"command\":\"sweep\",\"points\":[]}";
+        assert!(decode_request(empty)
+            .unwrap_err()
+            .contains("at least one point"));
+        let bad_point =
+            "{\"op\":\"submit\",\"command\":\"sweep\",\"points\":[{\"type\":\"sweep\"}]}";
+        assert!(decode_request(bad_point).unwrap_err().contains("point 0"));
+        let bad_net = "{\"op\":\"submit\",\"command\":\"s\",\"points\":[{\"type\":\"sweep\",\
+                       \"network\":\"warp\",\"pattern\":\"uniform\",\"offered\":0.1,\
+                       \"sim_ps\":1,\"drain_ps\":1,\"max_stalled\":1,\"seed\":1}]}";
+        assert!(decode_request(bad_net)
+            .unwrap_err()
+            .contains("unknown network"));
+    }
+
+    #[test]
+    fn job_seed_overrides_every_point() {
+        let mut points = sample_points();
+        apply_seed(&mut points, 99);
+        for p in &points {
+            let seed = match p {
+                CampaignPoint::Sweep { options, .. } => options.seed,
+                CampaignPoint::Fault { seed, .. }
+                | CampaignPoint::Coherent { seed, .. }
+                | CampaignPoint::Replay { seed, .. } => *seed,
+            };
+            assert_eq!(seed, 99);
+        }
+    }
+
+    #[test]
+    fn offered_loads_round_trip_bit_exactly() {
+        // The cache key hashes the load's bits; the wire must preserve
+        // them exactly or a served job would miss the direct run's entry.
+        for &offered in &[0.1, 1.0 / 3.0, 0.137, f64::from_bits(0x3FB9_9999_9999_999A)] {
+            let point = CampaignPoint::Sweep {
+                kind: NetworkKind::PointToPoint,
+                pattern: Pattern::Uniform,
+                offered,
+                options: SweepOptions::default(),
+            };
+            let v = json::parse(&encode_point(&point)).unwrap();
+            let CampaignPoint::Sweep { offered: back, .. } = decode_point(&v).unwrap() else {
+                unreachable!();
+            };
+            assert_eq!(back.to_bits(), offered.to_bits());
+        }
+    }
+}

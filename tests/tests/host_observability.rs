@@ -143,6 +143,7 @@ fn bench_runs_are_deterministic_modulo_timing() {
         drain: Span::from_us(2),
         trace: false,
         progress: false,
+        max_regression: macrochip::bench::DEFAULT_MAX_REGRESSION,
     };
     let a = run_bench(&config, &options);
     let b = run_bench(&config, &options);
@@ -169,6 +170,7 @@ fn traced_bench_does_identical_work() {
         drain: Span::from_us(2),
         trace: false,
         progress: false,
+        max_regression: macrochip::bench::DEFAULT_MAX_REGRESSION,
     };
     let plain = run_bench(&config, &options);
     options.trace = true;
