@@ -120,6 +120,8 @@ OUTPUT (sweep, sustained, faults, run-all):
     --profile          enable the span profiler (event dispatch, network
                        step, injection, source, trace fan-out, audit) and
                        print its self/total table to stderr on completion.
+                       Under bench, the table is also written alongside
+                       the baseline as BENCH_<n>.profile.txt.
                        Simulation results are byte-identical either way
 
 HOST PERF BASELINE (bench):
@@ -1643,7 +1645,18 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         );
     }
     if profile {
-        eprint!("{}", prof::report().table());
+        let table = prof::report().table();
+        eprint!("{table}");
+        // The self-time table lands next to the baseline so before/after
+        // hot-site breakdowns can be diffed the same way BENCH files are.
+        let prof_path = out_path
+            .strip_suffix(".json")
+            .map(|stem| format!("{stem}.profile.txt"))
+            .unwrap_or_else(|| format!("{out_path}.profile.txt"));
+        std::fs::write(&prof_path, &table).map_err(|e| format!("writing {prof_path}: {e}"))?;
+        if !quiet {
+            println!("wrote {prof_path} (span-profiler self-time table)");
+        }
     }
 
     if let Some(base_path) = flag(args, "--against") {

@@ -45,6 +45,9 @@ pub fn run_load_point_audited(
         Tracer::shared(&auditor),
     );
     let end = Time::ZERO + options.sim + options.drain;
+    if net.next_event().is_none() {
+        auditor.borrow_mut().check_slab_idle(net.slab_stats(), end);
+    }
     let report = auditor.borrow_mut().finalize(net.stats(), 0, end);
     (point, report)
 }
@@ -59,6 +62,9 @@ pub fn run_replay_audited(
     let auditor = shared_auditor(kind, config);
     let (summary, net) = run_replay(kind, path, config, options, Tracer::shared(&auditor))?;
     let end = Time::ZERO + Span::from_ns_f64(summary.end_ns);
+    if net.next_event().is_none() {
+        auditor.borrow_mut().check_slab_idle(net.slab_stats(), end);
+    }
     let report = auditor.borrow_mut().finalize(net.stats(), 0, end);
     Ok((summary, report))
 }
@@ -86,6 +92,9 @@ pub fn run_replay_faulted_audited(
         Tracer::shared(&auditor),
     )?;
     let end = Time::ZERO + Span::from_ns_f64(summary.end_ns);
+    if net.next_event().is_none() {
+        auditor.borrow_mut().check_slab_idle(net.slab_stats(), end);
+    }
     let report = auditor
         .borrow_mut()
         .finalize(net.stats(), net.fault_stats().dropped, end);
@@ -144,6 +153,9 @@ pub fn differential_replay(
         let auditor = shared_auditor(kind, config);
         let (summary, net) = run_replay(kind, path, config, options, Tracer::shared(&auditor))?;
         let end = Time::ZERO + Span::from_ns_f64(summary.end_ns);
+        if net.next_event().is_none() {
+            auditor.borrow_mut().check_slab_idle(net.slab_stats(), end);
+        }
         let injected = auditor.borrow().injected_set_digest();
         let report = auditor.borrow_mut().finalize(net.stats(), 0, end);
         runs.push(DifferentialRun {

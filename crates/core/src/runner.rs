@@ -145,8 +145,15 @@ fn drive_loop(
 ) -> RunOutcome {
     let mut stalled: VecDeque<Packet> = VecDeque::new();
     let mut emissions: Vec<Packet> = Vec::new();
+    let mut delivered: Vec<Packet> = Vec::new();
     let mut now = Time::ZERO;
     let mut iterations: u32 = 0;
+    // An open-loop source cannot change its schedule on a delivery, so a
+    // batch-capable network may be advanced through every event up to the
+    // next emission in one call instead of one driver iteration per event.
+    // Stalled packets force the per-event path: they are re-offered after
+    // every network event, and that retry cadence is part of the results.
+    let batchable = net.supports_batched_advance() && !source.reacts_to_delivery();
 
     loop {
         let _dispatch = prof::span(Site::Dispatch);
@@ -181,54 +188,97 @@ fn drive_loop(
         }
         now = t;
 
-        {
-            let _step = prof::span(Site::NetworkStep);
-            net.advance(now);
-        }
-        {
-            let _drain = prof::span(Site::Drain);
-            for p in net.drain_delivered() {
-                source.on_delivered(&p, now);
-            }
-        }
-
-        let _inject = prof::span(Site::Inject);
-        // Re-offer stalled packets, FIFO, a bounded batch per event so a
-        // saturated run stays O(events) instead of O(events x stalls).
-        let retries = stalled.len().min(64);
-        for _ in 0..retries {
-            let p = stalled.pop_front().expect("len checked");
-            // Fast path: the packet is moved into the network, so its
-            // trace fields are copied out beforehand — only when the
-            // flight recorder is attached.
-            let retry_fields = tracer.is_enabled().then(|| (p.id.0, p.src.index()));
-            match net.inject(p, now) {
-                Ok(()) => {
-                    if let Some((id, src)) = retry_fields {
-                        tracer.emit(now, || TraceEvent::Retry {
-                            packet: id,
-                            site: src,
-                        });
+        let mut advanced = false;
+        if batchable && stalled.is_empty() {
+            // Sweep the network through every event up to the next
+            // emission instant (or the deadline) in one call, then inject
+            // at that instant in the *same* iteration — one driver
+            // iteration per emission instant instead of one per event.
+            // Each event still runs at its own timestamp inside
+            // `advance`, and events at the emission instant are processed
+            // before the injection, so results match the per-event path
+            // exactly.
+            match t_src {
+                Some(ts) if ts <= limits.deadline => {
+                    if t_net.is_some_and(|tn| tn <= ts) {
+                        let _step = prof::span(Site::NetworkStep);
+                        net.advance(ts);
+                        advanced = true;
+                    }
+                    now = ts;
+                }
+                // No further emissions inside the window: run the network
+                // dry up to the deadline and read the clock back.
+                _ => {
+                    if t_net.is_some_and(|tn| tn <= limits.deadline) {
+                        {
+                            let _step = prof::span(Site::NetworkStep);
+                            net.advance(limits.deadline);
+                        }
+                        advanced = true;
+                        now = net.last_event_time().expect("events were due");
                     }
                 }
-                Err(back) => stalled.push_back(back),
+            }
+        } else {
+            let _step = prof::span(Site::NetworkStep);
+            net.advance(now);
+            advanced = true;
+        }
+        // Deliveries only happen inside `advance`; an emission-only
+        // iteration has nothing to drain.
+        if advanced {
+            let _drain = prof::span(Site::Drain);
+            delivered.clear();
+            net.drain_delivered_into(&mut delivered);
+            for p in &delivered {
+                source.on_delivered(p, now);
             }
         }
-        drop(_inject);
 
-        emissions.clear();
-        {
-            let _emit = prof::span(Site::SourceEmit);
-            source.emit_due(now, &mut emissions);
+        if !stalled.is_empty() {
+            let _inject = prof::span(Site::Inject);
+            // Re-offer stalled packets, FIFO, a bounded batch per event so
+            // a saturated run stays O(events) instead of O(events x
+            // stalls).
+            let retries = stalled.len().min(64);
+            for _ in 0..retries {
+                let p = stalled.pop_front().expect("len checked");
+                // Fast path: the packet is moved into the network, so its
+                // trace fields are copied out beforehand — only when the
+                // flight recorder is attached.
+                let retry_fields = tracer.is_enabled().then(|| (p.id.0, p.src.index()));
+                match net.inject(p, now) {
+                    Ok(()) => {
+                        if let Some((id, src)) = retry_fields {
+                            tracer.emit(now, || TraceEvent::Retry {
+                                packet: id,
+                                site: src,
+                            });
+                        }
+                    }
+                    Err(back) => stalled.push_back(back),
+                }
+            }
         }
-        let _inject = prof::span(Site::Inject);
-        for p in emissions.drain(..) {
-            if let Err(back) = net.inject(p, now) {
-                tracer.emit(now, || TraceEvent::Stall {
-                    packet: back.id.0,
-                    site: back.src.index(),
-                });
-                stalled.push_back(back);
+
+        // Emissions are due only when the clock reached the next emission
+        // instant (on pure event iterations `emit_due` would be a no-op).
+        if t_src.is_some_and(|ts| ts <= now) {
+            emissions.clear();
+            {
+                let _emit = prof::span(Site::SourceEmit);
+                source.emit_due(now, &mut emissions);
+            }
+            let _inject = prof::span(Site::Inject);
+            for p in emissions.drain(..) {
+                if let Err(back) = net.inject(p, now) {
+                    tracer.emit(now, || TraceEvent::Stall {
+                        packet: back.id.0,
+                        site: back.src.index(),
+                    });
+                    stalled.push_back(back);
+                }
             }
         }
 

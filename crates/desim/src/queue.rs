@@ -1,8 +1,55 @@
-//! A deterministic event queue.
+//! A deterministic event queue with two interchangeable backends.
+//!
+//! The default backend is a **calendar (bucket) queue** tuned to the
+//! picosecond tick: power-of-two bucket widths, a fixed power-of-two
+//! bucket count, and a lazy overflow list for events beyond the current
+//! "year" (bucket span). The original `BinaryHeap` backend is kept as a
+//! reference implementation; both produce bit-identical pop sequences —
+//! events pop in `(time, insertion-sequence)` order — so a simulation's
+//! results never depend on the backend. Select with
+//! [`Backend`]/[`set_thread_backend`] or the `DESIM_EVENT_QUEUE`
+//! environment variable (`calendar` | `heap`).
 
 use crate::Time;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Which data structure backs an [`EventQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Calendar/bucket queue (default): O(1) amortized push/pop for the
+    /// clustered timestamps discrete-event simulations produce.
+    Calendar,
+    /// Binary heap: the reference implementation, O(log n) per operation.
+    Heap,
+}
+
+fn env_backend() -> Backend {
+    static FROM_ENV: std::sync::OnceLock<Backend> = std::sync::OnceLock::new();
+    *FROM_ENV.get_or_init(|| match std::env::var("DESIM_EVENT_QUEUE").as_deref() {
+        Ok("heap") => Backend::Heap,
+        Ok("calendar") | Ok(_) | Err(_) => Backend::Calendar,
+    })
+}
+
+thread_local! {
+    static THREAD_BACKEND: std::cell::Cell<Option<Backend>> = const { std::cell::Cell::new(None) };
+}
+
+/// Overrides the backend used by [`EventQueue::new`] on this thread
+/// (`None` restores the process default). The differential
+/// kernel-equivalence harness uses this to run heap-reference and
+/// calendar simulations side by side in one process.
+pub fn set_thread_backend(backend: Option<Backend>) {
+    THREAD_BACKEND.with(|b| b.set(backend));
+}
+
+/// The backend [`EventQueue::new`] will pick on this thread: the
+/// [`set_thread_backend`] override if set, else `DESIM_EVENT_QUEUE`, else
+/// [`Backend::Calendar`].
+pub fn current_backend() -> Backend {
+    THREAD_BACKEND.with(|b| b.get()).unwrap_or_else(env_backend)
+}
 
 /// A future event: timestamp, insertion sequence number, payload.
 struct Entry<E> {
@@ -36,10 +83,281 @@ impl<E> PartialEq for Entry<E> {
 
 impl<E> Eq for Entry<E> {}
 
+/// log2 of the bucket width in picoseconds. Pops pay an O(bucket-length)
+/// min scan, so the width is sized for the *densest* simulated workload:
+/// a 64-site mesh near saturation produces on the order of 100 events per
+/// nanosecond, and 2^5 ps = 32 ps keeps that to a handful of entries per
+/// bucket. (The original 4 ns width put hundreds of events in one bucket
+/// and made pops quadratic exactly on the networks the bench stresses.)
+const WIDTH_LOG2: u32 = 5;
+/// Buckets per "year". 8192 buckets × 32 ps ≈ 262 ns of calendar span —
+/// past the long single delays (multi-hundred-byte serialization, the
+/// ~32 ns token-regeneration penalty), so steady-state pushes land in the
+/// year and only genuinely far events (timeouts, coherence round trips)
+/// take the overflow path. The occupancy bitmap stays small (128 words)
+/// and bucket Vec capacities are retained across years, so the wider
+/// calendar costs memory only once.
+const NUM_BUCKETS: usize = 8192;
+const WIDTH: u64 = 1 << WIDTH_LOG2;
+const YEAR: u64 = (NUM_BUCKETS as u64) << WIDTH_LOG2;
+const OCC_WORDS: usize = NUM_BUCKETS / 64;
+
+/// Location of the calendar's current minimum entry, memoized so a
+/// peek→pop pair costs one scan.
+#[derive(Clone, Copy)]
+struct MinLoc {
+    time: Time,
+    seq: u64,
+    bucket: usize,
+    idx: usize,
+}
+
+struct Calendar<E> {
+    /// One Vec per bucket, recycled across years (capacity is retained).
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Occupancy bitmap over buckets: bit set ⇔ bucket non-empty.
+    occupancy: [u64; OCC_WORDS],
+    /// Start of the current year (picoseconds, aligned to the width).
+    base: u64,
+    /// First bucket index that may hold the minimum.
+    cursor: usize,
+    /// Entries currently in buckets (excludes the overflow list).
+    in_buckets: usize,
+    /// Events beyond `base + YEAR`, unsorted; redistributed lazily when
+    /// the calendar advances into their year.
+    overflow: Vec<Entry<E>>,
+    /// Minimum timestamp in `overflow` (ps); `u64::MAX` when empty.
+    overflow_min: u64,
+    cached_min: Option<MinLoc>,
+}
+
+impl<E> Calendar<E> {
+    fn new() -> Calendar<E> {
+        Calendar {
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            occupancy: [0; OCC_WORDS],
+            base: 0,
+            cursor: 0,
+            in_buckets: 0,
+            overflow: Vec::new(),
+            overflow_min: u64::MAX,
+            cached_min: None,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.in_buckets + self.overflow.len()
+    }
+
+    #[inline]
+    fn bucket_of(&self, ps: u64) -> usize {
+        ((ps - self.base) >> WIDTH_LOG2) as usize
+    }
+
+    #[inline]
+    fn mark(&mut self, b: usize) {
+        self.occupancy[b >> 6] |= 1u64 << (b & 63);
+    }
+
+    #[inline]
+    fn unmark(&mut self, b: usize) {
+        self.occupancy[b >> 6] &= !(1u64 << (b & 63));
+    }
+
+    /// First non-empty bucket at or after `from`, via the bitmap.
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        if from >= NUM_BUCKETS {
+            return None;
+        }
+        let mut w = from >> 6;
+        let mut word = self.occupancy[w] & (u64::MAX << (from & 63));
+        loop {
+            if word != 0 {
+                return Some((w << 6) + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= OCC_WORDS {
+                return None;
+            }
+            word = self.occupancy[w];
+        }
+    }
+
+    fn push(&mut self, time: Time, seq: u64, event: E) {
+        let ps = time.as_ps();
+        if ps < self.base {
+            // A push before the calendar's origin (arbitrary interleavings
+            // are legal, even if the simulations never rewind): rebuild
+            // around the new earliest time. Rare and O(n).
+            self.rebuild(ps);
+        }
+        // `ps - base` avoids overflow when the year sits near `Time::MAX`.
+        if ps - self.base >= YEAR {
+            self.overflow_min = self.overflow_min.min(ps);
+            self.overflow.push(Entry { time, seq, event });
+            return;
+        }
+        let b = self.bucket_of(ps);
+        let idx = self.buckets[b].len();
+        self.buckets[b].push(Entry { time, seq, event });
+        self.mark(b);
+        self.in_buckets += 1;
+        if b < self.cursor {
+            self.cursor = b;
+        }
+        // Appends never move existing entries, so a memoized location stays
+        // valid; it only changes if the new entry beats it. A `None` memo
+        // means "unknown" and is recomputed on demand.
+        if let Some(m) = self.cached_min {
+            if (time, seq) < (m.time, m.seq) {
+                self.cached_min = Some(MinLoc {
+                    time,
+                    seq,
+                    bucket: b,
+                    idx,
+                });
+            }
+        }
+    }
+
+    /// Re-anchors the calendar at `ps` and redistributes every entry.
+    fn rebuild(&mut self, ps: u64) {
+        let mut all: Vec<Entry<E>> = std::mem::take(&mut self.overflow);
+        for b in &mut self.buckets {
+            all.append(b);
+        }
+        self.occupancy = [0; OCC_WORDS];
+        self.in_buckets = 0;
+        self.overflow_min = u64::MAX;
+        self.cached_min = None;
+        self.base = ps & !(WIDTH - 1);
+        self.cursor = 0;
+        for e in all {
+            let eps = e.time.as_ps();
+            if eps - self.base >= YEAR {
+                self.overflow_min = self.overflow_min.min(eps);
+                self.overflow.push(e);
+            } else {
+                let b = self.bucket_of(eps);
+                self.buckets[b].push(e);
+                self.mark(b);
+                self.in_buckets += 1;
+            }
+        }
+    }
+
+    /// All buckets are empty: jump the year to the overflow's minimum and
+    /// redistribute the entries that fall inside it.
+    fn advance_year(&mut self) {
+        debug_assert!(self.in_buckets == 0 && !self.overflow.is_empty());
+        self.base = self.overflow_min & !(WIDTH - 1);
+        self.cursor = 0;
+        self.overflow_min = u64::MAX;
+        let mut i = 0;
+        while i < self.overflow.len() {
+            let eps = self.overflow[i].time.as_ps();
+            if eps - self.base < YEAR {
+                let e = self.overflow.swap_remove(i);
+                let b = self.bucket_of(eps);
+                self.buckets[b].push(e);
+                self.mark(b);
+                self.in_buckets += 1;
+            } else {
+                self.overflow_min = self.overflow_min.min(eps);
+                i += 1;
+            }
+        }
+    }
+
+    /// Locates the minimum bucket entry, memoizing it. Caller guarantees
+    /// `in_buckets > 0` or a non-empty overflow.
+    fn ensure_min(&mut self) -> MinLoc {
+        if let Some(m) = self.cached_min {
+            return m;
+        }
+        if self.in_buckets == 0 {
+            self.advance_year();
+        }
+        let b = self
+            .next_occupied(self.cursor)
+            .expect("occupancy tracks non-empty buckets");
+        self.cursor = b;
+        let bucket = &self.buckets[b];
+        let mut best = 0;
+        for (i, e) in bucket.iter().enumerate().skip(1) {
+            if (e.time, e.seq) < (bucket[best].time, bucket[best].seq) {
+                best = i;
+            }
+        }
+        let m = MinLoc {
+            time: bucket[best].time,
+            seq: bucket[best].seq,
+            bucket: b,
+            idx: best,
+        };
+        self.cached_min = Some(m);
+        m
+    }
+
+    fn peek_time(&self) -> Option<Time> {
+        if let Some(m) = self.cached_min {
+            return Some(m.time);
+        }
+        if self.in_buckets > 0 {
+            let b = self.next_occupied(self.cursor)?;
+            let t = self.buckets[b]
+                .iter()
+                .map(|e| e.time)
+                .min()
+                .expect("occupied bucket");
+            return Some(t);
+        }
+        if !self.overflow.is_empty() {
+            return Some(Time::from_ps(self.overflow_min));
+        }
+        None
+    }
+
+    fn pop(&mut self) -> Option<(Time, E)> {
+        if self.len() == 0 {
+            return None;
+        }
+        let m = self.ensure_min();
+        self.cached_min = None;
+        let bucket = &mut self.buckets[m.bucket];
+        let entry = bucket.swap_remove(m.idx);
+        if bucket.is_empty() {
+            self.unmark(m.bucket);
+        }
+        self.in_buckets -= 1;
+        Some((entry.time, entry.event))
+    }
+
+    fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.occupancy = [0; OCC_WORDS];
+        self.in_buckets = 0;
+        self.overflow.clear();
+        self.overflow_min = u64::MAX;
+        self.cached_min = None;
+        self.cursor = 0;
+    }
+}
+
+enum Inner<E> {
+    Heap(BinaryHeap<Entry<E>>),
+    Calendar(Box<Calendar<E>>),
+}
+
 /// A time-ordered priority queue of simulation events.
 ///
 /// Events with equal timestamps pop in insertion (FIFO) order, which makes
 /// every simulation built on this queue deterministic for a given seed.
+/// The determinism contract is backend-independent: whether backed by the
+/// calendar queue or the reference binary heap, pops come out in
+/// `(time, insertion-sequence)` order, bit-identically.
 ///
 /// # Example
 ///
@@ -51,23 +369,44 @@ impl<E> Eq for Entry<E> {}
 /// q.push(Time::from_ns(1), 'a');
 /// q.push(Time::from_ns(2), 'c');
 /// assert_eq!(q.pop(), Some((Time::from_ns(1), 'a')));
+/// // Equal timestamps pop in insertion order, on either backend.
 /// assert_eq!(q.pop(), Some((Time::from_ns(2), 'b')));
 /// assert_eq!(q.pop(), Some((Time::from_ns(2), 'c')));
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    inner: Inner<E>,
     next_seq: u64,
     popped: u64,
+    last_popped: Option<Time>,
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the thread's current backend (see
+    /// [`current_backend`]).
     pub fn new() -> EventQueue<E> {
+        EventQueue::with_backend(current_backend())
+    }
+
+    /// Creates an empty queue on an explicit backend.
+    pub fn with_backend(backend: Backend) -> EventQueue<E> {
+        let inner = match backend {
+            Backend::Heap => Inner::Heap(BinaryHeap::new()),
+            Backend::Calendar => Inner::Calendar(Box::new(Calendar::new())),
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            inner,
             next_seq: 0,
             popped: 0,
+            last_popped: None,
+        }
+    }
+
+    /// The backend this queue runs on.
+    pub fn backend(&self) -> Backend {
+        match self.inner {
+            Inner::Heap(_) => Backend::Heap,
+            Inner::Calendar(_) => Backend::Calendar,
         }
     }
 
@@ -75,27 +414,45 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: Time, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        match &mut self.inner {
+            Inner::Heap(h) => h.push(Entry { time, seq, event }),
+            Inner::Calendar(c) => c.push(time, seq, event),
+        }
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(Time, E)> {
         let _span = crate::prof::span(crate::prof::Site::QueuePop);
-        let popped = self.heap.pop().map(|e| (e.time, e.event));
-        if popped.is_some() {
+        let popped = match &mut self.inner {
+            Inner::Heap(h) => h.pop().map(|e| (e.time, e.event)),
+            Inner::Calendar(c) => c.pop(),
+        };
+        if let Some((t, _)) = &popped {
             self.popped += 1;
+            self.last_popped = Some(*t);
         }
         popped
     }
 
     /// Timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.time)
+        match &self.inner {
+            Inner::Heap(h) => h.peek().map(|e| e.time),
+            Inner::Calendar(c) => c.peek_time(),
+        }
     }
 
     /// Removes and returns the earliest event only if it is due at or
     /// before `now`.
     pub fn pop_due(&mut self, now: Time) -> Option<(Time, E)> {
+        // On the calendar backend, locate-and-memoize the minimum once so
+        // the peek and the (likely) pop share a single scan.
+        if let Inner::Calendar(c) = &mut self.inner {
+            if c.len() == 0 || c.ensure_min().time > now {
+                return None;
+            }
+            return self.pop();
+        }
         if self.peek_time()? <= now {
             self.pop()
         } else {
@@ -111,19 +468,32 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
+    /// Timestamp of the most recently popped event, if any. This is the
+    /// "simulation clock" a batched driver reads back after advancing a
+    /// network through multiple events in one call.
+    pub fn last_popped(&self) -> Option<Time> {
+        self.last_popped
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.inner {
+            Inner::Heap(h) => h.len(),
+            Inner::Calendar(c) => c.len(),
+        }
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Discards all pending events.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.inner {
+            Inner::Heap(h) => h.clear(),
+            Inner::Calendar(c) => c.clear(),
+        }
     }
 }
 
@@ -136,7 +506,8 @@ impl<E> Default for EventQueue<E> {
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("len", &self.heap.len())
+            .field("backend", &self.backend())
+            .field("len", &self.len())
             .field("next_time", &self.peek_time())
             .finish()
     }
@@ -146,71 +517,151 @@ impl<E> std::fmt::Debug for EventQueue<E> {
 mod tests {
     use super::*;
 
+    fn backends() -> [Backend; 2] {
+        [Backend::Calendar, Backend::Heap]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        for &t in &[5u64, 1, 9, 3] {
-            q.push(Time::from_ns(t), t);
+        for backend in backends() {
+            let mut q = EventQueue::with_backend(backend);
+            for &t in &[5u64, 1, 9, 3] {
+                q.push(Time::from_ns(t), t);
+            }
+            let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec![1, 3, 5, 9], "{backend:?}");
         }
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec![1, 3, 5, 9]);
     }
 
     #[test]
     fn equal_timestamps_pop_fifo() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.push(Time::from_ns(7), i);
+        for backend in backends() {
+            let mut q = EventQueue::with_backend(backend);
+            for i in 0..100 {
+                q.push(Time::from_ns(7), i);
+            }
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>(), "{backend:?}");
         }
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn pop_due_respects_now() {
-        let mut q = EventQueue::new();
-        q.push(Time::from_ns(10), "later");
-        q.push(Time::from_ns(2), "soon");
-        assert_eq!(
-            q.pop_due(Time::from_ns(5)),
-            Some((Time::from_ns(2), "soon"))
-        );
-        assert_eq!(q.pop_due(Time::from_ns(5)), None);
-        assert_eq!(q.len(), 1);
+        for backend in backends() {
+            let mut q = EventQueue::with_backend(backend);
+            q.push(Time::from_ns(10), "later");
+            q.push(Time::from_ns(2), "soon");
+            assert_eq!(
+                q.pop_due(Time::from_ns(5)),
+                Some((Time::from_ns(2), "soon"))
+            );
+            assert_eq!(q.pop_due(Time::from_ns(5)), None);
+            assert_eq!(q.len(), 1);
+        }
     }
 
     #[test]
     fn peek_time_sees_earliest() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.peek_time(), None);
-        q.push(Time::from_ns(4), ());
-        q.push(Time::from_ns(2), ());
-        assert_eq!(q.peek_time(), Some(Time::from_ns(2)));
+        for backend in backends() {
+            let mut q = EventQueue::with_backend(backend);
+            assert_eq!(q.peek_time(), None);
+            q.push(Time::from_ns(4), ());
+            q.push(Time::from_ns(2), ());
+            assert_eq!(q.peek_time(), Some(Time::from_ns(2)));
+        }
     }
 
     #[test]
     fn clear_empties_queue() {
-        let mut q = EventQueue::new();
-        q.push(Time::ZERO, ());
-        q.clear();
-        assert!(q.is_empty());
+        for backend in backends() {
+            let mut q = EventQueue::with_backend(backend);
+            q.push(Time::ZERO, 'z');
+            q.clear();
+            assert!(q.is_empty());
+            // A cleared calendar keeps working.
+            q.push(Time::from_us(3), 'x');
+            q.push(Time::from_ns(1), 'y');
+            assert_eq!(q.pop(), Some((Time::from_ns(1), 'y')));
+            assert_eq!(q.pop(), Some((Time::from_us(3), 'x')));
+        }
     }
 
     #[test]
     fn popped_counts_successful_pops_only() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.popped(), 0);
-        q.push(Time::from_ns(1), ());
-        q.push(Time::from_ns(2), ());
-        q.pop();
-        assert_eq!(q.popped(), 1);
-        assert_eq!(q.pop_due(Time::ZERO), None, "not due yet");
-        assert_eq!(q.popped(), 1, "a refused pop_due must not count");
-        q.pop();
-        q.pop();
-        assert_eq!(q.popped(), 2, "popping empty must not count");
-        q.push(Time::ZERO, ());
-        q.clear();
-        assert_eq!(q.popped(), 2, "clear discards without counting");
+        for backend in backends() {
+            let mut q = EventQueue::with_backend(backend);
+            assert_eq!(q.popped(), 0);
+            q.push(Time::from_ns(1), ());
+            q.push(Time::from_ns(2), ());
+            q.pop();
+            assert_eq!(q.popped(), 1);
+            assert_eq!(q.pop_due(Time::ZERO), None, "not due yet");
+            assert_eq!(q.popped(), 1, "a refused pop_due must not count");
+            q.pop();
+            q.pop();
+            assert_eq!(q.popped(), 2, "popping empty must not count");
+            q.push(Time::ZERO, ());
+            q.clear();
+            assert_eq!(q.popped(), 2, "clear discards without counting");
+        }
+    }
+
+    #[test]
+    fn last_popped_tracks_the_latest_pop() {
+        for backend in backends() {
+            let mut q = EventQueue::with_backend(backend);
+            assert_eq!(q.last_popped(), None);
+            q.push(Time::from_ns(3), ());
+            q.push(Time::from_ns(8), ());
+            q.pop();
+            assert_eq!(q.last_popped(), Some(Time::from_ns(3)));
+            q.pop();
+            assert_eq!(q.last_popped(), Some(Time::from_ns(8)));
+            q.pop();
+            assert_eq!(
+                q.last_popped(),
+                Some(Time::from_ns(8)),
+                "empty pop keeps it"
+            );
+        }
+    }
+
+    #[test]
+    fn calendar_crosses_years_and_overflow() {
+        // Events far beyond one calendar year land in the overflow list
+        // and redistribute on demand, interleaved with near events.
+        let mut q = EventQueue::with_backend(Backend::Calendar);
+        let times: Vec<u64> = vec![3, 1_500, 1_048_576, 5_000_000, 1_048_577, 40];
+        for &t in &times {
+            q.push(Time::from_ps(t), t);
+        }
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn calendar_handles_past_pushes() {
+        // Pushing earlier than everything already popped-around must
+        // still pop in global order (the heap model allows it).
+        let mut q = EventQueue::with_backend(Backend::Calendar);
+        q.push(Time::from_us(10), "far");
+        assert_eq!(q.peek_time(), Some(Time::from_us(10)));
+        q.push(Time::from_ns(1), "near");
+        assert_eq!(q.pop(), Some((Time::from_ns(1), "near")));
+        q.push(Time::from_ps(1), "nearer");
+        assert_eq!(q.pop(), Some((Time::from_ps(1), "nearer")));
+        assert_eq!(q.pop(), Some((Time::from_us(10), "far")));
+    }
+
+    #[test]
+    fn backend_selection_is_thread_overridable() {
+        set_thread_backend(Some(Backend::Heap));
+        let q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.backend(), Backend::Heap);
+        set_thread_backend(None);
+        let q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.backend(), current_backend());
     }
 }

@@ -1,0 +1,150 @@
+//! Property tests proving the calendar queue equivalent to the reference
+//! `BinaryHeap` backend, pop for pop, under arbitrary push/pop
+//! interleavings — including FIFO order among equal timestamps and the
+//! `popped()`/`len()` counters.
+
+use desim::{Backend, EventQueue, Time};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u64),
+    Pop,
+    PopDue(u64),
+    PeekTime,
+}
+
+/// Clustered timestamps: the shape real simulations produce — small
+/// positive deltas around a slowly advancing clock.
+fn clustered_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..200_000).prop_map(Op::Push),
+            (0u64..200_000).prop_map(Op::Push),
+            (0u64..200_000).prop_map(Op::Push),
+            (0u64..200_000).prop_map(Op::Push),
+            Just(Op::Pop),
+            Just(Op::Pop),
+            (0u64..200_000).prop_map(Op::PopDue),
+            Just(Op::PeekTime),
+        ],
+        0..400,
+    )
+}
+
+/// Pathological: every timestamp lands in the same calendar bucket, so
+/// ordering is decided purely by the in-bucket (time, seq) scan.
+fn same_bucket_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..4_096).prop_map(Op::Push),
+            (0u64..4_096).prop_map(Op::Push),
+            (0u64..4_096).prop_map(Op::Push),
+            Just(Op::Pop),
+            Just(Op::Pop),
+        ],
+        0..400,
+    )
+}
+
+/// Pathological: maximum spread — timestamps across many calendar years,
+/// exercising the overflow list, year advance, and past-time rebuilds.
+fn max_spread_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..u64::MAX / 2).prop_map(Op::Push),
+            (0u64..u64::MAX / 2).prop_map(Op::Push),
+            (0u64..u64::MAX / 2).prop_map(Op::Push),
+            (0u64..u64::MAX / 2).prop_map(Op::Push),
+            Just(Op::Pop),
+            Just(Op::Pop),
+            (0u64..u64::MAX / 2).prop_map(Op::PopDue),
+        ],
+        0..400,
+    )
+}
+
+fn run_differential(ops: &[Op]) {
+    let mut calendar: EventQueue<u32> = EventQueue::with_backend(Backend::Calendar);
+    let mut heap: EventQueue<u32> = EventQueue::with_backend(Backend::Heap);
+    let mut payload = 0u32;
+    for (step, op) in ops.iter().enumerate() {
+        match op {
+            Op::Push(ps) => {
+                calendar.push(Time::from_ps(*ps), payload);
+                heap.push(Time::from_ps(*ps), payload);
+                payload += 1;
+            }
+            Op::Pop => {
+                assert_eq!(calendar.pop(), heap.pop(), "pop diverged at step {step}");
+            }
+            Op::PopDue(now) => {
+                assert_eq!(
+                    calendar.pop_due(Time::from_ps(*now)),
+                    heap.pop_due(Time::from_ps(*now)),
+                    "pop_due diverged at step {step}"
+                );
+            }
+            Op::PeekTime => {
+                assert_eq!(
+                    calendar.peek_time(),
+                    heap.peek_time(),
+                    "peek_time diverged at step {step}"
+                );
+            }
+        }
+        assert_eq!(calendar.len(), heap.len(), "len diverged at step {step}");
+        assert_eq!(
+            calendar.popped(),
+            heap.popped(),
+            "popped diverged at step {step}"
+        );
+        assert_eq!(calendar.is_empty(), heap.is_empty());
+    }
+    // Drain both to the end: the full residual order must agree too.
+    loop {
+        let (c, h) = (calendar.pop(), heap.pop());
+        assert_eq!(c, h, "drain diverged");
+        if c.is_none() {
+            break;
+        }
+    }
+    assert_eq!(calendar.popped(), heap.popped());
+    assert_eq!(calendar.last_popped(), heap.last_popped());
+}
+
+proptest! {
+    #[test]
+    fn clustered_interleavings_match_heap(ops in clustered_ops()) {
+        run_differential(&ops);
+    }
+
+    #[test]
+    fn same_bucket_interleavings_match_heap(ops in same_bucket_ops()) {
+        run_differential(&ops);
+    }
+
+    #[test]
+    fn max_spread_interleavings_match_heap(ops in max_spread_ops()) {
+        run_differential(&ops);
+    }
+
+    /// Equal-timestamp pushes must drain in insertion order regardless of
+    /// how many distinct timestamps interleave between them.
+    #[test]
+    fn fifo_among_equal_times(times in proptest::collection::vec(0u64..64, 1..200)) {
+        let mut q: EventQueue<usize> = EventQueue::with_backend(Backend::Calendar);
+        // Map each op into one of 64 shared timestamps so collisions are dense.
+        for (i, t) in times.iter().enumerate() {
+            q.push(Time::from_ps(*t * 4_096), i);
+        }
+        let mut last: Option<(Time, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t > lt || (t == lt && i > li),
+                    "FIFO violated: ({lt:?},{li}) then ({t:?},{i})");
+            }
+            last = Some((t, i));
+        }
+    }
+}

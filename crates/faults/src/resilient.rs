@@ -125,6 +125,11 @@ pub struct ResilientNetwork {
     attempts: HashMap<u64, u32>,
     dead: Vec<bool>,
     delivered: Vec<Packet>,
+    /// Reused buffer for draining the inner network.
+    scratch: Vec<Packet>,
+    /// Timestamp of the last processed step (inner event, fault, or retry
+    /// flush) — the wrapper's own clock for batched driving.
+    last_step: Option<Time>,
     fstats: FaultStats,
     tracer: Tracer,
 }
@@ -154,6 +159,8 @@ impl ResilientNetwork {
             attempts: HashMap::new(),
             dead: vec![false; sites],
             delivered: Vec::new(),
+            scratch: Vec::new(),
+            last_step: None,
             fstats: FaultStats::default(),
             tracer: Tracer::disabled(),
         }
@@ -345,6 +352,36 @@ impl ResilientNetwork {
             }
         }
     }
+
+    /// Screens everything the inner network delivered: corrupted packets
+    /// are NACKed *at their own delivery instant* (read back from
+    /// `Packet::delivered`, which the inner network stamps at true event
+    /// time), clean ones pass through. Per-event driving visits deliveries
+    /// one instant at a time, so this is byte-identical to screening at
+    /// the drain call's `now` — and it stays exact when `advance` sweeps
+    /// the inner network through a whole batch of events.
+    fn drain_inner(&mut self) {
+        let mut batch = std::mem::take(&mut self.scratch);
+        self.inner.drain_delivered_into(&mut batch);
+        for packet in batch.drain(..) {
+            let at = packet.delivered.expect("drained packets are stamped");
+            let attempt = *self.attempts.get(&packet.id.0).unwrap_or(&1);
+            if self.is_corrupted(packet.id.0, attempt) {
+                self.fstats.corrupted += 1;
+                self.tracer.emit(at, || TraceEvent::Corrupt {
+                    packet: packet.id.0,
+                    dst: packet.dst.index(),
+                });
+                self.nack(packet, attempt, at);
+            } else {
+                self.attempts.remove(&packet.id.0);
+                self.fstats.clean_delivered += 1;
+                self.fstats.clean_bytes += u64::from(packet.bytes);
+                self.delivered.push(packet);
+            }
+        }
+        self.scratch = batch;
+    }
 }
 
 impl Network for ResilientNetwork {
@@ -386,33 +423,73 @@ impl Network for ResilientNetwork {
         next
     }
 
+    /// Time-faithful stepping: each fault fires at its scheduled instant,
+    /// each retry flushes at its backoff expiry, and the inner network is
+    /// advanced in stretches bounded by the next wrapper action — never
+    /// past one. The ordering at a shared instant `t` matches the
+    /// historical per-event contract: faults at `t`, then inner events at
+    /// `t`, then retries due at `t`.
     fn advance(&mut self, now: Time) {
-        while self.schedule.front().is_some_and(|(at, _)| *at <= now) {
-            let (at, fault) = self.schedule.pop_front().expect("peeked");
-            self.apply_one(fault, at);
-        }
-        self.inner.advance(now);
-        for packet in self.inner.drain_delivered() {
-            let attempt = *self.attempts.get(&packet.id.0).unwrap_or(&1);
-            if self.is_corrupted(packet.id.0, attempt) {
-                self.fstats.corrupted += 1;
-                self.tracer.emit(now, || TraceEvent::Corrupt {
-                    packet: packet.id.0,
-                    dst: packet.dst.index(),
-                });
-                self.nack(packet, attempt, now);
+        loop {
+            let next_fault = self.schedule.front().map(|(at, _)| *at);
+            let next_retry = self.retries.peek().map(|r| r.at);
+            let next_wrap = [next_fault, next_retry].into_iter().flatten().min();
+            let next_inner = self.inner.next_event();
+            let Some(t) = [next_wrap, next_inner]
+                .into_iter()
+                .flatten()
+                .min()
+                .filter(|&t| t <= now)
+            else {
+                break;
+            };
+            if next_wrap.is_some_and(|w| w == t) {
+                while self.schedule.front().is_some_and(|(at, _)| *at <= t) {
+                    let (at, fault) = self.schedule.pop_front().expect("peeked");
+                    self.apply_one(fault, at);
+                }
+                if next_inner.is_some_and(|ti| ti <= t) {
+                    self.inner.advance(t);
+                    self.drain_inner();
+                }
+                self.flush_retries(t);
+                self.last_step = Some(t);
             } else {
-                self.attempts.remove(&packet.id.0);
-                self.fstats.clean_delivered += 1;
-                self.fstats.clean_bytes += u64::from(packet.bytes);
-                self.delivered.push(packet);
+                // A pure inner stretch: sweep up to just before the next
+                // wrapper action (or `now` when none is pending).
+                let bound = match next_wrap {
+                    Some(w) if w <= now => Time::from_ps(w.as_ps() - 1),
+                    _ => now,
+                };
+                self.inner.advance(bound);
+                self.drain_inner();
+                self.last_step = self.inner.last_event_time().or(self.last_step);
             }
         }
-        self.flush_retries(now);
     }
 
     fn drain_delivered(&mut self) -> Vec<Packet> {
         std::mem::take(&mut self.delivered)
+    }
+
+    fn drain_delivered_into(&mut self, out: &mut Vec<Packet>) {
+        out.append(&mut self.delivered);
+    }
+
+    fn last_event_time(&self) -> Option<Time> {
+        self.last_step
+    }
+
+    fn supports_batched_advance(&self) -> bool {
+        // A mid-batch corruption NACK would re-inject its retry after the
+        // inner network had already advanced past the backoff expiry, so
+        // batching is only sound with the transient model off; fault and
+        // retry instants are known ahead of time and bound each stretch.
+        self.transient <= 0.0 && self.inner.supports_batched_advance()
+    }
+
+    fn slab_stats(&self) -> Option<netcore::SlabStats> {
+        self.inner.slab_stats()
     }
 
     fn stats(&self) -> &NetStats {

@@ -567,6 +567,32 @@ impl Auditor {
         }
     }
 
+    /// Slab-leak invariant: when the network has gone idle, every
+    /// in-flight packet slot must have been taken back out of its
+    /// [`PacketSlab`](crate::PacketSlab) arena — a nonzero residency
+    /// means some event path inserted a packet and lost the reference.
+    ///
+    /// Call after the run with `Network::slab_stats`, but only once the
+    /// network reports no pending events (a timed-out or saturated run
+    /// legitimately still holds packets). `None` (no slab) passes
+    /// vacuously.
+    pub fn check_slab_idle(&mut self, stats: Option<crate::SlabStats>, end: Time) {
+        let Some(s) = stats else { return };
+        if s.live != 0 || s.allocated != s.freed {
+            self.flag(
+                "slab.leak",
+                None,
+                None,
+                end,
+                format!(
+                    "packet slab not empty at idle: {} live ({} allocated, {} freed, \
+                     high water {}, {} slots)",
+                    s.live, s.allocated, s.freed, s.high_water, s.slots
+                ),
+            );
+        }
+    }
+
     /// Reconciles the event-derived totals against the network's own
     /// counters and produces the report.
     ///
@@ -1300,6 +1326,33 @@ mod tests {
         let json = reg.snapshot().to_json();
         assert!(json.contains("\"audit.packets\": 1"), "{json}");
         assert!(json.contains("\"audit.violations\": 0"), "{json}");
+    }
+
+    #[test]
+    fn slab_leak_is_flagged_at_idle() {
+        use crate::{MessageKind, Packet, PacketId, PacketSlab, SlabMode};
+        let mut slab = PacketSlab::with_mode(SlabMode::Recycle);
+        let leaked = slab.insert(Packet::new(
+            PacketId(3),
+            SiteId::from_index(0),
+            SiteId::from_index(1),
+            64,
+            MessageKind::Data,
+            Time::ZERO,
+        ));
+        let mut a = auditor(NetworkKind::PointToPoint);
+        a.check_slab_idle(Some(slab.stats()), Time::from_ns(50));
+        let v = &a.violations()[0];
+        assert_eq!(v.check, "slab.leak");
+        assert!(v.detail.contains("1 live"), "{}", v.detail);
+
+        // Taking the packet back out clears the invariant; no-slab
+        // networks pass vacuously.
+        slab.take(leaked);
+        let mut b = auditor(NetworkKind::PointToPoint);
+        b.check_slab_idle(Some(slab.stats()), Time::from_ns(50));
+        b.check_slab_idle(None, Time::from_ns(50));
+        assert_eq!(b.total_violations(), 0);
     }
 
     #[test]

@@ -2,15 +2,21 @@
 
 use crate::Packet;
 use desim::{Span, Time};
+use std::cell::Cell;
 use std::collections::VecDeque;
 
 /// A transmit channel: a fixed-bandwidth serializer fed by a bounded FIFO.
 ///
-/// A channel transmits one packet at a time; serialization takes
+/// A channel transmits one item at a time; serialization takes
 /// `bytes / bandwidth`. Networks call [`try_enqueue`](Self::try_enqueue)
 /// at injection and [`begin_if_ready`](Self::begin_if_ready) whenever the
-/// channel might be able to start its next packet (on injection and when a
+/// channel might be able to start its next item (on injection and when a
 /// previous transmission finishes).
+///
+/// The payload type `T` is what the queue carries — a whole [`Packet`], a
+/// slab [`PacketRef`](crate::PacketRef), or a bare circuit id — while the
+/// byte count that determines serialization time travels alongside it
+/// explicitly.
 ///
 /// # Example
 ///
@@ -18,31 +24,37 @@ use std::collections::VecDeque;
 /// use desim::Time;
 /// use netcore::{MessageKind, Packet, PacketId, SiteId, TxChannel};
 ///
-/// let mut ch = TxChannel::new(2.5, 4); // one wavelength, queue of 4
+/// let mut ch: TxChannel<Packet> = TxChannel::new(2.5, 4); // one wavelength, queue of 4
 /// let p = Packet::new(PacketId(0), SiteId::from_index(0), SiteId::from_index(1),
 ///                     64, MessageKind::Data, Time::ZERO);
-/// ch.try_enqueue(p).unwrap();
+/// ch.try_enqueue(p, p.bytes).unwrap();
 /// let (sent, finish) = ch.begin_if_ready(Time::ZERO).unwrap();
 /// assert_eq!(sent.id, PacketId(0));
 /// assert_eq!(finish, Time::from_ps(25_600)); // 64 B at 2.5 B/ns
 /// ```
 #[derive(Debug, Clone)]
-pub struct TxChannel {
+pub struct TxChannel<T = Packet> {
     bytes_per_ns: f64,
-    queue: VecDeque<Packet>,
+    /// Serialization memo for the last byte count seen. Traffic is
+    /// dominated by one or two fixed packet sizes, so this single entry
+    /// turns the per-transmission `bytes / bandwidth` division into a
+    /// compare; it caches the same value the division would produce and
+    /// is reset whenever the bandwidth changes.
+    ser_memo: Cell<(u32, Span)>,
+    queue: VecDeque<(T, u32)>,
     capacity: usize,
     busy_until: Time,
 }
 
-impl TxChannel {
+impl<T> TxChannel<T> {
     /// Creates a channel with `bytes_per_ns` bandwidth and a FIFO holding
-    /// at most `capacity` packets.
+    /// at most `capacity` items.
     ///
     /// # Panics
     ///
     /// Panics if the bandwidth is not strictly positive or the capacity is
     /// zero.
-    pub fn new(bytes_per_ns: f64, capacity: usize) -> TxChannel {
+    pub fn new(bytes_per_ns: f64, capacity: usize) -> TxChannel<T> {
         assert!(
             bytes_per_ns > 0.0 && bytes_per_ns.is_finite(),
             "invalid channel bandwidth"
@@ -50,44 +62,51 @@ impl TxChannel {
         assert!(capacity > 0, "channel capacity must be positive");
         TxChannel {
             bytes_per_ns,
+            ser_memo: Cell::new((64, Span::from_ns_f64(64.0 / bytes_per_ns))),
             queue: VecDeque::new(),
             capacity,
             busy_until: Time::ZERO,
         }
     }
 
-    /// Queues a packet for transmission.
+    /// Queues an item of `bytes` payload for transmission.
     ///
     /// # Errors
     ///
-    /// Returns the packet back when the FIFO is full (injection
+    /// Returns the item back when the FIFO is full (injection
     /// backpressure).
-    pub fn try_enqueue(&mut self, packet: Packet) -> Result<(), Packet> {
+    pub fn try_enqueue(&mut self, item: T, bytes: u32) -> Result<(), T> {
         if self.queue.len() >= self.capacity {
-            Err(packet)
+            Err(item)
         } else {
-            self.queue.push_back(packet);
+            self.queue.push_back((item, bytes));
             Ok(())
         }
     }
 
     /// If the channel is idle at `now` and has queued work, dequeues the
-    /// head packet, marks the channel busy for its serialization time, and
-    /// returns the packet together with the time its last bit leaves the
+    /// head item, marks the channel busy for its serialization time, and
+    /// returns the item together with the time its last bit leaves the
     /// transmitter.
-    pub fn begin_if_ready(&mut self, now: Time) -> Option<(Packet, Time)> {
+    pub fn begin_if_ready(&mut self, now: Time) -> Option<(T, Time)> {
         if self.busy_until > now {
             return None;
         }
-        let packet = self.queue.pop_front()?;
-        let finish = now + self.serialization(packet.bytes);
+        let (item, bytes) = self.queue.pop_front()?;
+        let finish = now + self.serialization(bytes);
         self.busy_until = finish;
-        Some((packet, finish))
+        Some((item, finish))
     }
 
     /// Serialization delay for `bytes` at this channel's bandwidth.
     pub fn serialization(&self, bytes: u32) -> Span {
-        Span::from_ns_f64(bytes as f64 / self.bytes_per_ns)
+        let (memo_bytes, memo_span) = self.ser_memo.get();
+        if memo_bytes == bytes {
+            return memo_span;
+        }
+        let span = Span::from_ns_f64(bytes as f64 / self.bytes_per_ns);
+        self.ser_memo.set((bytes, span));
+        span
     }
 
     /// The instant the in-flight transmission (if any) completes.
@@ -95,7 +114,7 @@ impl TxChannel {
         self.busy_until
     }
 
-    /// Number of packets waiting (not counting one in flight).
+    /// Number of items waiting (not counting one in flight).
     pub fn queued(&self) -> usize {
         self.queue.len()
     }
@@ -105,7 +124,7 @@ impl TxChannel {
         self.queue.is_empty()
     }
 
-    /// True when the FIFO cannot accept another packet.
+    /// True when the FIFO cannot accept another item.
     pub fn is_full(&self) -> bool {
         self.queue.len() >= self.capacity
     }
@@ -129,16 +148,18 @@ impl TxChannel {
             "invalid channel bandwidth"
         );
         self.bytes_per_ns = bytes_per_ns;
+        self.ser_memo
+            .set((64, Span::from_ns_f64(64.0 / bytes_per_ns)));
     }
 
-    /// Removes and returns every queued packet (fault eviction).
-    pub fn drain_queue(&mut self) -> Vec<Packet> {
-        self.queue.drain(..).collect()
+    /// Removes and returns every queued item (fault eviction).
+    pub fn drain_queue(&mut self) -> Vec<T> {
+        self.queue.drain(..).map(|(item, _)| item).collect()
     }
 
-    /// Peek at the head packet without dequeuing it.
-    pub fn peek(&self) -> Option<&Packet> {
-        self.queue.front()
+    /// Peek at the head item without dequeuing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.queue.front().map(|(item, _)| item)
     }
 }
 
@@ -160,8 +181,9 @@ mod tests {
 
     #[test]
     fn serializes_at_configured_bandwidth() {
-        let mut ch = TxChannel::new(5.0, 4); // p2p channel: 5 B/ns
-        ch.try_enqueue(packet(0, 64)).unwrap();
+        let mut ch: TxChannel = TxChannel::new(5.0, 4); // p2p channel: 5 B/ns
+        let p = packet(0, 64);
+        ch.try_enqueue(p, p.bytes).unwrap();
         let (_, finish) = ch.begin_if_ready(Time::ZERO).unwrap();
         // 64 B / 5 B/ns = 12.8 ns.
         assert_eq!(finish, Time::from_ps(12_800));
@@ -169,9 +191,9 @@ mod tests {
 
     #[test]
     fn one_packet_at_a_time() {
-        let mut ch = TxChannel::new(5.0, 4);
-        ch.try_enqueue(packet(0, 64)).unwrap();
-        ch.try_enqueue(packet(1, 64)).unwrap();
+        let mut ch: TxChannel = TxChannel::new(5.0, 4);
+        ch.try_enqueue(packet(0, 64), 64).unwrap();
+        ch.try_enqueue(packet(1, 64), 64).unwrap();
         let (first, f1) = ch.begin_if_ready(Time::ZERO).unwrap();
         assert_eq!(first.id, PacketId(0));
         // Channel is busy; the second cannot start early.
@@ -184,31 +206,41 @@ mod tests {
 
     #[test]
     fn backpressure_when_full() {
-        let mut ch = TxChannel::new(5.0, 2);
-        ch.try_enqueue(packet(0, 64)).unwrap();
-        ch.try_enqueue(packet(1, 64)).unwrap();
+        let mut ch: TxChannel = TxChannel::new(5.0, 2);
+        ch.try_enqueue(packet(0, 64), 64).unwrap();
+        ch.try_enqueue(packet(1, 64), 64).unwrap();
         assert!(ch.is_full());
-        let rejected = ch.try_enqueue(packet(2, 64)).unwrap_err();
+        let rejected = ch.try_enqueue(packet(2, 64), 64).unwrap_err();
         assert_eq!(rejected.id, PacketId(2));
     }
 
     #[test]
     fn idle_channel_with_empty_queue_does_nothing() {
-        let mut ch = TxChannel::new(5.0, 2);
+        let mut ch: TxChannel = TxChannel::new(5.0, 2);
         assert!(ch.begin_if_ready(Time::from_ns(10)).is_none());
         assert!(ch.is_empty());
     }
 
     #[test]
     fn control_packets_are_fast() {
-        let ch = TxChannel::new(40.0, 2); // two-phase channel
+        let ch: TxChannel = TxChannel::new(40.0, 2); // two-phase channel
         assert_eq!(ch.serialization(8), Span::from_ps(200));
         assert_eq!(ch.serialization(64), Span::from_ps(1_600));
     }
 
     #[test]
+    fn carries_non_packet_payloads() {
+        // Circuit setup markers ride the control mesh as bare ids.
+        let mut ch: TxChannel<u64> = TxChannel::new(2.5, 4);
+        ch.try_enqueue(7, 8).unwrap();
+        let (id, finish) = ch.begin_if_ready(Time::ZERO).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(finish, Time::from_ps(3_200)); // 8 B at 2.5 B/ns
+    }
+
+    #[test]
     #[should_panic(expected = "invalid channel bandwidth")]
     fn zero_bandwidth_rejected() {
-        let _ = TxChannel::new(0.0, 1);
+        let _: TxChannel = TxChannel::new(0.0, 1);
     }
 }

@@ -1,0 +1,113 @@
+//! A tiny deterministic hasher for simulator-internal maps.
+//!
+//! The circuit network keys its live-circuit table by a monotonically
+//! assigned `u64` and its dead-segment set by site index pairs — hot maps
+//! touched on every setup hop. SipHash (std's default) costs more than
+//! the lookup itself for such small keys; this is the classic `FxHash`
+//! multiply-rotate mix used throughout rustc, written out here because
+//! the simulator vendors no external crates. The hash is fixed (no
+//! per-process random seed), but simulator results must never depend on
+//! iteration order anyway — these maps are for keyed lookups only.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` hashed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` hashed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Builds [`FxHasher`]s (zero-sized, `Default`-constructed).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc `FxHash` function: a fast multiply-rotate word mixer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_store_and_retrieve() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        m.insert(u64::MAX, "max");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        assert_eq!(m.remove(&u64::MAX), Some("max"));
+        assert!(!m.contains_key(&u64::MAX));
+
+        let mut s: FxHashSet<(usize, usize)> = FxHashSet::default();
+        s.insert((3, 4));
+        assert!(s.contains(&(3, 4)));
+        assert!(!s.contains(&(4, 3)));
+    }
+
+    #[test]
+    fn hashing_is_deterministic_across_hashers() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+
+        let mut c = FxHasher::default();
+        c.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]); // exercises the tail path
+        let mut d = FxHasher::default();
+        d.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(c.finish(), d.finish());
+        assert_ne!(a.finish(), c.finish());
+    }
+}

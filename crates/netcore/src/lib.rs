@@ -28,10 +28,12 @@ pub mod audit;
 mod channel;
 mod config;
 mod fault;
+pub mod hash;
 pub mod metrics;
 mod network;
 mod packet;
 mod site;
+pub mod slab;
 pub mod stats;
 mod traffic;
 
@@ -39,9 +41,11 @@ pub use audit::{AuditReport, AuditViolation, Auditor};
 pub use channel::TxChannel;
 pub use config::MacrochipConfig;
 pub use fault::{FaultResponse, NetFault};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use network::{Network, NetworkKind};
 pub use packet::{MessageKind, Packet, PacketId};
-pub use site::{Grid, SiteId};
+pub use site::{fast_div, fast_rem, Grid, SiteId};
+pub use slab::{PacketRef, PacketSlab, SlabMode, SlabStats};
 pub use stats::{NetStats, Phase};
 pub use traffic::{ObservedSource, PacketSource};

@@ -110,6 +110,42 @@ pub trait Network {
     /// Removes and returns packets delivered since the last call.
     fn drain_delivered(&mut self) -> Vec<Packet>;
 
+    /// Moves packets delivered since the last call into `out`, reusing the
+    /// caller's buffer. The default delegates to
+    /// [`drain_delivered`](Network::drain_delivered); architectures
+    /// override it to append without allocating.
+    fn drain_delivered_into(&mut self, out: &mut Vec<Packet>) {
+        out.extend(self.drain_delivered());
+    }
+
+    /// Timestamp of the most recently processed internal event, if any.
+    ///
+    /// A batched driver advances a network through many events in one
+    /// [`advance`](Network::advance) call and reads the simulation clock
+    /// back from here. Implementations that return `Some` must report the
+    /// exact timestamp of the last event popped from their queue.
+    fn last_event_time(&self) -> Option<Time> {
+        None
+    }
+
+    /// True when the driver may advance this network through a whole batch
+    /// of events in one [`advance`](Network::advance) call. Requires a
+    /// time-faithful `advance` (each event processed at its own timestamp,
+    /// never at the batch target) and a working
+    /// [`last_event_time`](Network::last_event_time). Defaults to `false`
+    /// so unknown implementations keep the per-event dispatch path.
+    fn supports_batched_advance(&self) -> bool {
+        false
+    }
+
+    /// Packet-slab allocation counters, if this network stores in-flight
+    /// packets in a [`PacketSlab`](crate::PacketSlab). The audit layer
+    /// uses this for its slab-leak invariant: at a clean idle, `live`
+    /// must equal 0.
+    fn slab_stats(&self) -> Option<crate::SlabStats> {
+        None
+    }
+
     /// Aggregate statistics collected so far.
     fn stats(&self) -> &NetStats;
 

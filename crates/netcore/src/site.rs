@@ -47,6 +47,33 @@ impl fmt::Display for SiteId {
 /// assert_eq!(grid.y(s), 5);
 /// assert_eq!(grid.row_peers(s).count(), 7);
 /// ```
+/// `v % m`, strength-reduced to a mask when `m` is a power of two.
+///
+/// Grid dimensions are runtime values, so the compiler cannot do this
+/// reduction itself, yet every paper configuration uses power-of-two
+/// sides — and integer division is the single most expensive ALU
+/// operation on the simulation hot paths. The result is identical to
+/// `v % m` for every input.
+#[inline]
+pub fn fast_rem(v: usize, m: usize) -> usize {
+    if m.is_power_of_two() {
+        v & (m - 1)
+    } else {
+        v % m
+    }
+}
+
+/// `v / m`, strength-reduced to a shift when `m` is a power of two.
+/// See [`fast_rem`].
+#[inline]
+pub fn fast_div(v: usize, m: usize) -> usize {
+    if m.is_power_of_two() {
+        v >> m.trailing_zeros()
+    } else {
+        v / m
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Grid {
     side: usize,
@@ -85,13 +112,15 @@ impl Grid {
     }
 
     /// Column of `s`.
+    #[inline]
     pub fn x(&self, s: SiteId) -> usize {
-        s.index() % self.side
+        fast_rem(s.index(), self.side)
     }
 
     /// Row of `s`.
+    #[inline]
     pub fn y(&self, s: SiteId) -> usize {
-        s.index() / self.side
+        fast_div(s.index(), self.side)
     }
 
     /// `(x, y)` coordinates of `s`, for the photonic layout model.

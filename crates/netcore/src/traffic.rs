@@ -27,6 +27,16 @@ pub trait PacketSource {
 
     /// True when the source will never emit again.
     fn is_exhausted(&self) -> bool;
+
+    /// True when [`on_delivered`](Self::on_delivered) can change this
+    /// source's behavior. Open-loop sources (fixed emission schedules,
+    /// trace replay) return `false`, which licenses the driver to advance
+    /// the network through whole batches of events between emissions
+    /// instead of stopping at every delivery. Defaults to `true` — the
+    /// conservative per-event path.
+    fn reacts_to_delivery(&self) -> bool {
+        true
+    }
 }
 
 /// A [`PacketSource`] adapter that reports every emitted packet to an
@@ -69,6 +79,10 @@ impl<F: FnMut(&Packet)> PacketSource for ObservedSource<'_, F> {
 
     fn is_exhausted(&self) -> bool {
         self.inner.is_exhausted()
+    }
+
+    fn reacts_to_delivery(&self) -> bool {
+        self.inner.reacts_to_delivery()
     }
 }
 

@@ -26,7 +26,7 @@ proptest! {
         let bw = bw as f64;
         let mut ch = TxChannel::new(bw, 64);
         for (i, &s) in sizes.iter().enumerate() {
-            ch.try_enqueue(packet(i as u64, s)).expect("capacity 64");
+            ch.try_enqueue(packet(i as u64, s), s).expect("capacity 64");
         }
         let mut now = Time::ZERO;
         let mut order = 0u64;
@@ -50,10 +50,10 @@ proptest! {
     fn channel_capacity_exact(cap in 1usize..32) {
         let mut ch = TxChannel::new(1.0, cap);
         for i in 0..cap {
-            prop_assert!(ch.try_enqueue(packet(i as u64, 8)).is_ok());
+            prop_assert!(ch.try_enqueue(packet(i as u64, 8), 8).is_ok());
         }
         prop_assert!(ch.is_full());
-        prop_assert!(ch.try_enqueue(packet(99, 8)).is_err());
+        prop_assert!(ch.try_enqueue(packet(99, 8), 8).is_err());
     }
 
     /// Grid coordinates round-trip and peers are symmetric.

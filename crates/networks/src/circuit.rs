@@ -18,10 +18,10 @@
 
 use desim::{EventQueue, Span, Time, TraceEvent, Tracer};
 use netcore::{
-    FaultResponse, MacrochipConfig, MessageKind, NetFault, NetStats, Network, NetworkKind, Packet,
-    PacketId, SiteId, TxChannel,
+    FaultResponse, FxHashMap, FxHashSet, MacrochipConfig, NetFault, NetStats, Network, NetworkKind,
+    Packet, PacketRef, PacketSlab, SiteId, SlabStats, TxChannel,
 };
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Wavelengths per data circuit (128 × 2.5 GB/s = 320 GB/s).
 pub const LAMBDAS_PER_CIRCUIT: usize = 128;
@@ -48,7 +48,7 @@ pub const DEFAULT_BATCH: usize = 1;
 struct Circuit {
     src: SiteId,
     dst: SiteId,
-    packets: Vec<Packet>,
+    packets: Vec<PacketRef>,
     hops: usize,
     /// Control hops the setup message has actually taken, counting
     /// fault detours; bounded to detect unroutable paths.
@@ -66,7 +66,7 @@ enum Ev {
     /// The last data bit reached the destination.
     DataDone { circuit: u64 },
     /// Intra-site loop-back delivery.
-    Deliver { packet: Packet },
+    Deliver { packet: PacketRef },
 }
 
 /// The circuit-switched torus network.
@@ -90,16 +90,26 @@ enum Ev {
 /// ```
 pub struct CircuitSwitchedNetwork {
     config: MacrochipConfig,
-    /// Directed control links: 4 per site (+x, −x, +y, −y).
-    ctrl_links: Vec<TxChannel>,
+    /// Directed control links: 4 per site (+x, −x, +y, −y). Setup
+    /// messages ride them as bare circuit ids serialized at
+    /// [`SETUP_BYTES`] — all routing state lives in [`Self::circuits`].
+    ctrl_links: Vec<TxChannel<u64>>,
     out_active: Vec<usize>,
     in_active: Vec<usize>,
-    src_wait: Vec<VecDeque<Packet>>,
+    src_wait: Vec<VecDeque<PacketRef>>,
     dst_wait: Vec<VecDeque<u64>>,
-    circuits: HashMap<u64, Circuit>,
+    circuits: FxHashMap<u64, Circuit>,
     /// Killed torus segments, stored in both directions (a waveguide cut
     /// takes out the whole segment); setup routing detours around them.
-    dead_links: HashSet<(usize, usize)>,
+    dead_links: FxHashSet<(usize, usize)>,
+    /// Per-hop flight time and setup-message serialization, precomputed
+    /// from the same `Layout`/bandwidth math the hot path used to run.
+    hop_delay: Span,
+    setup_ser: Span,
+    /// Memo of the last data-burst serialization computed (same value the
+    /// division would produce, cached for the common fixed burst size).
+    data_ser_memo: std::cell::Cell<(u32, Span)>,
+    slab: PacketSlab,
     gateway_limit: usize,
     batch_limit: usize,
     next_circuit: u64,
@@ -159,13 +169,20 @@ impl CircuitSwitchedNetwork {
             in_active: vec![0; sites],
             src_wait: (0..sites).map(|_| VecDeque::new()).collect(),
             dst_wait: (0..sites).map(|_| VecDeque::new()).collect(),
-            circuits: HashMap::new(),
-            dead_links: HashSet::new(),
+            circuits: FxHashMap::default(),
+            dead_links: FxHashSet::default(),
+            hop_delay: config.layout.hop_delay(),
+            setup_ser: Span::from_ns_f64(SETUP_BYTES as f64 / config.lambda_bytes_per_ns),
+            data_ser_memo: std::cell::Cell::new((
+                64,
+                Span::from_ns_f64(64.0 / config.channel_bytes_per_ns(LAMBDAS_PER_CIRCUIT)),
+            )),
+            slab: PacketSlab::new(),
             gateway_limit,
             batch_limit,
             next_circuit: 0,
             events: EventQueue::new(),
-            delivered: Vec::new(),
+            delivered: Vec::with_capacity(256),
             stats: NetStats::new(),
             tracer: Tracer::disabled(),
         }
@@ -181,13 +198,13 @@ impl CircuitSwitchedNetwork {
         let n = g.side();
         let (cx, cy) = g.coord(cur);
         let (dx, dy) = g.coord(dst);
-        let x_fwd = (dx + n - cx) % n; // hops going +x
+        let x_fwd = netcore::fast_rem(dx + n - cx, n); // hops going +x
         let (x_best, x_back) = if x_fwd <= n - x_fwd {
             (DIR_XP, DIR_XN)
         } else {
             (DIR_XN, DIR_XP)
         };
-        let y_fwd = (dy + n - cy) % n;
+        let y_fwd = netcore::fast_rem(dy + n - cy, n);
         let (y_best, y_back) = if y_fwd <= n - y_fwd {
             (DIR_YP, DIR_YN)
         } else {
@@ -216,10 +233,10 @@ impl CircuitSwitchedNetwork {
         let n = g.side();
         let (x, y) = g.coord(cur);
         let (nx, ny) = match dir {
-            DIR_XP => ((x + 1) % n, y),
-            DIR_XN => ((x + n - 1) % n, y),
-            DIR_YP => (x, (y + 1) % n),
-            DIR_YN => (x, (y + n - 1) % n),
+            DIR_XP => (netcore::fast_rem(x + 1, n), y),
+            DIR_XN => (netcore::fast_rem(x + n - 1, n), y),
+            DIR_YP => (x, netcore::fast_rem(y + 1, n)),
+            DIR_YN => (x, netcore::fast_rem(y + n - 1, n)),
             _ => unreachable!("invalid direction"),
         };
         g.site(nx, ny)
@@ -228,15 +245,14 @@ impl CircuitSwitchedNetwork {
     /// Per-hop control cost excluding serialization: waveguide flight plus
     /// the switch point's processing.
     fn hop_overhead(&self) -> Span {
-        self.config.layout.hop_delay() + HOP_PROCESSING
+        self.hop_delay + HOP_PROCESSING
     }
 
     /// The acknowledgment's return traversal: the circuit's switches are
     /// already set, so the ack is serialized once and flies the reverse
     /// path without per-hop routing.
     fn ack_traverse(&self, hops: usize) -> Span {
-        let ser = Span::from_ns_f64(SETUP_BYTES as f64 / self.config.lambda_bytes_per_ns);
-        ser + self.config.layout.hop_delay() * hops as u64
+        self.setup_ser + self.hop_delay * hops as u64
     }
 
     fn link_index(&self, site: SiteId, dir: usize) -> usize {
@@ -251,17 +267,8 @@ impl CircuitSwitchedNetwork {
         let dst = c.dst;
         let dir = self.next_dir(from, dst);
         let link = self.link_index(from, dir);
-        let marker = Packet::new(
-            PacketId(circuit),
-            from,
-            dst,
-            SETUP_BYTES,
-            MessageKind::Control,
-            now,
-        )
-        .with_op(circuit);
         self.ctrl_links[link]
-            .try_enqueue(marker)
+            .try_enqueue(circuit, SETUP_BYTES)
             .expect("control queues are effectively unbounded");
         self.pump_ctrl(link, now);
     }
@@ -269,15 +276,12 @@ impl CircuitSwitchedNetwork {
     fn pump_ctrl(&mut self, link: usize, now: Time) {
         let site = SiteId::from_index(link / 4);
         let dir = link % 4;
-        if let Some((marker, finish)) = self.ctrl_links[link].begin_if_ready(now) {
+        if let Some((circuit, finish)) = self.ctrl_links[link].begin_if_ready(now) {
             let next = self.neighbor(site, dir);
             self.events.push(finish, Ev::CtrlTxDone { link });
             self.events.push(
                 finish + self.hop_overhead(),
-                Ev::SetupArrive {
-                    circuit: marker.op.expect("setup markers carry circuit ids"),
-                    at: next,
-                },
+                Ev::SetupArrive { circuit, at: next },
             );
         }
     }
@@ -285,23 +289,24 @@ impl CircuitSwitchedNetwork {
     /// Starts new circuits from `src` while the gateway has capacity.
     fn try_start(&mut self, src: SiteId, now: Time) {
         while self.out_active[src.index()] < self.gateway_limit {
-            let Some(mut packet) = self.src_wait[src.index()].pop_front() else {
+            let Some(head) = self.src_wait[src.index()].pop_front() else {
                 return;
             };
+            let packet = self.slab.get_mut(head);
             let dst = packet.dst;
             // Leaving the gateway queue starts the setup handshake: the
             // circuit's setup round trip is this network's arbitration.
             packet.arb_start = Some(now);
-            let mut packets = vec![packet];
+            let mut packets = vec![head];
             // Batch further queued packets for the same destination onto
             // this circuit (no effect at the paper's batch limit of 1).
             if self.batch_limit > 1 {
-                let queue = &mut self.src_wait[src.index()];
                 let mut i = 0;
-                while i < queue.len() && packets.len() < self.batch_limit {
-                    if queue[i].dst == dst {
-                        let mut extra = queue.remove(i).expect("index checked");
-                        extra.arb_start = Some(now);
+                while i < self.src_wait[src.index()].len() && packets.len() < self.batch_limit {
+                    let extra = self.src_wait[src.index()][i];
+                    if self.slab.get(extra).dst == dst {
+                        self.src_wait[src.index()].remove(i).expect("index checked");
+                        self.slab.get_mut(extra).arb_start = Some(now);
                         packets.push(extra);
                     } else {
                         i += 1;
@@ -363,7 +368,8 @@ impl CircuitSwitchedNetwork {
         let Some(c) = self.circuits.remove(&circuit) else {
             return;
         };
-        for p in &c.packets {
+        for pref in c.packets {
+            let p = self.slab.take(pref);
             self.stats.on_drop();
             self.tracer.emit(now, || TraceEvent::Drop {
                 packet: p.id.0,
@@ -390,18 +396,28 @@ impl CircuitSwitchedNetwork {
     }
 
     fn on_ack(&mut self, circuit: u64, now: Time) {
-        let Some(c) = self.circuits.get_mut(&circuit) else {
+        let Some(c) = self.circuits.get(&circuit) else {
             return; // abandoned by a fault before the ack came back
         };
-        let bytes: u32 = c.packets.iter().map(|p| p.bytes).sum();
-        let bw = self.config.channel_bytes_per_ns(LAMBDAS_PER_CIRCUIT);
-        let ser = Span::from_ns_f64(bytes as f64 / bw);
-        for p in &mut c.packets {
+        let bytes: u32 = c.packets.iter().map(|&p| self.slab.get(p).bytes).sum();
+        let ser = {
+            let (memo_bytes, memo_span) = self.data_ser_memo.get();
+            if memo_bytes == bytes {
+                memo_span
+            } else {
+                let bw = self.config.channel_bytes_per_ns(LAMBDAS_PER_CIRCUIT);
+                let span = Span::from_ns_f64(bytes as f64 / bw);
+                self.data_ser_memo.set((bytes, span));
+                span
+            }
+        };
+        let (src, dst, hops) = (c.src, c.dst, c.hops);
+        for &pref in &c.packets {
+            let p = self.slab.get_mut(pref);
             p.tx_start = Some(now);
             p.tx_end = Some(now + ser);
         }
-        let (src, dst) = (c.src, c.dst);
-        let flight = self.config.layout.hop_delay() * c.hops as u64;
+        let flight = self.hop_delay * hops as u64;
         self.tracer.emit(now, || TraceEvent::CircuitSetup {
             circuit,
             src: src.index(),
@@ -418,7 +434,8 @@ impl CircuitSwitchedNetwork {
         // u64: a long-lived circuit must never truncate its carried-packet
         // count — the auditor pairs this against per-packet deliveries.
         let carried = c.packets.len() as u64;
-        for mut p in c.packets {
+        for pref in &c.packets {
+            let mut p = self.slab.take(*pref);
             p.delivered = Some(now);
             self.stats.on_deliver(&p);
             self.tracer.emit(now, || TraceEvent::Deliver {
@@ -466,8 +483,9 @@ impl Network for CircuitSwitchedNetwork {
                 dst: packet.dst.index(),
                 bytes: packet.bytes,
             });
+            let pref = self.slab.insert(packet);
             self.events
-                .push(now + self.config.cycle(), Ev::Deliver { packet });
+                .push(now + self.config.cycle(), Ev::Deliver { packet: pref });
             self.stats.on_inject(now);
             return Ok(());
         }
@@ -482,7 +500,8 @@ impl Network for CircuitSwitchedNetwork {
             dst: packet.dst.index(),
             bytes: packet.bytes,
         });
-        self.src_wait[src.index()].push_back(packet);
+        let pref = self.slab.insert(packet);
+        self.src_wait[src.index()].push_back(pref);
         self.stats.on_inject(now);
         self.try_start(src, now);
         Ok(())
@@ -499,7 +518,8 @@ impl Network for CircuitSwitchedNetwork {
                 Ev::SetupArrive { circuit, at } => self.on_setup_arrive(circuit, at, t),
                 Ev::AckArrive { circuit } => self.on_ack(circuit, t),
                 Ev::DataDone { circuit } => self.on_data_done(circuit, t),
-                Ev::Deliver { mut packet } => {
+                Ev::Deliver { packet } => {
+                    let mut packet = self.slab.take(packet);
                     packet.delivered = Some(t);
                     self.stats.on_deliver(&packet);
                     self.tracer.emit(t, || TraceEvent::Deliver {
@@ -516,6 +536,22 @@ impl Network for CircuitSwitchedNetwork {
 
     fn drain_delivered(&mut self) -> Vec<Packet> {
         std::mem::take(&mut self.delivered)
+    }
+
+    fn drain_delivered_into(&mut self, out: &mut Vec<Packet>) {
+        out.append(&mut self.delivered);
+    }
+
+    fn last_event_time(&self) -> Option<Time> {
+        self.events.last_popped()
+    }
+
+    fn supports_batched_advance(&self) -> bool {
+        true
+    }
+
+    fn slab_stats(&self) -> Option<SlabStats> {
+        Some(self.slab.stats())
     }
 
     fn stats(&self) -> &NetStats {
@@ -570,6 +606,7 @@ impl Network for CircuitSwitchedNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netcore::{MessageKind, PacketId};
 
     fn net() -> CircuitSwitchedNetwork {
         CircuitSwitchedNetwork::new(MacrochipConfig::scaled())

@@ -1,0 +1,61 @@
+//! Precomputed geometry for the per-event hot paths.
+//!
+//! The row-then-column propagation delay depends only on the Manhattan
+//! hop count between two sites, and a grid has at most `2 * (side - 1)`
+//! hops — so the float multiply-and-round in [`Layout::prop_delay`] can
+//! be done once per hop count at construction. Each table entry is
+//! produced by the same `Layout` call the hot path used to make, so the
+//! cached spans are bit-identical to the on-demand values.
+
+use desim::Span;
+use photonics::geometry::{Coord, Layout};
+
+/// Propagation delays of the row-then-column waveguide path, indexed by
+/// Manhattan hop count.
+#[derive(Debug, Clone)]
+pub(crate) struct PropByHops(Vec<Span>);
+
+impl PropByHops {
+    pub(crate) fn new(layout: &Layout) -> PropByHops {
+        let side = layout.side();
+        PropByHops(
+            (0..=2 * (side - 1))
+                .map(|hops| {
+                    // Split `hops` over two in-grid coordinates; the delay
+                    // depends only on the sum.
+                    let dx = hops.min(side - 1);
+                    layout.prop_delay((dx, hops - dx), (0, 0))
+                })
+                .collect(),
+        )
+    }
+
+    /// Equivalent of `layout.prop_delay(src, dst)`.
+    #[inline]
+    pub(crate) fn delay(&self, src: Coord, dst: Coord) -> Span {
+        self.0[src.0.abs_diff(dst.0) + src.1.abs_diff(dst.1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_layout_for_every_pair() {
+        let layout = Layout::macrochip();
+        let table = PropByHops::new(&layout);
+        for sx in 0..8 {
+            for sy in 0..8 {
+                for dx in 0..8 {
+                    for dy in 0..8 {
+                        assert_eq!(
+                            table.delay((sx, sy), (dx, dy)),
+                            layout.prop_delay((sx, sy), (dx, dy)),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -39,6 +39,7 @@
 //! ```
 
 pub mod circuit;
+mod geom;
 pub mod limited_p2p;
 pub mod p2p;
 pub mod token_ring;

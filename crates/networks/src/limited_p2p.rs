@@ -14,8 +14,8 @@
 
 use desim::{EventQueue, Time, TraceEvent, Tracer};
 use netcore::{
-    FaultResponse, MacrochipConfig, NetFault, NetStats, Network, NetworkKind, Packet, SiteId,
-    TxChannel,
+    FaultResponse, MacrochipConfig, NetFault, NetStats, Network, NetworkKind, Packet, PacketRef,
+    PacketSlab, SiteId, SlabStats, TxChannel,
 };
 
 /// Wavelengths per peer channel (8 × 2.5 GB/s = 20 GB/s).
@@ -52,9 +52,9 @@ enum Ev {
     /// A channel finished serializing; start its next packet.
     TxDone { channel: usize },
     /// A packet arrived at a site: the final destination or the forwarder.
-    Arrive { packet: Packet, at_site: SiteId },
+    Arrive { packet: PacketRef, at_site: SiteId },
     /// The router at `at` processed the packet; enqueue the second hop.
-    Forward { packet: Packet, at: SiteId },
+    Forward { packet: PacketRef, at: SiteId },
 }
 
 /// The limited point-to-point network.
@@ -80,7 +80,9 @@ pub struct LimitedP2pNetwork {
     config: MacrochipConfig,
     policy: RoutingPolicy,
     /// Dense S×S map; `None` where no direct channel exists.
-    channels: Vec<Option<TxChannel>>,
+    channels: Vec<Option<TxChannel<PacketRef>>>,
+    prop: crate::geom::PropByHops,
+    slab: PacketSlab,
     /// Dense S×S map of killed links (same indexing as `channels`).
     dead: Vec<bool>,
     events: EventQueue<Ev>,
@@ -117,8 +119,10 @@ impl LimitedP2pNetwork {
             policy,
             dead: vec![false; channels.len()],
             channels,
+            prop: crate::geom::PropByHops::new(&config.layout),
+            slab: PacketSlab::new(),
             events: EventQueue::new(),
-            delivered: Vec::new(),
+            delivered: Vec::with_capacity(256),
             stats: NetStats::new(),
             tracer: Tracer::disabled(),
         }
@@ -210,7 +214,8 @@ impl LimitedP2pNetwork {
         let Some(ch) = self.channels[channel].as_mut() else {
             return;
         };
-        if let Some((mut packet, finish)) = ch.begin_if_ready(now) {
+        if let Some((pref, finish)) = ch.begin_if_ready(now) {
+            let packet = self.slab.get_mut(pref);
             if hop_dst == packet.dst {
                 // Final optical hop: the wire portion of the trip starts.
                 // No arbitration exists here, so the phase is zero-width;
@@ -220,22 +225,21 @@ impl LimitedP2pNetwork {
                 packet.tx_end = Some(finish);
             }
             let prop = self
-                .config
-                .layout
-                .prop_delay(self.config.grid.coord(src), self.config.grid.coord(hop_dst));
+                .prop
+                .delay(self.config.grid.coord(src), self.config.grid.coord(hop_dst));
             self.events.push(finish, Ev::TxDone { channel });
             self.events.push(
                 finish + prop,
                 Ev::Arrive {
-                    packet,
+                    packet: pref,
                     at_site: hop_dst,
                 },
             );
         }
     }
 
-    fn on_arrive(&mut self, packet: Packet, at_site: SiteId, t: Time) {
-        if at_site == packet.dst {
+    fn on_arrive(&mut self, packet: PacketRef, at_site: SiteId, t: Time) {
+        if at_site == self.slab.get(packet).dst {
             self.deliver(packet, t);
         } else {
             // Intermediate hop: O-E/E-O conversion plus the one-cycle
@@ -250,17 +254,20 @@ impl LimitedP2pNetwork {
         }
     }
 
-    fn on_forward(&mut self, mut packet: Packet, at: SiteId, t: Time) {
+    fn on_forward(&mut self, pref: PacketRef, at: SiteId, t: Time) {
         // Route from the router toward the destination; in the healthy
         // network this is always the direct peer channel `at -> dst`, but
         // a killed link diverts through a further electronic hop.
-        let Some(hop) = self.route_first_hop(at, packet.dst) else {
+        let Some(hop) = self.route_first_hop(at, self.slab.get(pref).dst) else {
+            let packet = self.slab.take(pref);
             self.drop_packet(packet, at, t);
             return;
         };
+        let packet = self.slab.get_mut(pref);
         packet.routed_bytes = packet.routed_bytes.saturating_add(packet.bytes);
+        let (id, bytes) = (packet.id.0, packet.bytes);
         self.tracer.emit(t, || TraceEvent::Hop {
-            packet: packet.id.0,
+            packet: id,
             at: at.index(),
         });
         let idx = self.channel_index(at, hop);
@@ -268,7 +275,7 @@ impl LimitedP2pNetwork {
             let ch = self.channels[idx]
                 .as_mut()
                 .expect("routed hops follow existing channels");
-            match ch.try_enqueue(packet) {
+            match ch.try_enqueue(pref, bytes) {
                 Ok(()) => None,
                 // Output buffer full: the router holds the packet and
                 // retries when the channel frees a slot.
@@ -281,7 +288,8 @@ impl LimitedP2pNetwork {
         }
     }
 
-    fn deliver(&mut self, mut packet: Packet, at: Time) {
+    fn deliver(&mut self, pref: PacketRef, at: Time) {
+        let mut packet = self.slab.take(pref);
         packet.delivered = Some(at);
         self.stats.on_deliver(&packet);
         self.tracer.emit(at, || TraceEvent::Deliver {
@@ -315,11 +323,13 @@ impl Network for LimitedP2pNetwork {
                 dst: packet.dst.index(),
                 bytes: packet.bytes,
             });
+            let at_site = packet.dst;
+            let pref = self.slab.insert(packet);
             self.events.push(
                 now + self.config.cycle(),
                 Ev::Arrive {
-                    at_site: packet.dst,
-                    packet,
+                    at_site,
+                    packet: pref,
                 },
             );
             self.stats.on_inject(now);
@@ -343,29 +353,31 @@ impl Network for LimitedP2pNetwork {
                 packet.bytes,
             )
         });
-        let result = self.channels[idx]
+        let ch = self.channels[idx]
+            .as_mut()
+            .expect("first hop is always a peer of the source");
+        if ch.is_full() {
+            self.stats.on_reject();
+            return Err(packet);
+        }
+        let bytes = packet.bytes;
+        let pref = self.slab.insert(packet);
+        self.channels[idx]
             .as_mut()
             .expect("first hop is always a peer of the source")
-            .try_enqueue(packet);
-        match result {
-            Ok(()) => {
-                self.stats.on_inject(now);
-                if let Some((id, src, dst, bytes)) = trace_fields {
-                    self.tracer.emit(now, || TraceEvent::Inject {
-                        packet: id,
-                        src,
-                        dst,
-                        bytes,
-                    });
-                }
-                self.pump(idx, now);
-                Ok(())
-            }
-            Err(p) => {
-                self.stats.on_reject();
-                Err(p)
-            }
+            .try_enqueue(pref, bytes)
+            .expect("checked not full");
+        self.stats.on_inject(now);
+        if let Some((id, src, dst, bytes)) = trace_fields {
+            self.tracer.emit(now, || TraceEvent::Inject {
+                packet: id,
+                src,
+                dst,
+                bytes,
+            });
         }
+        self.pump(idx, now);
+        Ok(())
     }
 
     fn next_event(&self) -> Option<Time> {
@@ -386,12 +398,28 @@ impl Network for LimitedP2pNetwork {
         std::mem::take(&mut self.delivered)
     }
 
+    fn drain_delivered_into(&mut self, out: &mut Vec<Packet>) {
+        out.append(&mut self.delivered);
+    }
+
     fn stats(&self) -> &NetStats {
         &self.stats
     }
 
     fn events_processed(&self) -> u64 {
         self.events.popped()
+    }
+
+    fn last_event_time(&self) -> Option<Time> {
+        self.events.last_popped()
+    }
+
+    fn supports_batched_advance(&self) -> bool {
+        true
+    }
+
+    fn slab_stats(&self) -> Option<SlabStats> {
+        Some(self.slab.stats())
     }
 
     fn set_tracer(&mut self, tracer: Tracer) {
@@ -413,7 +441,9 @@ impl Network for LimitedP2pNetwork {
                     return FaultResponse::unhandled();
                 };
                 self.dead[idx] = true;
-                FaultResponse::handled("reroute").with_evicted(ch.drain_queue())
+                let refs = ch.drain_queue();
+                let evicted = refs.into_iter().map(|r| self.slab.take(r)).collect();
+                FaultResponse::handled("reroute").with_evicted(evicted)
             }
             NetFault::LinkRepair { src, dst } => {
                 let idx = self.channel_index(src, dst);

@@ -12,7 +12,8 @@
 
 use desim::{EventQueue, Time, TraceEvent, Tracer};
 use netcore::{
-    FaultResponse, MacrochipConfig, NetFault, NetStats, Network, NetworkKind, Packet, TxChannel,
+    FaultResponse, MacrochipConfig, NetFault, NetStats, Network, NetworkKind, Packet, PacketRef,
+    PacketSlab, SlabStats, TxChannel,
 };
 
 /// Wavelengths per point-to-point channel (2 × 2.5 GB/s = 5 GB/s).
@@ -23,7 +24,7 @@ enum Ev {
     /// A channel finished serializing; try to start its next packet.
     TxDone { channel: usize },
     /// A packet's last bit reached the destination.
-    Deliver { packet: Packet },
+    Deliver { packet: PacketRef },
 }
 
 /// The point-to-point network: S×(S−1) dedicated serializing channels.
@@ -45,7 +46,9 @@ enum Ev {
 /// ```
 pub struct P2pNetwork {
     config: MacrochipConfig,
-    channels: Vec<TxChannel>,
+    channels: Vec<TxChannel<PacketRef>>,
+    prop: crate::geom::PropByHops,
+    slab: PacketSlab,
     events: EventQueue<Ev>,
     delivered: Vec<Packet>,
     stats: NetStats,
@@ -64,8 +67,10 @@ impl P2pNetwork {
         P2pNetwork {
             config,
             channels,
+            prop: crate::geom::PropByHops::new(&config.layout),
+            slab: PacketSlab::new(),
             events: EventQueue::new(),
-            delivered: Vec::new(),
+            delivered: Vec::with_capacity(256),
             stats: NetStats::new(),
             tracer: Tracer::disabled(),
         }
@@ -77,22 +82,25 @@ impl P2pNetwork {
 
     /// Starts the channel's next transmission if it is idle.
     fn pump(&mut self, channel: usize, now: Time) {
-        if let Some((mut packet, finish)) = self.channels[channel].begin_if_ready(now) {
+        if let Some((pref, finish)) = self.channels[channel].begin_if_ready(now) {
             // No arbitration on a dedicated channel: the arbitration phase
             // is zero-width, so all pre-wire delay counts as queueing.
+            let packet = self.slab.get_mut(pref);
             packet.arb_start = Some(now);
             packet.tx_start = Some(now);
             packet.tx_end = Some(finish);
-            let prop = self.config.layout.prop_delay(
+            let prop = self.prop.delay(
                 self.config.grid.coord(packet.src),
                 self.config.grid.coord(packet.dst),
             );
             self.events.push(finish, Ev::TxDone { channel });
-            self.events.push(finish + prop, Ev::Deliver { packet });
+            self.events
+                .push(finish + prop, Ev::Deliver { packet: pref });
         }
     }
 
-    fn deliver(&mut self, mut packet: Packet, at: Time) {
+    fn deliver(&mut self, pref: PacketRef, at: Time) {
+        let mut packet = self.slab.take(pref);
         packet.delivered = Some(at);
         self.stats.on_deliver(&packet);
         self.tracer.emit(at, || TraceEvent::Deliver {
@@ -127,8 +135,9 @@ impl Network for P2pNetwork {
                 dst: packet.dst.index(),
                 bytes: packet.bytes,
             });
+            let pref = self.slab.insert(packet);
             self.events
-                .push(now + self.config.cycle(), Ev::Deliver { packet });
+                .push(now + self.config.cycle(), Ev::Deliver { packet: pref });
             self.stats.on_inject(now);
             return Ok(());
         }
@@ -143,25 +152,26 @@ impl Network for P2pNetwork {
                 packet.bytes,
             )
         });
-        match self.channels[channel].try_enqueue(packet) {
-            Ok(()) => {
-                self.stats.on_inject(now);
-                if let Some((id, src, dst, bytes)) = trace_fields {
-                    self.tracer.emit(now, || TraceEvent::Inject {
-                        packet: id,
-                        src,
-                        dst,
-                        bytes,
-                    });
-                }
-                self.pump(channel, now);
-                Ok(())
-            }
-            Err(p) => {
-                self.stats.on_reject();
-                Err(p)
-            }
+        if self.channels[channel].is_full() {
+            self.stats.on_reject();
+            return Err(packet);
         }
+        let bytes = packet.bytes;
+        let pref = self.slab.insert(packet);
+        self.channels[channel]
+            .try_enqueue(pref, bytes)
+            .expect("checked not full");
+        self.stats.on_inject(now);
+        if let Some((id, src, dst, bytes)) = trace_fields {
+            self.tracer.emit(now, || TraceEvent::Inject {
+                packet: id,
+                src,
+                dst,
+                bytes,
+            });
+        }
+        self.pump(channel, now);
+        Ok(())
     }
 
     fn next_event(&self) -> Option<Time> {
@@ -181,12 +191,28 @@ impl Network for P2pNetwork {
         std::mem::take(&mut self.delivered)
     }
 
+    fn drain_delivered_into(&mut self, out: &mut Vec<Packet>) {
+        out.append(&mut self.delivered);
+    }
+
     fn stats(&self) -> &NetStats {
         &self.stats
     }
 
     fn events_processed(&self) -> u64 {
         self.events.popped()
+    }
+
+    fn last_event_time(&self) -> Option<Time> {
+        self.events.last_popped()
+    }
+
+    fn supports_batched_advance(&self) -> bool {
+        true
+    }
+
+    fn slab_stats(&self) -> Option<SlabStats> {
+        Some(self.slab.stats())
     }
 
     fn set_tracer(&mut self, tracer: Tracer) {

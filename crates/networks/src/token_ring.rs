@@ -15,7 +15,8 @@
 
 use desim::{EventQueue, Span, Time, TraceEvent, Tracer};
 use netcore::{
-    FaultResponse, MacrochipConfig, NetFault, NetStats, Network, NetworkKind, Packet, TxChannel,
+    FaultResponse, MacrochipConfig, NetFault, NetStats, Network, NetworkKind, Packet, PacketRef,
+    PacketSlab, SlabStats, TxChannel,
 };
 
 /// Wavelengths per destination bundle (128 × 2.5 GB/s = 320 GB/s).
@@ -30,7 +31,7 @@ enum Ev {
     /// The token for destination `dst` arrives at ring position `pos`.
     TokenArrive { dst: usize, pos: usize },
     /// A packet's last bit reached the destination.
-    Deliver { packet: Packet },
+    Deliver { packet: PacketRef },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -65,7 +66,25 @@ pub struct TokenRingNetwork {
     /// `queues`, token arbitration decides who transmits.
     bundles: Vec<TxChannel>,
     /// Per (source, destination) sender queue, S×S dense.
-    queues: Vec<std::collections::VecDeque<Packet>>,
+    queues: Vec<std::collections::VecDeque<PacketRef>>,
+    /// Per-destination occupancy bitmap over *ring positions*: bit `p` of
+    /// `waiting[dst * words_per_dst ..]` is set iff the site at ring
+    /// position `p` has packets queued for `dst`. Keeps the token
+    /// hand-off search O(words) instead of a walk around the ring.
+    waiting: Vec<u64>,
+    /// Words per destination in `waiting`.
+    words_per_dst: usize,
+    /// Ring geometry, precomputed at construction with the same `Layout`
+    /// calls the hot path used to make (so the cached values are
+    /// bit-identical): token hop time, full round trip, and the
+    /// site <-> serpentine-ring-position maps.
+    hop: Span,
+    round_trip: Span,
+    /// Site index -> ring position.
+    site_rpos: Vec<usize>,
+    /// Ring position -> site id.
+    pos_site: Vec<netcore::SiteId>,
+    slab: PacketSlab,
     /// Token state per destination.
     tokens: Vec<Token>,
     /// Packets a site may transmit per token grab; the paper's evaluation
@@ -95,23 +114,40 @@ impl TokenRingNetwork {
         assert!(max_burst > 0, "burst limit must be positive");
         let sites = config.grid.sites();
         let bw = config.channel_bytes_per_ns(LAMBDAS_PER_BUNDLE);
+        let layout = config.layout;
+        let site_rpos = (0..sites)
+            .map(|i| layout.ring_index(config.grid.coord(netcore::SiteId::from_index(i))))
+            .collect();
+        let pos_site = (0..sites)
+            .map(|p| {
+                let (x, y) = layout.ring_coord(p);
+                config.grid.site(x, y)
+            })
+            .collect();
         TokenRingNetwork {
             config,
             bundles: (0..sites)
                 .map(|_| TxChannel::new(bw, 1)) // queue unused; kept for serialization math
                 .collect(),
             queues: (0..sites * sites)
-                .map(|_| std::collections::VecDeque::new())
+                .map(|_| std::collections::VecDeque::with_capacity(4))
                 .collect(),
+            waiting: vec![0; sites * sites.div_ceil(64)],
+            words_per_dst: sites.div_ceil(64),
+            hop: layout.ring_hop(),
+            round_trip: layout.ring_round_trip(),
+            site_rpos,
+            pos_site,
             tokens: (0..sites)
                 .map(|d| Token::Free {
                     pos: d % sites,
                     at: Time::ZERO,
                 })
                 .collect(),
+            slab: PacketSlab::new(),
             max_burst,
             events: EventQueue::new(),
-            delivered: Vec::new(),
+            delivered: Vec::with_capacity(256),
             stats: NetStats::new(),
             tracer: Tracer::disabled(),
         }
@@ -124,18 +160,16 @@ impl TokenRingNetwork {
     /// First instant at or after `now` when the free token for `dst`
     /// reaches ring position `target`.
     fn token_arrival(&self, dst: usize, target: usize, now: Time) -> Time {
-        let layout = &self.config.layout;
         let Token::Free { pos, at } = self.tokens[dst] else {
             unreachable!("token_arrival requires a free token");
         };
-        let hop = layout.ring_hop();
-        let first = at + hop * layout.ring_distance(pos, target) as u64;
+        let first = at + self.hop * self.config.layout.ring_distance(pos, target) as u64;
         if first >= now {
             return first;
         }
         // The token kept circulating; advance whole laps until it next
         // passes the target.
-        let rt = layout.ring_round_trip();
+        let rt = self.round_trip;
         let behind = now.saturating_since(first).as_ps();
         let laps = behind.div_ceil(rt.as_ps().max(1));
         first + Span::from_ps(rt.as_ps() * laps)
@@ -153,35 +187,85 @@ impl TokenRingNetwork {
 
     /// Ring position of a site id.
     fn ring_pos(&self, site: netcore::SiteId) -> usize {
-        self.config.layout.ring_index(self.config.grid.coord(site))
+        self.site_rpos[site.index()]
+    }
+
+    fn set_waiting(&mut self, dst: usize, pos: usize) {
+        self.waiting[dst * self.words_per_dst + (pos >> 6)] |= 1u64 << (pos & 63);
+    }
+
+    fn clear_waiting(&mut self, dst: usize, pos: usize) {
+        self.waiting[dst * self.words_per_dst + (pos >> 6)] &= !(1u64 << (pos & 63));
+    }
+
+    /// First ring position with packets waiting for `dst`, searching
+    /// cyclically from one hop past `pos` (a holder can re-grab only
+    /// after a full lap, so `pos` itself is considered last). Bitmap
+    /// scan: O(words), not a walk around the ring.
+    fn next_waiting(&self, dst: usize, pos: usize) -> Option<usize> {
+        let sites = self.config.grid.sites();
+        let base = dst * self.words_per_dst;
+        let start = netcore::fast_rem(pos + 1, sites);
+        let start_word = start >> 6;
+        // Bits at ring positions >= start.
+        let mut w = start_word;
+        let mut word = self.waiting[base + w] & (u64::MAX << (start & 63));
+        loop {
+            if word != 0 {
+                return Some((w << 6) + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= self.words_per_dst {
+                break;
+            }
+            word = self.waiting[base + w];
+        }
+        // Wrap: positions before `start`, ending at `pos` itself.
+        let mut w = 0;
+        loop {
+            let mut word = self.waiting[base + w];
+            if w == start_word {
+                word &= !(u64::MAX << (start & 63));
+            }
+            if word != 0 {
+                return Some((w << 6) + word.trailing_zeros() as usize);
+            }
+            if w == start_word {
+                return None;
+            }
+            w += 1;
+        }
     }
 
     fn on_token_arrive(&mut self, dst: usize, pos: usize, t: Time) {
-        let layout = self.config.layout;
-        let grid = self.config.grid;
-        let holder = layout.ring_coord(pos);
-        let holder_site = grid.site(holder.0, holder.1);
+        let sites = self.config.grid.sites();
+        let holder_site = self.pos_site[pos];
         let q_idx = self.queue_index(holder_site.index(), dst);
         self.tracer.emit(t, || TraceEvent::TokenAcquire {
             dst,
             holder: holder_site.index(),
         });
 
+        // Data launched at the holder travels forward around the ring to
+        // the destination; the hop count is fixed for the whole burst.
+        let prop = self.hop * netcore::fast_rem(self.site_rpos[dst] + sites - pos, sites) as u64;
+
         // Transmit up to max_burst queued packets back to back on the
         // destination's bundle.
         let mut finish = t;
         let mut sent = 0;
         while sent < self.max_burst {
-            let Some(mut packet) = self.queues[q_idx].pop_front() else {
+            let Some(pref) = self.queues[q_idx].pop_front() else {
                 break;
             };
+            let packet = self.slab.get_mut(pref);
             packet.tx_start = Some(finish);
-            let ser = self.bundles[dst].serialization(packet.bytes);
+            let bytes = packet.bytes;
+            let ser = self.bundles[dst].serialization(bytes);
             finish += ser;
-            packet.tx_end = Some(finish);
-            let dst_coord = grid.coord(netcore::SiteId::from_index(dst));
-            let prop = layout.ring_prop_delay(holder, dst_coord);
-            self.events.push(finish + prop, Ev::Deliver { packet });
+            self.slab.get_mut(pref).tx_end = Some(finish);
+            self.events
+                .push(finish + prop, Ev::Deliver { packet: pref });
             sent += 1;
         }
 
@@ -194,21 +278,18 @@ impl TokenRingNetwork {
             holder: holder_site.index(),
         });
 
+        if self.queues[q_idx].is_empty() {
+            self.clear_waiting(dst, pos);
+        }
+
         // Release the token and route it to the next requester (at least
         // one hop away: a site cannot re-grab without the token passing
         // through the ring again).
-        let sites = grid.sites();
-        let next = (1..=sites).find(|&k| {
-            let p = (pos + k) % sites;
-            let c = layout.ring_coord(p);
-            let s = grid.site(c.0, c.1);
-            !self.queues[self.queue_index(s.index(), dst)].is_empty()
-        });
-        match next {
-            Some(k) => {
-                let p = (pos + k) % sites;
+        match self.next_waiting(dst, pos) {
+            Some(p) => {
+                let k = if p > pos { p - pos } else { sites - pos + p };
                 self.events.push(
-                    finish + layout.ring_hop() * k as u64,
+                    finish + self.hop * k as u64,
                     Ev::TokenArrive { dst, pos: p },
                 );
                 // token stays Claimed
@@ -219,7 +300,8 @@ impl TokenRingNetwork {
         }
     }
 
-    fn deliver(&mut self, mut packet: Packet, at: Time) {
+    fn deliver(&mut self, pref: PacketRef, at: Time) {
+        let mut packet = self.slab.take(pref);
         packet.delivered = Some(at);
         self.stats.on_deliver(&packet);
         self.tracer.emit(at, || TraceEvent::Deliver {
@@ -253,8 +335,9 @@ impl Network for TokenRingNetwork {
                 dst: packet.dst.index(),
                 bytes: packet.bytes,
             });
+            let pref = self.slab.insert(packet);
             self.events
-                .push(now + self.config.cycle(), Ev::Deliver { packet });
+                .push(now + self.config.cycle(), Ev::Deliver { packet: pref });
             self.stats.on_inject(now);
             return Ok(());
         }
@@ -275,7 +358,9 @@ impl Network for TokenRingNetwork {
             dst: packet.dst.index(),
             bytes: packet.bytes,
         });
-        self.queues[q].push_back(packet);
+        let pref = self.slab.insert(packet);
+        self.queues[q].push_back(pref);
+        self.set_waiting(dst, pos);
         self.stats.on_inject(now);
         self.claim_token(dst, pos, now);
         Ok(())
@@ -298,12 +383,28 @@ impl Network for TokenRingNetwork {
         std::mem::take(&mut self.delivered)
     }
 
+    fn drain_delivered_into(&mut self, out: &mut Vec<Packet>) {
+        out.append(&mut self.delivered);
+    }
+
     fn stats(&self) -> &NetStats {
         &self.stats
     }
 
     fn events_processed(&self) -> u64 {
         self.events.popped()
+    }
+
+    fn last_event_time(&self) -> Option<Time> {
+        self.events.last_popped()
+    }
+
+    fn supports_batched_advance(&self) -> bool {
+        true
+    }
+
+    fn slab_stats(&self) -> Option<SlabStats> {
+        Some(self.slab.stats())
     }
 
     fn set_tracer(&mut self, tracer: Tracer) {

@@ -24,7 +24,8 @@
 
 use desim::{EventQueue, Span, Time, TraceEvent, Tracer};
 use netcore::{
-    FaultResponse, MacrochipConfig, NetFault, NetStats, Network, NetworkKind, Packet, SiteId,
+    FaultResponse, MacrochipConfig, NetFault, NetStats, Network, NetworkKind, Packet, PacketRef,
+    PacketSlab, SiteId, SlabStats,
 };
 use std::collections::VecDeque;
 
@@ -64,7 +65,7 @@ pub const NOTIFY_INTERVAL: Span = Span::from_ps(400 / NOTIFY_WDM);
 /// A packet waiting on a shared channel, with its earliest usable slot.
 #[derive(Debug, Clone, Copy)]
 struct Queued {
-    packet: Packet,
+    packet: PacketRef,
     eligible_at: Time,
     /// Data slots this packet has burned on switch-tree conflicts so far.
     wasted: u32,
@@ -75,6 +76,10 @@ struct Queued {
 struct Channel {
     /// Per-source FIFO (index = column of the source within its row).
     queues: Vec<VecDeque<Queued>>,
+    /// Bit `s` set iff `queues[s]` is non-empty (the arbitration domain
+    /// is one row, so a word covers it); lets the round-robin scan and
+    /// the pending check skip empty queues without touching them.
+    occ: u64,
     /// Round-robin pointer over sources.
     rr: usize,
     /// The channel is reserved up to this instant.
@@ -88,7 +93,7 @@ enum Ev {
     /// The channel's next arbitration decision point.
     Slot { channel: usize },
     /// A packet's last bit reached the destination.
-    Deliver { packet: Packet },
+    Deliver { packet: PacketRef },
 }
 
 /// The two-phase arbitrated network (base or ALT configuration).
@@ -128,6 +133,16 @@ pub struct TwoPhaseNetwork {
     masked_tx: Vec<bool>,
     /// Killed shared (row → destination) channels.
     masked_channels: Vec<bool>,
+    /// Shared-channel bandwidth, precomputed.
+    bw: f64,
+    /// Row-then-column propagation delays by hop count, precomputed.
+    prop: crate::geom::PropByHops,
+    /// Memo of the last slotted duration / raw serialization computed:
+    /// traffic has one or two fixed packet sizes, so these turn the
+    /// per-grant float math into a compare (same values, cached).
+    dur_memo: std::cell::Cell<(u32, Span)>,
+    ser_memo: std::cell::Cell<(u32, Span)>,
+    slab: PacketSlab,
     events: EventQueue<Ev>,
     delivered: Vec<Packet>,
     stats: NetStats,
@@ -155,15 +170,18 @@ impl TwoPhaseNetwork {
         config.validate();
         assert!(trees_per_column > 0, "need at least one switch tree");
         let side = config.grid.side();
+        assert!(side <= 64, "occupancy word covers one row (side <= 64)");
         let sites = config.grid.sites();
         let channels = (0..side * sites)
             .map(|_| Channel {
-                queues: (0..side).map(|_| VecDeque::new()).collect(),
+                queues: (0..side).map(|_| VecDeque::with_capacity(4)).collect(),
+                occ: 0,
                 rr: 0,
                 free_at: Time::ZERO,
                 scheduled: false,
             })
             .collect();
+        let bw = config.channel_bytes_per_ns(LAMBDAS_PER_CHANNEL);
         TwoPhaseNetwork {
             config,
             alt: trees_per_column > 1,
@@ -173,8 +191,13 @@ impl TwoPhaseNetwork {
             masked_sites: vec![false; sites],
             masked_tx: vec![false; sites],
             masked_channels: vec![false; side * sites],
+            bw,
+            prop: crate::geom::PropByHops::new(&config.layout),
+            dur_memo: std::cell::Cell::new((64, Self::slotted_duration_raw(bw, 64))),
+            ser_memo: std::cell::Cell::new((64, Span::from_ns_f64(64.0 / bw))),
+            slab: PacketSlab::new(),
             events: EventQueue::new(),
-            delivered: Vec::new(),
+            delivered: Vec::with_capacity(256),
             stats: NetStats::new(),
             tracer: Tracer::disabled(),
         }
@@ -206,13 +229,33 @@ impl TwoPhaseNetwork {
     /// 8-byte acknowledgment burns a whole data slot — the arbitration
     /// overhead that dominates the MS sharing mix in the paper (§6.2).
     fn slotted_duration(&self, bytes: u32) -> Span {
-        let bw = self.config.channel_bytes_per_ns(LAMBDAS_PER_CHANNEL);
+        let (memo_bytes, memo_span) = self.dur_memo.get();
+        if memo_bytes == bytes {
+            return memo_span;
+        }
+        let span = Self::slotted_duration_raw(self.bw, bytes);
+        self.dur_memo.set((bytes, span));
+        span
+    }
+
+    fn slotted_duration_raw(bw: f64, bytes: u32) -> Span {
         let raw = Span::from_ns_f64(bytes as f64 / bw);
         let slots = raw
             .as_ps()
             .div_ceil(BASIC_SLOT.as_ps())
             .max(DATA_SLOT_BASICS);
         Span::from_ps(slots * BASIC_SLOT.as_ps())
+    }
+
+    /// Raw (unslotted) serialization time of `bytes` on a shared channel.
+    fn serialization(&self, bytes: u32) -> Span {
+        let (memo_bytes, memo_span) = self.ser_memo.get();
+        if memo_bytes == bytes {
+            return memo_span;
+        }
+        let span = Span::from_ns_f64(bytes as f64 / self.bw);
+        self.ser_memo.set((bytes, span));
+        span
     }
 
     /// Ensures a `Slot` event is pending for `channel` no earlier than the
@@ -230,8 +273,9 @@ impl TwoPhaseNetwork {
     fn on_slot(&mut self, channel: usize, t: Time) {
         self.channels[channel].scheduled = false;
         let side = self.config.grid.side();
-        let row = channel / self.config.grid.sites();
-        let dst = SiteId::from_index(channel % self.config.grid.sites());
+        let sites = self.config.grid.sites();
+        let row = netcore::fast_div(channel, sites);
+        let dst = SiteId::from_index(netcore::fast_rem(channel, sites));
 
         // Phase 2 precondition: every transmission needs a switch-request
         // slot on the destination column's notification waveguide. If it
@@ -244,14 +288,25 @@ impl TwoPhaseNetwork {
             return;
         }
 
-        // Round-robin among sources whose head packet is eligible.
+        // Round-robin among sources whose head packet is eligible; the
+        // occupancy bitmap skips empty queues without dereferencing them.
         let (selected, earliest_wait) = {
             let ch = &self.channels[channel];
+            let occ = ch.occ;
             let mut selected = None;
             let mut earliest_wait: Option<Time> = None;
-            for k in 0..side {
-                let s = (ch.rr + k) % side;
-                if let Some(q) = ch.queues[s].front() {
+            if occ != 0 {
+                for k in 0..side {
+                    // `rr + k < 2 * side`: a wrap-subtract replaces the
+                    // modulo without changing the visit order.
+                    let mut s = ch.rr + k;
+                    if s >= side {
+                        s -= side;
+                    }
+                    if occ & (1 << s) == 0 {
+                        continue;
+                    }
+                    let q = ch.queues[s].front().expect("occupancy bit set");
                     if q.eligible_at <= t {
                         selected = Some(s);
                         break;
@@ -277,7 +332,7 @@ impl TwoPhaseNetwork {
         let head = *self.channels[channel].queues[src_col]
             .front()
             .expect("selected source has a head packet");
-        let dur = self.slotted_duration(head.packet.bytes);
+        let dur = self.slotted_duration(self.slab.get(head.packet).bytes);
 
         // Phase 2: the switch tree for the destination's column must be
         // free for the whole reserved duration.
@@ -288,7 +343,7 @@ impl TwoPhaseNetwork {
         // reserved for `dur` from `t`.
         {
             let ch = &mut self.channels[channel];
-            ch.rr = (src_col + 1) % side;
+            ch.rr = netcore::fast_rem(src_col + 1, side);
             ch.free_at = t + dur;
         }
         // The grant consumed its notification slot whether or not the
@@ -297,18 +352,20 @@ impl TwoPhaseNetwork {
 
         match free_tree {
             Some(tree) => {
-                let queued = self.channels[channel].queues[src_col]
-                    .pop_front()
-                    .expect("head packet present");
-                let mut packet = queued.packet;
-                packet.tx_start = Some(t);
+                let ch = &mut self.channels[channel];
+                let queued = ch.queues[src_col].pop_front().expect("head packet present");
+                if ch.queues[src_col].is_empty() {
+                    ch.occ &= !(1 << src_col);
+                }
+                let pref = queued.packet;
                 self.trees[tree_idx][tree] = t + dur;
-                let bw = self.config.channel_bytes_per_ns(LAMBDAS_PER_CHANNEL);
-                let ser = Span::from_ns_f64(packet.bytes as f64 / bw);
+                let bytes = self.slab.get(pref).bytes;
+                let ser = self.serialization(bytes);
                 let prop = self
-                    .config
-                    .layout
-                    .prop_delay(self.config.grid.coord(src), self.config.grid.coord(dst));
+                    .prop
+                    .delay(self.config.grid.coord(src), self.config.grid.coord(dst));
+                let packet = self.slab.get_mut(pref);
+                packet.tx_start = Some(t);
                 packet.routed_bytes = 0;
                 packet.tx_end = Some(t + ser);
                 let (id, wasted) = (packet.id.0, queued.wasted);
@@ -317,7 +374,8 @@ impl TwoPhaseNetwork {
                     site: src.index(),
                     wasted_slots: wasted,
                 });
-                self.events.push(t + ser + prop, Ev::Deliver { packet });
+                self.events
+                    .push(t + ser + prop, Ev::Deliver { packet: pref });
             }
             None => {
                 // Tree conflict: reservation burns, packet re-arbitrates.
@@ -327,7 +385,8 @@ impl TwoPhaseNetwork {
                     .expect("head packet present");
                 q.eligible_at = t + ARB_PIPELINE;
                 q.wasted += 1;
-                let id = q.packet.id.0;
+                let pref = q.packet;
+                let id = self.slab.get(pref).id.0;
                 self.tracer.emit(t, || TraceEvent::Retry {
                     packet: id,
                     site: src.index(),
@@ -336,13 +395,14 @@ impl TwoPhaseNetwork {
         }
 
         // Keep arbitrating while any packet is pending.
-        if self.channels[channel].queues.iter().any(|q| !q.is_empty()) {
+        if self.channels[channel].occ != 0 {
             let at = self.channels[channel].free_at;
             self.schedule_slot(channel, at);
         }
     }
 
-    fn deliver(&mut self, mut packet: Packet, at: Time) {
+    fn deliver(&mut self, pref: PacketRef, at: Time) {
+        let mut packet = self.slab.take(pref);
         packet.delivered = Some(at);
         self.stats.on_deliver(&packet);
         self.tracer.emit(at, || TraceEvent::Deliver {
@@ -380,8 +440,9 @@ impl Network for TwoPhaseNetwork {
                 dst: packet.dst.index(),
                 bytes: packet.bytes,
             });
+            let pref = self.slab.insert(packet);
             self.events
-                .push(now + self.config.cycle(), Ev::Deliver { packet });
+                .push(now + self.config.cycle(), Ev::Deliver { packet: pref });
             self.stats.on_inject(now);
             return Ok(());
         }
@@ -430,11 +491,14 @@ impl Network for TwoPhaseNetwork {
             site: packet.src.index(),
         });
         let eligible_at = now + ARB_PIPELINE;
-        self.channels[channel].queues[src_col].push_back(Queued {
-            packet,
+        let pref = self.slab.insert(packet);
+        let ch = &mut self.channels[channel];
+        ch.queues[src_col].push_back(Queued {
+            packet: pref,
             eligible_at,
             wasted: 0,
         });
+        ch.occ |= 1 << src_col;
         self.stats.on_inject(now);
         self.schedule_slot(channel, eligible_at);
         Ok(())
@@ -457,12 +521,28 @@ impl Network for TwoPhaseNetwork {
         std::mem::take(&mut self.delivered)
     }
 
+    fn drain_delivered_into(&mut self, out: &mut Vec<Packet>) {
+        out.append(&mut self.delivered);
+    }
+
     fn stats(&self) -> &NetStats {
         &self.stats
     }
 
     fn events_processed(&self) -> u64 {
         self.events.popped()
+    }
+
+    fn last_event_time(&self) -> Option<Time> {
+        self.events.last_popped()
+    }
+
+    fn supports_batched_advance(&self) -> bool {
+        true
+    }
+
+    fn slab_stats(&self) -> Option<SlabStats> {
+        Some(self.slab.stats())
     }
 
     fn set_tracer(&mut self, tracer: Tracer) {
@@ -479,37 +559,37 @@ impl Network for TwoPhaseNetwork {
         match fault {
             NetFault::SiteKill { site } => {
                 self.masked_sites[site.index()] = true;
-                let mut evicted = Vec::new();
+                let mut refs = Vec::new();
                 // The dead site's own pending requests, across its row.
                 let row = g.y(site);
                 let col = g.x(site);
                 for d in 0..sites {
-                    evicted.extend(
-                        self.channels[row * sites + d].queues[col]
-                            .drain(..)
-                            .map(|q| q.packet),
-                    );
+                    let ch = &mut self.channels[row * sites + d];
+                    refs.extend(ch.queues[col].drain(..).map(|q| q.packet));
+                    ch.occ &= !(1 << col);
                 }
                 // Everyone else's packets destined to the dead site.
                 for r in 0..g.side() {
-                    for queue in &mut self.channels[r * sites + site.index()].queues {
-                        evicted.extend(queue.drain(..).map(|q| q.packet));
+                    let ch = &mut self.channels[r * sites + site.index()];
+                    for queue in &mut ch.queues {
+                        refs.extend(queue.drain(..).map(|q| q.packet));
                     }
+                    ch.occ = 0;
                 }
+                let evicted = refs.into_iter().map(|r| self.slab.take(r)).collect();
                 FaultResponse::handled("mask-requestor").with_evicted(evicted)
             }
             NetFault::LaserLoss { site } => {
                 self.masked_tx[site.index()] = true;
-                let mut evicted = Vec::new();
+                let mut refs = Vec::new();
                 let row = g.y(site);
                 let col = g.x(site);
                 for d in 0..sites {
-                    evicted.extend(
-                        self.channels[row * sites + d].queues[col]
-                            .drain(..)
-                            .map(|q| q.packet),
-                    );
+                    let ch = &mut self.channels[row * sites + d];
+                    refs.extend(ch.queues[col].drain(..).map(|q| q.packet));
+                    ch.occ &= !(1 << col);
                 }
+                let evicted = refs.into_iter().map(|r| self.slab.take(r)).collect();
                 FaultResponse::handled("mask-requestor").with_evicted(evicted)
             }
             NetFault::LaserRestore { site } => {
@@ -519,10 +599,13 @@ impl Network for TwoPhaseNetwork {
             NetFault::LinkKill { src, dst } => {
                 let channel = self.channel_index(src, dst);
                 self.masked_channels[channel] = true;
-                let mut evicted = Vec::new();
-                for queue in &mut self.channels[channel].queues {
-                    evicted.extend(queue.drain(..).map(|q| q.packet));
+                let mut refs = Vec::new();
+                let ch = &mut self.channels[channel];
+                for queue in &mut ch.queues {
+                    refs.extend(queue.drain(..).map(|q| q.packet));
                 }
+                ch.occ = 0;
+                let evicted: Vec<Packet> = refs.into_iter().map(|r| self.slab.take(r)).collect();
                 FaultResponse::handled("mask-channel").with_evicted(evicted)
             }
             NetFault::LinkRepair { src, dst } => {

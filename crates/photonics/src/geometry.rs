@@ -165,7 +165,15 @@ impl Layout {
     pub fn ring_distance(&self, from: usize, to: usize) -> usize {
         let n = self.sites();
         assert!(from < n && to < n, "ring position out of range");
-        (to + n - from) % n
+        // `to + n - from < 2n`: wrap-subtract in place of the modulo (the
+        // site count is a runtime value, so the compiler cannot strength-
+        // reduce the division itself).
+        let d = to + n - from;
+        if d >= n {
+            d - n
+        } else {
+            d
+        }
     }
 
     /// Propagation delay along the serpentine ring between two sites

@@ -128,6 +128,13 @@ impl<R: Read> PacketSource for TraceSource<R> {
     fn is_exhausted(&self) -> bool {
         self.buffer.is_empty() && (self.end_of_trace || self.error.is_some())
     }
+
+    /// Replay follows the captured schedule regardless of deliveries
+    /// (only a counter updates), so the driver may batch network events
+    /// between emissions.
+    fn reacts_to_delivery(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,8 @@
 use crate::patterns::{DestinationGen, Pattern};
 use desim::{SimRng, Span, Time};
 use netcore::{Grid, MessageKind, Packet, PacketId, PacketSource};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// An open-loop Poisson packet source following a synthetic pattern.
 ///
@@ -27,6 +29,15 @@ pub struct OpenLoopTraffic {
     rng: SimRng,
     /// Next injection instant per site; `Time::MAX` = finished.
     next_at: Vec<Time>,
+    /// Min-heap over the still-active sites' next emission instants,
+    /// mirroring `next_at`: finding and re-keying the due site is
+    /// O(log sites) per packet instead of a full scan per call.
+    pending: BinaryHeap<Reverse<(Time, usize)>>,
+    /// Scratch for the sites due in one `emit_due` call.
+    due: Vec<(Time, usize)>,
+    /// Cached minimum of `next_at`, so the driver's per-iteration
+    /// [`next_emission`](PacketSource::next_emission) probe is O(1).
+    next_min: Time,
     mean_gap: Span,
     bytes: u32,
     next_id: u64,
@@ -63,14 +74,24 @@ impl OpenLoopTraffic {
         let mean_gap = Span::from_ns_f64(bytes as f64 / rate).max(Span::from_ps(1));
         let mut rng = SimRng::new(seed);
         // Desynchronize sites from the start.
-        let next_at = (0..grid.sites())
+        let next_at: Vec<Time> = (0..grid.sites())
             .map(|_| Time::ZERO + rng.exp_span(mean_gap))
+            .collect();
+        let next_min = next_at.iter().copied().min().unwrap_or(Time::MAX);
+        let pending = next_at
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t < Time::MAX)
+            .map(|(site, &t)| Reverse((t, site)))
             .collect();
         OpenLoopTraffic {
             grid: *grid,
             dest: DestinationGen::new(pattern, grid),
             rng,
             next_at,
+            pending,
+            due: Vec::new(),
+            next_min,
             mean_gap,
             bytes,
             next_id: 0,
@@ -88,6 +109,14 @@ impl OpenLoopTraffic {
                 *t = Time::MAX;
             }
         }
+        self.pending = self
+            .next_at
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t < Time::MAX)
+            .map(|(site, &t)| Reverse((t, site)))
+            .collect();
+        self.next_min = self.next_at.iter().copied().min().unwrap_or(Time::MAX);
     }
 
     /// Packets created so far.
@@ -103,17 +132,30 @@ impl OpenLoopTraffic {
 
 impl PacketSource for OpenLoopTraffic {
     fn next_emission(&self) -> Option<Time> {
-        self.next_at
-            .iter()
-            .copied()
-            .min()
-            .filter(|&t| t < Time::MAX)
+        Some(self.next_min).filter(|&t| t < Time::MAX)
     }
 
     fn emit_due(&mut self, now: Time, out: &mut Vec<Packet>) {
-        for site in 0..self.grid.sites() {
-            while self.next_at[site] <= now {
-                let at = self.next_at[site];
+        if self.next_min > now {
+            return;
+        }
+        // Pop every due site off the heap, then visit them in ascending
+        // site order, draining each site's due instants before moving on —
+        // the exact emission order of a full `0..sites` scan, which the
+        // RNG stream (and so every downstream result) depends on.
+        let mut due = std::mem::take(&mut self.due);
+        due.clear();
+        while let Some(&Reverse((t, site))) = self.pending.peek() {
+            if t > now {
+                break;
+            }
+            self.pending.pop();
+            due.push((t, site));
+        }
+        due.sort_unstable_by_key(|&(_, site)| site);
+        for &(t, site) in &due {
+            let mut at = t;
+            loop {
                 let src = netcore::SiteId::from_index(site);
                 let dst = self.dest.next(src, &self.grid, &mut self.rng);
                 out.push(Packet::new(
@@ -127,19 +169,39 @@ impl PacketSource for OpenLoopTraffic {
                 self.next_id += 1;
                 self.emitted += 1;
                 let next = at + self.rng.exp_span(self.mean_gap);
-                self.next_at[site] = if next >= self.horizon {
+                let next = if next >= self.horizon {
                     Time::MAX
                 } else {
                     next
                 };
+                if next <= now {
+                    at = next;
+                    continue;
+                }
+                self.next_at[site] = next;
+                if next < Time::MAX {
+                    self.pending.push(Reverse((next, site)));
+                }
+                break;
             }
         }
+        self.due = due;
+        self.next_min = match self.pending.peek() {
+            Some(&Reverse((t, _))) => t,
+            None => Time::MAX,
+        };
     }
 
     fn on_delivered(&mut self, _packet: &Packet, _now: Time) {}
 
     fn is_exhausted(&self) -> bool {
-        self.next_at.iter().all(|&t| t == Time::MAX)
+        self.next_min == Time::MAX
+    }
+
+    /// The emission schedule is fixed at construction; deliveries change
+    /// nothing, so the driver may batch network events between emissions.
+    fn reacts_to_delivery(&self) -> bool {
+        false
     }
 }
 

@@ -1,0 +1,309 @@
+//! Differential kernel-equivalence harness: every scenario runs twice on
+//! the same thread — once on the *reference* kernel (binary-heap event
+//! queue + append-only packet slab, i.e. the pre-overhaul allocation
+//! discipline) and once on the *optimized* kernel (calendar queue +
+//! recycling slab) — and the results must be **byte-identical**.
+//!
+//! The calendar queue and the slab are pure mechanism: they may change
+//! how fast the simulator runs, never what it computes. This harness is
+//! the proof. It covers all five Figure-6 networks across the full
+//! surface area of the repo's run harnesses:
+//!
+//! - open-loop sweep points (`net.*` metrics + [`LoadPoint`]),
+//! - fault-campaign points (`fault.*` metrics under a transient plan),
+//! - closed-loop coherent runs (Figure 7/8 fingerprints),
+//! - `.mtrc` capture → replay round trips ([`ReplaySummary`] equality),
+//! - audited runs (`audit.*` metrics and violation lists),
+//! - the golden Figure-6 sustained-bandwidth bands themselves.
+//!
+//! Kernel selection rides the thread-local overrides
+//! ([`desim::set_thread_backend`], [`netcore::slab::set_thread_mode`]) so
+//! both legs share one process and one test thread; nothing about the
+//! comparison depends on env vars or run ordering.
+
+use desim::{Backend, Span, Time, Tracer};
+use faults::{FaultPlan, ResilientNetwork};
+use macrochip::prelude::*;
+use macrochip::runner::{drive, DriveLimits};
+use macrochip::sweep::run_load_point_observed;
+use netcore::slab::set_thread_mode;
+use netcore::{MetricsRegistry, SlabMode};
+use replay::{TraceMeta, TraceWriter};
+use std::io::Cursor;
+use std::path::PathBuf;
+use workloads::OpenLoopTraffic;
+
+const SIM: Span = Span::from_us(1);
+const DRAIN: Span = Span::from_us(10);
+
+/// Runs `f` under an explicit kernel selection, restoring the defaults
+/// afterwards even if `f` panics (the guard keeps a poisoned test from
+/// leaking its kernel into later tests on a reused thread).
+fn with_kernel<T>(backend: Backend, mode: SlabMode, f: impl FnOnce() -> T) -> T {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            desim::set_thread_backend(None);
+            set_thread_mode(None);
+        }
+    }
+    let _restore = Restore;
+    desim::set_thread_backend(Some(backend));
+    set_thread_mode(Some(mode));
+    f()
+}
+
+/// Runs `f` on both kernels and returns `(reference, optimized)`.
+fn both<T>(mut f: impl FnMut() -> T) -> (T, T) {
+    let reference = with_kernel(Backend::Heap, SlabMode::Append, &mut f);
+    let optimized = with_kernel(Backend::Calendar, SlabMode::Recycle, &mut f);
+    (reference, optimized)
+}
+
+fn options(seed: u64) -> SweepOptions {
+    SweepOptions {
+        sim: SIM,
+        drain: DRAIN,
+        max_stalled: 5_000,
+        seed,
+    }
+}
+
+/// Canonical-JSON metrics snapshot of one driven network.
+fn snapshot_json(net: &dyn Network) -> String {
+    let mut reg = MetricsRegistry::new();
+    reg.record_net_stats(net.stats());
+    reg.snapshot().to_json()
+}
+
+/// Open-loop sweep points: the `net.*` family and the derived
+/// [`LoadPoint`] must match byte-for-byte on every network at a light
+/// and a heavy load.
+#[test]
+fn sweep_points_are_kernel_invariant() {
+    let config = MacrochipConfig::scaled();
+    for kind in NetworkKind::FIGURE6 {
+        for load in [0.05, 0.60] {
+            let (reference, optimized) = both(|| {
+                let (point, net) = macrochip::sweep::run_load_point_traced(
+                    networks::build(kind, config),
+                    Pattern::Uniform,
+                    load,
+                    &config,
+                    options(0xC0FFEE),
+                    Tracer::disabled(),
+                );
+                (point, snapshot_json(net.as_ref()))
+            });
+            assert_eq!(
+                reference.0, optimized.0,
+                "{kind} @ {load}: LoadPoint diverged between kernels"
+            );
+            assert_eq!(
+                reference.1, optimized.1,
+                "{kind} @ {load}: net.* metrics diverged between kernels"
+            );
+        }
+    }
+}
+
+/// Fault-campaign points: a transient-corruption plan with link kills
+/// exercises retry scheduling, NACK timing, and the wrapper's own event
+/// interleaving; `net.*` + `fault.*` must agree exactly.
+#[test]
+fn fault_campaign_points_are_kernel_invariant() {
+    let plan = FaultPlan::parse("transient=0.01; rand-links=2; repair=5us").unwrap();
+    let config = MacrochipConfig::scaled();
+    for kind in NetworkKind::FIGURE6 {
+        let (reference, optimized) = both(|| {
+            let mut net =
+                ResilientNetwork::new(networks::build(kind, config), &plan, 7, Time::ZERO + SIM);
+            let mut t = OpenLoopTraffic::new(
+                &config.grid,
+                Pattern::Uniform,
+                0.02,
+                config.site_bandwidth_bytes_per_ns(),
+                config.data_bytes,
+                7,
+            );
+            t.set_horizon(Time::ZERO + SIM);
+            let outcome = drive(
+                &mut net,
+                &mut t,
+                DriveLimits {
+                    deadline: Time::ZERO + SIM + DRAIN,
+                    max_stalled: 5_000,
+                },
+            );
+            let mut reg = MetricsRegistry::new();
+            reg.record_net_stats(net.stats());
+            net.record_metrics(&mut reg, Time::ZERO + SIM + DRAIN);
+            (reg.snapshot().to_json(), outcome.saturated, t.emitted())
+        });
+        assert_eq!(
+            reference, optimized,
+            "{kind}: faulted run diverged between kernels"
+        );
+    }
+}
+
+/// Closed-loop coherent runs: the Figure 7/8 fingerprints — makespan,
+/// op latency, op and byte counts — must match to the picosecond.
+#[test]
+fn coherent_runs_are_kernel_invariant() {
+    let spec = WorkloadSpec::Synthetic {
+        pattern: Pattern::Uniform,
+        mix: SharingMix::MoreSharing,
+        ops_per_core: 10,
+    };
+    let config = MacrochipConfig::scaled();
+    for kind in NetworkKind::FIGURE6 {
+        let (reference, optimized) = both(|| {
+            let run = run_coherent(kind, &spec, &config, 0xFEED);
+            (
+                run.ops_completed,
+                run.makespan.as_ps(),
+                run.mean_op_latency.as_ps(),
+                run.delivered_bytes,
+            )
+        });
+        assert_eq!(
+            reference, optimized,
+            "{kind}: coherent run diverged between kernels"
+        );
+    }
+}
+
+/// `.mtrc` round trip: one trace captured per network, replayed under
+/// both kernels. [`ReplaySummary`] derives `PartialEq` over every field
+/// including the content hash, so this is a byte-level check of the
+/// replayed run.
+#[test]
+fn mtrc_replays_are_kernel_invariant() {
+    let config = MacrochipConfig::scaled();
+    let dir = std::env::temp_dir().join(format!("mtrc-kernel-eq-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for kind in NetworkKind::FIGURE6 {
+        // Capture once, on the default kernel: the trace on disk is the
+        // shared input to both replay legs.
+        let path = capture_trace(kind, &config, &dir);
+        let (reference, optimized) = both(|| {
+            let (summary, net) = run_replay(
+                kind,
+                &path,
+                &config,
+                ReplayOptions::default(),
+                Tracer::disabled(),
+            )
+            .expect("replayable");
+            (summary, snapshot_json(net.as_ref()))
+        });
+        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            reference.0, optimized.0,
+            "{kind}: ReplaySummary diverged between kernels"
+        );
+        assert_eq!(
+            reference.1, optimized.1,
+            "{kind}: replay net.* metrics diverged between kernels"
+        );
+    }
+    std::fs::remove_dir(&dir).ok();
+}
+
+fn capture_trace(kind: NetworkKind, config: &MacrochipConfig, dir: &std::path::Path) -> PathBuf {
+    let meta = TraceMeta {
+        grid_side: config.grid.side() as u16,
+        seed: 0xC0FFEE,
+        description: format!("kernel-equivalence capture: {kind}"),
+    };
+    let mut writer = Some(TraceWriter::create(Cursor::new(Vec::new()), &meta).expect("writer"));
+    run_load_point_observed(
+        networks::build(kind, *config),
+        Pattern::Uniform,
+        0.03,
+        config,
+        options(0xC0FFEE),
+        Tracer::disabled(),
+        |p| writer.as_mut().expect("live").record(p).expect("record"),
+    );
+    let bytes = writer
+        .take()
+        .expect("writer")
+        .finish()
+        .expect("finish")
+        .0
+        .into_inner();
+    let path = dir.join(format!("{}.mtrc", kind.name()));
+    std::fs::write(&path, &bytes).expect("trace written");
+    path
+}
+
+/// Audited runs: the invariant auditor consumes the flight-recorder
+/// stream event by event, so its `audit.*` counters and violation list
+/// are a fine-grained probe of event *ordering*, not just totals. Both
+/// kernels must produce a clean, identical audit.
+#[test]
+fn audited_runs_are_kernel_invariant() {
+    let config = MacrochipConfig::scaled();
+    for kind in NetworkKind::FIGURE6 {
+        let (reference, optimized) = both(|| {
+            let (point, report) =
+                run_load_point_audited(kind, Pattern::Uniform, 0.05, &config, options(11));
+            let mut reg = MetricsRegistry::new();
+            report.record_metrics(&mut reg);
+            (
+                point,
+                reg.snapshot().to_json(),
+                report.violation_lines(),
+                report.is_clean(),
+            )
+        });
+        assert!(
+            reference.3,
+            "{kind}: reference-kernel audit found violations: {:?}",
+            reference.2
+        );
+        assert_eq!(
+            reference, optimized,
+            "{kind}: audited run diverged between kernels"
+        );
+    }
+}
+
+/// The golden Figure-6 bands hold on *both* kernels, and the sustained
+/// fraction itself is bit-identical — the headline reproduction result
+/// does not depend on which kernel computed it.
+#[test]
+fn figure6_bands_hold_on_both_kernels() {
+    let config = MacrochipConfig::scaled();
+    let bands = [
+        (NetworkKind::PointToPoint, 0.90, 1.00),
+        (NetworkKind::LimitedPointToPoint, 0.40, 0.56),
+        (NetworkKind::TokenRing, 0.33, 0.48),
+        (NetworkKind::TwoPhase, 0.05, 0.13),
+        (NetworkKind::CircuitSwitched, 0.008, 0.035),
+    ];
+    let sweep = SweepOptions {
+        sim: Span::from_us(2),
+        drain: DRAIN,
+        max_stalled: 4_000,
+        seed: 1,
+    };
+    for (kind, lo, hi) in bands {
+        let (reference, optimized) =
+            both(|| sustained_bandwidth(kind, Pattern::Uniform, &config, sweep, 0.02));
+        assert_eq!(
+            reference.to_bits(),
+            optimized.to_bits(),
+            "{kind}: sustained-bandwidth fraction diverged between kernels"
+        );
+        assert!(
+            (lo..=hi).contains(&optimized),
+            "{kind}: sustained {:.1}% outside golden band [{:.1}%, {:.1}%]",
+            optimized * 100.0,
+            lo * 100.0,
+            hi * 100.0
+        );
+    }
+}
