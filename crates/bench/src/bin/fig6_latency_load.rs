@@ -26,7 +26,7 @@ fn paper_uniform_sustained(kind: NetworkKind) -> Option<f64> {
         NetworkKind::LimitedPointToPoint => Some(0.47),
         NetworkKind::CircuitSwitched => Some(0.025),
         NetworkKind::TwoPhase => Some(0.075),
-        NetworkKind::TwoPhaseAlt => None,
+        NetworkKind::TwoPhaseAlt | NetworkKind::Hierarchical => None,
     }
 }
 

@@ -98,8 +98,9 @@ pub fn no_cache() -> bool {
     CampaignEnv::detect().no_cache
 }
 
-/// The six simulated architectures, figure order.
-pub fn all_networks() -> [NetworkKind; 6] {
+/// The seven simulated architectures, figure order (the paper's six
+/// plus the post-paper hierarchical network).
+pub fn all_networks() -> [NetworkKind; 7] {
     NetworkKind::ALL
 }
 

@@ -82,8 +82,20 @@ USAGE:
     macrochip shutdown  [--addr <HOST:PORT>]
     macrochip cache     stats | prune [--max-bytes <N>] [--older-than <AGE>]
 
-NETWORKS:   p2p, limited, token, circuit, two-phase, two-phase-alt, all
+NETWORKS:   p2p, limited, token, circuit, two-phase, two-phase-alt,
+            hierarchical, all
 PATTERNS:   uniform, transpose, butterfly, neighbor, all-to-all, hotspot
+
+GEOMETRY:
+    --side <N>         simulate an NxN macrochip instead of the paper's
+                       8x8 (tables, sweep, sustained, coherent, mp,
+                       faults, run-all, capture, replay, bench, serve).
+                       Per-site bandwidths stay at the paper's figures;
+                       photonic component counts, laser power and
+                       propagation delays scale with the geometry. The
+                       hierarchical network is designed for N > 8, where
+                       the five flat architectures' provisioning grows
+                       quadratically.
 WORKLOADS:  Radix, Barnes, Blackscholes, Densities, Forces, Swaptions,
             or a pattern name (synthetic, LS mix)
 COLLECTIVES: ring, butterfly, halo, all-to-all
@@ -439,11 +451,26 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-fn cmd_tables() -> Result<(), String> {
-    use photonics::geometry::Layout;
+/// Builds the simulated macrochip from `--side <N>`: the paper's 8×8 by
+/// default, or an N×N grid with per-site bandwidths held at the paper's
+/// figures (see `MacrochipConfig::with_side`).
+fn config_from_args(args: &[String]) -> Result<MacrochipConfig, String> {
+    match flag(args, "--side") {
+        None => Ok(MacrochipConfig::scaled()),
+        Some(s) => {
+            let side: usize = s.parse().map_err(|_| format!("bad --side {s}"))?;
+            if !(2..=64).contains(&side) {
+                return Err(format!("--side must be between 2 and 64, got {side}"));
+            }
+            Ok(MacrochipConfig::with_side(side))
+        }
+    }
+}
+
+fn cmd_tables(args: &[String]) -> Result<(), String> {
     use photonics::inventory::ComponentCounts;
     use photonics::power::NetworkPower;
-    let layout = Layout::macrochip();
+    let layout = config_from_args(args)?.layout;
     let mut power = Table::new(&["Network", "Loss factor", "Laser (W)"]);
     for row in NetworkPower::table5(&layout) {
         power.row_owned(vec![
@@ -469,7 +496,7 @@ fn cmd_tables() -> Result<(), String> {
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let out = OutputOpts::parse(args);
-    let config = MacrochipConfig::scaled();
+    let config = config_from_args(args)?;
     let network_arg = flag(args, "--network").ok_or("missing --network")?;
     let kinds = names::parse_networks(&network_arg).ok_or("unknown network")?;
     let pattern_arg = flag(args, "--pattern").ok_or("missing --pattern")?;
@@ -602,7 +629,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
 
 fn cmd_sustained(args: &[String]) -> Result<(), String> {
     let out = OutputOpts::parse(args);
-    let config = MacrochipConfig::scaled();
+    let config = config_from_args(args)?;
     let network_arg = flag(args, "--network").ok_or("missing --network")?;
     let kinds = names::parse_networks(&network_arg).ok_or("unknown network")?;
     let pattern_arg = flag(args, "--pattern").ok_or("missing --pattern")?;
@@ -695,7 +722,7 @@ fn cmd_sustained(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_coherent(args: &[String]) -> Result<(), String> {
-    let config = MacrochipConfig::scaled();
+    let config = config_from_args(args)?;
     let ops: u32 = flag(args, "--ops")
         .map(|s| s.parse().map_err(|_| "bad --ops"))
         .transpose()?
@@ -705,7 +732,7 @@ fn cmd_coherent(args: &[String]) -> Result<(), String> {
     let kinds = names::parse_networks(&flag(args, "--network").ok_or("missing --network")?)
         .ok_or("unknown network")?;
     let audit = args.iter().any(|a| a == "--audit");
-    let model = NetworkEnergyModel::default();
+    let model = NetworkEnergyModel::new(config.layout);
     let mut table = report::coherent_table();
     let mut audit_log = AuditLog::new(audit);
     for kind in kinds {
@@ -729,7 +756,7 @@ fn cmd_coherent(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_mp(args: &[String]) -> Result<(), String> {
-    let config = MacrochipConfig::scaled();
+    let config = config_from_args(args)?;
     let collective =
         names::parse_collective(&flag(args, "--collective").ok_or("missing --collective")?)
             .ok_or("unknown collective")?;
@@ -770,7 +797,7 @@ const DEFAULT_FAULT_SPEC: &str = "rand-links=2; transient=0.01; repair=10us";
 
 fn cmd_faults(args: &[String]) -> Result<(), String> {
     let out = OutputOpts::parse(args);
-    let config = MacrochipConfig::scaled();
+    let config = config_from_args(args)?;
     let network_arg = flag(args, "--network").unwrap_or_else(|| "all".into());
     let kinds = names::parse_networks(&network_arg).ok_or("unknown network")?;
     let pattern_arg = flag(args, "--pattern").unwrap_or_else(|| "uniform".into());
@@ -894,7 +921,7 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
 fn cmd_run_all(args: &[String]) -> Result<(), String> {
     let out = OutputOpts::parse(args);
     let jobs = JobOpts::parse(args)?;
-    let config = MacrochipConfig::scaled();
+    let config = config_from_args(args)?;
     let pattern_arg = flag(args, "--pattern").unwrap_or_else(|| "uniform".into());
     let pattern = names::parse_pattern(&pattern_arg).ok_or("unknown pattern")?;
     let seed: u64 = flag(args, "--seed")
@@ -1131,7 +1158,7 @@ fn parse_site_map(spec: &str, sites: usize) -> Result<Vec<u16>, String> {
 }
 
 fn cmd_capture(args: &[String]) -> Result<(), String> {
-    let config = MacrochipConfig::scaled();
+    let config = config_from_args(args)?;
     let out_path = flag(args, "--out").ok_or("missing --out <FILE.mtrc>")?;
     if let Some(parent) = Path::new(&out_path)
         .parent()
@@ -1282,7 +1309,7 @@ fn cmd_capture(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_replay(args: &[String]) -> Result<(), String> {
-    let config = MacrochipConfig::scaled();
+    let config = config_from_args(args)?;
     let trace_arg = flag(args, "--trace").ok_or("missing --trace <FILE.mtrc>")?;
     // Streaming full-body validation up front: a truncated file or a
     // corrupted block is a clear error here, before any simulation runs.
@@ -1604,7 +1631,7 @@ fn cmd_trace_transform(args: &[String]) -> Result<(), String> {
 /// `macrochip bench` — measure host throughput on all five networks and
 /// write the standing `BENCH_*.json` baseline. See `bench` in USAGE.
 fn cmd_bench(args: &[String]) -> Result<(), String> {
-    let config = MacrochipConfig::scaled();
+    let config = config_from_args(args)?;
     let quiet = args.iter().any(|a| a == "-q" || a == "--quiet");
     let profile = args.iter().any(|a| a == "--profile");
     if profile {
@@ -1709,7 +1736,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         manifest_dir: flag(args, "--manifest-dir").map(PathBuf::from),
         quiet,
     };
-    let server = serve::Server::bind(&addr as &str, MacrochipConfig::scaled(), options)
+    let server = serve::Server::bind(&addr as &str, config_from_args(args)?, options)
         .map_err(|e| format!("binding {addr}: {e}"))?;
     server.run().map_err(|e| format!("serving on {addr}: {e}"))
 }
@@ -2113,7 +2140,7 @@ fn cmd_cache(args: &[String]) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("tables") => cmd_tables(),
+        Some("tables") => cmd_tables(&args),
         Some("sweep") => cmd_sweep(&args),
         Some("sustained") => cmd_sustained(&args),
         Some("coherent") => cmd_coherent(&args),

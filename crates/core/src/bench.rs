@@ -1,7 +1,8 @@
 //! The standing host-performance baseline: `macrochip bench`.
 //!
 //! Runs a fixed-seed open-loop workload on each of the five Figure 6
-//! networks, repeats it for several trials, and reports the **median**
+//! networks plus the hierarchical network ([`BENCH_NETWORKS`]), repeats
+//! it for several trials, and reports the **median**
 //! wall-clock plus derived events/sec — the simulator's host throughput.
 //! Results serialize as a schema-versioned `BENCH_<n>.json` that later
 //! performance PRs diff against ([`compare`]): the workload, seed and
@@ -54,8 +55,23 @@ pub fn bench_load(kind: NetworkKind) -> f64 {
         NetworkKind::TokenRing | NetworkKind::TwoPhaseAlt => 0.15,
         NetworkKind::TwoPhase => 0.03,
         NetworkKind::CircuitSwitched => 0.01,
+        // Each cluster's shared bundle serializes its 16 sites' traffic.
+        NetworkKind::Hierarchical => 0.05,
     }
 }
+
+/// The networks `macrochip bench` measures: the five Figure 6
+/// architectures plus the hierarchical network appended last, so a
+/// baseline written before the sixth existed still lines up entry by
+/// entry ([`compare`] warn-skips networks missing from a baseline).
+pub const BENCH_NETWORKS: [NetworkKind; 6] = [
+    NetworkKind::TokenRing,
+    NetworkKind::CircuitSwitched,
+    NetworkKind::PointToPoint,
+    NetworkKind::LimitedPointToPoint,
+    NetworkKind::TwoPhase,
+    NetworkKind::Hierarchical,
+];
 
 /// Knobs for a bench run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -162,7 +178,7 @@ pub struct BenchReport {
     pub networks: Vec<NetworkBench>,
 }
 
-/// Runs the bench workload on all five Figure 6 networks.
+/// Runs the bench workload on every [`BENCH_NETWORKS`] entry.
 ///
 /// # Panics
 ///
@@ -178,7 +194,7 @@ pub fn run_bench(config: &MacrochipConfig, options: &BenchOptions) -> BenchRepor
         seed: BENCH_SEED,
     };
     let mut networks_out = Vec::new();
-    for kind in NetworkKind::FIGURE6 {
+    for kind in BENCH_NETWORKS {
         let load = bench_load(kind);
         let mut bench: Option<NetworkBench> = None;
         for trial in 0..options.trials {
@@ -555,16 +571,22 @@ mod tests {
 
     #[test]
     fn bench_loads_stay_below_saturation_margins() {
-        for kind in NetworkKind::FIGURE6 {
+        for kind in BENCH_NETWORKS {
             assert!(bench_load(kind) > 0.0 && bench_load(kind) < 1.0);
         }
     }
 
     #[test]
-    fn bench_runs_all_five_networks_and_round_trips_json() {
+    fn bench_covers_figure6_plus_hierarchical() {
+        assert_eq!(&BENCH_NETWORKS[..5], &NetworkKind::FIGURE6[..]);
+        assert_eq!(BENCH_NETWORKS[5], NetworkKind::Hierarchical);
+    }
+
+    #[test]
+    fn bench_runs_all_six_networks_and_round_trips_json() {
         let config = MacrochipConfig::scaled();
         let report = run_bench(&config, &tiny_options());
-        assert_eq!(report.networks.len(), 5);
+        assert_eq!(report.networks.len(), 6);
         for n in &report.networks {
             assert!(n.events > 0, "{} processed no events", n.kind.name());
             assert!(!n.saturated, "{} saturated at bench load", n.kind.name());
@@ -574,7 +596,7 @@ mod tests {
         validate_json(&json).expect("bench JSON must be well-formed");
         let parsed = BenchReport::from_json(&json).expect("round trip");
         assert_eq!(parsed.schema_version, BENCH_SCHEMA_VERSION);
-        assert_eq!(parsed.networks.len(), 5);
+        assert_eq!(parsed.networks.len(), 6);
         for (a, b) in parsed.networks.iter().zip(&report.networks) {
             assert_eq!(a.kind, b.kind);
             assert_eq!(a.events, b.events);
@@ -607,7 +629,7 @@ mod tests {
         // Same run compared to itself: no regression.
         let same = compare(&baseline, &baseline, 2.0);
         assert!(same.passed(), "{:?}", same.regressions);
-        assert_eq!(same.lines.len(), 5);
+        assert_eq!(same.lines.len(), 6);
 
         // A 10x slowdown on one network must be flagged.
         let mut slow = baseline.clone();

@@ -19,6 +19,7 @@ pub fn network_code(kind: NetworkKind) -> &'static str {
         NetworkKind::CircuitSwitched => "circuit",
         NetworkKind::TwoPhase => "two-phase",
         NetworkKind::TwoPhaseAlt => "two-phase-alt",
+        NetworkKind::Hierarchical => "hierarchical",
     }
 }
 

@@ -418,7 +418,10 @@ impl Auditor {
                 );
             }
         }
-        if self.kind == NetworkKind::LimitedPointToPoint {
+        if matches!(
+            self.kind,
+            NetworkKind::LimitedPointToPoint | NetworkKind::Hierarchical
+        ) {
             self.routed_bytes_from_hops += p.hops * u64::from(p.bytes);
         }
         if let Some(p) = self.packets.get_mut(&packet) {
@@ -707,20 +710,29 @@ impl Auditor {
                 ),
             );
         }
-        if self.kind == NetworkKind::LimitedPointToPoint
-            && self.routed_bytes_from_hops != stats.routed_bytes()
-        {
-            self.flag(
-                "limited.routed-bytes-mismatch",
-                None,
-                None,
-                end,
-                format!(
-                    "hop events imply {} routed bytes vs {} in NetStats",
-                    self.routed_bytes_from_hops,
-                    stats.routed_bytes()
-                ),
-            );
+        // Electronic-routing byte conservation: every router (limited
+        // point-to-point) or bridge (hierarchical) relay must account its
+        // packet's bytes exactly once — hop events and NetStats are
+        // independent tallies of the same forwarding work.
+        let routed_bytes_check = match self.kind {
+            NetworkKind::LimitedPointToPoint => Some("limited.routed-bytes-mismatch"),
+            NetworkKind::Hierarchical => Some("hierarchical.bridge-bytes-mismatch"),
+            _ => None,
+        };
+        if let Some(check) = routed_bytes_check {
+            if self.routed_bytes_from_hops != stats.routed_bytes() {
+                self.flag(
+                    check,
+                    None,
+                    None,
+                    end,
+                    format!(
+                        "hop events imply {} routed bytes vs {} in NetStats",
+                        self.routed_bytes_from_hops,
+                        stats.routed_bytes()
+                    ),
+                );
+            }
         }
         if !self.token_holders.is_empty() {
             let held: Vec<usize> = self.token_holders.keys().copied().collect();
@@ -815,11 +827,15 @@ impl TraceSink for Auditor {
                 self.on_circuit_teardown(at, circuit, packets)
             }
             TraceEvent::Hop { packet, at: site } => {
-                // Limited point-to-point hops carry packet ids; the
-                // circuit-switched network reuses the event for setup
-                // messages with *circuit* ids, which the packet-level
-                // audit must not interpret.
-                if self.kind == NetworkKind::LimitedPointToPoint {
+                // Limited point-to-point router hops and hierarchical
+                // bridge relays carry packet ids; the circuit-switched
+                // network reuses the event for setup messages with
+                // *circuit* ids, which the packet-level audit must not
+                // interpret.
+                if matches!(
+                    self.kind,
+                    NetworkKind::LimitedPointToPoint | NetworkKind::Hierarchical
+                ) {
                     match self.packets.get_mut(&packet) {
                         Some(p) => p.hops += 1,
                         None => self.flag(
@@ -1298,6 +1314,67 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.check == "limited.routed-bytes-mismatch"));
+    }
+
+    #[test]
+    fn hierarchical_bridge_bytes_reconcile() {
+        use crate::{MessageKind, Packet, PacketId};
+        // A cross-cluster journey: two bridge relays, each accounting the
+        // packet's 64 bytes — 128 routed bytes total.
+        let mut stats = NetStats::new();
+        stats.on_inject(Time::ZERO);
+        let mut p = Packet::new(
+            PacketId(1),
+            SiteId::from_index(1),
+            SiteId::from_index(5),
+            64,
+            MessageKind::Data,
+            Time::ZERO,
+        );
+        p.routed_bytes = 128;
+        p.delivered = Some(Time::from_ns(20));
+        stats.on_deliver(&p);
+
+        let mut a = auditor(NetworkKind::Hierarchical);
+        a.record(Time::ZERO, inject(1, 1, 5));
+        a.record(Time::from_ns(4), TraceEvent::Hop { packet: 1, at: 0 });
+        a.record(Time::from_ns(9), TraceEvent::Hop { packet: 1, at: 4 });
+        a.record(Time::from_ns(20), deliver(1, 1, 5));
+        let report = a.finalize(&stats, 0, Time::from_ns(20));
+        assert!(report.is_clean(), "{:?}", report.violations);
+
+        // Dropping a relay's accounting breaks byte conservation.
+        let mut b = auditor(NetworkKind::Hierarchical);
+        b.record(Time::ZERO, inject(1, 1, 5));
+        b.record(Time::from_ns(4), TraceEvent::Hop { packet: 1, at: 0 });
+        b.record(Time::from_ns(20), deliver(1, 1, 5));
+        let report = b.finalize(&stats, 0, Time::from_ns(20));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.check == "hierarchical.bridge-bytes-mismatch"));
+    }
+
+    #[test]
+    fn hierarchical_cluster_grants_use_the_token_invariant() {
+        // The per-cluster broadcast grant is audited with the token
+        // checks, keyed by cluster id: overlapping grants are flagged.
+        let mut a = auditor(NetworkKind::Hierarchical);
+        a.record(Time::ZERO, TraceEvent::TokenAcquire { dst: 0, holder: 1 });
+        a.record(
+            Time::from_ns(1),
+            TraceEvent::TokenRelease { dst: 0, holder: 1 },
+        );
+        assert_eq!(a.total_violations(), 0);
+        a.record(
+            Time::from_ns(2),
+            TraceEvent::TokenAcquire { dst: 2, holder: 9 },
+        );
+        a.record(
+            Time::from_ns(3),
+            TraceEvent::TokenAcquire { dst: 2, holder: 10 },
+        );
+        assert_eq!(a.violations().last().unwrap().check, "token.double-hold");
     }
 
     #[test]

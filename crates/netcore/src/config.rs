@@ -63,6 +63,20 @@ impl MacrochipConfig {
         }
     }
 
+    /// The scaled configuration on an `side`×`side` site grid: the
+    /// generation knob behind `--side`. Side 8 is [`scaled`](Self::scaled)
+    /// exactly; larger sides keep the per-site provisioning of Table 4
+    /// (so per-site bandwidth is constant and aggregate bandwidth grows
+    /// with the site count) while the layout keeps the 2.5 cm pitch, so
+    /// time of flight grows with physical span.
+    pub fn with_side(side: usize) -> MacrochipConfig {
+        MacrochipConfig {
+            grid: Grid::new(side),
+            layout: Layout::new(side, 2.5, 0.1),
+            ..MacrochipConfig::scaled()
+        }
+    }
+
     /// The paper's simulated configuration (Table 4).
     pub fn scaled() -> MacrochipConfig {
         MacrochipConfig {
@@ -195,6 +209,24 @@ mod tests {
         let s = MacrochipConfig::scaled();
         assert_eq!(c.tx_per_site, 8 * s.tx_per_site);
         assert_eq!(c.cores_per_site, 8 * s.cores_per_site);
+    }
+
+    #[test]
+    fn with_side_8_is_the_scaled_config() {
+        assert_eq!(MacrochipConfig::with_side(8), MacrochipConfig::scaled());
+    }
+
+    #[test]
+    fn with_side_scales_sites_and_aggregate_bandwidth() {
+        for side in [4usize, 8, 16, 24, 32] {
+            let c = MacrochipConfig::with_side(side);
+            c.validate();
+            assert_eq!(c.grid.sites(), side * side);
+            assert_eq!(c.layout.side(), side);
+            // Per-site provisioning is fixed; the aggregate grows.
+            assert!((c.site_bandwidth_bytes_per_ns() - 320.0).abs() < 1e-9);
+            assert!((c.total_peak_bytes_per_ns() - 320.0 * (side * side) as f64).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -20,17 +20,23 @@ pub enum NetworkKind {
     CircuitSwitched,
     /// Limited point-to-point with electronic routing (§4.6).
     LimitedPointToPoint,
+    /// Two-level hierarchical network beyond the paper: per-cluster
+    /// broadcast rings bridged by an inter-cluster point-to-point
+    /// backbone (HERMES-style).
+    Hierarchical,
 }
 
 impl NetworkKind {
-    /// All simulated architectures, in the paper's figure order.
-    pub const ALL: [NetworkKind; 6] = [
+    /// All simulated architectures: the paper's figure order, then the
+    /// post-paper hierarchical design.
+    pub const ALL: [NetworkKind; 7] = [
         NetworkKind::TokenRing,
         NetworkKind::CircuitSwitched,
         NetworkKind::PointToPoint,
         NetworkKind::LimitedPointToPoint,
         NetworkKind::TwoPhase,
         NetworkKind::TwoPhaseAlt,
+        NetworkKind::Hierarchical,
     ];
 
     /// The five base networks of Figure 6 (ALT excluded).
@@ -51,6 +57,7 @@ impl NetworkKind {
             NetworkKind::TokenRing => "Token Ring",
             NetworkKind::CircuitSwitched => "Circuit-Switched",
             NetworkKind::LimitedPointToPoint => "Limited Point-to-Point",
+            NetworkKind::Hierarchical => "Hierarchical",
         }
     }
 
@@ -63,6 +70,7 @@ impl NetworkKind {
             NetworkKind::TokenRing => NetworkId::TokenRing,
             NetworkKind::CircuitSwitched => NetworkId::CircuitSwitched,
             NetworkKind::LimitedPointToPoint => NetworkId::LimitedPointToPoint,
+            NetworkKind::Hierarchical => NetworkId::Hierarchical,
         }
     }
 }
@@ -195,6 +203,14 @@ mod tests {
     fn figure6_excludes_alt() {
         assert!(!NetworkKind::FIGURE6.contains(&NetworkKind::TwoPhaseAlt));
         assert_eq!(NetworkKind::FIGURE6.len(), 5);
+    }
+
+    #[test]
+    fn figure6_excludes_the_post_paper_hierarchical() {
+        // FIGURE6 is the paper's figure; the hierarchical design only
+        // appears in ALL (and the "at scale" experiments).
+        assert!(!NetworkKind::FIGURE6.contains(&NetworkKind::Hierarchical));
+        assert!(NetworkKind::ALL.contains(&NetworkKind::Hierarchical));
     }
 
     #[test]

@@ -56,22 +56,30 @@ impl fmt::Display for SiteId {
 /// `v % m` for every input.
 #[inline]
 pub fn fast_rem(v: usize, m: usize) -> usize {
-    if m.is_power_of_two() {
+    debug_assert!(m > 0, "fast_rem by zero");
+    let r = if m.is_power_of_two() {
         v & (m - 1)
     } else {
+        // Safe fallback for non-power-of-two side lengths (e.g. 24).
         v % m
-    }
+    };
+    debug_assert_eq!(r, v % m, "fast_rem({v}, {m}) diverged from %");
+    r
 }
 
 /// `v / m`, strength-reduced to a shift when `m` is a power of two.
 /// See [`fast_rem`].
 #[inline]
 pub fn fast_div(v: usize, m: usize) -> usize {
-    if m.is_power_of_two() {
+    debug_assert!(m > 0, "fast_div by zero");
+    let q = if m.is_power_of_two() {
         v >> m.trailing_zeros()
     } else {
+        // Safe fallback for non-power-of-two side lengths (e.g. 24).
         v / m
-    }
+    };
+    debug_assert_eq!(q, v / m, "fast_div({v}, {m}) diverged from /");
+    q
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,11 +184,24 @@ mod tests {
 
     #[test]
     fn coordinates_round_trip() {
-        let g = Grid::new(8);
-        for y in 0..8 {
-            for x in 0..8 {
-                let s = g.site(x, y);
-                assert_eq!(g.coord(s), (x, y));
+        // Power-of-two and non-power-of-two sides alike.
+        for side in [4usize, 8, 11, 16, 24, 32] {
+            let g = Grid::new(side);
+            for y in 0..side {
+                for x in 0..side {
+                    let s = g.site(x, y);
+                    assert_eq!(g.coord(s), (x, y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_rem_and_div_match_the_operators() {
+        for m in [8usize, 16, 24, 32] {
+            for v in 0..4 * m {
+                assert_eq!(fast_rem(v, m), v % m, "rem v={v} m={m}");
+                assert_eq!(fast_div(v, m), v / m, "div v={v} m={m}");
             }
         }
     }
@@ -209,11 +230,12 @@ mod tests {
 
     #[test]
     fn iter_visits_every_site_once() {
-        let g = Grid::new(8);
-        let all: Vec<_> = g.iter().collect();
-        assert_eq!(all.len(), 64);
-        assert_eq!(all[0].index(), 0);
-        assert_eq!(all[63].index(), 63);
+        for side in [4usize, 8, 16, 24, 32] {
+            let g = Grid::new(side);
+            let all: Vec<_> = g.iter().collect();
+            assert_eq!(all.len(), side * side);
+            assert!(all.iter().enumerate().all(|(i, s)| s.index() == i));
+        }
     }
 
     #[test]

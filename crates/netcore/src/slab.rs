@@ -245,7 +245,7 @@ mod tests {
                 live.push((use_left, r, next_id));
                 next_id += 1;
             } else {
-                let pick = (step as usize * 40503) % live.len();
+                let pick = usize::try_from(step * 40503).unwrap() % live.len();
                 let (use_left, r, id) = live.swap_remove(pick);
                 let slab = if use_left { &mut left } else { &mut right };
                 assert_eq!(slab.get(r).id, PacketId(id), "ref read stale slot");

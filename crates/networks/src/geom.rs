@@ -43,16 +43,24 @@ mod tests {
 
     #[test]
     fn matches_layout_for_every_pair() {
-        let layout = Layout::macrochip();
-        let table = PropByHops::new(&layout);
-        for sx in 0..8 {
-            for sy in 0..8 {
-                for dx in 0..8 {
-                    for dy in 0..8 {
-                        assert_eq!(
-                            table.delay((sx, sy), (dx, dy)),
-                            layout.prop_delay((sx, sy), (dx, dy)),
-                        );
+        // Power-of-two and odd side lengths, paper pitch and a custom one.
+        for layout in [
+            Layout::macrochip(),
+            Layout::new(4, 2.5, 0.1),
+            Layout::new(11, 1.75, 0.1),
+            Layout::new(16, 2.5, 0.1),
+        ] {
+            let side = layout.side();
+            let table = PropByHops::new(&layout);
+            for sx in 0..side {
+                for sy in 0..side {
+                    for dx in 0..side {
+                        for dy in 0..side {
+                            assert_eq!(
+                                table.delay((sx, sy), (dx, dy)),
+                                layout.prop_delay((sx, sy), (dx, dy)),
+                            );
+                        }
                     }
                 }
             }

@@ -17,6 +17,14 @@
 //!   (§4.6): 20 GB/s channels to row/column peers, one electronic router
 //!   hop for everything else.
 //!
+//! A sixth, post-paper architecture rides on the same trait:
+//!
+//! * [`hierarchical`] — two-level HERMES-style network: per-cluster
+//!   broadcast rings bridged by an inter-cluster point-to-point backbone.
+//!   Its provisioning scales with the cluster size rather than the full
+//!   site count, so it stays practical past the paper's 8×8 ceiling
+//!   (see [`netcore::MacrochipConfig::with_side`]).
+//!
 //! [`build`] constructs any architecture from a [`NetworkKind`].
 //!
 //! # Example
@@ -40,12 +48,14 @@
 
 pub mod circuit;
 mod geom;
+pub mod hierarchical;
 pub mod limited_p2p;
 pub mod p2p;
 pub mod token_ring;
 pub mod two_phase;
 
 pub use circuit::CircuitSwitchedNetwork;
+pub use hierarchical::HierarchicalNetwork;
 pub use limited_p2p::{LimitedP2pNetwork, RoutingPolicy};
 pub use p2p::P2pNetwork;
 pub use token_ring::TokenRingNetwork;
@@ -70,5 +80,6 @@ pub fn build(kind: NetworkKind, config: MacrochipConfig) -> Box<dyn Network> {
         NetworkKind::CircuitSwitched => Box::new(CircuitSwitchedNetwork::new(config)),
         NetworkKind::TwoPhase => Box::new(TwoPhaseNetwork::new(config)),
         NetworkKind::TwoPhaseAlt => Box::new(TwoPhaseNetwork::new_alt(config)),
+        NetworkKind::Hierarchical => Box::new(HierarchicalNetwork::new(config)),
     }
 }

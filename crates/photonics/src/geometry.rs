@@ -115,6 +115,23 @@ impl Layout {
         Span::from_ns_f64(self.site_pitch_cm * self.prop_ns_per_cm)
     }
 
+    /// Side length of the square sub-grids ("clusters") the hierarchical
+    /// network partitions the macrochip into: the largest of 4, 3, 2 that
+    /// divides the grid side, or 1 when none does. Every paper-relevant
+    /// side (8, 16, 24, 32) yields 4×4 clusters.
+    pub fn cluster_side(&self) -> usize {
+        [4usize, 3, 2]
+            .into_iter()
+            .find(|c| self.side.is_multiple_of(*c))
+            .unwrap_or(1)
+    }
+
+    /// Number of clusters (`(side / cluster_side)²`).
+    pub fn clusters(&self) -> usize {
+        let per_side = self.side / self.cluster_side();
+        per_side * per_side
+    }
+
     /// Position of site `i` in the serpentine (boustrophedon) ring that the
     /// token-ring network's waveguides follow: row 0 left-to-right, row 1
     /// right-to-left, and so on.
@@ -283,5 +300,22 @@ mod tests {
         let l = Layout::new(4, 5.0, 0.1);
         assert_eq!(l.sites(), 16);
         assert_eq!(l.worst_prop_delay(), Span::from_ns(3));
+    }
+
+    #[test]
+    fn cluster_side_prefers_4x4() {
+        for (side, cluster, clusters) in [
+            (8usize, 4usize, 4usize),
+            (16, 4, 16),
+            (24, 4, 36),
+            (32, 4, 64),
+            (6, 3, 4),
+            (10, 2, 25),
+            (11, 1, 121),
+        ] {
+            let l = Layout::new(side, 2.5, 0.1);
+            assert_eq!(l.cluster_side(), cluster, "side {side}");
+            assert_eq!(l.clusters(), clusters, "side {side}");
+        }
     }
 }

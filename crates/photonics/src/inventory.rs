@@ -25,11 +25,14 @@ pub enum NetworkId {
     TwoPhaseDataAlt,
     /// Two-phase arbitration (control) network.
     TwoPhaseArbitration,
+    /// Two-level hierarchical network (post-paper): per-cluster broadcast
+    /// rings plus an inter-cluster bridge backbone.
+    Hierarchical,
 }
 
 impl NetworkId {
-    /// All rows in Table 5/6 order.
-    pub const ALL: [NetworkId; 7] = [
+    /// All rows: Table 5/6 order, then the post-paper hierarchical row.
+    pub const ALL: [NetworkId; 8] = [
         NetworkId::TokenRing,
         NetworkId::PointToPoint,
         NetworkId::CircuitSwitched,
@@ -37,6 +40,7 @@ impl NetworkId {
         NetworkId::TwoPhaseData,
         NetworkId::TwoPhaseDataAlt,
         NetworkId::TwoPhaseArbitration,
+        NetworkId::Hierarchical,
     ];
 
     /// Display name matching the paper's tables.
@@ -49,6 +53,7 @@ impl NetworkId {
             NetworkId::TwoPhaseData => "Two-Phase: Data",
             NetworkId::TwoPhaseDataAlt => "Two-Phase: Data (ALT)",
             NetworkId::TwoPhaseArbitration => "Two-Phase: Arbitration",
+            NetworkId::Hierarchical => "Hierarchical",
         }
     }
 }
@@ -237,6 +242,32 @@ impl ComponentCounts {
                 switches: 0,
                 switch_kind: SwitchKind::None,
             },
+            // Post-paper hierarchical design: each cluster (c×c sub-grid)
+            // shares one serpentine broadcast bundle sized for the cluster
+            // (`lambdas_per_dest` wavelengths per in-cluster destination);
+            // every site modulates and snoops its own cluster's bundle
+            // only, so optical provisioning scales with the cluster size,
+            // not the full site count. One electronic bridge per cluster
+            // sources a `wdm`-wavelength point-to-point link to every
+            // other bridge. Component totals grow with S + k² rather than
+            // S², which is the design's whole point.
+            NetworkId::Hierarchical => {
+                let c = layout.cluster_side() as u64;
+                let k = (layout.side() as u64 / c) * (layout.side() as u64 / c);
+                let lambdas_per_cluster = lambdas_per_dest * c * c;
+                let bridge_links = k * (k - 1);
+                // Serpentine loop: out + return tracks per cluster.
+                let ring_physical = k * 2 * lambdas_per_cluster.div_ceil(wdm);
+                ComponentCounts {
+                    network,
+                    transmitters: s * lambdas_per_cluster + bridge_links * wdm,
+                    receivers: s * lambdas_per_cluster + bridge_links * wdm,
+                    waveguides: ring_physical + bridge_links,
+                    waveguide_area_equivalent: ring_physical * c.div_ceil(2) + bridge_links,
+                    switches: k,
+                    switch_kind: SwitchKind::Electronic7x7,
+                }
+            }
         }
     }
 
@@ -343,7 +374,34 @@ mod tests {
     #[test]
     fn table6_covers_all_networks() {
         let rows = ComponentCounts::table6(&Layout::macrochip());
-        assert_eq!(rows.len(), 7);
+        assert_eq!(rows.len(), 8);
+    }
+
+    #[test]
+    fn hierarchical_counts_at_8x8() {
+        // c = 4 → 4 clusters of 16 sites; 32 λ shared per cluster ring;
+        // 12 ordered bridge links of 8 λ each; 4 electronic bridges.
+        let c = counts(NetworkId::Hierarchical);
+        assert_eq!(
+            (c.transmitters, c.receivers, c.waveguides, c.switches),
+            (2_144, 2_144, 44, 4)
+        );
+        assert_eq!(c.waveguide_area_equivalent, 76);
+        assert_eq!(c.switch_kind, SwitchKind::Electronic7x7);
+    }
+
+    #[test]
+    fn hierarchical_complexity_grows_sub_quadratically() {
+        // Doubling the side quadruples sites; flat networks grow their
+        // transmitter counts ~16x (S × tx_per_site ∝ S²), the hierarchical
+        // design ~4-5x (S × cluster λ + k² bridges).
+        let at8 = counts(NetworkId::Hierarchical);
+        let at16 =
+            ComponentCounts::for_network(NetworkId::Hierarchical, &Layout::new(16, 2.5, 0.1));
+        assert!(at16.transmitters < 8 * at8.transmitters);
+        let p2p16 =
+            ComponentCounts::for_network(NetworkId::PointToPoint, &Layout::new(16, 2.5, 0.1));
+        assert!(at16.transmitters * 10 < p2p16.transmitters);
     }
 
     #[test]

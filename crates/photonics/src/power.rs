@@ -87,6 +87,10 @@ impl NetworkPower {
             NetworkId::TwoPhaseDataAlt => 4.0,
             // Snooped by the 7 other sites of the domain: 7-8x input power.
             NetworkId::TwoPhaseArbitration => 8.0,
+            // Cluster broadcast: 16 off-resonance pass-bys at 0.1 dB plus
+            // the snooping fan-out within a 4×4 cluster ≈ 10 dB ≈ 10x; the
+            // electronic bridge links add no optical loss.
+            NetworkId::Hierarchical => 10.0,
         }
     }
 
@@ -222,6 +226,20 @@ mod tests {
 
     #[test]
     fn table5_has_all_rows() {
-        assert_eq!(NetworkPower::table5(&Layout::macrochip()).len(), 7);
+        assert_eq!(NetworkPower::table5(&Layout::macrochip()).len(), 8);
+    }
+
+    #[test]
+    fn hierarchical_static_power_stays_low_at_scale() {
+        // The headline scaling claim: at 16×16 (4x the sites) the flat
+        // broadcast networks' laser power grows ~16x while the clustered
+        // design stays within ~5x of its 8×8 figure.
+        let l8 = Layout::macrochip();
+        let l16 = Layout::new(16, 2.5, 0.1);
+        let h8 = NetworkPower::for_network(NetworkId::Hierarchical, &l8);
+        let h16 = NetworkPower::for_network(NetworkId::Hierarchical, &l16);
+        assert!(h16.laser.watts() < 5.0 * h8.laser.watts());
+        let ring16 = NetworkPower::for_network(NetworkId::TokenRing, &l16);
+        assert!(h16.laser.watts() * 10.0 < ring16.laser.watts());
     }
 }

@@ -1,4 +1,4 @@
-//! End-to-end conservation and sanity tests across all six network
+//! End-to-end conservation and sanity tests across all seven network
 //! architectures.
 
 use desim::Time;
@@ -101,6 +101,58 @@ fn uniform_traffic_on_limited_p2p_routes_most_bytes() {
         (frac - 0.75).abs() < 0.06,
         "routed fraction {frac}, expected ~0.75"
     );
+}
+
+#[test]
+fn hierarchical_routes_bytes_only_at_bridges() {
+    // Within a cluster the broadcast ring is all-optical; only
+    // cross-cluster packets touch electronics, and each is relayed
+    // exactly twice (source bridge out, destination bridge in).
+    let config = MacrochipConfig::scaled();
+    let mut net = networks::build(NetworkKind::Hierarchical, config);
+    let mut traffic = OpenLoopTraffic::new(&config.grid, Pattern::Neighbor, 0.02, 320.0, 64, 0xAB);
+    traffic.set_horizon(Time::from_ns(500));
+    drive(net.as_mut(), &mut traffic, DriveLimits::default());
+    let stats = net.stats();
+    // Neighbor traffic crosses cluster boundaries only at the seams of
+    // the 4x4 tiling, so most bytes stay optical.
+    let frac = stats.routed_bytes() as f64 / stats.delivered_bytes() as f64;
+    assert!(
+        frac < 1.0,
+        "expected some all-optical intra-cluster delivery, routed fraction {frac}"
+    );
+
+    // Uniform traffic at 8x8: 4 clusters, 3/4 of destinations are in
+    // another cluster, and each such packet is relayed twice — the
+    // routed fraction lands near 2 * 0.75 = 1.5x delivered bytes.
+    let mut net = networks::build(NetworkKind::Hierarchical, config);
+    let mut traffic = OpenLoopTraffic::new(&config.grid, Pattern::Uniform, 0.02, 320.0, 64, 0xAB);
+    traffic.set_horizon(Time::from_ns(500));
+    drive(net.as_mut(), &mut traffic, DriveLimits::default());
+    let stats = net.stats();
+    let frac = stats.routed_bytes() as f64 / stats.delivered_bytes() as f64;
+    assert!(
+        (frac - 1.5).abs() < 0.15,
+        "routed fraction {frac}, expected ~1.5 (two relays for 3/4 of packets)"
+    );
+}
+
+#[test]
+fn hierarchical_scales_past_the_eight_by_eight_ceiling() {
+    // The headline geometry: a 16x16 macrochip (256 sites, 16 clusters)
+    // conserves packets end to end just like the paper-scale grid.
+    let config = MacrochipConfig::with_side(16);
+    let mut net = networks::build(NetworkKind::Hierarchical, config);
+    let mut traffic = OpenLoopTraffic::new(&config.grid, Pattern::Uniform, 0.01, 320.0, 64, 0xAB);
+    traffic.set_horizon(Time::from_ns(800));
+    drive(net.as_mut(), &mut traffic, DriveLimits::default());
+    let stats = net.stats();
+    assert_eq!(
+        traffic.emitted(),
+        stats.delivered_packets(),
+        "16x16 hierarchical lost packets"
+    );
+    assert!(stats.delivered_packets() > 0, "nothing delivered at 16x16");
 }
 
 #[test]

@@ -133,7 +133,7 @@ fn events_processed_flows_into_host_counter() {
 }
 
 /// The bench harness is itself deterministic: consecutive runs agree on
-/// every non-timing field, across all five networks.
+/// every non-timing field, across all six benched networks.
 #[test]
 fn bench_runs_are_deterministic_modulo_timing() {
     let config = MacrochipConfig::scaled();
@@ -147,7 +147,7 @@ fn bench_runs_are_deterministic_modulo_timing() {
     };
     let a = run_bench(&config, &options);
     let b = run_bench(&config, &options);
-    assert_eq!(a.networks.len(), 5);
+    assert_eq!(a.networks.len(), 6);
     for (x, y) in a.networks.iter().zip(&b.networks) {
         assert_eq!(x.kind, y.kind);
         assert_eq!(x.events, y.events, "{}", x.kind.name());

@@ -271,6 +271,54 @@ fn audited_runs_are_kernel_invariant() {
     }
 }
 
+/// The hierarchical network through the same differential harness — and
+/// at *two* geometries, because it is the one network whose topology
+/// (cluster rings + bridge backbone) reshapes itself with the grid side.
+/// Sweep points and audited runs must be kernel-invariant at 8×8 and
+/// 16×16, and the audits must come back clean at both scales.
+#[test]
+fn hierarchical_is_kernel_invariant_at_both_scales() {
+    for side in [8usize, 16] {
+        let config = MacrochipConfig::with_side(side);
+        for load in [0.05, 0.60] {
+            let (reference, optimized) = both(|| {
+                let (point, net) = macrochip::sweep::run_load_point_traced(
+                    networks::build(NetworkKind::Hierarchical, config),
+                    Pattern::Uniform,
+                    load,
+                    &config,
+                    options(0xC0FFEE),
+                    Tracer::disabled(),
+                );
+                (point, snapshot_json(net.as_ref()))
+            });
+            assert_eq!(
+                reference, optimized,
+                "hierarchical {side}x{side} @ {load}: sweep diverged between kernels"
+            );
+        }
+        let (reference, optimized) = both(|| {
+            let (point, report) = run_load_point_audited(
+                NetworkKind::Hierarchical,
+                Pattern::Uniform,
+                0.05,
+                &config,
+                options(11),
+            );
+            (point, report.violation_lines(), report.is_clean())
+        });
+        assert!(
+            reference.2,
+            "hierarchical {side}x{side}: audit found violations: {:?}",
+            reference.1
+        );
+        assert_eq!(
+            reference, optimized,
+            "hierarchical {side}x{side}: audited run diverged between kernels"
+        );
+    }
+}
+
 /// The golden Figure-6 bands hold on *both* kernels, and the sustained
 /// fraction itself is bit-identical — the headline reproduction result
 /// does not depend on which kernel computed it.

@@ -18,6 +18,7 @@ fn network_kind() -> impl Strategy<Value = NetworkKind> {
         Just(NetworkKind::CircuitSwitched),
         Just(NetworkKind::TwoPhase),
         Just(NetworkKind::TwoPhaseAlt),
+        Just(NetworkKind::Hierarchical),
     ]
 }
 
@@ -102,7 +103,10 @@ proptest! {
                 // The token ring's data follows the serpentine ring, whose
                 // wrap edge can undercut the row-column Manhattan route;
                 // its floor is the ring flight. Everyone else routes
-                // row-then-column.
+                // row-then-column — including the hierarchical network,
+                // whose cluster rings model their wrap edges at physical
+                // length, so every leg is a unit-pitch walk and the
+                // src→dst Manhattan floor holds by triangle inequality.
                 let flight = if kind == NetworkKind::TokenRing {
                     config
                         .layout
@@ -121,5 +125,89 @@ proptest! {
                 prop_assert!(lat >= desim::Span::from_ps(200), "{} serialization", kind);
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Geometry at arbitrary grid sides: the layout invariants the networks and
+// the auditor lean on must hold for every side, not just the paper's 8.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The serpentine ring visits every site exactly once and the
+    /// coordinate maps invert each other at any grid side.
+    #[test]
+    fn serpentine_ring_bijective_at_any_side(side in 2usize..33) {
+        let layout = photonics::geometry::Layout::new(side, 2.5, 0.1);
+        let mut seen = vec![false; layout.sites()];
+        for i in 0..layout.sites() {
+            let c = layout.ring_coord(i);
+            prop_assert!(c.0 < side && c.1 < side, "coord in grid");
+            prop_assert!(!seen[c.1 * side + c.0], "site visited twice");
+            seen[c.1 * side + c.0] = true;
+            prop_assert_eq!(layout.ring_index(c), i, "ring maps invert");
+        }
+        // Consecutive ring positions are physically adjacent (the
+        // serpentine never teleports except at the modeled wrap edge).
+        for i in 0..layout.sites() - 1 {
+            let a = layout.ring_coord(i);
+            let b = layout.ring_coord(i + 1);
+            prop_assert_eq!(
+                a.0.abs_diff(b.0) + a.1.abs_diff(b.1),
+                1,
+                "serpentine step {} not unit pitch",
+                i
+            );
+        }
+    }
+
+    /// Torus distance is a metric bounded by the row-column route, and
+    /// ring distances complete to a full revolution, at any grid side.
+    #[test]
+    fn distances_are_metrics_at_any_side(
+        side in 2usize..33,
+        picks in proptest::collection::vec((0usize..1024, 0usize..1024), 1..24),
+    ) {
+        let layout = photonics::geometry::Layout::new(side, 2.5, 0.1);
+        let n = layout.sites();
+        for &(a, b) in &picks {
+            let (a, b) = (a % n, b % n);
+            let ca = (a % side, a / side);
+            let cb = (b % side, b / side);
+            let torus = layout.torus_hops(ca, cb);
+            let manhattan = ca.0.abs_diff(cb.0) + ca.1.abs_diff(cb.1);
+            prop_assert_eq!(layout.torus_hops(cb, ca), torus, "torus symmetric");
+            prop_assert!(torus <= manhattan, "wrap routing never longer");
+            prop_assert!(torus <= side, "torus diameter is side (2 * side/2)");
+            prop_assert_eq!(torus == 0, a == b, "identity of indiscernibles");
+            // prop_delay is the row-column flight: hop_delay per pitch.
+            prop_assert_eq!(
+                layout.prop_delay(ca, cb),
+                layout.hop_delay() * manhattan as u64,
+                "prop_delay counts pitches"
+            );
+            // Forward ring distances around the loop sum to one revolution.
+            let fwd = layout.ring_distance(layout.ring_index(ca), layout.ring_index(cb));
+            let back = layout.ring_distance(layout.ring_index(cb), layout.ring_index(ca));
+            if a == b {
+                prop_assert_eq!(fwd + back, 0);
+            } else {
+                prop_assert_eq!(fwd + back, n, "ring distances complete the loop");
+            }
+        }
+    }
+
+    /// The hierarchical clustering tiles the grid exactly at any side.
+    #[test]
+    fn clusters_tile_the_grid_at_any_side(side in 2usize..33) {
+        let layout = photonics::geometry::Layout::new(side, 2.5, 0.1);
+        let c = layout.cluster_side();
+        prop_assert!((1..=4).contains(&c));
+        prop_assert_eq!(side % c, 0, "cluster side divides the grid");
+        let per_side = side / c;
+        prop_assert_eq!(layout.clusters(), per_side * per_side);
+        prop_assert_eq!(layout.clusters() * c * c, layout.sites(), "clusters tile");
     }
 }
