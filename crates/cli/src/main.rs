@@ -25,7 +25,7 @@ use coherence::EngineConfig;
 use desim::prof;
 use desim::trace::{chrome_trace_json, RingSink};
 use desim::{Span, Time, TraceEvent, Tracer};
-use macrochip::campaign::{self, point_key, CampaignPoint, PointExecOptions, PointResult};
+use macrochip::campaign::{self, fabric_point_key, CampaignPoint, PointExecOptions, PointResult};
 use macrochip::experiment::run_coherent_observed;
 use macrochip::names;
 use macrochip::prelude::*;
@@ -33,7 +33,7 @@ use macrochip::report::{self, fmt, Table};
 use macrochip::runner::{drive, DriveLimits};
 use macrochip::sweep::{run_load_point_observed, run_load_point_traced, sustained_bandwidth};
 use netcore::audit::AuditReport;
-use netcore::{MetricsRegistry, MetricsSnapshot};
+use netcore::{FabricConfig, MetricsRegistry, MetricsSnapshot};
 use replay::{CaptureSink, CorpusManifest, TraceMeta};
 use std::cell::RefCell;
 use std::fs::File;
@@ -48,14 +48,17 @@ const USAGE: &str = "\
 macrochip — silicon-photonic multi-chip network simulator (ISCA 2010 reproduction)
 
 USAGE:
-    macrochip tables
+    macrochip tables    [--side <N>] [--chips <M>]
     macrochip sweep     --network <NET> --pattern <PAT> [--loads 0.1,0.3,...]
+                        [--chips <M>]
     macrochip sustained --network <NET|all> --pattern <PAT>
     macrochip coherent  --workload <NAME> --network <NET|all> [--ops <N>]
     macrochip mp        --collective <COLL> [--bytes <B>] [--rounds <R>]
     macrochip faults    --network <NET|all> [--pattern <PAT>] [--load <F>]
                         [--faults <SPEC>] [--seed <N>] [--duration-short]
+                        [--chips <M>]
     macrochip run-all   [--pattern <PAT>] [--seed <N>] [--duration-short]
+                        [--chips <M>]
     macrochip capture   --out <FILE.mtrc> --pattern <PAT> [--load <F>]
                         [--network <NET>] [--seed <N>] [--duration-short]
                         [--stats <FILE>]
@@ -69,7 +72,7 @@ USAGE:
                         (--time-scale <N/D> | --truncate <N>
                          | --truncate-ns <NS> | --keep-kind <KIND>
                          | --remap <rot:K|i,j,...> | --merge <A,B,...>)
-    macrochip bench     [--quick] [--trials <N>] [--out <FILE>]
+    macrochip bench     [--quick] [--trials <N>] [--out <FILE>] [--chips <M>]
                         [--against <BASELINE.json>] [--max-regression <F>]
                         [--with-tracer] [--profile] [--progress] [-q]
     macrochip serve     [--addr <HOST:PORT>] [--workers <N>] [--queue-cap <N>]
@@ -96,6 +99,19 @@ GEOMETRY:
                        hierarchical network is designed for N > 8, where
                        the five flat architectures' provisioning grows
                        quadratically.
+    --chips <M>        simulate an MxM board of macrochips (tables,
+                       sweep, faults, run-all, bench; default 1). Each
+                       chip runs its own instance of the chosen network;
+                       every chip's gateway site (its local (0,0)) gets
+                       a dedicated board-level WDM link to every other
+                       gateway, with its own loss budget, laser power
+                       and per-byte transceiver energy (see `tables
+                       --chips M`). Traffic, fault specs and reports
+                       address the flat (M*N)x(M*N) site grid. --chips 1
+                       is byte-identical to not passing the flag, cache
+                       keys included. The single-chip harnesses
+                       (sustained, coherent, mp, capture, replay, serve,
+                       submit) reject the flag.
 WORKLOADS:  Radix, Barnes, Blackscholes, Densities, Forces, Swaptions,
             or a pattern name (synthetic, LS mix)
 COLLECTIVES: ring, butterfly, halo, all-to-all
@@ -357,11 +373,11 @@ struct Cell {
 /// guarantees the cache is off whenever side channels were requested.
 fn run_cell(
     point: &CampaignPoint,
-    config: &MacrochipConfig,
+    fabric: &FabricConfig,
     cache: Option<&campaign::ResultCache>,
     exec: PointExecOptions,
 ) -> Cell {
-    let key = point_key(point, config);
+    let key = fabric_point_key(point, fabric);
     if let Some(cache) = cache {
         if let Some(hit) = cache.load(key) {
             if hit.tag() == point.tag() {
@@ -376,7 +392,7 @@ fn run_cell(
             }
         }
     }
-    let run = campaign::run_point_full(point, config, exec);
+    let run = campaign::run_point_full_fabric(point, fabric, exec);
     prof::add(prof::Counter::PointsDone, 1);
     if let Some(cache) = cache {
         // A failed store (read-only tree, disk full) only costs future
@@ -467,10 +483,61 @@ fn config_from_args(args: &[String]) -> Result<MacrochipConfig, String> {
     }
 }
 
+/// Builds the simulated board from `--side <N>` and `--chips <M>`: one
+/// bare macrochip by default, or an MxM fabric of identical chips joined
+/// by board-level inter-chip links. A one-chip fabric is exactly the
+/// single-chip simulator — same networks, same results, same cache keys.
+fn fabric_from_args(args: &[String]) -> Result<FabricConfig, String> {
+    let chip = config_from_args(args)?;
+    let chips_per_side = match flag(args, "--chips") {
+        None => 1,
+        Some(s) => {
+            let m: usize = s.parse().map_err(|_| format!("bad --chips {s}"))?;
+            if !(1..=8).contains(&m) {
+                return Err(format!("--chips must be between 1 and 8, got {m}"));
+            }
+            m
+        }
+    };
+    let fabric = FabricConfig::grid(chips_per_side, chip);
+    if fabric.global_side() > 128 {
+        return Err(format!(
+            "--chips {} x --side {} makes a {}-site board side; the supported maximum is 128",
+            chips_per_side,
+            chip.grid.side(),
+            fabric.global_side()
+        ));
+    }
+    Ok(fabric)
+}
+
+/// The configuration the fabric simulates as one flat site space: the
+/// bare chip for a one-chip board (byte-identical to the pre-fabric
+/// path), the global grid otherwise.
+fn sim_config(fabric: &FabricConfig) -> MacrochipConfig {
+    if fabric.is_single() {
+        fabric.chip
+    } else {
+        fabric.global_config()
+    }
+}
+
+/// Rejects `--chips` on subcommands whose harnesses are single-chip.
+fn reject_chips(args: &[String], cmd: &str) -> Result<(), String> {
+    if args.iter().any(|a| a == "--chips") {
+        return Err(format!(
+            "`{cmd}` is a single-chip harness and does not take --chips \
+             (multi-chip boards run: tables, sweep, faults, run-all, bench)"
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_tables(args: &[String]) -> Result<(), String> {
     use photonics::inventory::ComponentCounts;
     use photonics::power::NetworkPower;
-    let layout = config_from_args(args)?.layout;
+    let fabric = fabric_from_args(args)?;
+    let layout = fabric.chip.layout;
     let mut power = Table::new(&["Network", "Loss factor", "Laser (W)"]);
     for row in NetworkPower::table5(&layout) {
         power.row_owned(vec![
@@ -491,12 +558,34 @@ fn cmd_tables(args: &[String]) -> Result<(), String> {
         ]);
     }
     println!("Table 6: component counts\n\n{}", counts.to_text());
+    if !fabric.is_single() {
+        // Board level: Tables 5/6 above are per chip (x chip count for the
+        // whole board); the dedicated inter-chip links add their own
+        // inventory and power, under a board link budget distinct from the
+        // on-chip Table 1 path.
+        let spec = photonics::InterChipSpec {
+            chips_per_side: fabric.chips_per_side,
+            lambdas_per_link: fabric.link.lambdas,
+            chip_pitch_cm: fabric.link.chip_pitch_cm,
+        };
+        println!(
+            "Board level ({0}x{0} chips, on-chip tables are per chip):\n",
+            fabric.chips_per_side
+        );
+        println!("  inventory: {}", spec.inventory());
+        println!("  power:     {}", spec.power());
+        println!(
+            "\n{}",
+            photonics::LinkBudget::inter_chip_board(fabric.link.chip_pitch_cm)
+        );
+    }
     Ok(())
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let out = OutputOpts::parse(args);
-    let config = config_from_args(args)?;
+    let fabric = fabric_from_args(args)?;
+    let config = sim_config(&fabric);
     let network_arg = flag(args, "--network").ok_or("missing --network")?;
     let kinds = names::parse_networks(&network_arg).ok_or("unknown network")?;
     let pattern_arg = flag(args, "--pattern").ok_or("missing --pattern")?;
@@ -536,7 +625,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let cells = {
         let _progress = ProgressReporter::start("sweep", points.len(), out.progress);
         run_indexed(&points, jobs.jobs, |_, point| {
-            run_cell(point, &config, cache.as_ref(), exec)
+            run_cell(point, &fabric, cache.as_ref(), exec)
         })
     };
 
@@ -628,6 +717,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_sustained(args: &[String]) -> Result<(), String> {
+    reject_chips(args, "sustained")?;
     let out = OutputOpts::parse(args);
     let config = config_from_args(args)?;
     let network_arg = flag(args, "--network").ok_or("missing --network")?;
@@ -722,6 +812,7 @@ fn cmd_sustained(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_coherent(args: &[String]) -> Result<(), String> {
+    reject_chips(args, "coherent")?;
     let config = config_from_args(args)?;
     let ops: u32 = flag(args, "--ops")
         .map(|s| s.parse().map_err(|_| "bad --ops"))
@@ -756,6 +847,7 @@ fn cmd_coherent(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_mp(args: &[String]) -> Result<(), String> {
+    reject_chips(args, "mp")?;
     let config = config_from_args(args)?;
     let collective =
         names::parse_collective(&flag(args, "--collective").ok_or("missing --collective")?)
@@ -797,7 +889,8 @@ const DEFAULT_FAULT_SPEC: &str = "rand-links=2; transient=0.01; repair=10us";
 
 fn cmd_faults(args: &[String]) -> Result<(), String> {
     let out = OutputOpts::parse(args);
-    let config = config_from_args(args)?;
+    let fabric = fabric_from_args(args)?;
+    let config = sim_config(&fabric);
     let network_arg = flag(args, "--network").unwrap_or_else(|| "all".into());
     let kinds = names::parse_networks(&network_arg).ok_or("unknown network")?;
     let pattern_arg = flag(args, "--pattern").unwrap_or_else(|| "uniform".into());
@@ -847,7 +940,7 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
     let cells = {
         let _progress = ProgressReporter::start("faults", points.len(), out.progress);
         run_indexed(&points, jobs.jobs, |_, point| {
-            run_cell(point, &config, cache.as_ref(), exec)
+            run_cell(point, &fabric, cache.as_ref(), exec)
         })
     };
 
@@ -921,7 +1014,8 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
 fn cmd_run_all(args: &[String]) -> Result<(), String> {
     let out = OutputOpts::parse(args);
     let jobs = JobOpts::parse(args)?;
-    let config = config_from_args(args)?;
+    let fabric = fabric_from_args(args)?;
+    let config = sim_config(&fabric);
     let pattern_arg = flag(args, "--pattern").unwrap_or_else(|| "uniform".into());
     let pattern = names::parse_pattern(&pattern_arg).ok_or("unknown pattern")?;
     let seed: u64 = flag(args, "--seed")
@@ -981,7 +1075,7 @@ fn cmd_run_all(args: &[String]) -> Result<(), String> {
     let cells = {
         let _progress = ProgressReporter::start("run-all", points.len(), out.progress);
         run_indexed(&points, jobs.jobs, |_, point| {
-            run_cell(point, &config, cache.as_ref(), exec)
+            run_cell(point, &fabric, cache.as_ref(), exec)
         })
     };
 
@@ -1158,6 +1252,7 @@ fn parse_site_map(spec: &str, sites: usize) -> Result<Vec<u16>, String> {
 }
 
 fn cmd_capture(args: &[String]) -> Result<(), String> {
+    reject_chips(args, "capture")?;
     let config = config_from_args(args)?;
     let out_path = flag(args, "--out").ok_or("missing --out <FILE.mtrc>")?;
     if let Some(parent) = Path::new(&out_path)
@@ -1309,6 +1404,7 @@ fn cmd_capture(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_replay(args: &[String]) -> Result<(), String> {
+    reject_chips(args, "replay")?;
     let config = config_from_args(args)?;
     let trace_arg = flag(args, "--trace").ok_or("missing --trace <FILE.mtrc>")?;
     // Streaming full-body validation up front: a truncated file or a
@@ -1373,8 +1469,11 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     let cache = open_cache(jobs.no_cache, exec.trace || exec.metrics || exec.audit)?;
     let cells = {
         let _progress = ProgressReporter::start("replay", points.len(), progress);
+        // Replay is single-chip (`reject_chips` above); the one-chip
+        // fabric wrapper shares the campaign cell path and cache keys.
+        let single = FabricConfig::single(config);
         run_indexed(&points, jobs.jobs, |_, point| {
-            run_cell(point, &config, cache.as_ref(), exec)
+            run_cell(point, &single, cache.as_ref(), exec)
         })
     };
 
@@ -1631,7 +1730,7 @@ fn cmd_trace_transform(args: &[String]) -> Result<(), String> {
 /// `macrochip bench` — measure host throughput on all five networks and
 /// write the standing `BENCH_*.json` baseline. See `bench` in USAGE.
 fn cmd_bench(args: &[String]) -> Result<(), String> {
-    let config = config_from_args(args)?;
+    let fabric = fabric_from_args(args)?;
     let quiet = args.iter().any(|a| a == "-q" || a == "--quiet");
     let profile = args.iter().any(|a| a == "--profile");
     if profile {
@@ -1661,7 +1760,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         .unwrap_or(macrochip::bench::DEFAULT_MAX_REGRESSION);
     options.max_regression = factor;
 
-    let report = macrochip::bench::run_bench(&config, &options);
+    let report = macrochip::bench::run_bench_on(&fabric, &options);
     std::fs::write(&out_path, report.to_json() + "\n")
         .map_err(|e| format!("writing {out_path}: {e}"))?;
     if !quiet {
@@ -1715,6 +1814,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
 
 /// `macrochip serve` — run the always-on campaign daemon.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
+    reject_chips(args, "serve")?;
     let addr = flag(args, "--addr").unwrap_or_else(serve::default_addr);
     let workers: usize = flag(args, "--workers")
         .map(|s| s.parse().map_err(|_| format!("bad --workers {s}")))
@@ -1953,6 +2053,7 @@ fn render_results(
 /// `macrochip submit` — send a campaign to the daemon; with `--wait`,
 /// stream progress and print the same table the direct command would.
 fn cmd_submit(args: &[String]) -> Result<(), String> {
+    reject_chips(args, "submit")?;
     let sub = args
         .get(1)
         .filter(|a| !a.starts_with('-'))

@@ -23,7 +23,7 @@ use desim::prof;
 use desim::trace::RingSink;
 use desim::{Span, Tracer};
 use netcore::metrics::{json_escape, json_f64};
-use netcore::{MacrochipConfig, NetworkKind};
+use netcore::{FabricConfig, MacrochipConfig, NetworkKind};
 use std::fmt::Write as _;
 use std::time::Instant;
 use workloads::Pattern;
@@ -166,6 +166,10 @@ pub struct BenchReport {
     pub sim_ns: f64,
     pub drain_ns: f64,
     pub sites: usize,
+    /// Macrochips on the benched board (`1` = the classic single-chip
+    /// bench; baselines written before multi-chip fabrics existed parse
+    /// as `1`).
+    pub chips: usize,
     pub cores_per_site: usize,
     pub data_bytes: u32,
     /// `"ring"` when benched with the flight recorder attached,
@@ -186,7 +190,23 @@ pub struct BenchReport {
 /// deterministic field — that would mean the simulator itself broke
 /// determinism, which no bench number could be trusted over.
 pub fn run_bench(config: &MacrochipConfig, options: &BenchOptions) -> BenchReport {
+    run_bench_on(&FabricConfig::single(*config), options)
+}
+
+/// [`run_bench`] over a multi-chip fabric: the same pinned workload driven
+/// across the whole board through [`networks::build_fabric`]. A one-chip
+/// fabric is exactly the classic bench (same network objects, same
+/// numbers); a larger board stresses the fabric event loop and board
+/// links, and stamps its chip count into the report so [`compare`] can
+/// warn when a diff crosses board sizes.
+pub fn run_bench_on(fabric: &FabricConfig, options: &BenchOptions) -> BenchReport {
     assert!(options.trials >= 1, "bench needs at least one trial");
+    let config = if fabric.is_single() {
+        fabric.chip
+    } else {
+        fabric.global_config()
+    };
+    let config = &config;
     let sweep = SweepOptions {
         sim: options.sim,
         drain: options.drain,
@@ -198,7 +218,7 @@ pub fn run_bench(config: &MacrochipConfig, options: &BenchOptions) -> BenchRepor
         let load = bench_load(kind);
         let mut bench: Option<NetworkBench> = None;
         for trial in 0..options.trials {
-            let net = networks::build(kind, *config);
+            let net = networks::build_fabric(kind, fabric);
             let tracer = if options.trace {
                 Tracer::new(RingSink::new(BENCH_TRACE_CAPACITY))
             } else {
@@ -259,6 +279,7 @@ pub fn run_bench(config: &MacrochipConfig, options: &BenchOptions) -> BenchRepor
         sim_ns: options.sim.as_ns_f64(),
         drain_ns: options.drain.as_ns_f64(),
         sites: config.grid.sites(),
+        chips: fabric.chips(),
         cores_per_site: config.cores_per_site,
         data_bytes: config.data_bytes,
         tracer: if options.trace { "ring" } else { "disabled" }.to_string(),
@@ -301,6 +322,7 @@ impl BenchReport {
         let _ = write!(out, "\n  \"sim_ns\": {},", json_f64(self.sim_ns));
         let _ = write!(out, "\n  \"drain_ns\": {},", json_f64(self.drain_ns));
         let _ = write!(out, "\n  \"sites\": {},", self.sites);
+        let _ = write!(out, "\n  \"chips\": {},", self.chips);
         let _ = write!(out, "\n  \"cores_per_site\": {},", self.cores_per_site);
         let _ = write!(out, "\n  \"data_bytes\": {},", self.data_bytes);
         let _ = write!(out, "\n  \"tracer\": \"{}\",", json_escape(&self.tracer));
@@ -440,6 +462,12 @@ impl BenchReport {
             sim_ns: num("sim_ns"),
             drain_ns: num("drain_ns"),
             sites: num("sites") as usize,
+            // Baselines written before multi-chip fabrics have no "chips"
+            // field; they benched exactly one chip.
+            chips: doc
+                .get("chips")
+                .and_then(json::Value::as_f64)
+                .map_or(1, |v| v as usize),
             cores_per_site: num("cores_per_site") as usize,
             data_bytes: num("data_bytes") as u32,
             tracer: text_field("tracer"),
@@ -471,17 +499,29 @@ impl BenchComparison {
 /// Diffs `fresh` against `baseline`: a network regresses when its
 /// events/sec falls below `baseline / factor` (factor 2.0 = "more than
 /// 2x slower fails"). Networks absent from the baseline are skipped with
-/// a warning, as are schema or workload mismatches.
+/// a warning, as are schema or workload mismatches. A board-size
+/// mismatch (different `chips`) disarms the gate entirely: the ratios
+/// are still printed for orientation, but a 2x2-fabric bench held to a
+/// single-chip baseline (or vice versa) would fail on the workload
+/// difference, not a regression, so it can only warn.
 pub fn compare(fresh: &BenchReport, baseline: &BenchReport, factor: f64) -> BenchComparison {
     let mut out = BenchComparison {
         lines: Vec::new(),
         regressions: Vec::new(),
         warnings: Vec::new(),
     };
+    let gate_armed = fresh.chips == baseline.chips;
     if fresh.schema_version != baseline.schema_version {
         out.warnings.push(format!(
             "schema_version differs: {} vs baseline {}",
             fresh.schema_version, baseline.schema_version
+        ));
+    }
+    if fresh.chips != baseline.chips {
+        out.warnings.push(format!(
+            "board size differs: {} chip(s) vs baseline {}; ratios compare \
+             different simulations",
+            fresh.chips, baseline.chips
         ));
     }
     if (fresh.sim_ns, fresh.seed) != (baseline.sim_ns, baseline.seed) {
@@ -519,7 +559,7 @@ pub fn compare(fresh: &BenchReport, baseline: &BenchReport, factor: f64) -> Benc
             base_eps,
             (ratio - 1.0) * 100.0
         ));
-        if base_eps > 0.0 && fresh_eps * factor < base_eps {
+        if gate_armed && base_eps > 0.0 && fresh_eps * factor < base_eps {
             out.regressions.push(format!(
                 "{}: {:.0} ev/s is more than {factor}x below baseline {:.0} ev/s",
                 n.kind.name(),
@@ -671,5 +711,82 @@ mod tests {
     fn from_json_rejects_foreign_documents() {
         assert!(BenchReport::from_json("{\"schema\": \"other\"}").is_err());
         assert!(BenchReport::from_json("not json").is_err());
+    }
+
+    /// Loads one of the repo's checked-in baselines (written before either
+    /// the hierarchical network or multi-chip fabrics existed).
+    fn repo_baseline(name: &str) -> BenchReport {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../bench")
+            .join(name);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        BenchReport::from_json(&text).unwrap_or_else(|e| panic!("parse {name}: {e}"))
+    }
+
+    #[test]
+    fn against_pre_fabric_baselines_gates_only_shared_networks() {
+        // The `bench --against` regression: a baseline predating newer
+        // networks (both checked-in files carry only the five Figure 6
+        // architectures) must neither panic nor mis-gate. The candidate's
+        // sixth network warn-skips; the five shared ones still compare.
+        let config = MacrochipConfig::scaled();
+        let fresh = run_bench(&config, &tiny_options());
+        assert_eq!(fresh.networks.len(), 6);
+        let newest = fresh.networks[5].kind.name();
+        for name in ["BENCH_seed.json", "BENCH_1.json"] {
+            let baseline = repo_baseline(name);
+            assert_eq!(baseline.networks.len(), 5, "{name}");
+            assert_eq!(baseline.chips, 1, "{name}: pre-fabric baseline is one chip");
+            // An enormous allowance isolates the structural behavior from
+            // host speed; the real gate is exercised elsewhere.
+            let diff = compare(&fresh, &baseline, 1e9);
+            assert_eq!(diff.lines.len(), 5, "{name}: shared networks compared");
+            assert!(
+                diff.warnings
+                    .iter()
+                    .any(|w| w.contains(newest) && w.contains("missing from baseline")),
+                "{name}: candidate-only network must warn-skip, got {:?}",
+                diff.warnings
+            );
+            assert!(diff.passed(), "{name}: {:?}", diff.regressions);
+        }
+    }
+
+    #[test]
+    fn multi_chip_bench_stamps_chips_and_round_trips() {
+        let fabric = FabricConfig::grid(2, MacrochipConfig::with_side(4));
+        let options = BenchOptions {
+            trials: 1,
+            ..tiny_options()
+        };
+        let report = run_bench_on(&fabric, &options);
+        assert_eq!(report.chips, 4);
+        assert_eq!(report.sites, 64);
+        for n in &report.networks {
+            assert!(n.delivered > 0, "{} delivered nothing", n.kind.name());
+        }
+        let parsed = BenchReport::from_json(&report.to_json()).expect("round trip");
+        assert_eq!(parsed.chips, 4);
+
+        // Diffing across board sizes is allowed but must say so — and
+        // must never gate: even a baseline claiming absurd throughput
+        // cannot fail a fresh report simulating a different board.
+        let mut single = report.clone();
+        single.chips = 1;
+        for n in &mut single.networks {
+            n.wall_ms_trials = vec![1e-9];
+        }
+        let diff = compare(&report, &single, 2.0);
+        assert!(
+            diff.warnings.iter().any(|w| w.contains("board size")),
+            "{:?}",
+            diff.warnings
+        );
+        assert!(
+            diff.passed(),
+            "cross-board-size comparison must warn, not gate: {:?}",
+            diff.regressions
+        );
     }
 }

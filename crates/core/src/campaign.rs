@@ -36,7 +36,9 @@ use desim::trace::{RingSink, TeeSink};
 use desim::{Span, Time, TraceEvent, Tracer};
 use faults::{FaultPlan, ResilientNetwork};
 use netcore::audit::{AuditReport, Auditor};
-use netcore::{MacrochipConfig, MetricsRegistry, MetricsSnapshot, Network, NetworkKind};
+use netcore::{
+    FabricConfig, MacrochipConfig, MetricsRegistry, MetricsSnapshot, Network, NetworkKind,
+};
 use std::cell::RefCell;
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
@@ -501,6 +503,25 @@ pub fn point_key(point: &CampaignPoint, config: &MacrochipConfig) -> u64 {
     fnv1a64(material.as_bytes())
 }
 
+/// Content hash of a campaign point over a multi-chip `fabric`.
+///
+/// A single-chip fabric returns exactly [`point_key`] of the chip config —
+/// 1-chip campaigns hit the same cache entries with or without the fabric
+/// layer. A multi-chip board folds the board geometry and inter-chip link
+/// parameters into the key on top of the per-chip key, so a `2x2` sweep
+/// never collides with a single-chip sweep of the same point.
+pub fn fabric_point_key(point: &CampaignPoint, fabric: &FabricConfig) -> u64 {
+    let chip_key = point_key(point, &fabric.chip);
+    if fabric.is_single() {
+        return chip_key;
+    }
+    let material = format!(
+        "fabric{}|link{:?}|chip{:016x}",
+        fabric.chips_per_side, fabric.link, chip_key
+    );
+    fnv1a64(material.as_bytes())
+}
+
 /// Side-channel outputs a point execution can capture alongside its
 /// [`PointResult`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -767,6 +788,159 @@ pub fn run_point_full(
     };
     // Audit finalization spans happen after the drive's own flush; roll
     // them up before this worker thread moves to its next point.
+    desim::prof::flush();
+    PointRun {
+        result,
+        trace,
+        metrics,
+        audit,
+    }
+}
+
+/// Executes one campaign point over a multi-chip fabric on the calling
+/// thread.
+pub fn run_point_fabric(point: &CampaignPoint, fabric: &FabricConfig) -> PointResult {
+    run_point_full_fabric(point, fabric, PointExecOptions::default()).result
+}
+
+/// [`run_point_full`] over a multi-chip fabric.
+///
+/// A single-chip fabric delegates straight to [`run_point_full`] with the
+/// chip configuration — the same code path, results, and cache keys as a
+/// campaign that never heard of fabrics. A multi-chip board builds the
+/// whole-board network through [`networks::build_fabric`] and drives it as
+/// one simulation: traffic and fault plans address the global
+/// [`FabricConfig::global_config`] grid, and auditing runs in fabric mode
+/// ([`Auditor::new_fabric`]), which adds the `fabric.inter-chip-bytes`
+/// reconciliation invariant.
+///
+/// # Panics
+///
+/// Coherent and replay points are single-chip harnesses; calling this with
+/// one on a multi-chip fabric panics. The CLI rejects `--chips` for those
+/// subcommands before reaching this layer.
+pub fn run_point_full_fabric(
+    point: &CampaignPoint,
+    fabric: &FabricConfig,
+    exec: PointExecOptions,
+) -> PointRun {
+    if fabric.is_single() {
+        return run_point_full(point, &fabric.chip, exec);
+    }
+    let global = fabric.global_config();
+    let sink = Rc::new(RefCell::new(RingSink::new(exec.trace_capacity.max(1))));
+    let auditor = exec
+        .audit
+        .then(|| Rc::new(RefCell::new(Auditor::new_fabric(point.kind(), fabric))));
+    let tracer = match (&auditor, exec.trace) {
+        (Some(a), true) => {
+            let mut tee = TeeSink::new();
+            tee.add(&sink);
+            tee.add(a);
+            Tracer::shared(&Rc::new(RefCell::new(tee)))
+        }
+        (Some(a), false) => Tracer::shared(a),
+        (None, true) => Tracer::shared(&sink),
+        (None, false) => Tracer::disabled(),
+    };
+    let (result, metrics, audit) = match point {
+        CampaignPoint::Sweep {
+            kind,
+            pattern,
+            offered,
+            options,
+        } => {
+            let (p, net) = run_load_point_traced(
+                networks::build_fabric(*kind, fabric),
+                *pattern,
+                *offered,
+                &global,
+                *options,
+                tracer,
+            );
+            let audit = auditor.map(|a| {
+                let end = Time::ZERO + options.sim + options.drain;
+                a.borrow_mut().finalize(net.stats(), 0, end)
+            });
+            let metrics = exec.metrics.then(|| {
+                let mut reg = MetricsRegistry::new();
+                reg.record_net_stats(net.stats());
+                reg.set_gauge("run.offered_load", *offered);
+                if let Some(report) = &audit {
+                    report.record_metrics(&mut reg);
+                }
+                reg.snapshot()
+            });
+            (PointResult::Sweep(p), metrics, audit)
+        }
+        CampaignPoint::Fault {
+            kind,
+            pattern,
+            load,
+            plan,
+            seed,
+            sim,
+            drain,
+            max_stalled,
+        } => {
+            let horizon = Time::ZERO + *sim;
+            let mut net =
+                ResilientNetwork::new(networks::build_fabric(*kind, fabric), plan, *seed, horizon);
+            net.set_tracer(tracer.clone());
+            let peak = global.site_bandwidth_bytes_per_ns();
+            let mut traffic = OpenLoopTraffic::new(
+                &global.grid,
+                *pattern,
+                *load,
+                peak,
+                global.data_bytes,
+                *seed,
+            );
+            traffic.set_horizon(horizon);
+            let outcome = drive_traced(
+                &mut net,
+                &mut traffic,
+                DriveLimits::for_window(*sim, *drain, *max_stalled),
+                tracer,
+            );
+            let audit = auditor.map(|a| {
+                a.borrow_mut()
+                    .finalize(net.stats(), net.fault_stats().dropped, outcome.end)
+            });
+            let metrics = exec.metrics.then(|| {
+                let mut reg = MetricsRegistry::new();
+                net.record_metrics(&mut reg, outcome.end);
+                reg.set_gauge("run.offered_load", *load);
+                if let Some(report) = &audit {
+                    report.record_metrics(&mut reg);
+                }
+                reg.snapshot()
+            });
+            let s = net.fault_stats();
+            let result = PointResult::Fault(FaultSummary {
+                clean_delivered: s.clean_delivered,
+                lost: net.lost_packets(),
+                retries: s.retries,
+                availability: net.availability(),
+                clean_bytes: s.clean_bytes,
+                degraded_ns: s.time_degraded(outcome.end).as_ns_f64(),
+                end_ns: outcome.end.as_ns_f64(),
+                saturated: outcome.saturated,
+            });
+            (result, metrics, audit)
+        }
+        CampaignPoint::Coherent { .. } | CampaignPoint::Replay { .. } => panic!(
+            "{} points are single-chip harnesses; a {0} point cannot run on a {}x{} fabric",
+            point.tag(),
+            fabric.chips_per_side,
+            fabric.chips_per_side
+        ),
+    };
+    let trace = if exec.trace {
+        sink.borrow().snapshot()
+    } else {
+        Vec::new()
+    };
     desim::prof::flush();
     PointRun {
         result,
@@ -1078,6 +1252,77 @@ mod tests {
         assert_ne!(k0, point_key(&other_net, &config));
         // Stable within a process/version.
         assert_eq!(k0, point_key(&base, &config));
+    }
+
+    #[test]
+    fn fabric_point_key_is_point_key_for_a_single_chip() {
+        // The load-bearing cache guarantee: adding the fabric layer must
+        // not invalidate (or fork) any existing single-chip cache entry.
+        let config = config();
+        let point = CampaignPoint::Sweep {
+            kind: NetworkKind::Hierarchical,
+            pattern: Pattern::Uniform,
+            offered: 0.1,
+            options: SweepOptions::default(),
+        };
+        let single = FabricConfig::single(config);
+        assert_eq!(
+            fabric_point_key(&point, &single),
+            point_key(&point, &config)
+        );
+    }
+
+    #[test]
+    fn fabric_point_key_separates_board_geometries() {
+        let config = config();
+        let point = CampaignPoint::Sweep {
+            kind: NetworkKind::TokenRing,
+            pattern: Pattern::Uniform,
+            offered: 0.1,
+            options: SweepOptions::default(),
+        };
+        let k1 = fabric_point_key(&point, &FabricConfig::single(config));
+        let k2 = fabric_point_key(&point, &FabricConfig::grid(2, config));
+        let k3 = fabric_point_key(&point, &FabricConfig::grid(3, config));
+        assert_ne!(k1, k2);
+        assert_ne!(k2, k3);
+        let mut longer = FabricConfig::grid(2, config);
+        longer.link.chip_pitch_cm *= 2.0;
+        assert_ne!(k2, fabric_point_key(&point, &longer));
+    }
+
+    #[test]
+    fn fabric_sweep_point_runs_audited_on_a_two_by_two_board() {
+        let chip = MacrochipConfig::with_side(4);
+        let fabric = FabricConfig::grid(2, chip);
+        let point = CampaignPoint::Sweep {
+            kind: NetworkKind::TokenRing,
+            pattern: Pattern::Uniform,
+            offered: 0.05,
+            options: SweepOptions {
+                sim: Span::from_ns(500),
+                drain: Span::from_us(5),
+                ..SweepOptions::default()
+            },
+        };
+        let run = run_point_full_fabric(
+            &point,
+            &fabric,
+            PointExecOptions {
+                audit: true,
+                ..PointExecOptions::default()
+            },
+        );
+        let report = run.audit.expect("audit requested");
+        assert!(
+            report.is_clean(),
+            "fabric sweep audit violations: {:?}",
+            report.violations
+        );
+        match run.result {
+            PointResult::Sweep(p) => assert!(p.delivered_bytes_per_ns_per_site > 0.0),
+            other => panic!("expected a sweep result, got {other:?}"),
+        }
     }
 
     #[test]

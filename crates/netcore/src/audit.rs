@@ -58,7 +58,7 @@
 //! ```
 
 use crate::metrics::MetricsRegistry;
-use crate::{MacrochipConfig, NetStats, NetworkKind, SiteId};
+use crate::{FabricConfig, MacrochipConfig, NetStats, NetworkKind, SiteId};
 use desim::trace::{TraceEvent, TraceSink};
 use desim::{Span, Time};
 use std::collections::HashMap;
@@ -137,6 +137,10 @@ struct PacketAudit {
 pub struct Auditor {
     kind: NetworkKind,
     config: MacrochipConfig,
+    /// Set for multi-chip fabric runs: switches the latency floor to
+    /// chip-local geometry and arms the `fabric.inter-chip-bytes`
+    /// reconciliation invariant.
+    fabric: Option<FabricConfig>,
     packets: HashMap<u64, PacketAudit>,
     violations: Vec<AuditViolation>,
     total_violations: u64,
@@ -179,6 +183,7 @@ impl Auditor {
         Auditor {
             kind,
             config: *config,
+            fabric: None,
             packets: HashMap::new(),
             violations: Vec::new(),
             total_violations: 0,
@@ -203,6 +208,21 @@ impl Auditor {
             site_delivered: vec![0; sites],
             site_dropped: vec![0; sites],
         }
+    }
+
+    /// Creates an auditor for a multi-chip fabric running `kind` chips.
+    ///
+    /// Packet endpoints address the fabric's flat global grid. The
+    /// latency floor drops to chip-local geometry (same-chip pairs use
+    /// the *chip's* torus wrap, which a global floor would overestimate;
+    /// cross-chip pairs get serialization plus one hop of flight — the
+    /// weakest bound valid for any board layout), and every relay hop —
+    /// on-chip or gateway — must account its packet's bytes exactly once
+    /// against `NetStats::routed_bytes` (`fabric.inter-chip-bytes`).
+    pub fn new_fabric(kind: NetworkKind, fabric: &FabricConfig) -> Auditor {
+        let mut a = Auditor::new(kind, &fabric.global_config());
+        a.fabric = Some(*fabric);
+        a
     }
 
     /// Violations found so far (bounded at [`MAX_RECORDED_VIOLATIONS`]).
@@ -245,6 +265,26 @@ impl Auditor {
         if src == dst {
             return self.config.cycle();
         }
+        let ser = Span::from_ns_f64(bytes as f64 / self.config.site_bandwidth_bytes_per_ns());
+        if let Some(fabric) = &self.fabric {
+            let (s, d) = (SiteId::from_index(src), SiteId::from_index(dst));
+            if fabric.chip_of(s) == fabric.chip_of(d) {
+                // Same chip: the chip's own torus wrap applies — the
+                // global grid's plain distance would over-constrain a
+                // pair that the chip-local ring reaches across its wrap
+                // edge in one hop.
+                let chip = &fabric.chip;
+                let hops = chip.layout.torus_hops(
+                    chip.grid.coord(fabric.local(s)),
+                    chip.grid.coord(fabric.local(d)),
+                );
+                return chip.layout.hop_delay() * hops as u64 + ser;
+            }
+            // Cross-chip: at least one hop of on-chip flight plus full
+            // serialization. Board flight is deliberately excluded — the
+            // weakest bound that stays valid for any gateway placement.
+            return self.chip_layout().hop_delay() + ser;
+        }
         let layout = &self.config.layout;
         let grid = &self.config.grid;
         let hops = layout.torus_hops(
@@ -252,8 +292,14 @@ impl Auditor {
             grid.coord(SiteId::from_index(dst)),
         );
         let flight = layout.hop_delay() * hops as u64;
-        let ser = Span::from_ns_f64(bytes as f64 / self.config.site_bandwidth_bytes_per_ns());
         flight + ser
+    }
+
+    fn chip_layout(&self) -> &photonics::geometry::Layout {
+        match &self.fabric {
+            Some(f) => &f.chip.layout,
+            None => &self.config.layout,
+        }
     }
 
     fn on_inject(&mut self, at: Time, packet: u64, src: usize, dst: usize, bytes: u32) {
@@ -418,10 +464,12 @@ impl Auditor {
                 );
             }
         }
-        if matches!(
-            self.kind,
-            NetworkKind::LimitedPointToPoint | NetworkKind::Hierarchical
-        ) {
+        if self.fabric.is_some()
+            || matches!(
+                self.kind,
+                NetworkKind::LimitedPointToPoint | NetworkKind::Hierarchical
+            )
+        {
             self.routed_bytes_from_hops += p.hops * u64::from(p.bytes);
         }
         if let Some(p) = self.packets.get_mut(&packet) {
@@ -714,10 +762,17 @@ impl Auditor {
         // point-to-point) or bridge (hierarchical) relay must account its
         // packet's bytes exactly once — hop events and NetStats are
         // independent tallies of the same forwarding work.
-        let routed_bytes_check = match self.kind {
-            NetworkKind::LimitedPointToPoint => Some("limited.routed-bytes-mismatch"),
-            NetworkKind::Hierarchical => Some("hierarchical.bridge-bytes-mismatch"),
-            _ => None,
+        // In fabric mode the wrapper re-emits every relay (inner network
+        // forwards plus its own gateway hops) as hop events, so the
+        // reconciliation covers all architectures under one invariant.
+        let routed_bytes_check = if self.fabric.is_some() {
+            Some("fabric.inter-chip-bytes")
+        } else {
+            match self.kind {
+                NetworkKind::LimitedPointToPoint => Some("limited.routed-bytes-mismatch"),
+                NetworkKind::Hierarchical => Some("hierarchical.bridge-bytes-mismatch"),
+                _ => None,
+            }
         };
         if let Some(check) = routed_bytes_check {
             if self.routed_bytes_from_hops != stats.routed_bytes() {
@@ -831,11 +886,15 @@ impl TraceSink for Auditor {
                 // bridge relays carry packet ids; the circuit-switched
                 // network reuses the event for setup messages with
                 // *circuit* ids, which the packet-level audit must not
-                // interpret.
-                if matches!(
-                    self.kind,
-                    NetworkKind::LimitedPointToPoint | NetworkKind::Hierarchical
-                ) {
+                // interpret. The fabric wrapper never forwards its tracer
+                // to the inner chips, so under a fabric every hop event
+                // the sink sees is a packet-id relay regardless of kind.
+                if self.fabric.is_some()
+                    || matches!(
+                        self.kind,
+                        NetworkKind::LimitedPointToPoint | NetworkKind::Hierarchical
+                    )
+                {
                     match self.packets.get_mut(&packet) {
                         Some(p) => p.hops += 1,
                         None => self.flag(
@@ -1430,6 +1489,87 @@ mod tests {
         b.check_slab_idle(Some(slab.stats()), Time::from_ns(50));
         b.check_slab_idle(None, Time::from_ns(50));
         assert_eq!(b.total_violations(), 0);
+    }
+
+    fn fabric_auditor(kind: NetworkKind) -> Auditor {
+        Auditor::new_fabric(kind, &FabricConfig::grid(2, config()))
+    }
+
+    #[test]
+    fn fabric_floor_uses_chip_local_wrap_for_same_chip_pairs() {
+        // Global (0,0) -> (7,0) sits on one chip; the chip's token ring
+        // wraps, so the pair is one local ring hop: 0.25 ns flight +
+        // 0.2 ns serialization. The global 16-grid's plain distance
+        // would demand 7 hops and falsely flag a legal 0.5 ns delivery.
+        let mut a = fabric_auditor(NetworkKind::TokenRing);
+        let fabric = FabricConfig::grid(2, config());
+        let dst = fabric.global_config().grid.site(7, 0).index();
+        a.record(Time::ZERO, inject(1, 0, dst));
+        a.record(Time::from_ps(500), deliver(1, 0, dst));
+        assert_eq!(a.total_violations(), 0, "{:?}", a.violations());
+    }
+
+    #[test]
+    fn fabric_floor_binds_cross_chip_pairs() {
+        // Cross-chip floor: serialization (0.2 ns) + one hop (0.25 ns).
+        let mut a = fabric_auditor(NetworkKind::TokenRing);
+        let fabric = FabricConfig::grid(2, config());
+        let dst = fabric.gateway(1).index();
+        a.record(Time::ZERO, inject(1, 0, dst));
+        a.record(Time::from_ps(300), deliver(1, 0, dst));
+        assert_eq!(a.violations()[0].check, "physics.latency-below-floor");
+
+        let mut b = fabric_auditor(NetworkKind::TokenRing);
+        b.record(Time::ZERO, inject(1, 0, dst));
+        b.record(Time::from_ns(5), deliver(1, 0, dst));
+        assert_eq!(b.total_violations(), 0, "{:?}", b.violations());
+    }
+
+    #[test]
+    fn fabric_inter_chip_bytes_reconciled_for_any_kind() {
+        use crate::{MessageKind, Packet, PacketId};
+        let fabric = FabricConfig::grid(2, config());
+        let dst = fabric.gateway(1).index();
+        let stats = |routed: u32| {
+            let mut s = NetStats::new();
+            s.on_inject(Time::ZERO);
+            let mut p = Packet::new(
+                PacketId(1),
+                SiteId::from_index(0),
+                SiteId::from_index(dst),
+                64,
+                MessageKind::Data,
+                Time::ZERO,
+            );
+            p.routed_bytes = routed;
+            p.delivered = Some(Time::from_ns(20));
+            s.on_deliver(&p);
+            s
+        };
+
+        // Two relay hops at 64 B each, matched by the routed counter:
+        // clean — even for a kind (token ring) that has no electronic
+        // relays on a single chip.
+        let mut a = fabric_auditor(NetworkKind::TokenRing);
+        a.record(Time::ZERO, inject(1, 0, dst));
+        a.record(Time::from_ns(4), TraceEvent::Hop { packet: 1, at: 0 });
+        a.record(Time::from_ns(9), TraceEvent::Hop { packet: 1, at: dst });
+        a.record(Time::from_ns(20), deliver(1, 0, dst));
+        let report = a.finalize(&stats(128), 0, Time::from_ns(20));
+        assert!(report.is_clean(), "{:?}", report.violations);
+
+        // A gateway relay whose bytes never land in the counter breaks
+        // the fabric reconciliation invariant.
+        let mut b = fabric_auditor(NetworkKind::TokenRing);
+        b.record(Time::ZERO, inject(1, 0, dst));
+        b.record(Time::from_ns(4), TraceEvent::Hop { packet: 1, at: 0 });
+        b.record(Time::from_ns(9), TraceEvent::Hop { packet: 1, at: dst });
+        b.record(Time::from_ns(20), deliver(1, 0, dst));
+        let report = b.finalize(&stats(64), 0, Time::from_ns(20));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.check == "fabric.inter-chip-bytes"));
     }
 
     #[test]

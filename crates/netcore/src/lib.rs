@@ -27,6 +27,7 @@
 pub mod audit;
 mod channel;
 mod config;
+mod fabric;
 mod fault;
 pub mod hash;
 pub mod metrics;
@@ -40,6 +41,7 @@ mod traffic;
 pub use audit::{AuditReport, AuditViolation, Auditor};
 pub use channel::TxChannel;
 pub use config::MacrochipConfig;
+pub use fabric::{FabricConfig, InterChipLinkConfig};
 pub use fault::{FaultResponse, NetFault};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};

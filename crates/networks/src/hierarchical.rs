@@ -113,8 +113,19 @@ impl HierarchicalNetwork {
     pub fn new(config: MacrochipConfig) -> HierarchicalNetwork {
         config.validate();
         let cluster_side = config.layout.cluster_side();
+        // `Layout::cluster_side` only returns divisors of the side, so
+        // this division is exact; assert it anyway — a truncating split
+        // here would silently orphan every site in the ragged edge.
+        assert!(
+            config.grid.side().is_multiple_of(cluster_side),
+            "grid side {} is not tileable by {}x{} clusters",
+            config.grid.side(),
+            cluster_side,
+            cluster_side
+        );
         let clusters_per_side = config.grid.side() / cluster_side;
         let clusters = clusters_per_side * clusters_per_side;
+        debug_assert_eq!(clusters, config.layout.clusters());
         let ring_bw =
             config.channel_bytes_per_ns(LAMBDAS_PER_CLUSTER_DEST * cluster_side * cluster_side);
         let link_bw = config.channel_bytes_per_ns(config.wavelengths_per_waveguide);

@@ -47,6 +47,7 @@
 //! ```
 
 pub mod circuit;
+pub mod fabric;
 mod geom;
 pub mod hierarchical;
 pub mod limited_p2p;
@@ -55,13 +56,14 @@ pub mod token_ring;
 pub mod two_phase;
 
 pub use circuit::CircuitSwitchedNetwork;
+pub use fabric::FabricNetwork;
 pub use hierarchical::HierarchicalNetwork;
 pub use limited_p2p::{LimitedP2pNetwork, RoutingPolicy};
 pub use p2p::P2pNetwork;
 pub use token_ring::TokenRingNetwork;
 pub use two_phase::TwoPhaseNetwork;
 
-use netcore::{MacrochipConfig, Network, NetworkKind};
+use netcore::{FabricConfig, MacrochipConfig, Network, NetworkKind};
 
 /// Builds the network architecture `kind` over `config`.
 ///
@@ -81,5 +83,29 @@ pub fn build(kind: NetworkKind, config: MacrochipConfig) -> Box<dyn Network> {
         NetworkKind::TwoPhase => Box::new(TwoPhaseNetwork::new(config)),
         NetworkKind::TwoPhaseAlt => Box::new(TwoPhaseNetwork::new_alt(config)),
         NetworkKind::Hierarchical => Box::new(HierarchicalNetwork::new(config)),
+    }
+}
+
+/// Builds architecture `kind` over a multi-chip `fabric`.
+///
+/// A one-chip fabric returns the bare single-chip network — byte-for-byte
+/// the same simulation object, keeping single-chip results (and their
+/// campaign cache keys) identical with or without the fabric layer. Any
+/// larger board returns a [`FabricNetwork`] of per-chip instances joined
+/// by gateway-to-gateway board links.
+///
+/// # Example
+///
+/// ```
+/// use netcore::{FabricConfig, MacrochipConfig, Network, NetworkKind};
+/// let fabric = FabricConfig::grid(2, MacrochipConfig::scaled());
+/// let net = networks::build_fabric(NetworkKind::Hierarchical, &fabric);
+/// assert_eq!(net.config().grid.sites(), 256);
+/// ```
+pub fn build_fabric(kind: NetworkKind, fabric: &FabricConfig) -> Box<dyn Network> {
+    if fabric.is_single() {
+        build(kind, fabric.chip)
+    } else {
+        Box::new(FabricNetwork::new(kind, *fabric))
     }
 }

@@ -127,8 +127,22 @@ impl Layout {
     }
 
     /// Number of clusters (`(side / cluster_side)²`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`cluster_side`](Self::cluster_side) does not tile the
+    /// grid exactly — integer division here would silently orphan the
+    /// edge sites. Unreachable for `cluster_side`'s own values (each
+    /// candidate is checked for divisibility, and 1 always divides), but
+    /// kept as a guard against future tiling policies.
     pub fn clusters(&self) -> usize {
-        let per_side = self.side / self.cluster_side();
+        let cluster_side = self.cluster_side();
+        assert!(
+            self.side.is_multiple_of(cluster_side),
+            "cluster side {cluster_side} does not tile a {}-site grid side",
+            self.side
+        );
+        let per_side = self.side / cluster_side;
         per_side * per_side
     }
 
@@ -316,6 +330,43 @@ mod tests {
             let l = Layout::new(side, 2.5, 0.1);
             assert_eq!(l.cluster_side(), cluster, "side {side}");
             assert_eq!(l.clusters(), clusters, "side {side}");
+        }
+    }
+
+    #[test]
+    fn cluster_tiling_is_exact_for_every_side() {
+        // Regression for the divisibility audit: for every supported grid
+        // side the chosen cluster side must tile the grid exactly — no
+        // truncating division, no orphaned edge sites. Covers the sides
+        // the issue called out (6, 10) and every prime in range (which
+        // fall back to 1×1 clusters).
+        for side in 2usize..=33 {
+            let l = Layout::new(side, 2.5, 0.1);
+            let c = l.cluster_side();
+            assert_eq!(side % c, 0, "side {side}: cluster side {c} must divide");
+            let per_side = side / c;
+            assert_eq!(l.clusters(), per_side * per_side, "side {side}");
+            // Every site maps into a cluster index < clusters(): the
+            // row-major cluster arithmetic the hierarchical network uses.
+            let clusters = l.clusters();
+            for y in 0..side {
+                for x in 0..side {
+                    let idx = (y / c) * per_side + (x / c);
+                    assert!(idx < clusters, "site ({x},{y}) orphaned at side {side}");
+                }
+            }
+            // And cluster coverage is exhaustive: counting sites per
+            // cluster accounts for the whole grid with equal-size tiles.
+            let mut counts = vec![0usize; clusters];
+            for y in 0..side {
+                for x in 0..side {
+                    counts[(y / c) * per_side + (x / c)] += 1;
+                }
+            }
+            assert!(
+                counts.iter().all(|&n| n == c * c),
+                "side {side}: ragged cluster sizes {counts:?}"
+            );
         }
     }
 }

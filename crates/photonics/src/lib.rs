@@ -29,6 +29,7 @@
 pub mod components;
 pub mod crosstalk;
 pub mod geometry;
+pub mod interchip;
 pub mod inventory;
 pub mod link;
 pub mod power;
@@ -38,6 +39,7 @@ pub mod wdm;
 
 pub use components::{Component, ComponentProps};
 pub use geometry::Layout;
+pub use interchip::{InterChipInventory, InterChipPower, InterChipSpec};
 pub use inventory::{ComponentCounts, NetworkId};
 pub use link::LinkBudget;
 pub use power::NetworkPower;

@@ -152,11 +152,43 @@ impl LinkBudget {
             .rename("token-ring data path")
     }
 
+    /// A board-level inter-chip link between two macrochip gateways
+    /// (multi-chip fabrics). Distinct from the on-chip Table 1 path:
+    /// the signal leaves the chip through a lossier board-attach
+    /// coupler ([`BOARD_COUPLER_DB`] vs the on-chip OPxC's 1.2 dB),
+    /// runs `pitch_cm` of silicon-nitride board waveguide at
+    /// [`BOARD_WAVEGUIDE_DB_PER_CM`] (vs 6 dB worst-case *total* for
+    /// on-chip global routing), couples back up, and is dropped at the
+    /// far gateway. No pass-by filters: board links are dedicated
+    /// gateway-to-gateway, not a shared column.
+    pub fn inter_chip_board(pitch_cm: f64) -> LinkBudget {
+        LinkBudget::new("inter-chip board link")
+            .with(Component::Modulator, 1)
+            .with(Component::Multiplexer, 1)
+            .with_loss(Component::Opxc, 2, Db::new(BOARD_COUPLER_DB))
+            .with_loss(
+                Component::WaveguidePerCm,
+                1,
+                Db::new(BOARD_WAVEGUIDE_DB_PER_CM * pitch_cm),
+            )
+            .with(Component::DropFilterDrop, 1)
+    }
+
     fn rename(mut self, name: &'static str) -> LinkBudget {
         self.name = name;
         self
     }
 }
+
+/// Chip-to-board coupling loss for one board-attach interface, in dB.
+/// Higher than the on-chip OPxC (1.2 dB): the interposer-level coupler
+/// bridges a larger gap and tolerance stack.
+pub const BOARD_COUPLER_DB: f64 = 2.0;
+
+/// Board-level silicon-nitride waveguide propagation loss, in dB/cm.
+/// Between the on-chip global figure (0.1 dB/cm) and the local one
+/// (0.5 dB/cm): board waveguides are long but planar and low-confinement.
+pub const BOARD_WAVEGUIDE_DB_PER_CM: f64 = 0.3;
 
 impl fmt::Display for LinkBudget {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -239,5 +271,25 @@ mod tests {
         let s = LinkBudget::unswitched_site_to_site().to_string();
         assert!(s.contains("Modulator"));
         assert!(s.contains("total"));
+    }
+
+    #[test]
+    fn board_link_at_default_pitch_closes_with_extra_laser_power() {
+        // 25 cm pitch (8-site chip + 5 cm gap): 4 + 2.5 + 2×2 + 7.5 +
+        // 1.5 = 19.5 dB — closes at 0 dBm, but needs ~1.8× the laser
+        // power of the canonical on-chip link.
+        let board = LinkBudget::inter_chip_board(25.0);
+        assert!((board.total_loss().value() - 19.5).abs() < 1e-9);
+        assert!(board.closes(Dbm::new(0.0)));
+        let base = LinkBudget::unswitched_site_to_site();
+        let f = board.power_factor_over(&base);
+        assert!((f - 1.778).abs() < 0.01, "factor {f}");
+    }
+
+    #[test]
+    fn board_link_loss_grows_with_pitch() {
+        let near = LinkBudget::inter_chip_board(25.0).total_loss();
+        let far = LinkBudget::inter_chip_board(50.0).total_loss();
+        assert!((far.value() - near.value() - 7.5).abs() < 1e-9);
     }
 }

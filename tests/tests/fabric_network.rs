@@ -1,0 +1,226 @@
+//! Multi-chip fabric differential harness: a 2x2 board of side-4
+//! macrochips runs the same campaign points on both simulation kernels
+//! (reference binary-heap queue + append-only slab vs. optimized
+//! calendar queue + recycling slab) and under every job count — results
+//! must be **byte-identical** and every audited leg must come back
+//! clean, including the fabric-only `fabric.inter-chip-bytes`
+//! reconciliation invariant.
+//!
+//! The fourth test pins the compatibility contract: a one-chip
+//! [`FabricConfig`] is not "almost" the plain single-chip path, it *is*
+//! that path — same [`PointResult`], same metrics snapshot, byte for
+//! byte.
+
+use desim::{Backend, Span};
+use faults::FaultPlan;
+use macrochip::campaign::{
+    run_indexed, run_point_fabric, run_point_full, run_point_full_fabric, CampaignPoint,
+    PointExecOptions, PointRun,
+};
+use macrochip::sweep::SweepOptions;
+use netcore::slab::set_thread_mode;
+use netcore::{FabricConfig, MacrochipConfig, NetworkKind, SlabMode};
+use workloads::Pattern;
+
+const SIM: Span = Span::from_ns(500);
+const DRAIN: Span = Span::from_us(5);
+
+/// The two fabric-bearing architectures this harness sweeps: the paper's
+/// token-ring crossbar and the post-paper hierarchical network. Between
+/// them they cover both gateway protocols (broadcast-arbitrated and
+/// cluster-routed) over the board links.
+const FABRIC_KINDS: [NetworkKind; 2] = [NetworkKind::TokenRing, NetworkKind::Hierarchical];
+
+/// A 2x2 board of side-4 chips: 16 chips' worth of machinery in
+/// miniature — 4 inner networks, 2 board links in each direction, and an
+/// 8x8 global address space.
+fn fabric() -> FabricConfig {
+    FabricConfig::grid(2, MacrochipConfig::with_side(4))
+}
+
+fn options(seed: u64) -> SweepOptions {
+    SweepOptions {
+        sim: SIM,
+        drain: DRAIN,
+        max_stalled: 5_000,
+        seed,
+    }
+}
+
+fn sweep_point(kind: NetworkKind, offered: f64) -> CampaignPoint {
+    CampaignPoint::Sweep {
+        kind,
+        pattern: Pattern::Uniform,
+        offered,
+        options: options(0xFAB),
+    }
+}
+
+/// A fault point whose plan kills the chip(0,0) -> chip(0,1) board link
+/// (global gateway indices 0 and 4 on the 8-wide global grid), so the
+/// resilience wrapper's retry machinery runs *through* the fabric layer.
+fn fault_point(kind: NetworkKind) -> CampaignPoint {
+    CampaignPoint::Fault {
+        kind,
+        pattern: Pattern::Uniform,
+        load: 0.02,
+        plan: FaultPlan::parse("link:0->4@500ns; repair=2us").unwrap(),
+        seed: 77,
+        sim: SIM,
+        drain: DRAIN,
+        max_stalled: 5_000,
+    }
+}
+
+/// Runs `f` under an explicit kernel selection, restoring the defaults
+/// afterwards even if `f` panics.
+fn with_kernel<T>(backend: Backend, mode: SlabMode, f: impl FnOnce() -> T) -> T {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            desim::set_thread_backend(None);
+            set_thread_mode(None);
+        }
+    }
+    let _restore = Restore;
+    desim::set_thread_backend(Some(backend));
+    set_thread_mode(Some(mode));
+    f()
+}
+
+/// Runs `f` on both kernels and returns `(reference, optimized)`.
+fn both<T>(mut f: impl FnMut() -> T) -> (T, T) {
+    let reference = with_kernel(Backend::Heap, SlabMode::Append, &mut f);
+    let optimized = with_kernel(Backend::Calendar, SlabMode::Recycle, &mut f);
+    (reference, optimized)
+}
+
+/// Full-fat execution: metrics + audit, so one run yields everything the
+/// differential needs.
+fn audited(point: &CampaignPoint) -> PointRun {
+    run_point_full_fabric(
+        point,
+        &fabric(),
+        PointExecOptions {
+            metrics: true,
+            audit: true,
+            ..PointExecOptions::default()
+        },
+    )
+}
+
+fn assert_clean(run: &PointRun, label: &str) {
+    let report = run.audit.as_ref().expect("audit was requested");
+    assert!(
+        report.is_clean(),
+        "{label}: fabric audit found violations: {:?}",
+        report.violations
+    );
+}
+
+/// Open-loop sweep points on the 2x2 board: [`PointResult`] and the full
+/// metrics snapshot (`net.*`, `audit.*`, `fabric.*` counters) must match
+/// between kernels at a light and a moderate load, and both legs must
+/// audit clean.
+#[test]
+fn fabric_sweep_points_are_kernel_invariant_and_audit_clean() {
+    for kind in FABRIC_KINDS {
+        for offered in [0.01, 0.03] {
+            let point = sweep_point(kind, offered);
+            let (reference, optimized) = both(|| audited(&point));
+            assert_clean(&reference, "reference kernel");
+            assert_clean(&optimized, "optimized kernel");
+            assert_eq!(
+                reference.result, optimized.result,
+                "{kind} @ {offered}: fabric PointResult diverged between kernels"
+            );
+            assert_eq!(
+                reference.metrics.as_ref().map(|m| m.to_json()),
+                optimized.metrics.as_ref().map(|m| m.to_json()),
+                "{kind} @ {offered}: fabric metrics diverged between kernels"
+            );
+        }
+    }
+}
+
+/// Fault points with an inter-chip link kill: the board-link
+/// half-bandwidth degradation, repair scheduling, and the wrapper's
+/// retry timing must agree exactly between kernels, and the fabric
+/// byte-reconciliation must still close with retransmissions in flight.
+#[test]
+fn fabric_fault_points_are_kernel_invariant_and_audit_clean() {
+    for kind in FABRIC_KINDS {
+        let point = fault_point(kind);
+        let (reference, optimized) = both(|| audited(&point));
+        assert_clean(&reference, "reference kernel");
+        assert_clean(&optimized, "optimized kernel");
+        assert_eq!(
+            reference.result, optimized.result,
+            "{kind}: fabric fault PointResult diverged between kernels"
+        );
+        assert_eq!(
+            reference.metrics.as_ref().map(|m| m.to_json()),
+            optimized.metrics.as_ref().map(|m| m.to_json()),
+            "{kind}: fabric fault metrics diverged between kernels"
+        );
+    }
+}
+
+/// A mixed 2x2-board campaign (sweep grid + fault points on both
+/// networks) must produce identical result vectors serially and at every
+/// parallel job count — fabric points are as shard-order-independent as
+/// single-chip ones.
+#[test]
+fn fabric_campaign_is_job_count_invariant() {
+    let board = fabric();
+    let mut points: Vec<CampaignPoint> = Vec::new();
+    for kind in FABRIC_KINDS {
+        for offered in [0.01, 0.03] {
+            points.push(sweep_point(kind, offered));
+        }
+        points.push(fault_point(kind));
+    }
+    let serial = run_indexed(&points, 1, |_, p| run_point_fabric(p, &board));
+    for jobs in [2, 4, 0] {
+        let parallel = run_indexed(&points, jobs, |_, p| run_point_fabric(p, &board));
+        assert_eq!(
+            serial, parallel,
+            "fabric campaign diverged between 1 job and {jobs} jobs"
+        );
+    }
+}
+
+/// The compatibility contract: a single-chip fabric IS the plain
+/// single-chip path. Same results, same metrics bytes, same audit
+/// verdict — so `--chips 1` (and every pre-fabric caller) is provably
+/// unchanged.
+#[test]
+fn single_chip_fabric_points_match_plain_points() {
+    let chip = MacrochipConfig::with_side(4);
+    let single = FabricConfig::single(chip);
+    let exec = || PointExecOptions {
+        metrics: true,
+        audit: true,
+        ..PointExecOptions::default()
+    };
+    for kind in FABRIC_KINDS {
+        for point in [sweep_point(kind, 0.03), fault_point(kind)] {
+            let plain = run_point_full(&point, &chip, exec());
+            let via_fabric = run_point_full_fabric(&point, &single, exec());
+            assert_eq!(
+                plain.result, via_fabric.result,
+                "{kind}: single-chip fabric result differs from the plain path"
+            );
+            assert_eq!(
+                plain.metrics.as_ref().map(|m| m.to_json()),
+                via_fabric.metrics.as_ref().map(|m| m.to_json()),
+                "{kind}: single-chip fabric metrics differ from the plain path"
+            );
+            assert_eq!(
+                plain.audit.as_ref().map(|a| a.is_clean()),
+                via_fabric.audit.as_ref().map(|a| a.is_clean()),
+                "{kind}: single-chip fabric audit verdict differs from the plain path"
+            );
+        }
+    }
+}
